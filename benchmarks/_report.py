@@ -1,0 +1,39 @@
+"""Shared reporting helpers for the benchmark harness.
+
+Each benchmark regenerates one table or figure of the paper and prints
+the series the paper plots, alongside the paper's reported values where
+the text states them.  Run with::
+
+    pytest benchmarks/ --benchmark-only -s
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+
+def print_table(
+    title: str,
+    headers: Sequence[str],
+    rows: Iterable[Sequence[object]],
+    note: str = "",
+) -> None:
+    """Print one reproduced figure/table as an aligned text table."""
+    rows = [tuple(str(cell) for cell in row) for row in rows]
+    widths = [len(h) for h in headers]
+    for row in rows:
+        for index, cell in enumerate(row):
+            widths[index] = max(widths[index], len(cell))
+    line = "  ".join("%-*s" % (w, h) for w, h in zip(widths, headers))
+    print("\n=== %s ===" % title)
+    print(line)
+    print("-" * len(line))
+    for row in rows:
+        print("  ".join("%-*s" % (w, c) for w, c in zip(widths, row)))
+    if note:
+        print(note)
+
+
+def fmt(value: float, digits: int = 2) -> str:
+    """Format a float compactly."""
+    return ("%%.%df" % digits) % value

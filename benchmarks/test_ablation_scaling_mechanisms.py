@@ -1,0 +1,170 @@
+"""Ablations of the platform's design choices (DESIGN.md section
+"Design choices called out for ablation benches").
+
+1. consolidation vs one-VM-per-client,
+2. static checking vs always-sandbox,
+3. on-the-fly boot vs a pre-booted pool,
+4. suspend/resume vs terminate/boot for stateful modules.
+"""
+
+from _report import fmt, print_table
+from repro.platform import (
+    CHEAP_SERVER_SPEC,
+    PlatformSim,
+    ThroughputModel,
+    boot_time,
+    resume_time,
+    suspend_time,
+)
+from repro.platform.specs import VM_CLICKOS
+from repro.platform.throughput import SANDBOX_INLINE, SANDBOX_NONE
+
+
+def test_ablation_consolidation_vs_one_vm_per_client(benchmark):
+    """Serving 1,000 clients: shared VMs vs a VM per client."""
+
+    def run():
+        model = ThroughputModel(CHEAP_SERVER_SPEC)
+        clients = 1000
+        consolidated = model.capacity_bps(
+            1500, element_cost=2.4,
+            consolidated_configs=100, resident_vms=10,
+        )
+        one_per_client = model.capacity_bps(
+            1500, element_cost=2.4,
+            consolidated_configs=1, resident_vms=clients,
+        )
+        memory_shared = 10 * CHEAP_SERVER_SPEC.clickos_memory_mb
+        memory_exclusive = clients * CHEAP_SERVER_SPEC.clickos_memory_mb
+        return (consolidated, one_per_client,
+                memory_shared, memory_exclusive)
+
+    consolidated, exclusive, mem_shared, mem_exclusive = benchmark(run)
+    print_table(
+        "Ablation 1: consolidation vs one VM per client (1,000 clients)",
+        ("placement", "capacity (Gb/s)", "memory (MB)"),
+        [
+            ("100 clients/VM (10 VMs)",
+             fmt(consolidated / 1e9, 2), fmt(mem_shared, 0)),
+            ("1 client/VM (1,000 VMs)",
+             fmt(exclusive / 1e9, 2), fmt(mem_exclusive, 0)),
+        ],
+        note="Consolidation wins on both axes: fewer context switches "
+             "and 100x less memory.",
+    )
+    assert consolidated > exclusive
+    assert mem_shared < mem_exclusive / 50
+
+
+def test_ablation_static_checking_vs_always_sandbox(benchmark):
+    """What always-sandboxing (the status quo) would cost.
+
+    Static checking proves most Table 1 configurations safe, so they
+    run without the enforcer; a policy of sandboxing everything pays
+    the Figure 11 tax on every single module.
+    """
+
+    def run():
+        model = ThroughputModel(CHEAP_SERVER_SPEC)
+        out = {}
+        for size in (64, 128, 512):
+            out[size] = (
+                model.capacity_pps(size, sandbox=SANDBOX_NONE),
+                model.capacity_pps(size, sandbox=SANDBOX_INLINE),
+            )
+        return out
+
+    capacities = benchmark(run)
+    # 10 of the 12 Table 1 functionalities are provably safe for the
+    # roles that may deploy them -- they skip the sandbox entirely.
+    statically_cleared = 10 / 12
+    rows = []
+    for size, (base, boxed) in sorted(capacities.items()):
+        fleet_always = boxed
+        fleet_checked = (
+            statically_cleared * base + (1 - statically_cleared) * boxed
+        )
+        rows.append((
+            size,
+            fmt(fleet_always / 1e6, 2),
+            fmt(fleet_checked / 1e6, 2),
+            "+%d%%" % round(100 * (fleet_checked / fleet_always - 1)),
+        ))
+    print_table(
+        "Ablation 2: always-sandbox vs static-checking-first (Mpps)",
+        ("pkt bytes", "always sandbox", "check first", "gain"),
+        rows,
+        note="Fleet average assuming the Table 1 mix of workloads.",
+    )
+    base64, boxed64 = capacities[64]
+    assert base64 > boxed64
+
+
+def test_ablation_boot_on_demand_vs_prebooted(benchmark):
+    """First-packet latency vs memory held by a pre-booted pool."""
+
+    def run():
+        sim_on_demand = PlatformSim()
+        sim_on_demand.register_client("c")
+        on_demand = sim_on_demand.ping("c", start=0.0, count=1)
+
+        sim_pool = PlatformSim()
+        sim_pool.register_client("c")
+        sim_pool.force_boot("c")  # pre-booted before traffic
+        pooled = sim_pool.ping("c", start=100.0, count=1)
+        sim_on_demand.loop.run()
+        sim_pool.loop.run()
+        return on_demand.rtts[0], pooled.rtts[0]
+
+    cold, warm = benchmark.pedantic(run, rounds=1, iterations=1)
+    idle_pool_mb = 1000 * CHEAP_SERVER_SPEC.clickos_memory_mb
+    print_table(
+        "Ablation 3: on-the-fly boot vs pre-booted pool",
+        ("policy", "first-packet RTT (ms)", "idle cost"),
+        [
+            ("boot on demand", fmt(cold * 1e3, 1), "none"),
+            ("pre-booted pool", fmt(warm * 1e3, 2),
+             "%.0f MB held for 1,000 idle clients" % idle_pool_mb),
+        ],
+        note="30 ms of first-packet latency buys the platform the "
+             "ability to host every registered client, not just the "
+             "currently-active ones.",
+    )
+    assert cold > 10 * warm
+    assert cold < 0.1
+
+
+def test_ablation_suspend_resume_vs_terminate_boot(benchmark):
+    """Reactivating a stateful module: resume vs re-boot.
+
+    Terminate/boot is slightly cheaper at low VM counts but destroys
+    per-flow state, killing end-to-end connections (Section 5) --
+    suspend/resume pays a comparable latency and keeps them alive.
+    """
+
+    def run():
+        rows = []
+        for residents in (0, 100, 200):
+            rows.append((
+                residents,
+                suspend_time(CHEAP_SERVER_SPEC, residents)
+                + resume_time(CHEAP_SERVER_SPEC, residents),
+                boot_time(CHEAP_SERVER_SPEC, VM_CLICKOS, residents),
+            ))
+        return rows
+
+    series = benchmark(run)
+    print_table(
+        "Ablation 4: suspend+resume vs terminate+boot (ms)",
+        ("resident VMs", "suspend+resume", "terminate+boot",
+         "state kept?"),
+        [
+            (n, fmt(cycle * 1e3, 1), fmt(boot * 1e3, 1),
+             "yes / no")
+            for n, cycle, boot in series
+        ],
+        note="Same order of magnitude either way; only suspend/resume "
+             "preserves flow state, so stateful modules must use it.",
+    )
+    for _n, cycle, boot in series:
+        assert cycle < 5 * boot  # comparable cost

@@ -1,0 +1,62 @@
+"""Figure 7: suspend/resume latency vs number of resident VMs.
+
+Paper: both operations take 30-100 ms, growing with the number of
+existing VMs (0-200); a full suspend+resume cycle fits in ~100 ms.
+"""
+
+from _report import fmt, print_table
+from repro.platform import CHEAP_SERVER_SPEC, resume_time, suspend_time
+from repro.platform import PlatformSim
+
+VM_COUNTS = (0, 25, 50, 100, 150, 200)
+
+
+def sweep():
+    return [
+        (
+            n,
+            suspend_time(CHEAP_SERVER_SPEC, n),
+            resume_time(CHEAP_SERVER_SPEC, n),
+        )
+        for n in VM_COUNTS
+    ]
+
+
+def test_fig07_suspend_resume_model(benchmark):
+    series = benchmark(sweep)
+    rows = [
+        (n, fmt(s * 1e3, 1), fmt(r * 1e3, 1), fmt((s + r) * 1e3, 1))
+        for n, s, r in series
+    ]
+    print_table(
+        "Figure 7: suspend/resume latency vs resident VMs",
+        ("existing VMs", "suspend (ms)", "resume (ms)", "cycle (ms)"),
+        rows,
+        note="Paper: both curves inside 30-100 ms, growing with VM "
+             "count; cycle ~100 ms.",
+    )
+    for _n, s, r in series:
+        assert 0.030 <= s <= 0.100 and 0.030 <= r <= 0.100
+    # Monotone growth.
+    suspends = [s for _n, s, _r in series]
+    assert suspends == sorted(suspends)
+
+
+def test_fig07_event_driven_cycle(benchmark):
+    """The same measurement through the event-driven platform."""
+
+    def run():
+        sim = PlatformSim()
+        for index in range(100):
+            sim.register_client("c%d" % index)
+            sim.force_boot("c%d" % index)
+        return sim.suspend_resume_cycle("c0")
+
+    suspend_s, resume_s = benchmark(run)
+    print_table(
+        "Figure 7 (event-driven): one cycle among 100 resident VMs",
+        ("suspend (ms)", "resume (ms)"),
+        [(fmt(suspend_s * 1e3, 1), fmt(resume_s * 1e3, 1))],
+    )
+    assert 0.030 <= suspend_s <= 0.100
+    assert 0.030 <= resume_s <= 0.100

@@ -1,0 +1,59 @@
+"""Figure 15: defending against a Slowloris attack with In-Net.
+
+Paper: the attack starves a single origin server of connection slots;
+deploying reverse-proxy modules at remote operators and steering new
+connections to them by geolocation restores the valid-request rate.
+"""
+
+from _report import fmt, print_table
+from repro.usecases import SlowlorisScenario
+
+
+def run():
+    return SlowlorisScenario().run(
+        duration_s=900, attack_start=120, defense_delay_s=180
+    )
+
+
+def window_mean(timeline, series, lo, hi):
+    values = [v for t, v in zip(timeline.times, series) if lo <= t < hi]
+    return sum(values) / max(1, len(values))
+
+
+def test_fig15_slowloris_defense(benchmark):
+    timeline = benchmark.pedantic(run, rounds=1, iterations=1)
+    phases = [
+        ("before attack", 0, timeline.attack_start),
+        ("attack, undefended", timeline.attack_start,
+         timeline.defense_at),
+        ("attack, defended", timeline.defense_at + 60,
+         timeline.attack_end),
+        ("after attack", timeline.attack_end + 60, 900),
+    ]
+    rows = [
+        (
+            label,
+            fmt(window_mean(timeline, timeline.single_server, lo, hi), 0),
+            fmt(window_mean(timeline, timeline.with_innet, lo, hi), 0),
+        )
+        for label, lo, hi in phases
+    ]
+    print_table(
+        "Figure 15: valid requests served per second",
+        ("phase", "single server", "with In-Net"),
+        rows,
+        note="Paper: the In-Net deployment quickly instantiates "
+             "processing, diverts traffic, and restores service.",
+    )
+    pre = window_mean(timeline, timeline.single_server, 0, 120)
+    starved = window_mean(
+        timeline, timeline.single_server,
+        timeline.defense_at + 60, timeline.attack_end,
+    )
+    defended = window_mean(
+        timeline, timeline.with_innet,
+        timeline.defense_at + 60, timeline.attack_end,
+    )
+    assert starved < 0.1 * pre           # single server starved
+    assert defended > 0.5 * pre          # defense restores most service
+    assert timeline.proxies_deployed == 3

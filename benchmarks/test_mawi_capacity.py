@@ -1,0 +1,56 @@
+"""Section 6 (MAWI traces): is 1,000 clients a realistic target?
+
+Paper: 15-minute MAWI backbone traces show at most 1,600-4,000 active
+TCP connections and 400-840 active TCP clients at any moment, so a
+single In-Net platform on commodity hardware could run personalized
+firewalls for every active source on the backbone.
+"""
+
+from _report import fmt, print_table
+from repro.platform import CHEAP_SERVER_SPEC
+from repro.sim.traces import generate_trace, trace_statistics
+
+SEEDS = (2014, 113, 114, 115, 116)  # "taken between Jan 13th-17th"
+
+
+def run():
+    return [
+        trace_statistics(generate_trace(seed=seed)) for seed in SEEDS
+    ]
+
+
+def test_mawi_trace_statistics(benchmark):
+    stats = benchmark.pedantic(run, rounds=1, iterations=1)
+    rows = [
+        (
+            "day %d" % (index + 1),
+            s.total_connections,
+            "%d-%d" % (s.min_active_connections,
+                       s.max_active_connections),
+            "%d-%d" % (s.min_active_clients, s.max_active_clients),
+        )
+        for index, s in enumerate(stats)
+    ]
+    print_table(
+        "MAWI-like workload: activity per 15-minute trace",
+        ("trace", "connections", "active conns", "active clients"),
+        rows,
+        note="Paper: 1,600-4,000 active connections and 400-840 "
+             "active clients at any moment.",
+    )
+    for s in stats:
+        assert s.max_active_connections <= 4000
+        assert s.max_active_clients <= 840
+        assert s.max_active_clients >= 400
+
+    max_clients = max(s.max_active_clients for s in stats)
+    capacity = CHEAP_SERVER_SPEC.max_vms("clickos")
+    print_table(
+        "Capacity argument",
+        ("peak active clients", "cheap-box VM capacity", "headroom"),
+        [(max_clients, capacity,
+          fmt(capacity / max_clients, 1) + "x")],
+        note="One $1,000 platform covers every active source on the "
+             "backbone, with consolidation adding further headroom.",
+    )
+    assert capacity > max_clients

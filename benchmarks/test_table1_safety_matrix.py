@@ -1,0 +1,79 @@
+"""Table 1: running SYMNET to check middlebox safety.
+
+Paper: for twelve middlebox functionalities and three requester roles,
+static checking gives accurate verdicts; only the tunnel (third-party)
+and the x86 VM need runtime sandboxing.
+"""
+
+from _report import print_table
+from repro.common.addr import parse_ip
+from repro.core import (
+    ROLE_CLIENT,
+    ROLE_OPERATOR,
+    ROLE_THIRD_PARTY,
+    SecurityAnalyzer,
+)
+from repro.core.catalog import TABLE1_FUNCTIONALITIES, catalog_config
+from repro.core.security import addresses_to_whitelist
+
+PAPER_TABLE1 = {
+    "ip_router": ("X", "X", "ok"),
+    "dpi": ("X", "X", "ok"),
+    "nat": ("X", "X", "ok"),
+    "transparent_proxy": ("X", "X", "ok"),
+    "flow_meter": ("ok", "ok", "ok"),
+    "rate_limiter": ("ok", "ok", "ok"),
+    "firewall": ("ok", "ok", "ok"),
+    "tunnel": ("ok(s)", "ok", "ok"),
+    "multicast": ("ok", "ok", "ok"),
+    "dns_server": ("ok", "ok", "ok"),
+    "reverse_proxy": ("ok", "ok", "ok"),
+    "x86_vm": ("ok(s)", "ok(s)", "ok"),
+}
+
+MARKS = {"allow": "ok", "sandbox": "ok(s)", "reject": "X"}
+
+
+def run_matrix():
+    analyzer = SecurityAnalyzer()
+    module_addr = parse_ip("192.0.2.10")
+    whitelist = addresses_to_whitelist([
+        "172.16.15.133", "172.16.15.134",
+        "198.51.100.1", "198.51.100.2", "198.51.100.3",
+    ])
+    matrix = {}
+    for name in TABLE1_FUNCTIONALITIES:
+        config = catalog_config(name)
+        verdicts = tuple(
+            MARKS[
+                analyzer.analyze(
+                    config, role,
+                    module_address=module_addr, whitelist=whitelist,
+                ).verdict
+            ]
+            for role in (ROLE_THIRD_PARTY, ROLE_CLIENT, ROLE_OPERATOR)
+        )
+        matrix[name] = verdicts
+    return matrix
+
+
+def test_table1_safety_matrix(benchmark):
+    matrix = benchmark(run_matrix)
+    rows = []
+    mismatches = []
+    for name in TABLE1_FUNCTIONALITIES:
+        ours = matrix[name]
+        paper = PAPER_TABLE1[name]
+        rows.append((name,) + ours + (
+            "match" if ours == paper else "MISMATCH %r" % (paper,),
+        ))
+        if ours != paper:
+            mismatches.append(name)
+    print_table(
+        "Table 1: middlebox safety verdicts by requester role",
+        ("functionality", "third-party", "client", "operator",
+         "vs paper"),
+        rows,
+        note="X = rejected, ok = proven safe, ok(s) = needs sandbox.",
+    )
+    assert mismatches == [], mismatches

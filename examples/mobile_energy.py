@@ -1,0 +1,41 @@
+#!/usr/bin/env python3
+"""The push-notification energy experiment (Figure 13), end to end.
+
+For each batching interval: deploy the batcher module through the
+controller, run an hour of notification traffic through the deployed
+Click configuration, and feed the observed delivery schedule to the
+3G radio energy model.
+
+Run:  python examples/mobile_energy.py
+"""
+
+from repro.usecases import PushNotificationScenario
+
+
+def bar(value: float, scale: float = 4.0) -> str:
+    return "#" * int(value / scale)
+
+
+def main() -> None:
+    scenario = PushNotificationScenario()
+    print("Deploying the batcher and sweeping batching intervals")
+    print("(1 KB notification every 30 s; one hour simulated)\n")
+    unbatched = scenario.unbatched_power_mw()
+    print("%-16s %10s   %s" % ("batch interval", "avg power", ""))
+    print("%-16s %7.0f mW   %s" % (
+        "immediate", unbatched, bar(unbatched)))
+    for sample in scenario.energy_sweep():
+        print("%13.0f s  %7.0f mW   %s" % (
+            sample.batch_interval_s,
+            sample.average_power_mw,
+            bar(sample.average_power_mw),
+        ))
+    print(
+        "\nBatching cuts average power from ~240 mW to ~140 mW"
+        " (Figure 13): the client trades notification delay for"
+        " battery life, and the operator gets to meter the pushes."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,81 @@
+#!/usr/bin/env python3
+"""Quickstart: deploy the paper's Figure 4 push-notification batcher.
+
+Builds the Figure 3 operator network, submits the client request from
+Figure 4, watches the controller verify it with symbolic execution and
+place it on the only compliant platform, then pushes real packets
+through the deployed Click configuration.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import ClientRequest, Controller, Packet, Runtime
+from repro.click import UDP
+from repro.common.addr import parse_ip
+from repro.netmodel.examples import CLIENT_ADDR, figure3_network
+
+FIGURE4_CONFIG = """
+    FromNetfront() ->
+    IPFilter(allow udp port 1500) ->
+    IPRewriter(pattern - - 172.16.15.133 - 0 0)
+    -> TimedUnqueue(120, 100)
+    -> dst :: ToNetfront();
+"""
+
+FIGURE4_REQUIREMENTS = """
+    reach from internet udp
+        -> batcher:dst:0 dst 172.16.15.133
+        -> client dst port 1500
+           const proto && dst port && payload
+"""
+
+
+def main() -> None:
+    print("== In-Net quickstart: the Figure 4 walkthrough ==\n")
+    network = figure3_network()
+    controller = Controller(network)
+
+    print("Submitting the client request (role: operator customer)...")
+    result = controller.request(ClientRequest(
+        client_id="mobile1",
+        role="client",
+        config_source=FIGURE4_CONFIG,
+        requirements=FIGURE4_REQUIREMENTS,
+        owned_addresses=(CLIENT_ADDR,),
+        module_name="batcher",
+    ))
+    if not result:
+        raise SystemExit("request denied: %s" % result.reason)
+
+    print("  accepted   : yes")
+    print("  platform   : %s  (platforms 1/2 failed reachability)"
+          % result.platform)
+    print("  address    : %s" % result.address)
+    print("  sandboxed  : %s" % result.sandboxed)
+    print("  compile    : %.1f ms   check: %.1f ms"
+          % (result.compile_seconds * 1e3, result.check_seconds * 1e3))
+
+    print("\nPushing five UDP notifications through the module...")
+    record = controller.deployed["batcher"]
+    runtime = Runtime(record.config)
+    source = record.config.sources()[0]
+    for index in range(5):
+        runtime.inject(source, Packet(
+            ip_src=parse_ip("203.0.113.9"),
+            ip_dst=parse_ip(result.address),
+            ip_proto=UDP,
+            tp_dst=1500,
+            payload=b"notification-%d" % index,
+            length=1024,
+        ), at=float(index * 20))
+    runtime.run(until=240.0)
+    for egress in runtime.output:
+        print("  t=%6.1fs  %s  payload=%s" % (
+            egress.time, egress.packet, egress.packet["payload"].decode()
+        ))
+    print("\nAll five delivered in one 120-second batch -- the device's"
+          " radio woke once instead of five times.")
+
+
+if __name__ == "__main__":
+    main()

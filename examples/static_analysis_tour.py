@@ -1,0 +1,83 @@
+#!/usr/bin/env python3
+"""A tour of the symbolic execution engine: the paper's Figure 2.
+
+Reproduces the static-checking walkthrough of Section 3: a network
+with a stateful firewall that only allows outgoing UDP, and a content
+provider's server that answers by swapping source and destination.
+Symbolic execution proves (a) the payload arrives unchanged, and
+(b) the server's replies are implicitly authorized (IPdst is bound to
+the variable IPsrc had on ingress), so it is safe to host the server
+in the operator's network.
+
+Run:  python examples/static_analysis_tour.py
+"""
+
+from repro.click import parse_config
+from repro.common import fields as F
+from repro.core import ROLE_THIRD_PARTY, SecurityAnalyzer
+from repro.symexec import SymbolicEngine, SymGraph
+
+FIGURE2_NETWORK = """
+    client :: FromNetfront();
+    fw_out :: IPFilter(allow udp);
+    server :: EchoResponder();
+    back   :: ToNetfront();
+    client -> fw_out -> server -> back;
+"""
+
+
+def show_flow(flow) -> None:
+    print("  path     :", " -> ".join(t.node for t in flow.trace))
+    print("  writes   :", ", ".join(
+        "%s@%s" % (w.field, w.node) for w in flow.writes) or "(none)")
+    ingress = flow.trace[0].snapshot
+    egress = flow.trace[-1].snapshot
+    print("  ip_proto :", flow.field_domain(F.IP_PROTO))
+    print("  aliasing : egress ip_dst %s ingress ip_src  (uids %d / %d)"
+          % ("IS" if egress[F.IP_DST] == ingress[F.IP_SRC] else "is NOT",
+             egress[F.IP_DST], ingress[F.IP_SRC]))
+    print("  payload  : %s" % (
+        "invariant end-to-end"
+        if not flow.writers_of(F.PAYLOAD)
+        else "rewritten by " + "/".join(flow.writers_of(F.PAYLOAD))
+    ))
+
+
+def main() -> None:
+    print("== Figure 2: symbolic execution of firewall + server ==\n")
+    config = parse_config(FIGURE2_NETWORK)
+    engine = SymbolicEngine(SymGraph.from_click(config))
+    exploration = engine.inject("client")
+    print("symbolic flows delivered: %d  (model evaluations: %d)\n"
+          % (len(exploration.delivered), exploration.steps))
+    for flow in exploration.delivered:
+        show_flow(flow)
+
+    print("\n== The same proof, as the controller runs it ==\n")
+    analyzer = SecurityAnalyzer()
+    server_only = parse_config("""
+        src :: FromNetfront();
+        server :: EchoResponder();
+        out :: ToNetfront();
+        src -> server -> out;
+    """)
+    report = analyzer.analyze(server_only, ROLE_THIRD_PARTY)
+    print("third-party EchoResponder verdict: %s" % report.verdict)
+    print("-> the operator can host the content provider's server")
+    print("   without sandboxing: every reply goes back to its sender.")
+
+    print("\n== And a case it must refuse ==\n")
+    spoofer = parse_config("""
+        src :: FromNetfront();
+        evil :: SetIPSrc(6.6.6.6);
+        out :: ToNetfront();
+        src -> evil -> out;
+    """)
+    report = analyzer.analyze(spoofer, ROLE_THIRD_PARTY)
+    print("spoofing module verdict: %s" % report.verdict)
+    for finding in report.findings:
+        print("  %s" % finding)
+
+
+if __name__ == "__main__":
+    main()

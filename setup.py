@@ -1,0 +1,5 @@
+"""Setup shim: allows `python setup.py develop` on hosts without the
+`wheel` package (PEP 660 editable installs need it)."""
+from setuptools import setup
+
+setup()

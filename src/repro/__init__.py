@@ -1,0 +1,76 @@
+"""In-Net: in-network processing for the masses -- a reproduction.
+
+This library reproduces the system from *"In-Net: In-Network Processing
+for the Masses"* (Stoenescu et al., EuroSys 2015): an architecture that
+lets untrusted endpoints and content providers deploy custom packet
+processing on network operators' platforms, with **static analysis**
+(symbolic execution) standing between tenant code and the network.
+
+Quickstart::
+
+    from repro import Controller, ClientRequest, figure3_network
+
+    controller = Controller(figure3_network())
+    result = controller.request(ClientRequest(
+        client_id="me",
+        role="client",
+        config_source=\"\"\"
+            FromNetfront() ->
+            IPFilter(allow udp port 1500) ->
+            IPRewriter(pattern - - 172.16.15.133 - 0 0)
+            -> TimedUnqueue(120, 100)
+            -> dst :: ToNetfront();
+        \"\"\",
+        requirements="reach from internet udp -> client dst port 1500",
+        owned_addresses=("172.16.15.133",),
+    ))
+    print(result.platform, result.address)
+
+Package map (see DESIGN.md for the full inventory):
+
+* :mod:`repro.core` -- the controller, security rules, request API,
+* :mod:`repro.click` -- the Click dataplane (elements, parser, runtime),
+* :mod:`repro.symexec` -- SYMNET-style symbolic execution,
+* :mod:`repro.policy` -- the ``reach``/flow-spec requirement languages,
+* :mod:`repro.netmodel` -- operator topology snapshots,
+* :mod:`repro.platform` -- the ClickOS platform simulator,
+* :mod:`repro.sim` -- discrete-event simulation substrate,
+* :mod:`repro.usecases` -- the Section 8 end-to-end scenarios.
+"""
+
+from repro.click import ClickConfig, Packet, Runtime, parse_config
+from repro.core import (
+    ClientRequest,
+    Controller,
+    DeploymentResult,
+    ROLE_CLIENT,
+    ROLE_OPERATOR,
+    ROLE_THIRD_PARTY,
+    SecurityAnalyzer,
+)
+from repro.netmodel import Network, figure3_network
+from repro.policy import parse_flowspec, parse_requirement
+from repro.symexec import SymbolicEngine, SymGraph
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Controller",
+    "ClientRequest",
+    "DeploymentResult",
+    "SecurityAnalyzer",
+    "ROLE_THIRD_PARTY",
+    "ROLE_CLIENT",
+    "ROLE_OPERATOR",
+    "Network",
+    "figure3_network",
+    "Packet",
+    "Runtime",
+    "ClickConfig",
+    "parse_config",
+    "parse_flowspec",
+    "parse_requirement",
+    "SymbolicEngine",
+    "SymGraph",
+    "__version__",
+]

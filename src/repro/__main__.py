@@ -1,0 +1,197 @@
+"""Command-line interface: ``python -m repro``.
+
+Subcommands:
+
+* ``demo``                      -- run the Figure 4 walkthrough,
+* ``audit``                     -- print the Table 1 safety matrix,
+* ``check CONFIG.click``        -- statically analyse a configuration
+  file for a given role (exit code 0 = allow, 2 = sandbox, 3 = reject),
+* ``request REQUEST.json``      -- process a wire-format request
+  against the Figure 3 reference network and print the JSON reply,
+* ``trace CONFIG.click``        -- print the Figure 2-style symbolic
+  execution table for a configuration.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+
+def cmd_demo(_args) -> int:
+    from repro import ClientRequest, Controller, figure3_network
+
+    controller = Controller(figure3_network())
+    result = controller.request(ClientRequest(
+        client_id="mobile1",
+        role="client",
+        config_source="""
+            FromNetfront() ->
+            IPFilter(allow udp port 1500) ->
+            IPRewriter(pattern - - 172.16.15.133 - 0 0)
+            -> TimedUnqueue(120, 100)
+            -> dst :: ToNetfront();
+        """,
+        requirements="reach from internet udp -> client dst port 1500",
+        owned_addresses=("172.16.15.133",),
+        module_name="batcher",
+    ))
+    print("accepted : %s" % result.accepted)
+    print("platform : %s" % result.platform)
+    print("address  : %s" % result.address)
+    print("sandboxed: %s" % result.sandboxed)
+    return 0 if result.accepted else 1
+
+
+def cmd_audit(_args) -> int:
+    from repro.common.addr import parse_ip
+    from repro.core import SecurityAnalyzer
+    from repro.core.catalog import TABLE1_FUNCTIONALITIES, catalog_config
+    from repro.core.security import addresses_to_whitelist
+
+    analyzer = SecurityAnalyzer()
+    whitelist = addresses_to_whitelist(
+        ["172.16.15.133", "172.16.15.134",
+         "198.51.100.1", "198.51.100.2", "198.51.100.3"]
+    )
+    marks = {"allow": "ok", "sandbox": "ok(s)", "reject": "X"}
+    print("%-20s %-12s %-8s %-8s" % (
+        "functionality", "third-party", "client", "operator",
+    ))
+    for name in TABLE1_FUNCTIONALITIES:
+        config = catalog_config(name)
+        row = [name]
+        for role in ("third-party", "client", "operator"):
+            report = analyzer.analyze(
+                config, role,
+                module_address=parse_ip("192.0.2.10"),
+                whitelist=whitelist,
+            )
+            row.append(marks[report.verdict])
+        print("%-20s %-12s %-8s %-8s" % tuple(row))
+    return 0
+
+
+def cmd_check(args) -> int:
+    from repro.click import parse_config
+    from repro.common.addr import parse_ip
+    from repro.core import SecurityAnalyzer
+    from repro.core.security import addresses_to_whitelist
+
+    with open(args.config) as handle:
+        source = handle.read()
+    config = parse_config(source)
+    config.validate()
+    report = SecurityAnalyzer().analyze(
+        config,
+        args.role,
+        module_address=parse_ip(args.module_address),
+        whitelist=addresses_to_whitelist(args.whitelist or []),
+    )
+    print(report)
+    return {"allow": 0, "sandbox": 2, "reject": 3}[report.verdict]
+
+
+def cmd_request(args) -> int:
+    from repro import Controller, figure3_network
+    from repro.core.api import request_from_json, result_to_json
+
+    with open(args.request) as handle:
+        wire = handle.read()
+    controller = Controller(figure3_network())
+    result = controller.request(request_from_json(wire))
+    print(result_to_json(result))
+    return 0 if result.accepted else 1
+
+
+def cmd_elements(_args) -> int:
+    from repro.click.element import element_registry
+    from repro.symexec.models import has_model
+
+    registry = element_registry()
+    print("%-22s %4s %4s %-8s %-6s %s" % (
+        "element", "in", "out", "stateful", "model", "summary",
+    ))
+    for name in sorted(registry):
+        cls = registry[name]
+        doc = (cls.__doc__ or "").strip().splitlines()
+        summary = doc[0] if doc else ""
+        n_in = "any" if cls.n_inputs is None else str(cls.n_inputs)
+        n_out = "any" if cls.n_outputs is None else str(cls.n_outputs)
+        if isinstance(cls.stateful, bool):
+            stateful = "yes" if cls.stateful else "no"
+        else:
+            stateful = "dyn"  # depends on configuration (IPRewriter)
+        print("%-22s %4s %4s %-8s %-6s %s" % (
+            name, n_in, n_out, stateful,
+            "yes" if has_model(name) else "NO",
+            summary[:60],
+        ))
+    print("\n%d elements registered; every one has a symbolic model."
+          % len(registry))
+    return 0
+
+
+def cmd_trace(args) -> int:
+    from repro.click import parse_config
+    from repro.symexec import SymbolicEngine, SymGraph
+    from repro.symexec.render import format_exploration
+
+    with open(args.config) as handle:
+        source = handle.read()
+    config = parse_config(source)
+    engine = SymbolicEngine(SymGraph.from_click(config))
+    sources = config.sources()
+    if not sources:
+        print("configuration has no source element", file=sys.stderr)
+        return 1
+    exploration = engine.inject(sources[0])
+    print(format_exploration(exploration))
+    print("\n%d flows delivered, %d dropped, %d model evaluations"
+          % (len(exploration.delivered), len(exploration.dropped),
+             exploration.steps))
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="In-Net (EuroSys 2015) reproduction toolkit",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+    sub.add_parser("demo", help="run the Figure 4 walkthrough")
+    sub.add_parser("audit", help="print the Table 1 safety matrix")
+    sub.add_parser("elements", help="list the Click element library")
+    check = sub.add_parser("check", help="statically analyse a config")
+    check.add_argument("config", help="Click configuration file")
+    check.add_argument("--role", default="third-party",
+                       choices=("third-party", "client", "operator"))
+    check.add_argument("--module-address", default="192.0.2.10")
+    check.add_argument("--whitelist", nargs="*", metavar="ADDR")
+    request = sub.add_parser(
+        "request", help="process a wire-format request"
+    )
+    request.add_argument("request", help="JSON request file")
+    trace = sub.add_parser(
+        "trace", help="print the symbolic execution table"
+    )
+    trace.add_argument("config", help="Click configuration file")
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    handlers = {
+        "demo": cmd_demo,
+        "audit": cmd_audit,
+        "elements": cmd_elements,
+        "check": cmd_check,
+        "request": cmd_request,
+        "trace": cmd_trace,
+    }
+    return handlers[args.command](args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,70 @@
+"""A Python implementation of the Click modular router.
+
+This is the dataplane substrate of the In-Net reproduction: processing
+modules submitted by In-Net tenants are Click configurations, and this
+package parses, instantiates, and runs them.
+
+The public surface:
+
+* :class:`repro.click.Packet` -- the unit of processing,
+* :func:`repro.click.parse_config` -- Click-language parser producing a
+  :class:`repro.click.ClickConfig` element graph,
+* :class:`repro.click.Runtime` -- event-driven engine that pushes packets
+  through an instantiated graph on a simulated clock,
+* :mod:`repro.click.elements` -- the element library (filters, rewriters,
+  shapers, stateful firewalls, tunnels, the ``ChangeEnforcer`` sandbox...).
+"""
+
+from repro.click.config import ClickConfig, parse_config
+from repro.click.element import (
+    Element,
+    create_element,
+    element_registry,
+    register_element,
+)
+from repro.click.packet import (
+    GRE,
+    ICMP,
+    IP_DST,
+    IP_PROTO,
+    IP_SRC,
+    IP_TOS,
+    IP_TTL,
+    PAYLOAD,
+    SCTP,
+    TCP,
+    TCP_FLAGS,
+    TP_DST,
+    TP_SRC,
+    UDP,
+    Packet,
+)
+from repro.click.runtime import Runtime
+
+# Importing the element package registers every built-in element class.
+import repro.click.elements  # noqa: F401  (import for side effects)
+
+__all__ = [
+    "Packet",
+    "Element",
+    "register_element",
+    "create_element",
+    "element_registry",
+    "parse_config",
+    "ClickConfig",
+    "Runtime",
+    "IP_SRC",
+    "IP_DST",
+    "IP_PROTO",
+    "IP_TTL",
+    "IP_TOS",
+    "TP_SRC",
+    "TP_DST",
+    "TCP_FLAGS",
+    "PAYLOAD",
+    "TCP",
+    "UDP",
+    "ICMP",
+    "SCTP",
+    "GRE",
+]

@@ -1,0 +1,591 @@
+"""Parser for the Click configuration language.
+
+In-Net clients express processing requests as Click configurations
+(Section 4.1), e.g.::
+
+    FromNetfront() ->
+    IPFilter(allow udp port 1500) ->
+    IPRewriter(pattern - - 172.16.15.133 - 0 0)
+    -> TimedUnqueue(120, 100)
+    -> dst :: ToNetfront()
+
+The grammar supported here covers what the paper uses:
+
+* declarations        ``name :: ClassName(args)`` (also ``a, b :: C``),
+* connections         ``expr -> expr -> expr;`` with optional port
+  selectors ``name[1]`` / ``[1]name``,
+* inline anonymous elements inside connection chains,
+* ``//`` and ``/* ... */`` comments; statements separated by ``;`` or
+  newlines.
+
+The result is a :class:`ClickConfig`: a named element graph that both the
+concrete runtime (:mod:`repro.click.runtime`) and the symbolic engine
+(:mod:`repro.symexec`) consume.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Dict, Iterator, List, NamedTuple, Optional, Tuple
+
+from repro.common.errors import ConfigError
+
+
+class ElementDecl(NamedTuple):
+    """A declared element: its class and raw textual arguments."""
+
+    class_name: str
+    args: Tuple[str, ...]
+
+
+class Edge(NamedTuple):
+    """A directed connection between two element ports."""
+
+    src: str
+    src_port: int
+    dst: str
+    dst_port: int
+
+
+class ClickConfig:
+    """A parsed Click configuration: declarations plus connections."""
+
+    def __init__(self):
+        self.elements: Dict[str, ElementDecl] = {}
+        self.edges: List[Edge] = []
+        self._anon_counter = 0
+
+    # -- construction ------------------------------------------------------
+    def declare(
+        self, name: str, class_name: str, args: Tuple[str, ...] = ()
+    ) -> str:
+        """Declare element ``name`` of ``class_name``; returns the name."""
+        if name in self.elements:
+            raise ConfigError("element %r declared twice" % (name,))
+        self.elements[name] = ElementDecl(class_name, tuple(args))
+        return name
+
+    def declare_anonymous(
+        self, class_name: str, args: Tuple[str, ...] = ()
+    ) -> str:
+        """Declare an anonymous element, generating a unique name."""
+        self._anon_counter += 1
+        name = "%s@%d" % (class_name, self._anon_counter)
+        while name in self.elements:
+            self._anon_counter += 1
+            name = "%s@%d" % (class_name, self._anon_counter)
+        return self.declare(name, class_name, args)
+
+    def connect(
+        self, src: str, dst: str, src_port: int = 0, dst_port: int = 0
+    ) -> None:
+        """Connect ``src[src_port] -> [dst_port]dst``."""
+        for name in (src, dst):
+            if name not in self.elements:
+                raise ConfigError("connection references undeclared %r" % name)
+        self.edges.append(Edge(src, src_port, dst, dst_port))
+
+    # -- queries ---------------------------------------------------------------
+    def successors(self, name: str, port: int) -> List[Tuple[str, int]]:
+        """Elements fed by output ``port`` of ``name``."""
+        return [
+            (e.dst, e.dst_port)
+            for e in self.edges
+            if e.src == name and e.src_port == port
+        ]
+
+    def predecessors(self, name: str, port: int) -> List[Tuple[str, int]]:
+        """Elements feeding input ``port`` of ``name``."""
+        return [
+            (e.src, e.src_port)
+            for e in self.edges
+            if e.dst == name and e.dst_port == port
+        ]
+
+    def sources(self) -> List[str]:
+        """Elements with no incoming edges (typically FromNetfront)."""
+        have_input = {e.dst for e in self.edges}
+        return [n for n in self.elements if n not in have_input]
+
+    def sinks(self) -> List[str]:
+        """Elements with no outgoing edges (typically ToNetfront)."""
+        have_output = {e.src for e in self.edges}
+        return [n for n in self.elements if n not in have_output]
+
+    def elements_of_class(self, class_name: str) -> List[str]:
+        """Names of every element declared with ``class_name``."""
+        return [
+            name
+            for name, decl in self.elements.items()
+            if decl.class_name == class_name
+        ]
+
+    def used_output_ports(self, name: str) -> List[int]:
+        """Sorted distinct output ports of ``name`` that are connected."""
+        return sorted({e.src_port for e in self.edges if e.src == name})
+
+    # -- validation ----------------------------------------------------------
+    def validate(self, registry: Optional[Dict[str, type]] = None) -> None:
+        """Check element classes exist and port usage fits their arity."""
+        if registry is None:
+            from repro.click.element import element_registry
+
+            registry = element_registry()
+        for name, decl in self.elements.items():
+            cls = registry.get(decl.class_name)
+            if cls is None:
+                raise ConfigError(
+                    "element %r uses unknown class %r"
+                    % (name, decl.class_name)
+                )
+            max_out = max(
+                (e.src_port for e in self.edges if e.src == name), default=-1
+            )
+            max_in = max(
+                (e.dst_port for e in self.edges if e.dst == name), default=-1
+            )
+            if cls.n_outputs is not None and max_out >= cls.n_outputs:
+                raise ConfigError(
+                    "%r (%s) has %d outputs, port %d used"
+                    % (name, decl.class_name, cls.n_outputs, max_out)
+                )
+            if cls.n_inputs is not None and max_in >= cls.n_inputs:
+                raise ConfigError(
+                    "%r (%s) has %d inputs, port %d used"
+                    % (name, decl.class_name, cls.n_inputs, max_in)
+                )
+        # Any two edges leaving the same (element, port) would duplicate
+        # packets implicitly; Click requires an explicit Tee.
+        seen_out = set()
+        for e in self.edges:
+            key = (e.src, e.src_port)
+            if key in seen_out:
+                raise ConfigError(
+                    "output port %s[%d] connected twice (use Tee)" % key
+                )
+            seen_out.add(key)
+
+    # -- serialization ----------------------------------------------------------
+    def to_click(self) -> str:
+        """Render back to Click-language source text."""
+        lines = []
+        for name, decl in self.elements.items():
+            lines.append(
+                "%s :: %s(%s);" % (name, decl.class_name, ", ".join(decl.args))
+            )
+        for e in self.edges:
+            lines.append(
+                "%s[%d] -> [%d]%s;" % (e.src, e.src_port, e.dst_port, e.dst)
+            )
+        return "\n".join(lines)
+
+    def __repr__(self) -> str:
+        return "ClickConfig(%d elements, %d edges)" % (
+            len(self.elements),
+            len(self.edges),
+        )
+
+
+# ---------------------------------------------------------------------------
+# Tokenizer
+# ---------------------------------------------------------------------------
+
+_TOKEN_RE = re.compile(
+    r"""
+    (?P<ws>\s+)
+  | (?P<line_comment>//[^\n]*)
+  | (?P<block_comment>/\*.*?\*/)
+  | (?P<dcolon>::)
+  | (?P<arrow>->)
+  | (?P<lbracket>\[)
+  | (?P<rbracket>\])
+  | (?P<lbrace>\{)
+  | (?P<rbrace>\})
+  | (?P<semi>;)
+  | (?P<comma>,)
+  | (?P<lparen>\()
+  | (?P<ident>[A-Za-z_][A-Za-z0-9_/@.-]*)
+  | (?P<number>\d+)
+    """,
+    re.VERBOSE | re.DOTALL,
+)
+
+
+class _Token(NamedTuple):
+    kind: str
+    text: str
+    pos: int
+
+
+def _tokenize(source: str) -> List[_Token]:
+    tokens: List[_Token] = []
+    pos = 0
+    while pos < len(source):
+        match = _TOKEN_RE.match(source, pos)
+        if match is None:
+            raise ConfigError(
+                "unexpected character %r at offset %d" % (source[pos], pos)
+            )
+        kind = match.lastgroup
+        text = match.group()
+        if kind == "lparen":
+            # Consume a balanced argument blob as a single token.
+            depth = 1
+            end = match.end()
+            while end < len(source) and depth:
+                if source[end] == "(":
+                    depth += 1
+                elif source[end] == ")":
+                    depth -= 1
+                end += 1
+            if depth:
+                raise ConfigError("unbalanced parentheses at offset %d" % pos)
+            tokens.append(_Token("args", source[match.end():end - 1], pos))
+            pos = end
+            continue
+        if kind not in ("ws", "line_comment", "block_comment"):
+            tokens.append(_Token(kind, text, pos))
+        pos = match.end()
+    return tokens
+
+
+def split_args(blob: str) -> Tuple[str, ...]:
+    """Split a Click argument blob on top-level commas.
+
+    >>> split_args("allow udp, deny all")
+    ('allow udp', 'deny all')
+    """
+    parts: List[str] = []
+    depth = 0
+    current: List[str] = []
+    for char in blob:
+        if char == "(":
+            depth += 1
+        elif char == ")":
+            depth -= 1
+        if char == "," and depth == 0:
+            parts.append("".join(current).strip())
+            current = []
+        else:
+            current.append(char)
+    tail = "".join(current).strip()
+    if tail or parts:
+        parts.append(tail)
+    return tuple(p for p in parts if p != "")
+
+
+# ---------------------------------------------------------------------------
+# Parser
+# ---------------------------------------------------------------------------
+
+
+#: Pseudo element class used for `input`/`output` inside elementclass
+#: bodies; removed during expansion.
+_PORT_PSEUDO_CLASS = "__compound_port__"
+
+
+class _Parser:
+    """Recursive-descent parser over the token list."""
+
+    def __init__(
+        self,
+        tokens: List[_Token],
+        classes: Optional[Dict[str, "ClickConfig"]] = None,
+        in_elementclass: bool = False,
+    ):
+        self.tokens = tokens
+        self.index = 0
+        self.config = ClickConfig()
+        #: User-defined compound element classes (elementclass NAME {..}).
+        self.classes: Dict[str, ClickConfig] = (
+            classes if classes is not None else {}
+        )
+        self.in_elementclass = in_elementclass
+        if in_elementclass:
+            # `input` and `output` are implicitly declared pseudo
+            # elements inside a compound body.
+            self.config.declare("input", _PORT_PSEUDO_CLASS)
+            self.config.declare("output", _PORT_PSEUDO_CLASS)
+
+    # -- token helpers ----------------------------------------------------
+    def _peek(self, offset: int = 0) -> Optional[_Token]:
+        idx = self.index + offset
+        if idx < len(self.tokens):
+            return self.tokens[idx]
+        return None
+
+    def _next(self) -> _Token:
+        token = self._peek()
+        if token is None:
+            raise ConfigError("unexpected end of configuration")
+        self.index += 1
+        return token
+
+    def _accept(self, kind: str) -> Optional[_Token]:
+        token = self._peek()
+        if token is not None and token.kind == kind:
+            self.index += 1
+            return token
+        return None
+
+    def _expect(self, kind: str) -> _Token:
+        token = self._next()
+        if token.kind != kind:
+            raise ConfigError(
+                "expected %s at offset %d, got %r"
+                % (kind, token.pos, token.text)
+            )
+        return token
+
+    # -- grammar ------------------------------------------------------------
+    def parse(self) -> ClickConfig:
+        return _expand_compounds(self.parse_raw(), self.classes)
+
+    def parse_raw(self) -> ClickConfig:
+        """Parse without expanding user-defined compound elements."""
+        while self._peek() is not None:
+            if self._accept("semi"):
+                continue
+            self._statement()
+        return self.config
+
+    def _statement(self) -> None:
+        token = self._peek()
+        if token.kind == "ident" and token.text == "elementclass":
+            self._elementclass()
+            self._accept("semi")
+            return
+        # Lookahead to distinguish `a, b :: C(...)` declarations from
+        # connection chains.
+        if self._is_declaration():
+            self._declaration()
+        else:
+            self._connection_chain()
+        # Statements end at `;` or end-of-input.
+        self._accept("semi")
+
+    def _elementclass(self) -> None:
+        """Parse ``elementclass Name { ...body... }``."""
+        self._next()  # the `elementclass` keyword
+        name = self._expect("ident").text
+        if name in self.classes:
+            raise ConfigError("elementclass %r defined twice" % (name,))
+        self._expect("lbrace")
+        # Collect the body tokens up to the matching closing brace.
+        depth = 1
+        body: List[_Token] = []
+        while depth:
+            token = self._next()
+            if token.kind == "lbrace":
+                depth += 1
+            elif token.kind == "rbrace":
+                depth -= 1
+                if not depth:
+                    break
+            body.append(token)
+        inner = _Parser(body, classes=self.classes,
+                        in_elementclass=True)
+        self.classes[name] = inner.parse_raw()
+
+    def _is_declaration(self) -> bool:
+        """True if the statement starting here is `name[, name]* :: ...`."""
+        offset = 0
+        while True:
+            token = self._peek(offset)
+            if token is None or token.kind != "ident":
+                return False
+            nxt = self._peek(offset + 1)
+            if nxt is None:
+                return False
+            if nxt.kind == "dcolon":
+                return True
+            if nxt.kind == "comma":
+                offset += 2
+                continue
+            return False
+
+    def _declaration(self) -> None:
+        names = [self._expect("ident").text]
+        while self._accept("comma"):
+            names.append(self._expect("ident").text)
+        self._expect("dcolon")
+        class_name = self._expect("ident").text
+        args_token = self._accept("args")
+        args = split_args(args_token.text) if args_token else ()
+        for name in names:
+            self.config.declare(name, class_name, args)
+
+    def _connection_chain(self) -> None:
+        prev_name, prev_out = self._endpoint()
+        while self._accept("arrow"):
+            in_port = self._port_selector()
+            name, out_port = self._endpoint(input_port_known=True)
+            self.config.connect(prev_name, name, prev_out, in_port)
+            prev_name, prev_out = name, out_port
+
+    def _port_selector(self) -> int:
+        if self._accept("lbracket"):
+            number = self._expect("number")
+            self._expect("rbracket")
+            return int(number.text)
+        return 0
+
+    def _endpoint(self, input_port_known: bool = False) -> Tuple[str, int]:
+        """Parse `name`, `name[p]`, `[p]name`, or `Class(args)` inline.
+
+        Returns ``(element_name, output_port)``.  Leading input-port
+        selectors are only consumed when not already parsed by the caller.
+        """
+        if not input_port_known and self._peek().kind == "lbracket":
+            # Chains may not *start* with an input selector.
+            raise ConfigError(
+                "connection chain cannot start with an input port selector"
+            )
+        token = self._expect("ident")
+        args_token = self._accept("args")
+        if args_token is not None:
+            # Inline anonymous element: `ClassName(args)`.
+            name = self.config.declare_anonymous(
+                token.text, split_args(args_token.text)
+            )
+        elif (
+            self._peek() is not None
+            and self._peek().kind == "dcolon"
+        ):
+            # Inline named declaration: `dst :: ToNetfront()`.
+            self._next()
+            class_name = self._expect("ident").text
+            inline_args = self._accept("args")
+            name = self.config.declare(
+                token.text,
+                class_name,
+                split_args(inline_args.text) if inline_args else (),
+            )
+        elif token.text not in self.config.elements:
+            # Bare class name used inline: `... -> Discard;`
+            from repro.click.element import element_registry
+
+            if (
+                token.text in element_registry()
+                or token.text in self.classes
+            ):
+                name = self.config.declare_anonymous(token.text)
+            else:
+                raise ConfigError(
+                    "connection references undeclared element %r"
+                    % (token.text,)
+                )
+        else:
+            name = token.text
+        out_port = self._port_selector()
+        return name, out_port
+
+
+def _expand_compounds(
+    config: ClickConfig,
+    classes: Dict[str, ClickConfig],
+    depth: int = 0,
+) -> ClickConfig:
+    """Inline every compound-element instance (``elementclass``).
+
+    Each instance's body elements become ``instance/inner`` elements;
+    the body's ``input``/``output`` pseudo elements define the port
+    mapping onto the instance's outer connections.  Nested compound
+    classes expand recursively.
+    """
+    if depth > 16:
+        raise ConfigError("elementclass nesting too deep (cycle?)")
+    compound_names = [
+        name
+        for name, decl in config.elements.items()
+        if decl.class_name in classes
+    ]
+    if not compound_names:
+        return config
+    expanded = ClickConfig()
+    expanded._anon_counter = config._anon_counter
+    for name, decl in config.elements.items():
+        if decl.class_name not in classes:
+            expanded.elements[name] = decl
+    input_maps: Dict[str, Dict[int, Tuple[str, int]]] = {}
+    output_maps: Dict[str, Dict[int, Tuple[str, int]]] = {}
+    new_edges: List[Edge] = []
+    for name in compound_names:
+        decl = config.elements[name]
+        if decl.args:
+            raise ConfigError(
+                "compound element %r takes no configuration arguments"
+                % (name,)
+            )
+        body = classes[decl.class_name]
+        for inner_name, inner_decl in body.elements.items():
+            if inner_decl.class_name == _PORT_PSEUDO_CLASS:
+                continue
+            expanded.elements["%s/%s" % (name, inner_name)] = inner_decl
+        input_map: Dict[int, Tuple[str, int]] = {}
+        output_map: Dict[int, Tuple[str, int]] = {}
+        for edge in body.edges:
+            from_input = edge.src == "input"
+            to_output = edge.dst == "output"
+            if from_input and to_output:
+                raise ConfigError(
+                    "elementclass %r wires input straight to output"
+                    % (decl.class_name,)
+                )
+            if from_input:
+                if edge.src_port in input_map:
+                    raise ConfigError(
+                        "elementclass %r input port %d fans out "
+                        "(use a Tee)" % (decl.class_name, edge.src_port)
+                    )
+                input_map[edge.src_port] = (
+                    "%s/%s" % (name, edge.dst), edge.dst_port,
+                )
+            elif to_output:
+                if edge.dst_port in output_map:
+                    raise ConfigError(
+                        "elementclass %r output port %d driven twice"
+                        % (decl.class_name, edge.dst_port)
+                    )
+                output_map[edge.dst_port] = (
+                    "%s/%s" % (name, edge.src), edge.src_port,
+                )
+            else:
+                new_edges.append(Edge(
+                    "%s/%s" % (name, edge.src), edge.src_port,
+                    "%s/%s" % (name, edge.dst), edge.dst_port,
+                ))
+        input_maps[name] = input_map
+        output_maps[name] = output_map
+    for edge in config.edges:
+        src, src_port = edge.src, edge.src_port
+        dst, dst_port = edge.dst, edge.dst_port
+        if src in output_maps:
+            mapped = output_maps[src].get(src_port)
+            if mapped is None:
+                raise ConfigError(
+                    "compound %r has no output port %d"
+                    % (src, src_port)
+                )
+            src, src_port = mapped
+        if dst in input_maps:
+            mapped = input_maps[dst].get(dst_port)
+            if mapped is None:
+                raise ConfigError(
+                    "compound %r has no input port %d"
+                    % (dst, dst_port)
+                )
+            dst, dst_port = mapped
+        new_edges.append(Edge(src, src_port, dst, dst_port))
+    expanded.edges = new_edges
+    return _expand_compounds(expanded, classes, depth + 1)
+
+
+def parse_config(source: str) -> ClickConfig:
+    """Parse Click-language ``source`` into a :class:`ClickConfig`.
+
+    Supports ``elementclass`` compound definitions; instances are
+    expanded inline, so the returned graph only contains primitive
+    elements (and is therefore directly checkable and runnable).
+    """
+    return _Parser(_tokenize(source)).parse()

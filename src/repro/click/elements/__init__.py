@@ -1,0 +1,24 @@
+"""The built-in Click element library.
+
+Importing this package registers every element class with the registry in
+:mod:`repro.click.element`.  The set covers everything the paper's
+configurations and Table 1 middleboxes need: I/O endpoints, classifiers,
+rewriters (including the NAT-style ``IPRewriter``), traffic shaping and
+batching, per-flow metering, stateful firewalls, tunnels, DPI, multicast,
+and the ``ChangeEnforcer`` sandbox element (Section 4.4).
+"""
+
+from repro.click.elements import (  # noqa: F401
+    classify,
+    dpi,
+    io,
+    multicast,
+    rewrite,
+    sandbox,
+    shaping,
+    stateful,
+    stats,
+    switching,
+    tunnel,
+    web,
+)

@@ -1,0 +1,98 @@
+"""I/O endpoint elements.
+
+``FromNetfront``/``ToNetfront`` are the ClickOS paravirtualized NIC
+endpoints the paper's configurations use; ``FromDevice``/``ToDevice`` are
+accepted as aliases.  ``Discard`` and ``Idle`` are the usual Click
+traffic sinks.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.click.element import Element, PushResult, register_element
+
+
+@register_element("FromNetfront")
+class FromNetfront(Element):
+    """Ingress endpoint: packets are injected here by the platform.
+
+    Takes an optional interface-name argument (ignored, kept for
+    fidelity with real configurations).
+    """
+
+    n_inputs = 1  # the runtime injects via input port 0
+    n_outputs = 1
+    cycle_cost = 0.6
+
+    def configure(self, args: List[str]) -> None:
+        self.require_args(args, 0, 1)
+        self.interface = args[0] if args else "0"
+
+    def push(self, port: int, packet) -> PushResult:
+        return [(0, packet)]
+
+
+@register_element("ToNetfront")
+class ToNetfront(Element):
+    """Egress endpoint: packets pushed here leave the configuration.
+
+    The runtime records them in :attr:`Runtime.output`.
+    """
+
+    n_inputs = 1
+    n_outputs = 0
+    is_sink = True
+    cycle_cost = 0.6
+
+    def configure(self, args: List[str]) -> None:
+        self.require_args(args, 0, 1)
+        self.interface = args[0] if args else "0"
+        self.count = 0
+
+    def push(self, port: int, packet) -> PushResult:
+        self.count += 1
+        # Routed by the runtime straight into the egress record list.
+        return [(0, packet)]
+
+
+@register_element("FromDevice")
+class FromDevice(FromNetfront):
+    """Alias of :class:`FromNetfront` for vanilla Click configs."""
+
+
+@register_element("ToDevice")
+class ToDevice(ToNetfront):
+    """Alias of :class:`ToNetfront` for vanilla Click configs."""
+
+
+@register_element("Discard")
+class Discard(Element):
+    """Swallows every packet."""
+
+    n_inputs = 1
+    n_outputs = 0
+    cycle_cost = 0.2
+
+    def configure(self, args: List[str]) -> None:
+        self.require_args(args, 0, 0)
+        self.count = 0
+
+    def push(self, port: int, packet) -> PushResult:
+        self.count += 1
+        return []
+
+
+@register_element("Idle")
+class Idle(Element):
+    """Never emits and silently drops anything pushed to it."""
+
+    n_inputs = None
+    n_outputs = None
+    cycle_cost = 0.0
+
+    def configure(self, args: List[str]) -> None:
+        self.require_args(args, 0, 0)
+
+    def push(self, port: int, packet) -> PushResult:
+        return []

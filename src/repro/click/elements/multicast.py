@@ -1,0 +1,38 @@
+"""Multicast replication element (Table 1 "Multicast" row)."""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.click.element import Element, PushResult, register_element
+from repro.click.packet import IP_DST
+from repro.common.addr import parse_ip
+from repro.common.errors import ConfigError
+
+
+@register_element("Multicast")
+class Multicast(Element):
+    """Replicates each packet to a fixed list of destination addresses.
+
+    ``Multicast(ADDR1, ADDR2, ...)`` -- one copy per address, all out
+    port 0 with the destination rewritten.  Because the destination set
+    is a static constant list, static analysis can check every generated
+    destination against the requester's white-list, which is why Table 1
+    marks multicast safe (checkable) for third parties.
+    """
+
+    cycle_cost = 1.8
+
+    def configure(self, args: List[str]) -> None:
+        if not args:
+            raise ConfigError("Multicast needs at least one destination")
+        self.destinations = [parse_ip(a) for a in args]
+
+    def push(self, port: int, packet) -> PushResult:
+        results: PushResult = []
+        for index, dest in enumerate(self.destinations):
+            copy = packet if index == len(self.destinations) - 1 \
+                else packet.copy()
+            copy[IP_DST] = dest
+            results.append((0, copy))
+        return results

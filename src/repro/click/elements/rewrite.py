@@ -1,0 +1,310 @@
+"""Header rewriting elements.
+
+``IPRewriter`` follows Click's pattern syntax
+(``pattern SADDR SPORT DADDR DPORT FOUTPUT ROUTPUT``) with ``-`` meaning
+"leave unchanged"; it is the workhorse behind the paper's NAT, the
+push-notification forwarder of Figure 4, and the Table 1 "NAT" row.
+Simpler single-field setters and TTL manipulation live here too.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from repro.click.element import (
+    Element,
+    PushResult,
+    parse_int_arg,
+    register_element,
+)
+from repro.click.packet import IP_DST, IP_SRC, IP_TTL, TP_DST, TP_SRC
+from repro.common.addr import parse_ip
+from repro.common.errors import ConfigError
+
+
+@dataclass
+class RewritePattern:
+    """One parsed ``pattern`` clause of an IPRewriter."""
+
+    src_addr: Optional[int]              # None = unchanged
+    src_port: Optional[Tuple[int, int]]  # None = unchanged; (lo,hi) range
+    dst_addr: Optional[int]
+    dst_port: Optional[Tuple[int, int]]
+    fwd_output: int
+    rev_output: int
+
+    @property
+    def allocates_ports(self) -> bool:
+        """Whether any port field maps to a range (needs per-flow state)."""
+        for port_range in (self.src_port, self.dst_port):
+            if port_range is not None and port_range[0] != port_range[1]:
+                return True
+        return False
+
+    @property
+    def rewrites_source(self) -> bool:
+        """Whether the pattern changes the source address or port."""
+        return self.src_addr is not None or self.src_port is not None
+
+
+def _parse_addr_field(token: str, what: str) -> Optional[int]:
+    if token == "-":
+        return None
+    try:
+        return parse_ip(token)
+    except Exception:
+        raise ConfigError("bad %s %r in IPRewriter pattern" % (what, token))
+
+
+def _parse_port_field(token: str, what: str) -> Optional[Tuple[int, int]]:
+    if token == "-":
+        return None
+    if "-" in token:
+        low_text, _, high_text = token.partition("-")
+        if not (low_text.isdigit() and high_text.isdigit()):
+            raise ConfigError("bad %s %r in IPRewriter pattern" % (what,
+                                                                   token))
+        low, high = int(low_text), int(high_text)
+    else:
+        if not token.isdigit():
+            raise ConfigError("bad %s %r in IPRewriter pattern" % (what,
+                                                                   token))
+        low = high = int(token)
+    if high > 65535 or low > high:
+        raise ConfigError("bad %s %r in IPRewriter pattern" % (what, token))
+    return (low, high)
+
+
+def parse_rewrite_pattern(text: str) -> RewritePattern:
+    """Parse ``pattern SADDR SPORT DADDR DPORT FOUT ROUT``."""
+    tokens = text.split()
+    if not tokens or tokens[0].lower() != "pattern":
+        raise ConfigError("IPRewriter rule must start with 'pattern': %r"
+                          % (text,))
+    if len(tokens) != 7:
+        raise ConfigError(
+            "IPRewriter pattern needs 6 fields, got %d in %r"
+            % (len(tokens) - 1, text)
+        )
+    return RewritePattern(
+        src_addr=_parse_addr_field(tokens[1], "source address"),
+        src_port=_parse_port_field(tokens[2], "source port"),
+        dst_addr=_parse_addr_field(tokens[3], "destination address"),
+        dst_port=_parse_port_field(tokens[4], "destination port"),
+        fwd_output=parse_int_arg(tokens[5], "forward output"),
+        rev_output=parse_int_arg(tokens[6], "reverse output"),
+    )
+
+
+@register_element("IPRewriter")
+class IPRewriter(Element):
+    """Click-style NAT rewriter.
+
+    Each input port is configured by one argument.  Supported forms:
+
+    * ``pattern SADDR SPORT DADDR DPORT FOUT ROUT`` -- rewrite the flow
+      per pattern, remember the mapping, and emit on ``FOUT``; reply
+      packets of a known mapping arriving on any input are inverse-
+      rewritten and emitted on ``ROUT``.
+    * ``drop`` -- drop packets arriving on that input.
+
+    The element is *stateless in effect* when no pattern allocates ports
+    from a range and none rewrites the source (the Figure 4 forwarder):
+    in that case every packet is rewritten identically, no per-flow
+    memory is needed, and the platform may consolidate the config.
+    """
+
+    n_inputs = None
+    n_outputs = None
+    cycle_cost = 2.0
+
+    def configure(self, args: List[str]) -> None:
+        if not args:
+            raise ConfigError("IPRewriter needs at least one input spec")
+        self.inputs: List[Optional[RewritePattern]] = []
+        for arg in args:
+            text = arg.strip()
+            if text.lower() == "drop":
+                self.inputs.append(None)
+            else:
+                self.inputs.append(parse_rewrite_pattern(text))
+        # Per-flow mapping state: flow key -> (rewritten key, pattern).
+        self.mappings: Dict[tuple, Tuple[tuple, RewritePattern]] = {}
+        self.reverse_mappings: Dict[tuple, Tuple[tuple, RewritePattern]] = {}
+        self._next_alloc_port: Dict[int, int] = {}
+
+    @property
+    def stateful(self) -> bool:  # type: ignore[override]
+        """Per-flow state is only needed with port allocation or source
+        rewriting (reply traffic must be un-mapped)."""
+        return any(
+            p is not None and (p.allocates_ports or p.rewrites_source)
+            for p in self.inputs
+        )
+
+    def _allocate_port(self, index: int, port_range: Tuple[int, int]) -> int:
+        low, high = port_range
+        if low == high:
+            return low
+        cursor = self._next_alloc_port.get(index, low)
+        if cursor > high:
+            cursor = low
+        self._next_alloc_port[index] = cursor + 1
+        return cursor
+
+    def push(self, port: int, packet) -> PushResult:
+        if port >= len(self.inputs):
+            raise ConfigError(
+                "IPRewriter %r has no input %d" % (self.name, port)
+            )
+        key = packet.flow_key()
+        # Reply direction of an established mapping?
+        hit = self.reverse_mappings.get(key)
+        if hit is not None:
+            original_key, pattern = hit
+            dst, src, _, dport, sport = original_key
+            packet[IP_SRC], packet[TP_SRC] = src, sport
+            packet[IP_DST], packet[TP_DST] = dst, dport
+            return [(pattern.rev_output, packet)]
+        pattern = self.inputs[port]
+        if pattern is None:
+            return []
+        mapping = self.mappings.get(key)
+        if mapping is None:
+            rewritten = (
+                pattern.src_addr if pattern.src_addr is not None
+                else packet[IP_SRC],
+                pattern.dst_addr if pattern.dst_addr is not None
+                else packet[IP_DST],
+                packet.fields["ip_proto"],
+                self._allocate_port(port, pattern.src_port)
+                if pattern.src_port is not None else packet[TP_SRC],
+                self._allocate_port(port, pattern.dst_port)
+                if pattern.dst_port is not None else packet[TP_DST],
+            )
+            self.mappings[key] = (rewritten, pattern)
+            src, dst, _, sport, dport = rewritten
+            # Reply key: traffic from the rewritten destination back to
+            # the rewritten source.
+            self.reverse_mappings[(dst, src, key[2], dport, sport)] = (
+                key,
+                pattern,
+            )
+        else:
+            rewritten, pattern = mapping
+        src, dst, _, sport, dport = rewritten
+        packet[IP_SRC], packet[IP_DST] = src, dst
+        packet[TP_SRC], packet[TP_DST] = sport, dport
+        return [(pattern.fwd_output, packet)]
+
+
+@register_element("SetIPAddress")
+class SetIPAddress(Element):
+    """Sets the destination IP address to a constant."""
+
+    cycle_cost = 0.5
+
+    def configure(self, args: List[str]) -> None:
+        self.require_args(args, 1)
+        self.address = parse_ip(args[0])
+
+    def push(self, port: int, packet) -> PushResult:
+        packet[IP_DST] = self.address
+        return [(0, packet)]
+
+
+@register_element("SetIPSrc")
+class SetIPSrc(Element):
+    """Sets the source IP address to a constant (spoofing primitive).
+
+    Exists so tests and Table 1 can exercise the anti-spoofing security
+    rule -- a third-party config containing this element must be refused
+    unless the address equals the module's assigned address.
+    """
+
+    cycle_cost = 0.5
+
+    def configure(self, args: List[str]) -> None:
+        self.require_args(args, 1)
+        self.address = parse_ip(args[0])
+
+    def push(self, port: int, packet) -> PushResult:
+        packet[IP_SRC] = self.address
+        return [(0, packet)]
+
+
+@register_element("SetTPDst")
+class SetTPDst(Element):
+    """Sets the transport destination port to a constant."""
+
+    cycle_cost = 0.4
+
+    def configure(self, args: List[str]) -> None:
+        self.require_args(args, 1)
+        self.port_value = parse_int_arg(args[0], "port")
+
+    def push(self, port: int, packet) -> PushResult:
+        packet[TP_DST] = self.port_value
+        return [(0, packet)]
+
+
+@register_element("SetTPSrc")
+class SetTPSrc(Element):
+    """Sets the transport source port to a constant."""
+
+    cycle_cost = 0.4
+
+    def configure(self, args: List[str]) -> None:
+        self.require_args(args, 1)
+        self.port_value = parse_int_arg(args[0], "port")
+
+    def push(self, port: int, packet) -> PushResult:
+        packet[TP_SRC] = self.port_value
+        return [(0, packet)]
+
+
+@register_element("DecIPTTL")
+class DecIPTTL(Element):
+    """Decrements TTL; expired packets (TTL would hit 0) exit port 1 if
+    connected, else are dropped."""
+
+    n_outputs = None  # port 1 optional
+    cycle_cost = 0.4
+
+    def configure(self, args: List[str]) -> None:
+        self.require_args(args, 0, 0)
+        self.expired = 0
+
+    def push(self, port: int, packet) -> PushResult:
+        ttl = packet[IP_TTL]
+        if ttl <= 1:
+            self.expired += 1
+            return [(1, packet)]
+        packet[IP_TTL] = ttl - 1
+        return [(0, packet)]
+
+
+@register_element("CheckIPHeader")
+class CheckIPHeader(Element):
+    """Sanity-checks IP headers; malformed packets are dropped.
+
+    Our packets are structurally valid by construction, so the check is
+    over field ranges (zero/invalid addresses, TTL of 0).
+    """
+
+    cycle_cost = 0.8
+
+    def configure(self, args: List[str]) -> None:
+        self.require_args(args, 0, 1)
+        self.dropped = 0
+
+    def push(self, port: int, packet) -> PushResult:
+        valid = (
+            0 < packet[IP_TTL] <= 255
+            and packet[IP_SRC] != 0xFFFFFFFF
+        )
+        if not valid:
+            self.dropped += 1
+            return []
+        return [(0, packet)]

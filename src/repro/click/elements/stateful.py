@@ -1,0 +1,105 @@
+"""Stateful elements: the connection-tracking firewall of Figures 1-2.
+
+The paper's example firewall allows outgoing UDP traffic and only the
+related inbound traffic.  ``StatefulFirewall`` generalizes this: any
+flow-spec for the outbound direction; inbound packets pass only when
+they reverse an established outbound flow that has not idled out.
+
+Per the paper's modelling discipline, the firewall's symbolic model does
+not enumerate state: it pushes the state into the flow itself as a tag
+(see :mod:`repro.symexec.models`), so verification stays oblivious to
+flow arrival order.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from repro.click.element import (
+    Element,
+    PushResult,
+    parse_float_arg,
+    register_element,
+)
+from repro.common.errors import ConfigError
+from repro.policy.flowspec import FlowSpec, parse_flowspec
+
+
+@register_element("StatefulFirewall")
+class StatefulFirewall(Element):
+    """Two-sided connection-tracking firewall.
+
+    * input/output 0 -- outbound (protected side to outside),
+    * input/output 1 -- inbound (outside to protected side).
+
+    Arguments: an ``allow <spec>`` rule for the outbound direction
+    (default ``allow any``) and an optional ``timeout <seconds>`` for
+    idle state expiry (default 300 s, matching typical middlebox NAT/
+    firewall timeouts the paper's push-notification use case fights).
+    """
+
+    n_inputs = 2
+    n_outputs = 2
+    stateful = True
+    cycle_cost = 1.5
+
+    OUTBOUND = 0
+    INBOUND = 1
+
+    def configure(self, args: List[str]) -> None:
+        self.allow_spec: FlowSpec = FlowSpec.any()
+        self.timeout = 300.0
+        for arg in args:
+            keyword, _, rest = arg.strip().partition(" ")
+            keyword = keyword.lower()
+            if keyword == "allow":
+                self.allow_spec = parse_flowspec(rest)
+            elif keyword == "timeout":
+                self.timeout = parse_float_arg(rest, "timeout")
+            else:
+                raise ConfigError(
+                    "bad StatefulFirewall argument %r" % (arg,)
+                )
+        # flow key (as seen outbound) -> last activity time.
+        self.state: Dict[tuple, float] = {}
+        self.dropped_outbound = 0
+        self.dropped_inbound = 0
+
+    def _now(self) -> float:
+        return self.runtime.now if self.runtime else 0.0
+
+    def push(self, port: int, packet) -> PushResult:
+        now = self._now()
+        if port == self.OUTBOUND:
+            if not self.allow_spec.matches(packet):
+                self.dropped_outbound += 1
+                return []
+            self.state[packet.flow_key()] = now
+            packet.annotations["firewall_tag"] = True
+            return [(self.OUTBOUND, packet)]
+        # Inbound: must reverse an established, fresh outbound flow.
+        key = packet.reverse_flow_key()
+        last_seen = self.state.get(key)
+        if last_seen is None or now - last_seen > self.timeout:
+            if last_seen is not None:
+                del self.state[key]
+            self.dropped_inbound += 1
+            return []
+        self.state[key] = now
+        packet.annotations["firewall_tag"] = True
+        return [(self.INBOUND, packet)]
+
+    def active_flows(self) -> int:
+        """Number of non-expired flow entries."""
+        now = self._now()
+        return sum(
+            1 for t in self.state.values() if now - t <= self.timeout
+        )
+
+    def expire_idle(self) -> int:
+        """Drop idle entries; returns how many were removed."""
+        now = self._now()
+        stale = [k for k, t in self.state.items() if now - t > self.timeout]
+        for key in stale:
+            del self.state[key]
+        return len(stale)

@@ -1,0 +1,123 @@
+"""Measurement and plumbing elements: counters, flow meters, tees, paint.
+
+``FlowMeter`` is the Table 1 "flow meter" middlebox: it observes flows
+without modifying packets, which is why static analysis proves it safe
+for every requester role.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import Dict, List
+
+from repro.click.element import (
+    Element,
+    PushResult,
+    parse_int_arg,
+    register_element,
+)
+
+
+@register_element("Counter")
+class Counter(Element):
+    """Counts packets and bytes; forwards unchanged."""
+
+    cycle_cost = 0.3
+
+    def configure(self, args: List[str]) -> None:
+        self.require_args(args, 0, 0)
+        self.packets = 0
+        self.bytes = 0
+
+    def push(self, port: int, packet) -> PushResult:
+        self.packets += 1
+        self.bytes += packet.length
+        return [(0, packet)]
+
+
+@register_element("FlowMeter")
+class FlowMeter(Element):
+    """Per-flow packet/byte accounting; forwards unchanged.
+
+    Keeps per-flow state, but never alters traffic, so it is safe for
+    any requester (Table 1) -- it is however excluded from consolidation
+    because its memory grows with the number of flows (Section 5).
+    """
+
+    stateful = True
+    cycle_cost = 1.0
+
+    def configure(self, args: List[str]) -> None:
+        self.require_args(args, 0, 0)
+        self.flow_packets: Dict[tuple, int] = defaultdict(int)
+        self.flow_bytes: Dict[tuple, int] = defaultdict(int)
+
+    def push(self, port: int, packet) -> PushResult:
+        key = packet.flow_key()
+        self.flow_packets[key] += 1
+        self.flow_bytes[key] += packet.length
+        return [(0, packet)]
+
+    @property
+    def flow_count(self) -> int:
+        """Number of distinct flows observed."""
+        return len(self.flow_packets)
+
+
+@register_element("Tee")
+class Tee(Element):
+    """Copies each packet to every output port.
+
+    ``Tee(N)`` declares N outputs; with no argument the number of
+    connected outputs is used.
+    """
+
+    n_outputs = None
+    cycle_cost = 0.5
+
+    def configure(self, args: List[str]) -> None:
+        self.require_args(args, 0, 1)
+        self.fanout = parse_int_arg(args[0], "fanout") if args else None
+
+    def initialize(self, runtime) -> None:
+        if self.fanout is None:
+            used = runtime.config.used_output_ports(self.name)
+            self.fanout = (max(used) + 1) if used else 1
+
+    def push(self, port: int, packet) -> PushResult:
+        results = [(0, packet)]
+        for out in range(1, self.fanout):
+            results.append((out, packet.copy()))
+        return results
+
+
+@register_element("Paint")
+class Paint(Element):
+    """Stamps a color annotation on each packet."""
+
+    cycle_cost = 0.3
+
+    def configure(self, args: List[str]) -> None:
+        self.require_args(args, 1)
+        self.color = parse_int_arg(args[0], "color")
+
+    def push(self, port: int, packet) -> PushResult:
+        packet.annotations["paint"] = self.color
+        return [(0, packet)]
+
+
+@register_element("PaintSwitch")
+class PaintSwitch(Element):
+    """Routes each packet out the port equal to its paint color.
+
+    Unpainted packets exit port 0.
+    """
+
+    n_outputs = None
+    cycle_cost = 0.4
+
+    def configure(self, args: List[str]) -> None:
+        self.require_args(args, 0, 0)
+
+    def push(self, port: int, packet) -> PushResult:
+        return [(int(packet.annotations.get("paint", 0)), packet)]

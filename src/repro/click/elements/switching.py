@@ -1,0 +1,165 @@
+"""Port-selection and header-stamping elements.
+
+The remaining vanilla-Click vocabulary the paper's configurations could
+reasonably use: static and round-robin output switches, a rate meter,
+TTL/TOS stampers, and an ICMP ping responder (another safe
+responder-style module in the EchoResponder family).
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.click.element import (
+    Element,
+    PushResult,
+    parse_float_arg,
+    parse_int_arg,
+    register_element,
+)
+from repro.click.packet import (
+    ICMP,
+    IP_DST,
+    IP_PROTO,
+    IP_SRC,
+    IP_TOS,
+    IP_TTL,
+)
+from repro.common.errors import ConfigError
+
+
+@register_element("Switch")
+class Switch(Element):
+    """Emits every packet on one statically configured output port.
+
+    ``Switch(K)``; ``Switch(-1)`` drops everything (Click semantics).
+    """
+
+    n_outputs = None
+    cycle_cost = 0.2
+
+    def configure(self, args: List[str]) -> None:
+        self.require_args(args, 1)
+        self.port = parse_int_arg(args[0], "output port")
+        if self.port < -1:
+            raise ConfigError("Switch port must be >= -1")
+
+    def push(self, port: int, packet) -> PushResult:
+        if self.port < 0:
+            return []
+        return [(self.port, packet)]
+
+
+@register_element("RoundRobinSwitch")
+class RoundRobinSwitch(Element):
+    """Spreads packets across its outputs in round-robin order.
+
+    ``RoundRobinSwitch(N)``; with no argument the number of connected
+    outputs is used.
+    """
+
+    n_outputs = None
+    cycle_cost = 0.3
+
+    def configure(self, args: List[str]) -> None:
+        self.require_args(args, 0, 1)
+        self.fanout = parse_int_arg(args[0], "fanout") if args else None
+        self._next = 0
+
+    def initialize(self, runtime) -> None:
+        if self.fanout is None:
+            used = runtime.config.used_output_ports(self.name)
+            self.fanout = (max(used) + 1) if used else 1
+
+    def push(self, port: int, packet) -> PushResult:
+        out = self._next % max(1, self.fanout)
+        self._next += 1
+        return [(out, packet)]
+
+
+@register_element("Meter")
+class Meter(Element):
+    """Rate-based classifier: packets within RATE packets/second exit
+    port 0, the excess exits port 1 (Click's Meter).
+
+    ``Meter(RATE_PPS)``.
+    """
+
+    n_outputs = 2
+    cycle_cost = 0.6
+
+    def configure(self, args: List[str]) -> None:
+        self.require_args(args, 1)
+        self.rate = parse_float_arg(args[0], "rate")
+        if self.rate <= 0:
+            raise ConfigError("Meter rate must be positive")
+        self._window_start = 0.0
+        self._window_count = 0
+
+    def push(self, port: int, packet) -> PushResult:
+        now = self.runtime.now if self.runtime else 0.0
+        if now - self._window_start >= 1.0:
+            self._window_start = now
+            self._window_count = 0
+        self._window_count += 1
+        if self._window_count <= self.rate:
+            return [(0, packet)]
+        return [(1, packet)]
+
+
+@register_element("SetIPTTL")
+class SetIPTTL(Element):
+    """Stamps a constant TTL."""
+
+    cycle_cost = 0.3
+
+    def configure(self, args: List[str]) -> None:
+        self.require_args(args, 1)
+        self.ttl = parse_int_arg(args[0], "ttl")
+        if not 1 <= self.ttl <= 255:
+            raise ConfigError("TTL must be 1..255")
+
+    def push(self, port: int, packet) -> PushResult:
+        packet[IP_TTL] = self.ttl
+        return [(0, packet)]
+
+
+@register_element("SetIPTOS")
+class SetIPTOS(Element):
+    """Stamps a constant TOS/DSCP byte (traffic prioritization)."""
+
+    cycle_cost = 0.3
+
+    def configure(self, args: List[str]) -> None:
+        self.require_args(args, 1)
+        self.tos = parse_int_arg(args[0], "tos")
+        if not 0 <= self.tos <= 255:
+            raise ConfigError("TOS must be 0..255")
+
+    def push(self, port: int, packet) -> PushResult:
+        packet[IP_TOS] = self.tos
+        return [(0, packet)]
+
+
+@register_element("ICMPPingResponder")
+class ICMPPingResponder(Element):
+    """Answers ICMP echo requests by swapping source and destination.
+
+    Non-ICMP traffic is dropped.  Like EchoResponder, statically
+    provable safe: replies only go to whoever asked.
+    """
+
+    cycle_cost = 0.8
+
+    def configure(self, args: List[str]) -> None:
+        self.require_args(args, 0, 0)
+        self.replies = 0
+
+    def push(self, port: int, packet) -> PushResult:
+        if packet[IP_PROTO] != ICMP:
+            return []
+        packet[IP_SRC], packet[IP_DST] = (
+            packet[IP_DST], packet[IP_SRC],
+        )
+        self.replies += 1
+        return [(0, packet)]

@@ -1,0 +1,103 @@
+"""Tunnel elements: encapsulation and decapsulation.
+
+Tunnels are the interesting Table 1 row: a third-party tunnel endpoint
+*might* send traffic to legitimate whitelisted destinations, but the real
+destination only appears at decap time, so static analysis cannot prove
+compliance and the controller must sandbox the module (Section 7.1).
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.click.element import (
+    Element,
+    PushResult,
+    parse_int_arg,
+    register_element,
+)
+from repro.click.packet import GRE, IP_DST, IP_PROTO, IP_SRC, TP_DST, TP_SRC, UDP
+from repro.common.addr import parse_ip
+
+
+@register_element("IPEncap")
+class IPEncap(Element):
+    """Wraps each packet in a new IP header (GRE-style).
+
+    ``IPEncap(PROTO, SADDR, DADDR)``.
+    """
+
+    cycle_cost = 1.5
+
+    def configure(self, args: List[str]) -> None:
+        self.require_args(args, 3)
+        self.proto = parse_int_arg(args[0], "protocol")
+        self.src = parse_ip(args[1])
+        self.dst = parse_ip(args[2])
+
+    def push(self, port: int, packet) -> PushResult:
+        packet.encapsulate(
+            **{IP_PROTO: self.proto, IP_SRC: self.src, IP_DST: self.dst}
+        )
+        packet.length += 20
+        return [(0, packet)]
+
+
+@register_element("UDPIPEncap")
+class UDPIPEncap(Element):
+    """Wraps each packet in fresh UDP/IP headers.
+
+    ``UDPIPEncap(SADDR, SPORT, DADDR, DPORT)`` -- the tunnel the SCTP
+    use case (Section 8) prefers when the path allows UDP.
+    """
+
+    cycle_cost = 1.6
+
+    def configure(self, args: List[str]) -> None:
+        self.require_args(args, 4)
+        self.src = parse_ip(args[0])
+        self.sport = parse_int_arg(args[1], "source port")
+        self.dst = parse_ip(args[2])
+        self.dport = parse_int_arg(args[3], "destination port")
+
+    def push(self, port: int, packet) -> PushResult:
+        packet.encapsulate(
+            **{
+                IP_PROTO: UDP,
+                IP_SRC: self.src,
+                IP_DST: self.dst,
+                TP_SRC: self.sport,
+                TP_DST: self.dport,
+            }
+        )
+        packet.length += 28
+        return [(0, packet)]
+
+
+@register_element("IPDecap")
+class IPDecap(Element):
+    """Strips the outer header, restoring the encapsulated one.
+
+    Packets with no encapsulation layer are dropped.  After decap the
+    packet's destination is whatever the *inner* header says -- the
+    run-time-only information that forces sandboxing for third-party
+    tunnels.
+    """
+
+    cycle_cost = 1.4
+
+    def configure(self, args: List[str]) -> None:
+        self.require_args(args, 0, 0)
+        self.dropped = 0
+
+    def push(self, port: int, packet) -> PushResult:
+        if packet.encap_depth == 0:
+            self.dropped += 1
+            return []
+        packet.decapsulate()
+        packet.length = max(64, packet.length - 20)
+        return [(0, packet)]
+
+
+#: Protocol number constant re-exported for tunnel configurations.
+GRE_PROTO = GRE

@@ -1,0 +1,168 @@
+"""The packet abstraction shared by the concrete and symbolic dataplanes.
+
+A :class:`Packet` is a mapping from header-field names to values plus an
+opaque payload.  The field names below are the canonical vocabulary used
+everywhere in the library -- by concrete Click elements, by the symbolic
+models in :mod:`repro.symexec`, and by the policy language -- so that a
+flow specification written against ``tp_dst`` constrains the same thing
+the dataplane rewrites.
+
+Tunnel elements (``IPEncap``/``UDPIPEncap``) push the current headers onto
+an encapsulation stack and install fresh outer headers; ``IPDecap`` pops
+them back.  This mirrors the paper's tunnel use case, where the inner
+destination address only becomes visible at decapsulation time.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Any, Dict, List, Optional
+
+# Re-exported so `repro.click.packet` remains the natural import site for
+# dataplane code; the constants themselves live in repro.common.fields to
+# keep the policy and symbolic packages free of dataplane imports.
+from repro.common.fields import (  # noqa: F401
+    GRE,
+    HEADER_FIELDS,
+    ICMP,
+    IP_DST,
+    IP_PROTO,
+    IP_SRC,
+    IP_TOS,
+    IP_TTL,
+    PAYLOAD,
+    PROTO_NAMES,
+    PROTO_NUMBERS,
+    SCTP,
+    TCP,
+    TCP_FLAGS,
+    TH_ACK,
+    TH_FIN,
+    TH_RST,
+    TH_SYN,
+    TP_DST,
+    TP_SRC,
+    UDP,
+)
+
+_packet_ids = itertools.count(1)
+
+
+class Packet:
+    """A concrete network packet.
+
+    ``fields`` holds the canonical header fields; ``annotations`` holds
+    Click-style annotations (paint color, firewall tag, ...), which travel
+    with the packet but are not part of the wire format.
+
+    >>> from repro.common import parse_ip
+    >>> p = Packet(ip_src=parse_ip("10.0.0.1"), ip_proto=UDP, tp_dst=1500)
+    >>> p[TP_DST]
+    1500
+    """
+
+    __slots__ = ("fields", "annotations", "encap_stack", "length", "uid")
+
+    def __init__(
+        self,
+        length: int = 64,
+        annotations: Optional[Dict[str, Any]] = None,
+        **fields: Any,
+    ):
+        self.fields: Dict[str, Any] = {
+            IP_SRC: 0,
+            IP_DST: 0,
+            IP_PROTO: UDP,
+            IP_TTL: 64,
+            IP_TOS: 0,
+            TP_SRC: 0,
+            TP_DST: 0,
+            TCP_FLAGS: 0,
+            PAYLOAD: b"",
+        }
+        for name, value in fields.items():
+            self.fields[name] = value
+        self.annotations: Dict[str, Any] = dict(annotations or {})
+        self.encap_stack: List[Dict[str, Any]] = []
+        self.length = length
+        self.uid = next(_packet_ids)
+
+    # -- mapping-style access ---------------------------------------------
+    def __getitem__(self, field: str) -> Any:
+        return self.fields[field]
+
+    def __setitem__(self, field: str, value: Any) -> None:
+        self.fields[field] = value
+
+    def __contains__(self, field: str) -> bool:
+        return field in self.fields
+
+    def get(self, field: str, default: Any = None) -> Any:
+        """Return a header field, or ``default`` if unset."""
+        return self.fields.get(field, default)
+
+    # -- lifecycle ----------------------------------------------------------
+    def copy(self) -> "Packet":
+        """Deep-enough copy: fields, annotations and encap stack."""
+        clone = Packet.__new__(Packet)
+        clone.fields = dict(self.fields)
+        clone.annotations = dict(self.annotations)
+        clone.encap_stack = [dict(layer) for layer in self.encap_stack]
+        clone.length = self.length
+        clone.uid = next(_packet_ids)
+        return clone
+
+    # -- tunneling -----------------------------------------------------------
+    def encapsulate(self, **outer: Any) -> None:
+        """Push current headers onto the encap stack, install outer ones.
+
+        Fields not named in ``outer`` keep their current values in the new
+        outer header (TTL, TOS...).
+        """
+        self.encap_stack.append(dict(self.fields))
+        for name, value in outer.items():
+            self.fields[name] = value
+
+    def decapsulate(self) -> None:
+        """Pop the innermost saved header, restoring pre-encap fields."""
+        if not self.encap_stack:
+            raise ValueError("decapsulate() on a packet with no encap stack")
+        self.fields = self.encap_stack.pop()
+
+    @property
+    def encap_depth(self) -> int:
+        """Number of encapsulation layers currently on the packet."""
+        return len(self.encap_stack)
+
+    # -- convenience -----------------------------------------------------------
+    def is_tcp_syn(self) -> bool:
+        """Whether this is a bare TCP SYN (connection-opening) packet."""
+        flags = self.fields.get(TCP_FLAGS, 0)
+        return (
+            self.fields.get(IP_PROTO) == TCP
+            and bool(flags & TH_SYN)
+            and not flags & TH_ACK
+        )
+
+    def flow_key(self):
+        """The 5-tuple identifying this packet's flow."""
+        f = self.fields
+        return (f[IP_SRC], f[IP_DST], f[IP_PROTO], f[TP_SRC], f[TP_DST])
+
+    def reverse_flow_key(self):
+        """The 5-tuple of the reverse direction of this packet's flow."""
+        f = self.fields
+        return (f[IP_DST], f[IP_SRC], f[IP_PROTO], f[TP_DST], f[TP_SRC])
+
+    def __repr__(self) -> str:
+        from repro.common.addr import format_ip
+
+        proto = PROTO_NAMES.get(self.fields.get(IP_PROTO), "?")
+        return "Packet(%s %s:%s -> %s:%s len=%d)" % (
+            proto,
+            format_ip(self.fields.get(IP_SRC, 0)),
+            self.fields.get(TP_SRC, 0),
+            format_ip(self.fields.get(IP_DST, 0)),
+            self.fields.get(TP_DST, 0),
+            self.length,
+        )

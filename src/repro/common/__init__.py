@@ -1,0 +1,44 @@
+"""Shared low-level utilities used across the In-Net reproduction.
+
+This package holds the pieces that every other subsystem builds on:
+
+* :mod:`repro.common.addr` -- IPv4 address and prefix arithmetic,
+* :mod:`repro.common.intervals` -- integer interval sets used as symbolic
+  variable domains,
+* :mod:`repro.common.errors` -- the exception hierarchy.
+"""
+
+from repro.common.addr import (
+    format_ip,
+    format_prefix,
+    parse_ip,
+    parse_prefix,
+    prefix_contains,
+    prefix_range,
+)
+from repro.common.errors import (
+    ConfigError,
+    DeploymentError,
+    InNetError,
+    PolicyError,
+    SecurityError,
+    VerificationError,
+)
+from repro.common.intervals import FULL_RANGE, IntervalSet
+
+__all__ = [
+    "parse_ip",
+    "format_ip",
+    "parse_prefix",
+    "format_prefix",
+    "prefix_range",
+    "prefix_contains",
+    "IntervalSet",
+    "FULL_RANGE",
+    "InNetError",
+    "ConfigError",
+    "PolicyError",
+    "SecurityError",
+    "VerificationError",
+    "DeploymentError",
+]

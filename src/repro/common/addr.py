@@ -1,0 +1,96 @@
+"""IPv4 address and prefix arithmetic.
+
+Addresses are represented as plain ``int`` throughout the library (fast to
+hash, compare, and range-constrain in the symbolic engine).  This module
+converts between dotted-quad strings and integers and provides prefix
+(CIDR) helpers used by routing tables and the policy language.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+from repro.common.errors import ConfigError
+
+#: Largest representable IPv4 address (255.255.255.255).
+MAX_IP = (1 << 32) - 1
+
+
+def parse_ip(text: str) -> int:
+    """Parse a dotted-quad IPv4 address into an integer.
+
+    >>> parse_ip("10.0.0.1")
+    167772161
+    """
+    parts = text.strip().split(".")
+    if len(parts) != 4:
+        raise ConfigError("invalid IPv4 address: %r" % (text,))
+    value = 0
+    for part in parts:
+        if not part.isdigit():
+            raise ConfigError("invalid IPv4 address: %r" % (text,))
+        octet = int(part)
+        if octet > 255:
+            raise ConfigError("invalid IPv4 address: %r" % (text,))
+        value = (value << 8) | octet
+    return value
+
+
+def format_ip(value: int) -> str:
+    """Format an integer as a dotted-quad IPv4 address.
+
+    >>> format_ip(167772161)
+    '10.0.0.1'
+    """
+    if not 0 <= value <= MAX_IP:
+        raise ConfigError("IPv4 address out of range: %r" % (value,))
+    return ".".join(str((value >> shift) & 0xFF) for shift in (24, 16, 8, 0))
+
+
+def parse_prefix(text: str) -> Tuple[int, int]:
+    """Parse ``a.b.c.d/len`` (or a bare address, meaning ``/32``).
+
+    Returns ``(network, prefix_length)`` with host bits cleared.
+
+    >>> parse_prefix("10.0.0.0/8")
+    (167772160, 8)
+    """
+    text = text.strip()
+    if "/" in text:
+        addr_text, _, len_text = text.partition("/")
+        if not len_text.isdigit():
+            raise ConfigError("invalid prefix length in %r" % (text,))
+        plen = int(len_text)
+        if plen > 32:
+            raise ConfigError("invalid prefix length in %r" % (text,))
+    else:
+        addr_text, plen = text, 32
+    addr = parse_ip(addr_text)
+    mask = prefix_mask(plen)
+    return addr & mask, plen
+
+
+def prefix_mask(plen: int) -> int:
+    """Return the netmask for a prefix length as an integer."""
+    if not 0 <= plen <= 32:
+        raise ConfigError("invalid prefix length: %r" % (plen,))
+    if plen == 0:
+        return 0
+    return MAX_IP ^ ((1 << (32 - plen)) - 1)
+
+
+def format_prefix(network: int, plen: int) -> str:
+    """Format ``(network, plen)`` as ``a.b.c.d/len``."""
+    return "%s/%d" % (format_ip(network), plen)
+
+
+def prefix_range(network: int, plen: int) -> Tuple[int, int]:
+    """Return the inclusive ``(low, high)`` address range of a prefix."""
+    mask = prefix_mask(plen)
+    low = network & mask
+    return low, low | (MAX_IP ^ mask)
+
+
+def prefix_contains(network: int, plen: int, addr: int) -> bool:
+    """Return whether ``addr`` falls inside the prefix."""
+    return (addr & prefix_mask(plen)) == (network & prefix_mask(plen))

@@ -1,0 +1,33 @@
+"""Exception hierarchy for the In-Net reproduction.
+
+All library errors derive from :class:`InNetError` so callers can catch a
+single base class at API boundaries.
+"""
+
+
+class InNetError(Exception):
+    """Base class for all errors raised by this library."""
+
+
+class ConfigError(InNetError):
+    """A Click configuration (or element argument list) failed to parse."""
+
+
+class PolicyError(InNetError):
+    """A requirement / flow specification failed to parse."""
+
+
+class VerificationError(InNetError):
+    """Static analysis could not be completed (not a policy violation)."""
+
+
+class SecurityError(InNetError):
+    """A processing module violates the In-Net security rules."""
+
+
+class DeploymentError(InNetError):
+    """The controller could not deploy a verified processing module."""
+
+
+class SimulationError(InNetError):
+    """The discrete-event simulator was driven into an invalid state."""

@@ -1,0 +1,49 @@
+"""Canonical packet header field names and IP protocol numbers.
+
+These constants are the shared vocabulary of the whole library: the
+concrete dataplane (:mod:`repro.click`), the symbolic engine
+(:mod:`repro.symexec`), and the policy language (:mod:`repro.policy`)
+all constrain, rewrite, and compare the *same* field names.  They live
+in :mod:`repro.common` so every subsystem can import them without
+circular dependencies.
+"""
+
+# Header field names --------------------------------------------------------
+IP_SRC = "ip_src"
+IP_DST = "ip_dst"
+IP_PROTO = "ip_proto"
+IP_TTL = "ip_ttl"
+IP_TOS = "ip_tos"
+TP_SRC = "tp_src"
+TP_DST = "tp_dst"
+TCP_FLAGS = "tcp_flags"
+PAYLOAD = "payload"
+
+#: Every field the symbolic engine tracks by default.
+HEADER_FIELDS = (
+    IP_SRC,
+    IP_DST,
+    IP_PROTO,
+    IP_TTL,
+    IP_TOS,
+    TP_SRC,
+    TP_DST,
+    TCP_FLAGS,
+    PAYLOAD,
+)
+
+# IP protocol numbers --------------------------------------------------------
+ICMP = 1
+TCP = 6
+UDP = 17
+GRE = 47
+SCTP = 132
+
+PROTO_NAMES = {ICMP: "icmp", TCP: "tcp", UDP: "udp", GRE: "gre", SCTP: "sctp"}
+PROTO_NUMBERS = {name: num for num, name in PROTO_NAMES.items()}
+
+# TCP flag bits ---------------------------------------------------------------
+TH_FIN = 0x01
+TH_SYN = 0x02
+TH_RST = 0x04
+TH_ACK = 0x10

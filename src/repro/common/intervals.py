@@ -1,0 +1,214 @@
+"""Integer interval sets.
+
+The symbolic execution engine represents the domain of every packet header
+field as a set of disjoint inclusive integer intervals.  This keeps
+satisfiability checks linear (SYMNET's central scalability trick: no SMT
+solver, just interval arithmetic), which is what makes Figure 10 of the
+paper linear in network size.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator, List, Optional, Sequence, Tuple
+
+Interval = Tuple[int, int]
+
+
+class IntervalSet:
+    """An immutable set of integers stored as sorted disjoint intervals.
+
+    Instances are value objects: all operations return new sets.
+
+    >>> s = IntervalSet.from_interval(10, 20) | IntervalSet.single(25)
+    >>> 15 in s, 22 in s, 25 in s
+    (True, False, True)
+    """
+
+    __slots__ = ("_intervals",)
+
+    def __init__(self, intervals: Iterable[Interval] = ()):
+        self._intervals: Tuple[Interval, ...] = tuple(
+            _normalize(list(intervals))
+        )
+
+    # -- constructors ----------------------------------------------------
+    @classmethod
+    def empty(cls) -> "IntervalSet":
+        """The empty set."""
+        return _EMPTY
+
+    @classmethod
+    def single(cls, value: int) -> "IntervalSet":
+        """The singleton set ``{value}``."""
+        return cls([(value, value)])
+
+    @classmethod
+    def from_interval(cls, low: int, high: int) -> "IntervalSet":
+        """The inclusive range ``[low, high]`` (empty if ``low > high``)."""
+        if low > high:
+            return _EMPTY
+        return cls([(low, high)])
+
+    @classmethod
+    def from_values(cls, values: Iterable[int]) -> "IntervalSet":
+        """A set holding exactly ``values``."""
+        return cls([(v, v) for v in values])
+
+    # -- queries ----------------------------------------------------------
+    @property
+    def intervals(self) -> Tuple[Interval, ...]:
+        """The sorted, disjoint intervals backing this set."""
+        return self._intervals
+
+    def is_empty(self) -> bool:
+        """Whether the set contains no values."""
+        return not self._intervals
+
+    def __bool__(self) -> bool:
+        return bool(self._intervals)
+
+    def __contains__(self, value: int) -> bool:
+        # Binary search over disjoint sorted intervals.
+        lo, hi = 0, len(self._intervals) - 1
+        while lo <= hi:
+            mid = (lo + hi) // 2
+            a, b = self._intervals[mid]
+            if value < a:
+                hi = mid - 1
+            elif value > b:
+                lo = mid + 1
+            else:
+                return True
+        return False
+
+    def size(self) -> int:
+        """Number of integers in the set."""
+        return sum(b - a + 1 for a, b in self._intervals)
+
+    def singleton_value(self) -> Optional[int]:
+        """The sole member if the set has exactly one element, else None."""
+        if len(self._intervals) == 1:
+            a, b = self._intervals[0]
+            if a == b:
+                return a
+        return None
+
+    def min(self) -> int:
+        """Smallest member (raises ValueError on the empty set)."""
+        if not self._intervals:
+            raise ValueError("empty IntervalSet has no minimum")
+        return self._intervals[0][0]
+
+    def max(self) -> int:
+        """Largest member (raises ValueError on the empty set)."""
+        if not self._intervals:
+            raise ValueError("empty IntervalSet has no maximum")
+        return self._intervals[-1][1]
+
+    def __iter__(self) -> Iterator[int]:
+        for a, b in self._intervals:
+            yield from range(a, b + 1)
+
+    # -- algebra ----------------------------------------------------------
+    def intersect(self, other: "IntervalSet") -> "IntervalSet":
+        """Set intersection."""
+        result: List[Interval] = []
+        i = j = 0
+        left, right = self._intervals, other._intervals
+        while i < len(left) and j < len(right):
+            a1, b1 = left[i]
+            a2, b2 = right[j]
+            low, high = max(a1, a2), min(b1, b2)
+            if low <= high:
+                result.append((low, high))
+            if b1 < b2:
+                i += 1
+            else:
+                j += 1
+        out = IntervalSet.__new__(IntervalSet)
+        out._intervals = tuple(result)
+        return out
+
+    def union(self, other: "IntervalSet") -> "IntervalSet":
+        """Set union."""
+        return IntervalSet(self._intervals + other._intervals)
+
+    def subtract(self, other: "IntervalSet") -> "IntervalSet":
+        """Set difference ``self - other``."""
+        result: List[Interval] = []
+        pending = list(self._intervals)
+        cut = other._intervals
+        for a, b in pending:
+            pieces = [(a, b)]
+            for c, d in cut:
+                next_pieces: List[Interval] = []
+                for x, y in pieces:
+                    if d < x or c > y:
+                        next_pieces.append((x, y))
+                        continue
+                    if x < c:
+                        next_pieces.append((x, c - 1))
+                    if y > d:
+                        next_pieces.append((d + 1, y))
+                pieces = next_pieces
+                if not pieces:
+                    break
+            result.extend(pieces)
+        return IntervalSet(result)
+
+    def complement(self, low: int, high: int) -> "IntervalSet":
+        """Complement of the set within the universe ``[low, high]``."""
+        return IntervalSet.from_interval(low, high).subtract(self)
+
+    def __or__(self, other: "IntervalSet") -> "IntervalSet":
+        return self.union(other)
+
+    def __and__(self, other: "IntervalSet") -> "IntervalSet":
+        return self.intersect(other)
+
+    def __sub__(self, other: "IntervalSet") -> "IntervalSet":
+        return self.subtract(other)
+
+    def is_subset(self, other: "IntervalSet") -> bool:
+        """Whether every member of ``self`` is in ``other``."""
+        return self.subtract(other).is_empty()
+
+    def overlaps(self, other: "IntervalSet") -> bool:
+        """Whether the sets share at least one member."""
+        return not self.intersect(other).is_empty()
+
+    # -- dunder -----------------------------------------------------------
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, IntervalSet):
+            return NotImplemented
+        return self._intervals == other._intervals
+
+    def __hash__(self) -> int:
+        return hash(self._intervals)
+
+    def __repr__(self) -> str:
+        parts = ", ".join(
+            "%d" % a if a == b else "%d-%d" % (a, b)
+            for a, b in self._intervals
+        )
+        return "IntervalSet{%s}" % parts
+
+
+def _normalize(intervals: Sequence[Interval]) -> List[Interval]:
+    """Sort, validate, and coalesce adjacent/overlapping intervals."""
+    cleaned = [(int(a), int(b)) for a, b in intervals if a <= b]
+    cleaned.sort()
+    merged: List[Interval] = []
+    for a, b in cleaned:
+        if merged and a <= merged[-1][1] + 1:
+            prev_a, prev_b = merged[-1]
+            merged[-1] = (prev_a, max(prev_b, b))
+        else:
+            merged.append((a, b))
+    return merged
+
+
+_EMPTY = IntervalSet(())
+
+#: Domain of a 32-bit field (IPv4 addresses) and general default universe.
+FULL_RANGE = IntervalSet.from_interval(0, (1 << 32) - 1)

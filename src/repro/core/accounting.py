@@ -1,0 +1,157 @@
+"""Tenant accounting (Section 2.1).
+
+"Accountability ensures that users are charged for the resources they
+use, discouraging resource exhaustion attacks against platforms."
+The ledger meters, per tenant:
+
+* module-hours (a module's wall-clock residency),
+* traffic (packets and bytes through the tenant's modules),
+* verification work (requests processed, including denied ones --
+  symbolic execution is operator CPU too),
+* the sandboxing surcharge: enforcer-wrapped modules are billed at a
+  multiplier, because the ChangeEnforcer is injected into *the
+  client's* configuration (Section 4.4: "this has the benefit of
+  billing the user for the sandboxing").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+
+@dataclass(frozen=True)
+class Tariff:
+    """Operator price list (arbitrary currency units)."""
+
+    per_module_hour: float = 1.0
+    per_gigabyte: float = 0.05
+    per_verification: float = 0.01
+    #: Module-hour multiplier for sandboxed modules.
+    sandbox_multiplier: float = 1.5
+
+
+@dataclass
+class ModuleUsage:
+    """Lifetime usage of one deployed module."""
+
+    module_id: str
+    client_id: str
+    sandboxed: bool
+    deployed_at: float
+    stopped_at: Optional[float] = None
+    packets: int = 0
+    bytes: int = 0
+
+    def hours(self, now: float) -> float:
+        """Module-hours accrued up to ``now``."""
+        end = self.stopped_at if self.stopped_at is not None else now
+        return max(0.0, (end - self.deployed_at) / 3600.0)
+
+
+@dataclass
+class Invoice:
+    """One client's bill."""
+
+    client_id: str
+    module_hours: float = 0.0
+    sandboxed_module_hours: float = 0.0
+    gigabytes: float = 0.0
+    verifications: int = 0
+    total: float = 0.0
+    lines: List[Tuple[str, float]] = field(default_factory=list)
+
+
+class Ledger:
+    """Meters resource usage and renders invoices."""
+
+    def __init__(self, tariff: Tariff = Tariff()):
+        self.tariff = tariff
+        self.modules: Dict[str, ModuleUsage] = {}
+        self.verifications: Dict[str, int] = {}
+
+    # -- recording -----------------------------------------------------------
+    def record_verification(self, client_id: str) -> None:
+        """One request verified (accepted or denied)."""
+        self.verifications[client_id] = (
+            self.verifications.get(client_id, 0) + 1
+        )
+
+    def record_deployment(
+        self,
+        module_id: str,
+        client_id: str,
+        sandboxed: bool,
+        now: float,
+    ) -> None:
+        """A module started running."""
+        self.modules[module_id] = ModuleUsage(
+            module_id=module_id,
+            client_id=client_id,
+            sandboxed=sandboxed,
+            deployed_at=now,
+        )
+
+    def record_stop(self, module_id: str, now: float) -> None:
+        """A module was killed."""
+        usage = self.modules.get(module_id)
+        if usage is not None and usage.stopped_at is None:
+            usage.stopped_at = now
+
+    def record_traffic(
+        self, module_id: str, packets: int, byte_count: int
+    ) -> None:
+        """Traffic processed by a module."""
+        usage = self.modules.get(module_id)
+        if usage is None:
+            return
+        usage.packets += packets
+        usage.bytes += byte_count
+
+    # -- billing ---------------------------------------------------------------
+    def invoice(self, client_id: str, now: float) -> Invoice:
+        """The client's bill as of ``now``."""
+        bill = Invoice(client_id=client_id)
+        tariff = self.tariff
+        for usage in self.modules.values():
+            if usage.client_id != client_id:
+                continue
+            hours = usage.hours(now)
+            if usage.sandboxed:
+                bill.sandboxed_module_hours += hours
+                cost = (
+                    hours * tariff.per_module_hour
+                    * tariff.sandbox_multiplier
+                )
+                bill.lines.append(
+                    ("%s (sandboxed, %.2f h)" % (usage.module_id, hours),
+                     cost)
+                )
+            else:
+                bill.module_hours += hours
+                cost = hours * tariff.per_module_hour
+                bill.lines.append(
+                    ("%s (%.2f h)" % (usage.module_id, hours), cost)
+                )
+            gigabytes = usage.bytes / 1e9
+            bill.gigabytes += gigabytes
+            if gigabytes:
+                bill.lines.append(
+                    ("%s traffic (%.3f GB)"
+                     % (usage.module_id, gigabytes),
+                     gigabytes * tariff.per_gigabyte)
+                )
+        bill.verifications = self.verifications.get(client_id, 0)
+        if bill.verifications:
+            bill.lines.append(
+                ("verifications (%d)" % bill.verifications,
+                 bill.verifications * tariff.per_verification)
+            )
+        bill.total = sum(cost for _label, cost in bill.lines)
+        return bill
+
+    def clients(self) -> List[str]:
+        """Every client with recorded activity."""
+        names = {u.client_id for u in self.modules.values()}
+        names.update(self.verifications)
+        return sorted(names)

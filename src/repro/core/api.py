@@ -1,0 +1,102 @@
+"""Wire format for the controller API.
+
+Clients install In-Net software locally and submit requests to the
+controller over the network (Section 4.3, "Client configuration").
+This module is the codec: requests and deployment results serialize to
+plain JSON-compatible dictionaries, so any transport (REST, message
+queue, a file) can carry them.
+
+The format is versioned; unknown versions are refused rather than
+guessed at.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict
+
+from repro.common.errors import PolicyError
+from repro.core.controller import DeploymentResult
+from repro.core.requests import ClientRequest
+
+WIRE_VERSION = 1
+
+
+def request_to_dict(request: ClientRequest) -> Dict[str, Any]:
+    """Serialize a request for transport."""
+    return {
+        "version": WIRE_VERSION,
+        "client_id": request.client_id,
+        "config_source": request.config_source,
+        "stock": request.stock,
+        "stock_params": list(request.stock_params),
+        "requirements": request.requirements,
+        "role": request.role,
+        "owned_addresses": list(request.owned_addresses),
+        "module_name": request.module_name,
+        "listen": request.listen,
+    }
+
+
+def request_from_dict(payload: Dict[str, Any]) -> ClientRequest:
+    """Deserialize a request, validating the wire version."""
+    if not isinstance(payload, dict):
+        raise PolicyError("request payload must be an object")
+    version = payload.get("version")
+    if version != WIRE_VERSION:
+        raise PolicyError(
+            "unsupported wire version %r (expected %d)"
+            % (version, WIRE_VERSION)
+        )
+    try:
+        return ClientRequest(
+            client_id=str(payload["client_id"]),
+            config_source=payload.get("config_source"),
+            stock=payload.get("stock"),
+            stock_params=tuple(payload.get("stock_params") or ()),
+            requirements=payload.get("requirements") or "",
+            role=payload.get("role", "third-party"),
+            owned_addresses=tuple(
+                payload.get("owned_addresses") or ()
+            ),
+            module_name=payload.get("module_name"),
+            listen=payload.get("listen"),
+        )
+    except KeyError as exc:
+        raise PolicyError("request payload missing field %s" % exc)
+
+
+def result_to_dict(result: DeploymentResult) -> Dict[str, Any]:
+    """Serialize what the client is told about its request."""
+    payload: Dict[str, Any] = {
+        "version": WIRE_VERSION,
+        "accepted": result.accepted,
+        "reason": result.reason,
+    }
+    if result.accepted:
+        payload.update({
+            "module_id": result.module_id,
+            "platform": result.platform,
+            "address": result.address,
+            "sandboxed": result.sandboxed,
+        })
+    return payload
+
+
+def request_to_json(request: ClientRequest) -> str:
+    """Serialize a request to a JSON string."""
+    return json.dumps(request_to_dict(request), sort_keys=True)
+
+
+def request_from_json(text: str) -> ClientRequest:
+    """Parse a request from a JSON string."""
+    try:
+        payload = json.loads(text)
+    except json.JSONDecodeError as exc:
+        raise PolicyError("malformed request JSON: %s" % exc)
+    return request_from_dict(payload)
+
+
+def result_to_json(result: DeploymentResult) -> str:
+    """Serialize a deployment result to JSON."""
+    return json.dumps(result_to_dict(result), sort_keys=True)

@@ -1,0 +1,220 @@
+"""Canonical middlebox configurations (Table 1) and stock modules.
+
+Section 7.1 evaluates static checking accuracy over a range of
+middleboxes "implemented using existing Click elements or by deploying
+In-Net stock processing modules".  This catalog reproduces that set:
+each entry builds the canonical Click configuration for one Table 1
+functionality, parameterized by the addresses involved, so both the
+safety-matrix benchmark and the tests can instantiate them.
+
+Stock modules (Section 4.1) are the controller-offered appliances: a
+reverse HTTP proxy and an explicit proxy (squid-based in the paper), a
+geolocation DNS server, and the arbitrary x86 VM.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Tuple
+
+from repro.click.config import ClickConfig, parse_config
+from repro.common.errors import ConfigError
+
+# Default addresses used by the canonical configurations; the Table 1
+# benchmark overrides them per scenario.
+DEFAULT_MODULE_ADDR = "192.0.2.10"
+DEFAULT_CLIENT_ADDR = "172.16.15.133"
+DEFAULT_ORIGIN_ADDR = "198.51.100.1"
+DEFAULT_PROXY_ADDR = "192.0.2.20"
+DEFAULT_MULTICAST = ("172.16.15.133", "172.16.15.134")
+DEFAULT_REPLICAS = ("198.51.100.1", "198.51.100.2", "198.51.100.3")
+
+
+def _ip_router(**kw) -> str:
+    return """
+        src :: FromNetfront();
+        out :: ToNetfront();
+        src -> CheckIPHeader() -> DecIPTTL() -> out;
+    """
+
+
+def _dpi(**kw) -> str:
+    return """
+        src :: FromNetfront();
+        matched :: ToNetfront();
+        clean :: ToNetfront();
+        inspect :: DPI(attack-signature);
+        src -> inspect;
+        inspect[0] -> matched;
+        inspect[1] -> clean;
+    """
+
+
+def _nat(module_addr: str = DEFAULT_MODULE_ADDR, **kw) -> str:
+    # Classic masquerading NAT: source rewritten to the NAT's address
+    # with an allocated port; the destination is untouched (passthrough).
+    return """
+        src :: FromNetfront();
+        out :: ToNetfront();
+        src -> IPRewriter(pattern %s 1024-65535 - - 0 0) -> out;
+    """ % (module_addr,)
+
+
+def _transparent_proxy(proxy_addr: str = DEFAULT_PROXY_ADDR, **kw) -> str:
+    return """
+        src :: FromNetfront();
+        out :: ToNetfront();
+        src -> TransparentProxy(%s, 3128) -> out;
+    """ % (proxy_addr,)
+
+
+def _flow_meter(client_addr: str = DEFAULT_CLIENT_ADDR, **kw) -> str:
+    return """
+        src :: FromNetfront();
+        out :: ToNetfront();
+        src -> FlowMeter()
+            -> IPRewriter(pattern - - %s - 0 0) -> out;
+    """ % (client_addr,)
+
+
+def _rate_limiter(client_addr: str = DEFAULT_CLIENT_ADDR, **kw) -> str:
+    return """
+        src :: FromNetfront();
+        out :: ToNetfront();
+        src -> RateLimiter(1000, 2000)
+            -> IPRewriter(pattern - - %s - 0 0) -> out;
+    """ % (client_addr,)
+
+
+def _firewall(client_addr: str = DEFAULT_CLIENT_ADDR, **kw) -> str:
+    # A personalized inbound firewall: filter, then forward to the
+    # requester's registered address (the MAWI use case of Section 6).
+    return """
+        src :: FromNetfront();
+        out :: ToNetfront();
+        src -> IPFilter(allow tcp, allow udp)
+            -> IPRewriter(pattern - - %s - 0 0) -> out;
+    """ % (client_addr,)
+
+
+def _tunnel(**kw) -> str:
+    # Tunnel exit: the inner destination only appears at decap time.
+    return """
+        src :: FromNetfront();
+        out :: ToNetfront();
+        src -> IPDecap() -> out;
+    """
+
+
+def _multicast(destinations: Tuple[str, ...] = DEFAULT_MULTICAST,
+               **kw) -> str:
+    return """
+        src :: FromNetfront();
+        out :: ToNetfront();
+        src -> Multicast(%s) -> out;
+    """ % (", ".join(destinations),)
+
+
+def _dns_server(replicas: Tuple[str, ...] = DEFAULT_REPLICAS, **kw) -> str:
+    return """
+        src :: FromNetfront();
+        out :: ToNetfront();
+        src -> GeoDNSServer(%s) -> out;
+    """ % (", ".join(replicas),)
+
+
+def _reverse_proxy(origin_addr: str = DEFAULT_ORIGIN_ADDR,
+                   origin_port="80", **kw) -> str:
+    return """
+        from_clients :: FromNetfront();
+        from_origin :: FromNetfront();
+        to_origin :: ToNetfront();
+        to_clients :: ToNetfront();
+        rp :: ReverseProxy(%s, %s);
+        from_clients -> rp;
+        from_origin -> [1]rp;
+        rp[0] -> to_clients;
+        rp[1] -> to_origin;
+    """ % (origin_addr, origin_port)
+
+
+def _explicit_proxy(module_addr: str = DEFAULT_MODULE_ADDR, **kw) -> str:
+    return """
+        src :: FromNetfront();
+        out :: ToNetfront();
+        src -> ExplicitProxy(%s) -> out;
+    """ % (module_addr,)
+
+
+def _x86_vm(image: str = "generic", **kw) -> str:
+    return """
+        src :: FromNetfront();
+        out :: ToNetfront();
+        src -> X86VM(%s) -> out;
+    """ % (image,)
+
+
+_CATALOG: Dict[str, Callable[..., str]] = {
+    "ip_router": _ip_router,
+    "dpi": _dpi,
+    "nat": _nat,
+    "transparent_proxy": _transparent_proxy,
+    "flow_meter": _flow_meter,
+    "rate_limiter": _rate_limiter,
+    "firewall": _firewall,
+    "tunnel": _tunnel,
+    "multicast": _multicast,
+    "dns_server": _dns_server,
+    "reverse_proxy": _reverse_proxy,
+    "x86_vm": _x86_vm,
+}
+
+#: The twelve Table 1 rows, in the paper's order.
+TABLE1_FUNCTIONALITIES = (
+    "ip_router",
+    "dpi",
+    "nat",
+    "transparent_proxy",
+    "flow_meter",
+    "rate_limiter",
+    "firewall",
+    "tunnel",
+    "multicast",
+    "dns_server",
+    "reverse_proxy",
+    "x86_vm",
+)
+
+#: Stock modules the prototype controller offers (Section 4.1).
+STOCK_MODULES: Dict[str, Callable[..., str]] = {
+    "reverse-proxy": _reverse_proxy,
+    "explicit-proxy": _explicit_proxy,
+    "geo-dns": _dns_server,
+    "x86-vm": _x86_vm,
+}
+
+
+def catalog_config(name: str, **params) -> ClickConfig:
+    """Build the canonical configuration for a Table 1 functionality."""
+    try:
+        builder = _CATALOG[name]
+    except KeyError:
+        raise ConfigError("unknown catalog functionality %r" % (name,))
+    return parse_config(builder(**params))
+
+
+def catalog_source(name: str, **params) -> str:
+    """The canonical configuration as Click source text."""
+    try:
+        builder = _CATALOG[name]
+    except KeyError:
+        raise ConfigError("unknown catalog functionality %r" % (name,))
+    return builder(**params)
+
+
+def stock_module_config(name: str, *params: str) -> ClickConfig:
+    """Build a stock processing module's configuration."""
+    try:
+        builder = STOCK_MODULES[name]
+    except KeyError:
+        raise ConfigError("unknown stock module %r" % (name,))
+    return parse_config(builder(*params))

@@ -1,0 +1,173 @@
+"""Parallelizing the controller (Section 4.3, "Scaling the controller").
+
+The paper: "we conjecture it is fairly easy to parallelize the
+controller by simply having multiple machines answer the queries.  Care
+must be taken, however, to ensure requests of the same user reach the
+same controller (to ensure ordering of operations), or to deal with
+problems that may arise when different controllers simultaneously
+decide to take conflicting actions: e.g. install new processing modules
+onto the same platform that does not have enough capacity."
+
+:class:`ControllerPool` implements exactly that design:
+
+* requests are sharded to workers by a stable hash of the client id
+  (per-user ordering),
+* each round, every worker *verifies* one request against the snapshot
+  as of round start (``dry_run``) -- this is the parallel part, and the
+  pool's modeled wall-clock charges only the slowest worker per round,
+* commits then serialize; a commit discovers a conflict when another
+  worker's commit this round consumed the target platform's last
+  capacity slot, and the losing request is re-verified next round.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.core.controller import Controller, DeploymentResult
+from repro.core.requests import ClientRequest
+from repro.netmodel.topology import Network
+
+
+@dataclass
+class PoolStats:
+    """Observability for one pool run."""
+
+    rounds: int = 0
+    verifications: int = 0
+    conflicts: int = 0
+    #: Modeled parallel wall-clock: sum over rounds of the slowest
+    #: worker's verification time in that round.
+    parallel_seconds: float = 0.0
+    #: What one controller would have spent doing everything itself.
+    serial_seconds: float = 0.0
+
+    @property
+    def speedup(self) -> float:
+        """Serial / parallel verification time."""
+        if self.parallel_seconds <= 0:
+            return 1.0
+        return self.serial_seconds / self.parallel_seconds
+
+
+@dataclass
+class _Pending:
+    ticket: int
+    request: ClientRequest
+    worker: int
+    attempts: int = 0
+
+
+class ControllerPool:
+    """Several controller workers answering queries over one network."""
+
+    def __init__(
+        self,
+        network: Network,
+        n_workers: int = 4,
+        operator_requirements: str = "",
+        max_attempts: int = 5,
+    ):
+        if n_workers < 1:
+            raise ValueError("need at least one worker")
+        self.controller = Controller(network, operator_requirements)
+        self.n_workers = n_workers
+        self.max_attempts = max_attempts
+        self.stats = PoolStats()
+        self._queues: List[List[_Pending]] = [
+            [] for _ in range(n_workers)
+        ]
+        self._tickets = 0
+        self.results: Dict[int, DeploymentResult] = {}
+
+    # -- submission ---------------------------------------------------------
+    def worker_for(self, client_id: str) -> int:
+        """Stable client -> worker assignment (per-user ordering)."""
+        digest = hashlib.sha256(client_id.encode()).digest()
+        return digest[0] % self.n_workers
+
+    def submit(self, request: ClientRequest) -> int:
+        """Queue a request; returns a ticket to look the result up."""
+        self._tickets += 1
+        ticket = self._tickets
+        worker = self.worker_for(request.client_id)
+        self._queues[worker].append(
+            _Pending(ticket=ticket, request=request, worker=worker)
+        )
+        return ticket
+
+    def pending(self) -> int:
+        """Requests not yet decided."""
+        return sum(len(q) for q in self._queues)
+
+    # -- processing -----------------------------------------------------------
+    def process_all(self) -> Dict[int, DeploymentResult]:
+        """Run rounds until every queued request has a result."""
+        while self.pending():
+            self._round()
+        return dict(self.results)
+
+    def _round(self) -> None:
+        self.stats.rounds += 1
+        # Phase 1 (parallel): each worker verifies its head-of-queue
+        # request against the snapshot as of round start.
+        batch: List[Tuple[_Pending, DeploymentResult]] = []
+        free_at_start = {
+            p.name: (
+                None if p.capacity is None
+                else p.capacity - len(p.modules)
+            )
+            for p in self.controller.network.platforms()
+        }
+        round_worker_seconds: List[float] = []
+        for queue in self._queues:
+            if not queue:
+                continue
+            pending = queue.pop(0)
+            verdict = self.controller.request(
+                pending.request, dry_run=True
+            )
+            self.stats.verifications += 1
+            seconds = verdict.compile_seconds + verdict.check_seconds
+            round_worker_seconds.append(seconds)
+            self.stats.serial_seconds += seconds
+            batch.append((pending, verdict))
+        if round_worker_seconds:
+            self.stats.parallel_seconds += max(round_worker_seconds)
+        # Phase 2 (serialized): commit in worker order, detecting
+        # capacity conflicts against the round-start snapshot.
+        committed_on: Dict[str, int] = {}
+        for pending, verdict in batch:
+            if not verdict.accepted:
+                self.results[pending.ticket] = verdict
+                continue
+            platform = verdict.platform
+            free = free_at_start.get(platform)
+            used = committed_on.get(platform, 0)
+            if free is not None and used >= free:
+                # Another worker's simultaneous decision filled the
+                # platform: conflict; retry with a fresh snapshot.
+                self.stats.conflicts += 1
+                pending.attempts += 1
+                if pending.attempts >= self.max_attempts:
+                    self.results[pending.ticket] = DeploymentResult(
+                        accepted=False,
+                        reason="gave up after %d capacity conflicts"
+                               % pending.attempts,
+                    )
+                else:
+                    self._queues[pending.worker].append(pending)
+                continue
+            final = self.controller.request(
+                pending.request, pinned_platform=platform
+            )
+            if final.accepted:
+                committed_on[platform] = used + 1
+            self.results[pending.ticket] = final
+
+    # -- queries ------------------------------------------------------------------
+    def result(self, ticket: int) -> Optional[DeploymentResult]:
+        """The decision for a ticket, if made."""
+        return self.results.get(ticket)

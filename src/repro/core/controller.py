@@ -1,0 +1,624 @@
+"""The In-Net controller (Section 4.3).
+
+The controller takes client requests and statically verifies them on a
+snapshot of the network.  For each request it:
+
+1. parses the Click configuration (or instantiates a stock module) and
+   refuses anything built from unknown elements,
+2. iterates through the available platforms; at each candidate it
+   *pretends* to install the module (assigning it a platform address),
+   recomputes the snapshot, and checks **all** operator requirements and
+   the client's own requirements with symbolic execution,
+3. runs the security analysis for the requester's trust role
+   (anti-spoofing, default-off); `reject` denies the request, `sandbox`
+   transparently wraps the module with ChangeEnforcer instances on every
+   netfront path (billed to the client, Section 4.4),
+4. on success, deploys: the module keeps its assigned address, flow
+   rules steering that address to the module are recorded (our stand-in
+   for the Openflow rules installed on Open vSwitch), and the client is
+   told how to reach its module.
+
+Timing of the two verification stages (model *compilation* = building
+the symbolic graph; *checking* = exploration) is recorded per request --
+these are the quantities Figure 10 plots.
+"""
+
+from __future__ import annotations
+
+import itertools
+import time
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, List, Optional, Set, Tuple
+
+from repro.click.config import ClickConfig
+from repro.common.addr import format_ip
+from repro.common.errors import DeploymentError, VerificationError
+from repro.core.requests import ClientRequest, ROLE_OPERATOR
+from repro.core.security import (
+    SecurityAnalyzer,
+    SecurityReport,
+    VERDICT_REJECT,
+    VERDICT_SANDBOX,
+    addresses_to_whitelist,
+)
+from repro.netmodel.symgraph import CompiledNetwork, NetworkCompiler
+from repro.netmodel.topology import Network, Platform
+from repro.policy.grammar import ReachRequirement, parse_requirements
+from repro.symexec.reachability import ReachabilityChecker, ReachResult
+
+
+@dataclass
+class DeploymentResult:
+    """What the client gets back for a deployment request."""
+
+    accepted: bool
+    module_id: Optional[str] = None
+    platform: Optional[str] = None
+    #: The externally reachable address of the processing module.
+    address: Optional[str] = None
+    sandboxed: bool = False
+    security: Optional[SecurityReport] = None
+    reach_results: List[ReachResult] = field(default_factory=list)
+    reason: str = ""
+    #: Seconds spent building symbolic graphs ("compilation", Fig. 10).
+    compile_seconds: float = 0.0
+    #: Seconds spent exploring and checking ("checking", Fig. 10).
+    check_seconds: float = 0.0
+
+    def __bool__(self) -> bool:
+        return self.accepted
+
+
+@dataclass
+class _DeployedModule:
+    module_id: str
+    client_id: str
+    platform: str
+    address: int
+    config: ClickConfig
+    sandboxed: bool
+    requirements: List[ReachRequirement] = field(default_factory=list)
+
+
+@dataclass
+class MigrationResult:
+    """Outcome of moving a module to another platform."""
+
+    migrated: bool
+    module_id: str
+    source: Optional[str] = None
+    target: Optional[str] = None
+    new_address: Optional[str] = None
+    #: Downtime model: suspend + state transfer + resume.
+    downtime_seconds: float = 0.0
+    reason: str = ""
+
+    def __bool__(self) -> bool:
+        return self.migrated
+
+
+class Controller:
+    """The operator's controller: one per network."""
+
+    def __init__(
+        self,
+        network: Network,
+        operator_requirements: str = "",
+        ledger=None,
+        clock=None,
+    ):
+        from repro.core.accounting import Ledger
+
+        self.network = network
+        self.network.compute_routes()
+        self.operator_requirements: List[ReachRequirement] = (
+            parse_requirements(operator_requirements)
+            if operator_requirements
+            else []
+        )
+        self.analyzer = SecurityAnalyzer()
+        self.deployed: Dict[str, _DeployedModule] = {}
+        #: client id -> addresses the client registered or was assigned
+        #: (explicit-authorization white-list, Section 2.1).
+        self.client_addresses: Dict[str, Set[int]] = {}
+        self._module_counter = itertools.count(1)
+        #: Installed forwarding rules: (platform, address) -> module id
+        #: (stand-in for the Openflow rules on each platform's switch).
+        self.flow_rules: Dict[Tuple[str, int], str] = {}
+        #: Resource accounting (Section 2.1).
+        self.ledger = ledger if ledger is not None else Ledger()
+        #: Simulated-time source for accounting (defaults to wall time).
+        self._clock = clock if clock is not None else time.time
+
+    # -- public API -----------------------------------------------------------
+    def request(
+        self,
+        request: ClientRequest,
+        pinned_platform: Optional[str] = None,
+        dry_run: bool = False,
+    ) -> DeploymentResult:
+        """Process one deployment request end to end.
+
+        ``pinned_platform`` restricts placement to one platform (used
+        by the controller pool to commit a previously verified
+        placement).  ``dry_run`` verifies and reports the would-be
+        placement without committing anything -- the verification phase
+        of a parallel controller deployment (Section 4.3).
+        """
+        compile_seconds = 0.0
+        check_seconds = 0.0
+        try:
+            config = request.parse_click_config()
+            config.validate()
+        except Exception as exc:
+            return DeploymentResult(accepted=False,
+                                    reason="bad configuration: %s" % exc)
+        try:
+            requirements = request.parse_reach_requirements()
+        except Exception as exc:
+            return DeploymentResult(accepted=False,
+                                    reason="bad requirements: %s" % exc)
+        module_id = request.module_name or "%s-mod%d" % (
+            request.client_id, next(self._module_counter)
+        )
+        if module_id in self.deployed:
+            return DeploymentResult(
+                accepted=False,
+                reason="module name %r already in use" % (module_id,),
+            )
+        whitelist = self._whitelist_for(request)
+        self.ledger.record_verification(request.client_id)
+        all_platforms = self.network.platforms()
+        if not all_platforms:
+            return DeploymentResult(accepted=False,
+                                    reason="no platforms available")
+        platforms = [p for p in all_platforms if p.has_capacity]
+        if pinned_platform is not None:
+            platforms = [
+                p for p in platforms if p.name == pinned_platform
+            ]
+            if not platforms:
+                return DeploymentResult(
+                    accepted=False,
+                    reason="pinned platform %r unavailable or at "
+                           "capacity" % (pinned_platform,),
+                )
+        if not platforms:
+            return DeploymentResult(
+                accepted=False,
+                reason="every platform is at capacity",
+            )
+        last_failure = "no platform satisfies the requirements"
+        for platform in platforms:
+            try:
+                address = platform.allocate_address()
+            except Exception as exc:
+                last_failure = "platform %s: %s" % (platform.name, exc)
+                continue
+            # Security analysis depends on the assigned address (the
+            # module may legitimately source traffic from it).
+            try:
+                security = self.analyzer.analyze(
+                    config,
+                    request.role,
+                    module_address=address,
+                    whitelist=whitelist,
+                )
+            except VerificationError as exc:
+                return DeploymentResult(
+                    accepted=False,
+                    reason="static checking impossible: %s" % exc,
+                )
+            if security.verdict == VERDICT_REJECT:
+                return DeploymentResult(
+                    accepted=False,
+                    security=security,
+                    reason="security rules violated:\n%s" % security,
+                )
+            deploy_config = config
+            sandboxed = False
+            if security.verdict == VERDICT_SANDBOX:
+                deploy_config = wrap_with_enforcer(
+                    config, address, whitelist
+                )
+                sandboxed = True
+            # Trial placement: pretend the module runs on this platform.
+            try:
+                listen_proto, listen_port = request.parse_listen()
+            except Exception as exc:
+                return DeploymentResult(
+                    accepted=False, reason="bad listen spec: %s" % exc,
+                )
+            platform.deploy(
+                module_id, address, deploy_config,
+                proto=listen_proto, port=listen_port,
+            )
+            self.network.compute_routes()
+            try:
+                started = time.perf_counter()
+                compiled = NetworkCompiler(self.network).compile()
+                compile_seconds += time.perf_counter() - started
+                started = time.perf_counter()
+                results = self._verify_all(
+                    compiled, requirements, module_id,
+                    module_config=deploy_config,
+                )
+                check_seconds += time.perf_counter() - started
+            except VerificationError as exc:
+                # The trial placement must never leak on a failed
+                # verification (bad node reference, unmodelled
+                # element in an operator box, ...).
+                platform.undeploy(module_id)
+                self.network.compute_routes()
+                return DeploymentResult(
+                    accepted=False,
+                    reason="verification failed: %s" % exc,
+                    compile_seconds=compile_seconds,
+                    check_seconds=check_seconds,
+                )
+            if all(results):
+                if dry_run:
+                    # Undo the trial placement; report the decision.
+                    platform.undeploy(module_id)
+                    self.network.compute_routes()
+                else:
+                    self._commit(request, module_id, platform, address,
+                                 deploy_config, sandboxed, requirements)
+                return DeploymentResult(
+                    accepted=True,
+                    module_id=module_id,
+                    platform=platform.name,
+                    address=format_ip(address),
+                    sandboxed=sandboxed,
+                    security=security,
+                    reach_results=results,
+                    compile_seconds=compile_seconds,
+                    check_seconds=check_seconds,
+                )
+            failed = [r for r in results if not r]
+            last_failure = "; ".join(
+                "%s: %s" % (r.requirement, r.reason) for r in failed
+            )
+            platform.undeploy(module_id)
+            self.network.compute_routes()
+        return DeploymentResult(
+            accepted=False,
+            reason=last_failure,
+            compile_seconds=compile_seconds,
+            check_seconds=check_seconds,
+        )
+
+    def kill(self, module_id: str) -> bool:
+        """Stop and remove a deployed module (the client's kill call)."""
+        record = self.deployed.pop(module_id, None)
+        if record is None:
+            return False
+        platform = self.network.node(record.platform)
+        platform.undeploy(module_id)
+        self.flow_rules.pop((record.platform, record.address), None)
+        owned = self.client_addresses.get(record.client_id)
+        if owned is not None:
+            owned.discard(record.address)
+        self.network.compute_routes()
+        self.ledger.record_stop(module_id, self._clock())
+        return True
+
+    def migrate(
+        self, module_id: str, target_platform: str
+    ) -> MigrationResult:
+        """Move a deployed module to another platform.
+
+        Processing should follow the user (Section 2): the module is
+        trial-placed on the target, the client's original requirements
+        are re-verified there, and only then is the source instance
+        torn down.  The module gets a fresh address from the target's
+        pool (the client is notified, exactly as on first deployment).
+        Downtime follows the suspend -> transfer -> resume model.
+        """
+        record = self.deployed.get(module_id)
+        if record is None:
+            return MigrationResult(
+                migrated=False, module_id=module_id,
+                reason="unknown module",
+            )
+        if record.platform == target_platform:
+            return MigrationResult(
+                migrated=False, module_id=module_id,
+                reason="module already on %s" % target_platform,
+            )
+        try:
+            target = self.network.node(target_platform)
+        except Exception:
+            return MigrationResult(
+                migrated=False, module_id=module_id,
+                reason="unknown platform %r" % (target_platform,),
+            )
+        if not isinstance(target, Platform):
+            return MigrationResult(
+                migrated=False, module_id=module_id,
+                reason="%r is not a platform" % (target_platform,),
+            )
+        if not target.has_capacity:
+            return MigrationResult(
+                migrated=False, module_id=module_id,
+                reason="target platform is at capacity",
+            )
+        source = self.network.node(record.platform)
+        new_address = target.allocate_address()
+        # Trial placement on the target while the source still runs.
+        source.undeploy(module_id)
+        target.deploy(module_id, new_address, record.config)
+        self.network.compute_routes()
+        compiled = NetworkCompiler(self.network).compile()
+        results = self._verify_all(
+            compiled, record.requirements, module_id,
+            module_config=record.config,
+        )
+        if not all(results):
+            # Roll back: the module stays where it was.
+            target.undeploy(module_id)
+            source.deploy(module_id, record.address, record.config)
+            self.network.compute_routes()
+            failed = [r for r in results if not r]
+            return MigrationResult(
+                migrated=False, module_id=module_id,
+                source=record.platform, target=target_platform,
+                reason="; ".join(
+                    "%s: %s" % (r.requirement, r.reason) for r in failed
+                ),
+            )
+        # Commit: swap flow rules and client-owned addresses.
+        self.flow_rules.pop((record.platform, record.address), None)
+        self.flow_rules[(target_platform, new_address)] = module_id
+        owned = self.client_addresses.setdefault(record.client_id, set())
+        owned.discard(record.address)
+        owned.add(new_address)
+        old_platform = record.platform
+        record.platform = target_platform
+        record.address = new_address
+        downtime = _migration_downtime(record.config)
+        return MigrationResult(
+            migrated=True,
+            module_id=module_id,
+            source=old_platform,
+            target=target_platform,
+            new_address=format_ip(new_address),
+            downtime_seconds=downtime,
+        )
+
+    def register_client_address(self, client_id: str, address: str) -> None:
+        """Record an address owned by a client (explicit authorization)."""
+        self.client_addresses.setdefault(client_id, set()).add(
+            addresses_to_whitelist([address]).__iter__().__next__()
+        )
+
+    def verify_snapshot(self) -> List[ReachResult]:
+        """Re-check the whole snapshot after a network change.
+
+        Section 4.3: "The policy is enforced by static verification
+        performed by the controller at each modification of the state
+        of the network."  Checks every operator requirement *and* every
+        deployed module's stored client requirements; callers inspect
+        the failed results to find what a topology change broke.
+        """
+        compiled = NetworkCompiler(self.network).compile()
+        results = self._verify_all(compiled, [], None)
+        for record in self.deployed.values():
+            results.extend(self._verify_all(
+                compiled, record.requirements, record.module_id,
+                module_config=record.config,
+            ))
+        return results
+
+    def evacuate(self, platform_name: str) -> List[MigrationResult]:
+        """Move every module off a platform (maintenance / failure).
+
+        Each module is migrated to the first other platform where its
+        stored requirements re-verify; modules with nowhere to go are
+        reported as failed migrations and left in place (on a dead
+        platform the operator would kill them instead).
+        """
+        victims = [
+            module_id
+            for module_id, record in self.deployed.items()
+            if record.platform == platform_name
+        ]
+        outcomes: List[MigrationResult] = []
+        for module_id in victims:
+            moved = None
+            for platform in self.network.platforms():
+                if platform.name == platform_name:
+                    continue
+                if not platform.has_capacity:
+                    continue
+                attempt = self.migrate(module_id, platform.name)
+                if attempt:
+                    moved = attempt
+                    break
+                moved = attempt
+            if moved is None:
+                moved = MigrationResult(
+                    migrated=False, module_id=module_id,
+                    source=platform_name,
+                    reason="no alternative platform available",
+                )
+            outcomes.append(moved)
+        return outcomes
+
+    # -- internals ----------------------------------------------------------------
+    def _whitelist_for(self, request: ClientRequest) -> FrozenSet[int]:
+        owned = addresses_to_whitelist(request.owned_addresses)
+        known = self.client_addresses.get(request.client_id, set())
+        return frozenset(owned | known)
+
+    def _verify_all(
+        self,
+        compiled: CompiledNetwork,
+        client_requirements: List[ReachRequirement],
+        module_id: Optional[str],
+        module_config: Optional[ClickConfig] = None,
+    ) -> List[ReachResult]:
+        checker = ReachabilityChecker(compiled.resolver)
+        results: List[ReachResult] = []
+        engine = compiled.engine()
+        for requirement in itertools.chain(
+            self.operator_requirements, client_requirements
+        ):
+            requirement = _instantiate_rule(
+                requirement, module_id, module_config
+            )
+            if requirement is None:
+                continue  # $module rule with no module in flight
+            origin = requirement.origin
+            exploration = compiled.explore_from(
+                origin.node, origin.flow, engine=engine
+            )
+            results.append(checker.check(requirement, exploration))
+        return results
+
+    def _commit(
+        self,
+        request: ClientRequest,
+        module_id: str,
+        platform: Platform,
+        address: int,
+        config: ClickConfig,
+        sandboxed: bool,
+        requirements: Optional[List[ReachRequirement]] = None,
+    ) -> None:
+        self.deployed[module_id] = _DeployedModule(
+            module_id=module_id,
+            client_id=request.client_id,
+            platform=platform.name,
+            address=address,
+            config=config,
+            sandboxed=sandboxed,
+            requirements=list(requirements or []),
+        )
+        self.ledger.record_deployment(
+            module_id, request.client_id, sandboxed, self._clock()
+        )
+        self.flow_rules[(platform.name, address)] = module_id
+        # The module's address becomes part of the client's explicit-
+        # authorization set, disseminated to all platforms (Section 2.1).
+        self.client_addresses.setdefault(request.client_id, set()).add(
+            address
+        )
+
+
+def _instantiate_rule(
+    requirement: ReachRequirement,
+    module_id: Optional[str],
+    module_config: Optional[ClickConfig],
+) -> Optional[ReachRequirement]:
+    """Substitute the ``$module`` placeholder in an operator rule.
+
+    Section 2.2: some operator policies are about *the tenant's own
+    traffic* ("if a client's VM talks HTTP it must sit behind the HTTP
+    middlebox").  Such rules use ``$module`` as origin; the controller
+    instantiates them per trial placement so the module's egress is
+    where symbolic traffic is injected.  Returns None when there is no
+    module in flight to substitute.
+    """
+    from dataclasses import replace
+
+    from repro.policy.grammar import (
+        Hop,
+        KIND_ELEMENT,
+        KIND_NAME,
+        MODULE_PLACEHOLDER,
+        NodeRef,
+    )
+
+    origin = requirement.origin
+    uses_placeholder = (
+        origin.node.kind == KIND_NAME
+        and origin.node.name == MODULE_PLACEHOLDER
+    )
+    if not uses_placeholder:
+        return requirement
+    if module_id is None or module_config is None:
+        return None
+    sources = module_config.sources()
+    if not sources:
+        return None
+    # Inject at the module's entry: the symbolic traffic then passes
+    # through the module's own elements, so what can leave the module
+    # is exactly what its filters and rewriters allow.
+    new_origin = Hop(
+        node=NodeRef(
+            KIND_ELEMENT, name=module_id, element=sources[0], port=0
+        ),
+        flow=origin.flow,
+        const_fields=origin.const_fields,
+    )
+    return replace(
+        requirement, hops=(new_origin,) + requirement.hops[1:]
+    )
+
+
+#: Migration transfer model: suspended ClickOS image ~8 MB over an
+#: operator backbone path at ~1 Gb/s effective.
+_VM_IMAGE_BYTES = 8 * 1024 * 1024
+_TRANSFER_BPS = 1e9
+_SUSPEND_S = 0.05
+_RESUME_S = 0.06
+
+
+def _migration_downtime(config: ClickConfig) -> float:
+    """Downtime of suspend -> transfer -> resume for one module."""
+    transfer = _VM_IMAGE_BYTES * 8.0 / _TRANSFER_BPS
+    return _SUSPEND_S + transfer + _RESUME_S
+
+
+def wrap_with_enforcer(
+    config: ClickConfig, module_address: int, whitelist: FrozenSet[int]
+) -> ClickConfig:
+    """Wrap a configuration with ChangeEnforcer sandboxes (Section 4.4).
+
+    An enforcer instance is injected on every path from a FromNetfront
+    element into the module and on every path from the module to a
+    ToNetfront element.  The enforcer is part of the client's
+    configuration, so the client is billed for it.
+    """
+    from repro.click.config import Edge
+
+    wrapped = ClickConfig()
+    wrapped.elements = dict(config.elements)
+    wrapped._anon_counter = config._anon_counter
+    sources = set(config.sources())
+    sinks = set(config.sinks())
+    args = ["addr %s" % format_ip(module_address)]
+    args.extend("whitelist %s" % format_ip(a) for a in sorted(whitelist))
+    ingress_edges = [e for e in config.edges if e.src in sources]
+    egress_edges = [e for e in config.edges if e.dst in sinks]
+    # The common single-path module gets ONE enforcer spanning both
+    # directions, so implicit authorizations granted on ingress are
+    # visible when policing egress.  Configurations with several entry
+    # or exit edges get a dedicated instance per edge: stricter (each
+    # egress enforcer then only honors its own observations plus the
+    # white-list), but still safe.
+    shared = len(ingress_edges) == 1 and len(egress_edges) == 1
+    if shared:
+        wrapped.declare("enforcer", "ChangeEnforcer", tuple(args))
+    enforcer_count = itertools.count(1)
+    for edge in config.edges:
+        if edge.src in sources:
+            name = "enforcer" if shared else (
+                "enforcer_in_%d" % next(enforcer_count)
+            )
+            if not shared:
+                wrapped.declare(name, "ChangeEnforcer", tuple(args))
+            wrapped.edges.append(Edge(edge.src, edge.src_port, name, 0))
+            wrapped.edges.append(Edge(name, 0, edge.dst, edge.dst_port))
+        elif edge.dst in sinks:
+            name = "enforcer" if shared else (
+                "enforcer_out_%d" % next(enforcer_count)
+            )
+            if not shared:
+                wrapped.declare(name, "ChangeEnforcer", tuple(args))
+            wrapped.edges.append(Edge(edge.src, edge.src_port, name, 1))
+            wrapped.edges.append(Edge(name, 1, edge.dst, edge.dst_port))
+        else:
+            wrapped.edges.append(edge)
+    return wrapped

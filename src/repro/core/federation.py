@@ -1,0 +1,131 @@
+"""Deploying across multiple operators (Sections 7 and 8).
+
+The DoS and CDN use cases instantiate processing "at remote operators":
+the content provider holds credentials with several access networks and
+asks each one's controller for a module, picking operators by where
+their platforms sit ("destinations can instantiate filtering code on
+remote platforms, and attract traffic to those platforms by updating
+DNS entries").
+
+:class:`Federation` is the client-side library for that: a directory of
+operators with their geographic regions, nearest-first deployment with
+fallback, and bookkeeping of what runs where.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.common.errors import DeploymentError
+from repro.core.controller import Controller, DeploymentResult
+from repro.core.requests import ClientRequest
+
+
+@dataclass
+class OperatorInfo:
+    """One operator the client holds credentials with."""
+
+    name: str
+    controller: Controller
+    #: Representative location of the operator's platforms (lat, lon).
+    region: Tuple[float, float]
+
+
+@dataclass
+class FederatedDeployment:
+    """Where a module ended up."""
+
+    operator: str
+    result: DeploymentResult
+
+    def __bool__(self) -> bool:
+        return bool(self.result)
+
+
+def _distance(a: Tuple[float, float], b: Tuple[float, float]) -> float:
+    lat1, lon1 = map(math.radians, a)
+    lat2, lon2 = map(math.radians, b)
+    x = (lon2 - lon1) * math.cos((lat1 + lat2) / 2)
+    y = lat2 - lat1
+    return math.hypot(x, y)
+
+
+class Federation:
+    """A client's view over several In-Net operators."""
+
+    def __init__(self):
+        self.operators: Dict[str, OperatorInfo] = {}
+        #: module id -> operator name.
+        self.placements: Dict[str, str] = {}
+
+    def add_operator(
+        self,
+        name: str,
+        controller: Controller,
+        region: Tuple[float, float],
+    ) -> OperatorInfo:
+        """Register an operator the client may deploy with."""
+        if name in self.operators:
+            raise DeploymentError("operator %r registered twice" % name)
+        info = OperatorInfo(name=name, controller=controller,
+                            region=region)
+        self.operators[name] = info
+        return info
+
+    def operators_by_distance(
+        self, location: Tuple[float, float]
+    ) -> List[OperatorInfo]:
+        """Operators sorted nearest-first to a location."""
+        return sorted(
+            self.operators.values(),
+            key=lambda info: _distance(info.region, location),
+        )
+
+    def deploy_near(
+        self,
+        request: ClientRequest,
+        location: Tuple[float, float],
+    ) -> FederatedDeployment:
+        """Deploy with the nearest operator that accepts the request.
+
+        Falls back outward by distance; the first denial reason is
+        reported if every operator refuses.
+        """
+        if not self.operators:
+            raise DeploymentError("no operators registered")
+        first_denial: Optional[DeploymentResult] = None
+        for info in self.operators_by_distance(location):
+            result = info.controller.request(request)
+            if result.accepted:
+                if request.module_name:
+                    self.placements[request.module_name] = info.name
+                return FederatedDeployment(
+                    operator=info.name, result=result
+                )
+            if first_denial is None:
+                first_denial = result
+        if first_denial is None:
+            first_denial = DeploymentResult(
+                accepted=False, reason="no operators accepted",
+            )
+        return FederatedDeployment(operator="", result=first_denial)
+
+    def kill(self, module_id: str) -> bool:
+        """Tear a federated module down wherever it runs."""
+        operator_name = self.placements.pop(module_id, None)
+        if operator_name is None:
+            return False
+        return self.operators[operator_name].controller.kill(module_id)
+
+    def deployments(self) -> Dict[str, str]:
+        """module id -> operator name, for everything still running."""
+        return dict(self.placements)
+
+    def total_invoice(self, client_id: str, now: float) -> float:
+        """The client's combined bill across every operator."""
+        return sum(
+            info.controller.ledger.invoice(client_id, now).total
+            for info in self.operators.values()
+        )

@@ -1,0 +1,116 @@
+"""Client requests (Section 4.1).
+
+A request has two parts: the configuration to instantiate (a Click
+configuration built from known elements, or a pre-defined stock module)
+and the requirements to be satisfied (``reach`` statements).  The
+requester's trust role determines which security rules apply
+(Section 2.1):
+
+* ``ROLE_THIRD_PARTY`` -- untrusted customers of the in-network cloud:
+  anti-spoofing plus default-off (traffic only to authorized
+  destinations),
+* ``ROLE_CLIENT`` -- the operator's own residential/mobile customers:
+  anti-spoofing only (they may reach any destination, like their normal
+  Internet service, so they can deploy explicit proxies),
+* ``ROLE_OPERATOR`` -- the operator's own modules: trusted; static
+  analysis is only about correctness.
+
+Every role is subject to the "only process traffic destined to you"
+rule -- passthrough middleboxes (routers, DPI...) are rejected for
+tenants.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple
+
+from repro.click.config import ClickConfig, parse_config
+from repro.common.errors import ConfigError
+from repro.policy.grammar import ReachRequirement, parse_requirements
+
+ROLE_THIRD_PARTY = "third-party"
+ROLE_CLIENT = "client"
+ROLE_OPERATOR = "operator"
+
+ROLES = (ROLE_THIRD_PARTY, ROLE_CLIENT, ROLE_OPERATOR)
+
+
+@dataclass
+class ClientRequest:
+    """One processing-module deployment request.
+
+    Exactly one of ``config_source`` (Click text) or ``stock``
+    (a stock-module name plus its parameters) must be provided.
+    """
+
+    client_id: str
+    config_source: Optional[str] = None
+    stock: Optional[str] = None
+    stock_params: Tuple[str, ...] = ()
+    #: ``reach`` statements (newline separated or a list).
+    requirements: str = ""
+    role: str = ROLE_THIRD_PARTY
+    #: Addresses the requester owns/registered (dotted quads) --
+    #: explicit authorization targets (Section 2.1).
+    owned_addresses: Tuple[str, ...] = ()
+    module_name: Optional[str] = None
+    #: Which traffic class the module listens on: ``"udp 1500"``,
+    #: ``"tcp 80"``, or just ``"udp"``.  The controller installs the
+    #: steering rule for exactly this address/protocol/port combination
+    #: (Section 4.3); None steers everything addressed to the module.
+    listen: Optional[str] = None
+    #: Per-flow state declared by the client (affects consolidation).
+    extra: dict = field(default_factory=dict)
+
+    def __post_init__(self):
+        if (self.config_source is None) == (self.stock is None):
+            raise ConfigError(
+                "request needs exactly one of config_source or stock"
+            )
+        if self.role not in ROLES:
+            raise ConfigError("unknown role %r" % (self.role,))
+
+    def parse_click_config(self) -> ClickConfig:
+        """The Click configuration to instantiate."""
+        if self.config_source is not None:
+            return parse_config(self.config_source)
+        from repro.core.catalog import stock_module_config
+
+        return stock_module_config(self.stock, *self.stock_params)
+
+    def parse_reach_requirements(self) -> List[ReachRequirement]:
+        """The client's reach statements."""
+        if not self.requirements:
+            return []
+        return parse_requirements(self.requirements)
+
+    def parse_listen(self) -> Tuple[Optional[int], Optional[int]]:
+        """The (protocol number, destination port) the module listens
+        on, either possibly None."""
+        if not self.listen:
+            return None, None
+        from repro.common.fields import PROTO_NUMBERS
+
+        proto: Optional[int] = None
+        port: Optional[int] = None
+        for token in self.listen.split():
+            lowered = token.lower()
+            if lowered in PROTO_NUMBERS:
+                proto = PROTO_NUMBERS[lowered]
+            elif token.isdigit():
+                value = int(token)
+                if not 0 <= value <= 65535:
+                    raise ConfigError(
+                        "listen port out of range: %r" % (token,)
+                    )
+                port = value
+            else:
+                raise ConfigError(
+                    "cannot parse listen spec %r" % (self.listen,)
+                )
+        return proto, port
+
+    @property
+    def is_stock(self) -> bool:
+        return self.stock is not None

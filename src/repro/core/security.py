@@ -1,0 +1,271 @@
+"""The In-Net security rules, checked by symbolic execution (Section 4.4).
+
+For all tenants the controller verifies anti-spoofing: it injects an
+unconstrained symbolic packet into the processing module and checks
+that, at every module egress, the source address is either the address
+assigned to the module or invariant along the path from ingress
+(variable identity).
+
+For untrusted third parties it additionally enforces default-off: the
+destination of module-originated traffic must be (a) in the requester's
+per-client white-list (explicit authorization) or (b) equal to the
+source address of the incoming traffic (implicit authorization, proven
+by SYMNET through binding: ``IPdst`` aliases the variable ``IPsrc`` was
+bound to at ingress).
+
+Tenants of every role may only process traffic destined to them:
+passthrough middleboxes (the egress destination is the *unmodified*
+ingress destination) are definite violations for tenants.
+
+Verdicts:
+
+* ``allow``  -- every egress flow provably conforms,
+* ``sandbox`` -- the module can generate both allowed and disallowed
+  traffic (compliance not checkable at install time, e.g. tunnels whose
+  inner destination appears only at decap time, or x86 VMs),
+* ``reject`` -- some egress traffic definitely violates the rules.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import FrozenSet, List, Optional, Set
+
+from repro.common import fields as F
+from repro.common.errors import VerificationError
+from repro.common.intervals import IntervalSet
+from repro.core.requests import (
+    ROLE_CLIENT,
+    ROLE_OPERATOR,
+    ROLE_THIRD_PARTY,
+)
+from repro.symexec.engine import SymbolicEngine, SymFlow, SymGraph
+from repro.symexec.models import has_model
+from repro.symexec.reachability import domain_at
+
+VERDICT_ALLOW = "allow"
+VERDICT_SANDBOX = "sandbox"
+VERDICT_REJECT = "reject"
+
+_ONE = IntervalSet.single(1)
+
+
+@dataclass
+class Finding:
+    """One per-flow rule evaluation."""
+
+    rule: str          # "spoofing" | "default-off" | "passthrough"
+    severity: str      # "violation" | "ambiguous"
+    detail: str
+
+    def __str__(self) -> str:
+        return "[%s/%s] %s" % (self.rule, self.severity, self.detail)
+
+
+@dataclass
+class SecurityReport:
+    """Result of analysing one module configuration."""
+
+    verdict: str
+    role: str
+    findings: List[Finding] = field(default_factory=list)
+    egress_flows: int = 0
+    analysis_seconds: float = 0.0
+
+    @property
+    def needs_sandbox(self) -> bool:
+        return self.verdict == VERDICT_SANDBOX
+
+    @property
+    def rejected(self) -> bool:
+        return self.verdict == VERDICT_REJECT
+
+    def __str__(self) -> str:
+        lines = ["verdict=%s (%d egress flows)"
+                 % (self.verdict, self.egress_flows)]
+        lines.extend("  " + str(f) for f in self.findings)
+        return "\n".join(lines)
+
+
+def _flag_is_set(flow: SymFlow, snapshot, flag: str) -> bool:
+    domain = domain_at(flow, snapshot, flag)
+    return domain is not None and domain.is_subset(_ONE)
+
+
+class SecurityAnalyzer:
+    """Checks a module configuration against the security rules."""
+
+    def __init__(self, max_steps: int = 200_000):
+        self.max_steps = max_steps
+
+    def analyze(
+        self,
+        config,
+        role: str,
+        module_address: Optional[int] = None,
+        whitelist: FrozenSet[int] = frozenset(),
+    ) -> SecurityReport:
+        """Run the security analysis on one Click configuration.
+
+        ``whitelist`` holds the requester's explicitly-authorized
+        destination addresses (their registered addresses plus their
+        other modules' addresses, Section 2.1).
+        """
+        started = time.perf_counter()
+        if role == ROLE_OPERATOR:
+            # Operator modules are trusted: the analysis only informs
+            # correctness (reach checks), never blocks deployment.
+            return SecurityReport(
+                verdict=VERDICT_ALLOW,
+                role=role,
+                analysis_seconds=time.perf_counter() - started,
+            )
+        self._require_known_models(config)
+        graph = SymGraph.from_click(config)
+        engine = SymbolicEngine(graph, max_steps=self.max_steps)
+        findings: List[Finding] = []
+        egress = 0
+        whitelist_set = IntervalSet.from_values(whitelist)
+        definite = False
+        ambiguous = False
+        for source in config.sources():
+            flow = SymFlow(engine.fresh_packet())
+            ingress_src_uid = flow.packet.var(F.IP_SRC).uid
+            ingress_dst_uid = flow.packet.var(F.IP_DST).uid
+            exploration = engine.inject(source, 0, flow)
+            for out in exploration.delivered:
+                egress += 1
+                snapshot = out.trace[-1].snapshot
+                verdicts = self._check_flow(
+                    out,
+                    snapshot,
+                    role,
+                    ingress_src_uid,
+                    ingress_dst_uid,
+                    module_address,
+                    whitelist_set,
+                )
+                findings.extend(verdicts)
+                definite = definite or any(
+                    v.severity == "violation" for v in verdicts
+                )
+                ambiguous = ambiguous or any(
+                    v.severity == "ambiguous" for v in verdicts
+                )
+        if definite:
+            verdict = VERDICT_REJECT
+        elif ambiguous:
+            verdict = VERDICT_SANDBOX
+        else:
+            verdict = VERDICT_ALLOW
+        return SecurityReport(
+            verdict=verdict,
+            role=role,
+            findings=findings,
+            egress_flows=egress,
+            analysis_seconds=time.perf_counter() - started,
+        )
+
+    # -- internals ----------------------------------------------------------
+    def _require_known_models(self, config) -> None:
+        for name, decl in config.elements.items():
+            if not has_model(decl.class_name):
+                raise VerificationError(
+                    "element %r (%s) has no symbolic model; the request "
+                    "cannot be statically checked" % (name, decl.class_name)
+                )
+
+    def _check_flow(
+        self,
+        flow: SymFlow,
+        snapshot,
+        role: str,
+        ingress_src_uid: int,
+        ingress_dst_uid: int,
+        module_address: Optional[int],
+        whitelist: IntervalSet,
+    ) -> List[Finding]:
+        findings: List[Finding] = []
+        sandboxed = _flag_is_set(flow, snapshot, "sandboxed")
+        auth_ok = _flag_is_set(flow, snapshot, "auth_ok")
+        decapped = _flag_is_set(flow, snapshot, "decapped")
+        # -- anti-spoofing (all tenant roles) ----------------------------
+        # Allowed egress sources: preserved from ingress, the module's
+        # assigned address (which at run time is the ingress destination
+        # -- responder-style modules source replies from the address
+        # they were contacted on), or decapsulated traffic, which is
+        # attributed to the tunnel sender (ingress filtering at the
+        # tunnel entry enforces anti-spoofing there).
+        src_uid = snapshot.get(F.IP_SRC)
+        src_ok = (
+            src_uid == ingress_src_uid
+            or src_uid == ingress_dst_uid
+            or decapped
+        )
+        if not src_ok and module_address is not None:
+            src_domain = domain_at(flow, snapshot, F.IP_SRC)
+            src_ok = src_domain is not None and src_domain.is_subset(
+                IntervalSet.single(module_address)
+            )
+        if not src_ok and sandboxed:
+            src_ok = True
+        if not src_ok:
+            src_domain = domain_at(flow, snapshot, F.IP_SRC)
+            if src_domain is not None and (
+                src_domain.size() > 1
+            ):
+                findings.append(Finding(
+                    "spoofing", "ambiguous",
+                    "egress source rewritten to an unconstrained value; "
+                    "spoofing cannot be excluded statically",
+                ))
+            else:
+                findings.append(Finding(
+                    "spoofing", "violation",
+                    "egress source address is neither the module's "
+                    "assigned address nor preserved from ingress",
+                ))
+        # -- only process traffic destined to you (all tenant roles) -----
+        dst_uid = snapshot.get(F.IP_DST)
+        passthrough = dst_uid == ingress_dst_uid
+        implicit_auth = dst_uid == ingress_src_uid
+        dst_domain = domain_at(flow, snapshot, F.IP_DST)
+        whitelisted = (
+            dst_domain is not None
+            and not whitelist.is_empty()
+            and dst_domain.is_subset(whitelist)
+        )
+        if passthrough and not (sandboxed or auth_ok):
+            findings.append(Finding(
+                "passthrough", "violation",
+                "egress destination is the unmodified ingress "
+                "destination: the module forwards traffic that was "
+                "never destined to it",
+            ))
+        # -- default-off (third parties only) ------------------------------
+        if role == ROLE_THIRD_PARTY and not passthrough:
+            if not (implicit_auth or whitelisted or auth_ok or sandboxed):
+                if dst_domain is not None and dst_domain.size() > 1:
+                    findings.append(Finding(
+                        "default-off", "ambiguous",
+                        "egress destination is decided at run time; the "
+                        "module may reach both authorized and "
+                        "unauthorized destinations",
+                    ))
+                else:
+                    findings.append(Finding(
+                        "default-off", "violation",
+                        "egress destination is a fixed address outside "
+                        "the requester's white-list",
+                    ))
+        return findings
+
+
+def addresses_to_whitelist(addresses) -> FrozenSet[int]:
+    """Parse dotted-quad addresses into a white-list set."""
+    from repro.common.addr import parse_ip
+
+    return frozenset(
+        parse_ip(a) if isinstance(a, str) else int(a) for a in addresses
+    )

@@ -1,0 +1,53 @@
+"""The operator network model.
+
+The In-Net controller verifies client requests on a *snapshot* of the
+network: routing and switch tables, middlebox configurations, tunnels
+(Section 4.3).  This package is that snapshot:
+
+* :mod:`repro.netmodel.topology` -- the network graph: routers, links,
+  operator middleboxes, processing platforms, client subnets, hosts and
+  the internet, with automatic shortest-path route computation,
+* :mod:`repro.netmodel.routing` -- longest-prefix-match routing tables
+  (with a symbolic split used by router models),
+* :mod:`repro.netmodel.symgraph` -- the compiler that turns a topology
+  plus a set of trial-deployed processing modules into a
+  :class:`~repro.symexec.engine.SymGraph`, and the node resolver that
+  maps requirement node references (``client``, ``internet``, addresses,
+  ``module:element:port``) onto graph vertices.
+"""
+
+from repro.netmodel.examples import (
+    figure3_network,
+    linear_network,
+    star_network,
+)
+from repro.netmodel.routing import Route, RoutingTable
+from repro.netmodel.symgraph import CompiledNetwork, NetworkCompiler
+from repro.netmodel.topology import (
+    ClientSubnet,
+    Host,
+    Internet,
+    Link,
+    Middlebox,
+    Network,
+    Platform,
+    Router,
+)
+
+__all__ = [
+    "Network",
+    "Router",
+    "Host",
+    "ClientSubnet",
+    "Internet",
+    "Middlebox",
+    "Platform",
+    "Link",
+    "Route",
+    "RoutingTable",
+    "NetworkCompiler",
+    "CompiledNetwork",
+    "figure3_network",
+    "linear_network",
+    "star_network",
+]

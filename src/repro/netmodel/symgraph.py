@@ -1,0 +1,423 @@
+"""Compiling a network snapshot into a symbolic graph.
+
+The controller verifies requests by "pretending it has instantiated the
+client processing" (Section 4.3): it compiles the topology *plus* the
+trial-deployed modules into one :class:`~repro.symexec.engine.SymGraph`
+and runs reachability checks on it.  This module is that compiler.
+
+Conventions:
+
+* topology nodes keep their names; a module's elements become
+  ``<module>/<element>`` vertices;
+* a platform vertex demuxes arriving traffic to the module whose
+  assigned address matches the destination (the OpenFlow rules the
+  real controller installs on Open vSwitch), and forwards module egress
+  out its uplink;
+* endpoint vertices (hosts, client subnets, internet) are sinks.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional, Tuple
+
+from repro.common import fields as F
+from repro.common.errors import VerificationError
+from repro.common.intervals import IntervalSet
+from repro.netmodel.topology import (
+    ClientSubnet,
+    Host,
+    Internet,
+    Middlebox,
+    Network,
+    Platform,
+    Router,
+)
+from repro.policy.flowspec import FlowSpec, parse_flowspec
+from repro.policy.grammar import (
+    KIND_ADDRESS,
+    KIND_CLIENT,
+    KIND_ELEMENT,
+    KIND_INTERNET,
+    KIND_NAME,
+    NodeRef,
+)
+from repro.symexec.engine import (
+    Exploration,
+    SymbolicEngine,
+    SymFlow,
+    SymGraph,
+    TraceEntry,
+)
+from repro.symexec.models import flows_matching, model_for
+
+#: Platform pseudo-port bases (topology uplink ports stay below these).
+MODULE_INGRESS_BASE = 1000
+MODULE_EGRESS_BASE = 2000
+
+
+def _endpoint_model(ctx, node, port, flow):
+    # Endpoints are sinks; the engine never calls their model.
+    return []
+
+
+def _router_model(ctx, node, port, flow):
+    table = ctx.graph.payloads[node]
+    results = []
+    branches = table.symbolic_split()
+    for index, (out_port, allowed) in enumerate(branches):
+        fork = flow if index == len(branches) - 1 else flow.fork()
+        if fork.constrain_field(F.IP_DST, allowed):
+            results.append((out_port, fork))
+    return results
+
+
+def _middlebox_model_factory(element) -> Callable:
+    inner_model = model_for(element.class_name)
+    two_sided = element.n_inputs == 2
+
+    def middlebox_model(ctx, node, port, flow):
+        element_port = port if two_sided else 0
+        # The inner model reads its element instance via the payload.
+        outputs = inner_model(ctx, node, element_port, flow)
+        results = []
+        for out_port, out_flow in outputs:
+            if two_sided:
+                # Directional elements (StatefulFirewall, IngressFilter,
+                # ChangeEnforcer): port number = traffic direction.
+                # Direction d enters on interface d and leaves on the
+                # opposite interface.
+                iface = 1 - out_port if out_port in (0, 1) else out_port
+            else:
+                # Single-port elements placed on-path forward each
+                # direction to the opposite interface.
+                iface = 1 - port if port in (0, 1) else 0
+            results.append((iface, out_flow))
+        return results
+
+    return middlebox_model
+
+
+class _PlatformState:
+    """Payload of a platform vertex."""
+
+    def __init__(self, platform: Platform, uplink_port: int,
+                 module_order: List[str]):
+        self.platform = platform
+        self.uplink_port = uplink_port
+        self.module_order = module_order  # deterministic pseudo-ports
+
+    def module_branches(
+        self,
+    ) -> List[Tuple[int, Dict[str, IntervalSet]]]:
+        """(ingress pseudo-port, residual match) per steering rule.
+
+        Read from the platform's OpenFlow-style table, so the symbolic
+        demux follows exactly the rules the controller installed.
+        """
+        from repro.netmodel.flowtable import ACTION_TO_MODULE
+
+        branches = []
+        for action, residual in (
+            self.platform.flow_table.symbolic_branches()
+        ):
+            if action.kind != ACTION_TO_MODULE:
+                continue
+            if action.target not in self.module_order:
+                continue
+            index = self.module_order.index(action.target)
+            branches.append((MODULE_INGRESS_BASE + index, residual))
+        return branches
+
+
+def _platform_model(ctx, node, port, flow):
+    state: _PlatformState = ctx.graph.payloads[node]
+    results = []
+    branches = state.module_branches()
+    remaining = flow
+    from_module = port >= MODULE_EGRESS_BASE
+    for ingress_port, residual in branches:
+        if from_module and ingress_port == (
+            port - MODULE_EGRESS_BASE + MODULE_INGRESS_BASE
+        ):
+            continue  # no self-hairpin: a module never feeds itself
+        fork = remaining.fork()
+        alive = True
+        for field_name, allowed in residual.items():
+            if not fork.constrain_field(field_name, allowed):
+                alive = False
+                break
+        if alive:
+            results.append((ingress_port, fork))
+    if from_module:
+        # Module egress not destined to a co-located module leaves via
+        # the uplink; the upstream router takes over.
+        module_addresses = IntervalSet.from_values(
+            addr for addr, _cfg in state.platform.modules.values()
+        )
+        if remaining.constrain_field(
+            F.IP_DST,
+            IntervalSet.from_interval(0, (1 << 32) - 1).subtract(
+                module_addresses
+            ),
+        ):
+            results.append((state.uplink_port, remaining))
+    # Traffic arriving on the uplink that matches no module is dropped
+    # (the platform only accepts module-addressed traffic).
+    return results
+
+
+class CompiledNetwork:
+    """A symbolic graph for one network snapshot, plus its resolvers."""
+
+    def __init__(self, network: Network, graph: SymGraph):
+        self.network = network
+        self.graph = graph
+        #: module name -> (platform name, assigned address, ClickConfig).
+        self.modules: Dict[str, Tuple[str, int, object]] = {}
+        for platform in network.platforms():
+            for name, (address, config) in platform.modules.items():
+                self.modules[name] = (platform.name, address, config)
+
+    # -- engine -----------------------------------------------------------
+    def engine(self, **kwargs) -> SymbolicEngine:
+        """A fresh symbolic engine over the compiled graph."""
+        return SymbolicEngine(self.graph, **kwargs)
+
+    # -- resolver ----------------------------------------------------------
+    def resolver(self, ref: NodeRef) -> Callable[[TraceEntry], bool]:
+        """Map a requirement node reference to a trace-entry matcher."""
+        if ref.kind == KIND_INTERNET:
+            names = {n.name for n in self.network.internet_nodes()}
+            return lambda entry: entry.node in names
+        if ref.kind == KIND_CLIENT:
+            names = {n.name for n in self.network.client_subnets()}
+            return lambda entry: entry.node in names
+        if ref.kind == KIND_NAME:
+            if ref.name not in self.network.nodes:
+                raise VerificationError(
+                    "requirement references unknown node %r" % (ref.name,)
+                )
+            return lambda entry: entry.node == ref.name
+        if ref.kind == KIND_ELEMENT:
+            wanted = "%s/%s" % (ref.name, ref.element)
+            port = ref.port
+            return (
+                lambda entry: entry.node == wanted and entry.port == port
+            )
+        if ref.kind == KIND_ADDRESS:
+            return self._address_matcher(ref)
+        raise VerificationError("unresolvable node reference %r" % (ref,))
+
+    def _address_matcher(self, ref: NodeRef):
+        network_addr, plen = ref.prefix
+        from repro.common.addr import prefix_range
+
+        low, high = prefix_range(network_addr, plen)
+        wanted = IntervalSet.from_interval(low, high)
+        names = set()
+        # Module addresses match the module's entry element.
+        for module_name, (_platform, address, config) in \
+                self.modules.items():
+            if address in wanted:
+                for element in config.sources():
+                    names.add("%s/%s" % (module_name, element))
+        for node in self.network.nodes.values():
+            if isinstance(node, (Host, ClientSubnet)):
+                if node.owned_addresses().overlaps(wanted):
+                    names.add(node.name)
+        if not names:
+            # Fall back to any platform owning part of the range.
+            for platform in self.network.platforms():
+                if platform.owned_addresses().overlaps(wanted):
+                    names.add(platform.name)
+        return lambda entry: entry.node in names
+
+    # -- injection -----------------------------------------------------------
+    def internal_addresses(self) -> IntervalSet:
+        """Every address owned inside the operator's network."""
+        owned = IntervalSet.empty()
+        for node in self.network.nodes.values():
+            owned = owned.union(node.owned_addresses())
+        return owned
+
+    def injection_points(
+        self, ref: NodeRef
+    ) -> List[Tuple[str, Optional[IntervalSet]]]:
+        """Graph nodes where an origin hop's traffic departs, plus the
+        source-address constraint that node kind implies.
+
+        Internet-origin traffic is constrained to sources *outside* the
+        operator's address space: the operator applies ingress filtering
+        on its Internet links (Section 7), so spoofed internal sources
+        never enter from outside.
+        """
+        points: List[Tuple[str, Optional[IntervalSet]]] = []
+        if ref.kind == KIND_INTERNET:
+            outside = IntervalSet.from_interval(
+                0, (1 << 32) - 1
+            ).subtract(self.internal_addresses())
+            points = [
+                (n.name, outside) for n in self.network.internet_nodes()
+            ]
+        elif ref.kind == KIND_CLIENT:
+            points = [
+                (n.name, n.owned_addresses())
+                for n in self.network.client_subnets()
+            ]
+        elif ref.kind == KIND_ADDRESS:
+            network_addr, plen = ref.prefix
+            from repro.common.addr import prefix_range
+
+            low, high = prefix_range(network_addr, plen)
+            wanted = IntervalSet.from_interval(low, high)
+            for node in self.network.nodes.values():
+                if isinstance(node, (Host, ClientSubnet)):
+                    if node.owned_addresses().overlaps(wanted):
+                        points.append((node.name, wanted))
+            if not points:
+                # Unowned addresses originate in the internet.
+                points = [
+                    (n.name, wanted)
+                    for n in self.network.internet_nodes()
+                ]
+        elif ref.kind == KIND_NAME:
+            points = [(ref.name, None)]
+        elif ref.kind == KIND_ELEMENT:
+            points = [("%s/%s" % (ref.name, ref.element), None)]
+        if not points:
+            raise VerificationError(
+                "no injection point for origin %r" % (ref,)
+            )
+        return points
+
+    def explore_from(
+        self,
+        ref: NodeRef,
+        flow_spec: Optional[FlowSpec] = None,
+        engine: Optional[SymbolicEngine] = None,
+    ) -> Exploration:
+        """Inject symbolic traffic departing an origin node and explore.
+
+        One injection per (origin node, origin clause) pair; the merged
+        exploration covers every case.
+        """
+        engine = engine or self.engine()
+        merged = Exploration()
+        for node_name, source_set in self.injection_points(ref):
+            base = SymFlow(engine.fresh_packet())
+            if source_set is not None and not base.constrain_field(
+                F.IP_SRC, source_set
+            ):
+                continue
+            if flow_spec is not None:
+                seeds = flows_matching(base, flow_spec)
+            else:
+                seeds = [base]
+            for seed in seeds:
+                part = engine.inject_departure(node_name, seed)
+                merge_explorations(merged, part)
+        return merged
+
+
+def merge_explorations(target: Exploration, part: Exploration) -> None:
+    """Accumulate ``part`` into ``target`` (in place)."""
+    for key, flows in part.arrivals.items():
+        target.arrivals.setdefault(key, []).extend(flows)
+    target.delivered.extend(part.delivered)
+    target.dropped.extend(part.dropped)
+    target.steps += part.steps
+
+
+class NetworkCompiler:
+    """Builds the :class:`CompiledNetwork` for a snapshot."""
+
+    def __init__(self, network: Network):
+        self.network = network
+
+    def compile(self) -> CompiledNetwork:
+        """Compile topology + deployed modules into one graph.
+
+        Routers' tables must already be computed
+        (:meth:`Network.compute_routes`).
+        """
+        graph = SymGraph()
+        # 1. Topology vertices.
+        for node in self.network.nodes.values():
+            if isinstance(node, Router):
+                graph.add_node(node.name, _router_model,
+                               payload=node.table)
+            elif isinstance(node, (Host, ClientSubnet, Internet)):
+                graph.add_node(node.name, _endpoint_model, is_sink=True)
+            elif isinstance(node, Middlebox):
+                element = node.make_element()
+                graph.add_node(
+                    node.name,
+                    _middlebox_model_factory(element),
+                    payload=element,
+                )
+            elif isinstance(node, Platform):
+                uplink = min(node.ports) if node.ports else 0
+                state = _PlatformState(
+                    node, uplink, sorted(node.modules)
+                )
+                graph.add_node(node.name, _platform_model, payload=state)
+            else:
+                raise VerificationError(
+                    "cannot compile node %r of kind %r"
+                    % (node.name, node.kind)
+                )
+        # 2. Topology links (both directions).
+        for link in self.network.links:
+            graph.connect(link.a, link.a_port, link.b, link.b_port)
+            graph.connect(link.b, link.b_port, link.a, link.a_port)
+        # 3. Deployed modules, spliced behind their platform's demux.
+        for platform in self.network.platforms():
+            state: _PlatformState = graph.payloads[platform.name]
+            for index, module_name in enumerate(state.module_order):
+                _address, config = platform.modules[module_name]
+                self._splice_module(graph, platform.name, module_name,
+                                    config, index)
+        return CompiledNetwork(self.network, graph)
+
+    def _splice_module(
+        self, graph: SymGraph, platform_name: str, module_name: str,
+        config, index: int,
+    ) -> None:
+        from repro.click.element import create_element
+
+        prefix = module_name + "/"
+        for name, decl in config.elements.items():
+            element = create_element(decl.class_name, name, decl.args)
+            graph.add_node(
+                prefix + name,
+                model_for(decl.class_name),
+                payload=element,
+                is_sink=False,  # egress re-enters the platform
+            )
+        for edge in config.edges:
+            graph.connect(prefix + edge.src, edge.src_port,
+                          prefix + edge.dst, edge.dst_port)
+        entry_classes = ("FromNetfront", "FromDevice")
+        exit_classes = ("ToNetfront", "ToDevice")
+        sources = [
+            name for name in config.sources()
+            if config.elements[name].class_name in entry_classes
+        ]
+        sinks = [
+            name for name in config.sinks()
+            if config.elements[name].class_name in exit_classes
+        ]
+        if not sources or not sinks:
+            raise VerificationError(
+                "module %r needs a FromNetfront source and a ToNetfront "
+                "sink to be spliced" % (module_name,)
+            )
+        graph.connect(
+            platform_name, MODULE_INGRESS_BASE + index,
+            prefix + sources[0], 0,
+        )
+        for sink in sinks:
+            graph.connect(
+                prefix + sink, 0,
+                platform_name, MODULE_EGRESS_BASE + index,
+            )

@@ -1,0 +1,438 @@
+"""The operator topology graph.
+
+A :class:`Network` holds typed nodes connected by bidirectional links:
+
+* :class:`Router` -- forwards by longest-prefix match,
+* :class:`Middlebox` -- an operator middlebox, backed by a Click element
+  class (stateful firewall, HTTP optimizer, web cache, NAT...),
+* :class:`Platform` -- an In-Net processing platform with an address
+  pool from which deployed modules get their unique addresses,
+* :class:`ClientSubnet` -- the operator's residential clients,
+* :class:`Host` -- a single addressed endpoint,
+* :class:`Internet` -- everything outside the operator (default route).
+
+``compute_routes()`` fills every router's table with shortest-path
+routes toward every addressed node, which is the "snapshot of routing
+tables" the controller verifies against (Section 4.3).
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Dict, List, Optional, Tuple
+
+from repro.common.addr import parse_prefix, prefix_range
+from repro.common.errors import ConfigError
+from repro.common.intervals import IntervalSet
+from repro.netmodel.routing import RoutingTable
+
+
+class Node:
+    """Base class for topology nodes."""
+
+    def __init__(self, name: str):
+        self.name = name
+        #: port number -> (peer node name, peer port).
+        self.ports: Dict[int, Tuple[str, int]] = {}
+        self._port_counter = itertools.count()
+
+    def allocate_port(self) -> int:
+        """Next unused port number on this node."""
+        port = next(self._port_counter)
+        while port in self.ports:
+            port = next(self._port_counter)
+        return port
+
+    #: Addresses owned by this node (empty = none).
+    def owned_addresses(self) -> IntervalSet:
+        return IntervalSet.empty()
+
+    @property
+    def kind(self) -> str:
+        return type(self).__name__.lower()
+
+    def __repr__(self) -> str:
+        return "%s(%r)" % (type(self).__name__, self.name)
+
+
+class Router(Node):
+    """An IP router with an LPM routing table."""
+
+    def __init__(self, name: str):
+        super().__init__(name)
+        self.table = RoutingTable()
+
+
+class Host(Node):
+    """A single endpoint with one address."""
+
+    def __init__(self, name: str, address: int):
+        super().__init__(name)
+        self.address = address
+
+    def owned_addresses(self) -> IntervalSet:
+        return IntervalSet.single(self.address)
+
+
+class ClientSubnet(Node):
+    """The operator's residential/mobile client subnet."""
+
+    def __init__(self, name: str, network: int, plen: int):
+        super().__init__(name)
+        self.network = network
+        self.plen = plen
+
+    def owned_addresses(self) -> IntervalSet:
+        low, high = prefix_range(self.network, self.plen)
+        return IntervalSet.from_interval(low, high)
+
+
+class Internet(Node):
+    """Everything outside the operator's network (default route)."""
+
+    def owned_addresses(self) -> IntervalSet:
+        # The internet owns whatever nobody inside owns; for routing we
+        # install it as the default route rather than via this set.
+        return IntervalSet.empty()
+
+
+class Middlebox(Node):
+    """An operator middlebox backed by a Click element class.
+
+    ``element_class``/``element_args`` are instantiated once per
+    verification (symbolically) and once per concrete run.  Two-interface
+    elements (StatefulFirewall, ChangeEnforcer) map their element ports
+    to topology ports directly; single-port elements placed on-path
+    forward from each interface to the other.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        element_class: str,
+        element_args: Tuple[str, ...] = (),
+    ):
+        super().__init__(name)
+        self.element_class = element_class
+        self.element_args = tuple(element_args)
+
+    def make_element(self):
+        """Instantiate the backing Click element."""
+        from repro.click.element import create_element
+
+        return create_element(self.element_class, self.name,
+                              list(self.element_args))
+
+
+class Platform(Node):
+    """An In-Net processing platform.
+
+    Deployed modules are tracked as ``module name -> (address, config)``;
+    the platform owns its whole address pool, so routers deliver any
+    pool address here and the platform's internal switch demuxes to the
+    right module (the OpenFlow rules of Section 4.3).
+    """
+
+    def __init__(
+        self,
+        name: str,
+        pool_network: int,
+        pool_plen: int,
+        capacity: Optional[int] = None,
+    ):
+        super().__init__(name)
+        self.pool_network = pool_network
+        self.pool_plen = pool_plen
+        #: Maximum concurrently deployed modules (None = unbounded by
+        #: policy; the address pool still bounds it physically).
+        self.capacity = capacity
+        #: module name -> (assigned address, ClickConfig).
+        self.modules: Dict[str, Tuple[int, object]] = {}
+        self._next_offset = 1
+        #: The platform switch's OpenFlow-style table; the controller's
+        #: steering rules land here (Section 4.3).
+        from repro.netmodel.flowtable import FlowTable
+
+        self.flow_table = FlowTable()
+
+    @property
+    def has_capacity(self) -> bool:
+        """Whether one more module fits under the capacity policy."""
+        return self.capacity is None or len(self.modules) < self.capacity
+
+    def owned_addresses(self) -> IntervalSet:
+        low, high = prefix_range(self.pool_network, self.pool_plen)
+        return IntervalSet.from_interval(low, high)
+
+    def allocate_address(self) -> int:
+        """Next unused address from the pool."""
+        low, high = prefix_range(self.pool_network, self.pool_plen)
+        in_use = {addr for addr, _cfg in self.modules.values()}
+        candidate = low + self._next_offset
+        while candidate in in_use:
+            candidate += 1
+        if candidate > high:
+            raise ConfigError(
+                "platform %r address pool exhausted" % (self.name,)
+            )
+        self._next_offset = candidate - low + 1
+        return candidate
+
+    def deploy(
+        self,
+        module_name: str,
+        address: int,
+        config,
+        proto: Optional[int] = None,
+        port: Optional[int] = None,
+    ) -> None:
+        """Record a deployed module and install its steering rule.
+
+        With ``proto``/``port`` set, only that traffic class is steered
+        to the module (the paper's address/protocol/port combination).
+        """
+        if module_name in self.modules:
+            raise ConfigError(
+                "module %r already deployed on %r"
+                % (module_name, self.name)
+            )
+        self.modules[module_name] = (address, config)
+        from repro.netmodel.flowtable import module_steering_rule
+
+        module_steering_rule(
+            self.flow_table, address, module_name,
+            proto=proto, port=port,
+        )
+
+    def undeploy(self, module_name: str) -> None:
+        """Remove a deployed module and its flow rules."""
+        self.modules.pop(module_name, None)
+        self.flow_table.remove_by_cookie(module_name)
+
+    def module_address(self, module_name: str) -> int:
+        """Assigned address of a deployed module."""
+        return self.modules[module_name][0]
+
+
+class Link:
+    """A bidirectional link between two node ports."""
+
+    def __init__(
+        self,
+        a: str,
+        a_port: int,
+        b: str,
+        b_port: int,
+        latency_s: float = 0.0,
+    ):
+        self.a, self.a_port = a, a_port
+        self.b, self.b_port = b, b_port
+        #: One-way propagation delay (the forwarding plane sums these
+        #: along the path into each delivery's timestamp).
+        self.latency_s = latency_s
+
+    def __repr__(self) -> str:
+        return "Link(%s[%d] <-> %s[%d], %.1f ms)" % (
+            self.a, self.a_port, self.b, self.b_port,
+            self.latency_s * 1e3,
+        )
+
+
+class Network:
+    """The operator's topology snapshot."""
+
+    def __init__(self, name: str = "operator"):
+        self.name = name
+        self.nodes: Dict[str, Node] = {}
+        self.links: List[Link] = []
+
+    # -- node constructors ---------------------------------------------------
+    def _add(self, node: Node) -> Node:
+        if node.name in self.nodes:
+            raise ConfigError("node %r added twice" % (node.name,))
+        self.nodes[node.name] = node
+        return node
+
+    def add_router(self, name: str) -> Router:
+        """Add an LPM router."""
+        return self._add(Router(name))
+
+    def add_host(self, name: str, address: str) -> Host:
+        """Add a single-address endpoint."""
+        addr, plen = parse_prefix(address)
+        if plen != 32:
+            raise ConfigError("host address must be /32: %r" % (address,))
+        return self._add(Host(name, addr))
+
+    def add_client_subnet(self, name: str, prefix: str) -> ClientSubnet:
+        """Add the operator's client subnet."""
+        network, plen = parse_prefix(prefix)
+        return self._add(ClientSubnet(name, network, plen))
+
+    def add_internet(self, name: str = "internet") -> Internet:
+        """Add the internet node (default-route destination)."""
+        return self._add(Internet(name))
+
+    def add_middlebox(
+        self, name: str, element_class: str, *element_args: str
+    ) -> Middlebox:
+        """Add an operator middlebox backed by a Click element class."""
+        return self._add(Middlebox(name, element_class, element_args))
+
+    def add_platform(
+        self,
+        name: str,
+        pool_prefix: str,
+        capacity: Optional[int] = None,
+    ) -> Platform:
+        """Add a processing platform owning ``pool_prefix`` addresses."""
+        network, plen = parse_prefix(pool_prefix)
+        return self._add(Platform(name, network, plen, capacity))
+
+    # -- links ----------------------------------------------------------------
+    def link(
+        self,
+        a: str,
+        b: str,
+        a_port: Optional[int] = None,
+        b_port: Optional[int] = None,
+        latency_s: float = 0.0,
+    ) -> Link:
+        """Connect two nodes with a bidirectional link.
+
+        Ports are auto-assigned unless given (two-interface middleboxes
+        care: port 0 is the protected side of a StatefulFirewall).
+        ``latency_s`` is the one-way propagation delay.
+        """
+        node_a, node_b = self.node(a), self.node(b)
+        if a_port is None:
+            a_port = node_a.allocate_port()
+        if b_port is None:
+            b_port = node_b.allocate_port()
+        for node, port in ((node_a, a_port), (node_b, b_port)):
+            if port in node.ports:
+                raise ConfigError(
+                    "port %d of %r already linked" % (port, node.name)
+                )
+        node_a.ports[a_port] = (b, b_port)
+        node_b.ports[b_port] = (a, a_port)
+        wire = Link(a, a_port, b, b_port, latency_s=latency_s)
+        self.links.append(wire)
+        return wire
+
+    def link_latency(self, a: str, b: str) -> float:
+        """One-way latency of the (first) link between two nodes."""
+        for wire in self.links:
+            if {wire.a, wire.b} == {a, b}:
+                return wire.latency_s
+        raise ConfigError("no link between %r and %r" % (a, b))
+
+    def unlink(self, a: str, b: str) -> None:
+        """Remove the link between two nodes (failure / maintenance).
+
+        Routes are recomputed; callers should re-verify the snapshot
+        (``Controller.verify_snapshot``) afterwards.
+        """
+        node_a, node_b = self.node(a), self.node(b)
+        matching = [
+            l for l in self.links
+            if {l.a, l.b} == {a, b}
+        ]
+        if not matching:
+            raise ConfigError("no link between %r and %r" % (a, b))
+        for link in matching:
+            self.links.remove(link)
+            for node, port in (
+                (self.node(link.a), link.a_port),
+                (self.node(link.b), link.b_port),
+            ):
+                node.ports.pop(port, None)
+        self.compute_routes()
+
+    # -- queries ------------------------------------------------------------------
+    def node(self, name: str) -> Node:
+        """Look up a node by name."""
+        try:
+            return self.nodes[name]
+        except KeyError:
+            raise ConfigError("unknown node %r" % (name,))
+
+    def routers(self) -> List[Router]:
+        return [n for n in self.nodes.values() if isinstance(n, Router)]
+
+    def platforms(self) -> List[Platform]:
+        return [n for n in self.nodes.values() if isinstance(n, Platform)]
+
+    def client_subnets(self) -> List[ClientSubnet]:
+        return [
+            n for n in self.nodes.values() if isinstance(n, ClientSubnet)
+        ]
+
+    def internet_nodes(self) -> List[Internet]:
+        return [n for n in self.nodes.values() if isinstance(n, Internet)]
+
+    def neighbors(self, name: str) -> List[Tuple[int, str, int]]:
+        """(local port, peer name, peer port) for every link of a node."""
+        node = self.node(name)
+        return [
+            (port, peer, peer_port)
+            for port, (peer, peer_port) in sorted(node.ports.items())
+        ]
+
+    # -- routing -----------------------------------------------------------------
+    def compute_routes(self) -> None:
+        """Fill every router's table with shortest-path routes.
+
+        For each addressed node a BFS over the link graph yields each
+        router's next hop; the route's prefix is the node's owned
+        address range (internet nodes get the 0.0.0.0/0 default).
+        This recomputation is what the controller refreshes after every
+        deployment that changes address ownership.
+        """
+        for router in self.routers():
+            router.table = RoutingTable()
+        destinations: List[Tuple[Node, Tuple[int, int]]] = []
+        for node in self.nodes.values():
+            if isinstance(node, Internet):
+                destinations.append((node, (0, 0)))
+            elif isinstance(node, Host):
+                destinations.append((node, (node.address, 32)))
+            elif isinstance(node, ClientSubnet):
+                destinations.append((node, (node.network, node.plen)))
+            elif isinstance(node, Platform):
+                destinations.append(
+                    (node, (node.pool_network, node.pool_plen))
+                )
+        for destination, (network, plen) in destinations:
+            parents = self._bfs_parents(destination.name)
+            for router in self.routers():
+                hop = parents.get(router.name)
+                if hop is None:
+                    continue  # destination unreachable from this router
+                out_port, _peer = hop
+                router.table.add(network, plen, out_port)
+
+    def _bfs_parents(
+        self, root: str
+    ) -> Dict[str, Tuple[int, str]]:
+        """BFS from ``root``; for each node, the (port, peer) leading
+        one hop closer to the root."""
+        parents: Dict[str, Tuple[int, str]] = {}
+        visited = {root}
+        frontier = [root]
+        while frontier:
+            next_frontier: List[str] = []
+            for name in frontier:
+                for port, peer, peer_port in self.neighbors(name):
+                    if peer in visited:
+                        continue
+                    visited.add(peer)
+                    parents[peer] = (peer_port, name)
+                    next_frontier.append(peer)
+            frontier = next_frontier
+        return parents
+
+    def __repr__(self) -> str:
+        return "Network(%r, %d nodes, %d links)" % (
+            self.name, len(self.nodes), len(self.links),
+        )

@@ -1,0 +1,64 @@
+"""The In-Net processing platform simulator (Section 5).
+
+The paper's platforms are Xen hosts running ClickOS -- tiny VMs booting
+in ~30 ms -- with three scaling mechanisms layered on top:
+
+* **on-the-fly middleboxes**: the backend switch detects new flows
+  (TCP SYN / first UDP packet) and boots the client's VM on demand,
+* **suspend/resume** for stateful modules instead of terminate/boot,
+* **consolidation**: many stateless clients' configurations merged into
+  one VM behind an ``IPClassifier`` demux, proven safe by static
+  analysis.
+
+We do not have Xen; we have a calibrated simulator.  Every scaling
+quantity the paper measures -- memory per VM, boot/suspend/resume
+latency as a function of resident VMs, the per-core packet budget split
+across configurations, the sandboxing tax -- is an explicit model in
+:mod:`repro.platform.specs`, :mod:`repro.platform.lifecycle`, and
+:mod:`repro.platform.throughput`, with constants taken from the paper's
+own measurements.  The benchmark harness regenerates Figures 5-9, 11
+and 12 from these models plus the event-driven machinery in
+:mod:`repro.platform.clickos`.
+"""
+
+from repro.platform.clickos import PlatformSim
+from repro.platform.consolidation import (
+    ConsolidationManager,
+    consolidate_configs,
+    is_consolidation_safe,
+)
+from repro.platform.lifecycle import boot_time, resume_time, suspend_time
+from repro.platform.orchestrator import PlatformOrchestrator
+from repro.platform.reaper import IdleReaper
+from repro.platform.specs import (
+    BIG_SERVER_SPEC,
+    CHEAP_SERVER_SPEC,
+    VM_CLICKOS,
+    VM_LINUX,
+    PlatformSpec,
+)
+from repro.platform.throughput import ThroughputModel, line_rate_pps
+from repro.platform.vm import VM, VM_RUNNING, VM_STOPPED, VM_SUSPENDED
+
+__all__ = [
+    "PlatformSim",
+    "PlatformOrchestrator",
+    "IdleReaper",
+    "PlatformSpec",
+    "CHEAP_SERVER_SPEC",
+    "BIG_SERVER_SPEC",
+    "VM_CLICKOS",
+    "VM_LINUX",
+    "VM",
+    "VM_STOPPED",
+    "VM_RUNNING",
+    "VM_SUSPENDED",
+    "boot_time",
+    "suspend_time",
+    "resume_time",
+    "ThroughputModel",
+    "line_rate_pps",
+    "ConsolidationManager",
+    "consolidate_configs",
+    "is_consolidation_safe",
+]

@@ -1,0 +1,215 @@
+"""The platform simulator facade.
+
+:class:`PlatformSim` ties the pieces together -- spec, event loop,
+switch controller, consolidation manager, throughput model -- and
+exposes the operations the paper's platform experiments perform:
+
+* ``ping(...)``        -- Figure 5 (reaction time of on-the-fly VMs),
+* ``http_request(...)``-- Figure 6 (concurrent HTTP through the box),
+* ``suspend_resume_cycle`` -- Figure 7,
+* consolidated-capacity queries -- Figures 8/9/12 via
+  :class:`~repro.platform.throughput.ThroughputModel`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.click.config import ClickConfig
+from repro.common.errors import SimulationError
+from repro.platform.consolidation import ConsolidationManager
+from repro.platform.lifecycle import packet_rtt, resume_time, suspend_time
+from repro.platform.specs import (
+    CHEAP_SERVER_SPEC,
+    PlatformSpec,
+    VM_CLICKOS,
+)
+from repro.platform.switch import SwitchController
+from repro.platform.throughput import ThroughputModel
+from repro.platform.vm import VM
+from repro.sim.events import EventLoop
+
+
+@dataclass
+class PingResult:
+    """RTTs of one ping train through the platform."""
+
+    client_id: str
+    rtts: List[float] = field(default_factory=list)
+
+
+@dataclass
+class HttpResult:
+    """Timing of one HTTP download through the platform."""
+
+    client_id: str
+    connection_time: float = 0.0
+    transfer_time: float = 0.0
+    completed_at: float = 0.0
+
+
+class PlatformSim:
+    """Event-driven simulator of one In-Net platform."""
+
+    def __init__(
+        self,
+        spec: PlatformSpec = CHEAP_SERVER_SPEC,
+        loop: Optional[EventLoop] = None,
+        #: Base one-way network latency between the traffic endpoints
+        #: and the platform (the three-servers-in-a-row testbed).
+        wire_latency_s: float = 0.0001,
+    ):
+        self.spec = spec
+        self.loop = loop or EventLoop()
+        self.switch = SwitchController(spec, self.loop)
+        self.throughput = ThroughputModel(spec)
+        self.wire_latency_s = wire_latency_s
+        self._active_transfers = 0
+
+    # -- provisioning -----------------------------------------------------------
+    def register_client(
+        self,
+        client_id: str,
+        config: Optional[ClickConfig] = None,
+        stateful: bool = False,
+        kind: str = VM_CLICKOS,
+        shared_vm: Optional[VM] = None,
+    ) -> VM:
+        """Install a client configuration (VM boots on first packet)."""
+        if shared_vm is None and not self.can_admit(kind):
+            raise SimulationError(
+                "platform out of memory for another %s VM" % (kind,)
+            )
+        vm = self.switch.register_client(
+            client_id, vm=shared_vm, stateful=stateful
+        )
+        vm.kind = kind
+        return vm
+
+    def can_admit(self, kind: str = VM_CLICKOS) -> bool:
+        """Whether one more VM of ``kind`` fits in memory."""
+        return self.switch.resident_vms() + 1 <= self.spec.max_vms(kind)
+
+    def memory_in_use_mb(self) -> float:
+        """Memory consumed by resident VMs."""
+        return sum(
+            self.spec.vm_memory_mb(vm.kind)
+            for vm in set(self.switch.client_vms.values())
+            if vm.is_resident
+        )
+
+    # -- Figure 5: ping through on-the-fly VMs ---------------------------------
+    def ping(
+        self,
+        client_id: str,
+        start: float,
+        count: int = 15,
+        interval: float = 1.0,
+    ) -> PingResult:
+        """Schedule a ping train; RTTs are filled in as events fire."""
+        result = PingResult(client_id=client_id)
+
+        def send(probe_index: int) -> None:
+            sent_at = self.loop.now
+
+            def deliver() -> None:
+                # VM is up: one RTT through the running middlebox.
+                rtt = (
+                    (self.loop.now - sent_at)
+                    + 2 * self.wire_latency_s
+                    + packet_rtt(self.spec, self.switch.running_vms())
+                )
+                result.rtts.append(rtt)
+
+            self.switch.packet_for(client_id, deliver)
+
+        for index in range(count):
+            self.loop.schedule_at(
+                start + index * interval, lambda i=index: send(i)
+            )
+        return result
+
+    # -- Figure 6: HTTP transfers ------------------------------------------------
+    def http_request(
+        self,
+        client_id: str,
+        start: float,
+        size_bytes: int,
+        rate_bps: float,
+        packet_bytes: int = 1500,
+    ) -> HttpResult:
+        """Schedule an HTTP download through the client's middlebox."""
+        result = HttpResult(client_id=client_id)
+
+        def syn() -> None:
+            sent_at = self.loop.now
+
+            def established() -> None:
+                # SYN waited for the VM; the handshake then costs one
+                # round trip through the running platform.
+                handshake = (
+                    2 * self.wire_latency_s
+                    + packet_rtt(self.spec, self.switch.running_vms())
+                )
+                result.connection_time = (
+                    (self.loop.now - sent_at) + handshake
+                )
+                capacity = self.throughput.capacity_bps(
+                    packet_bytes,
+                    consolidated_configs=max(
+                        1, len(self.switch.client_vms)
+                    ),
+                    resident_vms=max(1, self.switch.resident_vms()),
+                )
+                self._active_transfers += 1
+                share = capacity / self._active_transfers
+                rate = min(rate_bps, share)
+                duration = size_bytes * 8.0 / rate
+
+                def done() -> None:
+                    self._active_transfers -= 1
+                    result.transfer_time = duration
+                    result.completed_at = self.loop.now
+
+                self.loop.schedule(duration, done)
+
+            self.switch.packet_for(client_id, established)
+
+        self.loop.schedule_at(start, syn)
+        return result
+
+    # -- Figure 7: suspend/resume --------------------------------------------------
+    def suspend_resume_cycle(self, client_id: str) -> Tuple[float, float]:
+        """Suspend then resume a client's (running) VM.
+
+        Returns ``(suspend_seconds, resume_seconds)`` under the current
+        resident-VM count.  The VM must be running; the cycle completes
+        synchronously on the event loop.
+        """
+        vm = self.switch.client_vms.get(client_id)
+        if vm is None:
+            raise SimulationError("unknown client %r" % (client_id,))
+        residents = self.switch.resident_vms()
+        s_time = suspend_time(self.spec, residents)
+        r_time = resume_time(self.spec, residents)
+        vm.begin_suspend()
+        self.loop.schedule(s_time, vm.finish_suspend)
+        self.loop.run_until(self.loop.now + s_time)
+        vm.begin_resume()
+        when = self.loop.now
+        self.loop.schedule(r_time,
+                           lambda: vm.finish_resume(when + r_time))
+        self.loop.run_until(self.loop.now + r_time)
+        return s_time, r_time
+
+    # -- warm-up helper -----------------------------------------------------------
+    def force_boot(self, client_id: str) -> None:
+        """Boot a client's VM immediately (outside any measurement)."""
+        done: List[bool] = []
+        self.switch.packet_for(client_id, lambda: done.append(True))
+        self.loop.run()
+        if not done:
+            raise SimulationError(
+                "VM for %r did not come up" % (client_id,)
+            )

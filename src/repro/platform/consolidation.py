@@ -1,0 +1,168 @@
+"""Consolidating multiple tenants into one ClickOS VM (Section 5).
+
+Static analysis is what makes this safe: standard Click elements do not
+share memory and only communicate via packets, explicit addressing
+guarantees a client's module only sees its own traffic, and the security
+rules exclude spoofing -- so verifying configurations *individually*
+suffices to merge them.  The one exception is per-flow state: a tenant
+could balloon its memory and DoS its VM-mates, so (like the paper's
+prototype) stateful configurations are never consolidated.
+
+``consolidate_configs`` builds the merged configuration: an
+``IPClassifier`` demultiplexes on destination address into each client's
+namespaced subgraph, and all egress is re-multiplexed onto the shared
+``ToNetfront``.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.click.config import ClickConfig
+from repro.click.element import lookup_element
+from repro.common.addr import format_ip
+from repro.common.errors import ConfigError
+
+
+def is_consolidation_safe(config: ClickConfig) -> bool:
+    """Whether a configuration may share a VM with other tenants.
+
+    True iff no element keeps per-flow state.  Element statefulness is
+    class-level except for ``IPRewriter``, whose patterns decide it, so
+    the check instantiates elements.
+    """
+    from repro.click.element import create_element
+
+    for name, decl in config.elements.items():
+        element = create_element(decl.class_name, name, decl.args)
+        if element.stateful:
+            return False
+    return True
+
+
+def consolidate_configs(
+    clients: Sequence[Tuple[str, int, ClickConfig]],
+) -> ClickConfig:
+    """Merge client configurations into one VM-wide configuration.
+
+    ``clients`` is ``[(client_id, assigned_address, config), ...]``.
+    Every config must be stateless (:func:`is_consolidation_safe`) and
+    shaped as one FromNetfront source and at least one ToNetfront sink.
+
+    Returns the merged config::
+
+        shared_in -> demux(dst==addr_i -> client_i subgraph) -> shared_out
+    """
+    if not clients:
+        raise ConfigError("nothing to consolidate")
+    merged = ClickConfig()
+    merged.declare("shared_in", "FromNetfront")
+    merged.declare("shared_out", "ToNetfront")
+    patterns = []
+    for _client_id, address, config in clients:
+        patterns.append("dst host %s" % format_ip(address))
+    merged.declare("demux", "IPClassifier", tuple(patterns))
+    merged.connect("shared_in", "demux")
+    for index, (client_id, _address, config) in enumerate(clients):
+        if not is_consolidation_safe(config):
+            raise ConfigError(
+                "client %r keeps per-flow state and cannot be "
+                "consolidated" % (client_id,)
+            )
+        sources = config.sources()
+        sinks = config.sinks()
+        if len(sources) != 1:
+            raise ConfigError(
+                "client %r config needs exactly one source to be "
+                "consolidated" % (client_id,)
+            )
+        prefix = client_id
+        entry_successors: List[Tuple[str, int]] = []
+        for name, decl in config.elements.items():
+            if name == sources[0] or name in sinks:
+                continue  # shared endpoints replace per-client ones
+            merged.declare(
+                "%s/%s" % (prefix, name), decl.class_name, decl.args
+            )
+        for edge in config.edges:
+            src_is_entry = edge.src == sources[0]
+            dst_is_exit = edge.dst in sinks
+            src = "demux" if src_is_entry else "%s/%s" % (prefix, edge.src)
+            src_port = index if src_is_entry else edge.src_port
+            dst = "shared_out" if dst_is_exit \
+                else "%s/%s" % (prefix, edge.dst)
+            dst_port = 0 if dst_is_exit else edge.dst_port
+            if src_is_entry and dst_is_exit:
+                raise ConfigError(
+                    "client %r config is a bare passthrough" % (client_id,)
+                )
+            merged.edges.append(
+                type(config.edges[0])(src, src_port, dst, dst_port)
+            )
+            if src_is_entry:
+                entry_successors.append((dst, dst_port))
+        if len(entry_successors) > 1:
+            raise ConfigError(
+                "client %r source feeds multiple elements; consolidation "
+                "expects a single entry edge" % (client_id,)
+            )
+    return merged
+
+
+class ConsolidationManager:
+    """Groups incoming stateless clients into shared VMs.
+
+    ``clients_per_vm`` bounds how many tenants share one VM -- the
+    knob Figure 9 sweeps (50/100/200 per VM).
+    """
+
+    def __init__(self, clients_per_vm: int = 100):
+        if clients_per_vm < 1:
+            raise ConfigError("clients_per_vm must be >= 1")
+        self.clients_per_vm = clients_per_vm
+        #: Each group: list of (client_id, address, config).
+        self.groups: List[List[Tuple[str, int, ClickConfig]]] = []
+        self._client_group: Dict[str, int] = {}
+
+    def place(
+        self, client_id: str, address: int, config: ClickConfig
+    ) -> Tuple[int, bool]:
+        """Assign a client to a group.
+
+        Returns ``(group_index, is_new_group)``; a new group means the
+        platform must boot one more VM.
+        """
+        if client_id in self._client_group:
+            raise ConfigError("client %r already placed" % (client_id,))
+        if not is_consolidation_safe(config):
+            # Stateful clients get a dedicated group (their own VM).
+            self.groups.append([(client_id, address, config)])
+            self._client_group[client_id] = len(self.groups) - 1
+            return len(self.groups) - 1, True
+        for idx, group in enumerate(self.groups):
+            if len(group) < self.clients_per_vm and all(
+                is_consolidation_safe(cfg) for _c, _a, cfg in group
+            ) and len(group) >= 1 and self._group_is_shared(idx):
+                group.append((client_id, address, config))
+                self._client_group[client_id] = idx
+                return idx, False
+        self.groups.append([(client_id, address, config)])
+        self._client_group[client_id] = len(self.groups) - 1
+        return len(self.groups) - 1, True
+
+    def _group_is_shared(self, index: int) -> bool:
+        group = self.groups[index]
+        return all(is_consolidation_safe(cfg) for _c, _a, cfg in group)
+
+    def group_of(self, client_id: str) -> Optional[int]:
+        """The group index of a placed client (None if unknown)."""
+        return self._client_group.get(client_id)
+
+    def merged_config(self, index: int) -> ClickConfig:
+        """The consolidated configuration for one group."""
+        return consolidate_configs(self.groups[index])
+
+    @property
+    def vm_count(self) -> int:
+        """Number of VMs the current placement requires."""
+        return len(self.groups)

@@ -1,0 +1,48 @@
+"""VM lifecycle latency models (Figures 5 and 7).
+
+All three operations scale linearly with the number of VMs already
+resident on the host -- the xenstore/toolstack bookkeeping the paper's
+measurements exhibit -- with coefficients calibrated in
+:mod:`repro.platform.specs`.
+"""
+
+from __future__ import annotations
+
+from repro.platform.specs import PlatformSpec, VM_CLICKOS, VM_LINUX
+
+
+def boot_time(spec: PlatformSpec, kind: str, resident_vms: int) -> float:
+    """Seconds to boot one more VM with ``resident_vms`` already there."""
+    if resident_vms < 0:
+        raise ValueError("resident_vms must be >= 0")
+    if kind == VM_CLICKOS:
+        return (
+            spec.clickos_boot_base_s
+            + spec.clickos_boot_per_vm_s * resident_vms
+        )
+    if kind == VM_LINUX:
+        return (
+            spec.linux_boot_base_s + spec.linux_boot_per_vm_s * resident_vms
+        )
+    raise ValueError("unknown VM kind %r" % (kind,))
+
+
+def suspend_time(spec: PlatformSpec, resident_vms: int) -> float:
+    """Seconds to suspend one VM (Figure 7, `suspend` series)."""
+    if resident_vms < 0:
+        raise ValueError("resident_vms must be >= 0")
+    return spec.suspend_base_s + spec.suspend_per_vm_s * resident_vms
+
+
+def resume_time(spec: PlatformSpec, resident_vms: int) -> float:
+    """Seconds to resume one VM (Figure 7, `resume` series)."""
+    if resident_vms < 0:
+        raise ValueError("resident_vms must be >= 0")
+    return spec.resume_base_s + spec.resume_per_vm_s * resident_vms
+
+
+def packet_rtt(spec: PlatformSpec, resident_vms: int) -> float:
+    """Steady-state RTT through a running ClickOS VM (Figure 5 tail)."""
+    if resident_vms < 0:
+        raise ValueError("resident_vms must be >= 0")
+    return spec.base_rtt_s + spec.rtt_per_vm_s * resident_vms

@@ -1,0 +1,139 @@
+"""Bridging the control plane to the platform substrate.
+
+The controller (:mod:`repro.core.controller`) decides *where* modules
+run; this module provisions them *onto* a simulated ClickOS box: every
+module deployed on a :class:`~repro.netmodel.topology.Platform` becomes
+a client of a :class:`~repro.platform.clickos.PlatformSim`, with
+statically-safe stateless tenants consolidated into shared VMs
+(Section 5) and stateful or sandboxed tenants given dedicated ones.
+
+This closes the loop: request -> verification -> placement ->
+provisioning -> capacity, all in one pipeline (see
+``tests/platform/test_orchestrator.py`` and the capacity benchmarks).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.common.errors import SimulationError
+from repro.netmodel.topology import Network, Platform
+from repro.platform.clickos import PlatformSim
+from repro.platform.consolidation import (
+    ConsolidationManager,
+    is_consolidation_safe,
+)
+from repro.platform.specs import CHEAP_SERVER_SPEC, PlatformSpec, VM_CLICKOS
+from repro.platform.throughput import ThroughputModel
+from repro.platform.vm import VM
+
+
+@dataclass
+class ProvisionReport:
+    """What provisioning one platform produced."""
+
+    platform: str
+    modules: int = 0
+    vms: int = 0
+    consolidated_modules: int = 0
+    dedicated_modules: int = 0
+    memory_mb: float = 0.0
+
+
+class PlatformOrchestrator:
+    """Provisions a network's deployed modules onto simulated boxes."""
+
+    def __init__(
+        self,
+        network: Network,
+        spec: PlatformSpec = CHEAP_SERVER_SPEC,
+        clients_per_vm: int = 100,
+    ):
+        self.network = network
+        self.spec = spec
+        self.clients_per_vm = clients_per_vm
+        self.sims: Dict[str, PlatformSim] = {}
+        self.managers: Dict[str, ConsolidationManager] = {}
+        #: module id -> (platform name, VM).
+        self.placements: Dict[str, tuple] = {}
+
+    def provision_all(self) -> List[ProvisionReport]:
+        """(Re)provision every platform from the network snapshot."""
+        reports = []
+        for platform in self.network.platforms():
+            reports.append(self.provision(platform))
+        return reports
+
+    def provision(self, platform: Platform) -> ProvisionReport:
+        """Provision one platform's deployed modules."""
+        sim = PlatformSim(spec=self.spec)
+        manager = ConsolidationManager(self.clients_per_vm)
+        self.sims[platform.name] = sim
+        self.managers[platform.name] = manager
+        report = ProvisionReport(platform=platform.name)
+        group_vms: Dict[int, VM] = {}
+        for module_name, (address, config) in sorted(
+            platform.modules.items()
+        ):
+            report.modules += 1
+            group, is_new = manager.place(module_name, address, config)
+            shared = group_vms.get(group)
+            safe = is_consolidation_safe(config)
+            vm = sim.register_client(
+                module_name,
+                config=config,
+                stateful=not safe,
+                kind=VM_CLICKOS,
+                shared_vm=shared,
+            )
+            group_vms[group] = vm
+            self.placements[module_name] = (platform.name, vm)
+            if safe and not is_new:
+                report.consolidated_modules += 1
+            elif safe:
+                report.consolidated_modules += 1
+            else:
+                report.dedicated_modules += 1
+        report.vms = manager.vm_count
+        report.memory_mb = report.vms * self.spec.clickos_memory_mb
+        return report
+
+    # -- queries -----------------------------------------------------------
+    def sim_for(self, platform_name: str) -> PlatformSim:
+        """The simulator for a platform (provision first)."""
+        try:
+            return self.sims[platform_name]
+        except KeyError:
+            raise SimulationError(
+                "platform %r not provisioned" % (platform_name,)
+            )
+
+    def vm_of(self, module_name: str) -> VM:
+        """The VM hosting a module."""
+        try:
+            return self.placements[module_name][1]
+        except KeyError:
+            raise SimulationError(
+                "module %r not provisioned" % (module_name,)
+            )
+
+    def capacity_estimate_bps(
+        self, platform_name: str, packet_bytes: int = 1500
+    ) -> float:
+        """Modeled dataplane capacity given the current provisioning."""
+        manager = self.managers.get(platform_name)
+        if manager is None:
+            raise SimulationError(
+                "platform %r not provisioned" % (platform_name,)
+            )
+        model = ThroughputModel(self.spec)
+        biggest_group = max(
+            (len(g) for g in manager.groups), default=1
+        )
+        return model.capacity_bps(
+            packet_bytes,
+            element_cost=2.4,
+            consolidated_configs=biggest_group,
+            resident_vms=max(1, manager.vm_count),
+        )

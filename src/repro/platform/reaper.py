@@ -1,0 +1,86 @@
+"""The idle-VM reaper (Section 5's capacity argument in action).
+
+"Since ClickOS VMs boot quickly, we only have to ensure that the
+platform copes with the maximum number of *concurrent* clients at any
+given instant."  The flip side: idle VMs must get out of the way.
+The reaper periodically
+
+* **terminates** idle *stateless* VMs (the next packet re-boots them in
+  ~30 ms -- terminate/boot is the stateless lifecycle),
+* **suspends** idle *stateful* VMs (terminating them would destroy flow
+  state and kill end-to-end connections; suspend/resume keeps them
+  intact at 8 MB of spooled state instead of resident memory).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+from repro.platform.switch import SwitchController
+from repro.platform.vm import VM, VM_RUNNING
+from repro.sim.events import EventLoop
+
+
+@dataclass
+class ReaperStats:
+    """What the reaper has done so far."""
+
+    terminated: int = 0
+    suspended: int = 0
+    sweeps: int = 0
+
+
+class IdleReaper:
+    """Periodically reclaims idle VMs on one platform."""
+
+    def __init__(
+        self,
+        switch: SwitchController,
+        loop: EventLoop,
+        idle_timeout_s: float = 60.0,
+        sweep_interval_s: float = 10.0,
+    ):
+        self.switch = switch
+        self.loop = loop
+        self.idle_timeout_s = idle_timeout_s
+        self.sweep_interval_s = sweep_interval_s
+        self.stats = ReaperStats()
+        self._running = False
+
+    def start(self) -> None:
+        """Begin periodic sweeps on the event loop."""
+        if self._running:
+            return
+        self._running = True
+        self.loop.schedule(self.sweep_interval_s, self._tick)
+
+    def stop(self) -> None:
+        """Stop after the current sweep (no new ones are scheduled)."""
+        self._running = False
+
+    def _tick(self) -> None:
+        if not self._running:
+            return
+        self.sweep()
+        self.loop.schedule(self.sweep_interval_s, self._tick)
+
+    def sweep(self) -> List[VM]:
+        """Reclaim every idle running VM once; returns those reaped."""
+        self.stats.sweeps += 1
+        now = self.loop.now
+        reaped: List[VM] = []
+        for vm in set(self.switch.client_vms.values()):
+            if vm.state != VM_RUNNING:
+                continue
+            last = self.switch.last_activity.get(vm.vm_id)
+            if last is None or now - last < self.idle_timeout_s:
+                continue
+            if vm.stateful:
+                self.switch.suspend_idle(vm)
+                self.stats.suspended += 1
+            else:
+                vm.terminate()
+                self.stats.terminated += 1
+            reaped.append(vm)
+        return reaped

@@ -1,0 +1,138 @@
+"""Calibrated platform constants.
+
+Every number here is taken from (or fitted to) a measurement the paper
+reports; the table below maps constants to their source so deviations
+are auditable.
+
+====================  =======================================================
+constant              paper source
+====================  =======================================================
+clickos_memory_mb     Section 6: "the memory footprint of a ClickOS VM is
+                      almost two orders of magnitude smaller (around 8MB)"
+linux_memory_mb       Section 2/6: stripped-down Linux VM, 512 MB footprint
+clickos_boot_*        Section 5: boot "in about 30 milliseconds"; Figure 5:
+                      first-packet RTT ~50 ms on average, ~100 ms for the
+                      100th concurrent VM (linear growth with resident VMs)
+linux_boot_base_s     Section 6: Linux first-packet RTT around 700 ms
+suspend_*/resume_*    Figure 7: 30-100 ms, growing with resident VM count;
+                      "possible to suspend and resume in 100ms in total"
+max_clickos_vms       Section 6: 10,000 ClickOS instances on the 128 GB box
+max_linux_vms         Section 6: up to 200 stripped-down Linux VMs
+cpu_budget            Figure 8: ~10 Gb/s of 1500-byte HTTP traffic through
+                      one core up to ~150 consolidated configs
+rx_cost_*             Figure 11: 64B RX ~4.3 Mpps unsandboxed; sandboxing
+                      costs 1/3 at 64B; separate-VM sandboxing drops 64B
+                      throughput to 1.5 Mpps
+====================  =======================================================
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+VM_CLICKOS = "clickos"
+VM_LINUX = "linux"
+
+
+@dataclass(frozen=True)
+class PlatformSpec:
+    """Hardware + hypervisor model of one In-Net platform."""
+
+    name: str
+    cores: int
+    memory_mb: int
+    #: Memory the hypervisor/dom0 keeps for itself.
+    reserved_memory_mb: int = 1024
+
+    # -- per-VM memory footprints -------------------------------------------
+    clickos_memory_mb: float = 8.0
+    linux_memory_mb: float = 512.0
+    #: Hypervisor caps beyond memory (xenstore, event channels...).
+    max_clickos_vms: int = 10_000
+    max_linux_vms: int = 200
+
+    # -- lifecycle latency models (seconds), linear in resident VMs --------
+    clickos_boot_base_s: float = 0.030
+    clickos_boot_per_vm_s: float = 0.0007
+    linux_boot_base_s: float = 0.700
+    linux_boot_per_vm_s: float = 0.004
+    suspend_base_s: float = 0.040
+    suspend_per_vm_s: float = 0.00015
+    resume_base_s: float = 0.050
+    resume_per_vm_s: float = 0.00020
+    #: Switch-controller flow-detection overhead before a boot starts.
+    flow_detect_s: float = 0.0005
+    #: Base packet RTT through an already-running ClickOS VM.
+    base_rtt_s: float = 0.0002
+    #: RTT growth per additional resident VM (scheduler pressure).
+    rtt_per_vm_s: float = 0.000004
+
+    # -- dataplane cost model ------------------------------------------------
+    #: NIC line rate in bits/second.
+    nic_bps: float = 10e9
+    #: Per-packet framing overhead on the wire (preamble+IFG+CRC), bytes.
+    wire_overhead_bytes: int = 24
+    #: Fixed per-packet CPU cost of the RX/switch path (microseconds).
+    #: 1/(0.207+64*0.0004) us = 4.3 Mpps at 64B, Figure 11's baseline.
+    rx_cost_fixed_us: float = 0.207
+    #: Per-byte CPU cost (netfront grant copies), microseconds/byte.
+    #: Places the Figure 8 consolidation knee at ~150 configurations and
+    #: makes MTU-sized traffic line-rate bound.
+    rx_cost_per_byte_us: float = 0.0004
+    #: Extra per-packet cost of an in-configuration ChangeEnforcer:
+    #: costs exactly 1/3 of 64B throughput (Figure 11).
+    sandbox_inline_us: float = 0.1163
+    #: Extra per-packet cost of a separate sandbox VM (context switches
+    #: between module VM and sandbox VM): 1.5 Mpps at 64B (Figure 11).
+    sandbox_vm_us: float = 0.445
+    #: Per-packet cost of one Click element cost unit (element.cycle_cost
+    #: multiplies this), microseconds.
+    element_unit_us: float = 0.035
+    #: Per-packet demux cost per consolidated configuration (IPClassifier
+    #: linear match), microseconds.
+    demux_per_config_us: float = 0.0022
+    #: Per-packet scheduling cost per additional resident VM sharing the
+    #: core (context switching), microseconds.
+    sched_per_vm_us: float = 0.004
+
+    def usable_memory_mb(self) -> int:
+        """Memory available for guest VMs."""
+        return max(0, self.memory_mb - self.reserved_memory_mb)
+
+    def vm_memory_mb(self, kind: str) -> float:
+        """Per-VM memory footprint for a VM kind."""
+        if kind == VM_CLICKOS:
+            return self.clickos_memory_mb
+        if kind == VM_LINUX:
+            return self.linux_memory_mb
+        raise ValueError("unknown VM kind %r" % (kind,))
+
+    def max_vms(self, kind: str) -> int:
+        """Upper bound on resident VMs of a kind (memory + hypervisor)."""
+        by_memory = int(self.usable_memory_mb() // self.vm_memory_mb(kind))
+        cap = (
+            self.max_clickos_vms if kind == VM_CLICKOS else self.max_linux_vms
+        )
+        return min(by_memory, cap)
+
+    def scaled(self, **overrides) -> "PlatformSpec":
+        """A copy with some constants replaced (for ablations)."""
+        return replace(self, **overrides)
+
+
+#: The ~$1,000 single-socket Xeon E3-1220 (4 cores, 16 GB) used for the
+#: platform scalability experiments (Section 6).
+CHEAP_SERVER_SPEC = PlatformSpec(
+    name="xeon-e3-1220",
+    cores=4,
+    memory_mb=16 * 1024,
+)
+
+#: The 4x AMD Opteron 6376 (64 cores, 128 GB) used for the VM-density
+#: upper-bound experiment (Section 6).
+BIG_SERVER_SPEC = PlatformSpec(
+    name="amd-opteron-6376",
+    cores=64,
+    memory_mb=128 * 1024,
+    reserved_memory_mb=2048,
+)

@@ -1,0 +1,187 @@
+"""The platform's backend switch with on-the-fly VM instantiation.
+
+Section 5: "we modify ClickOS' back-end software switch to include a
+switch controller connected to one of its ports.  The controller
+monitors incoming traffic and identifies new flows, where a new flow
+consists of a TCP SYN or UDP packet going to an In-Net client.  When
+one such flow is detected, a new VM is instantiated for it, and, once
+ready, the flow's traffic is re-routed through it."
+
+This module is that machinery on the event loop: packets arriving for a
+client whose VM is not running trigger a boot (or a resume, for
+suspended stateful modules); packets that arrive while the VM comes up
+are buffered and released when it is ready.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional, Tuple
+
+from repro.common.errors import SimulationError
+from repro.platform.lifecycle import boot_time, resume_time
+from repro.platform.specs import PlatformSpec, VM_CLICKOS
+from repro.platform.vm import (
+    VM,
+    VM_BOOTING,
+    VM_RESUMING,
+    VM_RUNNING,
+    VM_STOPPED,
+    VM_SUSPENDED,
+)
+from repro.sim.events import EventLoop
+
+
+class SwitchController:
+    """Flow table + VM-on-demand controller for one platform."""
+
+    def __init__(self, spec: PlatformSpec, loop: EventLoop):
+        self.spec = spec
+        self.loop = loop
+        #: client id -> VM handling that client's traffic.
+        self.client_vms: Dict[str, VM] = {}
+        #: Packets waiting for a VM to come up: vm id -> callbacks.
+        self._waiting: Dict[int, List[Callable[[], None]]] = {}
+        self.flows_seen = 0
+        self.vms_booted_on_demand = 0
+        #: vm id -> last traffic timestamp (for the idle reaper).
+        self.last_activity: Dict[int, float] = {}
+        #: Failure injection: vm id -> boots left to fail.
+        self._boot_failures: Dict[int, int] = {}
+        self.boot_failures_seen = 0
+        self.boot_retries = 0
+        #: Boot attempts per VM before giving up.
+        self.max_boot_attempts = 3
+
+    # -- provisioning --------------------------------------------------------
+    def register_client(
+        self, client_id: str, vm: Optional[VM] = None,
+        stateful: bool = False,
+    ) -> VM:
+        """Associate a client configuration with a (possibly shared) VM.
+
+        The VM is *not* booted: it comes up on the first packet.
+        """
+        if client_id in self.client_vms:
+            raise SimulationError(
+                "client %r already registered" % (client_id,)
+            )
+        if vm is None:
+            vm = VM(kind=VM_CLICKOS, stateful=stateful)
+        vm.add_client(client_id)
+        self.client_vms[client_id] = vm
+        return vm
+
+    def resident_vms(self) -> int:
+        """Distinct VMs currently occupying memory."""
+        return sum(
+            1 for vm in set(self.client_vms.values()) if vm.is_resident
+        )
+
+    def running_vms(self) -> int:
+        """Distinct VMs currently running."""
+        return sum(
+            1 for vm in set(self.client_vms.values()) if vm.is_running
+        )
+
+    # -- dataplane events ----------------------------------------------------
+    def packet_for(
+        self,
+        client_id: str,
+        deliver: Callable[[], None],
+    ) -> None:
+        """A packet arrived for ``client_id``; call ``deliver()`` once
+        the client's VM can process it (immediately if running)."""
+        vm = self.client_vms.get(client_id)
+        if vm is None:
+            raise SimulationError("unknown client %r" % (client_id,))
+        self.last_activity[vm.vm_id] = self.loop.now
+        if vm.state == VM_RUNNING:
+            deliver()
+            return
+        if vm.state in (VM_BOOTING, VM_RESUMING):
+            self._waiting.setdefault(vm.vm_id, []).append(deliver)
+            return
+        if vm.state == VM_STOPPED:
+            self.flows_seen += 1
+            self.vms_booted_on_demand += 1
+            self._waiting.setdefault(vm.vm_id, []).append(deliver)
+            self._start_boot(vm)
+            return
+        if vm.state == VM_SUSPENDED:
+            self._waiting.setdefault(vm.vm_id, []).append(deliver)
+            self._start_resume(vm)
+            return
+        raise SimulationError(
+            "VM %s in unexpected state %s" % (vm.name, vm.state)
+        )
+
+    def suspend_idle(self, vm: VM,
+                     done: Optional[Callable[[], None]] = None) -> float:
+        """Suspend a running VM; returns the operation's latency."""
+        latency = suspend_latency(self.spec, self.resident_vms())
+        vm.begin_suspend()
+
+        def finish():
+            vm.finish_suspend()
+            if done is not None:
+                done()
+
+        self.loop.schedule(latency, finish)
+        return latency
+
+    # -- failure injection ----------------------------------------------------
+    def inject_boot_failure(self, client_id: str, times: int = 1) -> None:
+        """Make the next ``times`` boot attempts of a client's VM fail
+        (toolstack flakiness); the switch retries up to
+        :attr:`max_boot_attempts` before dropping the waiting traffic."""
+        vm = self.client_vms.get(client_id)
+        if vm is None:
+            raise SimulationError("unknown client %r" % (client_id,))
+        self._boot_failures[vm.vm_id] = (
+            self._boot_failures.get(vm.vm_id, 0) + times
+        )
+
+    # -- internals ----------------------------------------------------------
+    def _start_boot(self, vm: VM, attempt: int = 1) -> None:
+        residents = self.resident_vms()
+        latency = self.spec.flow_detect_s + boot_time(
+            self.spec, vm.kind, residents
+        )
+        vm.begin_boot()
+        self.loop.schedule(
+            latency, lambda: self._boot_finished(vm, attempt)
+        )
+
+    def _boot_finished(self, vm: VM, attempt: int) -> None:
+        if self._boot_failures.get(vm.vm_id, 0) > 0:
+            self._boot_failures[vm.vm_id] -= 1
+            self.boot_failures_seen += 1
+            vm.terminate()  # the failed domain is destroyed
+            if attempt >= self.max_boot_attempts:
+                # Give up: drop whatever was waiting.
+                self._waiting.pop(vm.vm_id, None)
+                return
+            self.boot_retries += 1
+            self._start_boot(vm, attempt + 1)
+            return
+        self._vm_ready(vm, "boot")
+
+    def _start_resume(self, vm: VM) -> None:
+        latency = resume_time(self.spec, self.resident_vms())
+        vm.begin_resume()
+        self.loop.schedule(latency, lambda: self._vm_ready(vm, "resume"))
+
+    def _vm_ready(self, vm: VM, how: str) -> None:
+        if how == "boot":
+            vm.finish_boot(self.loop.now)
+        else:
+            vm.finish_resume(self.loop.now)
+        for deliver in self._waiting.pop(vm.vm_id, []):
+            deliver()
+
+
+def suspend_latency(spec: PlatformSpec, resident_vms: int) -> float:
+    """Suspend latency re-exported for symmetry with boot/resume."""
+    from repro.platform.lifecycle import suspend_time
+
+    return suspend_time(spec, resident_vms)

@@ -1,0 +1,140 @@
+"""The per-core dataplane cost model (Figures 8, 9, 11, 12).
+
+The model charges every packet a CPU cost in microseconds::
+
+    cost = rx_fixed + rx_per_byte * size          (netfront copies)
+         + demux_per_config * consolidated        (IPClassifier scan)
+         + element_unit * sum(element cycle_cost) (the Click path)
+         + sched_per_vm * (resident VMs - 1)      (core sharing)
+         + sandbox tax                            (Figure 11)
+
+and a core can spend 1e6 microseconds per second.  Throughput is the
+minimum of the CPU capacity and the NIC line rate for the packet size.
+The constants live in :class:`~repro.platform.specs.PlatformSpec` and
+were fitted to the paper's measured curves; the *shapes* -- where the
+consolidation knee falls, how sandboxing hurts only small packets --
+follow from the structure, not the constants.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Optional
+
+from repro.platform.specs import PlatformSpec
+
+#: Sandbox placement modes (Figure 11).
+SANDBOX_NONE = "none"
+SANDBOX_INLINE = "inline"       # ChangeEnforcer inside the config
+SANDBOX_SEPARATE_VM = "vm"      # enforcer in its own VM
+
+
+def line_rate_pps(spec: PlatformSpec, packet_bytes: int) -> float:
+    """NIC line rate in packets/second for a packet size."""
+    if packet_bytes <= 0:
+        raise ValueError("packet size must be positive")
+    wire_bits = (packet_bytes + spec.wire_overhead_bytes) * 8
+    return spec.nic_bps / wire_bits
+
+
+class ThroughputModel:
+    """Computes per-core packet capacity for a platform spec."""
+
+    def __init__(self, spec: PlatformSpec):
+        self.spec = spec
+
+    # -- cost -----------------------------------------------------------------
+    def per_packet_cost_us(
+        self,
+        packet_bytes: int,
+        element_cost: float = 0.0,
+        consolidated_configs: int = 1,
+        resident_vms: int = 1,
+        sandbox: str = SANDBOX_NONE,
+    ) -> float:
+        """CPU microseconds charged to one packet."""
+        spec = self.spec
+        cost = (
+            spec.rx_cost_fixed_us
+            + spec.rx_cost_per_byte_us * packet_bytes
+            + spec.demux_per_config_us * max(0, consolidated_configs - 1)
+            + spec.element_unit_us * element_cost
+            + spec.sched_per_vm_us * max(0, resident_vms - 1)
+        )
+        if sandbox == SANDBOX_INLINE:
+            cost += spec.sandbox_inline_us
+        elif sandbox == SANDBOX_SEPARATE_VM:
+            cost += spec.sandbox_vm_us
+        elif sandbox != SANDBOX_NONE:
+            raise ValueError("unknown sandbox mode %r" % (sandbox,))
+        return cost
+
+    def config_element_cost(self, config) -> float:
+        """Total element cost units along one Click configuration.
+
+        Sums ``cycle_cost`` over the declared elements -- the dominant
+        path cost for the linear configurations tenants deploy.
+        """
+        from repro.click.element import lookup_element
+
+        return sum(
+            lookup_element(decl.class_name).cycle_cost
+            for decl in config.elements.values()
+        )
+
+    # -- capacity ---------------------------------------------------------------
+    def capacity_pps(
+        self,
+        packet_bytes: int,
+        element_cost: float = 0.0,
+        consolidated_configs: int = 1,
+        resident_vms: int = 1,
+        sandbox: str = SANDBOX_NONE,
+        cores: int = 1,
+    ) -> float:
+        """Deliverable packets/second: min(CPU capacity, line rate)."""
+        cost = self.per_packet_cost_us(
+            packet_bytes,
+            element_cost=element_cost,
+            consolidated_configs=consolidated_configs,
+            resident_vms=resident_vms,
+            sandbox=sandbox,
+        )
+        cpu_pps = cores * 1e6 / cost
+        return min(cpu_pps, line_rate_pps(self.spec, packet_bytes))
+
+    def capacity_bps(
+        self,
+        packet_bytes: int,
+        **kwargs,
+    ) -> float:
+        """Deliverable goodput in bits/second (payload bits only)."""
+        return self.capacity_pps(packet_bytes, **kwargs) * packet_bytes * 8
+
+    def aggregate_throughput_bps(
+        self,
+        packet_bytes: int,
+        demands_bps: Iterable[float],
+        element_cost: float = 0.0,
+        consolidated_configs: Optional[int] = None,
+        resident_vms: int = 1,
+        sandbox: str = SANDBOX_NONE,
+        cores: int = 1,
+    ) -> float:
+        """Total delivered rate for a set of per-client demands.
+
+        Clients share the core fairly; the aggregate is capped by the
+        platform's capacity at this packet size (Figures 8, 9, 12).
+        """
+        demands = list(demands_bps)
+        if consolidated_configs is None:
+            consolidated_configs = max(1, len(demands))
+        capacity = self.capacity_bps(
+            packet_bytes,
+            element_cost=element_cost,
+            consolidated_configs=consolidated_configs,
+            resident_vms=resident_vms,
+            sandbox=sandbox,
+            cores=cores,
+        )
+        demand = sum(demands)
+        return min(demand, capacity)

@@ -1,0 +1,123 @@
+"""Virtual machine objects and lifecycle state.
+
+A :class:`VM` is the unit the platform boots, suspends, and resumes.
+ClickOS VMs hold one or more client configurations (more than one when
+the consolidation manager merged them); Linux VMs hold a single opaque
+stock appliance.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import List, Optional
+
+from repro.common.errors import SimulationError
+from repro.platform.specs import VM_CLICKOS
+
+VM_STOPPED = "stopped"
+VM_BOOTING = "booting"
+VM_RUNNING = "running"
+VM_SUSPENDING = "suspending"
+VM_SUSPENDED = "suspended"
+VM_RESUMING = "resuming"
+
+_vm_ids = itertools.count(1)
+
+
+class VM:
+    """One virtual machine on a platform."""
+
+    def __init__(
+        self,
+        kind: str = VM_CLICKOS,
+        name: Optional[str] = None,
+        stateful: bool = False,
+    ):
+        self.vm_id = next(_vm_ids)
+        self.kind = kind
+        self.name = name or "vm%d" % self.vm_id
+        self.state = VM_STOPPED
+        #: Client configurations hosted by this VM (consolidation).
+        self.clients: List[str] = []
+        self.stateful = stateful
+        self.boot_count = 0
+        self.suspend_count = 0
+        self.resume_count = 0
+        #: Simulated time the VM last became RUNNING.
+        self.running_since: Optional[float] = None
+
+    # -- state transitions -------------------------------------------------
+    def begin_boot(self) -> None:
+        if self.state != VM_STOPPED:
+            raise SimulationError(
+                "cannot boot VM %s in state %s" % (self.name, self.state)
+            )
+        self.state = VM_BOOTING
+
+    def finish_boot(self, now: float) -> None:
+        if self.state != VM_BOOTING:
+            raise SimulationError(
+                "VM %s finished boot from state %s"
+                % (self.name, self.state)
+            )
+        self.state = VM_RUNNING
+        self.boot_count += 1
+        self.running_since = now
+
+    def begin_suspend(self) -> None:
+        if self.state != VM_RUNNING:
+            raise SimulationError(
+                "cannot suspend VM %s in state %s" % (self.name, self.state)
+            )
+        self.state = VM_SUSPENDING
+
+    def finish_suspend(self) -> None:
+        if self.state != VM_SUSPENDING:
+            raise SimulationError(
+                "VM %s finished suspend from state %s"
+                % (self.name, self.state)
+            )
+        self.state = VM_SUSPENDED
+        self.suspend_count += 1
+        self.running_since = None
+
+    def begin_resume(self) -> None:
+        if self.state != VM_SUSPENDED:
+            raise SimulationError(
+                "cannot resume VM %s in state %s" % (self.name, self.state)
+            )
+        self.state = VM_RESUMING
+
+    def finish_resume(self, now: float) -> None:
+        if self.state != VM_RESUMING:
+            raise SimulationError(
+                "VM %s finished resume from state %s"
+                % (self.name, self.state)
+            )
+        self.state = VM_RUNNING
+        self.resume_count += 1
+        self.running_since = now
+
+    def terminate(self) -> None:
+        """Destroy the VM (valid from any state)."""
+        self.state = VM_STOPPED
+        self.running_since = None
+
+    # -- queries -----------------------------------------------------------
+    @property
+    def is_running(self) -> bool:
+        return self.state == VM_RUNNING
+
+    @property
+    def is_resident(self) -> bool:
+        """Whether the VM occupies memory (anything but stopped)."""
+        return self.state != VM_STOPPED
+
+    def add_client(self, client_id: str) -> None:
+        """Attach a client configuration to this VM."""
+        self.clients.append(client_id)
+
+    def __repr__(self) -> str:
+        return "VM(%s, %s, %s, %d clients)" % (
+            self.name, self.kind, self.state, len(self.clients),
+        )

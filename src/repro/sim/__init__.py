@@ -1,0 +1,41 @@
+"""Discrete-event network simulation substrate.
+
+The paper's evaluation ran on real testbeds (10 GbE lab machines, a
+wide-area deployment, PlanetLab, a 3G phone with a Monsoon power
+monitor).  This package provides the synthetic equivalents that exercise
+the same code paths:
+
+* :mod:`repro.sim.events` -- the event loop every simulator shares,
+* :mod:`repro.sim.links` -- links with capacity, propagation delay and
+  random loss,
+* :mod:`repro.sim.tcp` -- analytic TCP/SCTP throughput models (loss
+  response, tunnel stacking) for the Figure 14 experiment,
+* :mod:`repro.sim.http` -- HTTP transfer and Slowloris session models,
+* :mod:`repro.sim.energy` -- the 3G RRC radio energy model behind the
+  Figure 13 batching experiment,
+* :mod:`repro.sim.traces` -- the synthetic MAWI-like backbone workload
+  of Section 6.
+"""
+
+from repro.sim.energy import RadioEnergyModel, RRC_PARAMS_3G
+from repro.sim.events import EventLoop
+from repro.sim.links import Link
+from repro.sim.tcp import (
+    sctp_over_tcp_goodput,
+    sctp_over_udp_goodput,
+    tcp_throughput,
+)
+from repro.sim.traces import TraceConfig, generate_trace, trace_statistics
+
+__all__ = [
+    "EventLoop",
+    "Link",
+    "tcp_throughput",
+    "sctp_over_udp_goodput",
+    "sctp_over_tcp_goodput",
+    "RadioEnergyModel",
+    "RRC_PARAMS_3G",
+    "TraceConfig",
+    "generate_trace",
+    "trace_statistics",
+]

@@ -1,0 +1,182 @@
+"""A packet-level AIMD congestion-control simulator.
+
+Figure 14's analytic series (:mod:`repro.sim.tcp`) uses the Padhye
+equation; this module provides the *empirical* counterpart: an
+RTT-slotted AIMD loop (slow start, fast recovery, retransmission
+timeouts) driving seeded random loss, so the analytic model can be
+cross-validated against simulated transfers.
+
+Two tunnel modes:
+
+* **UDP tunnel** -- the tunnel is transparent: the SCTP-like AIMD loop
+  sees the link's loss directly,
+* **TCP tunnel** -- the outer TCP retransmits lost packets itself, so
+  the inner loop never sees loss, but every outer loss head-of-line
+  blocks the tunnel for about one outer recovery time; during long
+  stalls the inner loop's RTO fires and it collapses its window too --
+  the stacking pathology the paper measures.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+DEFAULT_MSS = 1460
+
+
+@dataclass
+class CcResult:
+    """Outcome of one simulated transfer."""
+
+    goodput_bps: float
+    packets_delivered: int
+    loss_events: int
+    timeouts: int
+    duration_s: float
+
+
+def _bdp_packets(capacity_bps: float, rtt_s: float,
+                 mss_bytes: int) -> float:
+    return capacity_bps * rtt_s / (8.0 * mss_bytes)
+
+
+def simulate_aimd(
+    capacity_bps: float,
+    rtt_s: float,
+    loss: float,
+    duration_s: float = 60.0,
+    mss_bytes: int = DEFAULT_MSS,
+    rto_s: float = 0.2,
+    seed: int = 1,
+) -> CcResult:
+    """One AIMD flow over a lossy link (the UDP-tunnel case).
+
+    RTT-slotted: each round sends ``cwnd`` packets, each independently
+    lost with probability ``loss``.  Any loss halves the window (fast
+    recovery costs one RTT); a fully-lost round is a timeout (window
+    back to 1, pay the RTO).
+    """
+    rng = random.Random(seed)
+    bdp = max(2.0, _bdp_packets(capacity_bps, rtt_s, mss_bytes))
+    cwnd = 2.0
+    ssthresh = bdp
+    now = 0.0
+    delivered = 0
+    loss_events = 0
+    timeouts = 0
+    while now < duration_s:
+        to_send = max(1, int(min(cwnd, bdp)))
+        lost = sum(1 for _ in range(to_send) if rng.random() < loss)
+        delivered += to_send - lost
+        now += rtt_s
+        if lost == to_send and to_send > 0 and loss > 0:
+            timeouts += 1
+            ssthresh = max(2.0, cwnd / 2.0)
+            cwnd = 1.0
+            now += rto_s
+        elif lost:
+            loss_events += 1
+            ssthresh = max(2.0, cwnd / 2.0)
+            cwnd = ssthresh
+            now += rtt_s  # fast-recovery round
+        else:
+            if cwnd < ssthresh:
+                cwnd *= 2.0      # slow start
+            else:
+                cwnd += 1.0      # congestion avoidance
+    return CcResult(
+        goodput_bps=delivered * mss_bytes * 8.0 / now,
+        packets_delivered=delivered,
+        loss_events=loss_events,
+        timeouts=timeouts,
+        duration_s=now,
+    )
+
+
+def simulate_sctp_over_udp(
+    capacity_bps: float,
+    rtt_s: float,
+    loss: float,
+    duration_s: float = 60.0,
+    mss_bytes: int = DEFAULT_MSS,
+    seed: int = 1,
+) -> CcResult:
+    """Empirical Figure 14 `UDP` series point."""
+    return simulate_aimd(
+        capacity_bps, rtt_s, loss,
+        duration_s=duration_s, mss_bytes=mss_bytes, seed=seed,
+    )
+
+
+def simulate_sctp_over_tcp(
+    capacity_bps: float,
+    rtt_s: float,
+    loss: float,
+    duration_s: float = 60.0,
+    mss_bytes: int = DEFAULT_MSS,
+    rto_s: float = 0.2,
+    seed: int = 1,
+) -> CcResult:
+    """Empirical Figure 14 `TCP` series point.
+
+    The outer TCP hides loss from the inner loop but stalls the whole
+    tunnel on each loss event: roughly one outer recovery (an RTT) per
+    fast-retransmit, an RTO per lost retransmission.  The inner loop
+    perceives stalls longer than its RTO as timeouts and collapses; it
+    also halves on the delay spike of shorter stalls (SCTP's RTT
+    variance estimator), which is what strangles throughput.
+    """
+    rng = random.Random(seed)
+    bdp = max(2.0, _bdp_packets(capacity_bps, rtt_s, mss_bytes))
+    cwnd = 2.0
+    ssthresh = bdp
+    now = 0.0
+    delivered = 0
+    loss_events = 0
+    timeouts = 0
+    consecutive_timeouts = 0
+    while now < duration_s:
+        to_send = max(1, int(min(cwnd, bdp)))
+        lost = sum(1 for _ in range(to_send) if rng.random() < loss)
+        # The outer TCP delivers everything eventually (reliably)...
+        delivered += to_send
+        now += rtt_s
+        if lost:
+            loss_events += 1
+            # ...but both control loops back off for the same event:
+            # the outer halves its window (throttling the tunnel) and
+            # the inner halves again when it sees the delay spike --
+            # the "double backoff" of stacked loops.
+            ssthresh = max(1.0, cwnd / 2.0)
+            cwnd = max(1.0, cwnd / 4.0)
+            # The tunnel head-of-line blocks for the outer recovery.
+            now += 2 * rtt_s
+            # Bursts queued behind the stall inflate the inner RTT
+            # estimate; spurious inner RTOs are the signature failure
+            # of stacked reliable transports (the "TCP meltdown"),
+            # firing on a large fraction of outer recovery episodes
+            # and backing off exponentially when they repeat.
+            if rng.random() < min(1.0, 0.3 + 8.0 * loss):
+                timeouts += 1
+                consecutive_timeouts += 1
+                cwnd = 1.0
+                ssthresh = max(2.0, ssthresh / 2.0)
+                now += rto_s * (
+                    2 ** min(consecutive_timeouts - 1, 3)
+                )
+            else:
+                consecutive_timeouts = 0
+        else:
+            consecutive_timeouts = 0
+            if cwnd < ssthresh:
+                cwnd *= 2.0
+            else:
+                cwnd += 1.0
+    return CcResult(
+        goodput_bps=delivered * mss_bytes * 8.0 / now,
+        packets_delivered=delivered,
+        loss_events=loss_events,
+        timeouts=timeouts,
+        duration_s=now,
+    )

@@ -1,0 +1,98 @@
+"""A minimal discrete-event loop.
+
+Shared by the platform simulator (VM boots, suspend/resume, batch
+timers) and the use-case simulations (attacks, downloads).  Events fire
+in timestamp order; ties break in scheduling order, so runs are fully
+deterministic.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from typing import Any, Callable, List, Optional, Tuple
+
+from repro.common.errors import SimulationError
+
+
+class Event:
+    """A scheduled callback; cancellable until it fires."""
+
+    __slots__ = ("when", "seq", "callback", "cancelled")
+
+    def __init__(self, when: float, seq: int,
+                 callback: Callable[[], Any]):
+        self.when = when
+        self.seq = seq
+        self.callback = callback
+        self.cancelled = False
+
+    def cancel(self) -> None:
+        """Prevent the event from firing."""
+        self.cancelled = True
+
+    def __lt__(self, other: "Event") -> bool:
+        return (self.when, self.seq) < (other.when, other.seq)
+
+
+class EventLoop:
+    """A deterministic simulated-time event loop."""
+
+    def __init__(self, start: float = 0.0):
+        self.now = start
+        self._heap: List[Event] = []
+        self._seq = itertools.count()
+        self.fired = 0
+
+    def schedule(
+        self, delay: float, callback: Callable[[], Any]
+    ) -> Event:
+        """Run ``callback`` after ``delay`` simulated seconds."""
+        if delay < 0:
+            raise SimulationError("cannot schedule in the past")
+        return self.schedule_at(self.now + delay, callback)
+
+    def schedule_at(
+        self, when: float, callback: Callable[[], Any]
+    ) -> Event:
+        """Run ``callback`` at absolute simulated time ``when``."""
+        if when < self.now:
+            raise SimulationError("cannot schedule in the past")
+        event = Event(when, next(self._seq), callback)
+        heapq.heappush(self._heap, event)
+        return event
+
+    def run_until(self, deadline: float) -> None:
+        """Fire every event up to and including ``deadline``."""
+        while self._heap and self._heap[0].when <= deadline:
+            self._fire_next()
+        self.now = max(self.now, deadline)
+
+    def run(self, max_events: Optional[int] = None) -> None:
+        """Fire events until the queue drains (or ``max_events``)."""
+        fired = 0
+        while self._heap:
+            self._fire_next()
+            fired += 1
+            if max_events is not None and fired >= max_events:
+                return
+
+    def _fire_next(self) -> None:
+        event = heapq.heappop(self._heap)
+        if event.cancelled:
+            return
+        self.now = max(self.now, event.when)
+        self.fired += 1
+        event.callback()
+
+    def pending(self) -> int:
+        """Number of events not yet fired (including cancelled)."""
+        return len(self._heap)
+
+    def next_event_time(self) -> Optional[float]:
+        """Timestamp of the earliest pending event (None when empty)."""
+        while self._heap and self._heap[0].cancelled:
+            heapq.heappop(self._heap)
+        if self._heap:
+            return self._heap[0].when
+        return None

@@ -1,0 +1,82 @@
+"""HTTP server and transfer models.
+
+Provides the connection-slot server model used by the Slowloris defense
+experiment (Figure 15) and simple transfer-time helpers used by the HTTP
+platform experiments and the CDN use case.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.sim.events import EventLoop
+
+
+def transfer_time_s(
+    size_bytes: int, rate_bps: float, rtt_s: float = 0.0
+) -> float:
+    """Duration of one HTTP download: handshake + serialization."""
+    if rate_bps <= 0:
+        raise ValueError("rate must be positive")
+    return 2 * rtt_s + size_bytes * 8.0 / rate_bps
+
+
+class HttpServer:
+    """A server with a bounded connection table.
+
+    Valid requests occupy a slot for ``service_time_s``; Slowloris
+    connections occupy a slot for their configured hold time while
+    trickling bytes.  When the table is full, new connections are
+    rejected -- the starvation the attack aims for.
+    """
+
+    def __init__(
+        self,
+        loop: EventLoop,
+        max_connections: int = 256,
+        service_time_s: float = 0.05,
+        name: str = "origin",
+    ):
+        self.loop = loop
+        self.max_connections = max_connections
+        self.service_time_s = service_time_s
+        self.name = name
+        self.active = 0
+        self.served = 0
+        self.rejected = 0
+        #: (time, served_cumulative) samples for rate plots.
+        self.completions: List[float] = []
+
+    def try_open(self, hold_s: Optional[float] = None) -> bool:
+        """Attempt a connection; returns False when the table is full.
+
+        ``hold_s`` overrides the service time (Slowloris uses a long
+        hold; its connections never count as served).
+        """
+        if self.active >= self.max_connections:
+            self.rejected += 1
+            return False
+        self.active += 1
+        is_attack = hold_s is not None
+        duration = hold_s if is_attack else self.service_time_s
+
+        def finish() -> None:
+            self.active -= 1
+            if not is_attack:
+                self.served += 1
+                self.completions.append(self.loop.now)
+
+        self.loop.schedule(duration, finish)
+        return True
+
+    def served_per_second(
+        self, bin_s: float, until: float
+    ) -> List[float]:
+        """Completed valid requests per second, binned over [0, until]."""
+        bins = int(until / bin_s) + 1
+        counts = [0.0] * bins
+        for when in self.completions:
+            index = int(when / bin_s)
+            if 0 <= index < bins:
+                counts[index] += 1
+        return [c / bin_s for c in counts]

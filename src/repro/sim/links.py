@@ -1,0 +1,66 @@
+"""Link models: capacity, propagation delay, random loss.
+
+Used by the wide-area use cases (the emulated 100 Mb/s / 20 ms RTT link
+of Figure 14, the PlanetLab-like latency matrix of Figure 16).
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Optional
+
+
+class Link:
+    """A point-to-point link."""
+
+    def __init__(
+        self,
+        capacity_bps: float,
+        delay_s: float = 0.0,
+        loss: float = 0.0,
+        seed: Optional[int] = None,
+    ):
+        if capacity_bps <= 0:
+            raise ValueError("capacity must be positive")
+        if not 0.0 <= loss < 1.0:
+            raise ValueError("loss must be in [0, 1)")
+        self.capacity_bps = capacity_bps
+        self.delay_s = delay_s
+        self.loss = loss
+        self._rng = random.Random(seed)
+        self.packets_sent = 0
+        self.packets_lost = 0
+
+    @property
+    def rtt_s(self) -> float:
+        """Round-trip propagation delay."""
+        return 2 * self.delay_s
+
+    def transmit_time(self, size_bytes: int) -> float:
+        """Serialization delay of one packet."""
+        return size_bytes * 8.0 / self.capacity_bps
+
+    def one_way_latency(self, size_bytes: int) -> float:
+        """Serialization + propagation for one packet."""
+        return self.transmit_time(size_bytes) + self.delay_s
+
+    def deliver(self, size_bytes: int) -> Optional[float]:
+        """Attempt a transmission: latency, or None when lost."""
+        self.packets_sent += 1
+        if self.loss and self._rng.random() < self.loss:
+            self.packets_lost += 1
+            return None
+        return self.one_way_latency(size_bytes)
+
+    def observed_loss(self) -> float:
+        """Empirical loss rate so far."""
+        if not self.packets_sent:
+            return 0.0
+        return self.packets_lost / self.packets_sent
+
+    def __repr__(self) -> str:
+        return "Link(%.0f Mb/s, %.1f ms, loss %.1f%%)" % (
+            self.capacity_bps / 1e6,
+            self.delay_s * 1e3,
+            self.loss * 100,
+        )

@@ -1,0 +1,411 @@
+"""The symbolic exploration engine.
+
+The engine injects a symbolic packet at a node of a :class:`SymGraph`
+and tracks the flow through the network, splitting it whenever subflows
+can take different paths, and checking all flows over all possible paths
+(Section 4.3).  For each flow it records:
+
+* the constraint store (per-variable interval domains),
+* a **trace** of every (node, input port) the flow arrived at, with a
+  field -> variable snapshot per entry,
+* a **write log** of every header-field redefinition and which node
+  performed it -- the "history of modifications" the controller uses to
+  check ``const`` invariants and anti-spoofing.
+
+Unsatisfiable branches are pruned immediately, so the number of live
+flows stays proportional to real forwarding alternatives.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, NamedTuple, Optional, Tuple
+
+from repro.common.errors import VerificationError
+from repro.common.intervals import IntervalSet
+from repro.policy.flowspec import Clause, FlowSpec
+from repro.symexec.sympacket import SymPacket, SymVar, VarFactory
+
+
+class TraceEntry(NamedTuple):
+    """One arrival of a flow at a node input port."""
+
+    node: str
+    port: int
+    #: field -> variable uid at arrival time.
+    snapshot: Dict[str, int]
+
+
+class WriteRecord(NamedTuple):
+    """One redefinition of a header field by a node's model."""
+
+    #: Index in the trace of the node that performed the write.
+    at: int
+    node: str
+    field: str
+    old_uid: Optional[int]
+    new_uid: int
+
+
+class SymFlow:
+    """One symbolic flow: packet bindings + constraints + history."""
+
+    __slots__ = ("packet", "domains", "trace", "writes", "alive")
+
+    def __init__(self, packet: SymPacket):
+        self.packet = packet
+        #: var uid -> current domain (missing = the var's universe).
+        self.domains: Dict[int, IntervalSet] = {}
+        self.trace: List[TraceEntry] = []
+        self.writes: List[WriteRecord] = []
+        self.alive = True
+
+    # -- constraints --------------------------------------------------------
+    def domain(self, variable: SymVar) -> IntervalSet:
+        """Current domain of ``variable`` under this flow."""
+        return self.domains.get(variable.uid, variable.universe)
+
+    def field_domain(self, field: str) -> IntervalSet:
+        """Current domain of the variable bound to ``field``."""
+        variable = self.packet.var(field)
+        if variable is None:
+            raise VerificationError("field %r not tracked" % (field,))
+        return self.domain(variable)
+
+    def constrain(self, variable: SymVar, allowed: IntervalSet) -> bool:
+        """Intersect a variable's domain; False when it becomes empty."""
+        narrowed = self.domain(variable).intersect(allowed)
+        self.domains[variable.uid] = narrowed
+        if narrowed.is_empty():
+            self.alive = False
+            return False
+        return True
+
+    def constrain_field(self, field: str, allowed: IntervalSet) -> bool:
+        """Constrain the variable currently bound to ``field``."""
+        variable = self.packet.var(field)
+        if variable is None:
+            raise VerificationError("field %r not tracked" % (field,))
+        return self.constrain(variable, allowed)
+
+    def constrain_clause(self, clause: Clause) -> bool:
+        """Apply every per-field constraint of a flow-spec clause."""
+        for field, allowed in clause.constraints.items():
+            if not self.constrain_field(field, allowed):
+                return False
+        return True
+
+    # -- writes --------------------------------------------------------------
+    def write_field(
+        self, field: str, variable: SymVar, node: Optional[str] = None
+    ) -> None:
+        """Bind ``field`` to ``variable`` and log the redefinition."""
+        old = self.packet.var(field)
+        self.writes.append(
+            WriteRecord(
+                at=len(self.trace) - 1,
+                node=node or (self.trace[-1].node if self.trace else "?"),
+                field=field,
+                old_uid=old.uid if old is not None else None,
+                new_uid=variable.uid,
+            )
+        )
+        self.packet.bind(field, variable)
+
+    def written_between(self, start: int, end: int, field: str) -> bool:
+        """Whether ``field`` was redefined by nodes trace[start:end]."""
+        return any(
+            w.field == field and start <= w.at < end for w in self.writes
+        )
+
+    def writers_of(self, field: str) -> List[str]:
+        """Names of every node that redefined ``field`` on this path."""
+        return [w.node for w in self.writes if w.field == field]
+
+    # -- lifecycle ---------------------------------------------------------------
+    def fork(self) -> "SymFlow":
+        """An independent copy sharing no mutable state."""
+        clone = SymFlow(self.packet.copy())
+        clone.domains = dict(self.domains)
+        clone.trace = list(self.trace)
+        clone.writes = list(self.writes)
+        clone.alive = self.alive
+        return clone
+
+    def matches_spec(self, spec: FlowSpec) -> bool:
+        """Whether this flow can *only* carry packets satisfying ``spec``.
+
+        True when the flow's current domains fit entirely inside some
+        clause of the spec -- i.e. the spec is guaranteed, not merely
+        possible.  (Requirement checking wants guarantees: "there exists
+        at least one flow that conforms to the verified constraints".)
+        """
+        for clause in spec.clauses:
+            if all(
+                self.field_domain(field).is_subset(allowed)
+                for field, allowed in clause.constraints.items()
+                if self.packet.var(field) is not None
+            ):
+                return True
+        return False
+
+    def intersects_spec(self, spec: FlowSpec) -> bool:
+        """Whether some concrete packet of this flow satisfies ``spec``."""
+        for clause in spec.clauses:
+            if all(
+                self.field_domain(field).overlaps(allowed)
+                for field, allowed in clause.constraints.items()
+                if self.packet.var(field) is not None
+            ):
+                return True
+        return False
+
+    def __repr__(self) -> str:
+        return "SymFlow(%d hops, %d writes, alive=%s)" % (
+            len(self.trace),
+            len(self.writes),
+            self.alive,
+        )
+
+
+# ---------------------------------------------------------------------------
+# Graph
+# ---------------------------------------------------------------------------
+
+#: A node model: (context, node_name, in_port, flow) -> [(out_port, flow)].
+NodeModel = Callable[["ModelContext", str, int, SymFlow],
+                     List[Tuple[int, SymFlow]]]
+
+
+class SymGraph:
+    """A graph of symbolic node models.
+
+    Nodes are registered with a model callable; edges connect
+    ``(node, out_port)`` to ``(node, in_port)``.  Sink nodes terminate
+    flows (their arrivals are still recorded).
+    """
+
+    def __init__(self):
+        self.models: Dict[str, NodeModel] = {}
+        self.sinks: Dict[str, bool] = {}
+        self.edges: Dict[Tuple[str, int], Tuple[str, int]] = {}
+        #: Opaque per-node payloads models may consult (element instance,
+        #: routing table, ...).
+        self.payloads: Dict[str, object] = {}
+
+    def add_node(
+        self,
+        name: str,
+        model: NodeModel,
+        payload: object = None,
+        is_sink: bool = False,
+    ) -> None:
+        """Register a node; raises on duplicates."""
+        if name in self.models:
+            raise VerificationError("graph node %r added twice" % (name,))
+        self.models[name] = model
+        self.payloads[name] = payload
+        self.sinks[name] = is_sink
+
+    def connect(
+        self, src: str, src_port: int, dst: str, dst_port: int
+    ) -> None:
+        """Wire ``src[src_port] -> [dst_port]dst``."""
+        for name in (src, dst):
+            if name not in self.models:
+                raise VerificationError("edge references unknown %r" % name)
+        self.edges[(src, src_port)] = (dst, dst_port)
+
+    def successor(
+        self, node: str, port: int
+    ) -> Optional[Tuple[str, int]]:
+        """Where output ``port`` of ``node`` leads (None = dangling)."""
+        return self.edges.get((node, port))
+
+    def connected_outputs(self, node: str) -> List[int]:
+        """The wired output ports of ``node``."""
+        return sorted(p for (n, p) in self.edges if n == node)
+
+    @classmethod
+    def from_click(
+        cls, config, namespace: str = "", payload_filter=None
+    ) -> "SymGraph":
+        """Build a graph from a :class:`~repro.click.config.ClickConfig`.
+
+        Each element is instantiated (so its arguments are parsed once)
+        and paired with its registered symbolic model.  ``namespace``
+        prefixes node names (``module/element``) so multiple modules can
+        share one graph.
+        """
+        from repro.click.element import create_element
+        from repro.symexec.models import model_for
+
+        graph = cls()
+        prefix = namespace + "/" if namespace else ""
+        for name, decl in config.elements.items():
+            element = create_element(decl.class_name, name, decl.args)
+            if payload_filter is not None:
+                element = payload_filter(element)
+            graph.add_node(
+                prefix + name,
+                model_for(decl.class_name),
+                payload=element,
+                is_sink=getattr(element, "is_sink", False),
+            )
+        for edge in config.edges:
+            graph.connect(
+                prefix + edge.src, edge.src_port,
+                prefix + edge.dst, edge.dst_port,
+            )
+        return graph
+
+
+class ModelContext:
+    """What element models may consult while executing."""
+
+    def __init__(self, graph: SymGraph, factory: VarFactory):
+        self.graph = graph
+        self.factory = factory
+
+
+class Exploration:
+    """The result of one symbolic injection."""
+
+    def __init__(self):
+        #: (node, in_port) -> flows as they arrived there.
+        self.arrivals: Dict[Tuple[str, int], List[SymFlow]] = {}
+        #: Flows that reached a sink node.
+        self.delivered: List[SymFlow] = []
+        #: Flows that died (dropped by a model or dangling port).
+        self.dropped: List[SymFlow] = []
+        #: Total model evaluations (the linear cost the paper measures).
+        self.steps = 0
+
+    def flows_at(self, node: str, port: Optional[int] = None
+                 ) -> List[SymFlow]:
+        """Flows that arrived at ``node`` (optionally a specific port).
+
+        Arrival snapshots are frozen into each flow's trace; the flow
+        objects returned are the *final* flow states whose traces pass
+        through the node.
+        """
+        out: List[SymFlow] = []
+        for (name, in_port), flows in self.arrivals.items():
+            if name == node and (port is None or in_port == port):
+                out.extend(flows)
+        return out
+
+    def all_flows(self) -> List[SymFlow]:
+        """Every completed flow (delivered or dropped)."""
+        return self.delivered + self.dropped
+
+
+class SymbolicEngine:
+    """Runs symbolic exploration over a :class:`SymGraph`."""
+
+    def __init__(
+        self,
+        graph: SymGraph,
+        factory: Optional[VarFactory] = None,
+        max_steps: int = 200_000,
+        max_hops: int = 4_096,
+    ):
+        self.graph = graph
+        self.factory = factory or VarFactory()
+        self.max_steps = max_steps
+        self.max_hops = max_hops
+        self.context = ModelContext(graph, self.factory)
+
+    def fresh_packet(self) -> SymPacket:
+        """A fully-unconstrained symbolic packet."""
+        return SymPacket.fresh(self.factory)
+
+    def inject(
+        self,
+        node: str,
+        port: int = 0,
+        flow: Optional[SymFlow] = None,
+    ) -> Exploration:
+        """Inject a flow at ``node`` and explore every path.
+
+        With no ``flow``, an unconstrained symbolic packet is used
+        (the spoofing check of Section 4.4 does exactly this).
+        """
+        if node not in self.graph.models:
+            raise VerificationError("inject at unknown node %r" % (node,))
+        if flow is None:
+            flow = SymFlow(self.fresh_packet())
+        result = Exploration()
+        worklist: List[Tuple[str, int, SymFlow]] = [(node, port, flow)]
+        return self._explore(worklist, result)
+
+    def inject_departure(
+        self, node: str, flow: Optional[SymFlow] = None
+    ) -> Exploration:
+        """Inject a flow *departing* ``node`` (used for endpoint origins).
+
+        The node itself is recorded as trace position 0 with port -1 (it
+        is where the traffic originates, not a hop it traverses), then
+        the flow is forked onto every connected output of the node.
+        """
+        if node not in self.graph.models:
+            raise VerificationError("inject at unknown node %r" % (node,))
+        if flow is None:
+            flow = SymFlow(self.fresh_packet())
+        flow.trace.append(TraceEntry(node, -1, flow.packet.snapshot()))
+        result = Exploration()
+        result.arrivals.setdefault((node, -1), []).append(flow)
+        outputs = self.graph.connected_outputs(node)
+        worklist: List[Tuple[str, int, SymFlow]] = []
+        for index, out_port in enumerate(outputs):
+            nxt = self.graph.successor(node, out_port)
+            branch = flow if index == len(outputs) - 1 else flow.fork()
+            worklist.append((nxt[0], nxt[1], branch))
+        if not worklist:
+            result.dropped.append(flow)
+        return self._explore(worklist, result)
+
+    def _explore(
+        self,
+        worklist: List[Tuple[str, int, SymFlow]],
+        result: Exploration,
+    ) -> Exploration:
+        while worklist:
+            current_node, in_port, current = worklist.pop()
+            if not current.alive:
+                result.dropped.append(current)
+                continue
+            if len(current.trace) >= self.max_hops:
+                raise VerificationError(
+                    "flow exceeded %d hops (loop in the model graph?)"
+                    % self.max_hops
+                )
+            result.steps += 1
+            if result.steps > self.max_steps:
+                raise VerificationError(
+                    "exploration exceeded %d steps" % self.max_steps
+                )
+            current.trace.append(
+                TraceEntry(current_node, in_port,
+                           current.packet.snapshot())
+            )
+            result.arrivals.setdefault(
+                (current_node, in_port), []
+            ).append(current)
+            if self.graph.sinks[current_node]:
+                result.delivered.append(current)
+                continue
+            model = self.graph.models[current_node]
+            outputs = model(self.context, current_node, in_port, current)
+            if not outputs:
+                result.dropped.append(current)
+                continue
+            for out_port, out_flow in outputs:
+                if not out_flow.alive:
+                    result.dropped.append(out_flow)
+                    continue
+                nxt = self.graph.successor(current_node, out_port)
+                if nxt is None:
+                    result.dropped.append(out_flow)
+                    continue
+                worklist.append((nxt[0], nxt[1], out_flow))
+        return result

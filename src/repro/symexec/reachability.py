@@ -1,0 +1,325 @@
+"""Checking ``reach`` requirements against symbolic explorations.
+
+The controller runs a SYMNET reachability check for each requirement
+(Section 4.3): it injects a symbolic packet built from the origin hop's
+flow definition, explores, and then verifies that at least one symbolic
+flow
+
+* visits every hop's node, in order,
+* satisfies each hop's flow specification *at that node* (evaluated on
+  the variables bound there, under the flow's final path condition --
+  constraints only narrow along a path, so this is sound), and
+* keeps every ``const`` field unredefined on the hop arriving at the
+  node that declares it.
+
+Node references are resolved to graph nodes by a caller-supplied
+resolver, because only the network model knows which graph vertices are
+"client" subnets, the "internet", or a module's Click element ports.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field as dataclass_field
+from typing import Callable, Dict, List, Optional
+
+from repro.common.intervals import IntervalSet
+from repro.policy.flowspec import FlowSpec
+from repro.policy.grammar import Hop, NodeRef, ReachRequirement
+from repro.symexec.engine import Exploration, SymFlow, TraceEntry
+from repro.symexec.sympacket import DEFAULT_UNIVERSE, FIELD_UNIVERSES
+
+#: Resolves a requirement NodeRef to a predicate over trace entries.
+NodeResolver = Callable[[NodeRef], Callable[[TraceEntry], bool]]
+
+
+@dataclass
+class InvariantViolation:
+    """A const-field invariant that failed for a candidate flow."""
+
+    hop_index: int
+    field: str
+    writers: List[str]
+
+
+@dataclass
+class ReachResult:
+    """Outcome of checking one requirement."""
+
+    requirement: ReachRequirement
+    satisfied: bool
+    #: Flows that satisfy the whole requirement.
+    witnesses: List[SymFlow] = dataclass_field(default_factory=list)
+    #: Human-readable explanation when unsatisfied.
+    reason: str = ""
+    #: Invariant violations observed on otherwise-matching flows.
+    violations: List[InvariantViolation] = dataclass_field(
+        default_factory=list
+    )
+
+    def __bool__(self) -> bool:
+        return self.satisfied
+
+
+def default_resolver(ref: NodeRef) -> Callable[[TraceEntry], bool]:
+    """Resolver for bare Click-module graphs (no topology).
+
+    Matches element references (``module:element:port`` becomes graph
+    node ``module/element`` or just ``element``) and plain names.
+    """
+    from repro.policy.grammar import KIND_ELEMENT, KIND_NAME
+
+    if ref.kind == KIND_ELEMENT:
+        wanted = ("%s/%s" % (ref.name, ref.element), ref.element)
+
+        def match_element(entry: TraceEntry) -> bool:
+            return entry.node in wanted and entry.port == ref.port
+
+        return match_element
+    if ref.kind == KIND_NAME:
+        def match_name(entry: TraceEntry) -> bool:
+            return entry.node == ref.name
+
+        return match_name
+    raise ValueError(
+        "default resolver cannot resolve %r nodes; use the network "
+        "model's resolver" % (ref.kind,)
+    )
+
+
+def _field_universe(field_name: str) -> IntervalSet:
+    return FIELD_UNIVERSES.get(field_name, DEFAULT_UNIVERSE)
+
+
+def domain_at(
+    flow: SymFlow, snapshot: Dict[str, int], field_name: str
+) -> Optional[IntervalSet]:
+    """Domain of ``field_name``'s variable as bound at a trace entry,
+    under the flow's final path condition.  None if untracked there."""
+    uid = snapshot.get(field_name)
+    if uid is None:
+        return None
+    return flow.domains.get(uid, _field_universe(field_name))
+
+
+def spec_may_be_satisfied_at(
+    flow: SymFlow, entry: TraceEntry, spec: FlowSpec
+) -> bool:
+    """Whether some concrete packet of the flow satisfies ``spec`` at
+    the given trace entry (overlap semantics)."""
+    for clause in spec.clauses:
+        ok = True
+        for field_name, allowed in clause.constraints.items():
+            domain = domain_at(flow, entry.snapshot, field_name)
+            if domain is None or not domain.overlaps(allowed):
+                ok = False
+                break
+        if ok:
+            return True
+    return False
+
+
+def spec_satisfied_at(
+    flow: SymFlow, entry: TraceEntry, spec: FlowSpec
+) -> bool:
+    """Whether the flow *guarantees* ``spec`` at the given trace entry.
+
+    A clause is guaranteed when every constrained field's domain at the
+    entry is a subset of the clause's allowed set.
+    """
+    for clause in spec.clauses:
+        ok = True
+        for field_name, allowed in clause.constraints.items():
+            domain = domain_at(flow, entry.snapshot, field_name)
+            if domain is None or not domain.is_subset(allowed):
+                ok = False
+                break
+        if ok:
+            return True
+    return False
+
+
+class ReachabilityChecker:
+    """Evaluates :class:`ReachRequirement` objects over explorations."""
+
+    def __init__(self, resolver: NodeResolver = default_resolver):
+        self.resolver = resolver
+
+    def check(
+        self, requirement: ReachRequirement, exploration: Exploration
+    ) -> ReachResult:
+        """Check ``requirement`` against an exploration whose injection
+        already realized the origin hop (node + flow constraint)."""
+        result = ReachResult(requirement=requirement, satisfied=False)
+        hops = requirement.hops
+        matchers = [self.resolver(h.node) for h in hops[1:]]
+        if getattr(requirement, "mode", "reach") == "always":
+            return self._check_always(
+                requirement, exploration, matchers
+            )
+        candidates = 0
+        for flow in exploration.all_flows():
+            positions = self._match_positions(flow, hops[1:], matchers, 1)
+            if positions is None:
+                continue
+            candidates += 1
+            violation = self._check_invariants(flow, hops, positions)
+            if violation is not None:
+                result.violations.append(violation)
+                continue
+            result.witnesses.append(flow)
+        if not requirement.expect_reachable:
+            # `isolate`: satisfied exactly when nothing gets through.
+            if result.witnesses:
+                result.satisfied = False
+                result.reason = (
+                    "isolation violated: %d symbolic flow(s) reach %s"
+                    % (len(result.witnesses), hops[-1].node)
+                )
+            else:
+                result.satisfied = True
+                result.reason = ""
+            return result
+        if result.witnesses:
+            result.satisfied = True
+        elif result.violations:
+            result.reason = (
+                "flows reach the target but const invariants fail: %s"
+                % ", ".join(
+                    "%s (written by %s)" % (v.field, "/".join(v.writers))
+                    for v in result.violations
+                )
+            )
+        elif candidates:
+            result.reason = "internal error: candidates without verdict"
+        else:
+            result.reason = (
+                "no symbolic flow reaches %s with the required "
+                "constraints" % (hops[-1].node,)
+            )
+        return result
+
+    # -- internals --------------------------------------------------------
+    def _check_always(
+        self,
+        requirement: ReachRequirement,
+        exploration: Exploration,
+        matchers,
+    ) -> ReachResult:
+        """Universal waypointing: every flow that reaches the target
+        must have traversed all waypoints, in order, beforehand."""
+        result = ReachResult(requirement=requirement, satisfied=True)
+        hops = requirement.hops
+        target_hop = hops[-1]
+        target_matcher = matchers[-1]
+        waypoint_hops = hops[1:-1]
+        waypoint_matchers = matchers[:-1]
+        for flow in exploration.all_flows():
+            for index in range(1, len(flow.trace)):
+                entry = flow.trace[index]
+                if not target_matcher(entry):
+                    continue
+                # Universal mode is conservative: a flow that *may*
+                # carry target-matching packets counts (overlap, not
+                # subset), so nothing sneaks past the waypoint.
+                if target_hop.flow is not None and not (
+                    spec_may_be_satisfied_at(flow, entry,
+                                             target_hop.flow)
+                ):
+                    continue
+                if not self._waypoints_before(
+                    flow, waypoint_hops, waypoint_matchers, index
+                ):
+                    result.satisfied = False
+                    result.witnesses.append(flow)
+                    break
+        if not result.satisfied:
+            result.reason = (
+                "%d flow(s) reach %s without traversing %s"
+                % (
+                    len(result.witnesses),
+                    target_hop.node,
+                    " -> ".join(str(h.node) for h in waypoint_hops),
+                )
+            )
+        return result
+
+    def _waypoints_before(
+        self, flow: SymFlow, hops, matchers, end_index: int
+    ) -> bool:
+        """Whether the waypoint sequence occurs before ``end_index``."""
+        position = 1
+        for hop, matcher in zip(hops, matchers):
+            found = None
+            for index in range(position, end_index):
+                entry = flow.trace[index]
+                if not matcher(entry):
+                    continue
+                if hop.flow is not None and not spec_satisfied_at(
+                    flow, entry, hop.flow
+                ):
+                    continue
+                found = index
+                break
+            if found is None:
+                return False
+            position = found + 1
+        return True
+
+    def _match_positions(
+        self,
+        flow: SymFlow,
+        remaining_hops,
+        matchers,
+        search_from: int,
+        _depth: int = 0,
+    ) -> Optional[List[int]]:
+        """Find trace indices realizing the hops in order (backtracking).
+
+        The origin hop occupies trace index 0 (the injection point), so
+        the search starts at index 1.
+        """
+        if not remaining_hops:
+            return []
+        hop, matcher = remaining_hops[0], matchers[0]
+        for index in range(search_from, len(flow.trace)):
+            entry = flow.trace[index]
+            if not matcher(entry):
+                continue
+            if hop.flow is not None and not spec_satisfied_at(
+                flow, entry, hop.flow
+            ):
+                continue
+            rest = self._match_positions(
+                flow,
+                remaining_hops[1:],
+                matchers[1:],
+                index + 1,
+                _depth + 1,
+            )
+            if rest is not None:
+                return [index] + rest
+        return None
+
+    def _check_invariants(
+        self, flow: SymFlow, hops, positions: List[int]
+    ) -> Optional[InvariantViolation]:
+        """Validate const fields on each hop; the hop into hops[i+1]
+        spans trace[prev_pos : pos]."""
+        previous = 0
+        for hop_index, hop in enumerate(hops[1:], start=1):
+            position = positions[hop_index - 1]
+            for field_name in hop.const_fields:
+                if flow.written_between(previous, position, field_name):
+                    writers = [
+                        w.node
+                        for w in flow.writes
+                        if w.field == field_name
+                        and previous <= w.at < position
+                    ]
+                    return InvariantViolation(
+                        hop_index=hop_index,
+                        field=field_name,
+                        writers=writers,
+                    )
+            previous = position
+        return None

@@ -1,0 +1,140 @@
+"""Rendering symbolic execution traces as Figure 2-style tables.
+
+The paper explains SYMNET with a table: one row per hop, one column per
+header field, shaded cells where a value changed.  This module produces
+the text version of that table from a :class:`SymFlow`, for examples,
+debugging, and controller denial messages.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+from repro.common import fields as F
+from repro.common.addr import format_ip
+from repro.common.intervals import IntervalSet
+from repro.symexec.engine import SymFlow
+from repro.symexec.reachability import domain_at
+
+#: Default column order, mirroring Figure 2.
+DEFAULT_COLUMNS = (
+    F.IP_SRC, F.IP_DST, F.IP_PROTO, F.PAYLOAD,
+)
+
+_SHORT = {
+    F.IP_SRC: "IP SRC",
+    F.IP_DST: "IP DST",
+    F.IP_PROTO: "PROT",
+    F.IP_TTL: "TTL",
+    F.IP_TOS: "TOS",
+    F.TP_SRC: "SPORT",
+    F.TP_DST: "DPORT",
+    F.TCP_FLAGS: "FLAGS",
+    F.PAYLOAD: "DATA",
+}
+
+
+def _label_for(
+    flow: SymFlow,
+    snapshot: Dict[str, int],
+    field: str,
+    var_names: Dict[int, str],
+) -> str:
+    """Human-readable cell: a constant, a range, or a variable name."""
+    uid = snapshot.get(field)
+    if uid is None:
+        return "-"
+    domain = domain_at(flow, snapshot, field)
+    value = domain.singleton_value() if domain is not None else None
+    if value is not None:
+        if field in (F.IP_SRC, F.IP_DST):
+            return format_ip(value)
+        if field == F.IP_PROTO:
+            return F.PROTO_NAMES.get(value, str(value))
+        return str(value)
+    if uid not in var_names:
+        var_names[uid] = _next_var_name(len(var_names))
+    name = var_names[uid]
+    if domain is not None and _is_proper_subset(domain, field):
+        return "%s*" % name  # constrained but not a constant
+    return name
+
+
+def _next_var_name(index: int) -> str:
+    letters = "ABCDEFGHIJKLMNOPQRSTUVWXYZ"
+    name = letters[index % 26]
+    if index >= 26:
+        name += str(index // 26)
+    return name
+
+
+def _is_proper_subset(domain: IntervalSet, field: str) -> bool:
+    from repro.symexec.sympacket import DEFAULT_UNIVERSE, FIELD_UNIVERSES
+
+    universe = FIELD_UNIVERSES.get(field, DEFAULT_UNIVERSE)
+    return domain != universe
+
+
+def format_trace(
+    flow: SymFlow,
+    columns: Sequence[str] = DEFAULT_COLUMNS,
+    title: Optional[str] = None,
+) -> str:
+    """Render one flow's trace as a Figure 2-style table.
+
+    Cells show constants where the domain is a singleton and stable
+    variable letters otherwise (``A*`` marks a constrained variable);
+    a trailing ``<`` marks cells whose binding changed at that hop.
+    """
+    var_names: Dict[int, str] = {}
+    headers = ["node"] + [_SHORT.get(c, c) for c in columns]
+    rows: List[List[str]] = []
+    previous: Optional[Dict[str, int]] = None
+    for entry in flow.trace:
+        row = [entry.node]
+        for column in columns:
+            label = _label_for(flow, entry.snapshot, column, var_names)
+            changed = (
+                previous is not None
+                and previous.get(column) != entry.snapshot.get(column)
+            )
+            row.append(label + (" <" if changed else ""))
+        rows.append(row)
+        previous = entry.snapshot
+    widths = [len(h) for h in headers]
+    for row in rows:
+        for index, cell in enumerate(row):
+            widths[index] = max(widths[index], len(cell))
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append("  ".join(
+        "%-*s" % (w, h) for w, h in zip(widths, headers)
+    ))
+    lines.append("-" * (sum(widths) + 2 * (len(widths) - 1)))
+    for row in rows:
+        lines.append("  ".join(
+            "%-*s" % (w, c) for w, c in zip(widths, row)
+        ))
+    return "\n".join(lines)
+
+
+def format_exploration(
+    exploration,
+    columns: Sequence[str] = DEFAULT_COLUMNS,
+    max_flows: int = 8,
+) -> str:
+    """Render every delivered flow of an exploration."""
+    parts = []
+    for index, flow in enumerate(exploration.delivered[:max_flows]):
+        parts.append(format_trace(
+            flow, columns,
+            title="flow %d of %d:" % (index + 1,
+                                      len(exploration.delivered)),
+        ))
+    if len(exploration.delivered) > max_flows:
+        parts.append(
+            "... %d more flows"
+            % (len(exploration.delivered) - max_flows)
+        )
+    return "\n\n".join(parts)

@@ -1,0 +1,33 @@
+"""The Section 8 use cases, end to end.
+
+Each module wires the In-Net pieces -- controller, platforms, dataplane,
+simulators -- into one of the paper's demonstrations:
+
+* :mod:`repro.usecases.push_notifications` -- batching mobile push
+  traffic to save radio energy (Figures 4 and 13),
+* :mod:`repro.usecases.tunneling` -- running SCTP over UDP vs TCP
+  tunnels, and picking the right one via an In-Net reachability query
+  instead of a 3-second timeout (Figure 14),
+* :mod:`repro.usecases.dos_protection` -- defending a web server
+  against Slowloris with on-demand reverse proxies (Figure 15),
+* :mod:`repro.usecases.cdn` -- a small content-distribution network of
+  sandboxed x86 caches with geolocation steering (Figure 16).
+"""
+
+from repro.usecases.amplification import (
+    AmplificationScenario,
+    compare_mitigations,
+)
+from repro.usecases.cdn import CdnScenario
+from repro.usecases.dos_protection import SlowlorisScenario
+from repro.usecases.push_notifications import PushNotificationScenario
+from repro.usecases.tunneling import TunnelScenario
+
+__all__ = [
+    "AmplificationScenario",
+    "compare_mitigations",
+    "PushNotificationScenario",
+    "TunnelScenario",
+    "SlowlorisScenario",
+    "CdnScenario",
+]

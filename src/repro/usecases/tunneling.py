@@ -1,0 +1,103 @@
+"""The protocol-tunneling use case (Section 8, Figure 14).
+
+Deploying SCTP natively is impossible (middleboxes drop non-TCP/UDP);
+tunneling over UDP performs well but may be firewalled; tunneling over
+TCP always works but stacks congestion-control loops.  The experiment
+measures SCTP goodput through both tunnels on a 100 Mb/s, 20 ms-RTT
+emulated WAN link across loss rates, and the use case shows how an
+In-Net reachability query replaces the 3-second timeout fallback.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+from repro.core import Controller
+from repro.netmodel.examples import figure3_network
+from repro.policy import parse_requirement
+from repro.sim.tcp import (
+    SCTP_INIT_TIMEOUT_S,
+    reachability_probe_time_s,
+    sctp_over_tcp_goodput,
+    sctp_over_udp_goodput,
+)
+
+
+@dataclass
+class TunnelSample:
+    """One point of the Figure 14 sweep."""
+
+    loss: float
+    udp_goodput_bps: float
+    tcp_goodput_bps: float
+
+    @property
+    def ratio(self) -> float:
+        """How many times faster the UDP tunnel is."""
+        if self.tcp_goodput_bps <= 0:
+            return float("inf")
+        return self.udp_goodput_bps / self.tcp_goodput_bps
+
+
+class TunnelScenario:
+    """The SCTP-tunnel experiment and the tunnel-selection query."""
+
+    def __init__(
+        self,
+        capacity_bps: float = 100e6,
+        rtt_s: float = 0.020,
+        controller: Optional[Controller] = None,
+    ):
+        self.capacity_bps = capacity_bps
+        self.rtt_s = rtt_s
+        self.controller = controller or Controller(figure3_network())
+
+    def sweep(
+        self,
+        losses: Tuple[float, ...] = (0.0, 0.01, 0.02, 0.03, 0.04, 0.05),
+    ) -> List[TunnelSample]:
+        """Figure 14: goodput of both tunnels across loss rates."""
+        return [
+            TunnelSample(
+                loss=loss,
+                udp_goodput_bps=sctp_over_udp_goodput(
+                    self.capacity_bps, self.rtt_s, loss
+                ),
+                tcp_goodput_bps=sctp_over_tcp_goodput(
+                    self.capacity_bps, self.rtt_s, loss
+                ),
+            )
+            for loss in losses
+        ]
+
+    # -- tunnel selection via the In-Net API --------------------------------
+    def udp_reachable(self, destination: str, port: int = 9899) -> bool:
+        """Ask the controller whether UDP reaches the destination.
+
+        This is the Section 8 reachability requirement the sender
+        submits before choosing a tunnel (~200 ms) instead of waiting
+        for SCTP's three-second init timeout.
+        """
+        requirement = parse_requirement(
+            "reach from client udp dst port %d -> internet" % port
+        )
+        from repro.netmodel.symgraph import NetworkCompiler
+        from repro.symexec.reachability import ReachabilityChecker
+
+        compiled = NetworkCompiler(self.controller.network).compile()
+        checker = ReachabilityChecker(compiled.resolver)
+        exploration = compiled.explore_from(
+            requirement.origin.node, requirement.origin.flow
+        )
+        return bool(checker.check(requirement, exploration))
+
+    def selection_latency_s(self, with_innet: bool) -> float:
+        """Time until the sender knows which tunnel to use.
+
+        Without In-Net the sender tries UDP and falls back after the
+        SCTP init timeout; with In-Net one API round trip suffices.
+        """
+        if with_innet:
+            return reachability_probe_time_s()
+        return SCTP_INIT_TIMEOUT_S

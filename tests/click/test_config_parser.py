@@ -1,0 +1,149 @@
+"""Tests for the Click configuration language parser."""
+
+import pytest
+
+from repro.click.config import parse_config, split_args
+from repro.common.errors import ConfigError
+
+
+class TestDeclarations:
+    def test_simple_declaration(self):
+        cfg = parse_config("src :: FromNetfront();")
+        assert cfg.elements["src"].class_name == "FromNetfront"
+        assert cfg.elements["src"].args == ()
+
+    def test_declaration_with_args(self):
+        cfg = parse_config("f :: IPFilter(allow udp port 1500);")
+        assert cfg.elements["f"].args == ("allow udp port 1500",)
+
+    def test_multi_name_declaration(self):
+        cfg = parse_config("a, b :: Counter();")
+        assert cfg.elements["a"].class_name == "Counter"
+        assert cfg.elements["b"].class_name == "Counter"
+
+    def test_duplicate_declaration_rejected(self):
+        with pytest.raises(ConfigError):
+            parse_config("a :: Counter(); a :: Counter();")
+
+    def test_multiple_args_split_on_commas(self):
+        cfg = parse_config("c :: IPClassifier(udp, tcp, -);")
+        assert cfg.elements["c"].args == ("udp", "tcp", "-")
+
+
+class TestConnections:
+    def test_chain(self):
+        cfg = parse_config(
+            "a :: FromNetfront(); b :: Counter(); c :: ToNetfront();"
+            "a -> b -> c;"
+        )
+        assert (("a", 0, "b", 0) in [tuple(e) for e in cfg.edges])
+        assert (("b", 0, "c", 0) in [tuple(e) for e in cfg.edges])
+
+    def test_port_selectors(self):
+        cfg = parse_config(
+            "t :: Tee(2); x :: Discard(); y :: Discard();"
+            "t[0] -> x; t[1] -> y;"
+        )
+        edges = {tuple(e) for e in cfg.edges}
+        assert ("t", 0, "x", 0) in edges
+        assert ("t", 1, "y", 0) in edges
+
+    def test_input_port_selector(self):
+        cfg = parse_config(
+            "a :: Counter(); fw :: StatefulFirewall(); a -> [1]fw;"
+        )
+        assert tuple(cfg.edges[0]) == ("a", 0, "fw", 1)
+
+    def test_inline_anonymous_elements(self):
+        cfg = parse_config("FromNetfront() -> Counter() -> ToNetfront();")
+        assert len(cfg.elements) == 3
+        assert len(cfg.edges) == 2
+
+    def test_inline_named_declaration(self):
+        cfg = parse_config("FromNetfront() -> dst :: ToNetfront();")
+        assert "dst" in cfg.elements
+
+    def test_undeclared_reference_rejected(self):
+        with pytest.raises(ConfigError):
+            parse_config("a :: Counter(); a -> missing;")
+
+    def test_figure4_configuration(self, figure4_source):
+        cfg = parse_config(figure4_source)
+        cfg.validate()
+        assert cfg.sources() and cfg.sinks() == ["dst"]
+        classes = {d.class_name for d in cfg.elements.values()}
+        assert {"IPFilter", "IPRewriter", "TimedUnqueue"} <= classes
+
+
+class TestComments:
+    def test_line_comments(self):
+        cfg = parse_config("// hello\na :: Counter(); // trailing\n")
+        assert "a" in cfg.elements
+
+    def test_block_comments(self):
+        cfg = parse_config("/* multi\nline */ a :: Counter();")
+        assert "a" in cfg.elements
+
+
+class TestValidation:
+    def test_unknown_class_rejected(self):
+        cfg = parse_config("a :: NoSuchElement();")
+        with pytest.raises(ConfigError):
+            cfg.validate()
+
+    def test_port_arity_checked(self):
+        cfg = parse_config(
+            "a :: Counter(); b :: Discard(); a[5] -> b;"
+        )
+        with pytest.raises(ConfigError):
+            cfg.validate()
+
+    def test_double_connected_output_rejected(self):
+        cfg = parse_config(
+            "a :: Counter(); b :: Discard(); c :: Discard();"
+            "a -> b; a -> c;"
+        )
+        with pytest.raises(ConfigError):
+            cfg.validate()
+
+
+class TestSerialization:
+    def test_roundtrip(self, figure4_source):
+        cfg = parse_config(figure4_source)
+        again = parse_config(cfg.to_click())
+        assert set(again.elements) == set(cfg.elements)
+        assert {tuple(e) for e in again.edges} == {
+            tuple(e) for e in cfg.edges
+        }
+
+
+class TestGraphQueries:
+    def test_sources_and_sinks(self):
+        cfg = parse_config(
+            "a :: FromNetfront(); b :: Counter(); c :: ToNetfront();"
+            "a -> b -> c;"
+        )
+        assert cfg.sources() == ["a"]
+        assert cfg.sinks() == ["c"]
+
+    def test_successors_predecessors(self):
+        cfg = parse_config(
+            "a :: Counter(); b :: Counter(); a -> b;"
+        )
+        assert cfg.successors("a", 0) == [("b", 0)]
+        assert cfg.predecessors("b", 0) == [("a", 0)]
+
+    def test_elements_of_class(self):
+        cfg = parse_config("a :: Counter(); b :: Counter();")
+        assert cfg.elements_of_class("Counter") == ["a", "b"]
+
+
+class TestSplitArgs:
+    def test_nested_parens(self):
+        assert split_args("a(b, c), d") == ("a(b, c)", "d")
+
+    def test_empty(self):
+        assert split_args("") == ()
+
+    def test_whitespace_trimmed(self):
+        assert split_args("  x ,  y ") == ("x", "y")

@@ -1,0 +1,75 @@
+"""Tests for IPFilter / IPClassifier / Classifier."""
+
+import pytest
+
+from repro.click import Packet, TCP, UDP
+from repro.click.element import create_element
+from repro.common.addr import parse_ip
+from repro.common.errors import ConfigError
+
+
+def make(class_name, *args):
+    return create_element(class_name, "el", list(args))
+
+
+class TestIPFilter:
+    def test_allow_matching(self):
+        f = make("IPFilter", "allow udp port 1500")
+        out = f.push(0, Packet(ip_proto=UDP, tp_dst=1500))
+        assert out and out[0][0] == 0
+
+    def test_implicit_deny(self):
+        f = make("IPFilter", "allow udp port 1500")
+        assert f.push(0, Packet(ip_proto=TCP, tp_dst=1500)) == []
+        assert f.dropped == 1
+
+    def test_first_match_wins(self):
+        f = make("IPFilter", "deny dst port 80", "allow tcp")
+        assert f.push(0, Packet(ip_proto=TCP, tp_dst=80)) == []
+        assert f.push(0, Packet(ip_proto=TCP, tp_dst=81))
+
+    def test_explicit_deny_all(self):
+        f = make("IPFilter", "allow udp", "deny all")
+        assert f.push(0, Packet(ip_proto=TCP)) == []
+
+    def test_drop_alias(self):
+        f = make("IPFilter", "drop udp", "allow all")
+        assert f.push(0, Packet(ip_proto=UDP)) == []
+        assert f.push(0, Packet(ip_proto=TCP))
+
+    def test_requires_rules(self):
+        with pytest.raises(ConfigError):
+            make("IPFilter")
+
+    def test_bad_action_rejected(self):
+        with pytest.raises(ConfigError):
+            make("IPFilter", "maybe udp")
+
+
+class TestIPClassifier:
+    def test_routes_to_matching_port(self):
+        c = make("IPClassifier", "udp", "tcp", "-")
+        assert c.push(0, Packet(ip_proto=UDP))[0][0] == 0
+        assert c.push(0, Packet(ip_proto=TCP))[0][0] == 1
+        assert c.push(0, Packet(ip_proto=1))[0][0] == 2
+
+    def test_unmatched_dropped_without_catchall(self):
+        c = make("IPClassifier", "udp")
+        assert c.push(0, Packet(ip_proto=TCP)) == []
+        assert c.dropped == 1
+
+    def test_dst_host_demux(self):
+        a, b = parse_ip("10.0.0.1"), parse_ip("10.0.0.2")
+        c = make(
+            "IPClassifier", "dst host 10.0.0.1", "dst host 10.0.0.2"
+        )
+        assert c.push(0, Packet(ip_dst=a))[0][0] == 0
+        assert c.push(0, Packet(ip_dst=b))[0][0] == 1
+
+    def test_classifier_alias(self):
+        c = make("Classifier", "udp", "-")
+        assert c.push(0, Packet(ip_proto=UDP))[0][0] == 0
+
+    def test_requires_patterns(self):
+        with pytest.raises(ConfigError):
+            make("IPClassifier")

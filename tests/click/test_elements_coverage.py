@@ -1,0 +1,121 @@
+"""Coverage for element behaviours not exercised elsewhere."""
+
+import pytest
+
+from repro.click import Packet, Runtime, TCP, UDP, parse_config
+from repro.click.element import (
+    create_element,
+    parse_keyword_args,
+    parse_float_arg,
+    parse_int_arg,
+)
+from repro.common.errors import ConfigError
+
+
+def make(class_name, *args):
+    return create_element(class_name, "el", list(args))
+
+
+class TestHTTPOptimizer:
+    def test_rewrites_accept_encoding(self):
+        opt = make("HTTPOptimizer")
+        p = Packet(payload=b"GET / HTTP/1.1\r\nAccept-Encoding: gzip")
+        opt.push(0, p)
+        assert b"identity" in p["payload"]
+        assert opt.rewrites == 1
+
+    def test_other_payloads_untouched(self):
+        opt = make("HTTPOptimizer")
+        p = Packet(payload=b"hello")
+        opt.push(0, p)
+        assert p["payload"] == b"hello"
+
+
+class TestWebCache:
+    def test_non_get_passes_through(self):
+        cache = make("WebCache")
+        out = cache.push(0, Packet(payload=b"POST /x"))
+        assert out[0][0] == 0
+        assert cache.hits == cache.misses == 0
+
+    def test_different_urls_do_not_collide(self):
+        cache = make("WebCache")
+        cache.push(0, Packet(ip_dst=2, payload=b"GET /a\r\n"))
+        out = cache.push(0, Packet(ip_dst=2, payload=b"GET /b\r\n"))
+        assert out[0][0] == 0  # miss, forwarded
+        assert cache.misses == 2
+
+
+class TestAliasesAndSinks:
+    def test_fromdevice_todevice_aliases(self):
+        cfg = parse_config("FromDevice() -> ToDevice();")
+        rt = Runtime(cfg)
+        rt.inject(cfg.sources()[0], Packet())
+        assert len(rt.output) == 1
+
+    def test_idle_swallows(self):
+        idle = make("Idle")
+        assert idle.push(0, Packet()) == []
+
+    def test_discard_counts(self):
+        d = make("Discard")
+        d.push(0, Packet())
+        d.push(0, Packet())
+        assert d.count == 2
+
+    def test_tonetfront_counts(self):
+        cfg = parse_config(
+            "src :: FromNetfront(); dst :: ToNetfront(); src -> dst;"
+        )
+        rt = Runtime(cfg)
+        rt.inject("src", Packet())
+        assert rt.element("dst").count == 1
+
+
+class TestPaintSwitchDefault:
+    def test_unpainted_goes_to_port_zero(self):
+        sw = make("PaintSwitch")
+        assert sw.push(0, Packet())[0][0] == 0
+
+
+class TestArgumentHelpers:
+    def test_parse_keyword_args(self):
+        positional, keywords = parse_keyword_args(
+            ["100", "CAPACITY 50"], ["capacity"]
+        )
+        assert positional == ["100"]
+        assert keywords == {"CAPACITY": "50"}
+
+    def test_parse_int_arg_errors(self):
+        with pytest.raises(ConfigError):
+            parse_int_arg("abc", "thing")
+
+    def test_parse_float_arg_errors(self):
+        with pytest.raises(ConfigError):
+            parse_float_arg("x.y", "thing")
+
+    def test_require_args_bounds(self):
+        with pytest.raises(ConfigError):
+            make("SetIPAddress")  # needs exactly one
+        with pytest.raises(ConfigError):
+            make("SetIPAddress", "1.2.3.4", "5.6.7.8")
+
+    def test_emit_outside_runtime_rejected(self):
+        element = make("Counter")
+        with pytest.raises(ConfigError):
+            element.emit(0, Packet())
+        with pytest.raises(ConfigError):
+            element.schedule(1.0, lambda: None)
+
+    def test_duplicate_registration_rejected(self):
+        from repro.click.element import Element, register_element
+
+        with pytest.raises(ConfigError):
+            @register_element("Counter")  # already taken
+            class Dup(Element):
+                pass
+
+
+class TestElementReprs:
+    def test_repr_mentions_class(self):
+        assert "Counter" in repr(make("Counter"))

@@ -1,0 +1,175 @@
+"""Tests for stats, tunnels, DPI, multicast, and application elements."""
+
+from repro.click import GRE, Packet, Runtime, TCP, UDP, parse_config
+from repro.click.element import create_element
+from repro.click.packet import IP_DST, IP_PROTO, IP_SRC, TP_DST, TP_SRC
+from repro.common.addr import parse_ip
+
+
+def make(class_name, *args):
+    return create_element(class_name, "el", list(args))
+
+
+class TestStats:
+    def test_flow_meter_counts_flows(self):
+        fm = make("FlowMeter")
+        fm.push(0, Packet(ip_src=1, tp_src=1))
+        fm.push(0, Packet(ip_src=1, tp_src=1))
+        fm.push(0, Packet(ip_src=2, tp_src=2))
+        assert fm.flow_count == 2
+        assert fm.stateful
+
+    def test_tee_copies(self):
+        cfg = parse_config(
+            "src :: FromNetfront(); t :: Tee();"
+            "a :: ToNetfront(); b :: ToNetfront();"
+            "src -> t; t[0] -> a; t[1] -> b;"
+        )
+        rt = Runtime(cfg)
+        rt.inject("src", Packet(payload=b"x"))
+        assert len(rt.output) == 2
+        # Copies are independent packets.
+        assert rt.output[0].packet.uid != rt.output[1].packet.uid
+
+    def test_paint_and_switch(self):
+        cfg = parse_config(
+            "src :: FromNetfront(); p :: Paint(1); sw :: PaintSwitch();"
+            "a :: ToNetfront(); b :: ToNetfront();"
+            "src -> p -> sw; sw[0] -> a; sw[1] -> b;"
+        )
+        rt = Runtime(cfg)
+        rt.inject("src", Packet())
+        assert rt.output[0].element == "b"
+
+
+class TestTunnels:
+    def test_udp_encap_decap_roundtrip(self):
+        enc = make("UDPIPEncap", "9.9.9.9", "4000", "8.8.8.8", "4001")
+        dec = make("IPDecap")
+        p = Packet(ip_src=1, ip_dst=2, ip_proto=TCP, tp_src=10, tp_dst=20,
+                   length=100)
+        enc.push(0, p)
+        assert p[IP_PROTO] == UDP
+        assert p[IP_DST] == parse_ip("8.8.8.8")
+        assert p[TP_DST] == 4001
+        assert p.length == 128
+        dec.push(0, p)
+        assert p[IP_PROTO] == TCP and p[IP_DST] == 2
+
+    def test_ip_encap_gre(self):
+        enc = make("IPEncap", "47", "9.9.9.9", "8.8.8.8")
+        p = Packet(ip_proto=UDP)
+        enc.push(0, p)
+        assert p[IP_PROTO] == GRE
+
+    def test_decap_without_layer_drops(self):
+        dec = make("IPDecap")
+        assert dec.push(0, Packet()) == []
+        assert dec.dropped == 1
+
+
+class TestDPI:
+    def test_pattern_match_routing(self):
+        dpi = make("DPI", "attack")
+        hit = dpi.push(0, Packet(payload=b"an attack here"))
+        miss = dpi.push(0, Packet(payload=b"benign"))
+        assert hit[0][0] == 0 and miss[0][0] == 1
+        assert dpi.matches == 1
+
+    def test_string_payload_supported(self):
+        dpi = make("DPI", "attack")
+        assert dpi.push(0, Packet(payload="attack"))[0][0] == 0
+
+
+class TestMulticast:
+    def test_replicates_to_each_destination(self):
+        mc = make("Multicast", "10.0.0.1", "10.0.0.2", "10.0.0.3")
+        out = mc.push(0, Packet(payload=b"m"))
+        assert len(out) == 3
+        dsts = sorted(p[IP_DST] for _port, p in out)
+        assert dsts == sorted(
+            parse_ip(a) for a in ("10.0.0.1", "10.0.0.2", "10.0.0.3")
+        )
+        # Copies are distinct objects.
+        assert len({p.uid for _port, p in out}) == 3
+
+
+class TestEchoResponder:
+    def test_swaps_addresses_for_udp(self):
+        e = make("EchoResponder")
+        p = Packet(ip_src=1, ip_dst=2, ip_proto=UDP, tp_src=10, tp_dst=20)
+        e.push(0, p)
+        assert (p[IP_SRC], p[IP_DST]) == (2, 1)
+        assert (p[TP_SRC], p[TP_DST]) == (20, 10)
+
+    def test_drops_non_udp(self):
+        e = make("EchoResponder")
+        assert e.push(0, Packet(ip_proto=TCP)) == []
+
+
+class TestReverseProxy:
+    def test_relays_and_restores(self):
+        rp = make("ReverseProxy", "198.51.100.1", "80")
+        proxy_addr = parse_ip("192.0.2.10")
+        req = Packet(ip_src=parse_ip("10.0.0.5"), ip_dst=proxy_addr,
+                     ip_proto=TCP, tp_src=5555, tp_dst=80)
+        out = rp.push(rp.CLIENT_SIDE, req)
+        assert out[0][0] == rp.ORIGIN_SIDE
+        assert req[IP_DST] == parse_ip("198.51.100.1")
+        assert req[IP_SRC] == proxy_addr  # terminating proxy
+        resp = Packet(ip_src=parse_ip("198.51.100.1"), ip_dst=proxy_addr,
+                      ip_proto=TCP, tp_src=80, tp_dst=5555)
+        out = rp.push(rp.ORIGIN_SIDE, resp)
+        assert out[0][0] == rp.CLIENT_SIDE
+        assert resp[IP_DST] == parse_ip("10.0.0.5")
+        assert resp[IP_SRC] == proxy_addr
+
+    def test_unknown_session_dropped(self):
+        rp = make("ReverseProxy", "198.51.100.1", "80")
+        resp = Packet(tp_dst=4242)
+        assert rp.push(rp.ORIGIN_SIDE, resp) == []
+
+
+class TestGeoDNS:
+    def test_answers_with_nearest_replica(self):
+        dns = make("GeoDNSServer", "10.0.0.1", "10.200.0.1")
+        near_first = Packet(
+            ip_src=parse_ip("10.0.0.7"), ip_dst=parse_ip("192.0.2.1"),
+            ip_proto=UDP, tp_src=5353, tp_dst=53,
+        )
+        dns.push(0, near_first)
+        assert near_first[IP_DST] == parse_ip("10.0.0.7")  # swapped
+        assert str(parse_ip("10.0.0.1")).encode() in near_first["payload"]
+
+
+class TestExplicitProxy:
+    def test_fetches_payload_destination(self):
+        ep = make("ExplicitProxy", "192.0.2.10")
+        p = Packet(payload=b"GET http://1.2.3.4/x")
+        out = ep.push(0, p)
+        assert out
+        assert p[IP_DST] == parse_ip("1.2.3.4")
+        assert p[IP_SRC] == parse_ip("192.0.2.10")
+
+    def test_no_destination_drops(self):
+        ep = make("ExplicitProxy", "192.0.2.10")
+        assert ep.push(0, Packet(payload=b"garbage")) == []
+
+
+class TestWebCache:
+    def test_second_get_is_a_hit(self):
+        cfg = parse_config(
+            "src :: FromNetfront(); wc :: WebCache();"
+            "fwd :: ToNetfront(); back :: ToNetfront();"
+            "src -> wc; wc[0] -> fwd; wc[1] -> back;"
+        )
+        rt = Runtime(cfg)
+        req = lambda: Packet(
+            ip_src=1, ip_dst=2, tp_src=10, tp_dst=80,
+            payload=b"GET /index.html\r\n",
+        )
+        rt.inject("src", req())
+        rt.inject("src", req())
+        assert [r.element for r in rt.output] == ["fwd", "back"]
+        hit = rt.output[1].packet
+        assert hit[IP_DST] == 1  # answered toward the client

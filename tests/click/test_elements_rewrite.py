@@ -1,0 +1,139 @@
+"""Tests for rewriting elements: IPRewriter, setters, TTL handling."""
+
+import pytest
+
+from repro.click import Packet, UDP
+from repro.click.element import create_element
+from repro.click.elements.rewrite import parse_rewrite_pattern
+from repro.click.packet import IP_DST, IP_SRC, TP_DST, TP_SRC
+from repro.common.addr import parse_ip
+from repro.common.errors import ConfigError
+
+
+def make(class_name, *args):
+    return create_element(class_name, "el", list(args))
+
+
+class TestPatternParsing:
+    def test_dashes_mean_unchanged(self):
+        p = parse_rewrite_pattern("pattern - - 172.16.15.133 - 0 0")
+        assert p.src_addr is None and p.src_port is None
+        assert p.dst_addr == parse_ip("172.16.15.133")
+        assert p.dst_port is None
+        assert not p.allocates_ports and not p.rewrites_source
+
+    def test_port_range(self):
+        p = parse_rewrite_pattern("pattern 1.2.3.4 1024-65535 - - 0 1")
+        assert p.src_port == (1024, 65535)
+        assert p.allocates_ports and p.rewrites_source
+        assert p.fwd_output == 0 and p.rev_output == 1
+
+    @pytest.mark.parametrize(
+        "bad",
+        [
+            "nopattern - - - - 0 0",
+            "pattern - - - 0 0",           # missing field
+            "pattern x - - - 0 0",          # bad address
+            "pattern - 70000 - - 0 0",      # port out of range
+            "pattern - 5-2 - - 0 0",        # inverted range
+        ],
+    )
+    def test_rejects_malformed(self, bad):
+        with pytest.raises(ConfigError):
+            parse_rewrite_pattern(bad)
+
+
+class TestIPRewriter:
+    def test_figure4_destination_rewrite(self):
+        rw = make("IPRewriter", "pattern - - 172.16.15.133 - 0 0")
+        p = Packet(ip_src=1, ip_dst=2, tp_src=10, tp_dst=1500)
+        out = rw.push(0, p)
+        assert out[0][0] == 0
+        assert p[IP_DST] == parse_ip("172.16.15.133")
+        assert p[IP_SRC] == 1  # untouched
+        assert p[TP_DST] == 1500
+        assert not rw.stateful  # pure destination rewrite is stateless
+
+    def test_masquerade_is_stateful(self):
+        rw = make("IPRewriter", "pattern 9.9.9.9 1024-65535 - - 0 1")
+        assert rw.stateful
+
+    def test_reverse_mapping_restores_flow(self):
+        rw = make("IPRewriter", "pattern 9.9.9.9 5000-6000 - - 0 1")
+        p = Packet(ip_src=parse_ip("10.0.0.1"), ip_dst=parse_ip("8.8.8.8"),
+                   ip_proto=UDP, tp_src=1234, tp_dst=53)
+        rw.push(0, p)
+        nat_src, nat_port = p[IP_SRC], p[TP_SRC]
+        assert nat_src == parse_ip("9.9.9.9")
+        # The response comes back to the NAT address.
+        reply = Packet(ip_src=parse_ip("8.8.8.8"), ip_dst=nat_src,
+                       ip_proto=UDP, tp_src=53, tp_dst=nat_port)
+        out = rw.push(0, reply)
+        assert out[0][0] == 1  # reverse output
+        assert reply[IP_DST] == parse_ip("10.0.0.1")
+        assert reply[TP_DST] == 1234
+
+    def test_same_flow_reuses_mapping(self):
+        rw = make("IPRewriter", "pattern 9.9.9.9 5000-6000 - - 0 1")
+        p1 = Packet(ip_src=1, ip_dst=2, tp_src=10, tp_dst=20)
+        p2 = Packet(ip_src=1, ip_dst=2, tp_src=10, tp_dst=20)
+        rw.push(0, p1)
+        rw.push(0, p2)
+        assert p1[TP_SRC] == p2[TP_SRC]
+
+    def test_distinct_flows_get_distinct_ports(self):
+        rw = make("IPRewriter", "pattern 9.9.9.9 5000-6000 - - 0 1")
+        p1 = Packet(ip_src=1, ip_dst=2, tp_src=10, tp_dst=20)
+        p2 = Packet(ip_src=1, ip_dst=2, tp_src=11, tp_dst=20)
+        rw.push(0, p1)
+        rw.push(0, p2)
+        assert p1[TP_SRC] != p2[TP_SRC]
+
+    def test_drop_input(self):
+        rw = make("IPRewriter", "drop")
+        assert rw.push(0, Packet()) == []
+
+
+class TestSetters:
+    def test_set_ip_address(self):
+        e = make("SetIPAddress", "5.6.7.8")
+        p = Packet()
+        e.push(0, p)
+        assert p[IP_DST] == parse_ip("5.6.7.8")
+
+    def test_set_ip_src(self):
+        e = make("SetIPSrc", "5.6.7.8")
+        p = Packet()
+        e.push(0, p)
+        assert p[IP_SRC] == parse_ip("5.6.7.8")
+
+    def test_set_ports(self):
+        p = Packet()
+        make("SetTPDst", "8080").push(0, p)
+        make("SetTPSrc", "99").push(0, p)
+        assert p[TP_DST] == 8080 and p[TP_SRC] == 99
+
+
+class TestDecIPTTL:
+    def test_decrements(self):
+        e = make("DecIPTTL")
+        p = Packet(ip_ttl=10)
+        out = e.push(0, p)
+        assert out[0][0] == 0
+        assert p["ip_ttl"] == 9
+
+    def test_expired_goes_to_port_1(self):
+        e = make("DecIPTTL")
+        out = e.push(0, Packet(ip_ttl=1))
+        assert out[0][0] == 1
+        assert e.expired == 1
+
+
+class TestCheckIPHeader:
+    def test_valid_passes(self):
+        assert make("CheckIPHeader").push(0, Packet())
+
+    def test_zero_ttl_dropped(self):
+        e = make("CheckIPHeader")
+        assert e.push(0, Packet(ip_ttl=0)) == []
+        assert e.dropped == 1

@@ -1,0 +1,145 @@
+"""Tests for the stateful firewall and the ChangeEnforcer sandbox."""
+
+from repro.click import Packet, Runtime, TCP, UDP, parse_config
+from repro.click.element import create_element
+from repro.common.addr import parse_ip
+
+
+def firewall(*args):
+    return create_element("StatefulFirewall", "fw", list(args))
+
+
+def out_packet(**kw):
+    defaults = dict(ip_src=1, ip_dst=2, ip_proto=UDP, tp_src=10,
+                    tp_dst=20)
+    defaults.update(kw)
+    return Packet(**defaults)
+
+
+def reply_of(p):
+    return Packet(
+        ip_src=p["ip_dst"], ip_dst=p["ip_src"], ip_proto=p["ip_proto"],
+        tp_src=p["tp_dst"], tp_dst=p["tp_src"],
+    )
+
+
+class TestStatefulFirewall:
+    def test_outbound_allowed_creates_state(self):
+        fw = firewall("allow udp")
+        p = out_packet()
+        out = fw.push(fw.OUTBOUND, p)
+        assert out[0][0] == fw.OUTBOUND
+        assert p.annotations["firewall_tag"] is True
+        assert fw.active_flows() == 1
+
+    def test_outbound_filtered(self):
+        fw = firewall("allow udp")
+        assert fw.push(fw.OUTBOUND, out_packet(ip_proto=TCP)) == []
+        assert fw.dropped_outbound == 1
+
+    def test_related_inbound_allowed(self):
+        fw = firewall("allow udp")
+        p = out_packet()
+        fw.push(fw.OUTBOUND, p)
+        out = fw.push(fw.INBOUND, reply_of(p))
+        assert out and out[0][0] == fw.INBOUND
+
+    def test_unsolicited_inbound_dropped(self):
+        fw = firewall()
+        assert fw.push(fw.INBOUND, out_packet()) == []
+        assert fw.dropped_inbound == 1
+
+    def test_state_expires_after_timeout(self):
+        cfg = parse_config(
+            "src :: FromNetfront(); fw :: StatefulFirewall(timeout 10);"
+            "dst0 :: ToNetfront(); dst1 :: ToNetfront();"
+            "src -> fw; fw[0] -> dst0; fw[1] -> dst1;"
+        )
+        rt = Runtime(cfg)
+        fw = rt.element("fw")
+        p = out_packet()
+        fw.push(fw.OUTBOUND, p)
+        rt.run(until=20.0)  # advance past the idle timeout
+        assert fw.push(fw.INBOUND, reply_of(p)) == []
+        assert fw.expire_idle() == 0  # the lookup already evicted it
+
+    def test_activity_refreshes_state(self):
+        cfg = parse_config("fw :: StatefulFirewall(timeout 10);")
+        rt = Runtime(cfg)
+        fw = rt.element("fw")
+        p = out_packet()
+        fw.push(fw.OUTBOUND, p)
+        rt.run(until=8.0)
+        assert fw.push(fw.INBOUND, reply_of(p))  # refreshes
+        rt.run(until=16.0)
+        assert fw.push(fw.INBOUND, reply_of(p))  # still fresh
+
+
+class TestChangeEnforcer:
+    def enforcer(self, *extra):
+        return create_element(
+            "ChangeEnforcer", "enf",
+            ["addr 192.0.2.10"] + list(extra),
+        )
+
+    def test_inbound_always_passes_and_authorizes(self):
+        enf = self.enforcer()
+        p = out_packet(ip_src=parse_ip("8.8.8.8"))
+        out = enf.push(enf.TO_MODULE, p)
+        assert out[0][0] == enf.TO_MODULE
+        assert parse_ip("8.8.8.8") in enf.authorized
+
+    def test_response_to_sender_allowed(self):
+        enf = self.enforcer()
+        enf.push(enf.TO_MODULE, out_packet(ip_src=parse_ip("8.8.8.8")))
+        response = Packet(
+            ip_src=parse_ip("192.0.2.10"), ip_dst=parse_ip("8.8.8.8")
+        )
+        assert enf.push(enf.FROM_MODULE, response)
+
+    def test_unauthorized_destination_dropped(self):
+        enf = self.enforcer()
+        egress = Packet(
+            ip_src=parse_ip("192.0.2.10"), ip_dst=parse_ip("9.9.9.9")
+        )
+        assert enf.push(enf.FROM_MODULE, egress) == []
+        assert enf.dropped_unauthorized == 1
+
+    def test_whitelist_allows(self):
+        enf = self.enforcer("whitelist 9.9.9.9")
+        egress = Packet(
+            ip_src=parse_ip("192.0.2.10"), ip_dst=parse_ip("9.9.9.9")
+        )
+        assert enf.push(enf.FROM_MODULE, egress)
+
+    def test_source_not_policed_by_enforcer(self):
+        # Anti-spoofing is a *static* check before deployment; the
+        # enforcer polices destinations only (Section 4.4).
+        enf = self.enforcer("whitelist 9.9.9.9")
+        egress = Packet(
+            ip_src=parse_ip("6.6.6.6"), ip_dst=parse_ip("9.9.9.9")
+        )
+        assert enf.push(enf.FROM_MODULE, egress)
+
+    def test_authorization_expires(self):
+        cfg = parse_config(
+            "enf :: ChangeEnforcer(addr 192.0.2.10, timeout 10);"
+        )
+        rt = Runtime(cfg)
+        enf = rt.element("enf")
+        enf.push(enf.TO_MODULE, out_packet(ip_src=parse_ip("8.8.8.8")))
+        rt.run(until=20.0)
+        response = Packet(
+            ip_src=parse_ip("192.0.2.10"), ip_dst=parse_ip("8.8.8.8")
+        )
+        assert enf.push(enf.FROM_MODULE, response) == []
+
+    def test_expire_idle_sweeps(self):
+        cfg = parse_config(
+            "enf :: ChangeEnforcer(addr 192.0.2.10, timeout 10);"
+        )
+        rt = Runtime(cfg)
+        enf = rt.element("enf")
+        enf.push(enf.TO_MODULE, out_packet(ip_src=parse_ip("8.8.8.8")))
+        rt.run(until=20.0)
+        assert enf.expire_idle() == 1

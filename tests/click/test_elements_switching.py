@@ -1,0 +1,152 @@
+"""Tests for the switching/stamping elements and their models."""
+
+import pytest
+
+from repro.click import ICMP, Packet, Runtime, UDP, parse_config
+from repro.click.element import create_element
+from repro.common.errors import ConfigError
+from repro.core import ROLE_THIRD_PARTY, SecurityAnalyzer
+
+
+def make(class_name, *args):
+    return create_element(class_name, "el", list(args))
+
+
+class TestSwitch:
+    def test_static_output(self):
+        s = make("Switch", "1")
+        assert s.push(0, Packet())[0][0] == 1
+
+    def test_minus_one_drops(self):
+        assert make("Switch", "-1").push(0, Packet()) == []
+
+    def test_invalid_port(self):
+        with pytest.raises(ConfigError):
+            make("Switch", "-2")
+
+    def test_symbolic_model_follows_port(self):
+        from repro.symexec import SymbolicEngine, SymGraph
+
+        cfg = parse_config(
+            "src :: FromNetfront(); s :: Switch(1);"
+            "a :: ToNetfront(); b :: ToNetfront();"
+            "src -> s; s[0] -> a; s[1] -> b;"
+        )
+        engine = SymbolicEngine(SymGraph.from_click(cfg))
+        exploration = engine.inject("src")
+        assert [f.trace[-1].node for f in exploration.delivered] == ["b"]
+
+
+class TestRoundRobinSwitch:
+    def test_cycles_outputs(self):
+        cfg = parse_config(
+            "src :: FromNetfront(); rr :: RoundRobinSwitch();"
+            "a :: ToNetfront(); b :: ToNetfront();"
+            "src -> rr; rr[0] -> a; rr[1] -> b;"
+        )
+        rt = Runtime(cfg)
+        for _ in range(4):
+            rt.inject("src", Packet())
+        assert [r.element for r in rt.output] == ["a", "b", "a", "b"]
+
+    def test_symbolic_model_covers_all_outputs(self):
+        from repro.symexec import SymbolicEngine, SymGraph
+
+        cfg = parse_config(
+            "src :: FromNetfront(); rr :: RoundRobinSwitch();"
+            "a :: ToNetfront(); b :: ToNetfront();"
+            "src -> rr; rr[0] -> a; rr[1] -> b;"
+        )
+        engine = SymbolicEngine(SymGraph.from_click(cfg))
+        exploration = engine.inject("src")
+        sinks = {f.trace[-1].node for f in exploration.delivered}
+        assert sinks == {"a", "b"}
+
+
+class TestMeter:
+    def test_conformant_then_excess(self):
+        cfg = parse_config(
+            "src :: FromNetfront(); m :: Meter(2);"
+            "ok :: ToNetfront(); over :: ToNetfront();"
+            "src -> m; m[0] -> ok; m[1] -> over;"
+        )
+        rt = Runtime(cfg)
+        for _ in range(4):
+            rt.inject("src", Packet())
+        assert [r.element for r in rt.output] == [
+            "ok", "ok", "over", "over",
+        ]
+
+    def test_window_resets(self):
+        cfg = parse_config(
+            "src :: FromNetfront(); m :: Meter(1); ok :: ToNetfront();"
+            "over :: ToNetfront(); src -> m; m[0] -> ok; m[1] -> over;"
+        )
+        rt = Runtime(cfg)
+        rt.inject("src", Packet())
+        rt.inject("src", Packet(), at=2.0)
+        rt.run()
+        assert [r.element for r in rt.output] == ["ok", "ok"]
+
+    def test_rate_must_be_positive(self):
+        with pytest.raises(ConfigError):
+            make("Meter", "0")
+
+
+class TestStampers:
+    def test_set_ttl(self):
+        p = Packet(ip_ttl=3)
+        make("SetIPTTL", "64").push(0, p)
+        assert p["ip_ttl"] == 64
+
+    def test_ttl_range_checked(self):
+        with pytest.raises(ConfigError):
+            make("SetIPTTL", "0")
+        with pytest.raises(ConfigError):
+            make("SetIPTTL", "256")
+
+    def test_set_tos(self):
+        p = Packet()
+        make("SetIPTOS", "46").push(0, p)  # EF
+        assert p["ip_tos"] == 46
+
+    def test_tos_write_breaks_invariant(self):
+        # A tos invariant must fail through a SetIPTOS -- useful for
+        # the HTTP-vs-HTTPS style invariant requests.
+        from repro.policy import parse_requirement
+        from repro.symexec import SymbolicEngine, SymGraph
+        from repro.symexec.reachability import ReachabilityChecker
+
+        cfg = parse_config(
+            "src :: FromNetfront(); t :: SetIPTOS(46);"
+            "dst :: ToNetfront(); src -> t -> dst;"
+        )
+        engine = SymbolicEngine(SymGraph.from_click(cfg, "mod"))
+        exploration = engine.inject("mod/src")
+        result = ReachabilityChecker().check(
+            parse_requirement(
+                "reach from internet -> mod:dst:0 const tos"
+            ),
+            exploration,
+        )
+        assert not result.satisfied
+
+
+class TestPingResponder:
+    def test_answers_icmp(self):
+        p = Packet(ip_src=1, ip_dst=2, ip_proto=ICMP)
+        make("ICMPPingResponder").push(0, p)
+        assert (p["ip_src"], p["ip_dst"]) == (2, 1)
+
+    def test_drops_other_traffic(self):
+        assert make("ICMPPingResponder").push(
+            0, Packet(ip_proto=UDP)
+        ) == []
+
+    def test_statically_safe_for_third_parties(self):
+        cfg = parse_config(
+            "src :: FromNetfront(); ping :: ICMPPingResponder();"
+            "dst :: ToNetfront(); src -> ping -> dst;"
+        )
+        report = SecurityAnalyzer().analyze(cfg, ROLE_THIRD_PARTY)
+        assert report.verdict == "allow"

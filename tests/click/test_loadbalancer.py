@@ -1,0 +1,92 @@
+"""Tests for the LoadBalancer element and its symbolic treatment."""
+
+import pytest
+
+from repro.click import Packet, UDP, parse_config
+from repro.click.element import create_element
+from repro.common.addr import parse_ip
+from repro.common.errors import ConfigError
+from repro.core import ROLE_THIRD_PARTY, SecurityAnalyzer
+from repro.core.security import addresses_to_whitelist
+
+BACKENDS = ("198.51.100.1", "198.51.100.2", "198.51.100.3")
+
+
+def make_lb():
+    return create_element("LoadBalancer", "lb", list(BACKENDS))
+
+
+class TestElement:
+    def test_rewrites_to_some_backend(self):
+        lb = make_lb()
+        p = Packet(ip_src=1, tp_src=10)
+        lb.push(0, p)
+        assert p["ip_dst"] in {parse_ip(b) for b in BACKENDS}
+
+    def test_flow_stickiness(self):
+        lb = make_lb()
+        first = Packet(ip_src=1, ip_dst=9, tp_src=10, tp_dst=80)
+        second = Packet(ip_src=1, ip_dst=9, tp_src=10, tp_dst=80)
+        lb.push(0, first)
+        lb.push(0, second)
+        assert first["ip_dst"] == second["ip_dst"]
+
+    def test_spreads_across_backends(self):
+        lb = make_lb()
+        destinations = set()
+        for sport in range(64):
+            p = Packet(ip_src=1, tp_src=sport)
+            lb.push(0, p)
+            destinations.add(p["ip_dst"])
+        assert len(destinations) == len(BACKENDS)
+
+    def test_requires_backends(self):
+        with pytest.raises(ConfigError):
+            create_element("LoadBalancer", "lb", [])
+
+    def test_not_stateful_for_consolidation(self):
+        from repro.platform import is_consolidation_safe
+
+        cfg = parse_config(
+            "src :: FromNetfront(); lb :: LoadBalancer(%s);"
+            "dst :: ToNetfront(); src -> lb -> dst;"
+            % ", ".join(BACKENDS)
+        )
+        assert is_consolidation_safe(cfg)
+
+
+class TestSymbolic:
+    def config(self):
+        return parse_config(
+            "src :: FromNetfront(); lb :: LoadBalancer(%s);"
+            "dst :: ToNetfront(); src -> lb -> dst;"
+            % ", ".join(BACKENDS)
+        )
+
+    def test_one_branch_per_backend(self):
+        from repro.symexec import SymbolicEngine, SymGraph
+
+        engine = SymbolicEngine(SymGraph.from_click(self.config()))
+        exploration = engine.inject("src")
+        assert len(exploration.delivered) == len(BACKENDS)
+        domains = {
+            f.field_domain("ip_dst").singleton_value()
+            for f in exploration.delivered
+        }
+        assert domains == {parse_ip(b) for b in BACKENDS}
+
+    def test_safe_when_backends_whitelisted(self):
+        report = SecurityAnalyzer().analyze(
+            self.config(),
+            ROLE_THIRD_PARTY,
+            whitelist=addresses_to_whitelist(BACKENDS),
+        )
+        assert report.verdict == "allow"
+
+    def test_rejected_when_a_backend_is_foreign(self):
+        report = SecurityAnalyzer().analyze(
+            self.config(),
+            ROLE_THIRD_PARTY,
+            whitelist=addresses_to_whitelist(BACKENDS[:2]),
+        )
+        assert report.verdict == "reject"

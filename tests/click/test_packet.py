@@ -1,0 +1,109 @@
+"""Tests for the Packet abstraction."""
+
+import pytest
+
+from repro.click.packet import (
+    IP_DST,
+    IP_PROTO,
+    IP_SRC,
+    PAYLOAD,
+    TCP,
+    TCP_FLAGS,
+    TH_ACK,
+    TH_SYN,
+    TP_DST,
+    TP_SRC,
+    UDP,
+    Packet,
+)
+from repro.common.addr import parse_ip
+
+
+class TestFields:
+    def test_defaults(self):
+        p = Packet()
+        assert p[IP_PROTO] == UDP
+        assert p["ip_ttl"] == 64
+        assert p[PAYLOAD] == b""
+
+    def test_kwargs_set_fields(self):
+        p = Packet(ip_src=parse_ip("1.2.3.4"), tp_dst=80)
+        assert p[IP_SRC] == parse_ip("1.2.3.4")
+        assert p[TP_DST] == 80
+
+    def test_mapping_protocol(self):
+        p = Packet()
+        p["custom"] = 7
+        assert "custom" in p
+        assert p.get("custom") == 7
+        assert p.get("missing", 42) == 42
+
+    def test_uids_unique(self):
+        assert Packet().uid != Packet().uid
+
+
+class TestCopy:
+    def test_copy_is_independent(self):
+        p = Packet(tp_dst=80, annotations={"paint": 1})
+        q = p.copy()
+        q[TP_DST] = 443
+        q.annotations["paint"] = 2
+        assert p[TP_DST] == 80
+        assert p.annotations["paint"] == 1
+
+    def test_copy_preserves_encap(self):
+        p = Packet(ip_dst=1)
+        p.encapsulate(ip_dst=2)
+        q = p.copy()
+        q.decapsulate()
+        assert q[IP_DST] == 1
+        assert p[IP_DST] == 2  # original untouched
+
+
+class TestEncapsulation:
+    def test_encap_decap_roundtrip(self):
+        p = Packet(ip_src=10, ip_dst=20, ip_proto=UDP)
+        p.encapsulate(ip_src=99, ip_dst=88, ip_proto=TCP)
+        assert p[IP_DST] == 88
+        assert p.encap_depth == 1
+        p.decapsulate()
+        assert p[IP_DST] == 20
+        assert p[IP_PROTO] == UDP
+        assert p.encap_depth == 0
+
+    def test_nested_encap(self):
+        p = Packet(ip_dst=1)
+        p.encapsulate(ip_dst=2)
+        p.encapsulate(ip_dst=3)
+        assert p[IP_DST] == 3
+        p.decapsulate()
+        assert p[IP_DST] == 2
+        p.decapsulate()
+        assert p[IP_DST] == 1
+
+    def test_decap_without_stack_raises(self):
+        with pytest.raises(ValueError):
+            Packet().decapsulate()
+
+    def test_unnamed_fields_survive_encap(self):
+        p = Packet(ip_ttl=33)
+        p.encapsulate(ip_dst=5)
+        assert p["ip_ttl"] == 33  # untouched outer fields inherited
+
+
+class TestFlowKeys:
+    def test_flow_key(self):
+        p = Packet(ip_src=1, ip_dst=2, ip_proto=UDP, tp_src=10, tp_dst=20)
+        assert p.flow_key() == (1, 2, UDP, 10, 20)
+        assert p.reverse_flow_key() == (2, 1, UDP, 20, 10)
+
+    def test_is_tcp_syn(self):
+        syn = Packet(ip_proto=TCP, tcp_flags=TH_SYN)
+        synack = Packet(ip_proto=TCP, tcp_flags=TH_SYN | TH_ACK)
+        udp = Packet(ip_proto=UDP, tcp_flags=TH_SYN)
+        assert syn.is_tcp_syn()
+        assert not synack.is_tcp_syn()
+        assert not udp.is_tcp_syn()
+
+    def test_repr_mentions_protocol(self):
+        assert "udp" in repr(Packet(ip_proto=UDP))

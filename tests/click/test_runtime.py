@@ -1,0 +1,108 @@
+"""Tests for the Click runtime engine."""
+
+import pytest
+
+from repro.click import Packet, Runtime, parse_config
+from repro.common.errors import ConfigError, SimulationError
+
+
+def run_config(source, packets, until=None, inject_at=None):
+    cfg = parse_config(source)
+    rt = Runtime(cfg)
+    src = cfg.sources()[0]
+    for i, p in enumerate(packets):
+        at = inject_at[i] if inject_at else None
+        rt.inject(src, p, at=at)
+    rt.run(until=until)
+    return rt
+
+
+class TestBasics:
+    def test_passthrough(self):
+        rt = run_config(
+            "FromNetfront() -> dst :: ToNetfront();", [Packet()]
+        )
+        assert len(rt.output) == 1
+        assert rt.output[0].element == "dst"
+
+    def test_egress_records_time(self):
+        rt = run_config(
+            "FromNetfront() -> dst :: ToNetfront();",
+            [Packet()],
+            inject_at=[5.0],
+            until=10.0,
+        )
+        assert rt.output[0].time == 5.0
+
+    def test_dangling_output_counts_drop(self):
+        rt = run_config("src :: FromNetfront();", [Packet()])
+        assert rt.dropped == 1
+        assert not rt.output
+
+    def test_inject_unknown_element(self):
+        cfg = parse_config("a :: Counter();")
+        rt = Runtime(cfg)
+        with pytest.raises(ConfigError):
+            rt.inject("missing", Packet())
+
+    def test_inject_in_past_rejected(self):
+        cfg = parse_config("a :: FromNetfront(); a -> ToNetfront();")
+        rt = Runtime(cfg, start_time=10.0)
+        with pytest.raises(SimulationError):
+            rt.inject("a", Packet(), at=5.0)
+
+    def test_take_output_clears(self):
+        rt = run_config(
+            "FromNetfront() -> ToNetfront();", [Packet(), Packet()]
+        )
+        assert len(rt.take_output()) == 2
+        assert rt.output == []
+
+
+class TestTimers:
+    def test_run_until_advances_clock(self):
+        cfg = parse_config("a :: Counter();")
+        rt = Runtime(cfg)
+        rt.run(until=42.0)
+        assert rt.now == 42.0
+
+    def test_timers_fire_in_order(self):
+        cfg = parse_config("a :: Counter();")
+        rt = Runtime(cfg)
+        fired = []
+        rt.schedule(2.0, lambda: fired.append("late"))
+        rt.schedule(1.0, lambda: fired.append("early"))
+        rt.run()
+        assert fired == ["early", "late"]
+
+    def test_timed_unqueue_batches(self):
+        rt = run_config(
+            "FromNetfront() -> TimedUnqueue(10, 100) -> ToNetfront();",
+            [Packet() for _ in range(5)],
+            until=9.0,
+        )
+        assert not rt.output  # nothing released before the interval
+        rt.run(until=10.0)
+        assert len(rt.output) == 5
+        assert all(r.time == 10.0 for r in rt.output)
+
+    def test_timed_unqueue_burst_limit(self):
+        rt = run_config(
+            "FromNetfront() -> TimedUnqueue(10, 3) -> ToNetfront();",
+            [Packet() for _ in range(5)],
+            until=10.0,
+        )
+        assert len(rt.output) == 3
+        rt.run(until=20.0)
+        assert len(rt.output) == 5
+
+    def test_element_counters(self):
+        cfg = parse_config(
+            "src :: FromNetfront(); c :: Counter(); "
+            "dst :: ToNetfront(); src -> c -> dst;"
+        )
+        rt = Runtime(cfg)
+        rt.inject("src", Packet(length=100))
+        rt.inject("src", Packet(length=200))
+        assert rt.element("c").packets == 2
+        assert rt.element("c").bytes == 300

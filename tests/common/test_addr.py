@@ -1,0 +1,104 @@
+"""Tests for IPv4 address and prefix arithmetic."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.common.addr import (
+    MAX_IP,
+    format_ip,
+    format_prefix,
+    parse_ip,
+    parse_prefix,
+    prefix_contains,
+    prefix_mask,
+    prefix_range,
+)
+from repro.common.errors import ConfigError
+
+
+class TestParseIp:
+    def test_basic(self):
+        assert parse_ip("10.0.0.1") == (10 << 24) + 1
+
+    def test_zero(self):
+        assert parse_ip("0.0.0.0") == 0
+
+    def test_broadcast(self):
+        assert parse_ip("255.255.255.255") == MAX_IP
+
+    def test_whitespace_tolerated(self):
+        assert parse_ip("  192.168.1.1 ") == parse_ip("192.168.1.1")
+
+    @pytest.mark.parametrize(
+        "bad",
+        ["256.0.0.1", "1.2.3", "1.2.3.4.5", "a.b.c.d", "", "1..2.3"],
+    )
+    def test_rejects_malformed(self, bad):
+        with pytest.raises(ConfigError):
+            parse_ip(bad)
+
+
+class TestFormatIp:
+    def test_basic(self):
+        assert format_ip(parse_ip("172.16.15.133")) == "172.16.15.133"
+
+    def test_out_of_range(self):
+        with pytest.raises(ConfigError):
+            format_ip(MAX_IP + 1)
+        with pytest.raises(ConfigError):
+            format_ip(-1)
+
+    @given(st.integers(min_value=0, max_value=MAX_IP))
+    def test_roundtrip(self, value):
+        assert parse_ip(format_ip(value)) == value
+
+
+class TestPrefix:
+    def test_parse_clears_host_bits(self):
+        network, plen = parse_prefix("10.1.2.3/8")
+        assert network == parse_ip("10.0.0.0")
+        assert plen == 8
+
+    def test_bare_address_is_slash_32(self):
+        assert parse_prefix("1.2.3.4") == (parse_ip("1.2.3.4"), 32)
+
+    def test_slash_zero(self):
+        assert parse_prefix("0.0.0.0/0") == (0, 0)
+
+    @pytest.mark.parametrize("bad", ["1.2.3.4/33", "1.2.3.4/x", "1.2/8"])
+    def test_rejects_malformed(self, bad):
+        with pytest.raises(ConfigError):
+            parse_prefix(bad)
+
+    def test_mask(self):
+        assert prefix_mask(0) == 0
+        assert prefix_mask(32) == MAX_IP
+        assert prefix_mask(24) == parse_ip("255.255.255.0")
+
+    def test_mask_out_of_range(self):
+        with pytest.raises(ConfigError):
+            prefix_mask(33)
+
+    def test_range(self):
+        low, high = prefix_range(parse_ip("192.168.1.0"), 24)
+        assert low == parse_ip("192.168.1.0")
+        assert high == parse_ip("192.168.1.255")
+
+    def test_contains(self):
+        net = parse_ip("10.0.0.0")
+        assert prefix_contains(net, 8, parse_ip("10.255.0.1"))
+        assert not prefix_contains(net, 8, parse_ip("11.0.0.0"))
+
+    def test_format(self):
+        assert format_prefix(parse_ip("10.0.0.0"), 8) == "10.0.0.0/8"
+
+    @given(
+        st.integers(min_value=0, max_value=MAX_IP),
+        st.integers(min_value=0, max_value=32),
+    )
+    def test_range_brackets_members(self, addr, plen):
+        network, _ = parse_prefix("%s/%d" % (format_ip(addr), plen))
+        low, high = prefix_range(network, plen)
+        assert low <= addr <= high
+        assert prefix_contains(network, plen, addr)

@@ -1,0 +1,40 @@
+"""Shared fixtures for the In-Net reproduction test suite."""
+
+import pytest
+
+from repro.common.addr import parse_ip
+from repro.core import Controller
+from repro.netmodel.examples import figure3_network
+
+
+@pytest.fixture
+def figure3():
+    """A fresh Figure 3 operator network."""
+    return figure3_network()
+
+
+@pytest.fixture
+def controller(figure3):
+    """A controller over the Figure 3 network."""
+    return Controller(figure3)
+
+
+@pytest.fixture
+def ip():
+    """Shorthand dotted-quad parser."""
+    return parse_ip
+
+
+#: The Figure 4 client configuration used across integration tests.
+FIGURE4_SOURCE = """
+    FromNetfront() ->
+    IPFilter(allow udp port 1500) ->
+    IPRewriter(pattern - - 172.16.15.133 - 0 0)
+    -> TimedUnqueue(120, 100)
+    -> dst :: ToNetfront();
+"""
+
+
+@pytest.fixture
+def figure4_source():
+    return FIGURE4_SOURCE

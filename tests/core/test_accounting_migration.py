@@ -1,0 +1,215 @@
+"""Tests for tenant accounting, capacity-aware placement, migration."""
+
+import pytest
+
+from repro.core import ClientRequest, Controller, ROLE_CLIENT
+from repro.core.accounting import Invoice, Ledger, Tariff
+from repro.netmodel.examples import CLIENT_ADDR, figure3_network
+from repro.netmodel.topology import Network
+
+
+def simple_request(name="mod", client="alice"):
+    return ClientRequest(
+        client_id=client,
+        role=ROLE_CLIENT,
+        config_source="""
+            FromNetfront() -> IPFilter(allow udp)
+            -> IPRewriter(pattern - - 172.16.15.133 - 0 0)
+            -> ToNetfront();
+        """,
+        owned_addresses=(CLIENT_ADDR,),
+        module_name=name,
+    )
+
+
+class TestLedger:
+    def test_module_hours_accrue(self):
+        ledger = Ledger()
+        ledger.record_deployment("m1", "alice", False, now=0.0)
+        invoice = ledger.invoice("alice", now=7200.0)
+        assert invoice.module_hours == pytest.approx(2.0)
+        assert invoice.total == pytest.approx(2.0)
+
+    def test_stop_freezes_hours(self):
+        ledger = Ledger()
+        ledger.record_deployment("m1", "alice", False, now=0.0)
+        ledger.record_stop("m1", now=3600.0)
+        invoice = ledger.invoice("alice", now=7200.0)
+        assert invoice.module_hours == pytest.approx(1.0)
+
+    def test_sandbox_surcharge(self):
+        tariff = Tariff(per_module_hour=1.0, sandbox_multiplier=1.5)
+        ledger = Ledger(tariff)
+        ledger.record_deployment("plain", "alice", False, now=0.0)
+        ledger.record_deployment("boxed", "alice", True, now=0.0)
+        invoice = ledger.invoice("alice", now=3600.0)
+        assert invoice.module_hours == pytest.approx(1.0)
+        assert invoice.sandboxed_module_hours == pytest.approx(1.0)
+        assert invoice.total == pytest.approx(1.0 + 1.5)
+
+    def test_traffic_billed_per_gigabyte(self):
+        ledger = Ledger(Tariff(per_module_hour=0.0, per_gigabyte=0.05))
+        ledger.record_deployment("m1", "alice", False, now=0.0)
+        ledger.record_traffic("m1", packets=1000, byte_count=2_000_000_000)
+        invoice = ledger.invoice("alice", now=0.0)
+        assert invoice.gigabytes == pytest.approx(2.0)
+        assert invoice.total == pytest.approx(0.10)
+
+    def test_verifications_billed_even_when_denied(self):
+        ledger = Ledger(Tariff(per_verification=0.01))
+        ledger.record_verification("alice")
+        ledger.record_verification("alice")
+        invoice = ledger.invoice("alice", now=0.0)
+        assert invoice.verifications == 2
+
+    def test_traffic_for_unknown_module_ignored(self):
+        ledger = Ledger()
+        ledger.record_traffic("ghost", 1, 1)
+        assert ledger.invoice("alice", 0.0).total == 0.0
+
+    def test_clients_listing(self):
+        ledger = Ledger()
+        ledger.record_verification("bob")
+        ledger.record_deployment("m1", "alice", False, now=0.0)
+        assert ledger.clients() == ["alice", "bob"]
+
+
+class TestControllerAccounting:
+    def test_deploy_and_kill_recorded(self):
+        fake_now = [0.0]
+        controller = Controller(
+            figure3_network(), clock=lambda: fake_now[0]
+        )
+        assert controller.request(simple_request())
+        fake_now[0] = 3600.0
+        controller.kill("mod")
+        invoice = controller.ledger.invoice("alice", now=fake_now[0])
+        assert invoice.module_hours == pytest.approx(1.0)
+        assert invoice.verifications == 1
+
+    def test_denied_requests_still_billed_for_verification(self):
+        controller = Controller(figure3_network())
+        controller.request(ClientRequest(
+            client_id="alice",
+            config_source="FromNetfront() -> SetIPSrc(6.6.6.6) "
+                          "-> ToNetfront();",
+        ))
+        assert controller.ledger.invoice(
+            "alice", now=0.0
+        ).verifications == 1
+
+
+class TestCapacity:
+    def _tiny_network(self):
+        net = Network()
+        net.add_internet()
+        net.add_router("r")
+        net.add_client_subnet("clients", "172.16.0.0/16")
+        net.add_platform("p", "192.0.2.0/24", capacity=1)
+        net.link("internet", "r")
+        net.link("r", "clients")
+        net.link("r", "p")
+        net.compute_routes()
+        return net
+
+    def test_capacity_limits_deployments(self):
+        controller = Controller(self._tiny_network())
+        assert controller.request(simple_request("m1"))
+        result = controller.request(simple_request("m2"))
+        assert not result.accepted
+        assert "capacity" in result.reason
+
+    def test_kill_frees_capacity(self):
+        controller = Controller(self._tiny_network())
+        assert controller.request(simple_request("m1"))
+        controller.kill("m1")
+        assert controller.request(simple_request("m2"))
+
+
+class TestMigration:
+    def test_migrate_to_reachable_platform(self):
+        controller = Controller(figure3_network())
+        result = controller.request(simple_request())
+        source = result.platform
+        target = "platform2" if source != "platform2" else "platform3"
+        migration = controller.migrate("mod", target)
+        assert migration, migration.reason
+        assert migration.source == source
+        assert migration.target == target
+        record = controller.deployed["mod"]
+        assert record.platform == target
+        assert (target, record.address) in controller.flow_rules
+        assert (source, record.address) not in controller.flow_rules
+        assert 0.1 <= migration.downtime_seconds <= 0.5
+
+    def test_requirements_reverified_on_migration(self):
+        controller = Controller(figure3_network())
+        request = simple_request()
+        request = ClientRequest(
+            client_id="alice",
+            role=ROLE_CLIENT,
+            config_source=request.config_source,
+            requirements="reach from internet udp"
+                         " -> mod:dst:0" if False else
+                         "reach from internet udp -> client",
+            owned_addresses=(CLIENT_ADDR,),
+            module_name="mod",
+        )
+        result = controller.request(request)
+        assert result.accepted, result.reason
+        # platform1 is unreachable from the internet, so an
+        # internet-reach requirement cannot hold there...
+        # (the requirement above reaches the client regardless of the
+        # module, so migration succeeds; now use a module-specific one)
+        controller.kill("mod")
+        request2 = ClientRequest(
+            client_id="alice",
+            role=ROLE_CLIENT,
+            config_source="""
+                FromNetfront() -> IPFilter(allow udp)
+                -> IPRewriter(pattern - - 172.16.15.133 - 0 0)
+                -> dst :: ToNetfront();
+            """,
+            requirements="reach from internet udp -> mod:dst:0",
+            owned_addresses=(CLIENT_ADDR,),
+            module_name="mod",
+        )
+        result = controller.request(request2)
+        assert result.accepted, result.reason
+        assert result.platform == "platform3"
+        migration = controller.migrate("mod", "platform1")
+        assert not migration
+        # Rolled back: still on platform3, old flow rule intact.
+        record = controller.deployed["mod"]
+        assert record.platform == "platform3"
+        assert ("platform3", record.address) in controller.flow_rules
+
+    def test_migrate_unknown_module(self):
+        controller = Controller(figure3_network())
+        assert not controller.migrate("ghost", "platform2")
+
+    def test_migrate_to_same_platform_rejected(self):
+        controller = Controller(figure3_network())
+        result = controller.request(simple_request())
+        migration = controller.migrate("mod", result.platform)
+        assert not migration
+        assert "already on" in migration.reason
+
+    def test_migrate_to_full_platform_rejected(self):
+        net = figure3_network()
+        # Rebuild platform2 with zero capacity is awkward; instead use
+        # the capacity attribute directly.
+        net.node("platform2").capacity = 0
+        controller = Controller(net)
+        result = controller.request(simple_request())
+        if result.platform == "platform2":  # pragma: no cover
+            pytest.skip("unexpected placement")
+        migration = controller.migrate("mod", "platform2")
+        assert not migration
+        assert "capacity" in migration.reason
+
+    def test_migrate_to_non_platform_rejected(self):
+        controller = Controller(figure3_network())
+        controller.request(simple_request())
+        assert not controller.migrate("mod", "r1")
+        assert not controller.migrate("mod", "nonexistent")

@@ -1,0 +1,116 @@
+"""Tests for the controller wire format."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.common.errors import PolicyError
+from repro.core import ClientRequest, Controller
+from repro.core.api import (
+    request_from_dict,
+    request_from_json,
+    request_to_dict,
+    request_to_json,
+    result_to_dict,
+    result_to_json,
+)
+from repro.netmodel.examples import CLIENT_ADDR, figure3_network
+
+
+def sample_request(**overrides):
+    kwargs = dict(
+        client_id="mobile1",
+        role="client",
+        config_source="FromNetfront() -> IPFilter(allow udp) "
+                      "-> IPRewriter(pattern - - 172.16.15.133 - 0 0) "
+                      "-> dst :: ToNetfront();",
+        requirements="reach from internet udp -> batcher:dst:0",
+        owned_addresses=(CLIENT_ADDR,),
+        module_name="batcher",
+    )
+    kwargs.update(overrides)
+    return ClientRequest(**kwargs)
+
+
+class TestRoundTrip:
+    def test_dict_roundtrip(self):
+        original = sample_request()
+        restored = request_from_dict(request_to_dict(original))
+        assert restored == original
+
+    def test_json_roundtrip(self):
+        original = sample_request()
+        restored = request_from_json(request_to_json(original))
+        assert restored == original
+
+    def test_stock_request_roundtrip(self):
+        original = ClientRequest(
+            client_id="cdn", stock="reverse-proxy",
+            stock_params=("198.51.100.1", "80"),
+        )
+        restored = request_from_json(request_to_json(original))
+        assert restored == original
+
+    @given(
+        client=st.text(
+            alphabet=st.characters(min_codepoint=33, max_codepoint=126),
+            min_size=1, max_size=20,
+        ),
+        role=st.sampled_from(["third-party", "client", "operator"]),
+    )
+    def test_roundtrip_random_identity(self, client, role):
+        original = sample_request(client_id=client, role=role)
+        assert request_from_json(request_to_json(original)) == original
+
+
+class TestValidation:
+    def test_wrong_version_refused(self):
+        payload = request_to_dict(sample_request())
+        payload["version"] = 99
+        with pytest.raises(PolicyError):
+            request_from_dict(payload)
+
+    def test_missing_client_refused(self):
+        payload = request_to_dict(sample_request())
+        del payload["client_id"]
+        with pytest.raises(PolicyError):
+            request_from_dict(payload)
+
+    def test_malformed_json_refused(self):
+        with pytest.raises(PolicyError):
+            request_from_json("{not json")
+
+    def test_non_object_refused(self):
+        with pytest.raises(PolicyError):
+            request_from_dict([1, 2, 3])
+
+
+class TestEndToEndOverWire:
+    def test_request_survives_transport(self):
+        controller = Controller(figure3_network())
+        wire = request_to_json(sample_request())
+        result = controller.request(request_from_json(wire))
+        assert result.accepted
+        reply = result_to_dict(result)
+        assert reply["accepted"] is True
+        assert reply["platform"] == "platform3"
+        assert "address" in reply
+
+    def test_denial_reply_has_reason_not_address(self):
+        controller = Controller(figure3_network())
+        result = controller.request(sample_request(
+            requirements="reach from internet tcp dst port 99 "
+                         "-> client dst port 7",
+        ))
+        reply = result_to_dict(result)
+        assert reply["accepted"] is False
+        assert reply["reason"]
+        assert "address" not in reply
+
+    def test_result_json_is_valid(self):
+        import json
+
+        controller = Controller(figure3_network())
+        result = controller.request(sample_request())
+        payload = json.loads(result_to_json(result))
+        assert payload["module_id"] == "batcher"

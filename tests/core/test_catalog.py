@@ -1,0 +1,58 @@
+"""Tests for the Table 1 / stock-module catalog."""
+
+import pytest
+
+from repro.common.errors import ConfigError
+from repro.core.catalog import (
+    STOCK_MODULES,
+    TABLE1_FUNCTIONALITIES,
+    catalog_config,
+    catalog_source,
+    stock_module_config,
+)
+
+
+class TestCatalog:
+    @pytest.mark.parametrize("name", TABLE1_FUNCTIONALITIES)
+    def test_every_config_parses_and_validates(self, name):
+        config = catalog_config(name)
+        config.validate()
+        assert config.sources()
+        assert config.sinks()
+
+    def test_twelve_functionalities(self):
+        assert len(TABLE1_FUNCTIONALITIES) == 12
+
+    def test_unknown_functionality(self):
+        with pytest.raises(ConfigError):
+            catalog_config("teleporter")
+
+    def test_parameters_threaded_through(self):
+        source = catalog_source("firewall", client_addr="10.9.8.7")
+        assert "10.9.8.7" in source
+
+    def test_catalog_source_unknown(self):
+        with pytest.raises(ConfigError):
+            catalog_source("nope")
+
+
+class TestStockModules:
+    @pytest.mark.parametrize("name", sorted(STOCK_MODULES))
+    def test_every_stock_module_builds(self, name):
+        params = {
+            "reverse-proxy": ("198.51.100.1", "80"),
+            "explicit-proxy": ("192.0.2.10",),
+            "geo-dns": (),
+            "x86-vm": (),
+        }[name]
+        config = stock_module_config(name, *params)
+        config.validate()
+
+    def test_paper_set_offered(self):
+        # Section 4.1: reverse proxy, explicit proxy, DNS, x86 VM.
+        assert {"reverse-proxy", "explicit-proxy", "geo-dns",
+                "x86-vm"} <= set(STOCK_MODULES)
+
+    def test_unknown_stock_module(self):
+        with pytest.raises(ConfigError):
+            stock_module_config("warp-drive")

@@ -1,0 +1,123 @@
+"""Tests for the parallel controller pool (Section 4.3)."""
+
+import pytest
+
+from repro.core import ClientRequest, ROLE_CLIENT
+from repro.core.cluster import ControllerPool
+from repro.netmodel.examples import CLIENT_ADDR, figure3_network
+from repro.netmodel.topology import Network
+
+
+def request(name, client="alice"):
+    return ClientRequest(
+        client_id=client,
+        role=ROLE_CLIENT,
+        config_source="""
+            FromNetfront() -> IPFilter(allow udp)
+            -> IPRewriter(pattern - - 172.16.15.133 - 0 0)
+            -> ToNetfront();
+        """,
+        owned_addresses=(CLIENT_ADDR,),
+        module_name=name,
+    )
+
+
+def constrained_network(capacity=1):
+    net = Network()
+    net.add_internet()
+    net.add_router("r")
+    net.add_client_subnet("clients", "172.16.0.0/16")
+    net.add_platform("p", "192.0.2.0/24", capacity=capacity)
+    net.link("internet", "r")
+    net.link("r", "clients")
+    net.link("r", "p")
+    net.compute_routes()
+    return net
+
+
+class TestAffinity:
+    def test_same_client_same_worker(self):
+        pool = ControllerPool(figure3_network(), n_workers=4)
+        assert pool.worker_for("alice") == pool.worker_for("alice")
+
+    def test_clients_spread_across_workers(self):
+        pool = ControllerPool(figure3_network(), n_workers=4)
+        workers = {
+            pool.worker_for("client-%d" % i) for i in range(64)
+        }
+        assert len(workers) == 4
+
+    def test_per_client_ordering_preserved(self):
+        pool = ControllerPool(figure3_network(), n_workers=4)
+        t1 = pool.submit(request("first", client="alice"))
+        t2 = pool.submit(request("first", client="alice"))  # dup name
+        pool.process_all()
+        assert pool.result(t1).accepted
+        # The second request from the same client sees the first one's
+        # effect (duplicate module name) -- ordering held.
+        assert not pool.result(t2).accepted
+        assert "already in use" in pool.result(t2).reason
+
+
+class TestThroughput:
+    def test_all_requests_decided(self):
+        pool = ControllerPool(figure3_network(), n_workers=4)
+        tickets = [
+            pool.submit(request("mod%d" % i, client="client-%d" % i))
+            for i in range(12)
+        ]
+        results = pool.process_all()
+        assert len(results) == 12
+        assert all(results[t].accepted for t in tickets)
+        assert pool.pending() == 0
+
+    def test_parallel_speedup_modeled(self):
+        pool = ControllerPool(figure3_network(), n_workers=4)
+        for i in range(16):
+            pool.submit(request("mod%d" % i, client="client-%d" % i))
+        pool.process_all()
+        # With 4 workers the modeled wall clock beats serial.
+        assert pool.stats.speedup > 1.5
+        assert pool.stats.verifications >= 16
+
+
+class TestConflicts:
+    def test_simultaneous_commits_conflict_once(self):
+        # Two clients (on different workers), one capacity slot: both
+        # verify against the same snapshot, one commit must lose.
+        pool = ControllerPool(constrained_network(capacity=1),
+                              n_workers=8)
+        a, b = "alice", "bob"
+        assert pool.worker_for(a) != pool.worker_for(b), (
+            "test requires distinct workers; adjust client names"
+        )
+        t1 = pool.submit(request("m-a", client=a))
+        t2 = pool.submit(request("m-b", client=b))
+        results = pool.process_all()
+        accepted = [t for t in (t1, t2) if results[t].accepted]
+        assert len(accepted) == 1
+        assert pool.stats.conflicts >= 1
+        loser = (set((t1, t2)) - set(accepted)).pop()
+        assert "capacity" in results[loser].reason
+
+    def test_no_conflicts_with_enough_capacity(self):
+        pool = ControllerPool(constrained_network(capacity=10),
+                              n_workers=8)
+        for i in range(6):
+            pool.submit(request("m%d" % i, client="client-%d" % i))
+        results = pool.process_all()
+        assert all(r.accepted for r in results.values())
+        assert pool.stats.conflicts == 0
+
+    def test_gives_up_after_max_attempts(self):
+        pool = ControllerPool(
+            constrained_network(capacity=0), n_workers=2,
+            max_attempts=3,
+        )
+        t = pool.submit(request("m"))
+        results = pool.process_all()
+        assert not results[t].accepted
+
+    def test_invalid_worker_count(self):
+        with pytest.raises(ValueError):
+            ControllerPool(figure3_network(), n_workers=0)

@@ -1,0 +1,247 @@
+"""Tests for the In-Net controller: the Section 4.5 walkthrough and the
+deployment decision paths."""
+
+import pytest
+
+from repro.click.config import parse_config
+from repro.common.addr import parse_ip
+from repro.core import (
+    ClientRequest,
+    Controller,
+    ROLE_CLIENT,
+    ROLE_THIRD_PARTY,
+)
+from repro.core.controller import wrap_with_enforcer
+from repro.netmodel.examples import CLIENT_ADDR, figure3_network
+
+FIGURE4_REQUIREMENT = (
+    "reach from internet udp"
+    " -> batcher:dst:0 dst 172.16.15.133"
+    " -> client dst port 1500 const proto && dst port && payload"
+)
+
+
+def batcher_request(**overrides):
+    kwargs = dict(
+        client_id="mobile1",
+        role=ROLE_CLIENT,
+        config_source="""
+            FromNetfront() ->
+            IPFilter(allow udp port 1500) ->
+            IPRewriter(pattern - - 172.16.15.133 - 0 0)
+            -> TimedUnqueue(120, 100)
+            -> dst :: ToNetfront();
+        """,
+        requirements=FIGURE4_REQUIREMENT,
+        owned_addresses=(CLIENT_ADDR,),
+        module_name="batcher",
+    )
+    kwargs.update(overrides)
+    return ClientRequest(**kwargs)
+
+
+class TestFigure4Walkthrough:
+    """Section 4.5: the unifying example, end to end."""
+
+    def test_platform3_selected(self, controller):
+        result = controller.request(batcher_request())
+        assert result.accepted
+        assert result.platform == "platform3"
+        assert result.address.startswith("192.0.2.")
+        assert not result.sandboxed
+
+    def test_flow_rules_installed(self, controller):
+        result = controller.request(batcher_request())
+        key = ("platform3", parse_ip(result.address))
+        assert controller.flow_rules[key] == "batcher"
+
+    def test_module_address_joins_client_whitelist(self, controller):
+        result = controller.request(batcher_request())
+        assert parse_ip(result.address) in (
+            controller.client_addresses["mobile1"]
+        )
+
+    def test_kill_removes_everything(self, controller):
+        result = controller.request(batcher_request())
+        assert controller.kill("batcher")
+        assert "batcher" not in controller.deployed
+        assert not controller.flow_rules
+        assert not controller.kill("batcher")
+
+    def test_timing_recorded(self, controller):
+        result = controller.request(batcher_request())
+        assert result.compile_seconds > 0
+        assert result.check_seconds > 0
+
+
+class TestDenials:
+    def test_unsatisfiable_requirement_denied(self, controller):
+        result = controller.request(batcher_request(
+            requirements="reach from internet tcp dst port 99"
+                         " -> batcher:dst:0 dst port 7",
+        ))
+        assert not result.accepted
+        assert "no symbolic flow" in result.reason
+
+    def test_security_reject_denied(self, controller):
+        result = controller.request(ClientRequest(
+            client_id="evil",
+            role=ROLE_THIRD_PARTY,
+            config_source="""
+                FromNetfront() -> SetIPSrc(6.6.6.6)
+                -> ToNetfront();
+            """,
+        ))
+        assert not result.accepted
+        assert "security" in result.reason
+
+    def test_bad_configuration_denied(self, controller):
+        result = controller.request(ClientRequest(
+            client_id="x", config_source="this is not click",
+        ))
+        assert not result.accepted
+        assert "bad configuration" in result.reason
+
+    def test_bad_requirements_denied(self, controller):
+        result = controller.request(batcher_request(
+            requirements="reach nowhere",
+        ))
+        assert not result.accepted
+        assert "bad requirements" in result.reason
+
+    def test_duplicate_module_name_denied(self, controller):
+        assert controller.request(batcher_request()).accepted
+        result = controller.request(batcher_request())
+        assert not result.accepted
+        assert "already in use" in result.reason
+
+    def test_unknown_element_denied(self, controller):
+        result = controller.request(ClientRequest(
+            client_id="x",
+            config_source="FromNetfront() -> Imaginary() "
+                          "-> ToNetfront();",
+        ))
+        assert not result.accepted
+
+
+class TestSandboxing:
+    def test_tunnel_deployed_with_enforcer(self, controller):
+        result = controller.request(ClientRequest(
+            client_id="tunneler",
+            role=ROLE_THIRD_PARTY,
+            config_source="""
+                FromNetfront() -> IPDecap() -> ToNetfront();
+            """,
+            owned_addresses=(CLIENT_ADDR,),
+            module_name="tun",
+        ))
+        assert result.accepted
+        assert result.sandboxed
+        deployed = controller.deployed["tun"].config
+        assert deployed.elements_of_class("ChangeEnforcer")
+
+    def test_client_tunnel_not_sandboxed(self, controller):
+        result = controller.request(ClientRequest(
+            client_id="tunneler",
+            role=ROLE_CLIENT,
+            config_source="""
+                FromNetfront() -> IPDecap() -> ToNetfront();
+            """,
+            module_name="tun",
+        ))
+        assert result.accepted
+        assert not result.sandboxed
+
+
+class TestOperatorPolicy:
+    def test_operator_requirements_block_bad_placements(self):
+        # An operator rule that client-bound UDP must traverse the fw
+        # makes any placement breaking it undeployable; the batcher on
+        # platform3 routes through fw, so it still deploys.
+        net = figure3_network()
+        controller = Controller(
+            net,
+            operator_requirements=(
+                "reach from internet udp -> fw -> client"
+            ),
+        )
+        result = controller.request(batcher_request())
+        assert result.accepted
+
+    def test_impossible_operator_requirement_blocks_all(self):
+        net = figure3_network()
+        controller = Controller(
+            net,
+            operator_requirements=(
+                "reach from internet udp dst port 1 -> client dst port 2"
+            ),
+        )
+        result = controller.request(batcher_request())
+        assert not result.accepted
+
+
+class TestClientRegistry:
+    def test_register_client_address(self, controller):
+        controller.register_client_address("alice", "203.0.113.5")
+        assert parse_ip("203.0.113.5") in (
+            controller.client_addresses["alice"]
+        )
+
+    def test_second_module_may_target_first(self, controller):
+        # Explicit authorization case (b): a module may send to the
+        # same user's other modules.
+        first = controller.request(batcher_request(
+            client_id="alice", module_name="m1",
+            requirements="reach from internet udp -> client dst port 1500",
+        ))
+        assert first.accepted
+        second = controller.request(ClientRequest(
+            client_id="alice",
+            role=ROLE_THIRD_PARTY,
+            config_source="""
+                FromNetfront()
+                -> IPRewriter(pattern - - %s - 0 0)
+                -> ToNetfront();
+            """ % first.address,
+            module_name="m2",
+        ))
+        assert second.accepted, second.reason
+
+
+class TestEnforcerWrapping:
+    def test_wrap_inserts_both_directions(self):
+        config = parse_config(
+            "src :: FromNetfront(); d :: IPDecap();"
+            "out :: ToNetfront(); src -> d -> out;"
+        )
+        wrapped = wrap_with_enforcer(
+            config, parse_ip("192.0.2.10"),
+            frozenset({parse_ip("172.16.15.133")}),
+        )
+        wrapped.validate()
+        enforcers = wrapped.elements_of_class("ChangeEnforcer")
+        # Single-path module: ONE shared enforcer spanning both
+        # directions (ingress via port 0, egress via port 1), so the
+        # implicit authorizations granted on ingress police egress.
+        assert enforcers == ["enforcer"]
+        in_ports = {
+            e.dst_port for e in wrapped.edges if e.dst == "enforcer"
+        }
+        out_ports = {
+            e.src_port for e in wrapped.edges if e.src == "enforcer"
+        }
+        assert in_ports == {0, 1} and out_ports == {0, 1}
+
+    def test_multi_path_module_gets_per_edge_enforcers(self):
+        config = parse_config(
+            "a :: FromNetfront(); b :: FromNetfront();"
+            "d :: IPDecap(); t :: Tee(2);"
+            "o1 :: ToNetfront(); o2 :: ToNetfront();"
+            "a -> d; b -> d@x :: IPDecap() -> t;"
+            "d -> o1; t[0] -> o2; t[1] -> Discard();"
+        )
+        wrapped = wrap_with_enforcer(
+            config, parse_ip("192.0.2.10"), frozenset()
+        )
+        wrapped.validate()
+        assert len(wrapped.elements_of_class("ChangeEnforcer")) >= 2

@@ -1,0 +1,121 @@
+"""Failure-injection tests for the controller's trial placement."""
+
+import pytest
+
+from repro.core import ClientRequest, Controller, ROLE_CLIENT
+from repro.netmodel.examples import CLIENT_ADDR, figure3_network
+
+
+def request_with_requirements(requirements):
+    return ClientRequest(
+        client_id="x",
+        role=ROLE_CLIENT,
+        config_source="""
+            FromNetfront() -> IPFilter(allow udp)
+            -> IPRewriter(pattern - - 172.16.15.133 - 0 0)
+            -> ToNetfront();
+        """,
+        requirements=requirements,
+        owned_addresses=(CLIENT_ADDR,),
+        module_name="m",
+    )
+
+
+def assert_clean(controller):
+    for platform in controller.network.platforms():
+        assert platform.modules == {}, platform.name
+        assert len(platform.flow_table) == 0
+    assert controller.deployed == {}
+    assert controller.flow_rules == {}
+
+
+class TestVerificationFailures:
+    def test_unknown_node_reference_denied_cleanly(self, controller):
+        result = controller.request(request_with_requirements(
+            "reach from internet -> NoSuchNode"
+        ))
+        assert not result.accepted
+        assert "verification failed" in result.reason
+        assert_clean(controller)
+
+    def test_unknown_element_ref_is_just_unsatisfied(self, controller):
+        # A module:element ref that matches nothing is a normal denial
+        # (no flow arrives there), not an error.
+        result = controller.request(request_with_requirements(
+            "reach from internet -> m:ghost:0"
+        ))
+        assert not result.accepted
+        assert_clean(controller)
+
+    def test_retry_after_failure_works(self, controller):
+        bad = controller.request(request_with_requirements(
+            "reach from internet -> NoSuchNode"
+        ))
+        assert not bad.accepted
+        good = controller.request(request_with_requirements(
+            "reach from internet udp -> client"
+        ))
+        assert good.accepted, good.reason
+
+    def test_state_clean_after_reach_denial(self, controller):
+        result = controller.request(request_with_requirements(
+            "reach from internet tcp dst port 1 -> client dst port 2"
+        ))
+        assert not result.accepted
+        assert_clean(controller)
+
+    def test_state_clean_after_security_reject(self, controller):
+        result = controller.request(ClientRequest(
+            client_id="x",
+            config_source="FromNetfront() -> SetIPSrc(6.6.6.6) "
+                          "-> ToNetfront();",
+            module_name="m",
+        ))
+        assert not result.accepted
+        assert_clean(controller)
+
+    def test_dry_run_leaves_no_trace(self, controller):
+        result = controller.request(
+            request_with_requirements(
+                "reach from internet udp -> client"
+            ),
+            dry_run=True,
+        )
+        assert result.accepted
+        assert_clean(controller)
+
+
+class TestAddressExhaustion:
+    def test_exhausted_pool_denies_instead_of_crashing(self):
+        from repro.netmodel.topology import Network
+
+        net = Network()
+        net.add_internet()
+        net.add_router("r")
+        net.add_client_subnet("clients", "172.16.0.0/16")
+        # A /30 pool: network 192.0.2.0, usable .1-.3 (3 addresses).
+        net.add_platform("p", "192.0.2.0/30")
+        net.link("internet", "r")
+        net.link("r", "clients")
+        net.link("r", "p")
+        net.compute_routes()
+        controller = Controller(net)
+        accepted = 0
+        for index in range(6):
+            result = controller.request(ClientRequest(
+                client_id="x",
+                role=ROLE_CLIENT,
+                config_source="""
+                    FromNetfront() -> IPFilter(allow udp)
+                    -> IPRewriter(pattern - - 172.16.15.133 - 0 0)
+                    -> ToNetfront();
+                """,
+                owned_addresses=(CLIENT_ADDR,),
+                module_name="m%d" % index,
+            ))
+            accepted += bool(result.accepted)
+            if not result.accepted:
+                assert "pool exhausted" in result.reason or (
+                    "requirements" in result.reason
+                )
+        assert 1 <= accepted <= 3

@@ -1,0 +1,108 @@
+"""Tests for multi-operator federation."""
+
+import pytest
+
+from repro.common.errors import DeploymentError
+from repro.core import ClientRequest, Controller, ROLE_THIRD_PARTY
+from repro.core.federation import Federation
+from repro.netmodel.examples import figure3_network
+
+BUCHAREST = (44.43, 26.10)
+BERLIN = (52.52, 13.40)
+ROME = (41.90, 12.50)
+
+
+def build_federation():
+    federation = Federation()
+    federation.add_operator(
+        "ro", Controller(figure3_network()), BUCHAREST
+    )
+    federation.add_operator(
+        "de", Controller(figure3_network()), BERLIN
+    )
+    federation.add_operator("it", Controller(figure3_network()), ROME)
+    return federation
+
+
+def proxy_request(name="shield"):
+    return ClientRequest(
+        client_id="provider",
+        role=ROLE_THIRD_PARTY,
+        stock="reverse-proxy",
+        stock_params=("198.51.100.1", "80"),
+        owned_addresses=("198.51.100.1",),
+        module_name=name,
+    )
+
+
+class TestDirectory:
+    def test_duplicate_operator_rejected(self):
+        federation = build_federation()
+        with pytest.raises(DeploymentError):
+            federation.add_operator(
+                "ro", Controller(figure3_network()), BUCHAREST
+            )
+
+    def test_nearest_first_ordering(self):
+        federation = build_federation()
+        near_rome = federation.operators_by_distance((42.0, 12.0))
+        assert [o.name for o in near_rome][0] == "it"
+        near_bucharest = federation.operators_by_distance((45.0, 26.0))
+        assert [o.name for o in near_bucharest][0] == "ro"
+
+
+class TestDeployment:
+    def test_deploys_at_nearest(self):
+        federation = build_federation()
+        outcome = federation.deploy_near(proxy_request(), ROME)
+        assert outcome
+        assert outcome.operator == "it"
+        assert federation.deployments() == {"shield": "it"}
+
+    def test_falls_back_when_nearest_is_full(self):
+        federation = build_federation()
+        # Fill every platform of the Italian operator.
+        for platform in federation.operators[
+            "it"
+        ].controller.network.platforms():
+            platform.capacity = 0
+        outcome = federation.deploy_near(proxy_request(), ROME)
+        assert outcome
+        assert outcome.operator != "it"
+
+    def test_reports_denial_when_all_refuse(self):
+        federation = build_federation()
+        bad = ClientRequest(
+            client_id="provider",
+            role=ROLE_THIRD_PARTY,
+            config_source="FromNetfront() -> SetIPSrc(6.6.6.6) "
+                          "-> ToNetfront();",
+            module_name="evil",
+        )
+        outcome = federation.deploy_near(bad, ROME)
+        assert not outcome
+        assert "security" in outcome.result.reason
+        assert federation.deployments() == {}
+
+    def test_kill_routes_to_owner(self):
+        federation = build_federation()
+        federation.deploy_near(proxy_request(), BERLIN)
+        assert federation.kill("shield")
+        assert not federation.kill("shield")
+        assert "shield" not in (
+            federation.operators["de"].controller.deployed
+        )
+
+    def test_no_operators_registered(self):
+        with pytest.raises(DeploymentError):
+            Federation().deploy_near(proxy_request(), ROME)
+
+    def test_combined_invoice(self):
+        federation = build_federation()
+        for info in federation.operators.values():
+            info.controller._clock = lambda: 0.0
+        federation.deploy_near(proxy_request("s1"), ROME)
+        federation.deploy_near(proxy_request("s2"), BERLIN)
+        total = federation.total_invoice("provider", now=3600.0)
+        # Two module-hours across two operators (plus verifications).
+        assert total >= 2.0

@@ -1,0 +1,207 @@
+"""Tests for the security analyzer -- including the full Table 1 matrix."""
+
+import pytest
+
+from repro.click import parse_config
+from repro.common.addr import parse_ip
+from repro.common.errors import VerificationError
+from repro.core import (
+    ROLE_CLIENT,
+    ROLE_OPERATOR,
+    ROLE_THIRD_PARTY,
+    SecurityAnalyzer,
+    VERDICT_ALLOW,
+    VERDICT_REJECT,
+    VERDICT_SANDBOX,
+)
+from repro.core.catalog import TABLE1_FUNCTIONALITIES, catalog_config
+from repro.core.security import addresses_to_whitelist
+
+MODULE_ADDR = parse_ip("192.0.2.10")
+WHITELIST = addresses_to_whitelist(
+    [
+        "172.16.15.133", "172.16.15.134",         # requester's addresses
+        "198.51.100.1", "198.51.100.2", "198.51.100.3",
+    ]
+)
+
+#: Table 1 of the paper: expected verdict per (functionality, role).
+#: Legend: X -> reject, check -> allow, X(s)/check(s) -> sandbox.
+TABLE1_EXPECTED = {
+    "ip_router": ("reject", "reject", "allow"),
+    "dpi": ("reject", "reject", "allow"),
+    "nat": ("reject", "reject", "allow"),
+    "transparent_proxy": ("reject", "reject", "allow"),
+    "flow_meter": ("allow", "allow", "allow"),
+    "rate_limiter": ("allow", "allow", "allow"),
+    "firewall": ("allow", "allow", "allow"),
+    "tunnel": ("sandbox", "allow", "allow"),
+    "multicast": ("allow", "allow", "allow"),
+    "dns_server": ("allow", "allow", "allow"),
+    "reverse_proxy": ("allow", "allow", "allow"),
+    "x86_vm": ("sandbox", "sandbox", "allow"),
+}
+
+ROLES = (ROLE_THIRD_PARTY, ROLE_CLIENT, ROLE_OPERATOR)
+
+
+@pytest.fixture(scope="module")
+def analyzer():
+    return SecurityAnalyzer()
+
+
+class TestTable1:
+    """Every cell of the paper's Table 1."""
+
+    @pytest.mark.parametrize("functionality", TABLE1_FUNCTIONALITIES)
+    @pytest.mark.parametrize("role_index", range(3))
+    def test_verdict_matches_paper(
+        self, analyzer, functionality, role_index
+    ):
+        role = ROLES[role_index]
+        expected = TABLE1_EXPECTED[functionality][role_index]
+        config = catalog_config(functionality)
+        report = analyzer.analyze(
+            config, role, module_address=MODULE_ADDR, whitelist=WHITELIST
+        )
+        assert report.verdict == expected, (
+            "%s as %s: got %s, paper says %s\n%s"
+            % (functionality, role, report.verdict, expected, report)
+        )
+
+
+class TestSpoofing:
+    def test_hardcoded_foreign_source_rejected(self, analyzer):
+        config = parse_config(
+            "src :: FromNetfront(); s :: SetIPSrc(6.6.6.6);"
+            "dst :: ToNetfront(); src -> s -> dst;"
+        )
+        report = analyzer.analyze(
+            config, ROLE_THIRD_PARTY, module_address=MODULE_ADDR
+        )
+        assert report.verdict == VERDICT_REJECT
+        assert any(f.rule == "spoofing" for f in report.findings)
+
+    def test_source_set_to_module_address_allowed(self, analyzer):
+        config = parse_config(
+            "src :: FromNetfront(); s :: SetIPSrc(192.0.2.10);"
+            "r :: IPRewriter(pattern - - 172.16.15.133 - 0 0);"
+            "dst :: ToNetfront(); src -> s -> r -> dst;"
+        )
+        report = analyzer.analyze(
+            config, ROLE_THIRD_PARTY,
+            module_address=MODULE_ADDR, whitelist=WHITELIST,
+        )
+        assert report.verdict == VERDICT_ALLOW
+
+    def test_spoofing_checked_even_for_clients(self, analyzer):
+        config = parse_config(
+            "src :: FromNetfront(); s :: SetIPSrc(6.6.6.6);"
+            "dst :: ToNetfront(); src -> s -> dst;"
+        )
+        report = analyzer.analyze(
+            config, ROLE_CLIENT, module_address=MODULE_ADDR
+        )
+        assert report.verdict == VERDICT_REJECT
+
+
+class TestDefaultOff:
+    def test_fixed_unwhitelisted_destination_rejected(self, analyzer):
+        config = parse_config(
+            "src :: FromNetfront(); s :: SetIPAddress(6.6.6.6);"
+            "dst :: ToNetfront(); src -> s -> dst;"
+        )
+        report = analyzer.analyze(
+            config, ROLE_THIRD_PARTY,
+            module_address=MODULE_ADDR, whitelist=WHITELIST,
+        )
+        assert report.verdict == VERDICT_REJECT
+        assert any(f.rule == "default-off" for f in report.findings)
+
+    def test_whitelisted_destination_allowed(self, analyzer):
+        config = parse_config(
+            "src :: FromNetfront(); s :: SetIPAddress(172.16.15.133);"
+            "dst :: ToNetfront(); src -> s -> dst;"
+        )
+        report = analyzer.analyze(
+            config, ROLE_THIRD_PARTY,
+            module_address=MODULE_ADDR, whitelist=WHITELIST,
+        )
+        assert report.verdict == VERDICT_ALLOW
+
+    def test_clients_may_reach_any_fixed_destination(self, analyzer):
+        # Operator customers get normal Internet service: default-off
+        # does not apply to them (only anti-spoofing does).
+        config = parse_config(
+            "src :: FromNetfront(); s :: SetIPAddress(6.6.6.6);"
+            "dst :: ToNetfront(); src -> s -> dst;"
+        )
+        report = analyzer.analyze(
+            config, ROLE_CLIENT, module_address=MODULE_ADDR
+        )
+        assert report.verdict == VERDICT_ALLOW
+
+    def test_explicit_proxy_third_party_sandboxed(self, analyzer):
+        from repro.core.catalog import stock_module_config
+
+        config = stock_module_config("explicit-proxy", "192.0.2.10")
+        third = analyzer.analyze(
+            config, ROLE_THIRD_PARTY,
+            module_address=MODULE_ADDR, whitelist=WHITELIST,
+        )
+        client = analyzer.analyze(
+            config, ROLE_CLIENT, module_address=MODULE_ADDR
+        )
+        assert third.verdict == VERDICT_SANDBOX
+        assert client.verdict == VERDICT_ALLOW
+
+
+class TestOperatorRole:
+    def test_operator_always_allowed(self, analyzer):
+        config = parse_config(
+            "src :: FromNetfront(); s :: SetIPSrc(6.6.6.6);"
+            "dst :: ToNetfront(); src -> s -> dst;"
+        )
+        report = analyzer.analyze(config, ROLE_OPERATOR)
+        assert report.verdict == VERDICT_ALLOW
+        assert report.findings == []
+
+
+class TestUnknownElements:
+    def test_unmodelled_element_uncheckable(self, analyzer):
+        import repro.click.element as element_module
+        from repro.click.element import Element, register_element
+
+        # Register a dataplane-only element with no symbolic model,
+        # cleaning the registry up afterwards (it is process-global).
+        @register_element("UnmodelledTestElement")
+        class UnmodelledTestElement(Element):
+            def configure(self, args):
+                pass
+
+        try:
+            config = parse_config(
+                "src :: FromNetfront(); u :: UnmodelledTestElement();"
+                "dst :: ToNetfront(); src -> u -> dst;"
+            )
+            with pytest.raises(VerificationError):
+                analyzer.analyze(config, ROLE_THIRD_PARTY)
+        finally:
+            element_module._REGISTRY.pop("UnmodelledTestElement", None)
+
+
+class TestSandboxedAnnotation:
+    def test_enforcer_wrapped_config_passes(self, analyzer):
+        # A tunnel wrapped in ChangeEnforcer becomes acceptable: the
+        # runtime guarantees what static analysis could not prove.
+        from repro.core.controller import wrap_with_enforcer
+        from repro.core.catalog import catalog_config
+
+        config = wrap_with_enforcer(
+            catalog_config("tunnel"), MODULE_ADDR, WHITELIST
+        )
+        report = analyzer.analyze(
+            config, ROLE_THIRD_PARTY,
+            module_address=MODULE_ADDR, whitelist=WHITELIST,
+        )
+        assert report.verdict == VERDICT_ALLOW

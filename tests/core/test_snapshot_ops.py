@@ -1,0 +1,98 @@
+"""Tests for snapshot re-verification and platform evacuation."""
+
+import pytest
+
+from repro.core import ClientRequest, Controller, ROLE_CLIENT
+from repro.netmodel.examples import CLIENT_ADDR, figure3_network
+from repro.netmodel.examples import star_network
+
+
+def module_request(name, requirements=""):
+    return ClientRequest(
+        client_id="alice",
+        role=ROLE_CLIENT,
+        config_source="""
+            FromNetfront() -> IPFilter(allow udp)
+            -> IPRewriter(pattern - - 172.16.15.133 - 0 0)
+            -> dst :: ToNetfront();
+        """,
+        requirements=requirements,
+        owned_addresses=(CLIENT_ADDR,),
+        module_name=name,
+    )
+
+
+class TestVerifySnapshot:
+    def test_healthy_snapshot_all_green(self):
+        controller = Controller(
+            figure3_network(),
+            operator_requirements="reach from client -> internet",
+        )
+        result = controller.request(module_request(
+            "mod", "reach from internet udp -> mod:dst:0"
+        ))
+        assert result.accepted
+        outcomes = controller.verify_snapshot()
+        assert outcomes and all(outcomes)
+
+    def test_topology_change_detected(self):
+        net = figure3_network()
+        controller = Controller(
+            net, operator_requirements="reach from client -> internet"
+        )
+        result = controller.request(module_request(
+            "mod", "reach from internet udp -> mod:dst:0"
+        ))
+        assert result.accepted and result.platform == "platform3"
+        # The platform3 uplink dies: remove its link from the snapshot.
+        p3 = net.node("platform3")
+        r1 = net.node("r1")
+        (port, (peer, peer_port)), = list(p3.ports.items())
+        del p3.ports[port]
+        del r1.ports[peer_port]
+        net.links = [
+            l for l in net.links
+            if "platform3" not in (l.a, l.b)
+        ]
+        net.compute_routes()
+        outcomes = controller.verify_snapshot()
+        failed = [r for r in outcomes if not r]
+        assert failed
+        assert any("mod:dst" in str(r.requirement) for r in failed)
+
+
+class TestEvacuation:
+    def test_all_modules_relocated(self):
+        net = star_network(3)
+        controller = Controller(net)
+        for index in range(4):
+            result = controller.request(module_request("m%d" % index))
+            assert result.accepted
+        source = controller.deployed["m0"].platform
+        victims = [
+            m for m, rec in controller.deployed.items()
+            if rec.platform == source
+        ]
+        outcomes = controller.evacuate(source)
+        assert len(outcomes) == len(victims)
+        assert all(outcomes)
+        assert all(
+            rec.platform != source
+            for rec in controller.deployed.values()
+        )
+
+    def test_evacuation_respects_capacity(self):
+        net = star_network(2)
+        net.node("platform1").capacity = 0  # nowhere to go
+        controller = Controller(net)
+        result = controller.request(module_request("m0"))
+        assert result.accepted and result.platform == "platform0"
+        outcomes = controller.evacuate("platform0")
+        assert len(outcomes) == 1
+        assert not outcomes[0]
+        # The module stays where it was rather than vanishing.
+        assert controller.deployed["m0"].platform == "platform0"
+
+    def test_evacuating_empty_platform_is_noop(self):
+        controller = Controller(figure3_network())
+        assert controller.evacuate("platform2") == []

@@ -1,0 +1,147 @@
+"""Tests for the OpenFlow-style flow table."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.click import Packet, TCP, UDP
+from repro.common import fields as F
+from repro.common.addr import parse_ip
+from repro.common.errors import ConfigError
+from repro.common.intervals import IntervalSet
+from repro.netmodel.flowtable import (
+    ACTION_TO_MODULE,
+    Action,
+    FlowTable,
+    module_steering_rule,
+)
+
+
+def single(addr_text):
+    return IntervalSet.single(parse_ip(addr_text))
+
+
+class TestRules:
+    def test_priority_order(self):
+        table = FlowTable()
+        table.install(10, {F.IP_DST: single("10.0.0.1")},
+                      Action.drop())
+        high = table.install(
+            50, {F.IP_DST: single("10.0.0.1")}, Action.output(3)
+        )
+        rule = table.lookup(Packet(ip_dst=parse_ip("10.0.0.1")))
+        assert rule is high
+
+    def test_tie_breaks_by_insertion(self):
+        table = FlowTable()
+        first = table.install(10, {}, Action.output(1))
+        table.install(10, {}, Action.output(2))
+        assert table.lookup(Packet()) is first
+
+    def test_multi_field_match(self):
+        table = FlowTable()
+        table.install(10, {
+            F.IP_DST: single("10.0.0.1"),
+            F.IP_PROTO: IntervalSet.single(UDP),
+            F.TP_DST: IntervalSet.single(53),
+        }, Action.to_module("dns"))
+        hit = Packet(ip_dst=parse_ip("10.0.0.1"), ip_proto=UDP,
+                     tp_dst=53)
+        miss = Packet(ip_dst=parse_ip("10.0.0.1"), ip_proto=TCP,
+                      tp_dst=53)
+        assert table.lookup(hit).action.target == "dns"
+        assert table.lookup(miss) is None
+
+    def test_empty_match_is_catch_all(self):
+        table = FlowTable()
+        table.install(1, {}, Action.output(0))
+        assert table.lookup(Packet(ip_dst=12345)) is not None
+
+    def test_invalid_match_field(self):
+        table = FlowTable()
+        with pytest.raises(ConfigError):
+            table.install(1, {"payload": IntervalSet.single(1)},
+                          Action.drop())
+
+    def test_remove(self):
+        table = FlowTable()
+        rule = table.install(1, {}, Action.drop())
+        assert table.remove(rule)
+        assert not table.remove(rule)
+        assert len(table) == 0
+
+    def test_remove_by_cookie(self):
+        table = FlowTable()
+        table.install(1, {}, Action.drop(), cookie="m1")
+        table.install(2, {}, Action.drop(), cookie="m1")
+        table.install(3, {}, Action.drop(), cookie="m2")
+        assert table.remove_by_cookie("m1") == 2
+        assert len(table) == 1
+
+
+class TestSymbolicBranches:
+    def test_disjoint_single_field_rules(self):
+        table = FlowTable()
+        module_steering_rule(table, parse_ip("10.0.0.1"), "a")
+        module_steering_rule(table, parse_ip("10.0.0.2"), "b")
+        branches = table.symbolic_branches()
+        assert len(branches) == 2
+        domains = [residual[F.IP_DST] for _a, residual in branches]
+        assert not domains[0].overlaps(domains[1])
+
+    def test_shadowed_rule_pruned(self):
+        table = FlowTable()
+        table.install(
+            100, {F.IP_DST: single("10.0.0.1")}, Action.output(1)
+        )
+        table.install(
+            10, {F.IP_DST: single("10.0.0.1")}, Action.output(2)
+        )
+        branches = table.symbolic_branches()
+        assert len(branches) == 1
+        assert branches[0][0].target == 1
+
+    def test_partial_shadow_subtracted(self):
+        table = FlowTable()
+        table.install(
+            100, {F.IP_DST: single("10.0.0.1")}, Action.drop()
+        )
+        low, high = parse_ip("10.0.0.0"), parse_ip("10.0.0.255")
+        table.install(
+            10,
+            {F.IP_DST: IntervalSet.from_interval(low, high)},
+            Action.output(1),
+        )
+        branches = table.symbolic_branches()
+        wide = [b for a, b in branches if a.kind == "output"][0]
+        assert parse_ip("10.0.0.1") not in wide[F.IP_DST]
+        assert parse_ip("10.0.0.2") in wide[F.IP_DST]
+
+    @settings(max_examples=40, deadline=None)
+    @given(addr=st.integers(min_value=0, max_value=(1 << 32) - 1))
+    def test_branches_agree_with_lookup_for_steering(self, addr):
+        table = FlowTable()
+        module_steering_rule(table, parse_ip("10.0.0.1"), "a")
+        module_steering_rule(table, parse_ip("10.0.0.2"), "b")
+        rule = table.lookup(Packet(ip_dst=addr))
+        hits = [
+            action.target
+            for action, residual in table.symbolic_branches()
+            if all(
+                addr in allowed
+                for name, allowed in residual.items()
+                if name == F.IP_DST
+            )
+        ]
+        if rule is None:
+            assert hits == []
+        else:
+            assert hits == [rule.action.target]
+
+
+class TestSteeringHelper:
+    def test_cookie_is_module_name(self):
+        table = FlowTable()
+        rule = module_steering_rule(table, parse_ip("10.0.0.1"), "m")
+        assert rule.cookie == "m"
+        assert rule.action.kind == ACTION_TO_MODULE

@@ -1,0 +1,182 @@
+"""Tests for the concrete forwarding plane."""
+
+import pytest
+
+from repro.click import Packet, UDP, parse_config
+from repro.common.addr import parse_ip
+from repro.common.errors import SimulationError
+from repro.netmodel.examples import figure3_network
+from repro.netmodel.forwarding import ForwardingPlane
+from repro.netmodel.topology import Network
+
+BATCHER = """
+    src :: FromNetfront();
+    dst :: ToNetfront();
+    src -> IPFilter(allow udp port 1500)
+        -> IPRewriter(pattern - - 172.16.15.133 - 0 0)
+        -> TimedUnqueue(60, 100)
+        -> dst;
+"""
+
+IMMEDIATE = """
+    src :: FromNetfront();
+    dst :: ToNetfront();
+    src -> IPFilter(allow udp)
+        -> IPRewriter(pattern - - 172.16.15.133 - 0 0)
+        -> dst;
+"""
+
+
+def deploy(net, source, platform="platform3", name="mod"):
+    p = net.node(platform)
+    address = p.allocate_address()
+    p.deploy(name, address, parse_config(source))
+    net.compute_routes()
+    return address
+
+
+def udp_packet(dst, tp_dst=1500, src="8.8.8.8"):
+    return Packet(
+        ip_src=parse_ip(src), ip_dst=dst, ip_proto=UDP, tp_dst=tp_dst,
+    )
+
+
+class TestBasicForwarding:
+    def test_internet_to_client_direct(self):
+        net = figure3_network()
+        plane = ForwardingPlane(net)
+        deliveries = plane.send(
+            "internet", udp_packet(parse_ip("172.16.15.133"))
+        )
+        assert len(deliveries) == 1
+        assert deliveries[0].node == "clients"
+        # The path traverses the border router and the firewall.
+        assert "r1" in deliveries[0].path
+        assert "fw" in deliveries[0].path
+
+    def test_no_route_drops(self):
+        # No internet node = no default route: unowned destinations
+        # are dropped at the router.
+        net = Network()
+        net.add_client_subnet("clients", "172.16.0.0/16")
+        net.add_router("r")
+        net.link("clients", "r")
+        net.compute_routes()
+        plane = ForwardingPlane(net)
+        assert plane.send(
+            "clients",
+            udp_packet(parse_ip("10.0.0.1"), src="172.16.0.5"),
+        ) == []
+        assert plane.stats.dropped_no_route == 1
+
+    def test_operator_firewall_filters(self):
+        net = figure3_network()
+        plane = ForwardingPlane(net)
+        # The fw denies traffic destined to the private platform pools.
+        assert plane.send(
+            "internet", udp_packet(parse_ip("10.1.0.1"))
+        ) == []
+        assert plane.stats.dropped_by_middlebox == 1
+
+    def test_cannot_send_from_router(self):
+        net = figure3_network()
+        plane = ForwardingPlane(net)
+        with pytest.raises(SimulationError):
+            plane.send("r1", udp_packet(parse_ip("172.16.15.133")))
+
+
+class TestModuleForwarding:
+    def test_through_module_to_client(self):
+        net = figure3_network()
+        address = deploy(net, IMMEDIATE)
+        plane = ForwardingPlane(net)
+        deliveries = plane.send("internet", udp_packet(address))
+        assert len(deliveries) == 1
+        delivery = deliveries[0]
+        assert delivery.node == "clients"
+        assert delivery.packet["ip_dst"] == parse_ip("172.16.15.133")
+        assert "platform3/mod" in delivery.path
+
+    def test_module_filter_drops(self):
+        net = figure3_network()
+        address = deploy(net, IMMEDIATE)
+        plane = ForwardingPlane(net)
+        tcp = udp_packet(address)
+        tcp["ip_proto"] = 6
+        assert plane.send("internet", tcp) == []
+
+    def test_batched_release_needs_time(self):
+        net = figure3_network()
+        address = deploy(net, BATCHER)
+        plane = ForwardingPlane(net)
+        assert plane.send("internet", udp_packet(address)) == []
+        assert plane.send("internet", udp_packet(address)) == []
+        released = plane.run_until(60.0)
+        assert len(released) == 2
+        assert all(d.node == "clients" for d in released)
+        assert all(d.time == 60.0 for d in released)
+
+    def test_unmatched_platform_traffic_dropped(self):
+        net = figure3_network()
+        deploy(net, IMMEDIATE)
+        plane = ForwardingPlane(net)
+        pool_addr = parse_ip("192.0.2.200")  # platform pool, no module
+        assert plane.send("internet", udp_packet(pool_addr)) == []
+        assert plane.stats.dropped_by_platform == 1
+
+    def test_module_runtime_accessible(self):
+        net = figure3_network()
+        deploy(net, IMMEDIATE)
+        plane = ForwardingPlane(net)
+        assert plane.module_runtime("mod").config.sources() == ["src"]
+        with pytest.raises(SimulationError):
+            plane.module_runtime("ghost")
+
+
+class TestHairpin:
+    def test_module_to_module_on_same_platform(self):
+        net = figure3_network()
+        p3 = net.node("platform3")
+        addr_b = None
+        # Module A rewrites to module B's (future) address; deploy B
+        # first so we know it.
+        addr_b = p3.allocate_address()
+        p3.deploy("b", addr_b, parse_config(IMMEDIATE))
+        addr_a = p3.allocate_address()
+        from repro.common.addr import format_ip
+
+        p3.deploy("a", addr_a, parse_config("""
+            src :: FromNetfront();
+            dst :: ToNetfront();
+            src -> IPRewriter(pattern - - %s - 0 0) -> dst;
+        """ % format_ip(addr_b)))
+        net.compute_routes()
+        plane = ForwardingPlane(net)
+        deliveries = plane.send("internet", udp_packet(addr_a))
+        # a rewrote to b; b rewrote to the client address.
+        assert len(deliveries) == 1
+        assert deliveries[0].packet["ip_dst"] == parse_ip(
+            "172.16.15.133"
+        )
+        assert "platform3/a" in deliveries[0].path
+        assert "platform3/b" in deliveries[0].path
+
+
+class TestTimeDiscipline:
+    def test_send_at_advances_clock(self):
+        net = figure3_network()
+        plane = ForwardingPlane(net)
+        plane.send("internet", udp_packet(parse_ip("172.16.15.133")),
+                   at=5.0)
+        assert plane.now == 5.0
+        assert plane.deliveries[-1].time == 5.0
+
+    def test_time_cannot_reverse(self):
+        net = figure3_network()
+        plane = ForwardingPlane(net)
+        plane.run_until(10.0)
+        with pytest.raises(SimulationError):
+            plane.run_until(5.0)
+        with pytest.raises(SimulationError):
+            plane.send("internet",
+                       udp_packet(parse_ip("172.16.15.133")), at=1.0)

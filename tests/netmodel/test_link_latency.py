@@ -1,0 +1,87 @@
+"""Tests for per-link propagation latency in the forwarding plane."""
+
+import pytest
+
+from repro.click import Packet, UDP
+from repro.common.addr import parse_ip
+from repro.common.errors import ConfigError
+from repro.netmodel import Network
+from repro.netmodel.forwarding import ForwardingPlane
+
+
+def latency_network():
+    net = Network("latency")
+    net.add_internet()
+    net.add_router("r1")
+    net.add_router("r2")
+    net.add_host("server", "203.0.113.1")
+    net.link("internet", "r1", latency_s=0.010)
+    net.link("r1", "r2", latency_s=0.005)
+    net.link("r2", "server", latency_s=0.002)
+    net.compute_routes()
+    return net
+
+
+class TestLatencyAccumulation:
+    def test_delivery_time_sums_path_latencies(self):
+        plane = ForwardingPlane(latency_network())
+        deliveries = plane.send("internet", Packet(
+            ip_src=parse_ip("8.8.8.8"),
+            ip_dst=parse_ip("203.0.113.1"),
+            ip_proto=UDP,
+        ))
+        assert len(deliveries) == 1
+        assert deliveries[0].time == pytest.approx(0.017)
+
+    def test_send_at_offsets_latency(self):
+        plane = ForwardingPlane(latency_network())
+        deliveries = plane.send("internet", Packet(
+            ip_dst=parse_ip("203.0.113.1"), ip_proto=UDP,
+        ), at=5.0)
+        assert deliveries[0].time == pytest.approx(5.017)
+
+    def test_zero_latency_by_default(self):
+        net = Network()
+        net.add_internet()
+        net.add_router("r")
+        net.add_host("h", "203.0.113.1")
+        net.link("internet", "r")
+        net.link("r", "h")
+        net.compute_routes()
+        plane = ForwardingPlane(net)
+        deliveries = plane.send("internet", Packet(
+            ip_dst=parse_ip("203.0.113.1"),
+        ))
+        assert deliveries[0].time == 0.0
+
+    def test_link_latency_query(self):
+        net = latency_network()
+        assert net.link_latency("r1", "r2") == pytest.approx(0.005)
+        with pytest.raises(ConfigError):
+            net.link_latency("internet", "server")
+
+    def test_latency_through_module(self):
+        from repro.click import parse_config
+
+        net = Network("modlat")
+        net.add_internet()
+        net.add_router("r")
+        net.add_client_subnet("clients", "172.16.0.0/16")
+        net.add_platform("p", "192.0.2.0/24")
+        net.link("internet", "r", latency_s=0.010)
+        net.link("r", "clients", latency_s=0.003)
+        net.link("r", "p", latency_s=0.001)
+        platform = net.node("p")
+        address = platform.allocate_address()
+        platform.deploy("mod", address, parse_config("""
+            src :: FromNetfront();
+            out :: ToNetfront();
+            src -> IPRewriter(pattern - - 172.16.0.5 - 0 0) -> out;
+        """))
+        net.compute_routes()
+        plane = ForwardingPlane(net)
+        deliveries = plane.send("internet", Packet(
+            ip_dst=address, ip_proto=UDP,
+        ))
+        # internet->r (10) + r->p (1) + p->r (1) + r->clients (3).
+        assert deliveries[0].time == pytest.approx(0.015)

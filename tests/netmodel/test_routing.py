@@ -1,0 +1,81 @@
+"""Tests for LPM routing tables."""
+
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.common.addr import parse_ip, prefix_range
+from repro.netmodel.routing import Route, RoutingTable
+
+
+def table(*entries):
+    t = RoutingTable()
+    for prefix, port in entries:
+        net, _, plen = prefix.partition("/")
+        t.add(parse_ip(net), int(plen), port)
+    return t
+
+
+class TestLookup:
+    def test_longest_prefix_wins(self):
+        t = table(("10.0.0.0/8", 1), ("10.1.0.0/16", 2),
+                  ("10.1.2.0/24", 3))
+        assert t.lookup(parse_ip("10.1.2.3")) == 3
+        assert t.lookup(parse_ip("10.1.9.9")) == 2
+        assert t.lookup(parse_ip("10.9.9.9")) == 1
+
+    def test_default_route(self):
+        t = table(("0.0.0.0/0", 9), ("10.0.0.0/8", 1))
+        assert t.lookup(parse_ip("8.8.8.8")) == 9
+        assert t.lookup(parse_ip("10.0.0.1")) == 1
+
+    def test_no_route_returns_none(self):
+        t = table(("10.0.0.0/8", 1))
+        assert t.lookup(parse_ip("11.0.0.0")) is None
+
+    def test_host_bits_cleared_on_add(self):
+        t = RoutingTable()
+        t.add(parse_ip("10.1.2.3"), 8, 5)
+        assert t.routes[0].network == parse_ip("10.0.0.0")
+
+    def test_remove_port(self):
+        t = table(("10.0.0.0/8", 1), ("11.0.0.0/8", 2))
+        t.remove_port(1)
+        assert t.lookup(parse_ip("10.0.0.1")) is None
+        assert t.lookup(parse_ip("11.0.0.1")) == 2
+
+    def test_constructor_accepts_routes(self):
+        t = RoutingTable([Route(parse_ip("10.0.0.0"), 8, 1)])
+        assert len(t) == 1
+
+
+class TestSymbolicSplit:
+    def test_branches_disjoint(self):
+        t = table(("10.0.0.0/8", 1), ("10.1.0.0/16", 2), ("0.0.0.0/0", 3))
+        branches = t.symbolic_split()
+        for i, (_pa, sa) in enumerate(branches):
+            for _pb, sb in branches[i + 1:]:
+                assert not sa.overlaps(sb)
+
+    def test_fully_shadowed_route_omitted(self):
+        t = table(("10.0.0.0/8", 1), ("10.0.0.0/8", 1))
+        # duplicate coverage: second branch empty and omitted
+        assert len(t.symbolic_split()) == 1
+
+    @given(st.integers(min_value=0, max_value=(1 << 32) - 1))
+    def test_split_agrees_with_lookup(self, addr):
+        t = table(
+            ("10.0.0.0/8", 1),
+            ("10.1.0.0/16", 2),
+            ("10.1.2.0/24", 3),
+            ("192.168.0.0/16", 4),
+            ("0.0.0.0/0", 5),
+        )
+        expected = t.lookup(addr)
+        hits = [
+            port for port, allowed in t.symbolic_split()
+            if addr in allowed
+        ]
+        if expected is None:
+            assert hits == []
+        else:
+            assert hits == [expected]

@@ -1,0 +1,126 @@
+"""Tests for the network-to-symbolic-graph compiler."""
+
+import pytest
+
+from repro.click import parse_config
+from repro.common import fields as F
+from repro.common.addr import parse_ip
+from repro.common.errors import VerificationError
+from repro.netmodel import NetworkCompiler
+from repro.netmodel.examples import figure3_network
+from repro.policy import parse_requirement
+from repro.policy.grammar import NodeRef, KIND_NAME
+from repro.symexec.reachability import ReachabilityChecker
+
+BATCHER = """
+    src :: FromNetfront();
+    dst :: ToNetfront();
+    src -> IPFilter(allow udp port 1500)
+        -> IPRewriter(pattern - - 172.16.15.133 - 0 0)
+        -> dst;
+"""
+
+
+def deploy_batcher(net, platform="platform3", name="batcher"):
+    p = net.node(platform)
+    address = p.allocate_address()
+    p.deploy(name, address, parse_config(BATCHER))
+    net.compute_routes()
+    return address
+
+
+class TestCompilation:
+    def test_compiles_plain_topology(self, figure3):
+        compiled = NetworkCompiler(figure3).compile()
+        assert "r1" in compiled.graph.models
+        assert compiled.graph.sinks["clients"]
+        assert not compiled.graph.sinks["r1"]
+
+    def test_module_nodes_namespaced(self, figure3):
+        deploy_batcher(figure3)
+        compiled = NetworkCompiler(figure3).compile()
+        assert "batcher/src" in compiled.graph.models
+        assert "batcher/dst" in compiled.graph.models
+        assert not compiled.graph.sinks["batcher/dst"]
+
+    def test_module_without_source_rejected(self, figure3):
+        p = figure3.node("platform3")
+        p.deploy("bad", p.allocate_address(),
+                 parse_config("x :: Counter();"))
+        with pytest.raises(VerificationError):
+            NetworkCompiler(figure3).compile()
+
+
+class TestEndToEndExploration:
+    def test_internet_reaches_client_through_module(self, figure3):
+        deploy_batcher(figure3)
+        compiled = NetworkCompiler(figure3).compile()
+        req = parse_requirement(
+            "reach from internet udp -> batcher:dst:0 -> client"
+        )
+        ex = compiled.explore_from(req.origin.node, req.origin.flow)
+        checker = ReachabilityChecker(compiled.resolver)
+        assert checker.check(req, ex).satisfied
+
+    def test_private_platforms_unreachable(self, figure3):
+        deploy_batcher(figure3, platform="platform1", name="hidden")
+        compiled = NetworkCompiler(figure3).compile()
+        req = parse_requirement(
+            "reach from internet udp -> hidden:dst:0"
+        )
+        ex = compiled.explore_from(req.origin.node, req.origin.flow)
+        checker = ReachabilityChecker(compiled.resolver)
+        assert not checker.check(req, ex).satisfied
+
+    def test_clients_can_reach_internet(self, figure3):
+        compiled = NetworkCompiler(figure3).compile()
+        req = parse_requirement("reach from client -> internet")
+        ex = compiled.explore_from(req.origin.node, req.origin.flow)
+        checker = ReachabilityChecker(compiled.resolver)
+        assert checker.check(req, ex).satisfied
+
+    def test_platform_demux_constrains_destination(self, figure3):
+        address = deploy_batcher(figure3)
+        compiled = NetworkCompiler(figure3).compile()
+        engine = compiled.engine()
+        ref = NodeRef(kind="internet")
+        ex = compiled.explore_from(
+            parse_requirement("reach from internet -> client").origin.node,
+            None,
+            engine=engine,
+        )
+        for flow in ex.flows_at("batcher/src"):
+            entry = [t for t in flow.trace
+                     if t.node == "batcher/src"][0]
+            from repro.symexec.reachability import domain_at
+
+            domain = domain_at(flow, entry.snapshot, F.IP_DST)
+            assert domain.is_subset(
+                __import__("repro.common.intervals",
+                           fromlist=["IntervalSet"]
+                           ).IntervalSet.single(address)
+            )
+
+
+class TestInjectionPoints:
+    def test_internet_excludes_internal_sources(self, figure3):
+        compiled = NetworkCompiler(figure3).compile()
+        points = compiled.injection_points(NodeRef(kind="internet"))
+        (node, source_set), = points
+        assert node == "internet"
+        assert parse_ip("172.16.15.133") not in source_set
+        assert parse_ip("8.8.8.8") in source_set
+
+    def test_client_constrained_to_subnet(self, figure3):
+        compiled = NetworkCompiler(figure3).compile()
+        (node, source_set), = compiled.injection_points(
+            NodeRef(kind="client")
+        )
+        assert node == "clients"
+        assert parse_ip("172.16.0.1") in source_set
+        assert parse_ip("8.8.8.8") not in source_set
+
+    def test_unknown_name_resolver_raises(self, figure3):
+        compiled = NetworkCompiler(figure3).compile()
+        with pytest.raises(VerificationError):
+            compiled.resolver(NodeRef(kind=KIND_NAME, name="ghost"))

@@ -1,0 +1,119 @@
+"""Tests for the topology graph and route computation."""
+
+import pytest
+
+from repro.common.addr import parse_ip
+from repro.common.errors import ConfigError
+from repro.netmodel import Network
+from repro.netmodel.examples import figure3_network, linear_network
+
+
+class TestConstruction:
+    def test_duplicate_node_rejected(self):
+        net = Network()
+        net.add_router("r")
+        with pytest.raises(ConfigError):
+            net.add_router("r")
+
+    def test_host_must_be_slash_32(self):
+        net = Network()
+        with pytest.raises(ConfigError):
+            net.add_host("h", "10.0.0.0/8")
+
+    def test_link_auto_ports(self):
+        net = Network()
+        net.add_router("a")
+        net.add_router("b")
+        net.add_router("c")
+        net.link("a", "b")
+        link = net.link("a", "c")
+        assert link.a_port == 1  # port 0 already taken
+
+    def test_link_explicit_port_conflict(self):
+        net = Network()
+        net.add_router("a")
+        net.add_router("b")
+        net.add_router("c")
+        net.link("a", "b", a_port=0)
+        with pytest.raises(ConfigError):
+            net.link("a", "c", a_port=0)
+
+    def test_unknown_node_in_link(self):
+        net = Network()
+        net.add_router("a")
+        with pytest.raises(ConfigError):
+            net.link("a", "ghost")
+
+    def test_owned_addresses(self):
+        net = Network()
+        host = net.add_host("h", "1.2.3.4")
+        subnet = net.add_client_subnet("c", "10.0.0.0/8")
+        platform = net.add_platform("p", "192.0.2.0/24")
+        assert parse_ip("1.2.3.4") in host.owned_addresses()
+        assert parse_ip("10.255.0.1") in subnet.owned_addresses()
+        assert parse_ip("192.0.2.200") in platform.owned_addresses()
+
+
+class TestPlatformAddresses:
+    def test_allocation_skips_network_address(self):
+        net = Network()
+        p = net.add_platform("p", "192.0.2.0/24")
+        first = p.allocate_address()
+        assert first == parse_ip("192.0.2.1")
+        assert p.allocate_address() == parse_ip("192.0.2.2")
+
+    def test_deploy_and_undeploy(self):
+        net = Network()
+        p = net.add_platform("p", "192.0.2.0/24")
+        addr = p.allocate_address()
+        p.deploy("m", addr, object())
+        assert p.module_address("m") == addr
+        with pytest.raises(ConfigError):
+            p.deploy("m", addr, object())
+        p.undeploy("m")
+        assert "m" not in p.modules
+
+
+class TestRouteComputation:
+    def test_linear_chain_routes(self):
+        net = linear_network(2, with_platform=False)
+        # r0 must know how to reach the clients through the chain.
+        r0 = net.node("r0")
+        out = r0.table.lookup(parse_ip("172.16.15.133"))
+        assert out is not None
+        # And the internet via its direct link.
+        assert r0.table.lookup(parse_ip("8.8.8.8")) is not None
+
+    def test_figure3_routes(self):
+        net = figure3_network()
+        r1 = net.node("r1")
+        # Client traffic leaves r1 toward the firewall.
+        client_port = r1.table.lookup(parse_ip("172.16.15.133"))
+        peer, _ = r1.ports[client_port]
+        assert peer == "fw"
+        # platform3 is directly attached.
+        p3_port = r1.table.lookup(parse_ip("192.0.2.7"))
+        assert r1.ports[p3_port][0] == "platform3"
+
+    def test_recompute_after_change(self):
+        net = figure3_network()
+        r2 = net.node("r2")
+        before = len(r2.table)
+        net.add_host("newhost", "203.0.113.9")
+        net.link("r2", "newhost")
+        net.compute_routes()
+        assert len(r2.table) == before + 1
+
+    def test_disconnected_destination_has_no_route(self):
+        net = Network()
+        net.add_router("r")
+        net.add_host("island", "9.9.9.9")
+        net.compute_routes()
+        assert net.node("r").table.lookup(parse_ip("9.9.9.9")) is None
+
+
+class TestNeighbors:
+    def test_neighbors_sorted_by_port(self):
+        net = figure3_network()
+        ports = [p for p, _peer, _pp in net.neighbors("r1")]
+        assert ports == sorted(ports)

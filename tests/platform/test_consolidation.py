@@ -1,0 +1,134 @@
+"""Tests for tenant consolidation (Section 5)."""
+
+import pytest
+
+from repro.click import Packet, Runtime, UDP, parse_config
+from repro.common.addr import parse_ip
+from repro.common.errors import ConfigError
+from repro.platform import (
+    ConsolidationManager,
+    consolidate_configs,
+    is_consolidation_safe,
+)
+
+STATELESS = """
+    src :: FromNetfront();
+    out :: ToNetfront();
+    src -> IPFilter(allow udp)
+        -> IPRewriter(pattern - - %s - 0 0) -> out;
+"""
+
+STATEFUL = """
+    src :: FromNetfront();
+    out :: ToNetfront();
+    src -> FlowMeter() -> out;
+"""
+
+
+def stateless(addr):
+    return parse_config(STATELESS % addr)
+
+
+class TestSafety:
+    def test_stateless_config_safe(self):
+        assert is_consolidation_safe(stateless("10.0.0.1"))
+
+    def test_flow_meter_unsafe(self):
+        assert not is_consolidation_safe(parse_config(STATEFUL))
+
+    def test_stateful_firewall_unsafe(self):
+        cfg = parse_config("fw :: StatefulFirewall();")
+        assert not is_consolidation_safe(cfg)
+
+    def test_masquerading_rewriter_unsafe(self):
+        cfg = parse_config(
+            "r :: IPRewriter(pattern 9.9.9.9 1024-65535 - - 0 1);"
+        )
+        assert not is_consolidation_safe(cfg)
+
+
+class TestMergedConfig:
+    def test_merge_and_demux_traffic(self):
+        addr_a = parse_ip("172.16.0.1")
+        addr_b = parse_ip("172.16.0.2")
+        merged = consolidate_configs([
+            ("alice", parse_ip("192.0.2.1"), stateless("172.16.0.1")),
+            ("bob", parse_ip("192.0.2.2"), stateless("172.16.0.2")),
+        ])
+        merged.validate()
+        rt = Runtime(merged)
+        for_alice = Packet(ip_dst=parse_ip("192.0.2.1"), ip_proto=UDP)
+        for_bob = Packet(ip_dst=parse_ip("192.0.2.2"), ip_proto=UDP)
+        rt.inject("shared_in", for_alice)
+        rt.inject("shared_in", for_bob)
+        out = [r.packet["ip_dst"] for r in rt.output]
+        assert out == [addr_a, addr_b]
+
+    def test_unmatched_traffic_dropped(self):
+        merged = consolidate_configs([
+            ("alice", parse_ip("192.0.2.1"), stateless("172.16.0.1")),
+        ])
+        rt = Runtime(merged)
+        rt.inject("shared_in", Packet(ip_dst=parse_ip("9.9.9.9")))
+        assert not rt.output
+
+    def test_stateful_client_refused(self):
+        with pytest.raises(ConfigError):
+            consolidate_configs([
+                ("meter", parse_ip("192.0.2.1"), parse_config(STATEFUL)),
+            ])
+
+    def test_empty_refused(self):
+        with pytest.raises(ConfigError):
+            consolidate_configs([])
+
+    def test_namespaces_isolate_elements(self):
+        merged = consolidate_configs([
+            ("a", parse_ip("192.0.2.1"), stateless("172.16.0.1")),
+            ("b", parse_ip("192.0.2.2"), stateless("172.16.0.2")),
+        ])
+        names = set(merged.elements)
+        assert any(n.startswith("a/") for n in names)
+        assert any(n.startswith("b/") for n in names)
+        # No element is shared between the two clients' subgraphs.
+        assert not {n for n in names if n.startswith("a/")} & {
+            n for n in names if n.startswith("b/")
+        }
+
+
+class TestManager:
+    def test_groups_fill_up_to_limit(self):
+        mgr = ConsolidationManager(clients_per_vm=2)
+        _, new1 = mgr.place("a", 1, stateless("172.16.0.1"))
+        _, new2 = mgr.place("b", 2, stateless("172.16.0.2"))
+        _, new3 = mgr.place("c", 3, stateless("172.16.0.3"))
+        assert (new1, new2, new3) == (True, False, True)
+        assert mgr.vm_count == 2
+
+    def test_stateful_gets_private_vm(self):
+        mgr = ConsolidationManager(clients_per_vm=10)
+        mgr.place("a", 1, stateless("172.16.0.1"))
+        idx, new = mgr.place("meter", 2, parse_config(STATEFUL))
+        assert new
+        assert mgr.group_of("meter") == idx
+        # Later stateless clients do not join the stateful group.
+        idx2, _ = mgr.place("b", 3, stateless("172.16.0.2"))
+        assert idx2 != idx
+
+    def test_duplicate_placement_rejected(self):
+        mgr = ConsolidationManager()
+        mgr.place("a", 1, stateless("172.16.0.1"))
+        with pytest.raises(ConfigError):
+            mgr.place("a", 1, stateless("172.16.0.1"))
+
+    def test_merged_config_for_group(self):
+        mgr = ConsolidationManager(clients_per_vm=10)
+        mgr.place("a", parse_ip("192.0.2.1"), stateless("172.16.0.1"))
+        mgr.place("b", parse_ip("192.0.2.2"), stateless("172.16.0.2"))
+        merged = mgr.merged_config(0)
+        merged.validate()
+        assert "demux" in merged.elements
+
+    def test_invalid_limit(self):
+        with pytest.raises(ConfigError):
+            ConsolidationManager(clients_per_vm=0)

@@ -1,0 +1,99 @@
+"""Replaying the MAWI-like workload against the platform simulator.
+
+Section 6's capacity argument, exercised end to end: one cheap box
+hosts a personalized firewall per active backbone client, VMs booting
+on demand as each client's first flow arrives.
+"""
+
+import pytest
+
+from repro.platform import CHEAP_SERVER_SPEC, PlatformSim
+from repro.platform.consolidation import ConsolidationManager
+from repro.click import parse_config
+from repro.sim.traces import TraceConfig, generate_trace
+
+
+@pytest.fixture(scope="module")
+def small_trace():
+    # A scaled-down window so the replay stays fast.
+    config = TraceConfig(window_s=60.0, arrival_rate=50.0)
+    return generate_trace(config, seed=42)
+
+
+class TestOnDemandReplay:
+    def test_every_active_client_served(self, small_trace):
+        sim = PlatformSim()
+        clients = {flow.client for flow in small_trace}
+        for client in clients:
+            sim.register_client("fw-%d" % client)
+        served = []
+        for flow in small_trace[:500]:
+            result = sim.ping(
+                "fw-%d" % flow.client, start=flow.start, count=1,
+            )
+            served.append(result)
+        sim.loop.run()
+        assert all(len(r.rtts) == 1 for r in served)
+        # VMs booted at most once per client touched.
+        touched = {flow.client for flow in small_trace[:500]}
+        assert sim.switch.vms_booted_on_demand == len(touched)
+
+    def test_first_flow_pays_boot_later_flows_do_not(self, small_trace):
+        sim = PlatformSim()
+        by_client = {}
+        for flow in small_trace[:300]:
+            by_client.setdefault(flow.client, []).append(flow)
+        repeat_clients = {
+            c: flows for c, flows in by_client.items()
+            if len(flows) >= 2
+        }
+        assert repeat_clients, "trace must contain repeat clients"
+        client, flows = next(iter(repeat_clients.items()))
+        sim.register_client("fw-%d" % client)
+        first = sim.ping("fw-%d" % client, start=flows[0].start,
+                         count=1)
+        second = sim.ping("fw-%d" % client,
+                          start=flows[0].start + 5.0, count=1)
+        sim.loop.run()
+        assert first.rtts[0] > 0.02     # paid the boot
+        assert second.rtts[0] < 0.005   # VM already up
+
+    def test_memory_stays_within_budget(self, small_trace):
+        sim = PlatformSim()
+        clients = {flow.client for flow in small_trace}
+        for client in clients:
+            sim.register_client("fw-%d" % client)
+            sim.force_boot("fw-%d" % client)
+        in_use = sim.memory_in_use_mb()
+        budget = CHEAP_SERVER_SPEC.usable_memory_mb()
+        assert in_use < budget
+        assert in_use == pytest.approx(
+            len(clients) * CHEAP_SERVER_SPEC.clickos_memory_mb
+        )
+
+
+class TestConsolidatedReplay:
+    FIREWALL = """
+        src :: FromNetfront();
+        out :: ToNetfront();
+        src -> IPFilter(allow tcp, allow udp)
+            -> IPRewriter(pattern - - 172.16.%d.%d - 0 0) -> out;
+    """
+
+    def test_consolidation_shrinks_vm_count(self, small_trace):
+        clients = sorted({flow.client for flow in small_trace})[:150]
+        manager = ConsolidationManager(clients_per_vm=100)
+        for index, client in enumerate(clients):
+            config = parse_config(
+                self.FIREWALL % (client // 256, client % 256)
+            )
+            manager.place(
+                "fw-%d" % client,
+                0xC0000200 + index,  # 192.0.2.0 + index
+                config,
+            )
+        assert manager.vm_count == 2  # 150 clients in two shared VMs
+        merged = manager.merged_config(0)
+        merged.validate()
+        # 100 tenants in VM 0: demux + per-tenant subgraphs.
+        assert len(merged.elements_of_class("IPFilter")) == 100

@@ -1,0 +1,128 @@
+"""Tests for the control-plane -> platform provisioning bridge."""
+
+import pytest
+
+from repro.common.errors import SimulationError
+from repro.core import ClientRequest, Controller, ROLE_CLIENT
+from repro.netmodel.examples import CLIENT_ADDR, figure3_network
+from repro.platform.orchestrator import PlatformOrchestrator
+
+
+def stateless_request(index):
+    return ClientRequest(
+        client_id="tenant-%d" % index,
+        role=ROLE_CLIENT,
+        config_source="""
+            FromNetfront() -> IPFilter(allow udp)
+            -> IPRewriter(pattern - - 172.16.15.133 - 0 0)
+            -> ToNetfront();
+        """,
+        owned_addresses=(CLIENT_ADDR,),
+        module_name="mod-%d" % index,
+    )
+
+
+def stateful_request(index):
+    return ClientRequest(
+        client_id="meter-%d" % index,
+        role=ROLE_CLIENT,
+        config_source="""
+            FromNetfront() -> FlowMeter()
+            -> IPRewriter(pattern - - 172.16.15.133 - 0 0)
+            -> ToNetfront();
+        """,
+        owned_addresses=(CLIENT_ADDR,),
+        module_name="meter-%d" % index,
+    )
+
+
+@pytest.fixture
+def deployed_controller():
+    controller = Controller(figure3_network())
+    for index in range(12):
+        assert controller.request(stateless_request(index))
+    for index in range(2):
+        assert controller.request(stateful_request(index))
+    return controller
+
+
+class TestProvisioning:
+    def test_full_pipeline(self, deployed_controller):
+        orchestrator = PlatformOrchestrator(
+            deployed_controller.network, clients_per_vm=10,
+        )
+        reports = orchestrator.provision_all()
+        by_platform = {r.platform: r for r in reports}
+        total_modules = sum(r.modules for r in reports)
+        assert total_modules == 14
+        # Stateless tenants consolidate; stateful ones get own VMs.
+        busy = [r for r in reports if r.modules]
+        assert busy
+        for report in busy:
+            assert report.vms <= report.modules
+
+    def test_stateful_modules_not_shared(self, deployed_controller):
+        orchestrator = PlatformOrchestrator(
+            deployed_controller.network, clients_per_vm=10,
+        )
+        orchestrator.provision_all()
+        for index in range(2):
+            vm = orchestrator.vm_of("meter-%d" % index)
+            assert vm.clients == ["meter-%d" % index]
+            assert vm.stateful
+
+    def test_stateless_modules_share(self, deployed_controller):
+        orchestrator = PlatformOrchestrator(
+            deployed_controller.network, clients_per_vm=100,
+        )
+        orchestrator.provision_all()
+        # All 12 stateless tenants on the same platform share one VM.
+        vms = {
+            orchestrator.vm_of("mod-%d" % i).vm_id
+            for i in range(12)
+            if orchestrator.placements["mod-%d" % i][0]
+            == orchestrator.placements["mod-0"][0]
+        }
+        assert len(vms) == 1
+
+    def test_memory_accounting(self, deployed_controller):
+        orchestrator = PlatformOrchestrator(
+            deployed_controller.network, clients_per_vm=100,
+        )
+        reports = orchestrator.provision_all()
+        for report in reports:
+            assert report.memory_mb == report.vms * 8.0
+
+    def test_capacity_estimate(self, deployed_controller):
+        orchestrator = PlatformOrchestrator(
+            deployed_controller.network, clients_per_vm=100,
+        )
+        orchestrator.provision_all()
+        platform = orchestrator.placements["mod-0"][0]
+        capacity = orchestrator.capacity_estimate_bps(platform)
+        assert capacity > 9e9  # a handful of tenants: line rate
+
+    def test_unprovisioned_queries_raise(self):
+        orchestrator = PlatformOrchestrator(figure3_network())
+        with pytest.raises(SimulationError):
+            orchestrator.sim_for("platform3")
+        with pytest.raises(SimulationError):
+            orchestrator.vm_of("ghost")
+        with pytest.raises(SimulationError):
+            orchestrator.capacity_estimate_bps("platform3")
+
+    def test_traffic_boots_shared_vm_once(self, deployed_controller):
+        orchestrator = PlatformOrchestrator(
+            deployed_controller.network, clients_per_vm=100,
+        )
+        orchestrator.provision_all()
+        platform = orchestrator.placements["mod-0"][0]
+        sim = orchestrator.sim_for(platform)
+        colocated = [
+            "mod-%d" % i for i in range(12)
+            if orchestrator.placements["mod-%d" % i][0] == platform
+        ]
+        for module in colocated[:3]:
+            sim.ping(module, start=0.0, count=1)
+        sim.loop.run()
+        assert sim.switch.vms_booted_on_demand == 1

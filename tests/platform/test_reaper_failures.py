@@ -1,0 +1,138 @@
+"""Tests for the idle-VM reaper and boot-failure injection."""
+
+import pytest
+
+from repro.platform import CHEAP_SERVER_SPEC, PlatformSim
+from repro.platform.reaper import IdleReaper
+from repro.platform.switch import SwitchController
+from repro.sim.events import EventLoop
+
+
+def platform_with_client(client="c", stateful=False):
+    sim = PlatformSim()
+    sim.register_client(client, stateful=stateful)
+    return sim
+
+
+class TestIdleReaper:
+    def test_stateless_idle_vm_terminated(self):
+        sim = platform_with_client()
+        sim.ping("c", start=0.0, count=1)
+        sim.loop.run()
+        reaper = IdleReaper(sim.switch, sim.loop, idle_timeout_s=30.0)
+        sim.loop.run_until(100.0)
+        reaped = reaper.sweep()
+        assert len(reaped) == 1
+        vm = sim.switch.client_vms["c"]
+        assert vm.state == "stopped"
+
+    def test_stateful_idle_vm_suspended(self):
+        sim = platform_with_client(stateful=True)
+        sim.ping("c", start=0.0, count=1)
+        sim.loop.run()
+        reaper = IdleReaper(sim.switch, sim.loop, idle_timeout_s=30.0)
+        sim.loop.run_until(100.0)
+        reaper.sweep()
+        sim.loop.run()
+        vm = sim.switch.client_vms["c"]
+        assert vm.state == "suspended"
+        assert reaper.stats.suspended == 1
+
+    def test_active_vm_left_alone(self):
+        sim = platform_with_client()
+        sim.ping("c", start=0.0, count=1)
+        sim.loop.run()
+        reaper = IdleReaper(sim.switch, sim.loop, idle_timeout_s=30.0)
+        sim.loop.run_until(10.0)  # idle only 10 s
+        assert reaper.sweep() == []
+
+    def test_traffic_revives_reaped_vm(self):
+        sim = platform_with_client()
+        sim.ping("c", start=0.0, count=1)
+        sim.loop.run()
+        reaper = IdleReaper(sim.switch, sim.loop, idle_timeout_s=30.0)
+        sim.loop.run_until(100.0)
+        reaper.sweep()
+        result = sim.ping("c", start=sim.loop.now + 1.0, count=1)
+        sim.loop.run()
+        assert len(result.rtts) == 1
+        assert result.rtts[0] > 0.02  # paid a fresh boot
+
+    def test_suspended_vm_resumes_with_state(self):
+        sim = platform_with_client(stateful=True)
+        sim.ping("c", start=0.0, count=1)
+        sim.loop.run()
+        reaper = IdleReaper(sim.switch, sim.loop, idle_timeout_s=30.0)
+        sim.loop.run_until(100.0)
+        reaper.sweep()
+        sim.loop.run()
+        vm = sim.switch.client_vms["c"]
+        result = sim.ping("c", start=sim.loop.now + 1.0, count=1)
+        sim.loop.run()
+        assert len(result.rtts) == 1
+        assert vm.resume_count == 1
+        assert vm.boot_count == 1  # never re-booted: state survived
+
+    def test_periodic_sweeps(self):
+        sim = platform_with_client()
+        sim.ping("c", start=0.0, count=1)
+        reaper = IdleReaper(
+            sim.switch, sim.loop,
+            idle_timeout_s=30.0, sweep_interval_s=10.0,
+        )
+        reaper.start()
+        sim.loop.run_until(100.0)
+        assert reaper.stats.sweeps >= 5
+        assert reaper.stats.terminated == 1
+        reaper.stop()
+        fired = reaper.stats.sweeps
+        sim.loop.run_until(200.0)
+        assert reaper.stats.sweeps == fired
+
+
+class TestBootFailureInjection:
+    def test_boot_retries_transparently(self):
+        loop = EventLoop()
+        switch = SwitchController(CHEAP_SERVER_SPEC, loop)
+        switch.register_client("c")
+        switch.inject_boot_failure("c", times=1)
+        delivered = []
+        switch.packet_for("c", lambda: delivered.append(loop.now))
+        loop.run()
+        assert delivered  # the retry succeeded
+        assert switch.boot_failures_seen == 1
+        assert switch.boot_retries == 1
+        # The retry costs roughly one extra boot latency.
+        assert delivered[0] > 0.06
+
+    def test_gives_up_after_max_attempts(self):
+        loop = EventLoop()
+        switch = SwitchController(CHEAP_SERVER_SPEC, loop)
+        switch.register_client("c")
+        switch.inject_boot_failure("c", times=10)
+        delivered = []
+        switch.packet_for("c", lambda: delivered.append(True))
+        loop.run()
+        assert delivered == []
+        assert switch.boot_failures_seen == switch.max_boot_attempts
+        vm = switch.client_vms["c"]
+        assert vm.state == "stopped"
+
+    def test_next_flow_can_succeed_after_give_up(self):
+        loop = EventLoop()
+        switch = SwitchController(CHEAP_SERVER_SPEC, loop)
+        switch.register_client("c")
+        switch.inject_boot_failure("c", times=switch.max_boot_attempts)
+        switch.packet_for("c", lambda: None)
+        loop.run()
+        delivered = []
+        switch.packet_for("c", lambda: delivered.append(True))
+        loop.run()
+        assert delivered
+
+    def test_unknown_client_rejected(self):
+        from repro.common.errors import SimulationError
+
+        switch = SwitchController(CHEAP_SERVER_SPEC, EventLoop())
+        with pytest.raises(SimulationError):
+            switch.inject_boot_failure("ghost")

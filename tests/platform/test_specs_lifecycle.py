@@ -1,0 +1,108 @@
+"""Tests for platform specs and the lifecycle latency models."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.platform import (
+    BIG_SERVER_SPEC,
+    CHEAP_SERVER_SPEC,
+    VM_CLICKOS,
+    VM_LINUX,
+    boot_time,
+    resume_time,
+    suspend_time,
+)
+from repro.platform.lifecycle import packet_rtt
+
+
+class TestMemoryDensity:
+    """Section 6: 10,000 ClickOS vs ~200 Linux VMs on the 128 GB box."""
+
+    def test_clickos_density_on_big_box(self):
+        assert BIG_SERVER_SPEC.max_vms(VM_CLICKOS) == 10_000
+
+    def test_linux_density_on_big_box(self):
+        assert BIG_SERVER_SPEC.max_vms(VM_LINUX) == 200
+
+    def test_two_orders_of_magnitude_gap(self):
+        ratio = (
+            BIG_SERVER_SPEC.linux_memory_mb
+            / BIG_SERVER_SPEC.clickos_memory_mb
+        )
+        assert ratio == 64  # "almost two orders of magnitude"
+
+    def test_cheap_box_memory_bound(self):
+        # 16 GB box: memory caps Linux VMs well below the hypervisor cap.
+        assert CHEAP_SERVER_SPEC.max_vms(VM_LINUX) < 40
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ValueError):
+            CHEAP_SERVER_SPEC.vm_memory_mb("solaris")
+
+    def test_scaled_override(self):
+        fat = CHEAP_SERVER_SPEC.scaled(memory_mb=32 * 1024)
+        assert fat.max_vms(VM_LINUX) > CHEAP_SERVER_SPEC.max_vms(VM_LINUX)
+        assert fat.name == CHEAP_SERVER_SPEC.name
+
+
+class TestBootTimes:
+    """Section 5 / Figure 5 constants."""
+
+    def test_clickos_boots_in_about_30ms(self):
+        assert 0.025 <= boot_time(CHEAP_SERVER_SPEC, VM_CLICKOS, 0) <= 0.035
+
+    def test_hundredth_vm_near_100ms(self):
+        t = boot_time(CHEAP_SERVER_SPEC, VM_CLICKOS, 100)
+        assert 0.08 <= t <= 0.12
+
+    def test_linux_boot_an_order_of_magnitude_slower(self):
+        clickos = boot_time(CHEAP_SERVER_SPEC, VM_CLICKOS, 0)
+        linux = boot_time(CHEAP_SERVER_SPEC, VM_LINUX, 0)
+        assert linux / clickos > 10
+
+    def test_negative_residents_rejected(self):
+        with pytest.raises(ValueError):
+            boot_time(CHEAP_SERVER_SPEC, VM_CLICKOS, -1)
+
+    @given(st.integers(min_value=0, max_value=500))
+    def test_monotone_in_residents(self, n):
+        assert boot_time(CHEAP_SERVER_SPEC, VM_CLICKOS, n + 1) >= (
+            boot_time(CHEAP_SERVER_SPEC, VM_CLICKOS, n)
+        )
+
+
+class TestSuspendResume:
+    """Figure 7: 30-100 ms, growing with resident VMs."""
+
+    @pytest.mark.parametrize("n", [0, 50, 100, 150, 200])
+    def test_within_figure7_envelope(self, n):
+        s = suspend_time(CHEAP_SERVER_SPEC, n)
+        r = resume_time(CHEAP_SERVER_SPEC, n)
+        assert 0.030 <= s <= 0.100
+        assert 0.030 <= r <= 0.100
+
+    def test_cycle_about_100ms_when_idle(self):
+        total = suspend_time(CHEAP_SERVER_SPEC, 0) + resume_time(
+            CHEAP_SERVER_SPEC, 0
+        )
+        assert 0.080 <= total <= 0.110
+
+    @given(st.integers(min_value=0, max_value=200))
+    def test_monotone(self, n):
+        assert suspend_time(CHEAP_SERVER_SPEC, n + 1) >= suspend_time(
+            CHEAP_SERVER_SPEC, n
+        )
+        assert resume_time(CHEAP_SERVER_SPEC, n + 1) >= resume_time(
+            CHEAP_SERVER_SPEC, n
+        )
+
+
+class TestPacketRtt:
+    def test_sub_millisecond_when_quiet(self):
+        assert packet_rtt(CHEAP_SERVER_SPEC, 1) < 0.001
+
+    def test_grows_with_residents(self):
+        assert packet_rtt(CHEAP_SERVER_SPEC, 100) > packet_rtt(
+            CHEAP_SERVER_SPEC, 1
+        )

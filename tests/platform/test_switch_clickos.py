@@ -1,0 +1,198 @@
+"""Tests for the switch controller and the PlatformSim facade."""
+
+import pytest
+
+from repro.common.errors import SimulationError
+from repro.platform import (
+    CHEAP_SERVER_SPEC,
+    PlatformSim,
+    VM,
+    VM_LINUX,
+)
+from repro.platform.switch import SwitchController
+from repro.sim.events import EventLoop
+
+
+class TestSwitchController:
+    def test_first_packet_boots_vm(self):
+        loop = EventLoop()
+        switch = SwitchController(CHEAP_SERVER_SPEC, loop)
+        switch.register_client("c1")
+        delivered = []
+        switch.packet_for("c1", lambda: delivered.append(loop.now))
+        assert not delivered  # boot in progress
+        loop.run()
+        assert delivered and delivered[0] >= 0.030
+        assert switch.vms_booted_on_demand == 1
+
+    def test_running_vm_delivers_immediately(self):
+        loop = EventLoop()
+        switch = SwitchController(CHEAP_SERVER_SPEC, loop)
+        switch.register_client("c1")
+        switch.packet_for("c1", lambda: None)
+        loop.run()
+        delivered = []
+        switch.packet_for("c1", lambda: delivered.append(loop.now))
+        assert delivered  # synchronous
+
+    def test_packets_buffered_during_boot(self):
+        loop = EventLoop()
+        switch = SwitchController(CHEAP_SERVER_SPEC, loop)
+        switch.register_client("c1")
+        order = []
+        switch.packet_for("c1", lambda: order.append("a"))
+        switch.packet_for("c1", lambda: order.append("b"))
+        loop.run()
+        assert order == ["a", "b"]
+        assert switch.vms_booted_on_demand == 1  # one boot, not two
+
+    def test_suspended_vm_resumes_on_packet(self):
+        loop = EventLoop()
+        switch = SwitchController(CHEAP_SERVER_SPEC, loop)
+        vm = switch.register_client("c1")
+        switch.packet_for("c1", lambda: None)
+        loop.run()
+        switch.suspend_idle(vm)
+        loop.run()
+        assert vm.state == "suspended"
+        delivered = []
+        switch.packet_for("c1", lambda: delivered.append(loop.now))
+        loop.run()
+        assert delivered
+        assert vm.resume_count == 1
+
+    def test_shared_vm_across_clients(self):
+        loop = EventLoop()
+        switch = SwitchController(CHEAP_SERVER_SPEC, loop)
+        vm = switch.register_client("c1")
+        switch.register_client("c2", vm=vm)
+        switch.packet_for("c1", lambda: None)
+        loop.run()
+        assert switch.resident_vms() == 1
+        delivered = []
+        switch.packet_for("c2", lambda: delivered.append(True))
+        assert delivered  # same running VM serves c2
+
+    def test_duplicate_client_rejected(self):
+        switch = SwitchController(CHEAP_SERVER_SPEC, EventLoop())
+        switch.register_client("c1")
+        with pytest.raises(SimulationError):
+            switch.register_client("c1")
+
+    def test_unknown_client_rejected(self):
+        switch = SwitchController(CHEAP_SERVER_SPEC, EventLoop())
+        with pytest.raises(SimulationError):
+            switch.packet_for("ghost", lambda: None)
+
+
+class TestPlatformSimPing:
+    """Figure 5 behaviour."""
+
+    def test_first_ping_pays_boot(self):
+        sim = PlatformSim()
+        sim.register_client("c1")
+        result = sim.ping("c1", start=0.0, count=15)
+        sim.loop.run()
+        assert len(result.rtts) == 15
+        assert result.rtts[0] > 0.025
+        assert all(r < 0.005 for r in result.rtts[1:])
+
+    def test_first_rtt_grows_with_concurrent_flows(self):
+        sim = PlatformSim()
+        results = []
+        for i in range(100):
+            sim.register_client("c%d" % i)
+            results.append(sim.ping("c%d" % i, start=0.0, count=1))
+        sim.loop.run()
+        firsts = [r.rtts[0] for r in results]
+        # Figure 5: ~50 ms average, ~100 ms worst, growing trend.
+        assert 0.040 <= sum(firsts) / len(firsts) <= 0.080
+        assert max(firsts) <= 0.120
+        assert max(firsts) > 2 * min(firsts)
+
+    def test_linux_vm_order_of_magnitude_slower(self):
+        sim = PlatformSim()
+        sim.register_client("linuxer", kind=VM_LINUX)
+        result = sim.ping("linuxer", start=0.0, count=1)
+        sim.loop.run()
+        assert result.rtts[0] >= 0.6  # ~700 ms in the paper
+
+
+class TestPlatformSimHttp:
+    """Figure 6 behaviour."""
+
+    def test_transfer_time_matches_rate_cap(self):
+        sim = PlatformSim()
+        sim.register_client("c1")
+        result = sim.http_request(
+            "c1", start=0.0, size_bytes=50 * 1024 * 1024, rate_bps=25e6
+        )
+        sim.loop.run()
+        # 50 MB at 25 Mb/s = 16.8 s.
+        assert result.transfer_time == pytest.approx(16.78, rel=0.01)
+        assert 0.02 < result.connection_time < 0.3
+
+    def test_hundred_concurrent_transfers(self):
+        sim = PlatformSim()
+        results = []
+        for i in range(100):
+            sim.register_client("c%d" % i)
+            results.append(sim.http_request(
+                "c%d" % i, start=0.0,
+                size_bytes=50 * 1024 * 1024, rate_bps=25e6,
+            ))
+        sim.loop.run()
+        transfers = [r.transfer_time for r in results]
+        conns = [r.connection_time for r in results]
+        # Figure 6: transfers 16.6-17.8 s, connections 50-350 ms.
+        assert all(16.5 <= t <= 18.0 for t in transfers)
+        assert max(conns) <= 0.35
+
+
+class TestPlatformSimLifecycle:
+    """Figure 7 behaviour."""
+
+    def test_suspend_resume_cycle(self):
+        sim = PlatformSim()
+        sim.register_client("c1")
+        sim.force_boot("c1")
+        s, r = sim.suspend_resume_cycle("c1")
+        assert 0.030 <= s <= 0.100
+        assert 0.030 <= r <= 0.100
+        vm = sim.switch.client_vms["c1"]
+        assert vm.is_running
+        assert vm.suspend_count == vm.resume_count == 1
+
+    def test_cycle_slower_with_more_residents(self):
+        quiet = PlatformSim()
+        quiet.register_client("solo")
+        quiet.force_boot("solo")
+        s0, r0 = quiet.suspend_resume_cycle("solo")
+
+        busy = PlatformSim()
+        for i in range(200):
+            busy.register_client("c%d" % i)
+            busy.force_boot("c%d" % i)
+        s1, r1 = busy.suspend_resume_cycle("c0")
+        assert s1 > s0 and r1 > r0
+
+
+class TestAdmission:
+    def test_memory_admission_enforced(self):
+        spec = CHEAP_SERVER_SPEC.scaled(
+            memory_mb=1024 + 16, reserved_memory_mb=1024
+        )  # room for exactly two 8 MB ClickOS VMs
+        sim = PlatformSim(spec=spec)
+        sim.register_client("a")
+        sim.force_boot("a")
+        sim.register_client("b")
+        sim.force_boot("b")
+        with pytest.raises(SimulationError):
+            sim.register_client("c")
+
+    def test_memory_accounting(self):
+        sim = PlatformSim()
+        sim.register_client("a")
+        assert sim.memory_in_use_mb() == 0  # not booted yet
+        sim.force_boot("a")
+        assert sim.memory_in_use_mb() == pytest.approx(8.0)

@@ -1,0 +1,158 @@
+"""Tests for the dataplane cost model (Figures 8, 9, 11, 12)."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.platform import CHEAP_SERVER_SPEC, ThroughputModel, line_rate_pps
+from repro.platform.throughput import (
+    SANDBOX_INLINE,
+    SANDBOX_NONE,
+    SANDBOX_SEPARATE_VM,
+)
+
+
+@pytest.fixture(scope="module")
+def model():
+    return ThroughputModel(CHEAP_SERVER_SPEC)
+
+
+class TestLineRate:
+    def test_64b_line_rate(self):
+        # 10G at 64B + 24B overhead = 14.2 Mpps.
+        assert line_rate_pps(CHEAP_SERVER_SPEC, 64) == pytest.approx(
+            14.2e6, rel=0.01
+        )
+
+    def test_1500b_line_rate(self):
+        assert line_rate_pps(CHEAP_SERVER_SPEC, 1500) == pytest.approx(
+            820e3, rel=0.01
+        )
+
+    def test_positive_size_required(self):
+        with pytest.raises(ValueError):
+            line_rate_pps(CHEAP_SERVER_SPEC, 0)
+
+
+class TestFigure11:
+    """Sandboxing cost by packet size."""
+
+    def test_baseline_64b_is_4_3_mpps(self, model):
+        assert model.capacity_pps(64) == pytest.approx(4.3e6, rel=0.02)
+
+    def test_inline_sandbox_costs_a_third_at_64b(self, model):
+        base = model.capacity_pps(64)
+        boxed = model.capacity_pps(64, sandbox=SANDBOX_INLINE)
+        assert 1 - boxed / base == pytest.approx(1 / 3, abs=0.02)
+
+    def test_separate_vm_drops_to_1_5_mpps(self, model):
+        boxed = model.capacity_pps(64, sandbox=SANDBOX_SEPARATE_VM)
+        assert boxed == pytest.approx(1.5e6, rel=0.05)
+
+    def test_no_drop_at_mtu_sizes(self, model):
+        for size in (1024, 1472):
+            base = model.capacity_pps(size)
+            boxed = model.capacity_pps(size, sandbox=SANDBOX_INLINE)
+            assert boxed == base  # both line-rate bound
+
+    def test_drop_shrinks_with_size(self, model):
+        drops = []
+        for size in (64, 256, 512, 1024):
+            base = model.capacity_pps(size)
+            boxed = model.capacity_pps(size, sandbox=SANDBOX_INLINE)
+            drops.append(1 - boxed / base)
+        assert drops == sorted(drops, reverse=True)
+
+    def test_unknown_sandbox_mode(self, model):
+        with pytest.raises(ValueError):
+            model.capacity_pps(64, sandbox="jail")
+
+
+class TestFigure8:
+    """Consolidation: line rate to ~150 configs, drop after."""
+
+    def test_line_rate_below_knee(self, model):
+        for n in (24, 96, 150):
+            bps = model.capacity_bps(
+                1500, element_cost=2.4, consolidated_configs=n
+            )
+            assert bps == pytest.approx(9.84e9, rel=0.01)
+
+    def test_drop_beyond_knee(self, model):
+        at_252 = model.capacity_bps(
+            1500, element_cost=2.4, consolidated_configs=252
+        )
+        assert 8.0e9 < at_252 < 9.0e9
+
+    @given(st.integers(min_value=1, max_value=500))
+    def test_more_configs_never_faster(self, model, n):
+        a = model.capacity_bps(1500, consolidated_configs=n)
+        b = model.capacity_bps(1500, consolidated_configs=n + 1)
+        assert b <= a
+
+
+class TestFigure9:
+    """1,000 clients at 8 Mb/s delivered regardless of grouping."""
+
+    @pytest.mark.parametrize("per_vm", [50, 100, 200])
+    def test_thousand_clients_meet_demand(self, model, per_vm):
+        clients = 1000
+        vms = clients // per_vm
+        delivered = model.aggregate_throughput_bps(
+            1500,
+            [8e6] * clients,
+            element_cost=2.4,
+            consolidated_configs=per_vm,
+            resident_vms=vms,
+        )
+        assert delivered == pytest.approx(8e9, rel=0.02)
+
+    def test_demand_bound_when_few_clients(self, model):
+        delivered = model.aggregate_throughput_bps(1500, [8e6] * 10)
+        assert delivered == pytest.approx(80e6)
+
+
+class TestFigure12:
+    """Aggregate middlebox throughput stays high up to 100 VMs."""
+
+    @pytest.mark.parametrize("element_cost", [2.2, 2.4, 2.7, 3.2])
+    def test_high_throughput_at_100_vms(self, model, element_cost):
+        bps = model.capacity_bps(
+            1500, element_cost=element_cost, resident_vms=100
+        )
+        assert bps > 8e9
+
+    def test_costlier_middlebox_never_faster(self, model):
+        cheap = model.capacity_bps(1500, element_cost=2.2,
+                                   resident_vms=100)
+        costly = model.capacity_bps(1500, element_cost=3.2,
+                                    resident_vms=100)
+        assert costly <= cheap
+
+
+class TestConfigCost:
+    def test_config_element_cost_sums_classes(self, model):
+        from repro.click import parse_config
+
+        cfg = parse_config(
+            "FromNetfront() -> Counter() -> ToNetfront();"
+        )
+        # 0.6 + 0.3 + 0.6
+        assert model.config_element_cost(cfg) == pytest.approx(1.5)
+
+
+class TestMonotonicity:
+    @given(
+        size=st.integers(min_value=64, max_value=1500),
+        vms=st.integers(min_value=1, max_value=200),
+    )
+    def test_more_vms_never_faster(self, model, size, vms):
+        a = model.capacity_pps(size, resident_vms=vms)
+        b = model.capacity_pps(size, resident_vms=vms + 10)
+        assert b <= a
+
+    @given(size=st.integers(min_value=64, max_value=1471))
+    def test_capacity_never_exceeds_line_rate(self, model, size):
+        assert model.capacity_pps(size) <= line_rate_pps(
+            CHEAP_SERVER_SPEC, size
+        )

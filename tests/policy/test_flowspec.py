@@ -1,0 +1,170 @@
+"""Tests for the tcpdump-style flow-spec language."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.click import Packet, TCP, UDP
+from repro.common import fields as F
+from repro.common.addr import parse_ip
+from repro.common.errors import PolicyError
+from repro.policy.flowspec import (
+    Clause,
+    FlowSpec,
+    parse_const_fields,
+    parse_flowspec,
+)
+
+
+def pkt(**kw):
+    return Packet(**kw)
+
+
+class TestPrimitives:
+    def test_protocol_words(self):
+        assert parse_flowspec("udp").matches(pkt(ip_proto=UDP))
+        assert not parse_flowspec("udp").matches(pkt(ip_proto=TCP))
+        assert parse_flowspec("tcp").matches(pkt(ip_proto=TCP))
+
+    def test_any_matches_everything(self):
+        for text in ("any", "all", "true", "ip", ""):
+            assert parse_flowspec(text).matches(pkt())
+
+    def test_dst_port(self):
+        spec = parse_flowspec("dst port 1500")
+        assert spec.matches(pkt(tp_dst=1500))
+        assert not spec.matches(pkt(tp_dst=1501))
+
+    def test_src_port_range(self):
+        spec = parse_flowspec("src port 1024-2048")
+        assert spec.matches(pkt(tp_src=1500))
+        assert not spec.matches(pkt(tp_src=80))
+
+    def test_bidirectional_port(self):
+        spec = parse_flowspec("port 53")
+        assert spec.matches(pkt(tp_src=53))
+        assert spec.matches(pkt(tp_dst=53))
+        assert not spec.matches(pkt(tp_src=54, tp_dst=55))
+
+    def test_bare_address_is_host_either_direction(self):
+        spec = parse_flowspec("dst 172.16.15.133")
+        assert spec.matches(pkt(ip_dst=parse_ip("172.16.15.133")))
+
+    def test_src_net(self):
+        spec = parse_flowspec("src net 10.0.0.0/8")
+        assert spec.matches(pkt(ip_src=parse_ip("10.200.1.1")))
+        assert not spec.matches(pkt(ip_src=parse_ip("11.0.0.1")))
+
+    def test_host_either_direction(self):
+        spec = parse_flowspec("host 1.2.3.4")
+        a = parse_ip("1.2.3.4")
+        assert spec.matches(pkt(ip_src=a))
+        assert spec.matches(pkt(ip_dst=a))
+
+    def test_proto_number(self):
+        assert parse_flowspec("proto 17").matches(pkt(ip_proto=UDP))
+
+    def test_ttl_and_tos(self):
+        assert parse_flowspec("ttl 5").matches(pkt(ip_ttl=5))
+        assert parse_flowspec("tos 7").matches(pkt(ip_tos=7))
+
+
+class TestCombinators:
+    def test_juxtaposition_is_and(self):
+        spec = parse_flowspec("udp dst port 1500")
+        assert spec.matches(pkt(ip_proto=UDP, tp_dst=1500))
+        assert not spec.matches(pkt(ip_proto=TCP, tp_dst=1500))
+        assert not spec.matches(pkt(ip_proto=UDP, tp_dst=80))
+
+    def test_explicit_and(self):
+        for text in ("udp and dst port 9", "udp && dst port 9"):
+            spec = parse_flowspec(text)
+            assert spec.matches(pkt(ip_proto=UDP, tp_dst=9))
+
+    def test_or(self):
+        for text in ("tcp or udp", "tcp || udp"):
+            spec = parse_flowspec(text)
+            assert spec.matches(pkt(ip_proto=TCP))
+            assert spec.matches(pkt(ip_proto=UDP))
+            assert not spec.matches(pkt(ip_proto=1))
+
+    def test_not(self):
+        spec = parse_flowspec("not udp")
+        assert spec.matches(pkt(ip_proto=TCP))
+        assert not spec.matches(pkt(ip_proto=UDP))
+
+    def test_parentheses(self):
+        spec = parse_flowspec("(tcp or udp) and dst port 80")
+        assert spec.matches(pkt(ip_proto=TCP, tp_dst=80))
+        assert not spec.matches(pkt(ip_proto=TCP, tp_dst=81))
+
+    def test_de_morgan(self):
+        spec = parse_flowspec("not (udp dst port 53)")
+        assert spec.matches(pkt(ip_proto=TCP, tp_dst=53))
+        assert spec.matches(pkt(ip_proto=UDP, tp_dst=54))
+        assert not spec.matches(pkt(ip_proto=UDP, tp_dst=53))
+
+
+class TestErrors:
+    @pytest.mark.parametrize(
+        "bad",
+        [
+            "frobnicate",
+            "port",             # missing number
+            "src",              # dangling direction
+            "port 99999",       # out of range
+            "udp (",            # unbalanced
+            "dst port 5-2",     # inverted range
+        ],
+    )
+    def test_rejects(self, bad):
+        with pytest.raises(PolicyError):
+            parse_flowspec(bad)
+
+
+class TestConstFields:
+    def test_paper_example(self):
+        fields = parse_const_fields("proto && dst port && payload")
+        assert fields == {F.IP_PROTO, F.TP_DST, F.PAYLOAD}
+
+    def test_port_means_both(self):
+        assert parse_const_fields("port") == {F.TP_SRC, F.TP_DST}
+
+    def test_and_separator(self):
+        assert parse_const_fields("ttl and tos") == {F.IP_TTL, F.IP_TOS}
+
+    def test_unknown_field_rejected(self):
+        with pytest.raises(PolicyError):
+            parse_const_fields("checksum")
+
+
+class TestClauseAlgebra:
+    def test_conjoin_conflicting_is_none(self):
+        from repro.common.intervals import IntervalSet
+
+        a = Clause({F.TP_DST: IntervalSet.single(80)})
+        b = Clause({F.TP_DST: IntervalSet.single(443)})
+        assert a.conjoin(b) is None
+
+    def test_spec_partition_property(self):
+        """spec and (not spec) must partition the packet space."""
+        spec = parse_flowspec("udp dst port 1000-2000")
+        negation = parse_flowspec("not (udp dst port 1000-2000)")
+        for proto in (UDP, TCP):
+            for port in (999, 1000, 1500, 2000, 2001):
+                p = pkt(ip_proto=proto, tp_dst=port)
+                assert spec.matches(p) != negation.matches(p)
+
+
+@given(
+    proto=st.sampled_from([TCP, UDP, 1, 47]),
+    sport=st.integers(min_value=0, max_value=65535),
+    dport=st.integers(min_value=0, max_value=65535),
+)
+def test_negation_partitions_randomly(proto, sport, dport):
+    spec = parse_flowspec("udp and (src port 100-200 or dst port 53)")
+    negation = parse_flowspec(
+        "not (udp and (src port 100-200 or dst port 53))"
+    )
+    p = pkt(ip_proto=proto, tp_src=sport, tp_dst=dport)
+    assert spec.matches(p) != negation.matches(p)

@@ -1,0 +1,119 @@
+"""Tests for the reach-requirement grammar."""
+
+import pytest
+
+from repro.common import fields as F
+from repro.common.addr import parse_ip
+from repro.common.errors import PolicyError
+from repro.policy.grammar import (
+    KIND_ADDRESS,
+    KIND_CLIENT,
+    KIND_ELEMENT,
+    KIND_INTERNET,
+    KIND_NAME,
+    parse_requirement,
+    parse_requirements,
+)
+
+
+class TestNodes:
+    def test_keywords(self):
+        req = parse_requirement("reach from internet -> client")
+        assert req.origin.node.kind == KIND_INTERNET
+        assert req.target.node.kind == KIND_CLIENT
+
+    def test_address_node(self):
+        req = parse_requirement("reach from 10.0.0.0/8 -> 1.2.3.4")
+        assert req.origin.node.kind == KIND_ADDRESS
+        assert req.origin.node.prefix == (parse_ip("10.0.0.0"), 8)
+        assert req.target.node.prefix == (parse_ip("1.2.3.4"), 32)
+
+    def test_named_node(self):
+        req = parse_requirement("reach from internet -> HTTPOptimizer")
+        assert req.target.node.kind == KIND_NAME
+        assert req.target.node.name == "HTTPOptimizer"
+
+    def test_element_node_with_port(self):
+        req = parse_requirement("reach from internet -> batcher:dst:1")
+        node = req.target.node
+        assert node.kind == KIND_ELEMENT
+        assert (node.name, node.element, node.port) == ("batcher", "dst", 1)
+
+    def test_element_node_default_port(self):
+        req = parse_requirement("reach from internet -> batcher:dst")
+        assert req.target.node.port == 0
+
+    @pytest.mark.parametrize(
+        "bad", ["a:b:c:d", "a:", "mod:el:x", "9bad..name"]
+    )
+    def test_bad_node_rejected(self, bad):
+        with pytest.raises(PolicyError):
+            parse_requirement("reach from internet -> %s" % bad)
+
+
+class TestFlowsAndConst:
+    def test_figure4_requirement(self):
+        req = parse_requirement(
+            "reach from internet udp"
+            " -> batcher:dst:0 dst 172.16.15.133"
+            " -> client dst port 1500"
+            "    const proto && dst port && payload"
+        )
+        assert len(req.hops) == 3
+        assert req.origin.flow.source == "udp"
+        assert req.waypoints[0].node.element == "dst"
+        assert req.target.const_fields == frozenset(
+            {F.IP_PROTO, F.TP_DST, F.PAYLOAD}
+        )
+
+    def test_operator_policy_example(self):
+        req = parse_requirement(
+            "reach from internet tcp src port 80"
+            " -> HTTPOptimizer -> client"
+        )
+        assert [h.node.kind for h in req.hops] == [
+            KIND_INTERNET, KIND_NAME, KIND_CLIENT,
+        ]
+
+    def test_const_on_origin_rejected(self):
+        with pytest.raises(PolicyError):
+            parse_requirement(
+                "reach from internet const proto -> client"
+            )
+
+    def test_no_flow_means_none(self):
+        req = parse_requirement("reach from internet -> client")
+        assert req.origin.flow is None
+        assert req.target.flow is None
+
+
+class TestStatementStructure:
+    def test_must_start_with_reach_from(self):
+        with pytest.raises(PolicyError):
+            parse_requirement("go from internet -> client")
+        with pytest.raises(PolicyError):
+            parse_requirement("reach to internet -> client")
+
+    def test_needs_a_hop(self):
+        with pytest.raises(PolicyError):
+            parse_requirement("reach from internet")
+
+    def test_multiple_statements(self):
+        reqs = parse_requirements(
+            """
+            # operator policy
+            reach from internet tcp src port 80
+                -> HTTPOptimizer -> client
+            reach from client -> internet
+            """
+        )
+        assert len(reqs) == 2
+        assert reqs[1].origin.node.kind == KIND_CLIENT
+
+    def test_empty_block(self):
+        assert parse_requirements("   \n  # nothing\n") == []
+
+    def test_str_roundtrip_is_stable(self):
+        text = "reach from internet udp -> client dst port 1500"
+        req = parse_requirement(text)
+        assert str(req) == text

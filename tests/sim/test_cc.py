@@ -1,0 +1,87 @@
+"""Tests for the packet-level congestion-control simulator, including
+cross-validation against the analytic Figure 14 models."""
+
+import pytest
+
+from repro.sim.cc import (
+    simulate_aimd,
+    simulate_sctp_over_tcp,
+    simulate_sctp_over_udp,
+)
+from repro.sim.tcp import sctp_over_udp_goodput
+
+LINK = dict(capacity_bps=100e6, rtt_s=0.02)
+
+
+def averaged(fn, loss, seeds=6, **kw):
+    results = [
+        fn(loss=loss, seed=seed, duration_s=120.0, **LINK, **kw)
+        for seed in range(seeds)
+    ]
+    return sum(r.goodput_bps for r in results) / len(results)
+
+
+class TestAimd:
+    def test_lossless_fills_the_pipe(self):
+        result = simulate_aimd(loss=0.0, seed=1, **LINK)
+        assert result.goodput_bps > 0.9 * 100e6
+        assert result.loss_events == 0 and result.timeouts == 0
+
+    def test_goodput_decreases_with_loss(self):
+        rates = [
+            averaged(simulate_aimd, loss)
+            for loss in (0.005, 0.01, 0.03, 0.08)
+        ]
+        assert rates == sorted(rates, reverse=True)
+
+    def test_deterministic_per_seed(self):
+        a = simulate_aimd(loss=0.02, seed=7, **LINK)
+        b = simulate_aimd(loss=0.02, seed=7, **LINK)
+        assert a == b
+
+    def test_loss_events_counted(self):
+        result = simulate_aimd(loss=0.05, seed=3, **LINK)
+        assert result.loss_events > 0
+
+    def test_duration_respected(self):
+        result = simulate_aimd(
+            loss=0.01, seed=1, duration_s=30.0, **LINK
+        )
+        assert 30.0 <= result.duration_s < 35.0
+
+
+class TestTunnelComparison:
+    """Empirical Figure 14: same ordering as the analytic model."""
+
+    @pytest.mark.parametrize("loss", [0.01, 0.02, 0.03, 0.05])
+    def test_tcp_tunnel_clearly_worse(self, loss):
+        udp = averaged(simulate_sctp_over_udp, loss)
+        tcp = averaged(simulate_sctp_over_tcp, loss)
+        assert udp / tcp >= 1.5
+
+    def test_gap_widens_with_loss(self):
+        ratios = []
+        for loss in (0.01, 0.03, 0.05):
+            udp = averaged(simulate_sctp_over_udp, loss)
+            tcp = averaged(simulate_sctp_over_tcp, loss)
+            ratios.append(udp / tcp)
+        assert ratios == sorted(ratios)
+
+    def test_both_fine_without_loss(self):
+        udp = simulate_sctp_over_udp(loss=0.0, seed=1, **LINK)
+        tcp = simulate_sctp_over_tcp(loss=0.0, seed=1, **LINK)
+        assert udp.goodput_bps > 0.9 * 100e6
+        assert tcp.goodput_bps > 0.9 * 100e6
+
+
+class TestCrossValidation:
+    """The analytic Padhye series and the empirical simulation must
+    agree within a small constant factor."""
+
+    @pytest.mark.parametrize("loss", [0.01, 0.02, 0.05])
+    def test_udp_tunnel_matches_analytic(self, loss):
+        empirical = averaged(simulate_sctp_over_udp, loss)
+        analytic = sctp_over_udp_goodput(100e6, 0.02, loss)
+        assert 0.4 <= empirical / analytic <= 2.5, (
+            empirical, analytic,
+        )

@@ -1,0 +1,121 @@
+"""Tests for the radio energy model (Figure 13)."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.sim.energy import (
+    RRC_PARAMS_3G,
+    RadioEnergyModel,
+    download_energy_mj,
+    download_power_mw,
+)
+
+
+@pytest.fixture(scope="module")
+def model():
+    return RadioEnergyModel()
+
+
+class TestAveragePower:
+    def test_idle_when_no_deliveries(self, model):
+        assert model.average_power_mw([], 3600) == pytest.approx(
+            RRC_PARAMS_3G.idle_mw
+        )
+
+    def test_bounded_by_state_powers(self, model):
+        power = model.average_power_mw([(10.0, 5)], 60.0)
+        assert RRC_PARAMS_3G.idle_mw < power < RRC_PARAMS_3G.dch_mw
+
+    def test_overlapping_bursts_merge(self, model):
+        # Two deliveries inside one radio-awake window must not cost
+        # more than the merged awake time.
+        separate = model.average_power_mw([(10.0, 1), (100.0, 1)], 200.0)
+        merged = model.average_power_mw([(10.0, 1), (11.0, 1)], 200.0)
+        assert merged < separate
+
+    def test_window_must_be_positive(self, model):
+        with pytest.raises(ValueError):
+            model.average_power_mw([], 0)
+
+
+class TestFigure13:
+    def test_endpoints_match_paper(self, model):
+        at_30 = model.batched_push_power_mw(30, 30)
+        at_240 = model.batched_push_power_mw(30, 240)
+        # Paper: ~240 mW at 30 s, ~140 mW at 240 s.
+        assert at_30 == pytest.approx(240, abs=15)
+        assert at_240 == pytest.approx(140, abs=15)
+
+    def test_power_decreases_with_batching(self, model):
+        powers = [
+            model.batched_push_power_mw(30, interval)
+            for interval in (30, 60, 120, 240)
+        ]
+        assert powers == sorted(powers, reverse=True)
+
+    @given(st.floats(min_value=30.0, max_value=600.0))
+    def test_batching_never_worse_than_unbatched(self, model, interval):
+        batched = model.batched_push_power_mw(30, interval)
+        unbatched = model.batched_push_power_mw(30, 30)
+        assert batched <= unbatched + 1e-6
+
+    def test_interval_below_message_rate_clamped(self, model):
+        a = model.batched_push_power_mw(30, 10)
+        b = model.batched_push_power_mw(30, 30)
+        assert a == pytest.approx(b)
+
+
+class TestAwakeFraction:
+    def test_zero_when_silent(self, model):
+        assert model.radio_awake_fraction([], 100.0) == 0.0
+
+    def test_increases_with_traffic(self, model):
+        sparse = model.radio_awake_fraction([(10.0, 1)], 600.0)
+        dense = model.radio_awake_fraction(
+            [(t, 1) for t in range(10, 600, 30)], 600.0
+        )
+        assert dense > sparse
+
+
+class TestLteParameters:
+    """Batching generalizes across radio generations."""
+
+    def test_lte_batching_still_helps(self):
+        from repro.sim.energy import RRC_PARAMS_LTE
+
+        lte = RadioEnergyModel(RRC_PARAMS_LTE)
+        powers = [
+            lte.batched_push_power_mw(30, interval)
+            for interval in (30, 60, 120, 240)
+        ]
+        assert powers == sorted(powers, reverse=True)
+        assert powers[0] > powers[-1]
+
+    def test_lte_tails_shorter_so_gap_smaller(self):
+        from repro.sim.energy import RRC_PARAMS_LTE
+
+        def relative_saving(model):
+            worst = model.batched_push_power_mw(30, 30)
+            best = model.batched_push_power_mw(30, 240)
+            return (worst - best) / worst
+
+        g3 = RadioEnergyModel(RRC_PARAMS_3G)
+        lte = RadioEnergyModel(RRC_PARAMS_LTE)
+        assert relative_saving(lte) < relative_saving(g3)
+
+
+class TestHttpVsHttps:
+    """Section 8: HTTPS costs ~15% more energy at 8 Mb/s."""
+
+    def test_paper_numbers(self):
+        http = download_power_mw(8e6, https=False)
+        https = download_power_mw(8e6, https=True)
+        assert http == pytest.approx(570)
+        assert https == pytest.approx(650)
+        assert (https - http) / http == pytest.approx(0.14, abs=0.02)
+
+    def test_energy_scales_with_size(self):
+        small = download_energy_mj(1_000_000, 8e6)
+        large = download_energy_mj(2_000_000, 8e6)
+        assert large == pytest.approx(2 * small)

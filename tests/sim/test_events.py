@@ -1,0 +1,101 @@
+"""Tests for the discrete-event loop."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.common.errors import SimulationError
+from repro.sim.events import EventLoop
+
+
+class TestScheduling:
+    def test_events_fire_in_time_order(self):
+        loop = EventLoop()
+        fired = []
+        loop.schedule(3.0, lambda: fired.append(3))
+        loop.schedule(1.0, lambda: fired.append(1))
+        loop.schedule(2.0, lambda: fired.append(2))
+        loop.run()
+        assert fired == [1, 2, 3]
+
+    def test_ties_break_in_scheduling_order(self):
+        loop = EventLoop()
+        fired = []
+        loop.schedule(1.0, lambda: fired.append("a"))
+        loop.schedule(1.0, lambda: fired.append("b"))
+        loop.run()
+        assert fired == ["a", "b"]
+
+    def test_schedule_at_absolute(self):
+        loop = EventLoop(start=10.0)
+        seen = []
+        loop.schedule_at(12.0, lambda: seen.append(loop.now))
+        loop.run()
+        assert seen == [12.0]
+
+    def test_past_scheduling_rejected(self):
+        loop = EventLoop(start=10.0)
+        with pytest.raises(SimulationError):
+            loop.schedule(-1.0, lambda: None)
+        with pytest.raises(SimulationError):
+            loop.schedule_at(9.0, lambda: None)
+
+    def test_run_until_stops_and_advances(self):
+        loop = EventLoop()
+        fired = []
+        loop.schedule(1.0, lambda: fired.append(1))
+        loop.schedule(5.0, lambda: fired.append(5))
+        loop.run_until(3.0)
+        assert fired == [1]
+        assert loop.now == 3.0
+        loop.run_until(10.0)
+        assert fired == [1, 5]
+
+    def test_cancel(self):
+        loop = EventLoop()
+        fired = []
+        event = loop.schedule(1.0, lambda: fired.append(1))
+        event.cancel()
+        loop.run()
+        assert fired == []
+
+    def test_events_may_schedule_events(self):
+        loop = EventLoop()
+        fired = []
+
+        def chain():
+            fired.append(loop.now)
+            if len(fired) < 3:
+                loop.schedule(1.0, chain)
+
+        loop.schedule(1.0, chain)
+        loop.run()
+        assert fired == [1.0, 2.0, 3.0]
+
+    def test_pending_and_next_event_time(self):
+        loop = EventLoop()
+        e = loop.schedule(4.0, lambda: None)
+        assert loop.pending() == 1
+        assert loop.next_event_time() == 4.0
+        e.cancel()
+        assert loop.next_event_time() is None
+
+    def test_run_max_events(self):
+        loop = EventLoop()
+        fired = []
+        for i in range(5):
+            loop.schedule(float(i + 1), lambda i=i: fired.append(i))
+        loop.run(max_events=2)
+        assert len(fired) == 2
+
+
+@given(st.lists(st.floats(min_value=0.0, max_value=100.0),
+                min_size=1, max_size=30))
+def test_firing_order_is_sorted(delays):
+    loop = EventLoop()
+    fired = []
+    for d in delays:
+        loop.schedule(d, lambda d=d: fired.append(d))
+    loop.run()
+    assert fired == sorted(fired)
+    assert loop.fired == len(delays)

@@ -1,0 +1,179 @@
+"""Tests for TCP models, links, HTTP server, and the MAWI workload."""
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sim.events import EventLoop
+from repro.sim.http import HttpServer, transfer_time_s
+from repro.sim.links import Link
+from repro.sim.tcp import (
+    padhye_throughput_bps,
+    sctp_over_tcp_goodput,
+    sctp_over_udp_goodput,
+    tcp_throughput,
+)
+from repro.sim.traces import TraceConfig, generate_trace, trace_statistics
+
+
+class TestPadhye:
+    def test_zero_loss_is_infinite(self):
+        assert padhye_throughput_bps(0, 0.02) == math.inf
+
+    def test_decreasing_in_loss(self):
+        rates = [
+            padhye_throughput_bps(p, 0.02)
+            for p in (0.001, 0.01, 0.05, 0.2)
+        ]
+        assert rates == sorted(rates, reverse=True)
+
+    def test_decreasing_in_rtt(self):
+        fast = padhye_throughput_bps(0.01, 0.01)
+        slow = padhye_throughput_bps(0.01, 0.1)
+        assert fast > slow
+
+    def test_invalid_inputs(self):
+        with pytest.raises(ValueError):
+            padhye_throughput_bps(1.5, 0.02)
+        with pytest.raises(ValueError):
+            padhye_throughput_bps(0.01, 0)
+
+    def test_capacity_caps_lossless(self):
+        assert tcp_throughput(100e6, 0.02, 0.0) == 100e6
+
+
+class TestFigure14:
+    def test_zero_loss_near_capacity(self):
+        udp = sctp_over_udp_goodput(100e6, 0.02, 0.0)
+        tcp = sctp_over_tcp_goodput(100e6, 0.02, 0.0)
+        assert udp > 95e6 and tcp > 93e6
+        assert udp > tcp  # smaller tunnel overhead
+
+    @pytest.mark.parametrize("loss", [0.01, 0.02, 0.03, 0.04, 0.05])
+    def test_udp_beats_tcp_by_2_to_5x(self, loss):
+        udp = sctp_over_udp_goodput(100e6, 0.02, loss)
+        tcp = sctp_over_tcp_goodput(100e6, 0.02, loss)
+        assert 2.0 <= udp / tcp <= 6.0
+
+    def test_ratio_grows_with_loss(self):
+        ratios = []
+        for loss in (0.01, 0.03, 0.05):
+            udp = sctp_over_udp_goodput(100e6, 0.02, loss)
+            tcp = sctp_over_tcp_goodput(100e6, 0.02, loss)
+            ratios.append(udp / tcp)
+        assert ratios == sorted(ratios)
+
+    @given(st.floats(min_value=0.001, max_value=0.2))
+    def test_tcp_tunnel_never_beats_udp(self, loss):
+        udp = sctp_over_udp_goodput(100e6, 0.02, loss)
+        tcp = sctp_over_tcp_goodput(100e6, 0.02, loss)
+        assert tcp <= udp
+
+
+class TestLink:
+    def test_latency_math(self):
+        link = Link(8e6, delay_s=0.01)
+        assert link.transmit_time(1000) == pytest.approx(0.001)
+        assert link.one_way_latency(1000) == pytest.approx(0.011)
+        assert link.rtt_s == pytest.approx(0.02)
+
+    def test_lossless_delivery(self):
+        link = Link(8e6, loss=0.0)
+        assert link.deliver(100) is not None
+
+    def test_loss_statistics(self):
+        link = Link(8e6, loss=0.3, seed=1)
+        outcomes = [link.deliver(100) for _ in range(5000)]
+        observed = sum(1 for o in outcomes if o is None) / 5000
+        assert observed == pytest.approx(0.3, abs=0.03)
+        assert link.observed_loss() == pytest.approx(observed)
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ValueError):
+            Link(0)
+        with pytest.raises(ValueError):
+            Link(1e6, loss=1.0)
+
+
+class TestHttpServer:
+    def test_slots_fill_and_reject(self):
+        loop = EventLoop()
+        server = HttpServer(loop, max_connections=2, service_time_s=10)
+        assert server.try_open()
+        assert server.try_open()
+        assert not server.try_open()
+        assert server.rejected == 1
+
+    def test_completions_counted(self):
+        loop = EventLoop()
+        server = HttpServer(loop, max_connections=10,
+                            service_time_s=0.1)
+        for _ in range(5):
+            server.try_open()
+        loop.run()
+        assert server.served == 5
+        assert server.active == 0
+
+    def test_attack_connections_not_served(self):
+        loop = EventLoop()
+        server = HttpServer(loop, max_connections=10)
+        server.try_open(hold_s=50.0)
+        loop.run()
+        assert server.served == 0
+
+    def test_served_per_second_binning(self):
+        loop = EventLoop()
+        server = HttpServer(loop, max_connections=100,
+                            service_time_s=0.5)
+        for _ in range(4):
+            server.try_open()
+        loop.run()
+        series = server.served_per_second(1.0, 2.0)
+        assert series[0] == pytest.approx(4.0)
+
+    def test_transfer_time_helper(self):
+        assert transfer_time_s(1000, 8000, rtt_s=0.01) == pytest.approx(
+            1.02
+        )
+        with pytest.raises(ValueError):
+            transfer_time_s(1000, 0)
+
+
+class TestMawiTraces:
+    """Section 6: the workload must land in the paper's ranges."""
+
+    @pytest.fixture(scope="class")
+    def stats(self):
+        return trace_statistics(generate_trace())
+
+    def test_active_connections_in_range(self, stats):
+        assert 1600 <= stats.max_active_connections <= 4000
+        assert stats.min_active_connections >= 1000
+
+    def test_active_clients_in_range(self, stats):
+        assert 400 <= stats.max_active_clients <= 840
+        assert stats.min_active_clients >= 300
+
+    def test_deterministic_by_seed(self):
+        a = generate_trace(seed=5)
+        b = generate_trace(seed=5)
+        c = generate_trace(seed=6)
+        assert a == b
+        assert a != c
+
+    def test_flows_fit_window(self):
+        config = TraceConfig(window_s=100.0, arrival_rate=50.0)
+        for flow in generate_trace(config, seed=1):
+            assert 0 <= flow.start
+            assert flow.start + flow.duration <= config.window_s
+
+    @settings(max_examples=5, deadline=None)
+    @given(st.integers(min_value=1, max_value=1000))
+    def test_any_seed_stays_plausible(self, seed):
+        config = TraceConfig(window_s=300.0)
+        stats = trace_statistics(
+            generate_trace(config, seed=seed), window_s=300.0
+        )
+        assert stats.max_active_connections > 500

@@ -1,0 +1,256 @@
+"""Tests for the element symbolic models, including the paper's
+Figure 2 walkthrough and concrete-vs-symbolic soundness properties."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.click import Packet, parse_config
+from repro.click.element import create_element
+from repro.common import fields as F
+from repro.common.errors import VerificationError
+from repro.symexec import SymbolicEngine, SymGraph
+from repro.symexec.models import has_model, model_for, models_registry
+from repro.symexec.reachability import domain_at
+
+
+def explore(source, inject_at=None):
+    cfg = parse_config(source)
+    graph = SymGraph.from_click(cfg)
+    eng = SymbolicEngine(graph)
+    return eng.inject(inject_at or cfg.sources()[0])
+
+
+class TestRegistry:
+    def test_every_registered_element_has_a_model(self):
+        from repro.click.element import element_registry
+
+        missing = [
+            name for name in element_registry() if not has_model(name)
+        ]
+        assert missing == [], "elements without symbolic models"
+
+    def test_unknown_model_raises(self):
+        with pytest.raises(VerificationError):
+            model_for("NoSuchElement")
+
+
+class TestFigure2Walkthrough:
+    """The paper's firewall+server symbolic trace (Figure 2)."""
+
+    SOURCE = """
+        src :: FromNetfront();
+        fw_out :: IPFilter(allow udp);
+        server :: EchoResponder();
+        dst :: ToNetfront();
+        src -> fw_out -> server -> dst;
+    """
+
+    def test_proto_constrained_to_udp(self):
+        ex = explore(self.SOURCE)
+        flow = ex.delivered[0]
+        assert flow.field_domain(F.IP_PROTO).singleton_value() == F.UDP
+
+    def test_response_destination_aliases_request_source(self):
+        ex = explore(self.SOURCE)
+        flow = ex.delivered[0]
+        ingress = flow.trace[0].snapshot
+        egress = flow.trace[-1].snapshot
+        # The server swapped: egress dst IS the variable that was src.
+        assert egress[F.IP_DST] == ingress[F.IP_SRC]
+        assert egress[F.IP_SRC] == ingress[F.IP_DST]
+
+    def test_payload_unchanged_end_to_end(self):
+        ex = explore(self.SOURCE)
+        flow = ex.delivered[0]
+        assert flow.writers_of(F.PAYLOAD) == []
+
+    def test_equivalence_of_placements(self):
+        """Running the server 'in the internet' vs 'on the platform'
+        yields the same symbolic packet (the paper's equivalence)."""
+        def final_bindings(source):
+            ex = explore(source)
+            flow = ex.delivered[0]
+            egress = flow.trace[-1].snapshot
+            ingress = flow.trace[0].snapshot
+            return {
+                "dst_is_old_src": egress[F.IP_DST] == ingress[F.IP_SRC],
+                "proto": flow.field_domain(
+                    F.IP_PROTO
+                ).singleton_value(),
+                "payload_writers": flow.writers_of(F.PAYLOAD),
+            }
+
+        original = final_bindings(self.SOURCE)
+        # Platform placement: the server sits before the firewall on
+        # the return path; same observable effect on the packet.
+        platform = final_bindings(
+            """
+            src :: FromNetfront();
+            server :: EchoResponder();
+            fw_out :: IPFilter(allow udp);
+            dst :: ToNetfront();
+            src -> fw_out -> server -> dst;
+            """
+        )
+        assert original == platform
+
+
+class TestStatefulFirewallModel:
+    SOURCE = """
+        out_side :: FromNetfront();
+        in_side :: FromNetfront();
+        fw :: StatefulFirewall(allow udp);
+        out_ok :: ToNetfront();
+        in_ok :: ToNetfront();
+        out_side -> fw; in_side -> [1]fw;
+        fw[0] -> out_ok; fw[1] -> in_ok;
+    """
+
+    def test_outbound_tags_flow(self):
+        ex = explore(self.SOURCE, "out_side")
+        flow = ex.flows_at("out_ok")[0]
+        assert flow.field_domain("firewall_tag").singleton_value() == 1
+
+    def test_unsolicited_inbound_dies(self):
+        ex = explore(self.SOURCE, "in_side")
+        # State is pushed into the flow: untagged inbound cannot pass.
+        assert ex.flows_at("in_ok") == []
+
+
+class TestTunnelModels:
+    def test_decap_of_unknown_traffic_havocs(self):
+        ex = explore(
+            "src :: FromNetfront(); d :: IPDecap();"
+            "dst :: ToNetfront(); src -> d -> dst;"
+        )
+        flow = ex.delivered[0]
+        written = {w.field for w in flow.writes}
+        assert set(F.HEADER_FIELDS) <= written
+        assert flow.field_domain("decapped").singleton_value() == 1
+
+    def test_encap_then_decap_restores_inner(self):
+        ex = explore(
+            "src :: FromNetfront();"
+            "e :: UDPIPEncap(9.9.9.9, 4000, 8.8.8.8, 4001);"
+            "d :: IPDecap(); dst :: ToNetfront();"
+            "src -> e -> d -> dst;"
+        )
+        flow = ex.delivered[0]
+        ingress = flow.trace[0].snapshot
+        egress = flow.trace[-1].snapshot
+        assert egress[F.IP_DST] == ingress[F.IP_DST]
+        assert egress[F.IP_PROTO] == ingress[F.IP_PROTO]
+
+    def test_x86vm_havocs_everything(self):
+        ex = explore(
+            "src :: FromNetfront(); v :: X86VM();"
+            "dst :: ToNetfront(); src -> v -> dst;"
+        )
+        flow = ex.delivered[0]
+        ingress = flow.trace[0].snapshot
+        egress = flow.trace[-1].snapshot
+        assert all(
+            egress[field] != ingress[field] for field in F.HEADER_FIELDS
+        )
+
+
+class TestRewriterModels:
+    def test_iprewriter_constrains_to_pattern(self):
+        ex = explore(
+            "src :: FromNetfront();"
+            "rw :: IPRewriter(pattern 9.9.9.9 5000-6000 - - 0 0);"
+            "dst :: ToNetfront(); src -> rw -> dst;"
+        )
+        from repro.common.addr import parse_ip
+
+        flow = ex.delivered[0]
+        assert flow.field_domain(F.IP_SRC).singleton_value() == parse_ip(
+            "9.9.9.9"
+        )
+        sport = flow.field_domain(F.TP_SRC)
+        assert sport.min() == 5000 and sport.max() == 6000
+
+    def test_transparent_proxy_splits(self):
+        ex = explore(
+            "src :: FromNetfront();"
+            "tp :: TransparentProxy(9.9.9.9, 3128);"
+            "dst :: ToNetfront(); src -> tp -> dst;"
+        )
+        assert len(ex.delivered) == 2
+        redirected = [
+            f for f in ex.delivered
+            if f.field_domain(F.TP_DST).singleton_value() == 3128
+        ]
+        assert len(redirected) == 1
+
+
+# ---------------------------------------------------------------------------
+# Soundness: the symbolic model must admit every concrete behaviour.
+# ---------------------------------------------------------------------------
+
+#: (class, args, number of output ports to wire to sinks).
+_ELEMENT_CASES = [
+    ("IPFilter", ["allow udp dst port 1000-2000"], 1),
+    ("IPClassifier", ["udp", "tcp", "-"], 3),
+    ("IPRewriter", ["pattern - - 172.16.15.133 - 0 0"], 1),
+    ("SetIPAddress", ["5.6.7.8"], 1),
+    ("SetTPDst", ["8080"], 1),
+    ("DecIPTTL", [], 2),
+    ("Multicast", ["10.0.0.1", "10.0.0.2"], 1),
+    ("EchoResponder", [], 1),
+]
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    case=st.sampled_from(_ELEMENT_CASES),
+    proto=st.sampled_from([F.TCP, F.UDP, F.ICMP]),
+    src=st.integers(min_value=1, max_value=(1 << 32) - 2),
+    dst=st.integers(min_value=1, max_value=(1 << 32) - 2),
+    sport=st.integers(min_value=0, max_value=65535),
+    dport=st.integers(min_value=0, max_value=65535),
+    ttl=st.integers(min_value=1, max_value=255),
+)
+def test_symbolic_model_admits_concrete_behaviour(
+    case, proto, src, dst, sport, dport, ttl
+):
+    """For a random packet, the concrete element's (port, output packet)
+    must be realizable by some symbolic flow of the model."""
+    class_name, args, n_outputs = case
+    wiring = "".join(
+        "el[%d] -> sink%d :: ToNetfront();" % (port, port)
+        for port in range(n_outputs)
+    )
+    source = (
+        "src :: FromNetfront(); el :: %s(%s); src -> el; %s"
+        % (class_name, ", ".join(args), wiring)
+    )
+    packet = Packet(
+        ip_src=src, ip_dst=dst, ip_proto=proto,
+        tp_src=sport, tp_dst=dport, ip_ttl=ttl,
+    )
+    element = create_element(class_name, "el", args)
+    concrete = element.push(0, packet.copy())
+    ex = explore(source)
+    if not concrete:
+        return  # concrete drop: symbolic may keep broader flows
+    for out_port, out_packet in concrete:
+        admitted = False
+        for flow in ex.delivered:
+            egress = flow.trace[-1].snapshot
+            ok = True
+            for field in F.HEADER_FIELDS:
+                if field == F.PAYLOAD:
+                    continue
+                domain = domain_at(flow, egress, field)
+                if domain is None or out_packet[field] not in domain:
+                    ok = False
+                    break
+            if ok:
+                admitted = True
+                break
+        assert admitted, (
+            "concrete output %r of %s not admitted by any symbolic flow"
+            % (out_packet, class_name)
+        )

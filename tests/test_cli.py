@@ -1,0 +1,141 @@
+"""Tests for the ``python -m repro`` command-line interface."""
+
+import json
+
+import pytest
+
+from repro.__main__ import main
+
+
+FIREWALL_CONFIG = """
+    src :: FromNetfront();
+    out :: ToNetfront();
+    src -> IPFilter(allow udp)
+        -> IPRewriter(pattern - - 172.16.15.133 - 0 0)
+        -> out;
+"""
+
+ROUTER_CONFIG = """
+    src :: FromNetfront();
+    out :: ToNetfront();
+    src -> DecIPTTL() -> out;
+"""
+
+
+class TestDemo:
+    def test_demo_succeeds(self, capsys):
+        assert main(["demo"]) == 0
+        out = capsys.readouterr().out
+        assert "platform3" in out
+        assert "accepted : True" in out
+
+
+class TestAudit:
+    def test_audit_prints_matrix(self, capsys):
+        assert main(["audit"]) == 0
+        out = capsys.readouterr().out
+        assert "x86_vm" in out
+        assert "ok(s)" in out and "X" in out
+
+
+class TestElements:
+    def test_lists_every_registered_element(self, capsys):
+        from repro.click.element import element_registry
+
+        assert main(["elements"]) == 0
+        out = capsys.readouterr().out
+        for name in element_registry():
+            assert name in out
+        assert "every one has a symbolic model" in out
+
+    def test_iprewriter_statefulness_is_dynamic(self, capsys):
+        main(["elements"])
+        out = capsys.readouterr().out
+        line = next(
+            l for l in out.splitlines() if l.startswith("IPRewriter")
+        )
+        assert "dyn" in line
+
+
+class TestCheck:
+    def test_safe_config_exits_zero(self, tmp_path, capsys):
+        path = tmp_path / "fw.click"
+        path.write_text(FIREWALL_CONFIG)
+        code = main([
+            "check", str(path),
+            "--whitelist", "172.16.15.133",
+        ])
+        assert code == 0
+        assert "verdict=allow" in capsys.readouterr().out
+
+    def test_passthrough_rejected_exit_three(self, tmp_path):
+        path = tmp_path / "router.click"
+        path.write_text(ROUTER_CONFIG)
+        assert main(["check", str(path)]) == 3
+
+    def test_tunnel_sandbox_exit_two(self, tmp_path):
+        path = tmp_path / "tun.click"
+        path.write_text(
+            "FromNetfront() -> IPDecap() -> ToNetfront();"
+        )
+        assert main(["check", str(path)]) == 2
+
+    def test_operator_role_allows_anything(self, tmp_path):
+        path = tmp_path / "router.click"
+        path.write_text(ROUTER_CONFIG)
+        assert main(["check", str(path), "--role", "operator"]) == 0
+
+
+class TestRequest:
+    def test_wire_request_roundtrip(self, tmp_path, capsys):
+        payload = {
+            "version": 1,
+            "client_id": "cli-user",
+            "config_source": FIREWALL_CONFIG,
+            "requirements": "reach from internet udp -> client",
+            "role": "client",
+            "owned_addresses": ["172.16.15.133"],
+            "module_name": "cli-mod",
+        }
+        path = tmp_path / "request.json"
+        path.write_text(json.dumps(payload))
+        assert main(["request", str(path)]) == 0
+        reply = json.loads(capsys.readouterr().out)
+        assert reply["accepted"] is True
+        assert reply["module_id"] == "cli-mod"
+
+    def test_denied_request_exit_one(self, tmp_path, capsys):
+        payload = {
+            "version": 1,
+            "client_id": "cli-user",
+            "config_source": ROUTER_CONFIG,  # passthrough: rejected
+            "role": "third-party",
+        }
+        path = tmp_path / "request.json"
+        path.write_text(json.dumps(payload))
+        assert main(["request", str(path)]) == 1
+        reply = json.loads(capsys.readouterr().out)
+        assert reply["accepted"] is False
+
+
+class TestTrace:
+    def test_trace_prints_table(self, tmp_path, capsys):
+        path = tmp_path / "fig2.click"
+        path.write_text("""
+            client :: FromNetfront();
+            fw :: IPFilter(allow udp);
+            server :: EchoResponder();
+            back :: ToNetfront();
+            client -> fw -> server -> back;
+        """)
+        assert main(["trace", str(path)]) == 0
+        out = capsys.readouterr().out
+        assert "IP SRC" in out and "udp" in out
+        assert "flows delivered" in out
+
+    def test_trace_without_source_fails(self, tmp_path, capsys):
+        path = tmp_path / "empty.click"
+        # A ring has no source element to inject at.
+        path.write_text("a :: Counter(); b :: Counter(); "
+                        "a -> b; b -> a;")
+        assert main(["trace", str(path)]) == 1

@@ -1,0 +1,37 @@
+"""Runs the library's docstring examples as tests.
+
+Keeps every ``>>>`` snippet in the API documentation honest.
+"""
+
+import doctest
+
+import pytest
+
+import repro.click.config
+import repro.click.packet
+import repro.common.addr
+import repro.common.intervals
+import repro.policy.flowspec
+import repro.policy.grammar
+
+MODULES = [
+    repro.common.addr,
+    repro.common.intervals,
+    repro.click.packet,
+    repro.click.config,
+    repro.policy.flowspec,
+    repro.policy.grammar,
+]
+
+
+@pytest.mark.parametrize(
+    "module", MODULES, ids=lambda m: m.__name__
+)
+def test_module_doctests(module):
+    outcome = doctest.testmod(module, verbose=False)
+    assert outcome.failed == 0, "%d doctest failure(s) in %s" % (
+        outcome.failed, module.__name__,
+    )
+    assert outcome.attempted > 0, (
+        "no doctests found in %s" % (module.__name__,)
+    )

@@ -1,0 +1,127 @@
+"""The complete Section 4.5/8 pipeline over the concrete network.
+
+Controller verification -> deployment -> flow rules -> real packets
+crossing the topology (with link latencies) -> module batching ->
+delivery at the client -> radio energy: every subsystem in one test.
+"""
+
+import pytest
+
+from repro.click import Packet, UDP
+from repro.common.addr import parse_ip
+from repro.core import ClientRequest, Controller, ROLE_CLIENT
+from repro.netmodel.examples import CLIENT_ADDR, figure3_network
+from repro.netmodel.forwarding import ForwardingPlane
+from repro.sim.energy import RadioEnergyModel
+
+
+@pytest.fixture
+def deployed():
+    network = figure3_network()
+    # Give the access links realistic latencies.
+    for wire in network.links:
+        wire.latency_s = 0.002
+    controller = Controller(network)
+    result = controller.request(ClientRequest(
+        client_id="mobile1",
+        role=ROLE_CLIENT,
+        config_source="""
+            FromNetfront() ->
+            IPFilter(allow udp port 1500) ->
+            IPRewriter(pattern - - 172.16.15.133 - 0 0)
+            -> TimedUnqueue(120, 100)
+            -> dst :: ToNetfront();
+        """,
+        requirements=(
+            "reach from internet udp -> batcher:dst:0"
+            " -> client dst port 1500 const proto && dst port && payload"
+        ),
+        owned_addresses=(CLIENT_ADDR,),
+        module_name="batcher",
+        listen="udp 1500",
+    ))
+    assert result.accepted, result.reason
+    return controller, result
+
+
+def notification(address, seq):
+    return Packet(
+        ip_src=parse_ip("203.0.113.9"),
+        ip_dst=address,
+        ip_proto=UDP,
+        tp_src=30000 + seq,
+        tp_dst=1500,
+        length=1024,
+        payload=b"push-%d" % seq,
+    )
+
+
+class TestFullPipeline:
+    def test_notifications_batched_across_the_network(self, deployed):
+        controller, result = deployed
+        plane = ForwardingPlane(controller.network)
+        address = parse_ip(result.address)
+        # Ten notifications over two batching windows.
+        for seq in range(6):
+            at = 10.0 + seq * 20.0  # t = 10..110
+            assert plane.send(
+                "internet", notification(address, seq), at=at
+            ) == []  # buffered inside the module
+        first_batch = plane.run_until(120.0)
+        for seq in range(6, 10):
+            at = 10.0 + seq * 20.0  # t = 130..190
+            assert plane.send(
+                "internet", notification(address, seq), at=at
+            ) == []
+        second_batch = plane.run_until(240.0)
+        assert len(first_batch) + len(second_batch) == 10
+        # The first window buffered everything sent before t=120.
+        assert len(first_batch) == 6
+        for delivery in first_batch + second_batch:
+            assert delivery.node == "clients"
+            packet = delivery.packet
+            assert packet["ip_dst"] == parse_ip(CLIENT_ADDR)
+            assert packet["tp_dst"] == 1500          # const dst port
+            assert packet["ip_proto"] == UDP          # const proto
+            assert packet["payload"].startswith(b"push-")  # const data
+            # Link latencies accumulated along the delivery path.
+            assert delivery.time > 120.0
+
+    def test_off_listen_traffic_never_reaches_module(self, deployed):
+        controller, result = deployed
+        plane = ForwardingPlane(controller.network)
+        address = parse_ip(result.address)
+        wrong_port = notification(address, 0)
+        wrong_port["tp_dst"] = 9999
+        assert plane.send("internet", wrong_port) == []
+        assert plane.run_until(240.0) == []
+        assert plane.stats.dropped_by_platform == 1
+
+    def test_energy_from_observed_deliveries(self, deployed):
+        controller, result = deployed
+        plane = ForwardingPlane(controller.network)
+        address = parse_ip(result.address)
+        for seq in range(30):
+            plane.send(
+                "internet", notification(address, seq),
+                at=float(seq * 30 + 1),
+            )
+        deliveries = plane.run_until(1000.0)
+        bursts = {}
+        for delivery in deliveries:
+            key = round(delivery.time)
+            bursts[key] = bursts.get(key, 0) + 1
+        schedule = sorted(bursts.items())
+        power = RadioEnergyModel().average_power_mw(schedule, 1000.0)
+        unbatched = RadioEnergyModel().average_power_mw(
+            [(float(seq * 30 + 1), 1) for seq in range(30)], 1000.0
+        )
+        assert power < unbatched  # batching saved energy, end to end
+
+    def test_kill_restores_the_network(self, deployed):
+        controller, result = deployed
+        assert controller.kill("batcher")
+        plane = ForwardingPlane(controller.network)
+        address = parse_ip(result.address)
+        assert plane.send("internet", notification(address, 0)) == []
+        assert plane.stats.dropped_by_platform == 1

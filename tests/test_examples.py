@@ -1,0 +1,38 @@
+"""Smoke tests: every example script must run to completion.
+
+Executed in-process (runpy) with stdout captured, so the examples in
+the README cannot silently rot.
+"""
+
+import pathlib
+import runpy
+
+import pytest
+
+EXAMPLES_DIR = pathlib.Path(__file__).resolve().parent.parent / "examples"
+
+EXPECTED_MARKERS = {
+    "quickstart.py": "platform3",
+    "static_analysis_tour.py": "verdict: reject",
+    "safety_audit.py": "Every cell matches Table 1",
+    "mobile_energy.py": "mW",
+    "ddos_defense.py": "reverse proxies deployed",
+    "operator_console.py": "Billing after a month",
+    "wide_area_cdn.py": "geolocation spread",
+}
+
+
+@pytest.mark.parametrize("script", sorted(EXPECTED_MARKERS))
+def test_example_runs(script, capsys):
+    path = EXAMPLES_DIR / script
+    assert path.exists(), path
+    runpy.run_path(str(path), run_name="__main__")
+    out = capsys.readouterr().out
+    assert EXPECTED_MARKERS[script] in out
+
+
+def test_every_example_has_a_smoke_test():
+    scripts = {p.name for p in EXAMPLES_DIR.glob("*.py")}
+    assert scripts == set(EXPECTED_MARKERS), (
+        "examples and smoke tests out of sync"
+    )

@@ -1,0 +1,78 @@
+"""Tests for the Section 7 amplification analysis."""
+
+import pytest
+
+from repro.click import Packet, TCP, UDP
+from repro.click.element import create_element
+from repro.common.addr import parse_ip
+from repro.usecases.amplification import (
+    AmplificationScenario,
+    compare_mitigations,
+)
+
+
+class TestIngressFilterElement:
+    def element(self):
+        return create_element(
+            "IngressFilter", "f", ["172.16.0.0/16"]
+        )
+
+    def test_inbound_spoofed_dropped(self):
+        f = self.element()
+        spoofed = Packet(ip_src=parse_ip("172.16.1.1"))
+        assert f.push(f.INBOUND, spoofed) == []
+        assert f.dropped_spoofed == 1
+
+    def test_inbound_genuine_passes(self):
+        f = self.element()
+        genuine = Packet(ip_src=parse_ip("8.8.8.8"))
+        out = f.push(f.INBOUND, genuine)
+        assert out == [(f.INBOUND, genuine)]
+
+    def test_outbound_unfiltered(self):
+        f = self.element()
+        inside = Packet(ip_src=parse_ip("172.16.1.1"))
+        assert f.push(f.OUTBOUND, inside) == [(f.OUTBOUND, inside)]
+
+
+class TestAmplification:
+    def test_open_resolver_amplifies(self):
+        scenario = AmplificationScenario(ingress_filtering=False)
+        report = scenario.attack(queries=50, proto=UDP)
+        # 64-byte queries produce 512-byte responses to the victim.
+        assert report.victim_packets == 50
+        assert report.amplification_factor == pytest.approx(8.0)
+
+    def test_ingress_filtering_stops_it(self):
+        scenario = AmplificationScenario(ingress_filtering=True)
+        report = scenario.attack(queries=50, proto=UDP)
+        assert report.victim_packets == 0
+        assert report.amplification_factor == 0.0
+        assert report.dropped_spoofed == 50
+
+    def test_legitimate_queries_still_work_when_filtered(self):
+        scenario = AmplificationScenario(ingress_filtering=True)
+        genuine = Packet(
+            ip_src=parse_ip("8.8.4.4"),
+            ip_dst=scenario.module_address,
+            ip_proto=UDP,
+            tp_src=5353, tp_dst=53,
+            length=64, payload=b"query",
+        )
+        deliveries = scenario.plane.send("internet", genuine)
+        assert len(deliveries) == 1
+        assert deliveries[0].node == "internet"  # answered back out
+
+    def test_tcp_ban_removes_amplification(self):
+        scenario = AmplificationScenario(ingress_filtering=False)
+        report = scenario.attack(queries=50, proto=TCP)
+        assert report.victim_packets == 0
+        assert report.amplification_factor == 0.0
+
+    def test_comparison_table_shape(self):
+        rows = compare_mitigations(queries=20)
+        assert len(rows) == 3
+        by_label = {label: factor for label, factor, _pkts in rows}
+        assert by_label["UDP, no ingress filtering"] > 5
+        assert by_label["UDP, ingress filtering"] == 0
+        assert by_label["TCP only (connectionless banned)"] == 0

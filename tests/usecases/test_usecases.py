@@ -1,0 +1,144 @@
+"""Tests for the four Section 8 use cases."""
+
+import statistics
+
+import pytest
+
+from repro.usecases import (
+    CdnScenario,
+    PushNotificationScenario,
+    SlowlorisScenario,
+    TunnelScenario,
+)
+
+
+class TestPushNotifications:
+    @pytest.fixture(scope="class")
+    def scenario(self):
+        return PushNotificationScenario()
+
+    def test_deploys_on_platform3(self, scenario):
+        deployment = scenario.deploy()
+        assert deployment.platform == "platform3"
+        assert deployment.module_address.startswith("192.0.2.")
+        # Paper: ~3 s dominated by waking the 3G interface.
+        assert 2.5 <= deployment.request_latency_s <= 3.5
+
+    def test_traffic_batched_at_interval(self, scenario):
+        deployment = scenario.deploy(batch_interval_s=120)
+        schedule, delivered = scenario.run_traffic(
+            deployment, window_s=600
+        )
+        # 19 messages sent in 600s minus those still buffered.
+        assert delivered >= 15
+        assert all(t % 120 == 0 for t, _count in schedule)
+
+    def test_energy_sweep_monotone(self):
+        scenario = PushNotificationScenario()
+        samples = scenario.energy_sweep(window_s=1800)
+        powers = [s.average_power_mw for s in samples]
+        assert powers == sorted(powers, reverse=True)
+        # Figure 13 endpoints.
+        assert samples[0].average_power_mw == pytest.approx(240, abs=20)
+        assert samples[-1].average_power_mw == pytest.approx(140, abs=20)
+
+    def test_unbatched_is_worst(self):
+        scenario = PushNotificationScenario()
+        unbatched = scenario.unbatched_power_mw(window_s=1800)
+        samples = scenario.energy_sweep(
+            batch_intervals=(120.0,), window_s=1800
+        )
+        assert samples[0].average_power_mw < unbatched
+
+
+class TestTunneling:
+    @pytest.fixture(scope="class")
+    def scenario(self):
+        return TunnelScenario()
+
+    def test_sweep_shape(self, scenario):
+        samples = scenario.sweep()
+        assert samples[0].loss == 0.0
+        assert samples[0].udp_goodput_bps > 90e6
+        for sample in samples[1:]:
+            assert 2.0 <= sample.ratio <= 6.0
+
+    def test_udp_reachability_query(self, scenario):
+        assert scenario.udp_reachable("8.8.8.8") is True
+
+    def test_innet_selection_15x_faster(self, scenario):
+        with_innet = scenario.selection_latency_s(True)
+        without = scenario.selection_latency_s(False)
+        assert without / with_innet == pytest.approx(15.0)
+
+
+class TestSlowloris:
+    @pytest.fixture(scope="class")
+    def timeline(self):
+        return SlowlorisScenario().run(
+            duration_s=600, attack_start=120, defense_delay_s=120
+        )
+
+    @staticmethod
+    def window_rate(timeline, series, lo, hi):
+        values = [
+            v for t, v in zip(timeline.times, series) if lo <= t < hi
+        ]
+        return sum(values) / len(values)
+
+    def test_attack_starves_single_server(self, timeline):
+        pre = self.window_rate(timeline, timeline.single_server, 0, 120)
+        during = self.window_rate(
+            timeline, timeline.single_server, 300, 500
+        )
+        assert pre > 250
+        assert during < 0.1 * pre
+
+    def test_defense_restores_service(self, timeline):
+        during = self.window_rate(timeline, timeline.with_innet, 300, 500)
+        pre = self.window_rate(timeline, timeline.with_innet, 0, 120)
+        assert during > 0.5 * pre
+
+    def test_proxies_deployed_via_controller(self, timeline):
+        assert timeline.proxies_deployed == 3
+
+
+class TestCdn:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return CdnScenario().run()
+
+    def test_median_roughly_halved(self, result):
+        origin = statistics.median(result.origin_delays_s)
+        cdn = statistics.median(result.cdn_delays_s)
+        assert 1.8 <= origin / cdn <= 3.5
+
+    def test_p90_improvement_exceeds_median(self, result):
+        origin_p90 = result.percentile(result.origin_delays_s, 90)
+        cdn_p90 = result.percentile(result.cdn_delays_s, 90)
+        origin_med = statistics.median(result.origin_delays_s)
+        cdn_med = statistics.median(result.cdn_delays_s)
+        assert origin_p90 / cdn_p90 >= origin_med / cdn_med * 0.9
+        assert origin_p90 / cdn_p90 >= 2.5
+
+    def test_every_client_assigned_a_cache(self, result):
+        assert len(result.client_assignments) == 75
+        assert set(result.client_assignments.values()) <= {
+            "cache-romania", "cache-germany", "cache-italy",
+        }
+
+    def test_caches_deploy_sandboxed_at_nearest_operators(self):
+        scenario = CdnScenario()
+        assert scenario.deploy_caches() == 3
+        placements = scenario.federation.deployments()
+        # Each cache lands at its own country's operator.
+        assert placements == {
+            "cache-romania": "operator-romania",
+            "cache-germany": "operator-germany",
+            "cache-italy": "operator-italy",
+        }
+        for name, operator in placements.items():
+            controller = scenario.federation.operators[
+                operator
+            ].controller
+            assert controller.deployed[name].sandboxed
