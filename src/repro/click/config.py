@@ -25,6 +25,7 @@ concrete runtime (:mod:`repro.click.runtime`) and the symbolic engine
 
 from __future__ import annotations
 
+import hashlib
 import re
 from typing import Dict, Iterator, List, NamedTuple, Optional, Tuple
 
@@ -165,6 +166,87 @@ class ClickConfig:
                 )
             seen_out.add(key)
 
+    # -- copying -----------------------------------------------------------
+    def copy(self) -> "ClickConfig":
+        """An independent copy (shared immutable decls, fresh edge list)."""
+        clone = ClickConfig()
+        clone.elements = dict(self.elements)
+        clone.edges = list(self.edges)
+        clone._anon_counter = self._anon_counter
+        return clone
+
+    # -- fingerprinting ----------------------------------------------------
+    def fingerprint(self) -> str:
+        """A canonical hash of the configuration's *structure*.
+
+        Two configurations that differ only in element instance names
+        (or in declaration/connection order) fingerprint identically;
+        any change to an element class, its arguments, or the wiring
+        changes the fingerprint.  The controller's security-verdict
+        cache keys on this (popular stock modules are verified once,
+        Section 4.1), so canonicalization must not depend on the
+        user-chosen names.
+
+        Names are canonicalized by Weisfeiler-Lehman-style refinement:
+        each element starts from a label derived from its class and
+        arguments, then repeatedly absorbs the labels of its neighbors
+        (with port numbers), which separates same-class elements by
+        their position in the graph.
+        """
+        state = (len(self.elements), len(self.edges))
+        cached = getattr(self, "_fingerprint_cache", None)
+        if cached is not None and cached[0] == state:
+            return cached[1]
+        labels = {
+            name: _label_hash(
+                "%s(%s)" % (decl.class_name, "\x00".join(decl.args))
+            )
+            for name, decl in self.elements.items()
+        }
+        out_edges: Dict[str, List[Edge]] = {}
+        in_edges: Dict[str, List[Edge]] = {}
+        for edge in self.edges:
+            out_edges.setdefault(edge.src, []).append(edge)
+            in_edges.setdefault(edge.dst, []).append(edge)
+        rounds = min(len(self.elements), 8)
+        for _ in range(rounds):
+            refined = {}
+            for name in self.elements:
+                downstream = sorted(
+                    (e.src_port, e.dst_port, labels[e.dst])
+                    for e in out_edges.get(name, ())
+                )
+                upstream = sorted(
+                    (e.dst_port, e.src_port, labels[e.src])
+                    for e in in_edges.get(name, ())
+                )
+                refined[name] = _label_hash(
+                    "%s>%r<%r" % (labels[name], downstream, upstream)
+                )
+            labels = refined
+        # Elements sharing a final label are structurally symmetric at
+        # refinement depth `rounds`; any consistent order among them
+        # yields the same canonical rendering.
+        order = sorted(self.elements, key=lambda n: (labels[n], n))
+        index = {name: i for i, name in enumerate(order)}
+        decls = [
+            "%d=%s(%s)" % (
+                index[name],
+                self.elements[name].class_name,
+                "\x00".join(self.elements[name].args),
+            )
+            for name in order
+        ]
+        wires = sorted(
+            (index[e.src], e.src_port, index[e.dst], e.dst_port)
+            for e in self.edges
+        )
+        digest = hashlib.sha256(
+            ("\n".join(decls) + "\n" + repr(wires)).encode()
+        ).hexdigest()
+        self._fingerprint_cache = (state, digest)
+        return digest
+
     # -- serialization ----------------------------------------------------------
     def to_click(self) -> str:
         """Render back to Click-language source text."""
@@ -184,6 +266,11 @@ class ClickConfig:
             len(self.elements),
             len(self.edges),
         )
+
+
+def _label_hash(text: str) -> str:
+    """Short stable digest used by the fingerprint refinement rounds."""
+    return hashlib.sha256(text.encode()).hexdigest()[:16]
 
 
 # ---------------------------------------------------------------------------

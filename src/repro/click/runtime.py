@@ -62,6 +62,14 @@ class Runtime:
                 edge.dst,
                 edge.dst_port,
             )
+        # Hot-path bindings: sink membership is decided once here, and
+        # the adjacency lookup is a pre-bound method, so _route does no
+        # getattr/attribute chasing per packet.
+        self._sink_names = frozenset(
+            name for name, element in self.elements.items()
+            if getattr(element, "is_sink", False)
+        )
+        self._adjacency_get = self._adjacency.get
         for element in self.elements.values():
             element.initialize(self)
 
@@ -127,11 +135,10 @@ class Runtime:
             self._route(name, out_port, out_packet)
 
     def _route(self, src: str, port: int, packet) -> None:
-        sink = self.elements[src]
-        if getattr(sink, "is_sink", False):
+        if src in self._sink_names:
             self.output.append(EgressRecord(src, packet, self.now))
             return
-        nxt = self._adjacency.get((src, port))
+        nxt = self._adjacency_get((src, port))
         if nxt is None:
             # Unconnected output port: Click would refuse to initialize;
             # we count it as a drop to keep partially-wired tests simple.

@@ -18,6 +18,11 @@ This package is the paper's primary contribution:
 """
 
 from repro.core.accounting import Invoice, Ledger, Tariff
+from repro.core.cache import (
+    CacheStats,
+    CachingSecurityAnalyzer,
+    LRUCache,
+)
 from repro.core.api import (
     request_from_json,
     request_to_json,
@@ -69,6 +74,9 @@ __all__ = [
     "ROLE_OPERATOR",
     "SecurityAnalyzer",
     "SecurityReport",
+    "CachingSecurityAnalyzer",
+    "CacheStats",
+    "LRUCache",
     "VERDICT_ALLOW",
     "VERDICT_SANDBOX",
     "VERDICT_REJECT",

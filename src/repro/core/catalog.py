@@ -14,10 +14,29 @@ geolocation DNS server, and the arbitrary x86 VM.
 
 from __future__ import annotations
 
+from functools import lru_cache
 from typing import Callable, Dict, Tuple
 
 from repro.click.config import ClickConfig, parse_config
 from repro.common.errors import ConfigError
+
+
+@lru_cache(maxsize=128)
+def _parse_cached(source: str) -> ClickConfig:
+    """Parse-once template for catalog/stock sources.
+
+    Popular stock modules are requested over and over with identical
+    source text; re-tokenizing the same string per instantiation is
+    pure waste.  Callers get a :meth:`ClickConfig.copy` of the cached
+    template so later mutation (e.g. sandbox wrapping) cannot corrupt
+    the shared parse.
+    """
+    return parse_config(source)
+
+
+def parse_catalog_source(source: str) -> ClickConfig:
+    """Memoized parse returning an independent copy."""
+    return _parse_cached(source).copy()
 
 # Default addresses used by the canonical configurations; the Table 1
 # benchmark overrides them per scenario.
@@ -199,7 +218,7 @@ def catalog_config(name: str, **params) -> ClickConfig:
         builder = _CATALOG[name]
     except KeyError:
         raise ConfigError("unknown catalog functionality %r" % (name,))
-    return parse_config(builder(**params))
+    return parse_catalog_source(builder(**params))
 
 
 def catalog_source(name: str, **params) -> str:
@@ -217,4 +236,4 @@ def stock_module_config(name: str, *params: str) -> ClickConfig:
         builder = STOCK_MODULES[name]
     except KeyError:
         raise ConfigError("unknown stock module %r" % (name,))
-    return parse_config(builder(*params))
+    return parse_catalog_source(builder(*params))

@@ -69,10 +69,19 @@ class ControllerPool:
         n_workers: int = 4,
         operator_requirements: str = "",
         max_attempts: int = 5,
+        fast_path: bool = False,
     ):
         if n_workers < 1:
             raise ValueError("need at least one worker")
-        self.controller = Controller(network, operator_requirements)
+        # The pool's wall-clock model assumes each worker is an
+        # independent machine doing its own full verification; the
+        # single-controller admission fast path would share one warm
+        # cache across "machines" and skew the modeled speedup, so
+        # from-scratch verification is the default here.  Pass
+        # ``fast_path=True`` to measure a shared-cache deployment.
+        self.controller = Controller(
+            network, operator_requirements, fast_path=fast_path,
+        )
         self.n_workers = n_workers
         self.max_attempts = max_attempts
         self.stats = PoolStats()

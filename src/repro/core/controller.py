@@ -106,8 +106,10 @@ class Controller:
         operator_requirements: str = "",
         ledger=None,
         clock=None,
+        fast_path: bool = True,
     ):
         from repro.core.accounting import Ledger
+        from repro.core.cache import CachingSecurityAnalyzer
 
         self.network = network
         self.network.compute_routes()
@@ -116,7 +118,18 @@ class Controller:
             if operator_requirements
             else []
         )
-        self.analyzer = SecurityAnalyzer()
+        #: Admission fast path: verdict caching + incremental
+        #: compilation + route-recompute elision.  ``fast_path=False``
+        #: recompiles everything from scratch per candidate (the
+        #: pre-optimization behavior, kept for equivalence testing).
+        self._fast_path = fast_path
+        self.analyzer = (
+            CachingSecurityAnalyzer() if fast_path else SecurityAnalyzer()
+        )
+        #: Cached compiled model of the committed snapshot, keyed by
+        #: :meth:`Network.model_signature`.
+        self._compiled: Optional[CompiledNetwork] = None
+        self._compiled_signature: Optional[int] = None
         self.deployed: Dict[str, _DeployedModule] = {}
         #: client id -> addresses the client registered or was assigned
         #: (explicit-authorization white-list, Section 2.1).
@@ -189,6 +202,21 @@ class Controller:
                 reason="every platform is at capacity",
             )
         last_failure = "no platform satisfies the requirements"
+        compiled_base: Optional[CompiledNetwork] = None
+        if self._fast_path:
+            # Compile the operator network once per model epoch; the
+            # candidate loop grafts each trial module onto this shared
+            # model instead of rebuilding every node.
+            try:
+                started = time.perf_counter()
+                compiled_base = self._ensure_compiled()
+                compile_seconds += time.perf_counter() - started
+            except VerificationError as exc:
+                return DeploymentResult(
+                    accepted=False,
+                    reason="verification failed: %s" % exc,
+                    compile_seconds=compile_seconds,
+                )
         for platform in platforms:
             try:
                 address = platform.allocate_address()
@@ -196,7 +224,9 @@ class Controller:
                 last_failure = "platform %s: %s" % (platform.name, exc)
                 continue
             # Security analysis depends on the assigned address (the
-            # module may legitimately source traffic from it).
+            # module may legitimately source traffic from it); the
+            # caching analyzer's address-independent pre-pass makes the
+            # common `allow` case a single probe for all candidates.
             try:
                 security = self.analyzer.analyze(
                     config,
@@ -205,11 +235,13 @@ class Controller:
                     whitelist=whitelist,
                 )
             except VerificationError as exc:
+                platform.release_address(address)
                 return DeploymentResult(
                     accepted=False,
                     reason="static checking impossible: %s" % exc,
                 )
             if security.verdict == VERDICT_REJECT:
+                platform.release_address(address)
                 return DeploymentResult(
                     accepted=False,
                     security=security,
@@ -226,6 +258,7 @@ class Controller:
             try:
                 listen_proto, listen_port = request.parse_listen()
             except Exception as exc:
+                platform.release_address(address)
                 return DeploymentResult(
                     accepted=False, reason="bad listen spec: %s" % exc,
                 )
@@ -233,22 +266,38 @@ class Controller:
                 module_id, address, deploy_config,
                 proto=listen_proto, port=listen_port,
             )
+            # A trial placement never alters inter-node links, so the
+            # epoch-aware compute_routes() elides the recompute.
             self.network.compute_routes()
             try:
-                started = time.perf_counter()
-                compiled = NetworkCompiler(self.network).compile()
-                compile_seconds += time.perf_counter() - started
-                started = time.perf_counter()
-                results = self._verify_all(
-                    compiled, requirements, module_id,
-                    module_config=deploy_config,
-                )
-                check_seconds += time.perf_counter() - started
+                if compiled_base is not None:
+                    started = time.perf_counter()
+                    with compiled_base.with_trial_module(
+                        platform.name, module_id, address, deploy_config,
+                    ) as compiled:
+                        compile_seconds += time.perf_counter() - started
+                        started = time.perf_counter()
+                        results = self._verify_all(
+                            compiled, requirements, module_id,
+                            module_config=deploy_config,
+                        )
+                        check_seconds += time.perf_counter() - started
+                else:
+                    started = time.perf_counter()
+                    compiled = NetworkCompiler(self.network).compile()
+                    compile_seconds += time.perf_counter() - started
+                    started = time.perf_counter()
+                    results = self._verify_all(
+                        compiled, requirements, module_id,
+                        module_config=deploy_config,
+                    )
+                    check_seconds += time.perf_counter() - started
             except VerificationError as exc:
                 # The trial placement must never leak on a failed
                 # verification (bad node reference, unmodelled
                 # element in an operator box, ...).
                 platform.undeploy(module_id)
+                platform.release_address(address)
                 self.network.compute_routes()
                 return DeploymentResult(
                     accepted=False,
@@ -260,6 +309,7 @@ class Controller:
                 if dry_run:
                     # Undo the trial placement; report the decision.
                     platform.undeploy(module_id)
+                    platform.release_address(address)
                     self.network.compute_routes()
                 else:
                     self._commit(request, module_id, platform, address,
@@ -280,6 +330,7 @@ class Controller:
                 "%s: %s" % (r.requirement, r.reason) for r in failed
             )
             platform.undeploy(module_id)
+            platform.release_address(address)
             self.network.compute_routes()
         return DeploymentResult(
             accepted=False,
@@ -299,6 +350,7 @@ class Controller:
         owned = self.client_addresses.get(record.client_id)
         if owned is not None:
             owned.discard(record.address)
+        self.network.bump_epoch()
         self.network.compute_routes()
         self.ledger.record_stop(module_id, self._clock())
         return True
@@ -349,7 +401,7 @@ class Controller:
         source.undeploy(module_id)
         target.deploy(module_id, new_address, record.config)
         self.network.compute_routes()
-        compiled = NetworkCompiler(self.network).compile()
+        compiled = self._ensure_compiled()
         results = self._verify_all(
             compiled, record.requirements, module_id,
             module_config=record.config,
@@ -357,6 +409,7 @@ class Controller:
         if not all(results):
             # Roll back: the module stays where it was.
             target.undeploy(module_id)
+            target.release_address(new_address)
             source.deploy(module_id, record.address, record.config)
             self.network.compute_routes()
             failed = [r for r in results if not r]
@@ -376,6 +429,7 @@ class Controller:
         old_platform = record.platform
         record.platform = target_platform
         record.address = new_address
+        self.network.bump_epoch()
         downtime = _migration_downtime(record.config)
         return MigrationResult(
             migrated=True,
@@ -401,7 +455,7 @@ class Controller:
         deployed module's stored client requirements; callers inspect
         the failed results to find what a topology change broke.
         """
-        compiled = NetworkCompiler(self.network).compile()
+        compiled = self._ensure_compiled()
         results = self._verify_all(compiled, [], None)
         for record in self.deployed.values():
             results.extend(self._verify_all(
@@ -446,6 +500,30 @@ class Controller:
         return outcomes
 
     # -- internals ----------------------------------------------------------------
+    def _ensure_compiled(self) -> CompiledNetwork:
+        """The compiled model of the current snapshot, cached per epoch.
+
+        Validity is keyed on :meth:`Network.model_signature`, which
+        covers the explicit epoch (bumped by real deploys, kills, and
+        migrations), the link/address-ownership structure, and the
+        committed module placement -- so even out-of-band topology
+        surgery invalidates the cache.
+        """
+        signature = self.network.model_signature()
+        if (
+            self._compiled is None
+            or signature != self._compiled_signature
+        ):
+            self.network.compute_routes()
+            self._compiled = NetworkCompiler(self.network).compile()
+            self._compiled_signature = signature
+        return self._compiled
+
+    def invalidate_model_cache(self) -> None:
+        """Drop the cached compiled model (explicit invalidation API)."""
+        self._compiled = None
+        self._compiled_signature = None
+
     def _whitelist_for(self, request: ClientRequest) -> FrozenSet[int]:
         owned = addresses_to_whitelist(request.owned_addresses)
         known = self.client_addresses.get(request.client_id, set())
@@ -504,6 +582,9 @@ class Controller:
         self.client_addresses.setdefault(request.client_id, set()).add(
             address
         )
+        # A real deploy starts a new model epoch: cached compiled
+        # networks must pick up the new permanent module.
+        self.network.bump_epoch()
 
 
 def _instantiate_rule(

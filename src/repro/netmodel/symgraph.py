@@ -18,7 +18,8 @@ Conventions:
 
 from __future__ import annotations
 
-from typing import Callable, Dict, List, Optional, Tuple
+from contextlib import contextmanager
+from typing import Callable, Dict, Iterator, List, Optional, Tuple
 
 from repro.common import fields as F
 from repro.common.errors import VerificationError
@@ -172,11 +173,66 @@ class CompiledNetwork:
     def __init__(self, network: Network, graph: SymGraph):
         self.network = network
         self.graph = graph
+        #: The network epoch this model was compiled at; the owner
+        #: (the controller) compares it against ``network.epoch`` to
+        #: decide whether the model is still current.
+        self.epoch = network.epoch
         #: module name -> (platform name, assigned address, ClickConfig).
         self.modules: Dict[str, Tuple[str, int, object]] = {}
         for platform in network.platforms():
             for name, (address, config) in platform.modules.items():
                 self.modules[name] = (platform.name, address, config)
+
+    # -- incremental updates ------------------------------------------------
+    @property
+    def is_current(self) -> bool:
+        """Whether the underlying network is still at our epoch."""
+        return self.epoch == self.network.epoch
+
+    @contextmanager
+    def with_trial_module(
+        self, platform_name: str, module_id: str, address: int, config
+    ) -> Iterator["CompiledNetwork"]:
+        """Temporarily graft one module's branch onto the compiled graph.
+
+        The admission fast path: instead of recompiling every node
+        model for each candidate placement, the already-compiled
+        operator network is reused and only the platform-local module
+        subgraph (its elements, internal wiring, and the two splice
+        edges into the platform's demux) is added -- and removed again
+        on exit, leaving the shared model untouched.  The platform's
+        steering rules are read live from its flow table, so the caller
+        must have trial-deployed the module on the platform
+        (``platform.deploy``) before entering, and undeploy after.
+
+        Exploration over the grafted graph is equivalent to a full
+        recompile of the trial snapshot (module pseudo-port numbering
+        may differ; it is internal to the platform demux).
+        """
+        if module_id in self.graph.models or module_id in self.modules:
+            raise VerificationError(
+                "trial module %r already present in the model"
+                % (module_id,)
+            )
+        state: _PlatformState = self.graph.payloads[platform_name]
+        index = len(state.module_order)
+        state.module_order.append(module_id)
+        added_nodes: List[str] = []
+        added_edges: List[Tuple[str, int]] = []
+        try:
+            _splice_module(
+                self.graph, platform_name, module_id, config, index,
+                added_nodes=added_nodes, added_edges=added_edges,
+            )
+            self.modules[module_id] = (platform_name, address, config)
+            yield self
+        finally:
+            self.modules.pop(module_id, None)
+            for key in added_edges:
+                self.graph.edges.pop(key, None)
+            for name in added_nodes:
+                self.graph.remove_node(name)
+            state.module_order.remove(module_id)
 
     # -- engine -----------------------------------------------------------
     def engine(self, **kwargs) -> SymbolicEngine:
@@ -375,49 +431,69 @@ class NetworkCompiler:
             state: _PlatformState = graph.payloads[platform.name]
             for index, module_name in enumerate(state.module_order):
                 _address, config = platform.modules[module_name]
-                self._splice_module(graph, platform.name, module_name,
-                                    config, index)
+                _splice_module(graph, platform.name, module_name,
+                               config, index)
         return CompiledNetwork(self.network, graph)
 
-    def _splice_module(
-        self, graph: SymGraph, platform_name: str, module_name: str,
-        config, index: int,
-    ) -> None:
-        from repro.click.element import create_element
 
-        prefix = module_name + "/"
-        for name, decl in config.elements.items():
-            element = create_element(decl.class_name, name, decl.args)
-            graph.add_node(
-                prefix + name,
-                model_for(decl.class_name),
-                payload=element,
-                is_sink=False,  # egress re-enters the platform
-            )
-        for edge in config.edges:
-            graph.connect(prefix + edge.src, edge.src_port,
-                          prefix + edge.dst, edge.dst_port)
-        entry_classes = ("FromNetfront", "FromDevice")
-        exit_classes = ("ToNetfront", "ToDevice")
-        sources = [
-            name for name in config.sources()
-            if config.elements[name].class_name in entry_classes
-        ]
-        sinks = [
-            name for name in config.sinks()
-            if config.elements[name].class_name in exit_classes
-        ]
-        if not sources or not sinks:
-            raise VerificationError(
-                "module %r needs a FromNetfront source and a ToNetfront "
-                "sink to be spliced" % (module_name,)
-            )
-        graph.connect(
-            platform_name, MODULE_INGRESS_BASE + index,
-            prefix + sources[0], 0,
+def _splice_module(
+    graph: SymGraph,
+    platform_name: str,
+    module_name: str,
+    config,
+    index: int,
+    added_nodes: Optional[List[str]] = None,
+    added_edges: Optional[List[Tuple[str, int]]] = None,
+) -> None:
+    """Add one module's elements behind its platform's demux.
+
+    Used both by the full compiler and by incremental grafting
+    (:meth:`CompiledNetwork.with_trial_module`); the optional
+    ``added_nodes``/``added_edges`` lists collect what was created so a
+    graft can be undone exactly.
+    """
+    from repro.click.element import create_element
+
+    def _connect(src, src_port, dst, dst_port):
+        graph.connect(src, src_port, dst, dst_port)
+        if added_edges is not None:
+            added_edges.append((src, src_port))
+
+    prefix = module_name + "/"
+    for name, decl in config.elements.items():
+        element = create_element(decl.class_name, name, decl.args)
+        graph.add_node(
+            prefix + name,
+            model_for(decl.class_name),
+            payload=element,
+            is_sink=False,  # egress re-enters the platform
         )
-        for sink in sinks:
-            graph.connect(
-                prefix + sink, 0,
-                platform_name, MODULE_EGRESS_BASE + index,
-            )
+        if added_nodes is not None:
+            added_nodes.append(prefix + name)
+    for edge in config.edges:
+        _connect(prefix + edge.src, edge.src_port,
+                 prefix + edge.dst, edge.dst_port)
+    entry_classes = ("FromNetfront", "FromDevice")
+    exit_classes = ("ToNetfront", "ToDevice")
+    sources = [
+        name for name in config.sources()
+        if config.elements[name].class_name in entry_classes
+    ]
+    sinks = [
+        name for name in config.sinks()
+        if config.elements[name].class_name in exit_classes
+    ]
+    if not sources or not sinks:
+        raise VerificationError(
+            "module %r needs a FromNetfront source and a ToNetfront "
+            "sink to be spliced" % (module_name,)
+        )
+    _connect(
+        platform_name, MODULE_INGRESS_BASE + index,
+        prefix + sources[0], 0,
+    )
+    for sink in sinks:
+        _connect(
+            prefix + sink, 0,
+            platform_name, MODULE_EGRESS_BASE + index,
+        )

@@ -149,6 +149,9 @@ class Platform(Node):
         #: module name -> (assigned address, ClickConfig).
         self.modules: Dict[str, Tuple[int, object]] = {}
         self._next_offset = 1
+        #: Addresses handed out but returned unused (failed/aborted
+        #: placements); reused lowest-first before fresh offsets.
+        self._released: set = set()
         #: The platform switch's OpenFlow-style table; the controller's
         #: steering rules land here (Section 4.3).
         from repro.netmodel.flowtable import FlowTable
@@ -165,9 +168,14 @@ class Platform(Node):
         return IntervalSet.from_interval(low, high)
 
     def allocate_address(self) -> int:
-        """Next unused address from the pool."""
-        low, high = prefix_range(self.pool_network, self.pool_plen)
+        """Next unused address from the pool (released ones first)."""
         in_use = {addr for addr, _cfg in self.modules.values()}
+        while self._released:
+            candidate = min(self._released)
+            self._released.discard(candidate)
+            if candidate not in in_use:
+                return candidate
+        low, high = prefix_range(self.pool_network, self.pool_plen)
         candidate = low + self._next_offset
         while candidate in in_use:
             candidate += 1
@@ -177,6 +185,48 @@ class Platform(Node):
             )
         self._next_offset = candidate - low + 1
         return candidate
+
+    def release_address(self, address: int) -> None:
+        """Return an allocated-but-unused address to the pool.
+
+        The controller calls this on every non-commit exit of a trial
+        placement (rejection, verification failure, next-candidate);
+        without it each failed attempt permanently shrinks the pool.
+        """
+        low, high = prefix_range(self.pool_network, self.pool_plen)
+        if not low <= address <= high:
+            raise ConfigError(
+                "address %d is not in platform %r's pool"
+                % (address, self.name)
+            )
+        in_use = {addr for addr, _cfg in self.modules.values()}
+        if address in in_use:
+            raise ConfigError(
+                "address %d is still bound to a deployed module"
+                % (address,)
+            )
+        if address == low + self._next_offset - 1:
+            # Releasing the most recent allocation rewinds the cursor,
+            # so a fully-rejected request leaves the pool byte-identical.
+            self._next_offset -= 1
+        else:
+            self._released.add(address)
+
+    def free_address_count(self) -> int:
+        """Addresses :meth:`allocate_address` can still hand out.
+
+        Leaked allocations (handed out, never deployed, never released)
+        show up here as missing capacity -- the regression the
+        controller's release-on-every-non-commit-exit discipline guards
+        against.
+        """
+        low, high = prefix_range(self.pool_network, self.pool_plen)
+        in_use = {addr for addr, _cfg in self.modules.values()}
+        cursor = low + self._next_offset
+        fresh = max(0, high - cursor + 1)
+        fresh -= sum(1 for addr in in_use if addr >= cursor)
+        fresh += sum(1 for addr in self._released if addr not in in_use)
+        return fresh
 
     def deploy(
         self,
@@ -245,12 +295,88 @@ class Network:
         self.name = name
         self.nodes: Dict[str, Node] = {}
         self.links: List[Link] = []
+        #: Model epoch: bumped by topology changes and by the controller
+        #: on every *real* deploy, kill, and migration.  Trial
+        #: placements never bump it, which is what lets compiled models
+        #: and routing tables be reused across admission candidates.
+        self._epoch = 0
+        #: Signature of the route inputs the last time
+        #: :meth:`compute_routes` actually ran (None = never).
+        self._routes_signature = None
+
+    # -- epochs ---------------------------------------------------------------
+    @property
+    def epoch(self) -> int:
+        """Current model epoch (see :meth:`bump_epoch`)."""
+        return self._epoch
+
+    def bump_epoch(self) -> None:
+        """Invalidate cached models derived from this snapshot.
+
+        Called automatically on structural changes and by the
+        controller when module placement *commits* (deploy, kill,
+        migrate).  Consumers (the controller's compiled-network cache)
+        compare epochs to decide whether a cached model is still valid.
+        """
+        self._epoch += 1
+
+    def topology_signature(self) -> int:
+        """Hash of everything :meth:`compute_routes` depends on.
+
+        Links plus per-node address ownership -- deliberately *not*
+        platform-internal module state: deploying a module onto a
+        platform never changes inter-node routing (the platform owns
+        its whole pool prefix), which is exactly the route-recompute
+        elision the admission fast path relies on.
+        """
+        link_part = tuple(sorted(
+            (l.a, l.a_port, l.b, l.b_port) for l in self.links
+        ))
+        owner_part = []
+        for name in sorted(self.nodes):
+            node = self.nodes[name]
+            if isinstance(node, Internet):
+                owner_part.append((name, "default"))
+            elif isinstance(node, Host):
+                owner_part.append((name, node.address, 32))
+            elif isinstance(node, ClientSubnet):
+                owner_part.append((name, node.network, node.plen))
+            elif isinstance(node, Platform):
+                owner_part.append(
+                    (name, node.pool_network, node.pool_plen)
+                )
+        return hash((link_part, tuple(owner_part)))
+
+    def model_signature(self) -> int:
+        """Hash of everything a compiled symbolic model depends on.
+
+        Topology signature + committed module placement + the explicit
+        epoch, so cached :class:`~repro.netmodel.symgraph.CompiledNetwork`
+        instances are invalidated both by real state changes and by
+        explicit :meth:`bump_epoch` calls.
+        """
+        placement = []
+        for platform in self.platforms():
+            placement.append((
+                platform.name,
+                tuple(sorted(
+                    (name, address, id(config))
+                    for name, (address, config)
+                    in platform.modules.items()
+                )),
+            ))
+        return hash((
+            self._epoch,
+            self.topology_signature(),
+            tuple(placement),
+        ))
 
     # -- node constructors ---------------------------------------------------
     def _add(self, node: Node) -> Node:
         if node.name in self.nodes:
             raise ConfigError("node %r added twice" % (node.name,))
         self.nodes[node.name] = node
+        self.bump_epoch()
         return node
 
     def add_router(self, name: str) -> Router:
@@ -318,6 +444,7 @@ class Network:
         node_b.ports[b_port] = (a, a_port)
         wire = Link(a, a_port, b, b_port, latency_s=latency_s)
         self.links.append(wire)
+        self.bump_epoch()
         return wire
 
     def link_latency(self, a: str, b: str) -> float:
@@ -347,6 +474,7 @@ class Network:
                 (self.node(link.b), link.b_port),
             ):
                 node.ports.pop(port, None)
+        self.bump_epoch()
         self.compute_routes()
 
     # -- queries ------------------------------------------------------------------
@@ -380,15 +508,26 @@ class Network:
         ]
 
     # -- routing -----------------------------------------------------------------
-    def compute_routes(self) -> None:
+    def compute_routes(self, force: bool = False) -> None:
         """Fill every router's table with shortest-path routes.
 
         For each addressed node a BFS over the link graph yields each
         router's next hop; the route's prefix is the node's owned
         address range (internet nodes get the 0.0.0.0/0 default).
-        This recomputation is what the controller refreshes after every
-        deployment that changes address ownership.
+
+        Recomputation is **elided** when nothing routing depends on has
+        changed since the last run: routes are a function of links and
+        address ownership only, so trial module placements (which only
+        touch platform-internal state) re-use the existing tables.  The
+        staleness check hashes links + ownership directly, so even
+        out-of-band mutations of ``links``/``ports`` are caught.  Pass
+        ``force=True`` to recompute unconditionally (e.g. after editing
+        a router table by hand).
         """
+        signature = self.topology_signature()
+        if not force and signature == self._routes_signature:
+            return
+        self._routes_signature = signature
         for router in self.routers():
             router.table = RoutingTable()
         destinations: List[Tuple[Node, Tuple[int, int]]] = []

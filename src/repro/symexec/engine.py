@@ -215,6 +215,23 @@ class SymGraph:
                 raise VerificationError("edge references unknown %r" % name)
         self.edges[(src, src_port)] = (dst, dst_port)
 
+    def remove_node(self, name: str) -> None:
+        """Unregister a node and every edge touching it.
+
+        Incremental network compilation uses this to ungraft a trial
+        module's branch; unknown names are ignored so teardown is
+        idempotent.
+        """
+        self.models.pop(name, None)
+        self.sinks.pop(name, None)
+        self.payloads.pop(name, None)
+        stale = [
+            key for key, dst in self.edges.items()
+            if key[0] == name or dst[0] == name
+        ]
+        for key in stale:
+            del self.edges[key]
+
     def successor(
         self, node: str, port: int
     ) -> Optional[Tuple[str, int]]:
