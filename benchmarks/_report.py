@@ -9,7 +9,28 @@ the text states them.  Run with::
 
 from __future__ import annotations
 
+import json
 from typing import Iterable, Sequence
+
+#: Prefix of the machine-readable line emitted after every table, so a
+#: driver can ``grep '^FIGURE_JSON '`` a benchmark log and recover each
+#: reproduced figure as one JSON object per line.
+FIGURE_JSON_PREFIX = "FIGURE_JSON "
+
+
+def figure_record(
+    title: str,
+    headers: Sequence[str],
+    rows: Sequence[Sequence[str]],
+    note: str = "",
+) -> dict:
+    """The JSON-serializable record for one reproduced figure/table."""
+    return {
+        "title": title,
+        "headers": list(headers),
+        "rows": [list(row) for row in rows],
+        "note": note,
+    }
 
 
 def print_table(
@@ -18,7 +39,8 @@ def print_table(
     rows: Iterable[Sequence[object]],
     note: str = "",
 ) -> None:
-    """Print one reproduced figure/table as an aligned text table."""
+    """Print one reproduced figure/table as an aligned text table,
+    followed by a machine-readable ``FIGURE_JSON`` line."""
     rows = [tuple(str(cell) for cell in row) for row in rows]
     widths = [len(h) for h in headers]
     for row in rows:
@@ -32,6 +54,9 @@ def print_table(
         print("  ".join("%-*s" % (w, c) for w, c in zip(widths, row)))
     if note:
         print(note)
+    print(FIGURE_JSON_PREFIX + json.dumps(
+        figure_record(title, headers, rows, note), sort_keys=True
+    ))
 
 
 def fmt(value: float, digits: int = 2) -> str:

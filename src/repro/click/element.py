@@ -75,6 +75,17 @@ class Element:
     #: abstract "element cost units"; the platform throughput model sums
     #: these along a config's path (see repro.platform.throughput).
     cycle_cost = 1.0
+    #: Whether push() may buffer packets for later emission.  Buffering
+    #: elements returning no results are not counted as drops by the
+    #: instrumented runtime, and their backlog feeds the queue-depth
+    #: gauge (see repro.obs).
+    is_buffering = False
+    #: Whether push() may emit more than one packet per input packet
+    #: (Tee, Multicast).  The instrumented runtime's deferred-accounting
+    #: fast path derives per-element drop counts from entry counts,
+    #: which multiplying elements would skew, so their presence selects
+    #: the exact per-hop counting path instead.
+    is_multiplying = False
 
     def __init__(self, name: str, args: Optional[Sequence[str]] = None):
         self.name = name

@@ -22,6 +22,7 @@ class Multicast(Element):
     """
 
     cycle_cost = 1.8
+    is_multiplying = True
 
     def configure(self, args: List[str]) -> None:
         if not args:

@@ -28,6 +28,7 @@ class Queue(Element):
     """
 
     cycle_cost = 0.5
+    is_buffering = True
 
     def configure(self, args: List[str]) -> None:
         self.require_args(args, 0, 1)
@@ -111,6 +112,7 @@ class TimedUnqueue(Element):
     """
 
     cycle_cost = 0.7
+    is_buffering = True
 
     def configure(self, args: List[str]) -> None:
         self.require_args(args, 1, 2)
@@ -143,6 +145,7 @@ class RatedUnqueue(Element):
     """Emits buffered packets at a fixed packet rate (packets/second)."""
 
     cycle_cost = 0.7
+    is_buffering = True
 
     def configure(self, args: List[str]) -> None:
         self.require_args(args, 1)
@@ -177,6 +180,7 @@ class BandwidthShaper(Element):
     """
 
     cycle_cost = 0.9
+    is_buffering = True
 
     def configure(self, args: List[str]) -> None:
         self.require_args(args, 1, 2)

@@ -74,6 +74,7 @@ class Tee(Element):
 
     n_outputs = None
     cycle_cost = 0.5
+    is_multiplying = True
 
     def configure(self, args: List[str]) -> None:
         self.require_args(args, 0, 1)

@@ -9,6 +9,13 @@ push processing.
 Packets that exit through ``ToNetfront``/``ToDevice`` sinks are collected
 in :attr:`Runtime.output` as ``(element_name, packet, time)`` records so
 tests and the platform simulator can observe egress traffic.
+
+**Observability.**  Passing an :class:`~repro.obs.Observability` bundle
+instruments the dataplane: per-element packet/byte/drop counters, an
+egress counter and ingress-to-egress latency histogram (in simulated
+seconds), and a queue-depth gauge sampled from buffering elements at
+snapshot time.  With ``obs=None`` (the default) the per-hop methods are
+the uninstrumented originals -- the disabled path costs nothing.
 """
 
 from __future__ import annotations
@@ -42,7 +49,12 @@ class Runtime:
     1
     """
 
-    def __init__(self, config: ClickConfig, start_time: float = 0.0):
+    def __init__(
+        self,
+        config: ClickConfig,
+        start_time: float = 0.0,
+        obs=None,
+    ):
         config.validate()
         self.config = config
         self.now = start_time
@@ -70,8 +82,117 @@ class Runtime:
             if getattr(element, "is_sink", False)
         )
         self._adjacency_get = self._adjacency.get
+        self._obs = obs if obs is not None and obs.enabled else None
+        if self._obs is not None:
+            self._bind_metrics(self._obs.metrics)
         for element in self.elements.values():
             element.initialize(self)
+
+    def _bind_metrics(self, metrics) -> None:
+        """Pre-bind per-element metric children and swap in the
+        instrumented per-hop methods.
+
+        Two instrumentation strategies, chosen per configuration:
+
+        * **Deferred segment accounting** (the common case, installed
+          by ``_install_fast_path``): nothing is counted per hop; each
+          packet records one tally when its chain *terminates*, and a
+          collector expands those tallies into per-element counters by
+          walking the terminator's unique upstream chain.  Exact only
+          when every element has at most one upstream edge and none
+          duplicates packets, so...
+        * **Exact per-hop counting**: graphs with join elements or
+          multiplying elements (Tee, Multicast) pay for real counter
+          increments on every hop instead.
+        """
+        packets = metrics.counter(
+            "dataplane_packets_total",
+            "Packets entering each element", labels=("element",),
+        )
+        bytes_ = metrics.counter(
+            "dataplane_bytes_total",
+            "Bytes entering each element", labels=("element",),
+        )
+        drops = metrics.counter(
+            "dataplane_drops_total",
+            "Packets dropped by each non-buffering element",
+            labels=("element",),
+        )
+        egress = metrics.counter(
+            "dataplane_egress_total",
+            "Packets leaving through each sink", labels=("element",),
+        )
+        self._h_latency = metrics.histogram(
+            "dataplane_egress_latency_seconds",
+            "Simulated seconds from injection to egress",
+        )
+        self._m_unrouted = metrics.counter(
+            "dataplane_unrouted_drops_total",
+            "Packets dropped on unconnected output ports",
+        )
+        self._q_depth = metrics.gauge(
+            "dataplane_queue_depth",
+            "Buffered packets per queueing element", labels=("element",),
+        )
+        metrics.register_collector(self.observe_queue_depths)
+        indegree: Dict[str, int] = {}
+        for dst, _port in self._adjacency.values():
+            indegree[dst] = indegree.get(dst, 0) + 1
+        join_free = all(n <= 1 for n in indegree.values())
+        multiplies = any(
+            element.is_multiplying for element in self.elements.values()
+        )
+        if join_free and not multiplies:
+            self._parent = {
+                dst: src
+                for (src, _sp), (dst, _dp) in self._adjacency.items()
+            }
+            self._segments: Dict[tuple, List] = {}
+            self._seg_memo: Optional[tuple] = None
+            self._lat_counts: Dict[float, int] = {}
+            self._cur_entry: object = None
+            self._cur_ingress = 0.0
+            self._unrouted_flushed = 0
+            self._m_children = {}
+            for n, e in self.elements.items():
+                is_sink = n in self._sink_names
+                self._m_children[n] = (
+                    packets.labels(n),
+                    bytes_.labels(n),
+                    None if (is_sink or e.is_buffering)
+                    else drops.labels(n),
+                    egress.labels(n) if is_sink else None,
+                )
+            metrics.register_collector(self._flush_segments)
+            self._install_fast_path()
+            return
+        # Exact per-hop counting: one dict lookup per hop yielding the
+        # (inc packets, inc bytes) bound methods.
+        self._m_hop = {
+            n: (packets.labels(n).inc, bytes_.labels(n).inc)
+            for n in self.elements
+        }
+        # Buffering elements legitimately return no packets from push();
+        # only non-buffering ones count an empty result as a drop.
+        self._m_drops = {
+            n: drops.labels(n) for n, e in self.elements.items()
+            if not e.is_buffering
+        }
+        self._m_egress = {n: egress.labels(n) for n in self._sink_names}
+        self._push = self._push_observed
+        self._route = self._route_observed
+        self.inject = self._inject_observed
+
+    def observe_queue_depths(self) -> None:
+        """Sample buffered-packet counts into the queue-depth gauge."""
+        if self._obs is None:
+            return
+        for name, element in self.elements.items():
+            buffer = getattr(element, "buffer", None)
+            if buffer is not None:
+                self._q_depth.labels(name).set(len(buffer))
+            elif hasattr(element, "backlog"):
+                self._q_depth.labels(name).set(element.backlog)
 
     # -- time ------------------------------------------------------------
     def schedule(self, delay: float, callback: Callable[[], None]) -> None:
@@ -146,10 +267,241 @@ class Runtime:
             return
         self._push(nxt[0], nxt[1], packet)
 
+    # -- instrumented variants (installed by _bind_metrics) ----------------
+    def _inject_observed(
+        self,
+        element: str,
+        packet,
+        port: int = 0,
+        at: Optional[float] = None,
+    ) -> None:
+        # Stamp the ingress time once, at injection, so the egress
+        # latency histogram costs nothing on the per-hop path.
+        annotations = getattr(packet, "annotations", None)
+        if annotations is not None and "obs.ingress" not in annotations:
+            annotations["obs.ingress"] = self.now if at is None else at
+        Runtime.inject(self, element, packet, port=port, at=at)
+
+    def _push_observed(self, name: str, port: int, packet) -> None:
+        inc_packets, inc_bytes = self._m_hop[name]
+        inc_packets()
+        inc_bytes(packet.length)
+        element = self.elements[name]
+        results = element.push(port, packet)
+        if not results:
+            drop = self._m_drops.get(name)
+            if drop is not None:
+                drop.inc()
+            return
+        for out_port, out_packet in results:
+            self._route(name, out_port, out_packet)
+
+    def _route_observed(self, src: str, port: int, packet) -> None:
+        if src in self._sink_names:
+            self.output.append(EgressRecord(src, packet, self.now))
+            self._m_egress[src].inc()
+            ingress = packet.annotations.get("obs.ingress")
+            if ingress is not None:
+                self._h_latency.observe(self.now - ingress)
+            return
+        nxt = self._adjacency_get((src, port))
+        if nxt is None:
+            self.dropped += 1
+            self._m_unrouted.inc()
+            return
+        self._push(nxt[0], nxt[1], packet)
+
+    # -- deferred-segment fast path (join-free graphs) ----------------------
+    def _install_fast_path(self) -> None:
+        """Install closure-based hot-path handlers.
+
+        The engine is synchronous and single-threaded, so "which packet
+        is in flight" is runtime state, not per-packet state: injection
+        sets the current entry element and ingress time, and nothing is
+        recorded until the packet's chain terminates (egress, drop,
+        buffer entry, or an unconnected port).  Each termination bumps
+        one ``[packets, bytes]`` tally keyed by ``(entry, terminator,
+        kind)``; ``_flush_segments`` expands the tallies into the real
+        counters.  Everything hot is bound as a closure variable so the
+        instrumented path pays no ``self`` attribute chasing.
+        """
+        rt = self
+        elements = self.elements
+        sink_names = self._sink_names
+        adjacency_get = self._adjacency_get
+        segments = self._segments
+        lat_counts = self._lat_counts
+        output_append = self.output.append
+        record = EgressRecord
+
+        def end_segment(name, kind, packet):
+            key = (rt._cur_entry, name, kind)
+            try:
+                seg = segments[key]
+            except KeyError:
+                seg = segments[key] = [0, 0]
+            seg[0] += 1
+            seg[1] += packet.length
+
+        def push(name, port, packet):
+            element = elements[name]
+            results = element.push(port, packet)
+            if results:
+                for out_port, out_packet in results:
+                    route(name, out_port, out_packet)
+                return
+            # The chain ends here: a drop, or entry into a buffer.
+            if element.is_buffering:
+                end_segment(name, "pass", packet)
+                # Remember the original ingress so end-to-end latency
+                # survives the buffer (read back in deliver_from).
+                packet.annotations["obs.ingress"] = rt._cur_ingress
+            else:
+                end_segment(name, "drop", packet)
+
+        def route(src, port, packet):
+            if src in sink_names:
+                now = rt.now
+                output_append(record(src, packet, now))
+                # One-entry memo: a train of packets from the same
+                # entry to the same sink skips the keyed lookup.
+                memo = rt._seg_memo
+                if memo is not None and memo[1] is src \
+                        and memo[0] is rt._cur_entry:
+                    seg = memo[2]
+                else:
+                    key = (rt._cur_entry, src, "egress")
+                    try:
+                        seg = segments[key]
+                    except KeyError:
+                        seg = segments[key] = [0, 0]
+                    rt._seg_memo = (rt._cur_entry, src, seg)
+                seg[0] += 1
+                seg[1] += packet.length
+                ingress = rt._cur_ingress
+                if now != ingress:
+                    lat = now - ingress
+                    try:
+                        lat_counts[lat] += 1
+                    except KeyError:
+                        lat_counts[lat] = 1
+                # Zero-latency observations are not recorded per
+                # packet: the flush derives them as (egress packets)
+                # minus (non-zero latency observations).
+                return
+            nxt = adjacency_get((src, port))
+            if nxt is None:
+                rt.dropped += 1
+                end_segment(src, "pass", packet)
+                return
+            push(nxt[0], nxt[1], packet)
+
+        def inject(element, packet, port=0, at=None):
+            if element not in elements:
+                raise ConfigError(
+                    "inject into unknown element %r" % (element,)
+                )
+            if at is not None:
+                if at < rt.now:
+                    raise SimulationError("cannot inject in the past")
+
+                def fire():
+                    rt._cur_entry = element
+                    rt._cur_ingress = rt.now
+                    push(element, port, packet)
+
+                rt.schedule(at - rt.now, fire)
+                return
+            rt._cur_entry = element
+            rt._cur_ingress = rt.now
+            push(element, port, packet)
+
+        def deliver_from(element, port, packet):
+            # A buffered packet re-enters the graph: the new segment
+            # starts *after* the buffering element (already counted
+            # when the packet entered it), and the original ingress
+            # time is read back from the buffer-entry annotation.
+            rt._cur_entry = ("x", element.name)
+            rt._cur_ingress = packet.annotations.get(
+                "obs.ingress", rt.now
+            )
+            route(element.name, port, packet)
+
+        self._push = push
+        self._route = route
+        self.inject = inject
+        self.deliver_from = deliver_from
+
+    def _flush_segments(self) -> None:
+        """Expand the recorded segments into the metric children.
+
+        Runs as a registry collector, so every snapshot/export sees
+        up-to-date counters.  For each segment the terminator's unique
+        upstream chain is walked back to the entry element; every
+        element on it receives the segment's packet and byte counts.
+        Drop terminations also feed the terminator's drop counter, and
+        egress terminations its egress counter plus the latency
+        histogram.  The hot path only records *non-zero* latencies, so
+        the zero-latency (synchronous traversal) count is derived here
+        as egress packets minus non-zero observations -- both tallies
+        cover the same flush interval, so the difference is exact.
+        """
+        egress_n = 0
+        segments = self._segments
+        if segments:
+            parent_get = self._parent.get
+            children = self._m_children
+            max_len = len(self.elements)
+            for (entry, term, kind), seg in segments.items():
+                n, nbytes = seg
+                exclusive = type(entry) is tuple
+                target = entry[1] if exclusive else entry
+                path = [term]
+                node = term
+                while node != target and len(path) <= max_len:
+                    node = parent_get(node)
+                    if node is None:
+                        break
+                    path.append(node)
+                if exclusive and path[-1] == target:
+                    path.pop()
+                for name in path:
+                    pc, bc, _dc, _ec = children[name]
+                    pc.inc(n)
+                    bc.inc(nbytes)
+                if kind == "drop":
+                    dc = children[term][2]
+                    if dc is not None:
+                        dc.inc(n)
+                elif kind == "egress":
+                    egress_n += n
+                    ec = children[term][3]
+                    if ec is not None:
+                        ec.inc(n)
+            segments.clear()
+            self._seg_memo = None
+        if self.dropped > self._unrouted_flushed:
+            self._m_unrouted.inc(self.dropped - self._unrouted_flushed)
+            self._unrouted_flushed = self.dropped
+        lat_counts = self._lat_counts
+        nonzero = 0
+        if lat_counts:
+            observe_count = self._h_latency.observe_count
+            while lat_counts:
+                value, count = lat_counts.popitem()
+                nonzero += count
+                observe_count(value, count)
+        zero = egress_n - nonzero
+        if zero > 0:
+            self._h_latency.observe_count(0.0, zero)
+
     # -- introspection -----------------------------------------------------
     def take_output(self) -> List[EgressRecord]:
         """Return and clear the collected egress records."""
-        records, self.output = self.output, []
+        records = list(self.output)
+        # Clear in place: the fast path pre-binds ``output.append``, so
+        # the list object must stay the same across the runtime's life.
+        self.output.clear()
         return records
 
     def element(self, name: str) -> Element:

@@ -43,6 +43,15 @@ class CacheStats:
     misses: int = 0
     evictions: int = 0
 
+    def record_hit(self) -> None:
+        self.hits += 1
+
+    def record_miss(self) -> None:
+        self.misses += 1
+
+    def record_eviction(self) -> None:
+        self.evictions += 1
+
     @property
     def probes(self) -> int:
         return self.hits + self.misses
@@ -50,6 +59,78 @@ class CacheStats:
     @property
     def hit_rate(self) -> float:
         return self.hits / self.probes if self.probes else 0.0
+
+    def to_dict(self) -> dict:
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "evictions": self.evictions,
+            "hit_rate": self.hit_rate,
+        }
+
+
+class RegistryCacheStats:
+    """:class:`CacheStats` backed by ``repro.obs`` registry counters.
+
+    Same read interface (``hits``/``misses``/``evictions``/``probes``/
+    ``hit_rate``), but every increment lands in the shared
+    :class:`~repro.obs.MetricsRegistry` under
+    ``cache_{hits,misses,evictions}_total{cache=<name>}`` -- the cache
+    no longer keeps private counters once instrumented.
+    """
+
+    __slots__ = ("_hits", "_misses", "_evictions")
+
+    def __init__(self, metrics, name: str):
+        self._hits = metrics.counter(
+            "cache_hits_total", "Cache probes that hit",
+            labels=("cache",),
+        ).labels(name)
+        self._misses = metrics.counter(
+            "cache_misses_total", "Cache probes that missed",
+            labels=("cache",),
+        ).labels(name)
+        self._evictions = metrics.counter(
+            "cache_evictions_total", "Entries evicted past capacity",
+            labels=("cache",),
+        ).labels(name)
+
+    def record_hit(self) -> None:
+        self._hits.inc()
+
+    def record_miss(self) -> None:
+        self._misses.inc()
+
+    def record_eviction(self) -> None:
+        self._evictions.inc()
+
+    @property
+    def hits(self) -> int:
+        return self._hits.value
+
+    @property
+    def misses(self) -> int:
+        return self._misses.value
+
+    @property
+    def evictions(self) -> int:
+        return self._evictions.value
+
+    @property
+    def probes(self) -> int:
+        return self.hits + self.misses
+
+    @property
+    def hit_rate(self) -> float:
+        return self.hits / self.probes if self.probes else 0.0
+
+    def to_dict(self) -> dict:
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "evictions": self.evictions,
+            "hit_rate": self.hit_rate,
+        }
 
 
 class LRUCache:
@@ -62,6 +143,18 @@ class LRUCache:
         self._entries: "OrderedDict[Hashable, object]" = OrderedDict()
         self.stats = CacheStats()
 
+    def instrument(self, metrics, name: str) -> None:
+        """Move accounting into a metrics registry (carrying over any
+        counts already accumulated on the private counters)."""
+        stats = RegistryCacheStats(metrics, name)
+        for _ in range(self.stats.hits):
+            stats.record_hit()
+        for _ in range(self.stats.misses):
+            stats.record_miss()
+        for _ in range(self.stats.evictions):
+            stats.record_eviction()
+        self.stats = stats
+
     def __len__(self) -> int:
         return len(self._entries)
 
@@ -73,10 +166,10 @@ class LRUCache:
         try:
             value = self._entries[key]
         except KeyError:
-            self.stats.misses += 1
+            self.stats.record_miss()
             return None
         self._entries.move_to_end(key)
-        self.stats.hits += 1
+        self.stats.record_hit()
         return value
 
     def put(self, key: Hashable, value) -> None:
@@ -85,7 +178,7 @@ class LRUCache:
         self._entries.move_to_end(key)
         if len(self._entries) > self.capacity:
             self._entries.popitem(last=False)
-            self.stats.evictions += 1
+            self.stats.record_eviction()
 
     def clear(self) -> None:
         self._entries.clear()
@@ -112,6 +205,10 @@ class CachingSecurityAnalyzer:
     @property
     def stats(self) -> CacheStats:
         return self.cache.stats
+
+    def instrument(self, metrics, name: str = "verdict") -> None:
+        """Expose this cache's accounting through a metrics registry."""
+        self.cache.instrument(metrics, name)
 
     def analyze(
         self,

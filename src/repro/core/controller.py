@@ -107,9 +107,11 @@ class Controller:
         ledger=None,
         clock=None,
         fast_path: bool = True,
+        obs=None,
     ):
         from repro.core.accounting import Ledger
         from repro.core.cache import CachingSecurityAnalyzer
+        from repro.obs import NULL_OBSERVABILITY
 
         self.network = network
         self.network.compute_routes()
@@ -142,6 +144,33 @@ class Controller:
         self.ledger = ledger if ledger is not None else Ledger()
         #: Simulated-time source for accounting (defaults to wall time).
         self._clock = clock if clock is not None else time.time
+        #: Observability (repro.obs): metrics + admission spans.  The
+        #: shared disabled bundle makes every instrumentation site a
+        #: no-op call, so the code below never branches on presence.
+        self._obs = obs if obs is not None else NULL_OBSERVABILITY
+        self._tracer = self._obs.tracer
+        metrics = self._obs.metrics
+        if self._fast_path and self._obs.enabled:
+            # Satellite of the obs subsystem: the verdict cache's
+            # accounting lives in the shared registry, not in private
+            # counters (see repro.core.cache.RegistryCacheStats).
+            self.analyzer.instrument(metrics, "verdict")
+        self._h_admission = metrics.histogram(
+            "controller_admission_seconds",
+            "Wall-clock seconds per admission request",
+        )
+        self._c_requests = metrics.counter(
+            "controller_requests_total",
+            "Admission requests by outcome", labels=("outcome",),
+        )
+        self._c_migrations = metrics.counter(
+            "controller_migrations_total",
+            "Migration attempts by outcome", labels=("outcome",),
+        )
+        self._c_kills = metrics.counter(
+            "controller_kills_total", "Modules killed",
+        )
+        self._request_outcomes = {"accepted": 0, "rejected": 0}
 
     # -- public API -----------------------------------------------------------
     def request(
@@ -158,6 +187,29 @@ class Controller:
         placement without committing anything -- the verification phase
         of a parallel controller deployment (Section 4.3).
         """
+        started = time.perf_counter()
+        with self._tracer.span(
+            "admit",
+            client_id=request.client_id,
+            module=request.module_name or "",
+            dry_run=dry_run,
+        ) as span:
+            result = self._admit(request, pinned_platform, dry_run)
+            span.set("accepted", result.accepted)
+            if not result.accepted:
+                span.set("reason", result.reason)
+        self._h_admission.observe(time.perf_counter() - started)
+        outcome = "accepted" if result.accepted else "rejected"
+        self._request_outcomes[outcome] += 1
+        self._c_requests.labels(outcome).inc()
+        return result
+
+    def _admit(
+        self,
+        request: ClientRequest,
+        pinned_platform: Optional[str],
+        dry_run: bool,
+    ) -> DeploymentResult:
         compile_seconds = 0.0
         check_seconds = 0.0
         try:
@@ -209,7 +261,8 @@ class Controller:
             # model instead of rebuilding every node.
             try:
                 started = time.perf_counter()
-                compiled_base = self._ensure_compiled()
+                with self._tracer.span("compile", incremental=True):
+                    compiled_base = self._ensure_compiled()
                 compile_seconds += time.perf_counter() - started
             except VerificationError as exc:
                 return DeploymentResult(
@@ -228,12 +281,15 @@ class Controller:
             # caching analyzer's address-independent pre-pass makes the
             # common `allow` case a single probe for all candidates.
             try:
-                security = self.analyzer.analyze(
-                    config,
-                    request.role,
-                    module_address=address,
-                    whitelist=whitelist,
-                )
+                with self._tracer.span(
+                    "security", platform=platform.name,
+                ):
+                    security = self.analyzer.analyze(
+                        config,
+                        request.role,
+                        module_address=address,
+                        whitelist=whitelist,
+                    )
             except VerificationError as exc:
                 platform.release_address(address)
                 return DeploymentResult(
@@ -272,25 +328,42 @@ class Controller:
             try:
                 if compiled_base is not None:
                     started = time.perf_counter()
-                    with compiled_base.with_trial_module(
+                    graft = compiled_base.with_trial_module(
                         platform.name, module_id, address, deploy_config,
-                    ) as compiled:
-                        compile_seconds += time.perf_counter() - started
+                    )
+                    with self._tracer.span(
+                        "graft", platform=platform.name,
+                    ):
+                        compiled = graft.__enter__()
+                    compile_seconds += time.perf_counter() - started
+                    try:
                         started = time.perf_counter()
+                        with self._tracer.span(
+                            "check", platform=platform.name,
+                        ):
+                            results = self._verify_all(
+                                compiled, requirements, module_id,
+                                module_config=deploy_config,
+                            )
+                        check_seconds += time.perf_counter() - started
+                    finally:
+                        graft.__exit__(None, None, None)
+                else:
+                    started = time.perf_counter()
+                    with self._tracer.span(
+                        "compile", incremental=False,
+                        platform=platform.name,
+                    ):
+                        compiled = NetworkCompiler(self.network).compile()
+                    compile_seconds += time.perf_counter() - started
+                    started = time.perf_counter()
+                    with self._tracer.span(
+                        "check", platform=platform.name,
+                    ):
                         results = self._verify_all(
                             compiled, requirements, module_id,
                             module_config=deploy_config,
                         )
-                        check_seconds += time.perf_counter() - started
-                else:
-                    started = time.perf_counter()
-                    compiled = NetworkCompiler(self.network).compile()
-                    compile_seconds += time.perf_counter() - started
-                    started = time.perf_counter()
-                    results = self._verify_all(
-                        compiled, requirements, module_id,
-                        module_config=deploy_config,
-                    )
                     check_seconds += time.perf_counter() - started
             except VerificationError as exc:
                 # The trial placement must never leak on a failed
@@ -353,6 +426,7 @@ class Controller:
         self.network.bump_epoch()
         self.network.compute_routes()
         self.ledger.record_stop(module_id, self._clock())
+        self._c_kills.inc()
         return True
 
     def migrate(
@@ -367,6 +441,15 @@ class Controller:
         pool (the client is notified, exactly as on first deployment).
         Downtime follows the suspend -> transfer -> resume model.
         """
+        result = self._migrate(module_id, target_platform)
+        self._c_migrations.labels(
+            "migrated" if result.migrated else "failed"
+        ).inc()
+        return result
+
+    def _migrate(
+        self, module_id: str, target_platform: str
+    ) -> MigrationResult:
         record = self.deployed.get(module_id)
         if record is None:
             return MigrationResult(
@@ -498,6 +581,24 @@ class Controller:
                 )
             outcomes.append(moved)
         return outcomes
+
+    def stats(self) -> dict:
+        """Controller-level counters for operators and tests.
+
+        Always available (observability enabled or not): request
+        outcomes, verdict-cache accounting when the fast path is on,
+        and current deployment state.
+        """
+        out = {
+            "requests": dict(self._request_outcomes),
+            "deployed_modules": len(self.deployed),
+            "flow_rules": len(self.flow_rules),
+            "model_epoch_cached": self._compiled is not None,
+        }
+        cache_stats = getattr(self.analyzer, "stats", None)
+        if cache_stats is not None:
+            out["verdict_cache"] = cache_stats.to_dict()
+        return out
 
     # -- internals ----------------------------------------------------------------
     def _ensure_compiled(self) -> CompiledNetwork:

@@ -1,0 +1,105 @@
+"""Unified observability: metrics, tracing, and exporters.
+
+SymNet-style static analysis (:mod:`repro.symexec`) tells the operator
+what a configuration *may* do before it is admitted; this package tells
+them what the system *is* doing afterwards.  It has three parts:
+
+* :mod:`repro.obs.metrics` -- a :class:`MetricsRegistry` of counters,
+  gauges, and fixed-bucket histograms, with a disabled mode whose hot
+  path is a no-op attribute check,
+* :mod:`repro.obs.trace` -- a :class:`Tracer` producing nested
+  context-manager spans with wall-clock and simulated-clock timestamps,
+* :mod:`repro.obs.export` -- Prometheus text, stable-keyed JSON
+  snapshot, and aligned-table exporters.
+
+The instrumented layers (the Click runtime, the controller admission
+path, the platform simulator) all accept one :class:`Observability`
+bundle::
+
+    from repro.obs import Observability
+
+    obs = Observability()
+    controller = Controller(network, obs=obs)
+    runtime = Runtime(config, obs=obs)
+    print(obs.render_table())
+
+Passing no bundle (the default everywhere) keeps the pre-observability
+fast paths byte-for-byte identical; passing a disabled bundle costs one
+no-op call per instrumentation site.  See ``docs/observability.md``.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.obs.metrics import (
+    Counter,
+    DEFAULT_BUCKETS,
+    Gauge,
+    Histogram,
+    MetricFamily,
+    MetricsRegistry,
+    NULL_METRIC,
+)
+from repro.obs.trace import NULL_SPAN, Span, Tracer
+from repro.obs import export as _export
+
+__all__ = [
+    "Observability",
+    "NULL_OBSERVABILITY",
+    "MetricsRegistry",
+    "MetricFamily",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "Tracer",
+    "Span",
+    "NULL_METRIC",
+    "NULL_SPAN",
+    "DEFAULT_BUCKETS",
+]
+
+
+class Observability:
+    """One metrics registry plus one tracer, passed around as a unit."""
+
+    __slots__ = ("metrics", "tracer", "enabled")
+
+    def __init__(
+        self,
+        metrics: Optional[MetricsRegistry] = None,
+        tracer: Optional[Tracer] = None,
+        enabled: bool = True,
+    ):
+        self.enabled = enabled
+        self.metrics = (
+            metrics if metrics is not None
+            else MetricsRegistry(enabled=enabled)
+        )
+        self.tracer = (
+            tracer if tracer is not None else Tracer(enabled=enabled)
+        )
+
+    # -- export shortcuts --------------------------------------------------
+    def snapshot(self) -> dict:
+        """Stable-keyed dict of all metrics and finished span trees."""
+        return _export.snapshot(self.metrics, self.tracer)
+
+    def snapshot_json(self, indent: Optional[int] = None) -> str:
+        return _export.snapshot_json(
+            self.metrics, self.tracer, indent=indent
+        )
+
+    def to_prometheus(self) -> str:
+        return _export.to_prometheus(self.metrics)
+
+    def render_table(self, title: str = "observability snapshot") -> str:
+        return _export.render_table(
+            self.metrics, self.tracer, title=title
+        )
+
+
+#: Shared disabled bundle: every metric is :data:`NULL_METRIC`, every
+#: span is :data:`NULL_SPAN`.  Instrumented classes fall back to this
+#: when given ``obs=None`` so their code never branches on presence.
+NULL_OBSERVABILITY = Observability(enabled=False)

@@ -1,0 +1,209 @@
+"""Exporters: Prometheus text, JSON snapshot, human-readable table.
+
+Three views over one :class:`~repro.obs.metrics.MetricsRegistry` (plus,
+for the JSON snapshot, an optional :class:`~repro.obs.trace.Tracer`):
+
+* :func:`to_prometheus` -- the Prometheus text exposition format
+  (``# HELP`` / ``# TYPE`` headers, ``name{label="v"} value`` samples,
+  histogram ``_bucket``/``_sum``/``_count`` expansion),
+* :func:`snapshot` / :func:`snapshot_json` -- a stable-keyed dictionary
+  of every metric and every finished span tree,
+* :func:`render_table` -- an aligned text table following the
+  ``benchmarks/_report.py`` conventions (``=== title ===`` banner,
+  space-aligned columns).
+
+:func:`parse_prometheus` is a minimal parser for the text format, used
+by the round-trip tests and by anything that wants to scrape a dump.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from repro.obs.metrics import Histogram, MetricsRegistry, _format_bound
+from repro.obs.trace import Tracer
+
+__all__ = [
+    "to_prometheus",
+    "parse_prometheus",
+    "snapshot",
+    "snapshot_json",
+    "render_table",
+]
+
+
+# -- Prometheus text format -----------------------------------------------
+def _escape_label_value(value: str) -> str:
+    return (
+        value.replace("\\", r"\\").replace('"', r"\"").replace("\n", r"\n")
+    )
+
+def _labels_text(names: Sequence[str], values: Sequence[str]) -> str:
+    if not names:
+        return ""
+    inner = ",".join(
+        '%s="%s"' % (n, _escape_label_value(v))
+        for n, v in zip(names, values)
+    )
+    return "{%s}" % inner
+
+
+def _format_value(value) -> str:
+    if value == float("inf"):
+        return "+Inf"
+    if isinstance(value, float) and value == int(value) \
+            and abs(value) < 1e15:
+        return str(int(value))
+    return repr(value) if isinstance(value, float) else str(value)
+
+
+def to_prometheus(registry: MetricsRegistry) -> str:
+    """Serialize every metric in the Prometheus text format."""
+    lines: List[str] = []
+    for family in registry.families():
+        if family.help:
+            lines.append("# HELP %s %s" % (family.name, family.help))
+        lines.append("# TYPE %s %s" % (family.name, family.kind))
+        for label_values, child in family.samples():
+            labels = _labels_text(family.labelnames, label_values)
+            if isinstance(child, Histogram):
+                for bound, total in child.cumulative():
+                    bucket_labels = _labels_text(
+                        tuple(family.labelnames) + ("le",),
+                        tuple(label_values) + (_format_bound(bound),),
+                    )
+                    lines.append(
+                        "%s_bucket%s %s"
+                        % (family.name, bucket_labels, total)
+                    )
+                lines.append(
+                    "%s_sum%s %s"
+                    % (family.name, labels, _format_value(child.sum))
+                )
+                lines.append(
+                    "%s_count%s %s" % (family.name, labels, child.count)
+                )
+            else:
+                lines.append(
+                    "%s%s %s"
+                    % (family.name, labels, _format_value(child.value))
+                )
+    return "\n".join(lines) + ("\n" if lines else "")
+
+
+def parse_prometheus(text: str) -> Dict[str, Dict[str, float]]:
+    """Parse Prometheus text into ``{metric: {labelstr: value}}``.
+
+    The label string is the raw ``{...}`` segment (empty for unlabelled
+    samples).  Comment and blank lines are skipped.  This is the subset
+    of the format :func:`to_prometheus` emits -- enough for round-trip
+    tests and ad-hoc scraping, not a general scraper.
+    """
+    out: Dict[str, Dict[str, float]] = {}
+    for line in text.splitlines():
+        line = line.strip()
+        if not line or line.startswith("#"):
+            continue
+        name_part, _, value_part = line.rpartition(" ")
+        if not name_part:
+            raise ValueError("unparseable sample line: %r" % (line,))
+        if "{" in name_part:
+            name, _, rest = name_part.partition("{")
+            labels = "{" + rest
+        else:
+            name, labels = name_part, ""
+        value = float(value_part)
+        out.setdefault(name, {})[labels] = value
+    return out
+
+
+# -- JSON snapshot ---------------------------------------------------------
+def snapshot(
+    registry: Optional[MetricsRegistry] = None,
+    tracer: Optional[Tracer] = None,
+) -> dict:
+    """One stable-keyed dictionary of metrics and finished spans."""
+    out: dict = {}
+    if registry is not None:
+        out["metrics"] = registry.snapshot()
+    if tracer is not None:
+        out["spans"] = tracer.snapshot()
+    return out
+
+
+def snapshot_json(
+    registry: Optional[MetricsRegistry] = None,
+    tracer: Optional[Tracer] = None,
+    indent: Optional[int] = None,
+) -> str:
+    """:func:`snapshot` serialized with sorted keys (stable output)."""
+    return json.dumps(
+        snapshot(registry, tracer), sort_keys=True, indent=indent,
+        default=str,
+    )
+
+
+# -- human-readable table --------------------------------------------------
+def _aligned(headers: Sequence[str],
+             rows: Iterable[Sequence[object]]) -> List[str]:
+    """Space-aligned rows, `benchmarks/_report.py` style."""
+    rows = [tuple(str(cell) for cell in row) for row in rows]
+    widths = [len(h) for h in headers]
+    for row in rows:
+        for index, cell in enumerate(row):
+            widths[index] = max(widths[index], len(cell))
+    lines = ["  ".join("%-*s" % (w, h) for w, h in zip(widths, headers))]
+    lines.append("-" * len(lines[0]))
+    for row in rows:
+        lines.append(
+            "  ".join("%-*s" % (w, c) for w, c in zip(widths, row))
+        )
+    return lines
+
+
+def render_table(
+    registry: MetricsRegistry,
+    tracer: Optional[Tracer] = None,
+    title: str = "observability snapshot",
+) -> str:
+    """Render every metric (and span roots) as aligned text tables."""
+    rows: List[Tuple[str, str, str, str]] = []
+    for family in registry.families():
+        for label_values, child in family.samples():
+            labels = ",".join(
+                "%s=%s" % (n, v)
+                for n, v in zip(family.labelnames, label_values)
+            )
+            if isinstance(child, Histogram):
+                mean = child.sum / child.count if child.count else 0.0
+                value = "n=%d mean=%.6g sum=%.6g" % (
+                    child.count, mean, child.sum,
+                )
+            else:
+                value = _format_value(child.value)
+            rows.append((family.name, labels, family.kind, value))
+    lines = ["=== %s ===" % title]
+    lines.extend(
+        _aligned(("metric", "labels", "kind", "value"), rows)
+    )
+    if tracer is not None and tracer.roots:
+        lines.append("")
+        lines.append("=== spans ===")
+        for root in tracer.roots:
+            lines.extend(_span_lines(root, 0))
+    return "\n".join(lines)
+
+
+def _span_lines(span, depth: int) -> List[str]:
+    attrs = " ".join(
+        "%s=%s" % (k, span.attrs[k]) for k in sorted(span.attrs)
+    )
+    line = "%s%s %.6fs%s" % (
+        "  " * depth, span.name, span.duration,
+        (" [%s]" % attrs) if attrs else "",
+    )
+    lines = [line]
+    for child in span.children:
+        lines.extend(_span_lines(child, depth + 1))
+    return lines

@@ -1,0 +1,193 @@
+"""Nested tracing spans with wall-clock and simulated-clock timestamps.
+
+A :class:`Tracer` produces :class:`Span` objects used as context
+managers::
+
+    with tracer.span("admit", client_id="mobile1") as span:
+        with tracer.span("compile"):
+            ...
+        span.set("accepted", True)
+
+Spans nest by runtime containment: a span opened while another is
+active becomes its child, so the admission path produces one ``admit``
+root with ``compile`` / ``security`` / ``graft`` / ``check`` children.
+Each span records wall-clock start/end (``time.perf_counter``) and,
+when the tracer was given a ``sim_clock`` callable, the simulated time
+as well -- the platform experiments live on a simulated clock, and
+figures are plotted against it.
+
+A tracer built with ``enabled=False`` hands out one shared no-op span,
+so instrumented code pays a single method call per span and never
+branches on the enabled flag.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Any, Callable, Dict, List, Optional
+
+__all__ = ["Span", "Tracer", "NULL_SPAN"]
+
+
+class _NullSpan:
+    """Shared no-op span handed out by disabled tracers."""
+
+    __slots__ = ()
+
+    def __enter__(self):
+        return self
+
+    def __exit__(self, exc_type, exc, tb):
+        return False
+
+    def set(self, key, value):
+        pass
+
+
+NULL_SPAN = _NullSpan()
+
+
+class Span:
+    """One timed, attributed, possibly nested unit of work."""
+
+    __slots__ = (
+        "name", "attrs", "children",
+        "start_wall", "end_wall", "start_sim", "end_sim",
+        "error", "_tracer",
+    )
+
+    def __init__(self, tracer: "Tracer", name: str, attrs: Dict[str, Any]):
+        self.name = name
+        self.attrs = attrs
+        self.children: List["Span"] = []
+        self.start_wall: Optional[float] = None
+        self.end_wall: Optional[float] = None
+        self.start_sim: Optional[float] = None
+        self.end_sim: Optional[float] = None
+        self.error: Optional[str] = None
+        self._tracer = tracer
+
+    # -- context manager ---------------------------------------------------
+    def __enter__(self) -> "Span":
+        self._tracer._enter(self)
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        if exc is not None:
+            self.error = "%s: %s" % (type(exc).__name__, exc)
+        self._tracer._exit(self)
+        return False
+
+    # -- attributes --------------------------------------------------------
+    def set(self, key: str, value: Any) -> None:
+        """Attach/overwrite one attribute on the span."""
+        self.attrs[key] = value
+
+    # -- derived -----------------------------------------------------------
+    @property
+    def duration(self) -> float:
+        """Wall-clock seconds between enter and exit (0 while open)."""
+        if self.start_wall is None or self.end_wall is None:
+            return 0.0
+        return self.end_wall - self.start_wall
+
+    @property
+    def sim_duration(self) -> Optional[float]:
+        """Simulated seconds spanned, when a sim clock was configured."""
+        if self.start_sim is None or self.end_sim is None:
+            return None
+        return self.end_sim - self.start_sim
+
+    def to_dict(self) -> dict:
+        """A stable-keyed, JSON-serializable view of the span tree."""
+        out = {
+            "name": self.name,
+            "attrs": {k: self.attrs[k] for k in sorted(self.attrs)},
+            "duration_seconds": self.duration,
+            "children": [child.to_dict() for child in self.children],
+        }
+        if self.sim_duration is not None:
+            out["sim_start"] = self.start_sim
+            out["sim_duration_seconds"] = self.sim_duration
+        if self.error is not None:
+            out["error"] = self.error
+        return out
+
+    def find(self, name: str) -> Optional["Span"]:
+        """Depth-first search for a descendant span by name."""
+        for child in self.children:
+            if child.name == name:
+                return child
+            found = child.find(name)
+            if found is not None:
+                return found
+        return None
+
+    def __repr__(self) -> str:
+        return "Span(%s, %.6fs, %d children)" % (
+            self.name, self.duration, len(self.children),
+        )
+
+
+class Tracer:
+    """Builds nested spans; finished roots accumulate in :attr:`roots`.
+
+    ``sim_clock`` is any zero-argument callable returning the current
+    simulated time (``lambda: loop.now``, ``lambda: runtime.now``); it
+    may also be (re)assigned after construction, before spans open.
+    """
+
+    def __init__(
+        self,
+        enabled: bool = True,
+        wall_clock: Callable[[], float] = time.perf_counter,
+        sim_clock: Optional[Callable[[], float]] = None,
+    ):
+        self.enabled = enabled
+        self.wall_clock = wall_clock
+        self.sim_clock = sim_clock
+        #: Finished top-level spans, oldest first.
+        self.roots: List[Span] = []
+        self._stack: List[Span] = []
+
+    def span(self, name: str, **attrs: Any):
+        """A new span; use as a context manager."""
+        if not self.enabled:
+            return NULL_SPAN
+        return Span(self, name, attrs)
+
+    @property
+    def active(self) -> Optional[Span]:
+        """The innermost open span, if any."""
+        return self._stack[-1] if self._stack else None
+
+    def clear(self) -> None:
+        """Drop finished roots (open spans are unaffected)."""
+        self.roots = []
+
+    def snapshot(self) -> List[dict]:
+        """Finished root spans as stable-keyed dictionaries."""
+        return [span.to_dict() for span in self.roots]
+
+    # -- span callbacks ----------------------------------------------------
+    def _enter(self, span: Span) -> None:
+        span.start_wall = self.wall_clock()
+        if self.sim_clock is not None:
+            span.start_sim = self.sim_clock()
+        self._stack.append(span)
+
+    def _exit(self, span: Span) -> None:
+        span.end_wall = self.wall_clock()
+        if self.sim_clock is not None:
+            span.end_sim = self.sim_clock()
+        # Tolerate out-of-order exits (a caller leaking a span) by
+        # popping back to the exiting span.
+        while self._stack:
+            top = self._stack.pop()
+            if top is span:
+                break
+        parent = self._stack[-1] if self._stack else None
+        if parent is not None:
+            parent.children.append(span)
+        else:
+            self.roots.append(span)

@@ -19,7 +19,14 @@ from typing import Dict, List, Optional, Tuple
 from repro.click.config import ClickConfig
 from repro.common.errors import SimulationError
 from repro.platform.consolidation import ConsolidationManager
-from repro.platform.lifecycle import packet_rtt, resume_time, suspend_time
+from repro.platform.lifecycle import (
+    LIFECYCLE_RESUME,
+    LIFECYCLE_SUSPEND,
+    observe_lifecycle,
+    packet_rtt,
+    resume_time,
+    suspend_time,
+)
 from repro.platform.specs import (
     CHEAP_SERVER_SPEC,
     PlatformSpec,
@@ -59,10 +66,18 @@ class PlatformSim:
         #: Base one-way network latency between the traffic endpoints
         #: and the platform (the three-servers-in-a-row testbed).
         wire_latency_s: float = 0.0001,
+        obs=None,
+        name: str = "platform",
     ):
+        from repro.obs import NULL_OBSERVABILITY
+
         self.spec = spec
         self.loop = loop or EventLoop()
-        self.switch = SwitchController(spec, self.loop)
+        self._obs = obs if obs is not None else NULL_OBSERVABILITY
+        self.name = name
+        self.switch = SwitchController(
+            spec, self.loop, obs=self._obs, platform_name=name
+        )
         self.throughput = ThroughputModel(spec)
         self.wire_latency_s = wire_latency_s
         self._active_transfers = 0
@@ -193,13 +208,25 @@ class PlatformSim:
         residents = self.switch.resident_vms()
         s_time = suspend_time(self.spec, residents)
         r_time = resume_time(self.spec, residents)
+        metrics = self._obs.metrics
+        observe_lifecycle(metrics, LIFECYCLE_SUSPEND, s_time)
+        observe_lifecycle(metrics, LIFECYCLE_RESUME, r_time)
         vm.begin_suspend()
-        self.loop.schedule(s_time, vm.finish_suspend)
+
+        def finish_suspend():
+            vm.finish_suspend()
+            self.switch.note_suspend()
+
+        self.loop.schedule(s_time, finish_suspend)
         self.loop.run_until(self.loop.now + s_time)
         vm.begin_resume()
         when = self.loop.now
-        self.loop.schedule(r_time,
-                           lambda: vm.finish_resume(when + r_time))
+
+        def finish_resume():
+            vm.finish_resume(when + r_time)
+            self.switch.note_resume()
+
+        self.loop.schedule(r_time, finish_resume)
         self.loop.run_until(self.loop.now + r_time)
         return s_time, r_time
 

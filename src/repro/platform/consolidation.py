@@ -116,13 +116,30 @@ class ConsolidationManager:
     knob Figure 9 sweeps (50/100/200 per VM).
     """
 
-    def __init__(self, clients_per_vm: int = 100):
+    def __init__(
+        self,
+        clients_per_vm: int = 100,
+        obs=None,
+        platform_name: str = "platform",
+    ):
+        from repro.obs import NULL_OBSERVABILITY
+
         if clients_per_vm < 1:
             raise ConfigError("clients_per_vm must be >= 1")
         self.clients_per_vm = clients_per_vm
         #: Each group: list of (client_id, address, config).
         self.groups: List[List[Tuple[str, int, ClickConfig]]] = []
         self._client_group: Dict[str, int] = {}
+        self._obs = obs if obs is not None else NULL_OBSERVABILITY
+        placements = self._obs.metrics.counter(
+            "consolidation_placements_total",
+            "Tenant placements by kind (shared VM, new shared VM, "
+            "dedicated VM)",
+            labels=("platform", "kind"),
+        )
+        self._c_shared = placements.labels(platform_name, "shared")
+        self._c_new_group = placements.labels(platform_name, "new-group")
+        self._c_dedicated = placements.labels(platform_name, "dedicated")
 
     def place(
         self, client_id: str, address: int, config: ClickConfig
@@ -138,6 +155,7 @@ class ConsolidationManager:
             # Stateful clients get a dedicated group (their own VM).
             self.groups.append([(client_id, address, config)])
             self._client_group[client_id] = len(self.groups) - 1
+            self._c_dedicated.inc()
             return len(self.groups) - 1, True
         for idx, group in enumerate(self.groups):
             if len(group) < self.clients_per_vm and all(
@@ -145,9 +163,11 @@ class ConsolidationManager:
             ) and len(group) >= 1 and self._group_is_shared(idx):
                 group.append((client_id, address, config))
                 self._client_group[client_id] = idx
+                self._c_shared.inc()
                 return idx, False
         self.groups.append([(client_id, address, config)])
         self._client_group[client_id] = len(self.groups) - 1
+        self._c_new_group.inc()
         return len(self.groups) - 1, True
 
     def _group_is_shared(self, index: int) -> bool:

@@ -10,6 +10,27 @@ from __future__ import annotations
 
 from repro.platform.specs import PlatformSpec, VM_CLICKOS, VM_LINUX
 
+#: Operation labels for the shared lifecycle-duration histogram.
+LIFECYCLE_BOOT = "boot"
+LIFECYCLE_SUSPEND = "suspend"
+LIFECYCLE_RESUME = "resume"
+
+
+def observe_lifecycle(metrics, op: str, seconds: float) -> None:
+    """Record one VM lifecycle operation's duration.
+
+    Central helper so every caller (the backend switch, the platform
+    facade, the reaper) lands in the same
+    ``platform_lifecycle_seconds{op=...}`` histogram.  ``metrics`` is a
+    :class:`repro.obs.MetricsRegistry`; a disabled registry makes this
+    a no-op.
+    """
+    metrics.histogram(
+        "platform_lifecycle_seconds",
+        "Simulated seconds per VM lifecycle operation",
+        labels=("op",),
+    ).labels(op).observe(seconds)
+
 
 def boot_time(spec: PlatformSpec, kind: str, resident_vms: int) -> float:
     """Seconds to boot one more VM with ``resident_vms`` already there."""

@@ -49,7 +49,10 @@ class PlatformOrchestrator:
         network: Network,
         spec: PlatformSpec = CHEAP_SERVER_SPEC,
         clients_per_vm: int = 100,
+        obs=None,
     ):
+        from repro.obs import NULL_OBSERVABILITY
+
         self.network = network
         self.spec = spec
         self.clients_per_vm = clients_per_vm
@@ -57,6 +60,22 @@ class PlatformOrchestrator:
         self.managers: Dict[str, ConsolidationManager] = {}
         #: module id -> (platform name, VM).
         self.placements: Dict[str, tuple] = {}
+        self._obs = obs if obs is not None else NULL_OBSERVABILITY
+        metrics = self._obs.metrics
+        self._g_density = metrics.gauge(
+            "platform_vm_density",
+            "Deployed modules per VM after provisioning",
+            labels=("platform",),
+        )
+        self._g_vms = metrics.gauge(
+            "platform_provisioned_vms",
+            "VMs the current placement requires", labels=("platform",),
+        )
+        self._g_memory = metrics.gauge(
+            "platform_provisioned_memory_mb",
+            "Memory footprint of the provisioned VMs",
+            labels=("platform",),
+        )
 
     def provision_all(self) -> List[ProvisionReport]:
         """(Re)provision every platform from the network snapshot."""
@@ -67,8 +86,13 @@ class PlatformOrchestrator:
 
     def provision(self, platform: Platform) -> ProvisionReport:
         """Provision one platform's deployed modules."""
-        sim = PlatformSim(spec=self.spec)
-        manager = ConsolidationManager(self.clients_per_vm)
+        sim = PlatformSim(
+            spec=self.spec, obs=self._obs, name=platform.name
+        )
+        manager = ConsolidationManager(
+            self.clients_per_vm, obs=self._obs,
+            platform_name=platform.name,
+        )
         self.sims[platform.name] = sim
         self.managers[platform.name] = manager
         report = ProvisionReport(platform=platform.name)
@@ -97,6 +121,11 @@ class PlatformOrchestrator:
                 report.dedicated_modules += 1
         report.vms = manager.vm_count
         report.memory_mb = report.vms * self.spec.clickos_memory_mb
+        self._g_vms.labels(platform.name).set(report.vms)
+        self._g_memory.labels(platform.name).set(report.memory_mb)
+        self._g_density.labels(platform.name).set(
+            report.modules / report.vms if report.vms else 0.0
+        )
         return report
 
     # -- queries -----------------------------------------------------------

@@ -18,7 +18,14 @@ from __future__ import annotations
 from typing import Callable, Dict, List, Optional, Tuple
 
 from repro.common.errors import SimulationError
-from repro.platform.lifecycle import boot_time, resume_time
+from repro.platform.lifecycle import (
+    LIFECYCLE_BOOT,
+    LIFECYCLE_RESUME,
+    LIFECYCLE_SUSPEND,
+    boot_time,
+    observe_lifecycle,
+    resume_time,
+)
 from repro.platform.specs import PlatformSpec, VM_CLICKOS
 from repro.platform.vm import (
     VM,
@@ -34,9 +41,56 @@ from repro.sim.events import EventLoop
 class SwitchController:
     """Flow table + VM-on-demand controller for one platform."""
 
-    def __init__(self, spec: PlatformSpec, loop: EventLoop):
+    def __init__(
+        self,
+        spec: PlatformSpec,
+        loop: EventLoop,
+        obs=None,
+        platform_name: str = "platform",
+    ):
+        from repro.obs import NULL_OBSERVABILITY
+
         self.spec = spec
         self.loop = loop
+        self._obs = obs if obs is not None else NULL_OBSERVABILITY
+        self.platform_name = platform_name
+        metrics = self._obs.metrics
+        self._c_boots = metrics.counter(
+            "platform_boots_total", "VM boots completed",
+            labels=("platform",),
+        ).labels(platform_name)
+        self._c_boot_failures = metrics.counter(
+            "platform_boot_failures_total",
+            "VM boot attempts that failed", labels=("platform",),
+        ).labels(platform_name)
+        self._c_resumes = metrics.counter(
+            "platform_resumes_total", "VM resumes completed",
+            labels=("platform",),
+        ).labels(platform_name)
+        self._c_suspends = metrics.counter(
+            "platform_suspends_total", "VM suspends completed",
+            labels=("platform",),
+        ).labels(platform_name)
+        self._vm_transitions = (
+            metrics.counter(
+                "platform_vm_transitions_total",
+                "Finished VM state transitions", labels=("state",),
+            )
+            if self._obs.enabled else None
+        )
+        if self._obs.enabled:
+            metrics.gauge(
+                "platform_resident_vms",
+                "VMs occupying memory", labels=("platform",),
+            )
+            metrics.gauge(
+                "platform_running_vms",
+                "VMs currently running", labels=("platform",),
+            )
+            metrics.register_collector(
+                self._collect_vm_gauges,
+                key=("platform_vm_gauges", platform_name),
+            )
         #: client id -> VM handling that client's traffic.
         self.client_vms: Dict[str, VM] = {}
         #: Packets waiting for a VM to come up: vm id -> callbacks.
@@ -67,9 +121,20 @@ class SwitchController:
             )
         if vm is None:
             vm = VM(kind=VM_CLICKOS, stateful=stateful)
+        if vm.transitions is None:
+            vm.transitions = self._vm_transitions
         vm.add_client(client_id)
         self.client_vms[client_id] = vm
         return vm
+
+    def _collect_vm_gauges(self) -> None:
+        metrics = self._obs.metrics
+        metrics.gauge(
+            "platform_resident_vms", labels=("platform",),
+        ).labels(self.platform_name).set(self.resident_vms())
+        metrics.gauge(
+            "platform_running_vms", labels=("platform",),
+        ).labels(self.platform_name).set(self.running_vms())
 
     def resident_vms(self) -> int:
         """Distinct VMs currently occupying memory."""
@@ -120,14 +185,28 @@ class SwitchController:
         """Suspend a running VM; returns the operation's latency."""
         latency = suspend_latency(self.spec, self.resident_vms())
         vm.begin_suspend()
+        observe_lifecycle(
+            self._obs.metrics, LIFECYCLE_SUSPEND, latency
+        )
 
         def finish():
             vm.finish_suspend()
+            self._c_suspends.inc()
             if done is not None:
                 done()
 
         self.loop.schedule(latency, finish)
         return latency
+
+    # -- external lifecycle accounting -----------------------------------------
+    def note_suspend(self) -> None:
+        """Count a suspend completed outside the switch's own path
+        (e.g. an explicit :meth:`PlatformSim.suspend_resume_cycle`)."""
+        self._c_suspends.inc()
+
+    def note_resume(self) -> None:
+        """Count a resume completed outside the switch's own path."""
+        self._c_resumes.inc()
 
     # -- failure injection ----------------------------------------------------
     def inject_boot_failure(self, client_id: str, times: int = 1) -> None:
@@ -148,6 +227,7 @@ class SwitchController:
             self.spec, vm.kind, residents
         )
         vm.begin_boot()
+        observe_lifecycle(self._obs.metrics, LIFECYCLE_BOOT, latency)
         self.loop.schedule(
             latency, lambda: self._boot_finished(vm, attempt)
         )
@@ -156,6 +236,7 @@ class SwitchController:
         if self._boot_failures.get(vm.vm_id, 0) > 0:
             self._boot_failures[vm.vm_id] -= 1
             self.boot_failures_seen += 1
+            self._c_boot_failures.inc()
             vm.terminate()  # the failed domain is destroyed
             if attempt >= self.max_boot_attempts:
                 # Give up: drop whatever was waiting.
@@ -169,13 +250,16 @@ class SwitchController:
     def _start_resume(self, vm: VM) -> None:
         latency = resume_time(self.spec, self.resident_vms())
         vm.begin_resume()
+        observe_lifecycle(self._obs.metrics, LIFECYCLE_RESUME, latency)
         self.loop.schedule(latency, lambda: self._vm_ready(vm, "resume"))
 
     def _vm_ready(self, vm: VM, how: str) -> None:
         if how == "boot":
             vm.finish_boot(self.loop.now)
+            self._c_boots.inc()
         else:
             vm.finish_resume(self.loop.now)
+            self._c_resumes.inc()
         for deliver in self._waiting.pop(vm.vm_id, []):
             deliver()
 

@@ -45,6 +45,15 @@ class VM:
         self.resume_count = 0
         #: Simulated time the VM last became RUNNING.
         self.running_since: Optional[float] = None
+        #: Optional ``repro.obs`` counter family with a ``state`` label
+        #: (``platform_vm_transitions_total``); the owning platform
+        #: binds it so finished transitions are counted.  ``None``
+        #: keeps every transition a plain attribute check.
+        self.transitions = None
+
+    def _count_transition(self) -> None:
+        if self.transitions is not None:
+            self.transitions.labels(self.state).inc()
 
     # -- state transitions -------------------------------------------------
     def begin_boot(self) -> None:
@@ -63,6 +72,7 @@ class VM:
         self.state = VM_RUNNING
         self.boot_count += 1
         self.running_since = now
+        self._count_transition()
 
     def begin_suspend(self) -> None:
         if self.state != VM_RUNNING:
@@ -80,6 +90,7 @@ class VM:
         self.state = VM_SUSPENDED
         self.suspend_count += 1
         self.running_since = None
+        self._count_transition()
 
     def begin_resume(self) -> None:
         if self.state != VM_SUSPENDED:
@@ -97,11 +108,13 @@ class VM:
         self.state = VM_RUNNING
         self.resume_count += 1
         self.running_since = now
+        self._count_transition()
 
     def terminate(self) -> None:
         """Destroy the VM (valid from any state)."""
         self.state = VM_STOPPED
         self.running_since = None
+        self._count_transition()
 
     # -- queries -----------------------------------------------------------
     @property

@@ -1,0 +1,155 @@
+"""Tests for the Prometheus, JSON, and table exporters."""
+
+import json
+
+import pytest
+
+from repro.obs import Observability
+from repro.obs.export import (
+    parse_prometheus,
+    render_table,
+    snapshot,
+    snapshot_json,
+    to_prometheus,
+)
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.trace import Tracer
+
+
+def populated_registry() -> MetricsRegistry:
+    reg = MetricsRegistry()
+    reg.counter("requests_total", "Requests seen").inc(3)
+    packets = reg.counter(
+        "packets_total", "Per-element packets", labels=("element",),
+    )
+    packets.labels("src").inc(10)
+    packets.labels("dst").inc(7)
+    reg.gauge("queue_depth", "Buffered packets").set(4)
+    hist = reg.histogram(
+        "latency_seconds", "Latency", buckets=(0.1, 1.0),
+    )
+    hist.observe(0.05)
+    hist.observe(0.5)
+    hist.observe(5.0)
+    return reg
+
+
+class TestPrometheusText:
+    def test_headers_and_samples(self):
+        text = to_prometheus(populated_registry())
+        assert "# HELP requests_total Requests seen" in text
+        assert "# TYPE requests_total counter" in text
+        assert "requests_total 3" in text
+        assert 'packets_total{element="src"} 10' in text
+        assert "# TYPE queue_depth gauge" in text
+
+    def test_histogram_expansion(self):
+        text = to_prometheus(populated_registry())
+        assert 'latency_seconds_bucket{le="0.1"} 1' in text
+        assert 'latency_seconds_bucket{le="1.0"} 2' in text
+        assert 'latency_seconds_bucket{le="+Inf"} 3' in text
+        assert "latency_seconds_sum 5.55" in text
+        assert "latency_seconds_count 3" in text
+
+    def test_label_values_are_escaped(self):
+        reg = MetricsRegistry()
+        reg.counter("x", labels=("l",)).labels('we"ird\\').inc()
+        text = to_prometheus(reg)
+        assert r'x{l="we\"ird\\"} 1' in text
+
+    def test_round_trip_through_the_parser(self):
+        reg = populated_registry()
+        parsed = parse_prometheus(to_prometheus(reg))
+        assert parsed["requests_total"][""] == 3
+        assert parsed["packets_total"]['{element="src"}'] == 10
+        assert parsed["packets_total"]['{element="dst"}'] == 7
+        assert parsed["queue_depth"][""] == 4
+        assert parsed["latency_seconds_bucket"]['{le="+Inf"}'] == 3
+        assert parsed["latency_seconds_sum"][""] == \
+            pytest.approx(5.55)
+
+    def test_parser_rejects_garbage(self):
+        with pytest.raises(ValueError):
+            parse_prometheus("justoneword")
+
+    def test_empty_registry_serializes_to_empty_string(self):
+        assert to_prometheus(MetricsRegistry()) == ""
+
+
+class TestJsonSnapshot:
+    def test_keys_are_stable_regardless_of_insertion_order(self):
+        forward, backward = MetricsRegistry(), MetricsRegistry()
+        for reg, names in (
+            (forward, ("alpha", "beta")),
+            (backward, ("beta", "alpha")),
+        ):
+            for name in names:
+                fam = reg.counter(name, labels=("l",))
+                for value in ("z", "a") if name == "alpha" \
+                        else ("a", "z"):
+                    fam.labels(value).inc()
+        assert snapshot_json(forward) == snapshot_json(backward)
+
+    def test_serialization_is_deterministic(self):
+        reg = populated_registry()
+        assert snapshot_json(reg) == snapshot_json(reg)
+
+    def test_round_trips_through_json(self):
+        reg = populated_registry()
+        loaded = json.loads(snapshot_json(reg, indent=2))
+        values = loaded["metrics"]["packets_total"]["values"]
+        assert values == {"element=dst": 7, "element=src": 10}
+        hist = loaded["metrics"]["latency_seconds"]["values"][""]
+        assert hist["count"] == 3
+        assert hist["buckets"]["+Inf"] == 3
+
+    def test_includes_span_trees(self):
+        tracer = Tracer()
+        with tracer.span("admit"):
+            with tracer.span("compile"):
+                pass
+        snap = snapshot(tracer=tracer)
+        assert snap["spans"][0]["name"] == "admit"
+        assert snap["spans"][0]["children"][0]["name"] == "compile"
+
+
+class TestRenderTable:
+    def test_banner_and_alignment(self):
+        text = render_table(populated_registry(), title="demo")
+        lines = text.splitlines()
+        assert lines[0] == "=== demo ==="
+        assert lines[1].startswith("metric")
+        assert set(lines[2]) == {"-"}
+        assert any("packets_total" in line and "element=src" in line
+                   for line in lines)
+
+    def test_histogram_row_summarizes(self):
+        text = render_table(populated_registry())
+        row = next(l for l in text.splitlines()
+                   if l.startswith("latency_seconds"))
+        assert "n=3" in row and "sum=5.55" in row
+
+    def test_spans_section_appears_with_a_tracer(self):
+        tracer = Tracer()
+        with tracer.span("admit", client_id="mobile1"):
+            with tracer.span("compile"):
+                pass
+        text = render_table(MetricsRegistry(), tracer=tracer)
+        assert "=== spans ===" in text
+        assert "admit" in text
+        assert "  compile" in text
+        assert "client_id=mobile1" in text
+
+
+class TestObservabilityBundle:
+    def test_shortcuts_delegate_to_the_exporters(self):
+        obs = Observability()
+        obs.metrics.counter("x").inc()
+        with obs.tracer.span("s"):
+            pass
+        assert "x 1" in obs.to_prometheus()
+        snap = obs.snapshot()
+        assert snap["metrics"]["x"]["values"][""] == 1
+        assert snap["spans"][0]["name"] == "s"
+        assert "=== observability snapshot ===" in obs.render_table()
+        assert json.loads(obs.snapshot_json())["metrics"]["x"]

@@ -1,0 +1,156 @@
+"""Tests for the metric primitives and the registry."""
+
+import pytest
+
+from repro.obs.metrics import (
+    Counter,
+    DEFAULT_BUCKETS,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    NULL_METRIC,
+)
+
+
+class TestCounter:
+    def test_starts_at_zero_and_increments(self):
+        c = Counter()
+        assert c.value == 0
+        c.inc()
+        c.inc(4)
+        assert c.value == 5
+
+    def test_snapshot_value(self):
+        c = Counter()
+        c.inc(7)
+        assert c.snapshot_value() == 7
+
+
+class TestGauge:
+    def test_set_inc_dec(self):
+        g = Gauge()
+        g.set(10)
+        g.inc(2)
+        g.dec(5)
+        assert g.value == 7
+
+
+class TestHistogram:
+    def test_observations_land_in_correct_buckets(self):
+        h = Histogram(buckets=(1.0, 2.0))
+        h.observe(0.5)
+        h.observe(1.5)
+        h.observe(99.0)
+        assert h.counts == [1, 1, 1]
+        assert h.count == 3
+        assert h.sum == pytest.approx(101.0)
+
+    def test_boundary_value_is_inclusive(self):
+        # Prometheus ``le`` semantics: an observation equal to a bucket
+        # bound belongs to that bucket.
+        h = Histogram(buckets=(1.0, 2.0))
+        h.observe(1.0)
+        assert h.counts == [1, 0, 0]
+
+    def test_cumulative_running_totals(self):
+        h = Histogram(buckets=(1.0, 2.0))
+        for v in (0.5, 1.5, 1.6, 99.0):
+            h.observe(v)
+        assert h.cumulative() == [
+            (1.0, 1), (2.0, 3), (float("inf"), 4),
+        ]
+
+    def test_observe_count_batches_identical_values(self):
+        batched, one_by_one = Histogram(), Histogram()
+        batched.observe_count(0.002, 1000)
+        for _ in range(1000):
+            one_by_one.observe(0.002)
+        assert batched.counts == one_by_one.counts
+        assert batched.count == one_by_one.count
+        assert batched.sum == pytest.approx(one_by_one.sum)
+
+    def test_needs_at_least_one_bucket(self):
+        with pytest.raises(ValueError):
+            Histogram(buckets=())
+
+    def test_default_buckets_are_sorted(self):
+        assert tuple(sorted(DEFAULT_BUCKETS)) == DEFAULT_BUCKETS
+
+
+class TestRegistry:
+    def test_creation_is_idempotent(self):
+        reg = MetricsRegistry()
+        a = reg.counter("requests_total", "help")
+        b = reg.counter("requests_total")
+        assert a is b
+
+    def test_labelled_family_children_are_cached(self):
+        reg = MetricsRegistry()
+        fam = reg.counter("hits", labels=("cache",))
+        assert fam.labels("verdict") is fam.labels("verdict")
+        assert fam.labels("verdict") is not fam.labels("other")
+
+    def test_kind_conflict_is_an_error(self):
+        reg = MetricsRegistry()
+        reg.counter("x")
+        with pytest.raises(ValueError):
+            reg.gauge("x")
+
+    def test_label_conflict_is_an_error(self):
+        reg = MetricsRegistry()
+        reg.counter("x", labels=("a",))
+        with pytest.raises(ValueError):
+            reg.counter("x", labels=("b",))
+
+    def test_wrong_label_arity_is_an_error(self):
+        reg = MetricsRegistry()
+        fam = reg.counter("x", labels=("a", "b"))
+        with pytest.raises(ValueError):
+            fam.labels("only-one")
+
+    def test_snapshot_is_stable_keyed(self):
+        reg = MetricsRegistry()
+        fam = reg.counter("zebra", labels=("element",))
+        fam.labels("b").inc(2)
+        fam.labels("a").inc(1)
+        reg.gauge("alpha").set(3)
+        snap = reg.snapshot()
+        assert list(snap) == ["alpha", "zebra"]
+        assert list(snap["zebra"]["values"]) == [
+            "element=a", "element=b",
+        ]
+        assert snap["zebra"]["values"]["element=b"] == 2
+
+    def test_collectors_run_before_snapshot(self):
+        reg = MetricsRegistry()
+        gauge = reg.gauge("depth")
+        reg.register_collector(lambda: gauge.set(42))
+        assert reg.snapshot()["depth"]["values"][""] == 42
+
+    def test_keyed_collector_replaces_earlier_registration(self):
+        reg = MetricsRegistry()
+        gauge = reg.gauge("depth")
+        reg.register_collector(lambda: gauge.set(1), key="k")
+        reg.register_collector(lambda: gauge.set(2), key="k")
+        reg.snapshot()
+        assert gauge.value == 2
+
+
+class TestDisabledRegistry:
+    def test_hands_out_the_shared_null_metric(self):
+        reg = MetricsRegistry(enabled=False)
+        assert reg.counter("x") is NULL_METRIC
+        assert reg.histogram("y") is NULL_METRIC
+        assert reg.gauge("z").labels("a") is NULL_METRIC
+
+    def test_null_metric_mutators_are_noops(self):
+        NULL_METRIC.inc()
+        NULL_METRIC.dec(3)
+        NULL_METRIC.set(9)
+        NULL_METRIC.observe(1.0)
+        assert NULL_METRIC.value == 0
+
+    def test_snapshot_is_empty(self):
+        reg = MetricsRegistry(enabled=False)
+        reg.counter("x").inc()
+        assert reg.snapshot() == {}

@@ -1,0 +1,137 @@
+"""Tests for the nested tracing spans."""
+
+import pytest
+
+from repro.obs.trace import NULL_SPAN, Tracer
+
+
+class FakeClock:
+    """Deterministic monotonic clock for timing assertions."""
+
+    def __init__(self):
+        self.now = 0.0
+
+    def __call__(self):
+        self.now += 1.0
+        return self.now
+
+
+class TestSpans:
+    def test_finished_root_lands_in_roots(self):
+        tracer = Tracer()
+        with tracer.span("admit") as span:
+            pass
+        assert tracer.roots == [span]
+        assert span.duration > 0.0
+
+    def test_runtime_containment_nests_spans(self):
+        tracer = Tracer()
+        with tracer.span("admit") as admit:
+            with tracer.span("compile") as compile_span:
+                with tracer.span("check"):
+                    pass
+            with tracer.span("graft"):
+                pass
+        assert [c.name for c in admit.children] == ["compile", "graft"]
+        assert [c.name for c in compile_span.children] == ["check"]
+        assert tracer.roots == [admit]
+
+    def test_attrs_from_kwargs_and_set(self):
+        tracer = Tracer()
+        with tracer.span("admit", client_id="mobile1") as span:
+            span.set("accepted", True)
+        assert span.attrs == {"client_id": "mobile1", "accepted": True}
+
+    def test_active_tracks_the_innermost_open_span(self):
+        tracer = Tracer()
+        assert tracer.active is None
+        with tracer.span("outer") as outer:
+            assert tracer.active is outer
+            with tracer.span("inner") as inner:
+                assert tracer.active is inner
+            assert tracer.active is outer
+        assert tracer.active is None
+
+    def test_exception_is_recorded_and_propagates(self):
+        tracer = Tracer()
+        with pytest.raises(RuntimeError):
+            with tracer.span("admit"):
+                raise RuntimeError("boom")
+        assert tracer.roots[0].error == "RuntimeError: boom"
+
+    def test_wall_duration_uses_the_wall_clock(self):
+        tracer = Tracer(wall_clock=FakeClock())
+        with tracer.span("op") as span:
+            pass
+        assert span.duration == pytest.approx(1.0)
+
+    def test_sim_clock_timestamps_are_optional_and_separate(self):
+        sim = {"now": 100.0}
+        tracer = Tracer(sim_clock=lambda: sim["now"])
+        with tracer.span("boot") as span:
+            sim["now"] = 102.5
+        assert span.sim_duration == pytest.approx(2.5)
+        assert span.start_sim == pytest.approx(100.0)
+
+    def test_sim_clock_can_be_attached_after_construction(self):
+        tracer = Tracer()
+        with tracer.span("before") as before:
+            pass
+        assert before.sim_duration is None
+        tracer.sim_clock = lambda: 7.0
+        with tracer.span("after") as after:
+            pass
+        assert after.sim_duration == pytest.approx(0.0)
+
+    def test_find_searches_descendants_depth_first(self):
+        tracer = Tracer()
+        with tracer.span("root") as root:
+            with tracer.span("a"):
+                with tracer.span("deep"):
+                    pass
+        assert root.find("deep").name == "deep"
+        assert root.find("missing") is None
+
+    def test_leaked_inner_span_does_not_corrupt_the_stack(self):
+        tracer = Tracer()
+        outer = tracer.span("outer")
+        inner = tracer.span("inner")
+        outer.__enter__()
+        inner.__enter__()
+        # Exiting the outer span while the inner is still open must
+        # still leave the tracer usable.
+        outer.__exit__(None, None, None)
+        assert tracer.active is None
+        assert tracer.roots == [outer]
+
+    def test_snapshot_is_stable_keyed(self):
+        tracer = Tracer()
+        with tracer.span("admit", zeta=1, alpha=2):
+            pass
+        (snap,) = tracer.snapshot()
+        assert list(snap["attrs"]) == ["alpha", "zeta"]
+        assert snap["name"] == "admit"
+        assert snap["children"] == []
+
+    def test_clear_drops_finished_roots(self):
+        tracer = Tracer()
+        with tracer.span("x"):
+            pass
+        tracer.clear()
+        assert tracer.roots == []
+
+
+class TestDisabledTracer:
+    def test_hands_out_the_shared_null_span(self):
+        tracer = Tracer(enabled=False)
+        span = tracer.span("admit", client_id="x")
+        assert span is NULL_SPAN
+
+    def test_null_span_is_a_working_context_manager(self):
+        tracer = Tracer(enabled=False)
+        with tracer.span("admit") as span:
+            span.set("accepted", True)
+            with tracer.span("compile"):
+                pass
+        assert tracer.roots == []
+        assert tracer.active is None

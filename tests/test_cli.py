@@ -139,3 +139,35 @@ class TestTrace:
         path.write_text("a :: Counter(); b :: Counter(); "
                         "a -> b; b -> a;")
         assert main(["trace", str(path)]) == 1
+
+
+class TestObs:
+    def test_obs_table_shows_all_three_layers(self, capsys):
+        assert main(["obs", "--packets", "10"]) == 0
+        out = capsys.readouterr().out
+        assert "=== figure 4 walkthrough ===" in out
+        assert "dataplane_packets_total" in out
+        assert "controller_admission_seconds" in out
+        assert "platform_boots_total" in out
+        assert "=== spans ===" in out
+        assert "admit" in out
+
+    def test_obs_json_snapshot_has_metrics_and_nested_spans(self, capsys):
+        assert main(["obs", "--packets", "10", "--format", "json"]) == 0
+        snap = json.loads(capsys.readouterr().out)
+        metrics = snap["metrics"]
+        assert metrics["dataplane_egress_total"]["values"] == \
+            {"element=dst": 10}
+        assert "controller_admission_seconds" in metrics
+        assert "platform_lifecycle_seconds" in metrics
+        admit = next(s for s in snap["spans"] if s["name"] == "admit")
+        assert admit["children"], "admission span has no children"
+
+    def test_obs_prometheus_output_parses(self, capsys):
+        from repro.obs.export import parse_prometheus
+
+        assert main(["obs", "--packets", "10", "--format", "prom"]) == 0
+        parsed = parse_prometheus(capsys.readouterr().out)
+        assert parsed["dataplane_packets_total"]['{element="dst"}'] == 10
+        assert parsed["controller_requests_total"][
+            '{outcome="accepted"}'] == 1
