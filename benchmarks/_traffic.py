@@ -1,0 +1,65 @@
+"""Shared traffic generation and drive helpers for the benchmark suite.
+
+Every benchmark that times the concrete dataplane clones one template
+packet in bulk (``Packet.copy_many``) and drives a runtime either packet
+by packet or through the batched fast path; centralizing the two drive
+loops keeps scalar/batch comparisons honest -- both sides inject the
+same packets from the same pre-built list.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+from repro.click import Packet, UDP
+from repro.common.addr import parse_ip
+
+#: The four-element firewall path used across the dataplane benchmarks
+#: (CheckIPHeader -> IPFilter -> IPRewriter), same as the seed
+#: microbenchmark.
+FIREWALL = """
+    src :: FromNetfront();
+    out :: ToNetfront();
+    src -> CheckIPHeader()
+        -> IPFilter(allow udp, allow tcp dst port 80)
+        -> IPRewriter(pattern - - 172.16.15.133 - 0 0)
+        -> out;
+"""
+
+#: Default batch size for batched drives: large enough to amortize the
+#: per-batch dispatch, small enough to stay cache-friendly.
+BATCH_SIZE = 256
+
+
+def firewall_packet() -> Packet:
+    """The UDP template packet the firewall path forwards."""
+    return Packet(
+        ip_src=parse_ip("8.8.8.8"),
+        ip_dst=parse_ip("192.0.2.10"),
+        ip_proto=UDP,
+        tp_dst=1500,
+    )
+
+
+def make_traffic(template: Packet, count: int) -> List[Packet]:
+    """``count`` independent clones of ``template``."""
+    return template.copy_many(count)
+
+
+def drive_scalar(runtime, entry: str, packets: Sequence[Packet]) -> None:
+    """Inject ``packets`` one at a time (the scalar push path)."""
+    inject = runtime.inject
+    for packet in packets:
+        inject(entry, packet)
+
+
+def drive_batch(
+    runtime,
+    entry: str,
+    packets: Sequence[Packet],
+    batch_size: int = BATCH_SIZE,
+) -> None:
+    """Inject ``packets`` in ``batch_size`` chunks (the batch path)."""
+    inject_batch = runtime.inject_batch
+    for index in range(0, len(packets), batch_size):
+        inject_batch(entry, packets[index:index + batch_size])

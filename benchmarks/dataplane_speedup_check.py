@@ -1,0 +1,140 @@
+"""Batched-dataplane speedup gate.
+
+Times the four-element FIREWALL path (the same workload as
+``test_runtime_packet_rate``) twice -- once through the scalar
+``inject()`` loop and once through the segment-compiled
+``inject_batch()`` fast path -- and fails if the batch path is less
+than ``--threshold`` times faster.  Run by the ``dataplane-speedup``
+CI job::
+
+    PYTHONPATH=src python benchmarks/dataplane_speedup_check.py
+
+Methodology matches ``obs_overhead_check.py``: many fine-grained
+scalar/batch pairs with alternating in-pair order, GC paused around
+each timed region, and the reported speedup is the *median* of the
+per-pair ratios, which neither scheduler noise nor CPU-frequency drift
+in a single pair can move.
+"""
+
+from __future__ import annotations
+
+import argparse
+import gc
+import os
+import statistics
+import sys
+import time
+
+if os.environ.get("PYTHONHASHSEED") is None:
+    # Hash randomization moves dict/set layouts between processes,
+    # which skews the two sides differently run to run; re-exec with a
+    # fixed seed so the measurement is reproducible.
+    os.environ["PYTHONHASHSEED"] = "0"
+    os.execv(sys.executable, [sys.executable] + sys.argv)
+
+from repro.click import Packet, Runtime, UDP, parse_config
+from repro.common.addr import parse_ip
+
+FIREWALL = """
+    src :: FromNetfront();
+    out :: ToNetfront();
+    src -> CheckIPHeader()
+        -> IPFilter(allow udp, allow tcp dst port 80)
+        -> IPRewriter(pattern - - 172.16.15.133 - 0 0)
+        -> out;
+"""
+
+
+def _scalar_seconds(runtime: Runtime, packet: Packet,
+                    packets: int) -> float:
+    """Wall-clock for injecting ``packets`` clones one at a time."""
+    copies = packet.copy_many(packets)
+    gc.disable()
+    started = time.perf_counter()
+    inject = runtime.inject
+    for copy in copies:
+        inject("src", copy)
+    elapsed = time.perf_counter() - started
+    gc.enable()
+    runtime.output.clear()
+    return elapsed
+
+
+def _batch_seconds(runtime: Runtime, packet: Packet, packets: int,
+                   batch_size: int) -> float:
+    """Wall-clock for injecting the same clones in batches."""
+    copies = packet.copy_many(packets)
+    gc.disable()
+    started = time.perf_counter()
+    inject_batch = runtime.inject_batch
+    for index in range(0, packets, batch_size):
+        inject_batch("src", copies[index:index + batch_size])
+    elapsed = time.perf_counter() - started
+    gc.enable()
+    runtime.output.clear()
+    return elapsed
+
+
+def measure(packets: int, trials: int, batch_size: int):
+    """``(scalar_seconds, batch_seconds, median_speedup)``.
+
+    Trials run in back-to-back scalar/batch pairs with the in-pair
+    order alternating each trial; the speedup is the median of the
+    per-pair ratios.
+    """
+    packet = Packet(
+        ip_src=parse_ip("8.8.8.8"),
+        ip_dst=parse_ip("192.0.2.10"),
+        ip_proto=UDP,
+        tp_dst=1500,
+    )
+    scalar_runtime = Runtime(parse_config(FIREWALL))
+    batch_runtime = Runtime(parse_config(FIREWALL))
+    # Warm both paths (imports, lazily compiled segments) first.
+    _scalar_seconds(scalar_runtime, packet, packets)
+    _batch_seconds(batch_runtime, packet, packets, batch_size)
+    scalar = batch = float("inf")
+    ratios = []
+    for trial in range(trials):
+        if trial % 2:
+            b = _batch_seconds(batch_runtime, packet, packets, batch_size)
+            s = _scalar_seconds(scalar_runtime, packet, packets)
+        else:
+            s = _scalar_seconds(scalar_runtime, packet, packets)
+            b = _batch_seconds(batch_runtime, packet, packets, batch_size)
+        scalar = min(scalar, s)
+        batch = min(batch, b)
+        ratios.append(s / b)
+    return scalar, batch, statistics.median(ratios)
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--packets", type=int, default=4000,
+                        help="packets pushed per trial")
+    parser.add_argument("--trials", type=int, default=31,
+                        help="scalar/batch trial pairs")
+    parser.add_argument("--batch-size", type=int, default=256,
+                        help="packets per inject_batch call")
+    parser.add_argument("--threshold", type=float, default=2.0,
+                        help="minimum required batch speedup")
+    args = parser.parse_args(argv)
+    scalar, batch, speedup = measure(
+        args.packets, args.trials, args.batch_size
+    )
+    print("scalar  : %8.3f ms  (%.0f pkt/s)"
+          % (scalar * 1e3, args.packets / scalar))
+    print("batch   : %8.3f ms  (%.0f pkt/s)"
+          % (batch * 1e3, args.packets / batch))
+    print("speedup : %7.2fx  (threshold %.1fx)"
+          % (speedup, args.threshold))
+    if speedup < args.threshold:
+        print("FAIL: batch dataplane speedup below threshold",
+              file=sys.stderr)
+        return 1
+    print("OK")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -17,6 +17,11 @@ from repro.common.errors import ConfigError
 #: ``push()`` results: a list of (output port, packet) pairs.
 PushResult = List[Tuple[int, "object"]]
 
+#: ``push_batch()`` results: a list of (output port, packets) groups.
+#: Port order follows first emission; packet order within a group is the
+#: order the packets would have left that port under scalar ``push()``.
+PushBatchResult = List[Tuple[int, List["object"]]]
+
 _REGISTRY: Dict[str, Type["Element"]] = {}
 
 
@@ -116,6 +121,36 @@ class Element:
         the packet and emit later via scheduled callbacks.
         """
         return [(0, packet)]
+
+    def push_batch(self, port: int, packets: List["object"]) -> PushBatchResult:
+        """Process a whole batch arriving on input ``port``.
+
+        Returns ``(output_port, packets)`` groups.  The default loops
+        over scalar :meth:`push` and regroups by output port, so every
+        element is batch-capable; hot elements override this with a
+        hand-vectorized loop (FastClick-style) that amortizes attribute
+        lookups and list allocations over the batch.
+
+        Contract for overrides, relied on by the runtime's segment
+        executor:
+
+        * never return a group with an empty packet list (drop the
+          group instead; return ``[]`` when the whole batch was
+          dropped or buffered),
+        * within one group, packets keep the relative order scalar
+          ``push()`` would have emitted them in,
+        * the runtime owns the ``packets`` list -- overrides may return
+          it (or slices of it) without copying.
+        """
+        groups: Dict[int, List[object]] = {}
+        push = self.push
+        for packet in packets:
+            for out_port, out_packet in push(port, packet):
+                try:
+                    groups[out_port].append(out_packet)
+                except KeyError:
+                    groups[out_port] = [out_packet]
+        return list(groups.items())
 
     # -- helpers ---------------------------------------------------------------
     def emit(self, port: int, packet) -> None:

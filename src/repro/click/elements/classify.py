@@ -9,7 +9,12 @@ from __future__ import annotations
 
 from typing import List, Tuple
 
-from repro.click.element import Element, PushResult, register_element
+from repro.click.element import (
+    Element,
+    PushBatchResult,
+    PushResult,
+    register_element,
+)
 from repro.common.errors import ConfigError
 from repro.policy.flowspec import FlowSpec, parse_flowspec
 
@@ -41,6 +46,10 @@ class IPFilter(Element):
             else:
                 raise ConfigError("bad IPFilter action in %r" % (rule,))
             self.rules.append((allowed, parse_flowspec(spec_text)))
+        # Hoisted DNF tuples for the vectorized batch matcher.
+        self._compiled = tuple(
+            (allowed, spec.compiled()) for allowed, spec in self.rules
+        )
         self.dropped = 0
 
     def push(self, port: int, packet) -> PushResult:
@@ -51,6 +60,39 @@ class IPFilter(Element):
                 break
         self.dropped += 1
         return []
+
+    def push_batch(self, port: int, packets: List) -> PushBatchResult:
+        # Vectorized first-match-wins over the precompiled DNF: plain
+        # tuple loops and one fields.get binding per packet instead of
+        # a FlowSpec.matches() call per rule per packet.
+        compiled = self._compiled
+        out: List = []
+        append = out.append
+        dropped = 0
+        for packet in packets:
+            get = packet.fields.get
+            verdict = False
+            for allowed, clauses in compiled:
+                matched = False
+                for clause in clauses:
+                    for field, allowed_set in clause:
+                        if get(field, 0) not in allowed_set:
+                            break
+                    else:
+                        matched = True
+                        break
+                if matched:
+                    verdict = allowed
+                    break
+            if verdict:
+                append(packet)
+            else:
+                dropped += 1
+        if dropped:
+            self.dropped += dropped
+        if not out:
+            return []
+        return [(0, out)]
 
 
 @register_element("IPClassifier")
@@ -75,6 +117,7 @@ class IPClassifier(Element):
                 self.patterns.append(FlowSpec.any())
             else:
                 self.patterns.append(parse_flowspec(text))
+        self._compiled = tuple(spec.compiled() for spec in self.patterns)
         self.dropped = 0
 
     def push(self, port: int, packet) -> PushResult:
@@ -83,6 +126,35 @@ class IPClassifier(Element):
                 return [(index, packet)]
         self.dropped += 1
         return []
+
+    def push_batch(self, port: int, packets: List) -> PushBatchResult:
+        # Vectorized first-match dispatch over the precompiled DNF;
+        # groups keep first-emission port order (dict insertion order).
+        compiled = self._compiled
+        groups = {}
+        dropped = 0
+        for packet in packets:
+            get = packet.fields.get
+            for index, clauses in enumerate(compiled):
+                matched = False
+                for clause in clauses:
+                    for field, allowed_set in clause:
+                        if get(field, 0) not in allowed_set:
+                            break
+                    else:
+                        matched = True
+                        break
+                if matched:
+                    try:
+                        groups[index].append(packet)
+                    except KeyError:
+                        groups[index] = [packet]
+                    break
+            else:
+                dropped += 1
+        if dropped:
+            self.dropped += dropped
+        return list(groups.items())
 
 
 @register_element("IngressFilter")

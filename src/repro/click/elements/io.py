@@ -10,7 +10,12 @@ from __future__ import annotations
 
 from typing import List
 
-from repro.click.element import Element, PushResult, register_element
+from repro.click.element import (
+    Element,
+    PushBatchResult,
+    PushResult,
+    register_element,
+)
 
 
 @register_element("FromNetfront")
@@ -31,6 +36,9 @@ class FromNetfront(Element):
 
     def push(self, port: int, packet) -> PushResult:
         return [(0, packet)]
+
+    def push_batch(self, port: int, packets: List) -> PushBatchResult:
+        return [(0, packets)]
 
 
 @register_element("ToNetfront")
@@ -54,6 +62,10 @@ class ToNetfront(Element):
         self.count += 1
         # Routed by the runtime straight into the egress record list.
         return [(0, packet)]
+
+    def push_batch(self, port: int, packets: List) -> PushBatchResult:
+        self.count += len(packets)
+        return [(0, packets)]
 
 
 @register_element("FromDevice")
@@ -82,6 +94,10 @@ class Discard(Element):
         self.count += 1
         return []
 
+    def push_batch(self, port: int, packets: List) -> PushBatchResult:
+        self.count += len(packets)
+        return []
+
 
 @register_element("Idle")
 class Idle(Element):
@@ -95,4 +111,7 @@ class Idle(Element):
         self.require_args(args, 0, 0)
 
     def push(self, port: int, packet) -> PushResult:
+        return []
+
+    def push_batch(self, port: int, packets: List) -> PushBatchResult:
         return []

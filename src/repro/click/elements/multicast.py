@@ -4,7 +4,12 @@ from __future__ import annotations
 
 from typing import List
 
-from repro.click.element import Element, PushResult, register_element
+from repro.click.element import (
+    Element,
+    PushBatchResult,
+    PushResult,
+    register_element,
+)
 from repro.click.packet import IP_DST
 from repro.common.addr import parse_ip
 from repro.common.errors import ConfigError
@@ -37,3 +42,18 @@ class Multicast(Element):
             copy[IP_DST] = dest
             results.append((0, copy))
         return results
+
+    def push_batch(self, port: int, packets: List) -> PushBatchResult:
+        # One flat port-0 group in packet-major order (all of packet 1's
+        # copies before packet 2's), matching the scalar egress order;
+        # the last destination reuses the original packet, like push().
+        destinations = self.destinations
+        last = len(destinations) - 1
+        out: List = []
+        append = out.append
+        for packet in packets:
+            for index, dest in enumerate(destinations):
+                copy = packet if index == last else packet.copy()
+                copy[IP_DST] = dest
+                append(copy)
+        return [(0, out)]

@@ -12,6 +12,7 @@ from typing import Deque, List
 
 from repro.click.element import (
     Element,
+    PushBatchResult,
     PushResult,
     parse_float_arg,
     parse_int_arg,
@@ -57,6 +58,39 @@ class Queue(Element):
         self.buffer.append(packet)
         for listener in self._listeners:
             listener()
+        return []
+
+    def push_batch(self, port: int, packets: List) -> PushBatchResult:
+        buffer = self.buffer
+        if not self._listeners:
+            # No drain side: absorb the whole batch in one extend, drop
+            # whatever exceeds the remaining room (exactly what a
+            # per-packet loop would do with nothing emptying the
+            # buffer in between).
+            room = self.capacity - len(buffer)
+            if room >= len(packets):
+                buffer.extend(packets)
+            else:
+                if room > 0:
+                    buffer.extend(packets[:room])
+                self.drops += len(packets) - max(room, 0)
+            return []
+        # Listeners may drain between enqueues (Unqueue), so overflow
+        # depends on interleaving: keep the exact per-packet protocol,
+        # with the hot names hoisted out of the loop.
+        capacity = self.capacity
+        listeners = self._listeners
+        append = buffer.append
+        drops = 0
+        for packet in packets:
+            if len(buffer) >= capacity:
+                drops += 1
+                continue
+            append(packet)
+            for listener in listeners:
+                listener()
+        if drops:
+            self.drops += drops
         return []
 
 
@@ -139,6 +173,10 @@ class TimedUnqueue(Element):
         self.buffer.append(packet)
         return []
 
+    def push_batch(self, port: int, packets: List) -> PushBatchResult:
+        self.buffer.extend(packets)
+        return []
+
 
 @register_element("RatedUnqueue")
 class RatedUnqueue(Element):
@@ -157,6 +195,13 @@ class RatedUnqueue(Element):
 
     def push(self, port: int, packet) -> PushResult:
         self.buffer.append(packet)
+        if not self._draining:
+            self._draining = True
+            self.schedule(1.0 / self.rate, self._drain)
+        return []
+
+    def push_batch(self, port: int, packets: List) -> PushBatchResult:
+        self.buffer.extend(packets)
         if not self._draining:
             self._draining = True
             self.schedule(1.0 / self.rate, self._drain)

@@ -12,6 +12,7 @@ from typing import Dict, List
 
 from repro.click.element import (
     Element,
+    PushBatchResult,
     PushResult,
     parse_int_arg,
     register_element,
@@ -33,6 +34,11 @@ class Counter(Element):
         self.packets += 1
         self.bytes += packet.length
         return [(0, packet)]
+
+    def push_batch(self, port: int, packets: List) -> PushBatchResult:
+        self.packets += len(packets)
+        self.bytes += sum(p.length for p in packets)
+        return [(0, packets)]
 
 
 @register_element("FlowMeter")
@@ -57,6 +63,15 @@ class FlowMeter(Element):
         self.flow_packets[key] += 1
         self.flow_bytes[key] += packet.length
         return [(0, packet)]
+
+    def push_batch(self, port: int, packets: List) -> PushBatchResult:
+        flow_packets = self.flow_packets
+        flow_bytes = self.flow_bytes
+        for packet in packets:
+            key = packet.flow_key()
+            flow_packets[key] += 1
+            flow_bytes[key] += packet.length
+        return [(0, packets)]
 
     @property
     def flow_count(self) -> int:
@@ -91,6 +106,14 @@ class Tee(Element):
             results.append((out, packet.copy()))
         return results
 
+    def push_batch(self, port: int, packets: List) -> PushBatchResult:
+        # Replicate per batch: the originals go out port 0, each extra
+        # port gets one fresh copy per packet (scalar order preserved).
+        results = [(0, packets)]
+        for out in range(1, self.fanout):
+            results.append((out, [p.copy() for p in packets]))
+        return results
+
 
 @register_element("Paint")
 class Paint(Element):
@@ -105,6 +128,12 @@ class Paint(Element):
     def push(self, port: int, packet) -> PushResult:
         packet.annotations["paint"] = self.color
         return [(0, packet)]
+
+    def push_batch(self, port: int, packets: List) -> PushBatchResult:
+        color = self.color
+        for packet in packets:
+            packet.annotations["paint"] = color
+        return [(0, packets)]
 
 
 @register_element("PaintSwitch")
@@ -122,3 +151,13 @@ class PaintSwitch(Element):
 
     def push(self, port: int, packet) -> PushResult:
         return [(int(packet.annotations.get("paint", 0)), packet)]
+
+    def push_batch(self, port: int, packets: List) -> PushBatchResult:
+        groups = {}
+        for packet in packets:
+            out = int(packet.annotations.get("paint", 0))
+            try:
+                groups[out].append(packet)
+            except KeyError:
+                groups[out] = [packet]
+        return list(groups.items())

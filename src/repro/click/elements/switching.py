@@ -12,6 +12,7 @@ from typing import List
 
 from repro.click.element import (
     Element,
+    PushBatchResult,
     PushResult,
     parse_float_arg,
     parse_int_arg,
@@ -48,6 +49,11 @@ class Switch(Element):
         if self.port < 0:
             return []
         return [(self.port, packet)]
+
+    def push_batch(self, port: int, packets: List) -> PushBatchResult:
+        if self.port < 0:
+            return []
+        return [(self.port, packets)]
 
 
 @register_element("RoundRobinSwitch")
@@ -123,6 +129,12 @@ class SetIPTTL(Element):
         packet[IP_TTL] = self.ttl
         return [(0, packet)]
 
+    def push_batch(self, port: int, packets: List) -> PushBatchResult:
+        ttl = self.ttl
+        for packet in packets:
+            packet.fields[IP_TTL] = ttl
+        return [(0, packets)]
+
 
 @register_element("SetIPTOS")
 class SetIPTOS(Element):
@@ -139,6 +151,12 @@ class SetIPTOS(Element):
     def push(self, port: int, packet) -> PushResult:
         packet[IP_TOS] = self.tos
         return [(0, packet)]
+
+    def push_batch(self, port: int, packets: List) -> PushBatchResult:
+        tos = self.tos
+        for packet in packets:
+            packet.fields[IP_TOS] = tos
+        return [(0, packets)]
 
 
 @register_element("ICMPPingResponder")

@@ -82,9 +82,34 @@ class Runtime:
             if getattr(element, "is_sink", False)
         )
         self._adjacency_get = self._adjacency.get
+        # Connected output ports per element, for the segment compiler.
+        out_ports: Dict[str, List[int]] = {}
+        for src, src_port in self._adjacency:
+            out_ports.setdefault(src, []).append(src_port)
+        self._out_ports = {
+            name: tuple(sorted(ports)) for name, ports in out_ports.items()
+        }
+        # Batch fast path: join-free linear runs of the graph collapse
+        # into precompiled segments (flat lists of bound push_batch
+        # callables), so a batch crosses a segment with zero adjacency
+        # lookups.  Entries are keyed by (element, input port); anything
+        # not precompiled here (mid-graph injection) compiles lazily.
+        self._batch_segments: Dict[Tuple[str, int], tuple] = {}
+        roots = {(name, 0) for name in config.sources()}
+        for (src, _sp), dst_key in self._adjacency.items():
+            if len(self._out_ports[src]) > 1:
+                roots.add(dst_key)
+        for entry in roots:
+            if entry not in self._batch_segments:
+                self._compile_segment(*entry)
         self._obs = obs if obs is not None and obs.enabled else None
+        self._obs_mode: Optional[str] = None
         if self._obs is not None:
             self._bind_metrics(self._obs.metrics)
+            if self._obs_mode == "deferred":
+                self.process_batch = self._process_batch_deferred_obs
+            else:
+                self.process_batch = self._process_batch_exact_obs
         for element in self.elements.values():
             element.initialize(self)
 
@@ -164,6 +189,7 @@ class Runtime:
                     egress.labels(n) if is_sink else None,
                 )
             metrics.register_collector(self._flush_segments)
+            self._obs_mode = "deferred"
             self._install_fast_path()
             return
         # Exact per-hop counting: one dict lookup per hop yielding the
@@ -179,6 +205,7 @@ class Runtime:
             if not e.is_buffering
         }
         self._m_egress = {n: egress.labels(n) for n in self._sink_names}
+        self._obs_mode = "exact"
         self._push = self._push_observed
         self._route = self._route_observed
         self.inject = self._inject_observed
@@ -248,6 +275,268 @@ class Runtime:
         """Route a packet emitted asynchronously by ``element``."""
         self._route(element.name, port, packet)
 
+    # -- batch traffic ------------------------------------------------------
+    def inject_batch(
+        self,
+        element: str,
+        packets,
+        port: int = 0,
+        at: Optional[float] = None,
+    ) -> None:
+        """Hand a whole batch of packets to input ``port`` of ``element``.
+
+        The batch path drives packets through precompiled segments of
+        the element graph (see :meth:`_compile_segment`), calling each
+        element's :meth:`~repro.click.element.Element.push_batch` once
+        per batch instead of scalar ``push()`` once per packet.
+        Semantics match looping :meth:`inject` over ``packets``, with
+        one caveat: when the batch partitions at a multi-output
+        element, packets taking different branches may interleave
+        differently at the sinks than strict per-packet order (order
+        *within* each branch is preserved).
+
+        With ``at`` set, the whole batch is deferred to that simulated
+        time (timers scheduled before it fire first).
+        """
+        if element not in self.elements:
+            raise ConfigError("inject into unknown element %r" % (element,))
+        packets = list(packets)
+        if not packets:
+            return
+        if at is not None:
+            if at < self.now:
+                raise SimulationError("cannot inject in the past")
+            self.schedule(
+                at - self.now,
+                lambda: self.process_batch(element, packets, port),
+            )
+            return
+        self.process_batch(element, packets, port)
+
+    def process_batch(self, element: str, packets: List, port: int = 0):
+        """Drive ``packets`` synchronously from ``element``'s ``port``.
+
+        Uninstrumented segment executor; when observability is enabled
+        the constructor rebinds this name to an instrumented variant
+        (deferred tallies, or a per-packet scalar fallback when the
+        graph needs exact per-hop counting).
+        """
+        segments = self._batch_segments
+        adjacency_get = self._adjacency_get
+        output_append = self.output.append
+        record = EgressRecord
+        now = self.now
+        dropped = 0
+        work = [(element, port, packets)]
+        pop = work.pop
+        while work:
+            name, in_port, pkts = pop()
+            try:
+                steps, terminal = segments[(name, in_port)]
+            except KeyError:
+                steps, terminal = self._compile_segment(name, in_port)
+            for push_batch, step_port, cont, step_name, _buf in steps:
+                groups = push_batch(step_port, pkts)
+                if not groups:
+                    break
+                if cont is not None and len(groups) == 1 \
+                        and groups[0][0] == cont:
+                    pkts = groups[0][1]
+                    continue
+                # Partition point, or an off-chain emission (e.g.
+                # DecIPTTL's expiry port): dispatch each group through
+                # the adjacency map as a fresh work item.  Reversed, so
+                # the first group is popped (and fully processed)
+                # first, like depth-first scalar routing.
+                for out_port, sub in reversed(groups):
+                    nxt = adjacency_get((step_name, out_port))
+                    if nxt is None:
+                        dropped += len(sub)
+                    else:
+                        work.append((nxt[0], nxt[1], sub))
+                break
+            else:
+                if terminal[0] == "sink":
+                    _kind, sink_push_batch, sink_name, sink_port = terminal
+                    for _out_port, sub in sink_push_batch(sink_port, pkts):
+                        for pkt in sub:
+                            output_append(record(sink_name, pkt, now))
+                else:  # "enter": the chain loops back into the graph
+                    work.append((terminal[1], terminal[2], pkts))
+        if dropped:
+            self.dropped += dropped
+
+    def _process_batch_exact_obs(
+        self, element: str, packets: List, port: int = 0
+    ) -> None:
+        """Batch entry for exact per-hop counting mode.
+
+        Graphs with joins or multiplying elements need real counter
+        increments on every hop, which per-batch accounting cannot
+        reconstruct; correctness wins over speed, so the batch falls
+        back to per-packet scalar injection.
+        """
+        inject = self.inject
+        for packet in packets:
+            inject(element, packet, port)
+
+    def _process_batch_deferred_obs(
+        self, element: str, packets: List, port: int = 0
+    ) -> None:
+        """Batch executor for the deferred-accounting fast path.
+
+        One ``[packets, bytes]`` tally is recorded per batch
+        *termination* -- an egress group, a shrink at a dropping or
+        buffering step, an unconnected port -- instead of one per
+        packet, so obs-enabled batch mode keeps the per-batch cost
+        profile of the plain executor.  Tallies land in the same
+        ``(entry, terminator, kind)`` table the scalar fast path uses
+        and are expanded by ``_flush_segments`` unchanged.  Byte
+        attribution for mid-segment shrinks is the before/after length
+        difference, which is exact unless an element both rewrites
+        packet lengths and drops in the same step (no registered
+        element does).
+        """
+        ingress = self.now
+        self._cur_entry = element
+        self._cur_ingress = ingress
+        segments = self._batch_segments
+        seg_tallies = self._segments
+        lat_counts = self._lat_counts
+        adjacency_get = self._adjacency_get
+        output_append = self.output.append
+        record = EgressRecord
+        now = self.now
+        dropped = 0
+        work = [(element, port, packets)]
+        pop = work.pop
+
+        def tally(term, kind, n, nbytes):
+            key = (element, term, kind)
+            try:
+                seg = seg_tallies[key]
+            except KeyError:
+                seg = seg_tallies[key] = [0, 0]
+            seg[0] += n
+            seg[1] += nbytes
+
+        while work:
+            name, in_port, pkts = pop()
+            try:
+                steps, terminal = segments[(name, in_port)]
+            except KeyError:
+                steps, terminal = self._compile_segment(name, in_port)
+            for push_batch, step_port, cont, step_name, buffering in steps:
+                n_in = len(pkts)
+                if buffering:
+                    # End-to-end latency must survive the buffer: the
+                    # drain path (deliver_from) reads this stamp back.
+                    for pkt in pkts:
+                        pkt.annotations["obs.ingress"] = ingress
+                groups = push_batch(step_port, pkts)
+                n_out = 0
+                for _out_port, sub in groups:
+                    n_out += len(sub)
+                if n_out != n_in:
+                    lost_bytes = sum(p.length for p in pkts)
+                    for _out_port, sub in groups:
+                        for p in sub:
+                            lost_bytes -= p.length
+                    tally(
+                        step_name,
+                        "pass" if buffering else "drop",
+                        n_in - n_out,
+                        lost_bytes,
+                    )
+                if not groups:
+                    break
+                if cont is not None and len(groups) == 1 \
+                        and groups[0][0] == cont:
+                    pkts = groups[0][1]
+                    continue
+                for out_port, sub in reversed(groups):
+                    nxt = adjacency_get((step_name, out_port))
+                    if nxt is None:
+                        dropped += len(sub)
+                        tally(
+                            step_name, "pass", len(sub),
+                            sum(p.length for p in sub),
+                        )
+                    else:
+                        work.append((nxt[0], nxt[1], sub))
+                break
+            else:
+                if terminal[0] == "sink":
+                    _kind, sink_push_batch, sink_name, sink_port = terminal
+                    for _out_port, sub in sink_push_batch(sink_port, pkts):
+                        n = 0
+                        nbytes = 0
+                        for pkt in sub:
+                            output_append(record(sink_name, pkt, now))
+                            n += 1
+                            nbytes += pkt.length
+                        tally(sink_name, "egress", n, nbytes)
+                        if now != ingress:
+                            lat = now - ingress
+                            try:
+                                lat_counts[lat] += n
+                            except KeyError:
+                                lat_counts[lat] = n
+                else:
+                    work.append((terminal[1], terminal[2], pkts))
+        if dropped:
+            self.dropped += dropped
+
+    def _compile_segment(self, name: str, port: int) -> tuple:
+        """Compile the linear run of the graph starting at (name, port).
+
+        A segment is a flat tuple of ``(push_batch, in_port,
+        continue_port, element_name, is_buffering)`` steps plus a
+        terminal.  While an element has exactly one connected output
+        port the walk follows its adjacency edge, so the batch executor
+        crosses the whole run with zero adjacency lookups (each step's
+        ``continue_port`` says which port the batch is expected on; any
+        deviation falls back to generic dispatch).  The walk stops at
+        sinks (terminal ``("sink", push_batch, name, port)``), at
+        elements without exactly one connected output (the last step's
+        ``continue_port`` is None and the executor dispatches its
+        groups generically), and at cycles (terminal ``("enter", name,
+        port)`` re-enters the executor's worklist).  Segments are
+        compiled for source entries and partition targets at
+        construction, and lazily for any other injection point.
+        """
+        key = (name, port)
+        steps: List[tuple] = []
+        terminal: Optional[tuple] = None
+        seen = set()
+        cur = key
+        while True:
+            cur_name, cur_port = cur
+            element = self.elements[cur_name]
+            if cur_name in self._sink_names:
+                terminal = ("sink", element.push_batch, cur_name, cur_port)
+                break
+            if cur in seen:
+                terminal = ("enter", cur_name, cur_port)
+                break
+            seen.add(cur)
+            outs = self._out_ports.get(cur_name, ())
+            if len(outs) == 1:
+                steps.append((
+                    element.push_batch, cur_port, outs[0], cur_name,
+                    element.is_buffering,
+                ))
+                cur = self._adjacency[(cur_name, outs[0])]
+            else:
+                steps.append((
+                    element.push_batch, cur_port, None, cur_name,
+                    element.is_buffering,
+                ))
+                break
+        segment = (tuple(steps), terminal)
+        self._batch_segments[key] = segment
+        return segment
+
     # -- internals ---------------------------------------------------------
     def _push(self, name: str, port: int, packet) -> None:
         element = self.elements[name]
@@ -256,16 +545,42 @@ class Runtime:
             self._route(name, out_port, out_packet)
 
     def _route(self, src: str, port: int, packet) -> None:
-        if src in self._sink_names:
-            self.output.append(EgressRecord(src, packet, self.now))
-            return
-        nxt = self._adjacency_get((src, port))
-        if nxt is None:
-            # Unconnected output port: Click would refuse to initialize;
-            # we count it as a drop to keep partially-wired tests simple.
-            self.dropped += 1
-            return
-        self._push(nxt[0], nxt[1], packet)
+        # Iterative worklist rather than _route/_push mutual recursion,
+        # so arbitrarily deep linear configurations cannot blow the
+        # interpreter stack.  The stack holds pending *route* operations
+        # and later siblings are appended in reverse, which reproduces
+        # the recursive depth-first order exactly: an element's first
+        # emission (and its entire downstream subtree) resolves before
+        # its second emission.
+        elements = self.elements
+        sink_names = self._sink_names
+        adjacency_get = self._adjacency_get
+        output_append = self.output.append
+        stack = [(src, port, packet)]
+        pop = stack.pop
+        while stack:
+            src, port, packet = pop()
+            if src in sink_names:
+                output_append(EgressRecord(src, packet, self.now))
+                continue
+            nxt = adjacency_get((src, port))
+            if nxt is None:
+                # Unconnected output port: Click would refuse to
+                # initialize; we count it as a drop to keep
+                # partially-wired tests simple.
+                self.dropped += 1
+                continue
+            name = nxt[0]
+            results = elements[name].push(nxt[1], packet)
+            if not results:
+                continue
+            if len(results) == 1:
+                stack.append((name, results[0][0], results[0][1]))
+            else:
+                stack.extend(
+                    (name, out_port, out_packet)
+                    for out_port, out_packet in reversed(results)
+                )
 
     # -- instrumented variants (installed by _bind_metrics) ----------------
     def _inject_observed(
@@ -297,19 +612,47 @@ class Runtime:
             self._route(name, out_port, out_packet)
 
     def _route_observed(self, src: str, port: int, packet) -> None:
-        if src in self._sink_names:
-            self.output.append(EgressRecord(src, packet, self.now))
-            self._m_egress[src].inc()
-            ingress = packet.annotations.get("obs.ingress")
-            if ingress is not None:
-                self._h_latency.observe(self.now - ingress)
-            return
-        nxt = self._adjacency_get((src, port))
-        if nxt is None:
-            self.dropped += 1
-            self._m_unrouted.inc()
-            return
-        self._push(nxt[0], nxt[1], packet)
+        # Same worklist shape as the uninstrumented _route (exact
+        # depth-first order, no recursion), with per-hop counters.
+        elements = self.elements
+        sink_names = self._sink_names
+        adjacency_get = self._adjacency_get
+        output_append = self.output.append
+        m_hop = self._m_hop
+        m_drops_get = self._m_drops.get
+        stack = [(src, port, packet)]
+        pop = stack.pop
+        while stack:
+            src, port, packet = pop()
+            if src in sink_names:
+                output_append(EgressRecord(src, packet, self.now))
+                self._m_egress[src].inc()
+                ingress = packet.annotations.get("obs.ingress")
+                if ingress is not None:
+                    self._h_latency.observe(self.now - ingress)
+                continue
+            nxt = adjacency_get((src, port))
+            if nxt is None:
+                self.dropped += 1
+                self._m_unrouted.inc()
+                continue
+            name = nxt[0]
+            inc_packets, inc_bytes = m_hop[name]
+            inc_packets()
+            inc_bytes(packet.length)
+            results = elements[name].push(nxt[1], packet)
+            if not results:
+                drop = m_drops_get(name)
+                if drop is not None:
+                    drop.inc()
+                continue
+            if len(results) == 1:
+                stack.append((name, results[0][0], results[0][1]))
+            else:
+                stack.extend(
+                    (name, out_port, out_packet)
+                    for out_port, out_packet in reversed(results)
+                )
 
     # -- deferred-segment fast path (join-free graphs) ----------------------
     def _install_fast_path(self) -> None:
@@ -360,41 +703,65 @@ class Runtime:
                 end_segment(name, "drop", packet)
 
         def route(src, port, packet):
-            if src in sink_names:
-                now = rt.now
-                output_append(record(src, packet, now))
-                # One-entry memo: a train of packets from the same
-                # entry to the same sink skips the keyed lookup.
-                memo = rt._seg_memo
-                if memo is not None and memo[1] is src \
-                        and memo[0] is rt._cur_entry:
-                    seg = memo[2]
+            # Iterative worklist (same shape and ordering argument as
+            # the uninstrumented _route): no recursion on deep chains.
+            stack = [(src, port, packet)]
+            pop = stack.pop
+            while stack:
+                src, port, packet = pop()
+                if src in sink_names:
+                    now = rt.now
+                    output_append(record(src, packet, now))
+                    # One-entry memo: a train of packets from the same
+                    # entry to the same sink skips the keyed lookup.
+                    memo = rt._seg_memo
+                    if memo is not None and memo[1] is src \
+                            and memo[0] is rt._cur_entry:
+                        seg = memo[2]
+                    else:
+                        key = (rt._cur_entry, src, "egress")
+                        try:
+                            seg = segments[key]
+                        except KeyError:
+                            seg = segments[key] = [0, 0]
+                        rt._seg_memo = (rt._cur_entry, src, seg)
+                    seg[0] += 1
+                    seg[1] += packet.length
+                    ingress = rt._cur_ingress
+                    if now != ingress:
+                        lat = now - ingress
+                        try:
+                            lat_counts[lat] += 1
+                        except KeyError:
+                            lat_counts[lat] = 1
+                    # Zero-latency observations are not recorded per
+                    # packet: the flush derives them as (egress
+                    # packets) minus (non-zero latency observations).
+                    continue
+                nxt = adjacency_get((src, port))
+                if nxt is None:
+                    rt.dropped += 1
+                    end_segment(src, "pass", packet)
+                    continue
+                name = nxt[0]
+                element = elements[name]
+                results = element.push(nxt[1], packet)
+                if not results:
+                    # The chain ends here: a drop, or buffer entry.
+                    if element.is_buffering:
+                        end_segment(name, "pass", packet)
+                        packet.annotations["obs.ingress"] = \
+                            rt._cur_ingress
+                    else:
+                        end_segment(name, "drop", packet)
+                    continue
+                if len(results) == 1:
+                    stack.append((name, results[0][0], results[0][1]))
                 else:
-                    key = (rt._cur_entry, src, "egress")
-                    try:
-                        seg = segments[key]
-                    except KeyError:
-                        seg = segments[key] = [0, 0]
-                    rt._seg_memo = (rt._cur_entry, src, seg)
-                seg[0] += 1
-                seg[1] += packet.length
-                ingress = rt._cur_ingress
-                if now != ingress:
-                    lat = now - ingress
-                    try:
-                        lat_counts[lat] += 1
-                    except KeyError:
-                        lat_counts[lat] = 1
-                # Zero-latency observations are not recorded per
-                # packet: the flush derives them as (egress packets)
-                # minus (non-zero latency observations).
-                return
-            nxt = adjacency_get((src, port))
-            if nxt is None:
-                rt.dropped += 1
-                end_segment(src, "pass", packet)
-                return
-            push(nxt[0], nxt[1], packet)
+                    stack.extend(
+                        (name, out_port, out_packet)
+                        for out_port, out_packet in reversed(results)
+                    )
 
         def inject(element, packet, port=0, at=None):
             if element not in elements:

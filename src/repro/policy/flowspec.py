@@ -99,6 +99,15 @@ class Clause:
                 return False
         return True
 
+    def constraint_items(self) -> Tuple[Tuple[str, IntervalSet], ...]:
+        """The (field, allowed IntervalSet) pairs, without copying.
+
+        Hot-path accessor for vectorized packet classifiers: unlike the
+        :attr:`constraints` property it does not rebuild a dict per
+        call, so callers can hoist the tuple once per batch.
+        """
+        return tuple(self._constraints.items())
+
     def negated_clauses(self) -> List["Clause"]:
         """De Morgan: NOT(a AND b) = (NOT a) OR (NOT b)."""
         out = []
@@ -130,6 +139,18 @@ class FlowSpec:
     def matches(self, packet) -> bool:
         """Whether a concrete packet satisfies some clause."""
         return any(clause.matches(packet) for clause in self.clauses)
+
+    def compiled(self) -> Tuple[Tuple[Tuple[str, IntervalSet], ...], ...]:
+        """The DNF as nested tuples of (field, IntervalSet) pairs.
+
+        One tuple per clause, in clause order.  Vectorized matchers
+        (``IPFilter.push_batch`` and friends) hoist this once and loop
+        over plain tuples per packet instead of paying the
+        ``matches()`` call and dict iteration per packet.
+        """
+        return tuple(
+            clause.constraint_items() for clause in self.clauses
+        )
 
     def constrained_fields(self) -> Set[str]:
         """Union of fields constrained by any clause."""

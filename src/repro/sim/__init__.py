@@ -14,7 +14,9 @@ the same code paths:
 * :mod:`repro.sim.energy` -- the 3G RRC radio energy model behind the
   Figure 13 batching experiment,
 * :mod:`repro.sim.traces` -- the synthetic MAWI-like backbone workload
-  of Section 6.
+  of Section 6,
+* :mod:`repro.sim.replay` -- trace replay driving a Click runtime in
+  scalar or batched mode.
 """
 
 from repro.sim.energy import RadioEnergyModel, RRC_PARAMS_3G
@@ -25,6 +27,7 @@ from repro.sim.tcp import (
     sctp_over_udp_goodput,
     tcp_throughput,
 )
+from repro.sim.replay import ReplayStats, flow_packets, replay_trace, trace_packets
 from repro.sim.traces import TraceConfig, generate_trace, trace_statistics
 
 __all__ = [
@@ -38,4 +41,8 @@ __all__ = [
     "TraceConfig",
     "generate_trace",
     "trace_statistics",
+    "ReplayStats",
+    "flow_packets",
+    "replay_trace",
+    "trace_packets",
 ]

@@ -1,0 +1,126 @@
+"""Trace replay: drive a Click runtime with the synthetic backbone trace.
+
+Bridges :mod:`repro.sim.traces` (Section 6's MAWI-like workload) and the
+concrete dataplane: each :class:`~repro.sim.traces.Flow` becomes a small
+train of packets cloned from one template via
+:meth:`~repro.click.packet.Packet.copy_many`, and the whole trace is
+pushed through a :class:`~repro.click.runtime.Runtime` either packet by
+packet (``mode="scalar"``) or through the segment-compiled batch path
+(``mode="batch"``, the default).  Both modes inject the same packets in
+the same flow-major order, so their egress and drop totals are directly
+comparable -- the batch mode exists to make trace-scale experiments
+affordable (see ``docs/dataplane.md``).
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Iterable, List, NamedTuple, Optional, Sequence
+
+from repro.click.packet import TCP, Packet
+from repro.click.runtime import Runtime
+from repro.common.errors import SimulationError
+from repro.sim.traces import Flow
+
+#: Client index -> IP mapping base (10.0.0.0/8).
+CLIENT_BASE = 10 << 24
+#: Server index -> IP mapping base (172.16.0.0/12).
+SERVER_BASE = (172 << 24) | (16 << 16)
+
+
+class ReplayStats(NamedTuple):
+    """Outcome of one trace replay run."""
+
+    mode: str
+    flows: int
+    packets: int
+    egress: int
+    dropped: int
+    wall_seconds: float
+
+    @property
+    def packets_per_second(self) -> float:
+        """Injection throughput of the replay (wall-clock packets/s)."""
+        if self.wall_seconds <= 0:
+            return float("inf")
+        return self.packets / self.wall_seconds
+
+
+def flow_packets(
+    flow: Flow, packets_per_flow: int, length: int = 64
+) -> List[Packet]:
+    """The packet train for one trace flow.
+
+    One template is built per flow and cloned with ``copy_many``, so
+    replaying a large trace does not rebuild the default field dict per
+    packet.
+    """
+    template = Packet(
+        length=length,
+        ip_src=CLIENT_BASE + flow.client,
+        ip_dst=SERVER_BASE + flow.server,
+        ip_proto=TCP,
+        tp_src=flow.sport,
+        tp_dst=flow.dport,
+    )
+    return template.copy_many(packets_per_flow)
+
+
+def trace_packets(
+    flows: Iterable[Flow], packets_per_flow: int = 4, length: int = 64
+) -> List[Packet]:
+    """All packets of a trace, flow-major (all of flow 1, then flow 2...)."""
+    packets: List[Packet] = []
+    for flow in flows:
+        packets.extend(flow_packets(flow, packets_per_flow, length))
+    return packets
+
+
+def replay_trace(
+    runtime: Runtime,
+    flows: Sequence[Flow],
+    entry: Optional[str] = None,
+    packets_per_flow: int = 4,
+    mode: str = "batch",
+    batch_size: int = 256,
+    length: int = 64,
+) -> ReplayStats:
+    """Push a trace's packets through ``runtime`` and report totals.
+
+    ``entry`` defaults to the configuration's first source element.
+    ``mode="batch"`` drives ``batch_size`` packets per
+    :meth:`~repro.click.runtime.Runtime.inject_batch` call;
+    ``mode="scalar"`` loops :meth:`~repro.click.runtime.Runtime.inject`.
+    Egress and drop deltas are measured across the run, so the runtime
+    may be reused (or pre-warmed) by the caller.
+    """
+    if mode not in ("batch", "scalar"):
+        raise SimulationError("unknown replay mode %r" % (mode,))
+    if entry is None:
+        sources = runtime.config.sources()
+        if not sources:
+            raise SimulationError(
+                "trace replay needs a source element to inject into"
+            )
+        entry = sources[0]
+    packets = trace_packets(flows, packets_per_flow, length)
+    egress_before = len(runtime.output)
+    dropped_before = runtime.dropped
+    start = time.perf_counter()
+    if mode == "batch":
+        inject_batch = runtime.inject_batch
+        for index in range(0, len(packets), batch_size):
+            inject_batch(entry, packets[index:index + batch_size])
+    else:
+        inject = runtime.inject
+        for packet in packets:
+            inject(entry, packet)
+    wall = time.perf_counter() - start
+    return ReplayStats(
+        mode=mode,
+        flows=len(flows),
+        packets=len(packets),
+        egress=len(runtime.output) - egress_before,
+        dropped=runtime.dropped - dropped_before,
+        wall_seconds=wall,
+    )

@@ -60,6 +60,50 @@ class TestCopy:
         assert p[IP_DST] == 2  # original untouched
 
 
+class TestCopyMany:
+    def test_clones_match_the_template(self):
+        p = Packet(tp_dst=80, length=1500, annotations={"paint": 3})
+        clones = p.copy_many(5)
+        assert len(clones) == 5
+        for clone in clones:
+            assert clone.fields == p.fields
+            assert clone.annotations == p.annotations
+            assert clone.length == 1500
+
+    def test_clones_are_independent(self):
+        p = Packet(tp_dst=80, annotations={"paint": 1})
+        a, b = p.copy_many(2)
+        a[TP_DST] = 443
+        a.annotations["paint"] = 2
+        assert b[TP_DST] == 80 and p[TP_DST] == 80
+        assert b.annotations["paint"] == 1
+
+    def test_uids_unique_across_clones(self):
+        clones = Packet().copy_many(10)
+        assert len({c.uid for c in clones}) == 10
+
+    def test_encap_stack_is_deep_enough(self):
+        p = Packet(ip_dst=1)
+        p.encapsulate(ip_dst=2)
+        a, b = p.copy_many(2)
+        a.decapsulate()
+        assert a[IP_DST] == 1
+        assert b[IP_DST] == 2  # sibling clone keeps its outer header
+
+    def test_zero_clones(self):
+        assert Packet().copy_many(0) == []
+
+    def test_matches_scalar_copy(self):
+        p = Packet(tp_src=7, payload=b"x", annotations={"k": "v"})
+        p.encapsulate(ip_dst=9)
+        scalar = p.copy()
+        (bulk,) = p.copy_many(1)
+        assert bulk.fields == scalar.fields
+        assert bulk.annotations == scalar.annotations
+        assert bulk.encap_stack == scalar.encap_stack
+        assert bulk.length == scalar.length
+
+
 class TestEncapsulation:
     def test_encap_decap_roundtrip(self):
         p = Packet(ip_src=10, ip_dst=20, ip_proto=UDP)
