@@ -12,8 +12,12 @@ Subcommands:
   execution table for a configuration,
 * ``obs``                       -- run the Figure 4 walkthrough with
   observability enabled end to end (admission, provisioning, platform
-  boot, dataplane traffic) and dump the metrics/span snapshot as a
-  table, JSON, or Prometheus text.
+  boot, dataplane traffic, one failover episode) and dump the
+  metrics/span snapshot as a table, JSON, or Prometheus text,
+* ``chaos``                     -- run the failure-model chaos
+  scenarios (platform crash, boot-timeout storm, link flap during
+  migration, controller restart) across seeds; exit 1 on any
+  invariant violation.
 """
 
 from __future__ import annotations
@@ -197,6 +201,12 @@ def cmd_obs(args) -> int:
             tp_src=40000 + index,
         ))
     runtime.run(until=130.0)  # one TimedUnqueue batch interval
+    # A short resilience episode so the failure-model counters
+    # (faults injected, health checks, failover outcomes, recovery
+    # time) show up in the same snapshot as the happy path.
+    from repro.resilience.chaos import run_scenario
+
+    run_scenario("platform-crash", seed=1, obs=obs)
     if args.format == "json":
         print(obs.snapshot_json(indent=2))
     elif args.format == "prom":
@@ -204,6 +214,34 @@ def cmd_obs(args) -> int:
     else:
         print(obs.render_table(title="figure 4 walkthrough"))
     return 0
+
+
+def cmd_chaos(args) -> int:
+    """Run the chaos scenarios and report per-run verdicts.
+
+    Exit code 0 only when every scenario is invariants-green for
+    every seed -- this is what the ``chaos`` CI job gates on.
+    """
+    from repro.resilience.chaos import SCENARIOS, run_scenario
+
+    if args.list:
+        for name in sorted(SCENARIOS):
+            print(name)
+        return 0
+    names = [args.scenario] if args.scenario else sorted(SCENARIOS)
+    seeds = tuple(args.seeds)
+    reports = [
+        run_scenario(name, seed=seed)
+        for name in names for seed in seeds
+    ]
+    for report in reports:
+        print(report.summary())
+        for failure in report.failures:
+            print("    FAIL: %s" % failure)
+    green = sum(1 for r in reports if r.passed)
+    print("%d/%d runs green (%d scenario(s) x %d seed(s))"
+          % (green, len(reports), len(names), len(seeds)))
+    return 0 if green == len(reports) else 1
 
 
 def cmd_trace(args) -> int:
@@ -264,6 +302,24 @@ def build_parser() -> argparse.ArgumentParser:
         "--packets", type=int, default=50,
         help="UDP packets to drive through the deployed module",
     )
+    chaos = sub.add_parser(
+        "chaos",
+        help="run the failure-model chaos scenarios and report "
+             "per-run verdicts (exit 1 on any red run)",
+    )
+    chaos.add_argument(
+        "--scenario", default=None,
+        help="run only this scenario (default: all)",
+    )
+    chaos.add_argument(
+        "--seeds", type=int, nargs="+", default=[1, 2, 3],
+        metavar="SEED",
+        help="fault-injection seeds to run each scenario under",
+    )
+    chaos.add_argument(
+        "--list", action="store_true",
+        help="list the available scenarios and exit",
+    )
     return parser
 
 
@@ -277,6 +333,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         "request": cmd_request,
         "trace": cmd_trace,
         "obs": cmd_obs,
+        "chaos": cmd_chaos,
     }
     return handlers[args.command](args)
 

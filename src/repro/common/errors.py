@@ -31,3 +31,29 @@ class DeploymentError(InNetError):
 
 class SimulationError(InNetError):
     """The discrete-event simulator was driven into an invalid state."""
+
+
+class FaultError(InNetError):
+    """An infrastructure fault (injected or detected) hit an operation.
+
+    The failure model (:mod:`repro.resilience`) distinguishes
+    *transient* faults -- which a retry policy may absorb -- from
+    *permanent* ones, which surface to the caller as one of the
+    subclasses below.
+    """
+
+
+class TransientFaultError(FaultError):
+    """A fault a retry may absorb (flaky toolstack operation)."""
+
+
+class FaultTimeoutError(TransientFaultError):
+    """An operation exceeded its per-operation timeout."""
+
+
+class RetryExhaustedError(FaultError):
+    """Every retry attempt (or the retry deadline) was spent."""
+
+
+class PlatformDownError(FaultError):
+    """The target platform is crashed or marked failed."""

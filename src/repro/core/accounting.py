@@ -155,3 +155,16 @@ class Ledger:
         names = {u.client_id for u in self.modules.values()}
         names.update(self.verifications)
         return sorted(names)
+
+    def open_module_ids(self) -> List[str]:
+        """Modules still accruing module-hours (deployed, not stopped).
+
+        The resilience invariant checker compares this against the
+        controller's ``deployed`` map: a killed-but-still-billing or a
+        running-but-unbilled module is an accounting leak.
+        """
+        return sorted(
+            module_id
+            for module_id, usage in self.modules.items()
+            if usage.stopped_at is None
+        )

@@ -78,6 +78,10 @@ class _DeployedModule:
     config: ClickConfig
     sandboxed: bool
     requirements: List[ReachRequirement] = field(default_factory=list)
+    #: Listen steering (None = steer the whole address): kept so a
+    #: migration or rollback re-installs the *same* flow-table rule.
+    proto: Optional[int] = None
+    port: Optional[int] = None
 
 
 @dataclass
@@ -108,10 +112,12 @@ class Controller:
         clock=None,
         fast_path: bool = True,
         obs=None,
+        journal=None,
     ):
         from repro.core.accounting import Ledger
         from repro.core.cache import CachingSecurityAnalyzer
         from repro.obs import NULL_OBSERVABILITY
+        from repro.resilience.journal import NULL_JOURNAL
 
         self.network = network
         self.network.compute_routes()
@@ -142,6 +148,10 @@ class Controller:
         self.flow_rules: Dict[Tuple[str, int], str] = {}
         #: Resource accounting (Section 2.1).
         self.ledger = ledger if ledger is not None else Ledger()
+        #: Write-ahead deployment journal (repro.resilience.journal).
+        #: The shared NULL_JOURNAL makes journaling a no-op call for
+        #: controllers that do not opt in.
+        self.journal = journal if journal is not None else NULL_JOURNAL
         #: Simulated-time source for accounting (defaults to wall time).
         self._clock = clock if clock is not None else time.time
         #: Observability (repro.obs): metrics + admission spans.  The
@@ -386,7 +396,8 @@ class Controller:
                     self.network.compute_routes()
                 else:
                     self._commit(request, module_id, platform, address,
-                                 deploy_config, sandboxed, requirements)
+                                 deploy_config, sandboxed, requirements,
+                                 proto=listen_proto, port=listen_port)
                 return DeploymentResult(
                     accepted=True,
                     module_id=module_id,
@@ -413,12 +424,37 @@ class Controller:
         )
 
     def kill(self, module_id: str) -> bool:
-        """Stop and remove a deployed module (the client's kill call)."""
-        record = self.deployed.pop(module_id, None)
+        """Stop and remove a deployed module (the client's kill call).
+
+        Idempotent (a second kill returns False) and safe even when
+        the hosting platform node has since been removed from the
+        topology: all controller-side bookkeeping -- record, flow
+        rule, the client's authorization entry, billing -- is torn
+        down either way, and the module's address goes back to the
+        platform's pool so the pool never shrinks across a
+        deploy/kill cycle.
+        """
+        record = self.deployed.get(module_id)
         if record is None:
             return False
-        platform = self.network.node(record.platform)
-        platform.undeploy(module_id)
+        from repro.resilience.journal import (
+            OP_KILL, PHASE_COMMIT, PHASE_INTENT,
+        )
+
+        self.journal.append(
+            OP_KILL, PHASE_INTENT,
+            module_id=module_id, client_id=record.client_id,
+            platform=record.platform, address=record.address,
+            timestamp=self._clock(),
+        )
+        del self.deployed[module_id]
+        try:
+            platform = self.network.node(record.platform)
+        except Exception:
+            platform = None
+        if isinstance(platform, Platform):
+            platform.undeploy(module_id)
+            platform.release_address(record.address)
         self.flow_rules.pop((record.platform, record.address), None)
         owned = self.client_addresses.get(record.client_id)
         if owned is not None:
@@ -427,6 +463,12 @@ class Controller:
         self.network.compute_routes()
         self.ledger.record_stop(module_id, self._clock())
         self._c_kills.inc()
+        self.journal.append(
+            OP_KILL, PHASE_COMMIT,
+            module_id=module_id, client_id=record.client_id,
+            platform=record.platform, address=record.address,
+            timestamp=self._clock(),
+        )
         return True
 
     def migrate(
@@ -478,23 +520,46 @@ class Controller:
                 migrated=False, module_id=module_id,
                 reason="target platform is at capacity",
             )
+        from repro.resilience.journal import (
+            OP_MIGRATE, PHASE_COMMIT, PHASE_INTENT,
+        )
+
         source = self.network.node(record.platform)
         new_address = target.allocate_address()
-        # Trial placement on the target while the source still runs.
-        source.undeploy(module_id)
-        target.deploy(module_id, new_address, record.config)
-        self.network.compute_routes()
-        compiled = self._ensure_compiled()
-        results = self._verify_all(
-            compiled, record.requirements, module_id,
-            module_config=record.config,
+        self.journal.append(
+            OP_MIGRATE, PHASE_INTENT,
+            module_id=module_id, client_id=record.client_id,
+            platform=target_platform, address=new_address,
+            source=record.platform, source_address=record.address,
+            proto=record.proto, port=record.port,
+            timestamp=self._clock(),
         )
+        # Trial placement on the target while the source still runs.
+        # *Every* non-commit exit below must leave the world exactly
+        # as it was: source record, flow rules, client addresses
+        # untouched, the target's trial address back in the pool.
+        source.undeploy(module_id)
+        try:
+            target.deploy(
+                module_id, new_address, record.config,
+                proto=record.proto, port=record.port,
+            )
+            self.network.compute_routes()
+            compiled = self._ensure_compiled()
+            results = self._verify_all(
+                compiled, record.requirements, module_id,
+                module_config=record.config,
+            )
+        except Exception:
+            self._rollback_migration(
+                source, target, record, module_id, new_address
+            )
+            raise
         if not all(results):
             # Roll back: the module stays where it was.
-            target.undeploy(module_id)
-            target.release_address(new_address)
-            source.deploy(module_id, record.address, record.config)
-            self.network.compute_routes()
+            self._rollback_migration(
+                source, target, record, module_id, new_address
+            )
             failed = [r for r in results if not r]
             return MigrationResult(
                 migrated=False, module_id=module_id,
@@ -503,16 +568,28 @@ class Controller:
                     "%s: %s" % (r.requirement, r.reason) for r in failed
                 ),
             )
-        # Commit: swap flow rules and client-owned addresses.
+        # Commit: swap flow rules and client-owned addresses, and
+        # return the source-side address to its pool -- nothing refers
+        # to it any more.
         self.flow_rules.pop((record.platform, record.address), None)
         self.flow_rules[(target_platform, new_address)] = module_id
         owned = self.client_addresses.setdefault(record.client_id, set())
         owned.discard(record.address)
         owned.add(new_address)
         old_platform = record.platform
+        old_address = record.address
+        source.release_address(old_address)
         record.platform = target_platform
         record.address = new_address
         self.network.bump_epoch()
+        self.journal.append(
+            OP_MIGRATE, PHASE_COMMIT,
+            module_id=module_id, client_id=record.client_id,
+            platform=target_platform, address=new_address,
+            source=old_platform, source_address=old_address,
+            proto=record.proto, port=record.port,
+            timestamp=self._clock(),
+        )
         downtime = _migration_downtime(record.config)
         return MigrationResult(
             migrated=True,
@@ -523,11 +600,127 @@ class Controller:
             downtime_seconds=downtime,
         )
 
+    def _rollback_migration(
+        self,
+        source: Platform,
+        target: Platform,
+        record: _DeployedModule,
+        module_id: str,
+        new_address: int,
+    ) -> None:
+        """Undo a trial migration placement, restoring the source
+        exactly (including the original listen steering)."""
+        if module_id in target.modules:
+            target.undeploy(module_id)
+        target.release_address(new_address)
+        if module_id not in source.modules:
+            source.deploy(
+                module_id, record.address, record.config,
+                proto=record.proto, port=record.port,
+            )
+        self.network.compute_routes()
+
     def register_client_address(self, client_id: str, address: str) -> None:
         """Record an address owned by a client (explicit authorization)."""
-        self.client_addresses.setdefault(client_id, set()).add(
-            addresses_to_whitelist([address]).__iter__().__next__()
+        parsed = next(iter(addresses_to_whitelist([address])))
+        self.client_addresses.setdefault(client_id, set()).add(parsed)
+        from repro.resilience.journal import OP_REGISTER, PHASE_COMMIT
+
+        self.journal.append(
+            OP_REGISTER, PHASE_COMMIT,
+            client_id=client_id, address=parsed,
+            timestamp=self._clock(),
         )
+
+    @classmethod
+    def recover(
+        cls,
+        network: Network,
+        journal,
+        operator_requirements: str = "",
+        ledger=None,
+        clock=None,
+        fast_path: bool = True,
+        obs=None,
+    ) -> "Controller":
+        """Rebuild a controller from its write-ahead journal.
+
+        The replacement for a crashed controller: committed deploys,
+        kills, and migrations are folded into the effective deployment
+        state, which is re-installed (``deployed``, flow rules, client
+        authorization sets, ledger).  The platforms are then
+        *reconciled* against that state -- a trial placement orphaned
+        by a crash between intent and commit is undeployed and its
+        address released, and a committed module a platform lost is
+        re-deployed at its original address.  The result converges to
+        the pre-crash control-plane state (the chaos harness asserts
+        digest equality).
+        """
+        controller = cls(
+            network,
+            operator_requirements=operator_requirements,
+            ledger=ledger,
+            clock=clock,
+            fast_path=fast_path,
+            obs=obs,
+            journal=journal,
+        )
+        live = journal.live_state()
+        # Reconcile platform-side placements: anything a platform runs
+        # that the journal does not consider live is an orphan of an
+        # interrupted operation.
+        for platform in network.platforms():
+            for module_id in list(platform.modules):
+                record = live.get(module_id)
+                if record is None or record.platform != platform.name:
+                    address, _config = platform.modules[module_id]
+                    platform.undeploy(module_id)
+                    platform.release_address(address)
+        # Re-install the committed state.
+        for module_id in sorted(live):
+            record = live[module_id]
+            platform = network.node(record.platform)
+            if module_id not in platform.modules:
+                platform.adopt_address(record.address)
+                platform.deploy(
+                    module_id, record.address, record.config,
+                    proto=record.proto, port=record.port,
+                )
+            controller.deployed[module_id] = _DeployedModule(
+                module_id=module_id,
+                client_id=record.client_id,
+                platform=record.platform,
+                address=record.address,
+                config=record.config,
+                sandboxed=record.sandboxed,
+                requirements=list(record.requirements),
+                proto=record.proto,
+                port=record.port,
+            )
+            controller.flow_rules[
+                (record.platform, record.address)
+            ] = module_id
+            controller.client_addresses.setdefault(
+                record.client_id, set()
+            ).add(record.address)
+            billed = controller.ledger.modules.get(module_id)
+            if billed is None or billed.stopped_at is not None:
+                controller.ledger.record_deployment(
+                    module_id, record.client_id, record.sandboxed,
+                    record.timestamp,
+                )
+        for client_id, addresses in journal.registered_addresses().items():
+            controller.client_addresses.setdefault(
+                client_id, set()
+            ).update(addresses)
+        # Auto-generated module ids must not collide with pre-crash
+        # ones (including modules that were killed since).
+        controller._module_counter = itertools.count(
+            journal.deploys_seen() + 1
+        )
+        network.bump_epoch()
+        network.compute_routes()
+        return controller
 
     def verify_snapshot(self) -> List[ReachResult]:
         """Re-check the whole snapshot after a network change.
@@ -568,7 +761,17 @@ class Controller:
                     continue
                 if not platform.has_capacity:
                     continue
-                attempt = self.migrate(module_id, platform.name)
+                try:
+                    attempt = self.migrate(module_id, platform.name)
+                except Exception as exc:
+                    # One candidate blowing up must not strand the
+                    # rest of the evacuation (_migrate already rolled
+                    # the trial placement back).
+                    attempt = MigrationResult(
+                        migrated=False, module_id=module_id,
+                        source=platform_name, target=platform.name,
+                        reason="migration error: %s" % (exc,),
+                    )
                 if attempt:
                     moved = attempt
                     break
@@ -664,7 +867,21 @@ class Controller:
         config: ClickConfig,
         sandboxed: bool,
         requirements: Optional[List[ReachRequirement]] = None,
+        proto: Optional[int] = None,
+        port: Optional[int] = None,
     ) -> None:
+        from repro.resilience.journal import (
+            OP_DEPLOY, PHASE_COMMIT, PHASE_INTENT,
+        )
+
+        journal_fields = dict(
+            module_id=module_id, client_id=request.client_id,
+            platform=platform.name, address=address,
+            sandboxed=sandboxed, proto=proto, port=port,
+            timestamp=self._clock(), config=config,
+            requirements=tuple(requirements or ()),
+        )
+        self.journal.append(OP_DEPLOY, PHASE_INTENT, **journal_fields)
         self.deployed[module_id] = _DeployedModule(
             module_id=module_id,
             client_id=request.client_id,
@@ -673,6 +890,8 @@ class Controller:
             config=config,
             sandboxed=sandboxed,
             requirements=list(requirements or []),
+            proto=proto,
+            port=port,
         )
         self.ledger.record_deployment(
             module_id, request.client_id, sandboxed, self._clock()
@@ -686,6 +905,7 @@ class Controller:
         # A real deploy starts a new model epoch: cached compiled
         # networks must pick up the new permanent module.
         self.network.bump_epoch()
+        self.journal.append(OP_DEPLOY, PHASE_COMMIT, **journal_fields)
 
 
 def _instantiate_rule(

@@ -97,7 +97,16 @@ class Federation:
             raise DeploymentError("no operators registered")
         first_denial: Optional[DeploymentResult] = None
         for info in self.operators_by_distance(location):
-            result = info.controller.request(request)
+            try:
+                result = info.controller.request(request)
+            except Exception as exc:
+                # A dead or faulting operator is just "farther away":
+                # record the denial and keep walking outward.
+                result = DeploymentResult(
+                    accepted=False,
+                    reason="operator %s unavailable: %s"
+                           % (info.name, exc),
+                )
             if result.accepted:
                 if request.module_name:
                     self.placements[request.module_name] = info.name
@@ -113,11 +122,19 @@ class Federation:
         return FederatedDeployment(operator="", result=first_denial)
 
     def kill(self, module_id: str) -> bool:
-        """Tear a federated module down wherever it runs."""
+        """Tear a federated module down wherever it runs.
+
+        Returns False for unknown modules and for placements whose
+        operator has since been deregistered; a double kill is a
+        no-op (the first call already dropped the placement).
+        """
         operator_name = self.placements.pop(module_id, None)
         if operator_name is None:
             return False
-        return self.operators[operator_name].controller.kill(module_id)
+        info = self.operators.get(operator_name)
+        if info is None:
+            return False
+        return info.controller.kill(module_id)
 
     def deployments(self) -> Dict[str, str]:
         """module id -> operator name, for everything still running."""

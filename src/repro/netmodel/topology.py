@@ -146,12 +146,23 @@ class Platform(Node):
         #: Maximum concurrently deployed modules (None = unbounded by
         #: policy; the address pool still bounds it physically).
         self.capacity = capacity
+        #: Availability: a crashed platform is marked down by the
+        #: failover engine so it stops being a placement candidate
+        #: (see :mod:`repro.resilience`).
+        self.up = True
         #: module name -> (assigned address, ClickConfig).
         self.modules: Dict[str, Tuple[int, object]] = {}
         self._next_offset = 1
         #: Addresses handed out but returned unused (failed/aborted
         #: placements); reused lowest-first before fresh offsets.
         self._released: set = set()
+        #: Lifetime allocation accounting.  At control-plane quiesce
+        #: (no trial placement in flight) every outstanding address
+        #: must be bound to a deployed module, so
+        #: ``allocated_total - released_total == len(modules)`` -- the
+        #: leak invariant the chaos harness checks after every event.
+        self.allocated_total = 0
+        self.released_total = 0
         #: The platform switch's OpenFlow-style table; the controller's
         #: steering rules land here (Section 4.3).
         from repro.netmodel.flowtable import FlowTable
@@ -160,8 +171,32 @@ class Platform(Node):
 
     @property
     def has_capacity(self) -> bool:
-        """Whether one more module fits under the capacity policy."""
+        """Whether one more module fits under the capacity policy.
+
+        A platform marked failed never has capacity: the controller's
+        candidate loop and the migration target check both route
+        through here, so a dead box silently drops out of placement.
+        """
+        if not self.up:
+            return False
         return self.capacity is None or len(self.modules) < self.capacity
+
+    def mark_failed(self) -> None:
+        """Take the platform out of service (crash / maintenance).
+
+        Callers that hold a :class:`Network` should also
+        ``bump_epoch()`` so cached compiled models are invalidated;
+        the failover engine does both.
+        """
+        self.up = False
+
+    def mark_recovered(self) -> None:
+        """Return the platform to service after repair."""
+        self.up = True
+
+    def outstanding_addresses(self) -> int:
+        """Addresses handed out and not yet returned to the pool."""
+        return self.allocated_total - self.released_total
 
     def owned_addresses(self) -> IntervalSet:
         low, high = prefix_range(self.pool_network, self.pool_plen)
@@ -174,6 +209,7 @@ class Platform(Node):
             candidate = min(self._released)
             self._released.discard(candidate)
             if candidate not in in_use:
+                self.allocated_total += 1
                 return candidate
         low, high = prefix_range(self.pool_network, self.pool_plen)
         candidate = low + self._next_offset
@@ -184,7 +220,25 @@ class Platform(Node):
                 "platform %r address pool exhausted" % (self.name,)
             )
         self._next_offset = candidate - low + 1
+        self.allocated_total += 1
         return candidate
+
+    def adopt_address(self, address: int) -> None:
+        """Register an externally assigned address as allocated.
+
+        Journal replay re-installs modules with the exact addresses the
+        original controller handed out; this keeps the allocation
+        accounting (and hence the leak invariant) balanced without
+        running the allocator.
+        """
+        low, high = prefix_range(self.pool_network, self.pool_plen)
+        if not low <= address <= high:
+            raise ConfigError(
+                "address %d is not in platform %r's pool"
+                % (address, self.name)
+            )
+        self._released.discard(address)
+        self.allocated_total += 1
 
     def release_address(self, address: int) -> None:
         """Return an allocated-but-unused address to the pool.
@@ -205,6 +259,7 @@ class Platform(Node):
                 "address %d is still bound to a deployed module"
                 % (address,)
             )
+        self.released_total += 1
         if address == low + self._next_offset - 1:
             # Releasing the most recent allocation rewinds the cursor,
             # so a fully-rejected request leaves the pool byte-identical.

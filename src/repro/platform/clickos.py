@@ -68,6 +68,8 @@ class PlatformSim:
         wire_latency_s: float = 0.0001,
         obs=None,
         name: str = "platform",
+        injector=None,
+        retry_policy=None,
     ):
         from repro.obs import NULL_OBSERVABILITY
 
@@ -75,12 +77,31 @@ class PlatformSim:
         self.loop = loop or EventLoop()
         self._obs = obs if obs is not None else NULL_OBSERVABILITY
         self.name = name
+        #: Shared fault injector + retry policy (repro.resilience);
+        #: both flow through to the switch's lifecycle paths.
+        self._injector = injector
+        self._retry_policy = retry_policy
         self.switch = SwitchController(
-            spec, self.loop, obs=self._obs, platform_name=name
+            spec, self.loop, obs=self._obs, platform_name=name,
+            injector=injector, retry_policy=retry_policy,
         )
         self.throughput = ThroughputModel(spec)
         self.wire_latency_s = wire_latency_s
         self._active_transfers = 0
+
+    # -- whole-platform failure --------------------------------------------------
+    @property
+    def crashed(self) -> bool:
+        """Whether the platform is down (health probes read this)."""
+        return self.switch.crashed
+
+    def crash(self) -> None:
+        """The box dies: VMs destroyed, parked traffic dropped."""
+        self.switch.crash()
+
+    def restore(self) -> None:
+        """The box comes back; VMs boot again on demand."""
+        self.switch.restore()
 
     # -- provisioning -----------------------------------------------------------
     def register_client(
@@ -200,8 +221,28 @@ class PlatformSim:
 
         Returns ``(suspend_seconds, resume_seconds)`` under the current
         resident-VM count.  The VM must be running; the cycle completes
-        synchronously on the event loop.
+        synchronously on the event loop.  With a fault injector
+        attached, injected ``suspend-resume`` faults are absorbed by
+        the retry policy (backoff advances the simulated clock);
+        exhausted retries surface as
+        :class:`~repro.common.errors.RetryExhaustedError`.
         """
+        if self._injector is None:
+            return self._suspend_resume_once(client_id)
+        from repro.resilience.retry import call_with_retries
+
+        return call_with_retries(
+            lambda: self._suspend_resume_once(client_id),
+            op="suspend-resume",
+            policy=self._retry_policy,
+            injector=self._injector,
+            target=self.name,
+            clock=lambda: self.loop.now,
+            sleep=lambda d: self.loop.run_until(self.loop.now + d),
+            obs=self._obs,
+        )
+
+    def _suspend_resume_once(self, client_id: str) -> Tuple[float, float]:
         vm = self.switch.client_vms.get(client_id)
         if vm is None:
             raise SimulationError("unknown client %r" % (client_id,))

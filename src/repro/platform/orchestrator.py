@@ -50,12 +50,18 @@ class PlatformOrchestrator:
         spec: PlatformSpec = CHEAP_SERVER_SPEC,
         clients_per_vm: int = 100,
         obs=None,
+        injector=None,
+        retry_policy=None,
     ):
         from repro.obs import NULL_OBSERVABILITY
 
         self.network = network
         self.spec = spec
         self.clients_per_vm = clients_per_vm
+        #: Shared fault injection/retry knobs handed to every
+        #: provisioned :class:`PlatformSim` (repro.resilience).
+        self._injector = injector
+        self._retry_policy = retry_policy
         self.sims: Dict[str, PlatformSim] = {}
         self.managers: Dict[str, ConsolidationManager] = {}
         #: module id -> (platform name, VM).
@@ -87,7 +93,8 @@ class PlatformOrchestrator:
     def provision(self, platform: Platform) -> ProvisionReport:
         """Provision one platform's deployed modules."""
         sim = PlatformSim(
-            spec=self.spec, obs=self._obs, name=platform.name
+            spec=self.spec, obs=self._obs, name=platform.name,
+            injector=self._injector, retry_policy=self._retry_policy,
         )
         manager = ConsolidationManager(
             self.clients_per_vm, obs=self._obs,

@@ -29,6 +29,10 @@ class ReaperStats:
     terminated: int = 0
     suspended: int = 0
     sweeps: int = 0
+    #: Reclaim attempts that raised (suspend refused, VM vanished
+    #: mid-sweep, injected toolstack fault).  A failed VM is skipped,
+    #: the sweep continues, and future sweeps still run.
+    errors: int = 0
 
 
 class IdleReaper:
@@ -62,11 +66,21 @@ class IdleReaper:
     def _tick(self) -> None:
         if not self._running:
             return
-        self.sweep()
-        self.loop.schedule(self.sweep_interval_s, self._tick)
+        try:
+            self.sweep()
+        finally:
+            # Whatever a sweep did, the reaper keeps running: a single
+            # bad sweep must not silently disable idle reclamation.
+            self.loop.schedule(self.sweep_interval_s, self._tick)
 
     def sweep(self) -> List[VM]:
-        """Reclaim every idle running VM once; returns those reaped."""
+        """Reclaim every idle running VM once; returns those reaped.
+
+        A reclaim that raises (a VM vanished between the candidate
+        scan and the suspend, a flaky toolstack) is counted in
+        :attr:`ReaperStats.errors` and skipped; the rest of the sweep
+        proceeds.
+        """
         self.stats.sweeps += 1
         now = self.loop.now
         reaped: List[VM] = []
@@ -76,11 +90,15 @@ class IdleReaper:
             last = self.switch.last_activity.get(vm.vm_id)
             if last is None or now - last < self.idle_timeout_s:
                 continue
-            if vm.stateful:
-                self.switch.suspend_idle(vm)
-                self.stats.suspended += 1
-            else:
-                vm.terminate()
-                self.stats.terminated += 1
+            try:
+                if vm.stateful:
+                    self.switch.suspend_idle(vm)
+                    self.stats.suspended += 1
+                else:
+                    vm.terminate()
+                    self.stats.terminated += 1
+            except Exception:
+                self.stats.errors += 1
+                continue
             reaped.append(vm)
         return reaped

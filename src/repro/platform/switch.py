@@ -17,7 +17,7 @@ from __future__ import annotations
 
 from typing import Callable, Dict, List, Optional, Tuple
 
-from repro.common.errors import SimulationError
+from repro.common.errors import PlatformDownError, SimulationError
 from repro.platform.lifecycle import (
     LIFECYCLE_BOOT,
     LIFECYCLE_RESUME,
@@ -47,6 +47,8 @@ class SwitchController:
         loop: EventLoop,
         obs=None,
         platform_name: str = "platform",
+        injector=None,
+        retry_policy=None,
     ):
         from repro.obs import NULL_OBSERVABILITY
 
@@ -54,6 +56,15 @@ class SwitchController:
         self.loop = loop
         self._obs = obs if obs is not None else NULL_OBSERVABILITY
         self.platform_name = platform_name
+        #: Fault injection + retry policy (repro.resilience).  With no
+        #: policy, failed boots retry immediately up to
+        #: :attr:`max_boot_attempts` (the historical behavior); with
+        #: one, retries are spaced by its exponential backoff and
+        #: bounded by its ``max_attempts``.
+        self._injector = injector
+        self._retry_policy = retry_policy
+        #: Whole-platform crash state (see :meth:`crash`).
+        self.crashed = False
         metrics = self._obs.metrics
         self._c_boots = metrics.counter(
             "platform_boots_total", "VM boots completed",
@@ -103,8 +114,18 @@ class SwitchController:
         self._boot_failures: Dict[int, int] = {}
         self.boot_failures_seen = 0
         self.boot_retries = 0
-        #: Boot attempts per VM before giving up.
+        self.resume_failures_seen = 0
+        #: Boot attempts per VM before giving up (policy-less mode;
+        #: with a retry policy its ``max_attempts`` governs instead).
         self.max_boot_attempts = 3
+        self._c_retries = metrics.counter(
+            "resilience_retries_total",
+            "Retries of faulted lifecycle operations", labels=("op",),
+        )
+        self._c_exhausted = metrics.counter(
+            "resilience_retry_exhausted_total",
+            "Operations abandoned after the retry budget", labels=("op",),
+        )
 
     # -- provisioning --------------------------------------------------------
     def register_client(
@@ -156,6 +177,10 @@ class SwitchController:
     ) -> None:
         """A packet arrived for ``client_id``; call ``deliver()`` once
         the client's VM can process it (immediately if running)."""
+        if self.crashed:
+            raise PlatformDownError(
+                "platform %r is down" % (self.platform_name,)
+            )
         vm = self.client_vms.get(client_id)
         if vm is None:
             raise SimulationError("unknown client %r" % (client_id,))
@@ -208,6 +233,21 @@ class SwitchController:
         """Count a resume completed outside the switch's own path."""
         self._c_resumes.inc()
 
+    # -- whole-platform failure ------------------------------------------------
+    def crash(self) -> None:
+        """The platform dies: every VM is destroyed, every parked
+        packet is dropped, and new traffic raises
+        :class:`PlatformDownError` until :meth:`restore`."""
+        self.crashed = True
+        for vm in set(self.client_vms.values()):
+            vm.terminate()
+        self._waiting.clear()
+        self._boot_failures.clear()
+
+    def restore(self) -> None:
+        """Bring the platform back (VMs re-boot on demand)."""
+        self.crashed = False
+
     # -- failure injection ----------------------------------------------------
     def inject_boot_failure(self, client_id: str, times: int = 1) -> None:
         """Make the next ``times`` boot attempts of a client's VM fail
@@ -221,37 +261,105 @@ class SwitchController:
         )
 
     # -- internals ----------------------------------------------------------
+    @property
+    def _max_attempts(self) -> int:
+        if self._retry_policy is not None:
+            return self._retry_policy.max_attempts
+        return self.max_boot_attempts
+
     def _start_boot(self, vm: VM, attempt: int = 1) -> None:
         residents = self.resident_vms()
         latency = self.spec.flow_detect_s + boot_time(
             self.spec, vm.kind, residents
         )
+        fault = (
+            self._injector.draw("boot", self.platform_name)
+            if self._injector is not None else None
+        )
         vm.begin_boot()
         observe_lifecycle(self._obs.metrics, LIFECYCLE_BOOT, latency)
+        if fault is not None:
+            # A crash fault fails after the natural latency; a timeout
+            # fault stalls delay_s longer (the toolstack hung until
+            # the watchdog expired).
+            self.loop.schedule(
+                latency + fault.delay_s,
+                lambda: self._boot_failed(vm, attempt),
+            )
+            return
         self.loop.schedule(
             latency, lambda: self._boot_finished(vm, attempt)
         )
 
+    def _boot_failed(self, vm: VM, attempt: int) -> None:
+        self.boot_failures_seen += 1
+        self._c_boot_failures.inc()
+        vm.terminate()  # the failed domain is destroyed
+        self._retry_boot(vm, attempt)
+
     def _boot_finished(self, vm: VM, attempt: int) -> None:
         if self._boot_failures.get(vm.vm_id, 0) > 0:
             self._boot_failures[vm.vm_id] -= 1
-            self.boot_failures_seen += 1
-            self._c_boot_failures.inc()
-            vm.terminate()  # the failed domain is destroyed
-            if attempt >= self.max_boot_attempts:
-                # Give up: drop whatever was waiting.
-                self._waiting.pop(vm.vm_id, None)
-                return
-            self.boot_retries += 1
-            self._start_boot(vm, attempt + 1)
+            self._boot_failed(vm, attempt)
             return
         self._vm_ready(vm, "boot")
 
-    def _start_resume(self, vm: VM) -> None:
+    def _retry_boot(self, vm: VM, attempt: int) -> None:
+        if attempt >= self._max_attempts:
+            # Give up: drop whatever was waiting.
+            self._waiting.pop(vm.vm_id, None)
+            self._c_exhausted.labels("boot").inc()
+            return
+        self.boot_retries += 1
+        if self._retry_policy is None:
+            self._start_boot(vm, attempt + 1)
+            return
+        self._c_retries.labels("boot").inc()
+        rng = self._injector.rng if self._injector is not None else None
+        delay = self._retry_policy.backoff_s(attempt, rng=rng)
+
+        def retry() -> None:
+            # During the backoff window a fresh packet may have kicked
+            # off its own boot (the VM looks plain STOPPED); only the
+            # winner proceeds.
+            if not self.crashed and vm.state == VM_STOPPED:
+                self._start_boot(vm, attempt + 1)
+
+        self.loop.schedule(delay, retry)
+
+    def _start_resume(self, vm: VM, attempt: int = 1) -> None:
         latency = resume_time(self.spec, self.resident_vms())
+        fault = (
+            self._injector.draw("resume", self.platform_name)
+            if self._injector is not None else None
+        )
         vm.begin_resume()
         observe_lifecycle(self._obs.metrics, LIFECYCLE_RESUME, latency)
+        if fault is not None:
+            self.loop.schedule(
+                latency + fault.delay_s,
+                lambda: self._resume_failed(vm, attempt),
+            )
+            return
         self.loop.schedule(latency, lambda: self._vm_ready(vm, "resume"))
+
+    def _resume_failed(self, vm: VM, attempt: int) -> None:
+        self.resume_failures_seen += 1
+        vm.abort_resume()  # spooled state intact, back to SUSPENDED
+        if attempt >= self._max_attempts:
+            self._waiting.pop(vm.vm_id, None)
+            self._c_exhausted.labels("resume").inc()
+            return
+        self._c_retries.labels("resume").inc()
+        policy = self._retry_policy
+        rng = self._injector.rng if self._injector is not None else None
+        delay = policy.backoff_s(attempt, rng=rng) if policy else 0.0
+
+        def retry() -> None:
+            if not self.crashed and vm.state == VM_SUSPENDED:
+                self._start_resume(vm, attempt + 1)
+
+        self.loop.schedule(delay, retry)
 
     def _vm_ready(self, vm: VM, how: str) -> None:
         if how == "boot":

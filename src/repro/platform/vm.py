@@ -110,6 +110,20 @@ class VM:
         self.running_since = now
         self._count_transition()
 
+    def abort_resume(self) -> None:
+        """A resume attempt failed: back to SUSPENDED.
+
+        Unlike a failed boot (where the half-created domain is
+        destroyed), the suspended image on disk is untouched, so the
+        VM can simply be resumed again.
+        """
+        if self.state != VM_RESUMING:
+            raise SimulationError(
+                "VM %s aborted resume from state %s"
+                % (self.name, self.state)
+            )
+        self.state = VM_SUSPENDED
+
     def terminate(self) -> None:
         """Destroy the VM (valid from any state)."""
         self.state = VM_STOPPED

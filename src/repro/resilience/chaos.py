@@ -1,0 +1,541 @@
+"""Scripted chaos scenarios over the simulated control plane.
+
+Each scenario builds a small operator world (controller + journal +
+health monitor + failover engine + per-platform simulators on one
+event loop), arms a :class:`~repro.resilience.faults.FaultPlan`, runs
+the simulated clock, and checks the :mod:`repro.resilience.invariants`
+after **every** scripted event and again at the end.  The four
+scenarios are the PR's acceptance matrix:
+
+* ``platform-crash``    -- a platform with two tenant modules dies;
+  the health monitor detects it and the failover engine evacuates both
+  to survivors.  Asserts recovery completeness and records MTTR.
+* ``boot-timeout-storm``-- a seeded burst of boot timeouts; backoff
+  retries absorb what the budget allows, and once the storm clears
+  every client's VM comes up.  Asserts switch-level consistency.
+* ``link-flap-migration`` -- a migration attempted while the target's
+  uplink is down must fail *and roll back exactly*; after the flap
+  heals the same migration succeeds.
+* ``controller-restart`` -- the controller dies between a deploy's
+  intent and commit; a replacement built with
+  :meth:`Controller.recover <repro.core.controller.Controller.recover>`
+  must reconcile the orphan trial placement and converge to the exact
+  pre-crash state (digest equality).
+
+The module topology keeps every platform's reachability load-bearing:
+tenant requirements route symbolic traffic *through* the module
+(``<module>:dst:0``), so an unreachable platform genuinely fails
+verification instead of being silently accepted.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional
+
+from repro.core.controller import Controller
+from repro.core.requests import ClientRequest, ROLE_CLIENT
+from repro.netmodel.topology import Network
+from repro.platform.clickos import PlatformSim
+from repro.resilience.failover import FailoverEngine
+from repro.resilience.faults import FaultInjector, FaultPlan, PlannedFault
+from repro.resilience.health import HealthMonitor
+from repro.resilience.invariants import (
+    check_switch_invariants,
+    collect_violations,
+    controller_state_digest,
+)
+from repro.resilience.journal import (
+    DeploymentJournal,
+    OP_DEPLOY,
+    PHASE_INTENT,
+)
+from repro.resilience.retry import RetryPolicy
+from repro.sim.events import EventLoop
+
+#: The tenant's registered endpoint (the Figure 4 mobile client).
+CLIENT_ADDR = "172.16.15.133"
+
+#: The Figure 4 batcher, parameterized by the client address.
+_MODULE_CONFIG = """
+    FromNetfront() ->
+    IPFilter(allow udp port 1500) ->
+    IPRewriter(pattern - - %s - 0 0)
+    -> TimedUnqueue(120, 100)
+    -> dst :: ToNetfront();
+"""
+
+#: Health-monitor cadence for the scenarios: a dead platform is
+#: declared after 2 missed 0.5 s probes, so detection latency is
+#: 0.5-1.0 s of simulated time.
+CHECK_INTERVAL_S = 0.5
+MISS_THRESHOLD = 2
+
+#: Retry policy shared by the scenarios (short backoffs on the
+#: simulated clock).
+CHAOS_RETRY_POLICY = RetryPolicy(
+    max_attempts=3, base_delay_s=0.05, multiplier=2.0,
+    max_delay_s=0.5, jitter=0.1,
+)
+
+
+def _module_request(
+    client_id: str, module_name: str, client_addr: str = CLIENT_ADDR
+) -> ClientRequest:
+    """A tenant request whose requirement traverses the module."""
+    return ClientRequest(
+        client_id=client_id,
+        role=ROLE_CLIENT,
+        config_source=_MODULE_CONFIG % (client_addr,),
+        requirements=(
+            "reach from internet udp"
+            " -> %s:dst:0 dst %s"
+            " -> client dst port 1500" % (module_name, client_addr)
+        ),
+        owned_addresses=(client_addr,),
+        module_name=module_name,
+        listen="udp 1500",
+    )
+
+
+def chaos_network() -> Network:
+    """The chaos topology: three platforms off the border router.
+
+    ::
+
+        internet -- r1 -- pa / pb / pc   (capacity 4 each)
+                     |
+                    r2 -- clients (172.16/16)
+
+    Tenant requirements route through the deployed module, so cutting
+    an ``r1 <-> platform`` link makes that platform fail verification.
+    """
+    net = Network("chaos")
+    net.add_internet()
+    net.add_router("r1")
+    net.add_router("r2")
+    net.add_client_subnet("clients", "172.16.0.0/16")
+    net.add_platform("pa", "10.1.0.0/24", capacity=4)
+    net.add_platform("pb", "10.2.0.0/24", capacity=4)
+    net.add_platform("pc", "10.3.0.0/24", capacity=4)
+    net.link("internet", "r1")
+    net.link("r1", "pa")
+    net.link("r1", "pb")
+    net.link("r1", "pc")
+    net.link("r1", "r2")
+    net.link("r2", "clients")
+    net.compute_routes()
+    return net
+
+
+@dataclass
+class ChaosReport:
+    """Outcome of one scenario run."""
+
+    scenario: str
+    seed: int
+    events: List[str] = field(default_factory=list)
+    failures: List[str] = field(default_factory=list)
+    #: Modules moved during failover (platform-crash scenario).
+    evacuated: List[str] = field(default_factory=list)
+    #: Simulated MTTR of the failover (platform-crash scenario).
+    mttr_s: Optional[float] = None
+    #: Pre-crash digest == post-recovery digest (restart scenario).
+    digest_equal: Optional[bool] = None
+    faults_injected: int = 0
+
+    @property
+    def passed(self) -> bool:
+        return not self.failures
+
+    def summary(self) -> str:
+        status = "PASS" if self.passed else "FAIL"
+        extra = ""
+        if self.mttr_s is not None:
+            extra = " mttr=%.3fs" % self.mttr_s
+        if self.digest_equal is not None:
+            extra += " digest_equal=%s" % self.digest_equal
+        return "%s %s seed=%d events=%d faults=%d%s" % (
+            status, self.scenario, self.seed, len(self.events),
+            self.faults_injected, extra,
+        )
+
+
+class ChaosWorld:
+    """One scenario's simulated operator, on one event loop."""
+
+    def __init__(self, seed: int = 0, obs=None):
+        self.loop = EventLoop()
+        self.injector = FaultInjector(seed=seed, obs=obs)
+        self.journal = DeploymentJournal(obs=obs)
+        self.network = chaos_network()
+        self.controller = Controller(
+            self.network,
+            clock=lambda: self.loop.now,
+            obs=obs,
+            journal=self.journal,
+        )
+        self.sims: Dict[str, PlatformSim] = {
+            name: PlatformSim(
+                loop=self.loop, obs=obs, name=name,
+                injector=self.injector,
+                retry_policy=CHAOS_RETRY_POLICY,
+            )
+            for name in ("pa", "pb", "pc")
+        }
+        self.monitor = HealthMonitor(
+            self.loop,
+            check_interval_s=CHECK_INTERVAL_S,
+            miss_threshold=MISS_THRESHOLD,
+            obs=obs,
+        )
+        self.engine = FailoverEngine(
+            self.controller, clock=lambda: self.loop.now, obs=obs,
+        )
+        #: platform -> simulated time the plan crashed it.
+        self.crash_times: Dict[str, float] = {}
+        for name, sim in self.sims.items():
+            self.monitor.watch(
+                name, lambda s=sim: not s.crashed
+            )
+        self.monitor.on_failure(self._on_platform_failure)
+        self.monitor.on_recovery(self._on_platform_recovery)
+        self.events: List[str] = []
+        self.violations: List[str] = []
+
+    # -- monitor wiring ----------------------------------------------------
+    def _on_platform_failure(self, name: str, detected_at: float) -> None:
+        self.events.append(
+            "t=%.2f detected failure of %s" % (detected_at, name)
+        )
+        self.engine.handle_platform_failure(
+            name, failed_at=self.crash_times.get(name)
+        )
+        self._check("failover %s" % name)
+
+    def _on_platform_recovery(self, name: str, at: float) -> None:
+        self.events.append("t=%.2f %s recovered" % (at, name))
+        self.network.node(name).mark_recovered()
+        self.network.bump_epoch()
+        self._check("recovery %s" % name)
+
+    # -- invariant checking ------------------------------------------------
+    def _check(self, context: str) -> None:
+        problems = collect_violations(self.controller)
+        self.violations.extend(
+            "%s: %s" % (context, p) for p in problems
+        )
+
+    # -- plan execution ----------------------------------------------------
+    def run_plan(self, plan_text: str, until: float) -> None:
+        """Arm a fault plan and drive the clock to ``until``."""
+        plan = FaultPlan.parse(plan_text)
+        plan.schedule(self.loop, self.apply)
+        self.monitor.start()
+        self.loop.run_until(until)
+        self.monitor.stop()
+
+    def apply(self, entry: PlannedFault) -> None:
+        """Execute one plan entry, then re-check the invariants."""
+        self.events.append("t=%.2f %s" % (self.loop.now, entry))
+        action, args = entry.action, entry.args
+        if action == "crash-platform":
+            name = args[0]
+            self.sims[name].crash()
+            self.crash_times[name] = self.loop.now
+        elif action == "restore-platform":
+            self.sims[args[0]].restore()
+        elif action == "crash-vm":
+            platform, client = args[0], args[1]
+            vm = self.sims[platform].switch.client_vms[client]
+            vm.terminate()
+        elif action == "link-down":
+            self.network.unlink(args[0], args[1])
+        elif action == "link-up":
+            self.network.link(args[0], args[1])
+        elif action == "flap-link":
+            a, b, down_for = args[0], args[1], float(args[2])
+            self.network.unlink(a, b)
+            self.loop.schedule(
+                down_for, lambda: self._relink(a, b)
+            )
+        elif action == "fail":
+            op = args[0]
+            target = args[1] if len(args) > 1 else None
+            self.injector.fail_next(
+                op, target=target,
+                times=int(entry.option("times", "1")),
+                kind=entry.option("kind", "crash"),
+                delay_s=float(entry.option("delay", "0")),
+            )
+        elif action == "rate":
+            self.injector.set_rate(
+                args[0], float(args[1]),
+                kind=entry.option("kind", "crash"),
+                delay_s=float(entry.option("delay", "0")),
+            )
+        elif action == "clear-rate":
+            self.injector.clear_rate(args[0])
+        # restart-controller is scenario-driven (see
+        # _scenario_controller_restart): it needs to hold both the old
+        # and the recovered controller to compare digests.
+        self._check(str(entry))
+
+    def _relink(self, a: str, b: str) -> None:
+        self.events.append("t=%.2f link-up %s %s" % (self.loop.now, a, b))
+        self.network.link(a, b)
+        self._check("link-up %s %s" % (a, b))
+
+
+# -- the four scenarios ------------------------------------------------------
+def _scenario_platform_crash(seed: int, obs=None) -> ChaosReport:
+    """A platform dies under two tenant modules; both are evacuated."""
+    world = ChaosWorld(seed=seed, obs=obs)
+    report = ChaosReport(scenario="platform-crash", seed=seed)
+    for client, module in (
+        ("mobile1", "m1"), ("mobile2", "m2"),
+    ):
+        result = world.controller.request(
+            _module_request(client, module), pinned_platform="pa"
+        )
+        if not result:
+            report.failures.append(
+                "setup deploy %s failed: %s" % (module, result.reason)
+            )
+            return report
+    result = world.controller.request(
+        _module_request("mobile3", "m3"), pinned_platform="pb"
+    )
+    if not result:
+        report.failures.append("setup deploy m3 failed: %s" % result.reason)
+        return report
+    world._check("setup")
+    world.run_plan("at 5.0 crash-platform pa\n", until=12.0)
+    report.events = world.events
+    report.failures.extend(world.violations)
+    report.faults_injected = len(world.injector.injected)
+    if not world.engine.reports:
+        report.failures.append("platform failure was never detected")
+        return report
+    failover = world.engine.reports[0]
+    report.evacuated = list(failover.evacuated)
+    report.mttr_s = failover.mttr_s
+    if sorted(failover.evacuated) != ["m1", "m2"]:
+        report.failures.append(
+            "expected m1+m2 evacuated, got %s" % (failover.evacuated,)
+        )
+    if failover.stranded:
+        report.failures.append("stranded: %s" % (failover.stranded,))
+    if failover.broken_requirements:
+        report.failures.append(
+            "requirements broken after failover: %s"
+            % (failover.broken_requirements,)
+        )
+    for module in ("m1", "m2"):
+        home = world.controller.deployed[module].platform
+        if home == "pa":
+            report.failures.append("%s still on the dead platform" % module)
+    if world.controller.deployed["m3"].platform != "pb":
+        report.failures.append("bystander m3 was moved")
+    return report
+
+
+def _scenario_boot_timeout_storm(seed: int, obs=None) -> ChaosReport:
+    """A burst of boot timeouts; retries absorb it, then all VMs rise."""
+    world = ChaosWorld(seed=seed, obs=obs)
+    report = ChaosReport(scenario="boot-timeout-storm", seed=seed)
+    sim = world.sims["pa"]
+    clients = ["c%d" % i for i in range(5)]
+    for client in clients:
+        sim.register_client(client)
+    first = {
+        client: sim.ping(client, start=0.1, count=1)
+        for client in clients
+    }
+    plan = (
+        "at 0.0 rate boot 0.5 kind=timeout delay=0.05\n"
+        "at 2.0 clear-rate boot\n"
+    )
+    world.run_plan(plan, until=4.0)
+    # The storm is over: every client pings again; with no faults left
+    # a stopped VM boots cleanly and a mid-retry VM finishes coming up.
+    second = {
+        client: sim.ping(client, start=world.loop.now + 0.1, count=1)
+        for client in clients
+    }
+    world.loop.run_until(world.loop.now + 4.0)
+    report.events = world.events
+    report.failures.extend(world.violations)
+    report.faults_injected = len(world.injector.injected)
+    if report.faults_injected == 0:
+        report.failures.append("storm injected no faults")
+    for client in clients:
+        if not second[client].rtts:
+            report.failures.append(
+                "client %s never came up after the storm" % client
+            )
+    survivors = sum(1 for r in first.values() if r.rtts)
+    delivered = survivors + sum(1 for r in second.values() if r.rtts)
+    if delivered == 0:
+        report.failures.append("no ping was ever delivered")
+    report.failures.extend(check_switch_invariants(sim.switch))
+    if sim.switch.boot_failures_seen != report.faults_injected:
+        report.failures.append(
+            "boot failures seen (%d) != faults injected (%d)"
+            % (sim.switch.boot_failures_seen, report.faults_injected)
+        )
+    return report
+
+
+def _scenario_link_flap_migration(seed: int, obs=None) -> ChaosReport:
+    """A migration during a link flap fails cleanly, then succeeds."""
+    world = ChaosWorld(seed=seed, obs=obs)
+    report = ChaosReport(scenario="link-flap-migration", seed=seed)
+    result = world.controller.request(
+        _module_request("mobile1", "m1"), pinned_platform="pa"
+    )
+    if not result:
+        report.failures.append("setup deploy failed: %s" % result.reason)
+        return report
+    world._check("setup")
+    outcomes: Dict[str, object] = {}
+
+    def migrate_during_flap() -> None:
+        before = controller_state_digest(world.controller)
+        attempt = world.controller.migrate("m1", "pb")
+        outcomes["during"] = attempt
+        after = controller_state_digest(world.controller)
+        outcomes["rollback_exact"] = (before == after)
+        world._check("migrate during flap")
+
+    def migrate_after_heal() -> None:
+        outcomes["after"] = world.controller.migrate("m1", "pb")
+        world._check("migrate after heal")
+
+    world.loop.schedule_at(1.5, migrate_during_flap)
+    world.loop.schedule_at(3.0, migrate_after_heal)
+    world.run_plan("at 1.0 flap-link r1 pb 1.0\n", until=5.0)
+    report.events = world.events
+    report.failures.extend(world.violations)
+    report.faults_injected = len(world.injector.injected)
+    during = outcomes.get("during")
+    if during is None or during.migrated:
+        report.failures.append(
+            "migration to an unreachable platform was accepted"
+        )
+    if not outcomes.get("rollback_exact"):
+        report.failures.append(
+            "failed migration did not restore the exact prior state"
+        )
+    healed = outcomes.get("after")
+    if healed is None or not healed.migrated:
+        report.failures.append(
+            "migration after the flap healed did not succeed: %s"
+            % (getattr(healed, "reason", "never ran"),)
+        )
+    elif world.controller.deployed["m1"].platform != "pb":
+        report.failures.append("m1 did not land on pb")
+    return report
+
+
+def _scenario_controller_restart(seed: int, obs=None) -> ChaosReport:
+    """The controller dies mid-deploy; journal replay reconverges."""
+    world = ChaosWorld(seed=seed, obs=obs)
+    report = ChaosReport(scenario="controller-restart", seed=seed)
+    for client, module, platform in (
+        ("mobile1", "m1", "pa"), ("mobile2", "m2", "pb"),
+    ):
+        result = world.controller.request(
+            _module_request(client, module), pinned_platform=platform
+        )
+        if not result:
+            report.failures.append(
+                "setup deploy %s failed: %s" % (module, result.reason)
+            )
+            return report
+    world._check("setup")
+    digest_before = controller_state_digest(world.controller)
+    # The controller crashes between a deploy's intent record and its
+    # commit: the trial placement sits on pc, the journal holds an
+    # unmatched intent, and the in-memory controller state is gone.
+    pc = world.network.node("pc")
+    orphan_address = pc.allocate_address()
+    orphan_config = _module_request(
+        "mobile3", "m3"
+    ).parse_click_config()
+    world.journal.append(
+        OP_DEPLOY, PHASE_INTENT,
+        module_id="m3", client_id="mobile3", platform="pc",
+        address=orphan_address, sandboxed=False, proto=17, port=1500,
+        timestamp=world.loop.now, config=orphan_config,
+    )
+    pc.deploy("m3", orphan_address, orphan_config, proto=17, port=1500)
+    report.events.append("controller crashed mid-deploy of m3")
+    recovered = Controller.recover(
+        world.network, world.journal,
+        clock=lambda: world.loop.now, obs=obs,
+    )
+    report.events.append("controller recovered from journal replay")
+    digest_after = controller_state_digest(recovered)
+    report.digest_equal = (digest_before == digest_after)
+    if not report.digest_equal:
+        report.failures.append(
+            "journal replay did not reconstruct the pre-crash state"
+        )
+    report.failures.extend(
+        "post-recovery: %s" % p for p in collect_violations(recovered)
+    )
+    if "m3" in pc.modules:
+        report.failures.append("orphan trial placement m3 not reconciled")
+    intents = [
+        r.module_id for r in world.journal.pending_intents()
+    ]
+    if intents != ["m3"]:
+        report.failures.append(
+            "expected one pending intent for m3, got %s" % (intents,)
+        )
+    # The recovered controller must be fully operational: a fresh
+    # deploy lands, and a pre-crash module can be killed.
+    result = recovered.request(
+        _module_request("mobile4", "m4"), pinned_platform="pc"
+    )
+    if not result:
+        report.failures.append(
+            "post-recovery deploy denied: %s" % result.reason
+        )
+    if not recovered.kill("m1"):
+        report.failures.append("post-recovery kill of m1 failed")
+    report.failures.extend(
+        "post-recovery ops: %s" % p for p in collect_violations(recovered)
+    )
+    report.faults_injected = len(world.injector.injected)
+    return report
+
+
+SCENARIOS: Dict[str, Callable[..., ChaosReport]] = {
+    "platform-crash": _scenario_platform_crash,
+    "boot-timeout-storm": _scenario_boot_timeout_storm,
+    "link-flap-migration": _scenario_link_flap_migration,
+    "controller-restart": _scenario_controller_restart,
+}
+
+
+def run_scenario(name: str, seed: int = 0, obs=None) -> ChaosReport:
+    """Run one scenario; returns its report (never raises on failure)."""
+    try:
+        runner = SCENARIOS[name]
+    except KeyError:
+        raise ValueError(
+            "unknown chaos scenario %r (have: %s)"
+            % (name, ", ".join(sorted(SCENARIOS)))
+        )
+    return runner(seed, obs=obs)
+
+
+def run_all(seeds=(1, 2, 3), obs=None) -> List[ChaosReport]:
+    """Every scenario across every seed, in a stable order."""
+    return [
+        run_scenario(name, seed=seed, obs=obs)
+        for name in sorted(SCENARIOS)
+        for seed in seeds
+    ]

@@ -1,0 +1,297 @@
+"""Deterministic fault injection.
+
+Two complementary mechanisms:
+
+* :class:`FaultInjector` -- the *decision* side.  Instrumented
+  operations (VM boots, suspends, resumes, migrations) ask
+  :meth:`FaultInjector.draw` whether this attempt fails.  Failures come
+  from explicit queues (``fail_next``) or seeded probabilistic rates
+  (``set_rate``); both are driven by one ``random.Random(seed)``, so a
+  scenario replays identically for the same seed.
+
+* :class:`FaultPlan` -- the *schedule* side.  A declarative script of
+  timed fault actions over the simulated clock::
+
+      at 5.0  crash-platform pa
+      at 7.0  flap-link r1 pb 2.0
+      at 3.0  fail boot pa times=2 kind=timeout delay=1.0
+
+  The plan itself only parses and schedules; the chaos harness
+  (:mod:`repro.resilience.chaos`) supplies the ``apply`` callback that
+  turns each entry into concrete world mutations.
+
+Fault *kinds*: a ``crash`` fails the operation after its normal
+latency (the toolstack died mid-flight); a ``timeout`` stalls for an
+extra ``delay_s`` before failing (the operation hung until a watchdog
+expired).  Both surface as
+:class:`~repro.common.errors.TransientFaultError` /
+:class:`~repro.common.errors.FaultTimeoutError` so the retry layer can
+absorb them.
+"""
+
+from __future__ import annotations
+
+import random
+import shlex
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Tuple
+
+from repro.common.errors import (
+    FaultTimeoutError,
+    SimulationError,
+    TransientFaultError,
+)
+
+#: Fault kinds.
+KIND_CRASH = "crash"
+KIND_TIMEOUT = "timeout"
+
+_KINDS = (KIND_CRASH, KIND_TIMEOUT)
+
+
+@dataclass(frozen=True)
+class Fault:
+    """One decided fault: operation ``op`` on ``target`` fails."""
+
+    op: str
+    kind: str = KIND_CRASH
+    target: Optional[str] = None
+    #: Extra stall before the failure surfaces (timeout faults).
+    delay_s: float = 0.0
+
+    def to_error(self):
+        """The typed error this fault surfaces as."""
+        detail = "injected %s fault on %s" % (self.kind, self.op)
+        if self.target:
+            detail += " (target %s)" % self.target
+        if self.kind == KIND_TIMEOUT:
+            return FaultTimeoutError(detail)
+        return TransientFaultError(detail)
+
+
+class FaultInjector:
+    """Seeded source of lifecycle faults.
+
+    One injector is shared by every instrumented component of a
+    scenario, so the seed fully determines which attempts fail.
+    """
+
+    def __init__(self, seed: int = 0, obs=None):
+        from repro.obs import NULL_OBSERVABILITY
+
+        self.seed = seed
+        self._rng = random.Random(seed)
+        #: (op, target or None) -> queued one-shot faults.
+        self._queued: Dict[Tuple[str, Optional[str]], List[Fault]] = {}
+        #: op -> (probability, kind, delay_s).
+        self._rates: Dict[str, Tuple[float, str, float]] = {}
+        #: Every fault handed out, in order (for assertions/reports).
+        self.injected: List[Fault] = []
+        obs = obs if obs is not None else NULL_OBSERVABILITY
+        self._c_injected = obs.metrics.counter(
+            "resilience_faults_injected_total",
+            "Faults handed to instrumented operations",
+            labels=("op", "kind"),
+        )
+
+    @property
+    def rng(self) -> random.Random:
+        """The injector's RNG (shared with retry-jitter draws so one
+        seed fixes the whole scenario)."""
+        return self._rng
+
+    # -- configuration -----------------------------------------------------
+    def fail_next(
+        self,
+        op: str,
+        target: Optional[str] = None,
+        times: int = 1,
+        kind: str = KIND_CRASH,
+        delay_s: float = 0.0,
+    ) -> None:
+        """Queue the next ``times`` attempts of ``op`` to fail.
+
+        A ``target`` restricts the faults to one platform/VM; ``None``
+        matches any caller of that operation.
+        """
+        if kind not in _KINDS:
+            raise SimulationError("unknown fault kind %r" % (kind,))
+        queue = self._queued.setdefault((op, target), [])
+        queue.extend(
+            Fault(op=op, kind=kind, target=target, delay_s=delay_s)
+            for _ in range(times)
+        )
+
+    def set_rate(
+        self,
+        op: str,
+        probability: float,
+        kind: str = KIND_CRASH,
+        delay_s: float = 0.0,
+    ) -> None:
+        """Fail each attempt of ``op`` with ``probability`` (seeded)."""
+        if kind not in _KINDS:
+            raise SimulationError("unknown fault kind %r" % (kind,))
+        if not 0.0 <= probability <= 1.0:
+            raise SimulationError(
+                "fault probability must be in [0, 1]: %r" % (probability,)
+            )
+        self._rates[op] = (probability, kind, delay_s)
+
+    def clear_rate(self, op: str) -> None:
+        """Stop probabilistic failures of ``op``."""
+        self._rates.pop(op, None)
+
+    # -- decisions --------------------------------------------------------
+    def draw(
+        self, op: str, target: Optional[str] = None
+    ) -> Optional[Fault]:
+        """Decide whether this attempt of ``op`` fails.
+
+        Target-specific queued faults fire first, then wildcard queued
+        faults, then the probabilistic rate.  Returns the fault (also
+        recorded in :attr:`injected`) or None.
+        """
+        fault = self._pop_queued(op, target)
+        if fault is None:
+            rate = self._rates.get(op)
+            if rate is not None:
+                probability, kind, delay_s = rate
+                if self._rng.random() < probability:
+                    fault = Fault(
+                        op=op, kind=kind, target=target, delay_s=delay_s
+                    )
+        if fault is not None:
+            self.injected.append(fault)
+            self._c_injected.labels(op, fault.kind).inc()
+        return fault
+
+    def raise_for(self, op: str, target: Optional[str] = None) -> None:
+        """Raise the drawn fault's typed error, if any."""
+        fault = self.draw(op, target)
+        if fault is not None:
+            raise fault.to_error()
+
+    def _pop_queued(
+        self, op: str, target: Optional[str]
+    ) -> Optional[Fault]:
+        for key in ((op, target), (op, None)):
+            queue = self._queued.get(key)
+            if queue:
+                fault = queue.pop(0)
+                if not queue:
+                    del self._queued[key]
+                if fault.target != target:
+                    fault = Fault(
+                        op=fault.op, kind=fault.kind, target=target,
+                        delay_s=fault.delay_s,
+                    )
+                return fault
+        return None
+
+
+@dataclass(frozen=True)
+class PlannedFault:
+    """One timed entry of a fault plan."""
+
+    at: float
+    action: str
+    args: Tuple[str, ...] = ()
+    options: Tuple[Tuple[str, str], ...] = ()
+
+    def option(self, key: str, default: str = "") -> str:
+        for name, value in self.options:
+            if name == key:
+                return value
+        return default
+
+    def __str__(self) -> str:
+        parts = ["at", "%g" % self.at, self.action]
+        parts.extend(self.args)
+        parts.extend("%s=%s" % kv for kv in self.options)
+        return " ".join(parts)
+
+
+#: Actions a plan may contain; the chaos harness maps each to concrete
+#: world mutations (see ``docs/resilience.md`` for semantics).
+PLAN_ACTIONS = frozenset({
+    "crash-platform",    # crash-platform <name>
+    "restore-platform",  # restore-platform <name>
+    "crash-vm",          # crash-vm <platform> <client>
+    "link-down",         # link-down <a> <b>
+    "link-up",           # link-up <a> <b>
+    "flap-link",         # flap-link <a> <b> <down_for_s>
+    "fail",              # fail <op> [target] [times=N] [kind=K] [delay=S]
+    "rate",              # rate <op> <probability> [kind=K] [delay=S]
+    "clear-rate",        # clear-rate <op>
+    "restart-controller",  # restart-controller
+})
+
+
+class FaultPlan:
+    """A declarative, timed fault schedule.
+
+    Built from :class:`PlannedFault` entries or parsed from the text
+    DSL (one ``at <time> <action> ...`` entry per line, ``#`` comments
+    allowed).  :meth:`schedule` arms every entry on an event loop.
+    """
+
+    def __init__(self, entries: List[PlannedFault]):
+        self.entries = sorted(entries, key=lambda e: e.at)
+
+    @classmethod
+    def parse(cls, text: str) -> "FaultPlan":
+        """Parse the plan DSL; raises SimulationError on bad entries."""
+        entries: List[PlannedFault] = []
+        for lineno, raw in enumerate(text.splitlines(), 1):
+            line = raw.split("#", 1)[0].strip()
+            if not line:
+                continue
+            tokens = shlex.split(line)
+            if len(tokens) < 3 or tokens[0] != "at":
+                raise SimulationError(
+                    "fault plan line %d: expected "
+                    "'at <time> <action> ...': %r" % (lineno, raw)
+                )
+            try:
+                when = float(tokens[1])
+            except ValueError:
+                raise SimulationError(
+                    "fault plan line %d: bad timestamp %r"
+                    % (lineno, tokens[1])
+                )
+            action = tokens[2]
+            if action not in PLAN_ACTIONS:
+                raise SimulationError(
+                    "fault plan line %d: unknown action %r"
+                    % (lineno, action)
+                )
+            args: List[str] = []
+            options: List[Tuple[str, str]] = []
+            for token in tokens[3:]:
+                if "=" in token:
+                    key, value = token.split("=", 1)
+                    options.append((key, value))
+                else:
+                    args.append(token)
+            entries.append(PlannedFault(
+                at=when, action=action,
+                args=tuple(args), options=tuple(options),
+            ))
+        return cls(entries)
+
+    def schedule(
+        self, loop, apply: Callable[[PlannedFault], None]
+    ) -> None:
+        """Arm every entry on ``loop``; ``apply`` executes entries."""
+        for entry in self.entries:
+            loop.schedule_at(
+                max(entry.at, loop.now),
+                lambda e=entry: apply(e),
+            )
+
+    def __len__(self) -> int:
+        return len(self.entries)
+
+    def __iter__(self):
+        return iter(self.entries)

@@ -1,0 +1,145 @@
+"""Controller-side platform liveness monitoring.
+
+The controller cannot see a platform die -- it only sees requests and
+migrations fail.  The :class:`HealthMonitor` closes that gap: each
+watched platform gets a liveness *probe* (a callable; in the simulator
+it reads the platform sim's ``crashed`` flag, in a real deployment it
+would be a heartbeat RPC), checked every ``check_interval_s`` on the
+event loop.  ``miss_threshold`` consecutive failed probes declare the
+platform dead and fire the registered failure callbacks -- normally
+:meth:`FailoverEngine.handle_platform_failure
+<repro.resilience.failover.FailoverEngine.handle_platform_failure>`.
+
+A probe that starts succeeding again after a declared failure fires
+the recovery callbacks (the operator repaired the box); re-admitting
+it as a placement candidate is the callback's decision.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional
+
+
+@dataclass
+class WatchedPlatform:
+    """Probe state for one watched platform."""
+
+    name: str
+    probe: Callable[[], bool]
+    alive: bool = True
+    misses: int = 0
+    last_ok: float = 0.0
+    failed_at: Optional[float] = None
+
+
+class HealthMonitor:
+    """Periodic liveness checks over an event loop."""
+
+    def __init__(
+        self,
+        loop,
+        check_interval_s: float = 1.0,
+        miss_threshold: int = 3,
+        obs=None,
+    ):
+        from repro.obs import NULL_OBSERVABILITY
+
+        if miss_threshold < 1:
+            raise ValueError("miss_threshold must be >= 1")
+        self.loop = loop
+        self.check_interval_s = check_interval_s
+        self.miss_threshold = miss_threshold
+        self.watched: Dict[str, WatchedPlatform] = {}
+        self._on_failure: List[Callable[[str, float], None]] = []
+        self._on_recovery: List[Callable[[str, float], None]] = []
+        self._timer = None
+        obs = obs if obs is not None else NULL_OBSERVABILITY
+        metrics = obs.metrics
+        self._c_checks = metrics.counter(
+            "resilience_health_checks_total",
+            "Liveness probes by result", labels=("result",),
+        )
+        self._g_down = metrics.gauge(
+            "resilience_platforms_down",
+            "Watched platforms currently declared dead",
+        )
+
+    # -- registration ------------------------------------------------------
+    def watch(self, name: str, probe: Callable[[], bool]) -> None:
+        """Start watching a platform; ``probe()`` truthy = alive."""
+        self.watched[name] = WatchedPlatform(
+            name=name, probe=probe, last_ok=self.loop.now
+        )
+
+    def unwatch(self, name: str) -> None:
+        self.watched.pop(name, None)
+
+    def on_failure(
+        self, callback: Callable[[str, float], None]
+    ) -> None:
+        """Register ``callback(name, detected_at)`` for declared deaths."""
+        self._on_failure.append(callback)
+
+    def on_recovery(
+        self, callback: Callable[[str, float], None]
+    ) -> None:
+        """Register ``callback(name, at)`` for probes coming back."""
+        self._on_recovery.append(callback)
+
+    # -- lifecycle ---------------------------------------------------------
+    def start(self) -> None:
+        """Begin periodic checks on the event loop."""
+        if self._timer is None:
+            self._timer = self.loop.every(
+                self.check_interval_s, self.check_now
+            )
+
+    def stop(self) -> None:
+        if self._timer is not None:
+            self._timer.cancel()
+            self._timer = None
+
+    # -- checks ------------------------------------------------------------
+    def check_now(self) -> None:
+        """Probe every watched platform once (also the periodic tick)."""
+        now = self.loop.now
+        for state in self.watched.values():
+            try:
+                ok = bool(state.probe())
+            except Exception:
+                # A probe that *errors* is indistinguishable from a
+                # dead platform -- count it as a miss, never let it
+                # kill the monitor loop.
+                ok = False
+            if ok:
+                self._c_checks.labels("ok").inc()
+                state.misses = 0
+                state.last_ok = now
+                if not state.alive:
+                    state.alive = True
+                    state.failed_at = None
+                    self._g_down.dec()
+                    for callback in self._on_recovery:
+                        callback(state.name, now)
+                continue
+            self._c_checks.labels("miss").inc()
+            state.misses += 1
+            if state.alive and state.misses >= self.miss_threshold:
+                state.alive = False
+                state.failed_at = now
+                self._g_down.inc()
+                for callback in self._on_failure:
+                    callback(state.name, now)
+
+    def status(self) -> Dict[str, dict]:
+        """Per-platform probe state for operators and tests."""
+        return {
+            name: {
+                "alive": state.alive,
+                "misses": state.misses,
+                "last_ok": state.last_ok,
+                "failed_at": state.failed_at,
+            }
+            for name, state in sorted(self.watched.items())
+        }

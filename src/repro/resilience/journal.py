@@ -1,0 +1,218 @@
+"""The controller's write-ahead deployment journal.
+
+Section 4.3's controller is the single point whose loss would strand
+every tenant: ``deployed``, ``client_addresses``, and the installed
+flow rules exist only in its memory.  The journal fixes that with the
+classic write-ahead discipline:
+
+* before mutating state the controller appends an ``intent`` record,
+* after the mutation commits it appends a matching ``commit`` record.
+
+:meth:`Controller.recover <repro.core.controller.Controller.recover>`
+replays the journal -- folding committed deploys, kills, and
+migrations in order, dropping intents that never committed -- and then
+*reconciles* the platforms against the rebuilt state (orphan trial
+placements left by a crash between intent and commit are undeployed
+and their addresses released).  The result converges to the exact
+pre-crash control-plane state; the chaos harness asserts digest
+equality.
+
+Record format (one JSON object per line via :meth:`to_jsonl`)::
+
+    {"seq": 3, "op": "deploy", "phase": "commit",
+     "module_id": "batcher", "client_id": "mobile1",
+     "platform": "platform3", "address": 3221225985,
+     "sandboxed": false, "proto": 17, "port": 1500,
+     "timestamp": 12.5, "config_fingerprint": "..."}
+
+Click configurations and parsed requirement objects ride along
+in-memory (replay needs them to re-verify after recovery); the JSONL
+projection carries the config *fingerprint* only and is meant for
+auditing, not for cross-process replay.
+"""
+
+from __future__ import annotations
+
+import itertools
+import json
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+#: Journal operations.
+OP_DEPLOY = "deploy"
+OP_KILL = "kill"
+OP_MIGRATE = "migrate"
+OP_REGISTER = "register-address"
+
+#: Record phases.
+PHASE_INTENT = "intent"
+PHASE_COMMIT = "commit"
+
+
+@dataclass
+class JournalRecord:
+    """One append-only journal entry."""
+
+    seq: int
+    op: str
+    phase: str
+    module_id: str = ""
+    client_id: str = ""
+    platform: str = ""
+    address: Optional[int] = None
+    #: Migration provenance.
+    source: str = ""
+    source_address: Optional[int] = None
+    sandboxed: bool = False
+    proto: Optional[int] = None
+    port: Optional[int] = None
+    timestamp: float = 0.0
+    #: In-memory payloads (not serialized to JSONL).
+    config: Optional[object] = None
+    requirements: Tuple = ()
+
+    def to_dict(self) -> dict:
+        """JSON-safe projection (config reduced to its fingerprint)."""
+        out = {
+            "seq": self.seq,
+            "op": self.op,
+            "phase": self.phase,
+            "module_id": self.module_id,
+            "client_id": self.client_id,
+            "platform": self.platform,
+            "address": self.address,
+            "sandboxed": self.sandboxed,
+            "proto": self.proto,
+            "port": self.port,
+            "timestamp": self.timestamp,
+        }
+        if self.op == OP_MIGRATE:
+            out["source"] = self.source
+            out["source_address"] = self.source_address
+        fingerprint = getattr(self.config, "fingerprint", None)
+        if callable(fingerprint):
+            out["config_fingerprint"] = fingerprint()
+        return out
+
+
+class DeploymentJournal:
+    """Append-only, in-memory write-ahead log of deployment state."""
+
+    def __init__(self, obs=None):
+        from repro.obs import NULL_OBSERVABILITY
+
+        self.records: List[JournalRecord] = []
+        self._seq = itertools.count(1)
+        obs = obs if obs is not None else NULL_OBSERVABILITY
+        self._c_records = obs.metrics.counter(
+            "resilience_journal_records_total",
+            "Journal records appended", labels=("op", "phase"),
+        )
+
+    def append(self, op: str, phase: str, **fields) -> JournalRecord:
+        """Append one record; returns it (seq assigned)."""
+        record = JournalRecord(
+            seq=next(self._seq), op=op, phase=phase, **fields
+        )
+        self.records.append(record)
+        self._c_records.labels(op, phase).inc()
+        return record
+
+    # -- replay views ------------------------------------------------------
+    def committed(self) -> List[JournalRecord]:
+        """Commit-phase records in append order."""
+        return [r for r in self.records if r.phase == PHASE_COMMIT]
+
+    def pending_intents(self) -> List[JournalRecord]:
+        """Intents with no matching commit (in-flight at a crash).
+
+        A commit matches the latest earlier intent with the same op
+        and module id.
+        """
+        open_intents: Dict[Tuple[str, str], List[JournalRecord]] = {}
+        for record in self.records:
+            key = (record.op, record.module_id)
+            if record.phase == PHASE_INTENT:
+                open_intents.setdefault(key, []).append(record)
+            elif record.phase == PHASE_COMMIT:
+                stack = open_intents.get(key)
+                if stack:
+                    stack.pop()
+        return sorted(
+            (r for stack in open_intents.values() for r in stack),
+            key=lambda r: r.seq,
+        )
+
+    def live_state(self) -> Dict[str, JournalRecord]:
+        """module id -> effective deployment record after replay.
+
+        Folds committed records in order: deploys create, kills
+        remove, migrations rewrite platform/address in place (the
+        config, listen steering, and requirements carry over).
+        """
+        live: Dict[str, JournalRecord] = {}
+        for record in self.committed():
+            if record.op == OP_DEPLOY:
+                live[record.module_id] = record
+            elif record.op == OP_KILL:
+                live.pop(record.module_id, None)
+            elif record.op == OP_MIGRATE:
+                base = live.get(record.module_id)
+                if base is None:
+                    continue
+                live[record.module_id] = JournalRecord(
+                    seq=record.seq,
+                    op=OP_DEPLOY,
+                    phase=PHASE_COMMIT,
+                    module_id=base.module_id,
+                    client_id=base.client_id,
+                    platform=record.platform,
+                    address=record.address,
+                    sandboxed=base.sandboxed,
+                    proto=base.proto,
+                    port=base.port,
+                    timestamp=base.timestamp,
+                    config=base.config,
+                    requirements=base.requirements,
+                )
+        return live
+
+    def registered_addresses(self) -> Dict[str, List[int]]:
+        """client id -> explicitly registered addresses, in order."""
+        out: Dict[str, List[int]] = {}
+        for record in self.committed():
+            if record.op == OP_REGISTER and record.address is not None:
+                out.setdefault(record.client_id, []).append(
+                    record.address
+                )
+        return out
+
+    def deploys_seen(self) -> int:
+        """Deploy intents ever written (seeds the module-id counter)."""
+        return sum(
+            1 for r in self.records
+            if r.op == OP_DEPLOY and r.phase == PHASE_INTENT
+        )
+
+    # -- serialization -----------------------------------------------------
+    def to_jsonl(self) -> str:
+        """One JSON object per record, newline separated."""
+        return "\n".join(
+            json.dumps(r.to_dict(), sort_keys=True) for r in self.records
+        )
+
+    def __len__(self) -> int:
+        return len(self.records)
+
+
+class _NullJournal:
+    """Shared no-op journal for controllers run without one."""
+
+    __slots__ = ()
+
+    def append(self, op, phase, **fields):
+        return None
+
+
+#: The shared disabled journal (mirrors ``NULL_METRIC``'s idiom).
+NULL_JOURNAL = _NullJournal()

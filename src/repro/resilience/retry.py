@@ -1,0 +1,146 @@
+"""Retry policies for lifecycle operations.
+
+The failure model's contract: *transient* faults (a flaky toolstack
+boot, a hung resume) are absorbed by bounded retries with exponential
+backoff, and only *permanent* conditions -- retries exhausted, deadline
+blown -- surface to callers, as typed
+:class:`~repro.common.errors.FaultError` subclasses.
+
+Two consumers:
+
+* the platform switch (:mod:`repro.platform.switch`) schedules its
+  boot/resume retries asynchronously on the event loop, spaced by
+  :meth:`RetryPolicy.backoff_s`,
+* synchronous facade operations (``suspend_resume_cycle``, reaper
+  sweeps, federation calls) run through :func:`call_with_retries`.
+
+Jitter draws come from the caller's RNG (normally the fault injector's
+seeded ``random.Random``), so a scenario's timing is reproducible.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Callable, Optional, TypeVar
+
+from repro.common.errors import RetryExhaustedError, TransientFaultError
+
+T = TypeVar("T")
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Backoff/deadline knobs for one class of operations.
+
+    ``backoff_s(n)`` for failure number ``n`` (1-based) is
+    ``base_delay_s * multiplier ** (n - 1)``, capped at
+    ``max_delay_s``, then spread by ``+/- jitter`` (a fraction) when an
+    RNG is supplied.  ``deadline_s`` bounds the total elapsed time
+    across attempts; ``timeout_s`` is the per-operation watchdog the
+    platform applies to one attempt (timeout faults stall this long
+    before failing).
+    """
+
+    max_attempts: int = 3
+    base_delay_s: float = 0.05
+    multiplier: float = 2.0
+    max_delay_s: float = 2.0
+    #: Fractional spread around each delay (0.1 = +/-10%).
+    jitter: float = 0.1
+    #: Total time budget across attempts (None = unbounded).
+    deadline_s: Optional[float] = None
+    #: Per-attempt watchdog (None = the operation's natural latency).
+    timeout_s: Optional[float] = None
+
+    def __post_init__(self):
+        if self.max_attempts < 1:
+            raise ValueError("max_attempts must be >= 1")
+        if self.base_delay_s < 0 or self.max_delay_s < 0:
+            raise ValueError("delays must be >= 0")
+        if not 0.0 <= self.jitter <= 1.0:
+            raise ValueError("jitter must be in [0, 1]")
+
+    def backoff_s(self, failure: int, rng=None) -> float:
+        """Delay before the retry that follows failure ``failure``."""
+        if failure < 1:
+            raise ValueError("failure number is 1-based")
+        delay = min(
+            self.max_delay_s,
+            self.base_delay_s * self.multiplier ** (failure - 1),
+        )
+        if rng is not None and self.jitter:
+            delay *= 1.0 + self.jitter * (2.0 * rng.random() - 1.0)
+        return max(0.0, delay)
+
+
+#: Defaults matching the platform switch's historical behavior
+#: (3 attempts) with a short first backoff on the simulated clock.
+DEFAULT_LIFECYCLE_POLICY = RetryPolicy()
+
+
+def call_with_retries(
+    fn: Callable[[], T],
+    *,
+    op: str = "operation",
+    policy: Optional[RetryPolicy] = None,
+    injector=None,
+    target: Optional[str] = None,
+    clock: Optional[Callable[[], float]] = None,
+    sleep: Optional[Callable[[float], None]] = None,
+    obs=None,
+) -> T:
+    """Run ``fn`` under a retry policy; absorb transient faults.
+
+    Before each attempt the ``injector`` (when given) may veto it with
+    an injected fault.  :class:`TransientFaultError` raised by the
+    attempt (or the injector) consumes one attempt; any other
+    exception propagates immediately.  When attempts or the deadline
+    run out, :class:`RetryExhaustedError` is raised from the last
+    fault.
+
+    ``sleep`` receives each backoff delay -- in simulated-time callers
+    this advances the event loop (``lambda d: loop.run_until(loop.now
+    + d)``); it defaults to no delay so synchronous wall-clock callers
+    do not stall.
+    """
+    from repro.obs import NULL_OBSERVABILITY
+
+    policy = policy if policy is not None else DEFAULT_LIFECYCLE_POLICY
+    clock = clock if clock is not None else time.monotonic
+    metrics = (obs if obs is not None else NULL_OBSERVABILITY).metrics
+    c_retries = metrics.counter(
+        "resilience_retries_total",
+        "Retries of faulted lifecycle operations", labels=("op",),
+    )
+    c_exhausted = metrics.counter(
+        "resilience_retry_exhausted_total",
+        "Operations abandoned after the retry budget", labels=("op",),
+    )
+    rng = injector.rng if injector is not None else None
+    started = clock()
+    last: Optional[TransientFaultError] = None
+    for failure in range(1, policy.max_attempts + 1):
+        try:
+            if injector is not None:
+                injector.raise_for(op, target)
+            return fn()
+        except TransientFaultError as exc:
+            last = exc
+            if failure >= policy.max_attempts:
+                break
+            elapsed = clock() - started
+            if (
+                policy.deadline_s is not None
+                and elapsed >= policy.deadline_s
+            ):
+                break
+            c_retries.labels(op).inc()
+            delay = policy.backoff_s(failure, rng=rng)
+            if sleep is not None and delay > 0:
+                sleep(delay)
+    c_exhausted.labels(op).inc()
+    raise RetryExhaustedError(
+        "%s failed after %d attempt(s): %s"
+        % (op, policy.max_attempts, last)
+    ) from last

@@ -35,6 +35,41 @@ class Event:
         return (self.when, self.seq) < (other.when, other.seq)
 
 
+class RepeatingEvent:
+    """A periodic callback; cancellable between firings.
+
+    Created by :meth:`EventLoop.every`.  Each firing schedules the
+    next one, so cancellation takes effect at the next boundary.
+    """
+
+    __slots__ = ("_loop", "interval", "callback", "_event", "cancelled")
+
+    def __init__(self, loop: "EventLoop", interval: float,
+                 callback: Callable[[], Any]):
+        self._loop = loop
+        self.interval = interval
+        self.callback = callback
+        self.cancelled = False
+        self._event: Optional[Event] = None
+
+    def cancel(self) -> None:
+        """Stop firing (the currently scheduled tick is cancelled)."""
+        self.cancelled = True
+        if self._event is not None:
+            self._event.cancel()
+
+    def _tick(self) -> None:
+        if self.cancelled:
+            return
+        try:
+            self.callback()
+        finally:
+            if not self.cancelled:
+                self._event = self._loop.schedule(
+                    self.interval, self._tick
+                )
+
+
 class EventLoop:
     """A deterministic simulated-time event loop."""
 
@@ -61,6 +96,24 @@ class EventLoop:
         event = Event(when, next(self._seq), callback)
         heapq.heappush(self._heap, event)
         return event
+
+    def every(
+        self,
+        interval: float,
+        callback: Callable[[], Any],
+        start_after: Optional[float] = None,
+    ) -> RepeatingEvent:
+        """Run ``callback`` every ``interval`` simulated seconds.
+
+        The first firing happens after ``start_after`` (defaults to
+        ``interval``).  Used by periodic control-plane machinery (the
+        idle reaper, the health monitor's liveness checks)."""
+        if interval <= 0:
+            raise SimulationError("repeat interval must be positive")
+        repeating = RepeatingEvent(self, interval, callback)
+        delay = interval if start_after is None else start_after
+        repeating._event = self.schedule(delay, repeating._tick)
+        return repeating
 
     def run_until(self, deadline: float) -> None:
         """Fire every event up to and including ``deadline``."""

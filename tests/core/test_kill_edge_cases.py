@@ -1,0 +1,144 @@
+"""Kill-path edge cases: idempotence, missing nodes, races.
+
+``Controller.kill`` and ``Federation.kill`` are the client-facing
+teardown calls; they must stay safe under exactly the conditions a
+failure model produces -- unknown names, repeated calls, topology
+nodes that vanished, kills racing migrations.
+"""
+
+import pytest
+
+from repro.core.controller import Controller
+from repro.core.federation import Federation
+from repro.resilience.chaos import _module_request, chaos_network
+from repro.resilience.invariants import collect_violations
+
+
+def deployed_world(module="m1", client="mobile1"):
+    net = chaos_network()
+    controller = Controller(net)
+    result = controller.request(
+        _module_request(client, module), pinned_platform="pa"
+    )
+    assert result, result.reason
+    return net, controller
+
+
+class TestControllerKill:
+    def test_kill_releases_every_resource(self):
+        net, controller = deployed_world()
+        pa = net.node("pa")
+        address = controller.deployed["m1"].address
+        assert controller.kill("m1")
+        assert "m1" not in controller.deployed
+        assert pa.modules == {}
+        assert pa.outstanding_addresses() == 0
+        assert ("pa", address) not in controller.flow_rules
+        assert address not in controller.client_addresses.get(
+            "mobile1", set()
+        )
+        assert collect_violations(controller) == []
+
+    def test_unknown_module_returns_false(self):
+        _, controller = deployed_world()
+        assert controller.kill("ghost") is False
+
+    def test_double_kill_is_idempotent(self):
+        net, controller = deployed_world()
+        pa = net.node("pa")
+        assert controller.kill("m1") is True
+        released = pa.released_total
+        assert controller.kill("m1") is False
+        # The second call must not double-release the address.
+        assert pa.released_total == released
+        assert collect_violations(controller) == []
+
+    def test_kill_survives_a_missing_platform_node(self):
+        net, controller = deployed_world()
+        # The box was physically decommissioned: links torn down,
+        # node dropped from the topology.
+        net.unlink("r1", "pa")
+        del net.nodes["pa"]
+        assert controller.kill("m1") is True
+        assert "m1" not in controller.deployed
+        assert controller.flow_rules == {}
+
+    def test_kill_stops_billing(self):
+        net, controller = deployed_world()
+        controller.kill("m1")
+        open_ids = controller.ledger.open_module_ids()
+        assert "m1" not in open_ids
+
+    def test_kill_after_migration_releases_the_new_address(self):
+        net, controller = deployed_world()
+        result = controller.migrate("m1", "pb")
+        assert result.migrated
+        assert controller.kill("m1")
+        for name in ("pa", "pb"):
+            platform = net.node(name)
+            assert platform.outstanding_addresses() == 0
+            assert platform.modules == {}
+        assert collect_violations(controller) == []
+
+    def test_migration_after_kill_is_a_clean_denial(self):
+        net, controller = deployed_world()
+        controller.kill("m1")
+        result = controller.migrate("m1", "pb")
+        assert not result.migrated
+        assert result.reason == "unknown module"
+
+    def test_module_name_is_reusable_after_kill(self):
+        net, controller = deployed_world()
+        controller.kill("m1")
+        result = controller.request(
+            _module_request("mobile1", "m1"), pinned_platform="pb"
+        )
+        assert result, result.reason
+        assert controller.deployed["m1"].platform == "pb"
+
+
+class TestFederationKill:
+    def federation(self):
+        net, controller = deployed_world()
+        fed = Federation()
+        fed.add_operator("op-a", controller, region=(50.0, 8.0))
+        fed.placements["m1"] = "op-a"
+        return fed, controller
+
+    def test_kill_reaches_the_owning_operator(self):
+        fed, controller = self.federation()
+        assert fed.kill("m1") is True
+        assert "m1" not in controller.deployed
+        assert fed.deployments() == {}
+
+    def test_unknown_module_returns_false(self):
+        fed, _ = self.federation()
+        assert fed.kill("ghost") is False
+
+    def test_double_kill_returns_false(self):
+        fed, _ = self.federation()
+        assert fed.kill("m1") is True
+        assert fed.kill("m1") is False
+
+    def test_deregistered_operator_is_tolerated(self):
+        fed, _ = self.federation()
+        del fed.operators["op-a"]
+        assert fed.kill("m1") is False
+        # The stale placement is dropped either way.
+        assert fed.deployments() == {}
+
+    def test_dead_operator_does_not_break_deploy_near(self):
+        fed, controller = self.federation()
+
+        class DeadController:
+            def request(self, request):
+                raise ConnectionError("operator unreachable")
+
+        fed.add_operator("op-dead", DeadController(), region=(50.0, 8.1))
+        result = fed.deploy_near(
+            _module_request("mobile2", "m2"), location=(50.0, 8.1)
+        )
+        # The nearest operator is dead; the next one accepts.
+        assert result
+        assert result.operator == "op-a"
+        assert controller.deployed["m2"].platform in ("pa", "pb", "pc")

@@ -1,0 +1,131 @@
+"""Partial-migration rollback: every failure path restores state.
+
+The regression for the historical leak: a migration that failed after
+allocating the target trial address (verification failure, platform
+error, capacity race) used to strand that address and could leave the
+module half-moved.  Every path now releases the target address,
+restores the source placement, and leaves the controller's visible
+state byte-for-byte identical (digest equality).
+"""
+
+import pytest
+
+from repro.core.controller import Controller
+from repro.netmodel.topology import Platform
+from repro.resilience.chaos import _module_request, chaos_network
+from repro.resilience.invariants import (
+    collect_violations,
+    controller_state_digest,
+)
+
+
+def deployed_world():
+    net = chaos_network()
+    controller = Controller(net)
+    result = controller.request(
+        _module_request("mobile1", "m1"), pinned_platform="pa"
+    )
+    assert result, result.reason
+    return net, controller
+
+
+def accounting(platform):
+    return {
+        "outstanding": platform.outstanding_addresses(),
+        "modules": len(platform.modules),
+    }
+
+
+class TestRollbackPaths:
+    def test_verification_failure_rolls_back_exactly(self):
+        net, controller = deployed_world()
+        net.unlink("r1", "pb")  # pb unreachable: requirement will fail
+        before = controller_state_digest(controller)
+        before_pa = accounting(net.node("pa"))
+        result = controller.migrate("m1", "pb")
+        assert not result.migrated
+        assert result.reason  # carries the failed requirement(s)
+        assert controller_state_digest(controller) == before
+        assert accounting(net.node("pa")) == before_pa
+        assert accounting(net.node("pb")) == {
+            "outstanding": 0, "modules": 0,
+        }
+        assert collect_violations(controller) == []
+
+    def test_platform_error_mid_migration_rolls_back(self, monkeypatch):
+        net, controller = deployed_world()
+        target = net.node("pb")
+        before = controller_state_digest(controller)
+
+        def explode(*args, **kwargs):
+            raise RuntimeError("toolstack died mid-deploy")
+
+        monkeypatch.setattr(target, "deploy", explode)
+        with pytest.raises(RuntimeError):
+            controller.migrate("m1", "pb")
+        monkeypatch.undo()
+        assert controller_state_digest(controller) == before
+        # The trial address was released even though deploy() blew up.
+        assert target.outstanding_addresses() == 0
+        assert net.node("pa").modules["m1"] is not None
+        assert collect_violations(controller) == []
+
+    def test_failure_after_target_deploy_undeploys_the_trial(
+        self, monkeypatch
+    ):
+        net, controller = deployed_world()
+        before = controller_state_digest(controller)
+
+        def broken_verify(*args, **kwargs):
+            raise RuntimeError("verifier crashed")
+
+        monkeypatch.setattr(controller, "_verify_all", broken_verify)
+        with pytest.raises(RuntimeError):
+            controller.migrate("m1", "pb")
+        monkeypatch.undo()
+        assert controller_state_digest(controller) == before
+        assert net.node("pb").modules == {}
+        assert net.node("pb").outstanding_addresses() == 0
+        assert collect_violations(controller) == []
+
+    def test_unknown_module_and_platform_are_clean_denials(self):
+        net, controller = deployed_world()
+        before = controller_state_digest(controller)
+        assert not controller.migrate("ghost", "pb").migrated
+        assert not controller.migrate("m1", "nowhere").migrated
+        assert controller_state_digest(controller) == before
+
+    def test_target_at_capacity_denied_without_leak(self):
+        net, controller = deployed_world()
+        pb = net.node("pb")
+        while pb.has_capacity:
+            pb.deploy(
+                "filler%d" % len(pb.modules), pb.allocate_address(),
+                config=None,
+            )
+        filler_count = len(pb.modules)
+        result = controller.migrate("m1", "pb")
+        assert not result.migrated
+        assert len(pb.modules) == filler_count
+        assert pb.outstanding_addresses() == filler_count
+
+    def test_successful_migration_releases_the_source_address(self):
+        net, controller = deployed_world()
+        pa = net.node("pa")
+        assert accounting(pa) == {"outstanding": 1, "modules": 1}
+        result = controller.migrate("m1", "pb")
+        assert result.migrated
+        assert accounting(pa) == {"outstanding": 0, "modules": 0}
+        assert accounting(net.node("pb")) == {
+            "outstanding": 1, "modules": 1,
+        }
+        assert collect_violations(controller) == []
+
+    def test_repeated_failed_migrations_never_accumulate_state(self):
+        net, controller = deployed_world()
+        net.unlink("r1", "pb")
+        before = controller_state_digest(controller)
+        for _ in range(5):
+            assert not controller.migrate("m1", "pb").migrated
+        assert controller_state_digest(controller) == before
+        assert net.node("pb").outstanding_addresses() == 0

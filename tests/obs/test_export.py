@@ -153,3 +153,60 @@ class TestObservabilityBundle:
         assert snap["spans"][0]["name"] == "s"
         assert "=== observability snapshot ===" in obs.render_table()
         assert json.loads(obs.snapshot_json())["metrics"]["x"]
+
+
+class TestResilienceCountersRoundTrip:
+    """The failure-model metrics survive the Prometheus round trip."""
+
+    def _chaos_obs(self) -> Observability:
+        from repro.resilience.chaos import run_scenario
+
+        obs = Observability()
+        run_scenario("platform-crash", seed=1, obs=obs)
+        run_scenario("boot-timeout-storm", seed=1, obs=obs)
+        return obs
+
+    def test_families_present_in_prometheus_text(self):
+        text = self._chaos_obs().to_prometheus()
+        for family in (
+            "resilience_faults_injected_total",
+            "resilience_retries_total",
+            "resilience_health_checks_total",
+            "resilience_failovers_total",
+            "resilience_modules_evacuated_total",
+            "resilience_journal_records_total",
+            "resilience_recovery_seconds",
+        ):
+            assert "# TYPE %s" % family in text, family
+
+    def test_values_survive_the_parser(self):
+        obs = self._chaos_obs()
+        parsed = parse_prometheus(obs.to_prometheus())
+        assert parsed["resilience_failovers_total"][
+            '{outcome="complete"}'
+        ] == 1
+        assert parsed["resilience_modules_evacuated_total"][""] == 2
+        assert parsed["resilience_recovery_seconds_count"][""] == 1
+        injected = sum(
+            parsed["resilience_faults_injected_total"].values()
+        )
+        assert injected > 0
+        retries = parsed["resilience_retries_total"]['{op="boot"}']
+        assert retries > 0
+
+    def test_counters_match_the_snapshot_view(self):
+        obs = self._chaos_obs()
+        parsed = parse_prometheus(obs.to_prometheus())
+        snap = json.loads(obs.snapshot_json())
+        table = snap["metrics"]["resilience_health_checks_total"]
+        total = sum(table["values"].values())
+        assert total == sum(
+            parsed["resilience_health_checks_total"].values()
+        )
+
+    def test_disabled_observability_emits_nothing(self):
+        from repro.resilience.chaos import run_scenario
+
+        obs = Observability(enabled=False)
+        run_scenario("platform-crash", seed=1, obs=obs)
+        assert obs.to_prometheus() == ""

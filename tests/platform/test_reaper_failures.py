@@ -136,3 +136,75 @@ class TestBootFailureInjection:
         switch = SwitchController(CHEAP_SERVER_SPEC, EventLoop())
         with pytest.raises(SimulationError):
             switch.inject_boot_failure("ghost")
+
+
+class TestReaperFaultTolerance:
+    """Sweep failures are tolerated: counted, skipped, never fatal."""
+
+    def _two_idle_stateful(self):
+        sim = PlatformSim()
+        for client in ("c1", "c2"):
+            sim.register_client(client, stateful=True)
+            sim.ping(client, start=0.0, count=1)
+        sim.loop.run()
+        return sim
+
+    def test_reclaim_error_is_counted_and_skipped(self, monkeypatch):
+        sim = self._two_idle_stateful()
+        reaper = IdleReaper(sim.switch, sim.loop, idle_timeout_s=30.0)
+        sim.loop.run_until(100.0)
+
+        def refuse(vm, done=None):
+            raise RuntimeError("toolstack refused the suspend")
+
+        monkeypatch.setattr(sim.switch, "suspend_idle", refuse)
+        assert reaper.sweep() == []
+        assert reaper.stats.errors == 2
+        assert reaper.stats.suspended == 0
+        # Both VMs are still running -- nothing was half-reclaimed.
+        assert all(
+            vm.state == "running"
+            for vm in sim.switch.client_vms.values()
+        )
+
+    def test_sweep_recovers_once_the_fault_clears(self, monkeypatch):
+        sim = self._two_idle_stateful()
+        reaper = IdleReaper(sim.switch, sim.loop, idle_timeout_s=30.0)
+        sim.loop.run_until(100.0)
+        monkeypatch.setattr(
+            sim.switch, "suspend_idle",
+            lambda vm, done=None: (_ for _ in ()).throw(
+                RuntimeError("flaky")
+            ),
+        )
+        reaper.sweep()
+        monkeypatch.undo()
+        reaped = reaper.sweep()
+        sim.loop.run()
+        assert len(reaped) == 2
+        assert reaper.stats.errors == 2
+        assert reaper.stats.suspended == 2
+
+    def test_periodic_sweeps_survive_a_raising_sweep(self):
+        sim = self._two_idle_stateful()
+        reaper = IdleReaper(
+            sim.switch, sim.loop,
+            idle_timeout_s=1e9,  # nothing to reclaim; sweeps still run
+            sweep_interval_s=10.0,
+        )
+        original = reaper.sweep
+        calls = []
+
+        def explodes_once():
+            calls.append(True)
+            if len(calls) == 1:
+                raise RuntimeError("one bad sweep")
+            return original()
+
+        reaper.sweep = explodes_once
+        reaper.start()
+        with pytest.raises(RuntimeError):
+            sim.loop.run_until(200.0)
+        # The failed tick already rescheduled the next one.
+        sim.loop.run_until(200.0)
+        assert len(calls) >= 3

@@ -1,0 +1,169 @@
+"""Tests for the fault injector and the fault-plan DSL."""
+
+import pytest
+
+from repro.common.errors import (
+    FaultTimeoutError,
+    SimulationError,
+    TransientFaultError,
+)
+from repro.obs import Observability
+from repro.resilience.faults import (
+    Fault,
+    FaultInjector,
+    FaultPlan,
+    KIND_CRASH,
+    KIND_TIMEOUT,
+    PlannedFault,
+)
+from repro.sim.events import EventLoop
+
+
+class TestFault:
+    def test_crash_surfaces_as_transient_fault(self):
+        err = Fault(op="boot", kind=KIND_CRASH).to_error()
+        assert isinstance(err, TransientFaultError)
+        assert "boot" in str(err)
+
+    def test_timeout_surfaces_as_timeout_error(self):
+        err = Fault(op="resume", kind=KIND_TIMEOUT, target="pa").to_error()
+        assert isinstance(err, FaultTimeoutError)
+        assert "pa" in str(err)
+
+
+class TestFaultInjector:
+    def test_clean_injector_never_fails(self):
+        injector = FaultInjector(seed=1)
+        assert all(
+            injector.draw("boot") is None for _ in range(100)
+        )
+        assert injector.injected == []
+
+    def test_fail_next_queues_in_order(self):
+        injector = FaultInjector()
+        injector.fail_next("boot", times=2, kind=KIND_TIMEOUT,
+                           delay_s=0.5)
+        first = injector.draw("boot")
+        second = injector.draw("boot")
+        assert first.kind == KIND_TIMEOUT and first.delay_s == 0.5
+        assert second is not None
+        assert injector.draw("boot") is None
+        assert len(injector.injected) == 2
+
+    def test_target_specific_faults_fire_before_wildcards(self):
+        injector = FaultInjector()
+        injector.fail_next("boot")  # wildcard
+        injector.fail_next("boot", target="pa")
+        fault = injector.draw("boot", target="pa")
+        assert fault.target == "pa"
+        # The wildcard still waits for the next attempt (any target).
+        assert injector.draw("boot", target="pb") is not None
+        assert injector.draw("boot", target="pa") is None
+
+    def test_wildcard_fault_adopts_the_caller_target(self):
+        injector = FaultInjector()
+        injector.fail_next("boot")
+        fault = injector.draw("boot", target="pc")
+        assert fault.target == "pc"
+
+    def test_rate_is_deterministic_per_seed(self):
+        def sequence(seed):
+            injector = FaultInjector(seed=seed)
+            injector.set_rate("boot", 0.5)
+            return [
+                injector.draw("boot") is not None for _ in range(50)
+            ]
+
+        assert sequence(7) == sequence(7)
+        assert sequence(7) != sequence(8)
+        assert any(sequence(7)) and not all(sequence(7))
+
+    def test_clear_rate_stops_probabilistic_failures(self):
+        injector = FaultInjector(seed=0)
+        injector.set_rate("boot", 1.0)
+        assert injector.draw("boot") is not None
+        injector.clear_rate("boot")
+        assert injector.draw("boot") is None
+
+    def test_raise_for_raises_the_typed_error(self):
+        injector = FaultInjector()
+        injector.fail_next("suspend-resume", kind=KIND_TIMEOUT)
+        with pytest.raises(FaultTimeoutError):
+            injector.raise_for("suspend-resume")
+        injector.raise_for("suspend-resume")  # queue drained: no-op
+
+    def test_bad_kind_and_probability_rejected(self):
+        injector = FaultInjector()
+        with pytest.raises(SimulationError):
+            injector.fail_next("boot", kind="gremlin")
+        with pytest.raises(SimulationError):
+            injector.set_rate("boot", 1.5)
+        with pytest.raises(SimulationError):
+            injector.set_rate("boot", 0.5, kind="gremlin")
+
+    def test_injected_faults_are_counted_in_metrics(self):
+        obs = Observability()
+        injector = FaultInjector(obs=obs)
+        injector.fail_next("boot", times=2)
+        injector.draw("boot")
+        injector.draw("boot")
+        text = obs.to_prometheus()
+        assert (
+            'resilience_faults_injected_total'
+            '{op="boot",kind="crash"} 2' in text
+        )
+
+
+class TestFaultPlan:
+    def test_parse_entries_sorted_by_time(self):
+        plan = FaultPlan.parse(
+            "# a comment\n"
+            "at 7.0 flap-link r1 pb 2.0\n"
+            "\n"
+            "at 5.0 crash-platform pa\n"
+            "at 3.0 fail boot pa times=2 kind=timeout delay=1.0\n"
+        )
+        assert [e.at for e in plan] == [3.0, 5.0, 7.0]
+        assert len(plan) == 3
+        fail = plan.entries[0]
+        assert fail.action == "fail"
+        assert fail.args == ("boot", "pa")
+        assert fail.option("times") == "2"
+        assert fail.option("kind") == "timeout"
+        assert fail.option("missing", "x") == "x"
+
+    def test_str_round_trips_through_parse(self):
+        text = "at 3 fail boot pa times=2 kind=timeout delay=1.0\n"
+        plan = FaultPlan.parse(text)
+        again = FaultPlan.parse(str(plan.entries[0]))
+        assert again.entries == plan.entries
+
+    @pytest.mark.parametrize("bad", [
+        "crash-platform pa",          # missing 'at <time>'
+        "at soon crash-platform pa",  # bad timestamp
+        "at 1.0 explode pa",          # unknown action
+        "at 1.0",                     # no action
+    ])
+    def test_parse_rejects_malformed_lines(self, bad):
+        with pytest.raises(SimulationError):
+            FaultPlan.parse(bad)
+
+    def test_schedule_applies_entries_at_their_times(self):
+        loop = EventLoop()
+        seen = []
+        plan = FaultPlan.parse(
+            "at 2.0 crash-platform pa\nat 1.0 link-down r1 pb\n"
+        )
+        plan.schedule(loop, lambda e: seen.append((loop.now, e.action)))
+        loop.run()
+        assert seen == [(1.0, "link-down"), (2.0, "crash-platform")]
+
+    def test_past_entries_are_clamped_to_now(self):
+        loop = EventLoop()
+        loop.run_until(5.0)
+        seen = []
+        plan = FaultPlan([PlannedFault(at=1.0, action="link-up",
+                                       args=("a", "b"))])
+        plan.schedule(loop, lambda e: seen.append(loop.now))
+        loop.run()
+        assert seen == [5.0]

@@ -1,0 +1,190 @@
+"""Tests for the health monitor and the failover engine."""
+
+import pytest
+
+from repro.core.controller import Controller
+from repro.obs import Observability
+from repro.resilience.chaos import _module_request, chaos_network
+from repro.resilience.failover import FailoverEngine
+from repro.resilience.health import HealthMonitor
+from repro.resilience.invariants import collect_violations
+from repro.sim.events import EventLoop
+
+
+class FlakyProbe:
+    def __init__(self, pattern):
+        self.pattern = list(pattern)
+        self.calls = 0
+
+    def __call__(self):
+        value = self.pattern[min(self.calls, len(self.pattern) - 1)]
+        self.calls += 1
+        return value
+
+
+class TestHealthMonitor:
+    def monitor(self, **kwargs):
+        loop = EventLoop()
+        kwargs.setdefault("check_interval_s", 1.0)
+        kwargs.setdefault("miss_threshold", 3)
+        return loop, HealthMonitor(loop, **kwargs)
+
+    def test_death_declared_after_consecutive_misses(self):
+        loop, monitor = self.monitor()
+        deaths = []
+        monitor.watch("pa", lambda: False)
+        monitor.on_failure(lambda name, at: deaths.append((name, at)))
+        monitor.start()
+        loop.run_until(2.5)
+        assert deaths == []  # only two misses so far
+        loop.run_until(3.5)
+        assert deaths == [("pa", 3.0)]
+        loop.run_until(10.0)
+        assert len(deaths) == 1  # declared once, not per tick
+
+    def test_intermittent_misses_reset_the_streak(self):
+        loop, monitor = self.monitor()
+        deaths = []
+        monitor.watch("pa", FlakyProbe([False, False, True] * 10))
+        monitor.on_failure(lambda name, at: deaths.append(name))
+        monitor.start()
+        loop.run_until(20.0)
+        assert deaths == []
+
+    def test_recovery_callback_fires_when_probe_returns(self):
+        loop, monitor = self.monitor(miss_threshold=1)
+        probe = FlakyProbe([False, True])
+        events = []
+        monitor.watch("pa", probe)
+        monitor.on_failure(lambda name, at: events.append(("down", at)))
+        monitor.on_recovery(lambda name, at: events.append(("up", at)))
+        monitor.start()
+        loop.run_until(2.5)
+        assert events == [("down", 1.0), ("up", 2.0)]
+        assert monitor.status()["pa"]["alive"] is True
+
+    def test_probe_exception_counts_as_a_miss(self):
+        loop, monitor = self.monitor(miss_threshold=2)
+
+        def broken():
+            raise RuntimeError("probe transport died")
+
+        deaths = []
+        monitor.watch("pa", broken)
+        monitor.on_failure(lambda name, at: deaths.append(name))
+        monitor.start()
+        loop.run_until(5.0)
+        assert deaths == ["pa"]
+
+    def test_stop_cancels_the_periodic_check(self):
+        loop, monitor = self.monitor()
+        probe = FlakyProbe([True])
+        monitor.watch("pa", probe)
+        monitor.start()
+        loop.run_until(3.0)
+        fired = probe.calls
+        monitor.stop()
+        loop.run_until(10.0)
+        assert probe.calls == fired
+
+    def test_down_gauge_tracks_declared_deaths(self):
+        obs = Observability()
+        loop = EventLoop()
+        monitor = HealthMonitor(loop, check_interval_s=1.0,
+                                miss_threshold=1, obs=obs)
+        monitor.watch("pa", FlakyProbe([False, True]))
+        monitor.start()
+        loop.run_until(1.0)
+        assert "resilience_platforms_down 1" in obs.to_prometheus()
+        loop.run_until(2.0)
+        assert "resilience_platforms_down 0" in obs.to_prometheus()
+
+    def test_miss_threshold_must_be_positive(self):
+        with pytest.raises(ValueError):
+            HealthMonitor(EventLoop(), miss_threshold=0)
+
+
+def world_with_modules(obs=None):
+    """A controller on the chaos topology with two modules on pa."""
+    net = chaos_network()
+    loop = EventLoop()
+    controller = Controller(net, clock=lambda: loop.now, obs=obs)
+    for client, module in (("mobile1", "m1"), ("mobile2", "m2")):
+        result = controller.request(
+            _module_request(client, module), pinned_platform="pa"
+        )
+        assert result, result.reason
+    return net, loop, controller
+
+
+class TestFailoverEngine:
+    def test_evacuates_every_module_off_the_dead_platform(self):
+        net, loop, controller = world_with_modules()
+        loop.run_until(4.0)
+        engine = FailoverEngine(controller, clock=lambda: loop.now)
+        report = engine.handle_platform_failure("pa", failed_at=3.0)
+        assert sorted(report.evacuated) == ["m1", "m2"]
+        assert report.stranded == []
+        assert report.complete
+        assert not net.node("pa").up
+        for module in ("m1", "m2"):
+            assert controller.deployed[module].platform != "pa"
+        assert collect_violations(controller) == []
+        assert engine.reports == [report]
+
+    def test_mttr_is_detection_latency_plus_slowest_downtime(self):
+        net, loop, controller = world_with_modules()
+        loop.run_until(4.0)
+        engine = FailoverEngine(controller, clock=lambda: loop.now)
+        report = engine.handle_platform_failure("pa", failed_at=3.0)
+        assert report.failed_at == 3.0
+        assert report.detected_at == 4.0
+        assert report.max_downtime_s > 0
+        assert report.mttr_s == pytest.approx(
+            1.0 + report.max_downtime_s
+        )
+
+    def test_no_surviving_target_leaves_modules_stranded(self):
+        net, loop, controller = world_with_modules()
+        net.unlink("r1", "pb")
+        net.unlink("r1", "pc")
+        engine = FailoverEngine(controller, clock=lambda: loop.now)
+        report = engine.handle_platform_failure("pa")
+        assert sorted(report.stranded) == ["m1", "m2"]
+        assert not report.complete
+
+    def test_outcome_metrics(self):
+        obs = Observability()
+        net, loop, controller = world_with_modules(obs=obs)
+        engine = FailoverEngine(controller, clock=lambda: loop.now,
+                                obs=obs)
+        engine.handle_platform_failure("pa")
+        text = obs.to_prometheus()
+        assert (
+            'resilience_failovers_total{outcome="complete"} 1' in text
+        )
+        assert "resilience_modules_evacuated_total 2" in text
+        assert "resilience_recovery_seconds_count 1" in text
+
+    def test_unknown_platform_is_a_degraded_noop(self):
+        net, loop, controller = world_with_modules()
+        engine = FailoverEngine(controller, clock=lambda: loop.now)
+        report = engine.handle_platform_failure("ghost")
+        assert report.evacuated == []
+        assert report.stranded == []
+        # Nothing moved; the real platforms are untouched.
+        assert controller.deployed["m1"].platform == "pa"
+
+    def test_attach_wires_monitor_failures_to_the_engine(self):
+        net, loop, controller = world_with_modules()
+        monitor = HealthMonitor(loop, check_interval_s=0.5,
+                                miss_threshold=2)
+        down = {"pa": False}
+        monitor.watch("pa", lambda: not down["pa"])
+        engine = FailoverEngine(controller, clock=lambda: loop.now)
+        engine.attach(monitor)
+        monitor.start()
+        down["pa"] = True
+        loop.run_until(5.0)
+        assert len(engine.reports) == 1
+        assert sorted(engine.reports[0].evacuated) == ["m1", "m2"]

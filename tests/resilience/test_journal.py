@@ -1,0 +1,172 @@
+"""Tests for the write-ahead deployment journal and replay views."""
+
+import json
+
+import pytest
+
+from repro.obs import Observability
+from repro.resilience.journal import (
+    DeploymentJournal,
+    NULL_JOURNAL,
+    OP_DEPLOY,
+    OP_KILL,
+    OP_MIGRATE,
+    OP_REGISTER,
+    PHASE_COMMIT,
+    PHASE_INTENT,
+)
+
+
+def deploy_pair(journal, module_id, platform="pa", address=1,
+                client_id="alice", **extra):
+    journal.append(OP_DEPLOY, PHASE_INTENT, module_id=module_id,
+                   client_id=client_id, platform=platform,
+                   address=address, **extra)
+    return journal.append(OP_DEPLOY, PHASE_COMMIT, module_id=module_id,
+                          client_id=client_id, platform=platform,
+                          address=address, **extra)
+
+
+class TestAppend:
+    def test_seq_is_monotonic_from_one(self):
+        journal = DeploymentJournal()
+        records = [
+            journal.append(OP_DEPLOY, PHASE_INTENT, module_id="m%d" % i)
+            for i in range(3)
+        ]
+        assert [r.seq for r in records] == [1, 2, 3]
+        assert len(journal) == 3
+
+    def test_records_counter_by_op_and_phase(self):
+        obs = Observability()
+        journal = DeploymentJournal(obs=obs)
+        deploy_pair(journal, "m1")
+        text = obs.to_prometheus()
+        assert (
+            'resilience_journal_records_total'
+            '{op="deploy",phase="intent"} 1' in text
+        )
+        assert (
+            'resilience_journal_records_total'
+            '{op="deploy",phase="commit"} 1' in text
+        )
+
+
+class TestPendingIntents:
+    def test_unmatched_intent_is_pending(self):
+        journal = DeploymentJournal()
+        deploy_pair(journal, "m1")
+        journal.append(OP_DEPLOY, PHASE_INTENT, module_id="m2")
+        pending = journal.pending_intents()
+        assert [r.module_id for r in pending] == ["m2"]
+
+    def test_commit_matches_the_latest_intent(self):
+        journal = DeploymentJournal()
+        journal.append(OP_DEPLOY, PHASE_INTENT, module_id="m1")
+        journal.append(OP_DEPLOY, PHASE_INTENT, module_id="m1")
+        journal.append(OP_DEPLOY, PHASE_COMMIT, module_id="m1")
+        assert len(journal.pending_intents()) == 1
+
+    def test_ops_match_independently(self):
+        journal = DeploymentJournal()
+        journal.append(OP_MIGRATE, PHASE_INTENT, module_id="m1")
+        journal.append(OP_KILL, PHASE_COMMIT, module_id="m1")
+        assert [r.op for r in journal.pending_intents()] == [OP_MIGRATE]
+
+
+class TestLiveState:
+    def test_deploy_kill_migrate_fold(self):
+        journal = DeploymentJournal()
+        deploy_pair(journal, "m1", platform="pa", address=10,
+                    proto=17, port=1500)
+        deploy_pair(journal, "m2", platform="pa", address=11)
+        journal.append(OP_KILL, PHASE_COMMIT, module_id="m2")
+        journal.append(OP_MIGRATE, PHASE_COMMIT, module_id="m1",
+                       platform="pb", address=20,
+                       source="pa", source_address=10)
+        live = journal.live_state()
+        assert sorted(live) == ["m1"]
+        assert live["m1"].platform == "pb"
+        assert live["m1"].address == 20
+        # Steering and identity carry over from the original deploy.
+        assert live["m1"].proto == 17 and live["m1"].port == 1500
+        assert live["m1"].client_id == "alice"
+
+    def test_migration_without_a_base_deploy_is_ignored(self):
+        journal = DeploymentJournal()
+        journal.append(OP_MIGRATE, PHASE_COMMIT, module_id="ghost",
+                       platform="pb", address=5)
+        assert journal.live_state() == {}
+
+    def test_uncommitted_intents_do_not_appear(self):
+        journal = DeploymentJournal()
+        journal.append(OP_DEPLOY, PHASE_INTENT, module_id="m1",
+                       platform="pa", address=10)
+        assert journal.live_state() == {}
+
+
+class TestViews:
+    def test_registered_addresses_in_order(self):
+        journal = DeploymentJournal()
+        journal.append(OP_REGISTER, PHASE_COMMIT,
+                       client_id="alice", address=7)
+        journal.append(OP_REGISTER, PHASE_COMMIT,
+                       client_id="alice", address=9)
+        journal.append(OP_REGISTER, PHASE_COMMIT,
+                       client_id="bob", address=8)
+        assert journal.registered_addresses() == {
+            "alice": [7, 9], "bob": [8],
+        }
+
+    def test_deploys_seen_counts_intents(self):
+        journal = DeploymentJournal()
+        deploy_pair(journal, "m1")
+        journal.append(OP_DEPLOY, PHASE_INTENT, module_id="m2")
+        journal.append(OP_KILL, PHASE_INTENT, module_id="m1")
+        assert journal.deploys_seen() == 2
+
+
+class TestJsonl:
+    def test_one_json_object_per_record(self):
+        journal = DeploymentJournal()
+        deploy_pair(journal, "m1", proto=17, port=1500)
+        lines = journal.to_jsonl().splitlines()
+        assert len(lines) == 2
+        first = json.loads(lines[0])
+        assert first["op"] == "deploy" and first["phase"] == "intent"
+        assert first["module_id"] == "m1"
+        assert first["proto"] == 17 and first["port"] == 1500
+
+    def test_config_reduced_to_fingerprint(self):
+        from repro.click.config import parse_config
+
+        config = parse_config(
+            "FromNetfront() -> dst :: ToNetfront();"
+        )
+        journal = DeploymentJournal()
+        deploy_pair(journal, "m1", config=config)
+        record = json.loads(journal.to_jsonl().splitlines()[0])
+        assert record["config_fingerprint"]
+        assert "config" not in record
+
+    def test_migrations_carry_provenance(self):
+        journal = DeploymentJournal()
+        journal.append(OP_MIGRATE, PHASE_COMMIT, module_id="m1",
+                       platform="pb", address=20,
+                       source="pa", source_address=10)
+        record = json.loads(journal.to_jsonl())
+        assert record["source"] == "pa"
+        assert record["source_address"] == 10
+
+
+class TestNullJournal:
+    def test_append_is_a_noop(self):
+        assert NULL_JOURNAL.append(OP_DEPLOY, PHASE_INTENT,
+                                   module_id="m") is None
+
+    def test_controller_without_journal_uses_the_null_object(self):
+        from repro.core.controller import Controller
+        from repro.resilience.chaos import chaos_network
+
+        controller = Controller(chaos_network())
+        assert controller.journal is NULL_JOURNAL

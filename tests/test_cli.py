@@ -169,5 +169,58 @@ class TestObs:
         assert main(["obs", "--packets", "10", "--format", "prom"]) == 0
         parsed = parse_prometheus(capsys.readouterr().out)
         assert parsed["dataplane_packets_total"]['{element="dst"}'] == 10
+        # One walkthrough admission plus the resilience episode's
+        # three scenario deploys share the snapshot.
         assert parsed["controller_requests_total"][
-            '{outcome="accepted"}'] == 1
+            '{outcome="accepted"}'] == 4
+
+
+class TestObsResilienceEpisode:
+    def test_obs_table_includes_failure_model_counters(self, capsys):
+        assert main(["obs", "--packets", "10"]) == 0
+        out = capsys.readouterr().out
+        assert "resilience_health_checks_total" in out
+        assert "resilience_failovers_total" in out
+        assert "resilience_recovery_seconds" in out
+
+    def test_obs_prometheus_reports_a_complete_failover(self, capsys):
+        from repro.obs.export import parse_prometheus
+
+        assert main(["obs", "--packets", "10", "--format", "prom"]) == 0
+        parsed = parse_prometheus(capsys.readouterr().out)
+        assert parsed["resilience_failovers_total"][
+            '{outcome="complete"}'] == 1
+        assert parsed["resilience_modules_evacuated_total"][""] == 2
+
+
+class TestChaos:
+    def test_all_scenarios_green(self, capsys):
+        assert main(["chaos", "--seeds", "1", "2", "3"]) == 0
+        out = capsys.readouterr().out
+        assert "12/12 runs green" in out
+        assert "FAIL" not in out
+        for name in (
+            "platform-crash", "boot-timeout-storm",
+            "link-flap-migration", "controller-restart",
+        ):
+            assert name in out
+
+    def test_single_scenario_selection(self, capsys):
+        assert main([
+            "chaos", "--scenario", "platform-crash", "--seeds", "7",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "1/1 runs green" in out
+        assert "mttr=" in out
+
+    def test_list_scenarios(self, capsys):
+        assert main(["chaos", "--list"]) == 0
+        out = capsys.readouterr().out.split()
+        assert "platform-crash" in out
+        assert "controller-restart" in out
+
+    def test_unknown_scenario_fails_loudly(self):
+        import pytest as _pytest
+
+        with _pytest.raises(ValueError):
+            main(["chaos", "--scenario", "heat-death"])
