@@ -9,9 +9,130 @@ paper linear in network size.
 
 from __future__ import annotations
 
-from typing import Iterable, Iterator, List, Optional, Sequence, Tuple
+from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Tuple
 
 Interval = Tuple[int, int]
+
+
+# ---------------------------------------------------------------------------
+# Hash-consing and operation-result caching
+# ---------------------------------------------------------------------------
+#
+# IntervalSet instances are immutable value objects, so identical values
+# can be shared (hash-consed) and the results of the binary operations
+# can be cached: the symbolic engine narrows the *same* (domain, clause)
+# pair across thousands of forked flows, and with the cache on each
+# distinct pair is computed exactly once.  Caching is transparent --
+# results are content-equal to what the uncached code paths produce --
+# and can be switched off (``set_result_cache(False)``) to recover the
+# allocate-per-call seed behavior, which the symexec differential tests
+# and the ``symexec_speedup_check`` benchmark use as their baseline.
+
+
+class _CacheStats:
+    """Mutable counters for the interning/result caches."""
+
+    __slots__ = ("hits", "misses", "interned")
+
+    def __init__(self):
+        self.hits = 0
+        self.misses = 0
+        self.interned = 0
+
+
+_STATS = _CacheStats()
+_CACHE_ENABLED = True
+#: interval tuple -> the canonical IntervalSet carrying it.
+_INTERN: Dict[Tuple[Interval, ...], "IntervalSet"] = {}
+#: Per-operation result caches keyed on ``(left id, right id)``.  Keys
+#: are pairs of small intern ids, not interval tuples: CPython rehashes
+#: tuple contents on every lookup, so content keys would make each hit
+#: cost O(intervals) -- measurably slow for wide sets like the 32-bit
+#: egress complement.
+_AND_RESULTS: Dict[Tuple[int, int], "IntervalSet"] = {}
+_OR_RESULTS: Dict[Tuple[int, int], "IntervalSet"] = {}
+_SUB_RESULTS: Dict[Tuple[int, int], "IntervalSet"] = {}
+#: Intern ids are handed out by a never-reset monotonic counter, so an
+#: id names one interval tuple forever: clearing the caches can orphan
+#: ids but can never alias two values to one key.
+_NEXT_ID = 0
+#: Caches are cleared wholesale when they exceed this bound; real
+#: workloads stay far below it, so this is an anti-leak backstop, not an
+#: eviction policy.
+_MAX_ENTRIES = 1 << 16
+
+
+def set_result_cache(enabled: bool) -> None:
+    """Switch interning + operation-result caching on or off.
+
+    Disabling also clears both caches so re-enabling starts cold.
+
+    >>> set_result_cache(False)
+    >>> a = IntervalSet.from_interval(0, 9)
+    >>> b = IntervalSet.from_interval(5, 20)
+    >>> a.intersect(b) is a.intersect(b)
+    False
+    >>> set_result_cache(True)
+    >>> a.intersect(b) is a.intersect(b)
+    True
+    """
+    global _CACHE_ENABLED
+    _CACHE_ENABLED = bool(enabled)
+    if not _CACHE_ENABLED:
+        clear_result_cache()
+
+
+def result_cache_enabled() -> bool:
+    """Whether interning + result caching is currently on."""
+    return _CACHE_ENABLED
+
+
+def clear_result_cache() -> None:
+    """Drop every cached value and result (counters are kept)."""
+    _INTERN.clear()
+    _AND_RESULTS.clear()
+    _OR_RESULTS.clear()
+    _SUB_RESULTS.clear()
+
+
+def result_cache_stats() -> Dict[str, int]:
+    """Counters: result-cache hits/misses and interned value count."""
+    return {
+        "enabled": int(_CACHE_ENABLED),
+        "hits": _STATS.hits,
+        "misses": _STATS.misses,
+        "interned": _STATS.interned,
+        "results_cached": (
+            len(_AND_RESULTS) + len(_OR_RESULTS) + len(_SUB_RESULTS)
+        ),
+    }
+
+
+def intern(value: "IntervalSet") -> "IntervalSet":
+    """The canonical shared instance for ``value`` (hash-consing).
+
+    Returns ``value`` itself when it is the first carrier of its
+    interval tuple, or the previously seen instance otherwise.  Either
+    way ``value`` leaves with the content's intern id stamped on it,
+    so later operations on a non-canonical duplicate still hit the
+    result caches.  With caching disabled this is the identity
+    function.
+    """
+    global _NEXT_ID
+    if not _CACHE_ENABLED:
+        return value
+    key = value._intervals
+    cached = _INTERN.get(key)
+    if cached is not None:
+        value._intern_id = cached._intern_id
+        return cached
+    if len(_INTERN) >= _MAX_ENTRIES:
+        _INTERN.clear()
+    value._intern_id = _NEXT_ID
+    _NEXT_ID += 1
+    _INTERN[key] = value
+    _STATS.interned += 1
+    return value
 
 
 class IntervalSet:
@@ -24,12 +145,14 @@ class IntervalSet:
     (True, False, True)
     """
 
-    __slots__ = ("_intervals",)
+    __slots__ = ("_intervals", "_intern_id")
 
     def __init__(self, intervals: Iterable[Interval] = ()):
         self._intervals: Tuple[Interval, ...] = tuple(
             _normalize(list(intervals))
         )
+        #: Small id stamped by :func:`intern`; None until interned.
+        self._intern_id: Optional[int] = None
 
     # -- constructors ----------------------------------------------------
     @classmethod
@@ -40,6 +163,11 @@ class IntervalSet:
     @classmethod
     def single(cls, value: int) -> "IntervalSet":
         """The singleton set ``{value}``."""
+        if _CACHE_ENABLED:
+            cached = _INTERN.get(((value, value),))
+            if cached is not None:
+                return cached
+            return intern(cls([(value, value)]))
         return cls([(value, value)])
 
     @classmethod
@@ -47,6 +175,11 @@ class IntervalSet:
         """The inclusive range ``[low, high]`` (empty if ``low > high``)."""
         if low > high:
             return _EMPTY
+        if _CACHE_ENABLED:
+            cached = _INTERN.get(((low, high),))
+            if cached is not None:
+                return cached
+            return intern(cls([(low, high)]))
         return cls([(low, high)])
 
     @classmethod
@@ -112,6 +245,27 @@ class IntervalSet:
     # -- algebra ----------------------------------------------------------
     def intersect(self, other: "IntervalSet") -> "IntervalSet":
         """Set intersection."""
+        if _CACHE_ENABLED:
+            lid = self._intern_id
+            if lid is None:
+                lid = intern(self)._intern_id
+            rid = other._intern_id
+            if rid is None:
+                rid = intern(other)._intern_id
+            key = (lid, rid)
+            cached = _AND_RESULTS.get(key)
+            if cached is not None:
+                _STATS.hits += 1
+                return cached
+            result = intern(self._intersect(other))
+            _STATS.misses += 1
+            if len(_AND_RESULTS) >= _MAX_ENTRIES:
+                _AND_RESULTS.clear()
+            _AND_RESULTS[key] = result
+            return result
+        return self._intersect(other)
+
+    def _intersect(self, other: "IntervalSet") -> "IntervalSet":
         result: List[Interval] = []
         i = j = 0
         left, right = self._intervals, other._intervals
@@ -127,14 +281,54 @@ class IntervalSet:
                 j += 1
         out = IntervalSet.__new__(IntervalSet)
         out._intervals = tuple(result)
+        out._intern_id = None
         return out
 
     def union(self, other: "IntervalSet") -> "IntervalSet":
         """Set union."""
+        if _CACHE_ENABLED:
+            lid = self._intern_id
+            if lid is None:
+                lid = intern(self)._intern_id
+            rid = other._intern_id
+            if rid is None:
+                rid = intern(other)._intern_id
+            key = (lid, rid)
+            cached = _OR_RESULTS.get(key)
+            if cached is not None:
+                _STATS.hits += 1
+                return cached
+            result = intern(IntervalSet(self._intervals + other._intervals))
+            _STATS.misses += 1
+            if len(_OR_RESULTS) >= _MAX_ENTRIES:
+                _OR_RESULTS.clear()
+            _OR_RESULTS[key] = result
+            return result
         return IntervalSet(self._intervals + other._intervals)
 
     def subtract(self, other: "IntervalSet") -> "IntervalSet":
         """Set difference ``self - other``."""
+        if _CACHE_ENABLED:
+            lid = self._intern_id
+            if lid is None:
+                lid = intern(self)._intern_id
+            rid = other._intern_id
+            if rid is None:
+                rid = intern(other)._intern_id
+            key = (lid, rid)
+            cached = _SUB_RESULTS.get(key)
+            if cached is not None:
+                _STATS.hits += 1
+                return cached
+            result = intern(self._subtract(other))
+            _STATS.misses += 1
+            if len(_SUB_RESULTS) >= _MAX_ENTRIES:
+                _SUB_RESULTS.clear()
+            _SUB_RESULTS[key] = result
+            return result
+        return self._subtract(other)
+
+    def _subtract(self, other: "IntervalSet") -> "IntervalSet":
         result: List[Interval] = []
         pending = list(self._intervals)
         cut = other._intervals

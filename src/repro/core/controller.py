@@ -801,6 +801,9 @@ class Controller:
         cache_stats = getattr(self.analyzer, "stats", None)
         if cache_stats is not None:
             out["verdict_cache"] = cache_stats.to_dict()
+        from repro.symexec import tuning as symexec_tuning
+
+        out["symexec"] = symexec_tuning.stats()
         return out
 
     # -- internals ----------------------------------------------------------------
@@ -842,7 +845,10 @@ class Controller:
     ) -> List[ReachResult]:
         checker = ReachabilityChecker(compiled.resolver)
         results: List[ReachResult] = []
-        engine = compiled.engine()
+        # The engine inherits the controller's observability bundle, so
+        # its explore spans nest under the admission span tree and the
+        # symexec_* counters land in the shared registry.
+        engine = compiled.engine(obs=self._obs)
         for requirement in itertools.chain(
             self.operator_requirements, client_requirements
         ):

@@ -20,6 +20,7 @@ from typing import Dict, List, Optional, Tuple
 from repro.common import fields as F
 from repro.common.errors import ConfigError
 from repro.common.intervals import IntervalSet
+from repro.symexec.tuning import OPT
 
 # Action kinds.
 ACTION_TO_MODULE = "to-module"
@@ -98,6 +99,10 @@ class FlowTable:
 
     def __init__(self):
         self._rules: List[FlowRule] = []
+        #: Bumped by every mutation; validates ``_branch_cache``.
+        self._version = 0
+        #: Memoized ``symbolic_branches`` result for ``_version``.
+        self._branch_cache: Optional[tuple] = None
 
     # -- management ---------------------------------------------------------
     def install(
@@ -116,12 +121,14 @@ class FlowTable:
         )
         self._rules.append(rule)
         self._rules.sort(key=lambda r: -r.priority)
+        self._version += 1
         return rule
 
     def remove(self, rule: FlowRule) -> bool:
         """Remove one rule; returns whether it was present."""
         try:
             self._rules.remove(rule)
+            self._version += 1
             return True
         except ValueError:
             return False
@@ -130,6 +137,7 @@ class FlowTable:
         """Remove every rule with a cookie; returns how many."""
         before = len(self._rules)
         self._rules = [r for r in self._rules if r.cookie != cookie]
+        self._version += 1
         return before - len(self._rules)
 
     @property
@@ -161,6 +169,11 @@ class FlowTable:
         whole -- a sound over-approximation for may-reachability
         (extra possible flows, never missing ones).
         """
+        if OPT.enabled:
+            cached = self._branch_cache
+            if cached is not None and cached[0] == self._version:
+                OPT.memo_hits += 1
+                return cached[1]
         branches: List[Tuple[Action, Dict[str, IntervalSet]]] = []
         for index, rule in enumerate(self._rules):
             residual = dict(rule.match)
@@ -178,6 +191,8 @@ class FlowTable:
                     break
             if not dead:
                 branches.append((rule.action, residual))
+        if OPT.enabled:
+            self._branch_cache = (self._version, branches)
         return branches
 
 

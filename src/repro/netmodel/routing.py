@@ -13,6 +13,7 @@ from typing import List, NamedTuple, Optional, Tuple
 
 from repro.common.addr import format_prefix, prefix_range
 from repro.common.intervals import IntervalSet
+from repro.symexec.tuning import OPT
 
 
 class Route(NamedTuple):
@@ -34,6 +35,12 @@ class RoutingTable:
 
     def __init__(self, routes: Optional[List[Route]] = None):
         self.routes: List[Route] = []
+        #: Bumped by every mutation; validates ``_split_cache``.
+        self._version = 0
+        #: Memoized ``symbolic_split`` result for ``_version``.
+        self._split_cache: Optional[
+            Tuple[int, List[Tuple[int, IntervalSet]]]
+        ] = None
         for route in routes or []:
             self.add(route.network, route.plen, route.out_port)
 
@@ -42,10 +49,12 @@ class RoutingTable:
         low, _ = prefix_range(network, plen)
         self.routes.append(Route(low, plen, out_port))
         self.routes.sort(key=lambda r: (-r.plen, r.network))
+        self._version += 1
 
     def remove_port(self, out_port: int) -> None:
         """Drop every route pointing at ``out_port``."""
         self.routes = [r for r in self.routes if r.out_port != out_port]
+        self._version += 1
 
     def lookup(self, address: int) -> Optional[int]:
         """Longest-prefix-match: the output port, or None (no route)."""
@@ -61,7 +70,18 @@ class RoutingTable:
         Branch sets are mutually disjoint and respect LPM: an address
         covered by a /24 and a /16 appears only in the /24's branch.
         Empty branches (fully shadowed routes) are omitted.
+
+        The split is a pure function of the route list, and router
+        models recompute it per symbolic arrival, so with the fast path
+        on the result is memoized; the cache is validated against a
+        version counter bumped by every ``add``/``remove_port``.
+        Callers must treat the returned list as read-only.
         """
+        if OPT.enabled:
+            cached = self._split_cache
+            if cached is not None and cached[0] == self._version:
+                OPT.memo_hits += 1
+                return cached[1]
         covered = IntervalSet.empty()
         branches: List[Tuple[int, IntervalSet]] = []
         for route in self.routes:  # most-specific first
@@ -72,6 +92,8 @@ class RoutingTable:
             )
             if not allowed.is_empty():
                 branches.append((route.out_port, allowed))
+        if OPT.enabled:
+            self._split_cache = (self._version, branches)
         return branches
 
     def __len__(self) -> int:

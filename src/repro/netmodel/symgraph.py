@@ -50,6 +50,7 @@ from repro.symexec.engine import (
     TraceEntry,
 )
 from repro.symexec.models import flows_matching, model_for
+from repro.symexec.tuning import OPT
 
 #: Platform pseudo-port bases (topology uplink ports stay below these).
 MODULE_INGRESS_BASE = 1000
@@ -64,9 +65,47 @@ def _endpoint_model(ctx, node, port, flow):
 def _router_model(ctx, node, port, flow):
     table = ctx.graph.payloads[node]
     results = []
-    branches = table.symbolic_split()
+    if OPT.enabled:
+        # Inline symbolic_split's memo-hit path: this runs for every
+        # symbolic arrival at every router, and the extra call is
+        # measurable on large topologies.
+        cached = table._split_cache
+        if cached is not None and cached[0] == table._version:
+            OPT.memo_hits += 1
+            branches = cached[1]
+        else:
+            branches = table.symbolic_split()
+        variable = flow.packet.var(F.IP_DST)
+        if variable is not None:
+            # Prune fork branches whose destination set cannot overlap
+            # the flow's current ip_dst domain: the seed engine forks
+            # them and immediately kills the fork inside this model,
+            # which is invisible.  Only fork branches (all but the
+            # last) are prunable -- the last branch reuses the
+            # in-place flow, and the seed's in-place constrain,
+            # including the dead-flow state it leaves behind when the
+            # branch is infeasible, must be reproduced exactly.  The
+            # precheck intersect is reused by ``constrain`` through
+            # the interval result cache.
+            current = flow.domain(variable)
+            last = len(branches) - 1
+            for index, (out_port, allowed) in enumerate(branches):
+                if index < last and (
+                    current.intersect(allowed).is_empty()
+                ):
+                    OPT.prunes += 1
+                    continue
+                target = flow if index == last else flow.fork()
+                if target.constrain(variable, allowed):
+                    results.append((out_port, target))
+            return results
+        # ip_dst untracked: fall through so constrain_field raises the
+        # same VerificationError the seed engine raises.
+    else:
+        branches = table.symbolic_split()
+    last = len(branches) - 1
     for index, (out_port, allowed) in enumerate(branches):
-        fork = flow if index == len(branches) - 1 else flow.fork()
+        fork = flow if index == last else flow.fork()
         if fork.constrain_field(F.IP_DST, allowed):
             results.append((out_port, fork))
     return results
@@ -106,6 +145,12 @@ class _PlatformState:
         self.platform = platform
         self.uplink_port = uplink_port
         self.module_order = module_order  # deterministic pseudo-ports
+        #: Memoized (raw branches identity, module order, result) for
+        #: :meth:`module_branches`.
+        self._demux_cache: Optional[tuple] = None
+        #: Memoized (module snapshot, complement set) for
+        #: :meth:`egress_complement`.
+        self._egress_cache: Optional[tuple] = None
 
     def module_branches(
         self,
@@ -114,20 +159,53 @@ class _PlatformState:
 
         Read from the platform's OpenFlow-style table, so the symbolic
         demux follows exactly the rules the controller installed.
+        Memoized under the fast path: valid while the flow table hands
+        back the same (memoized) branch list and the module order is
+        unchanged -- any install/remove or (un)graft invalidates it.
         """
         from repro.netmodel.flowtable import ACTION_TO_MODULE
 
+        raw = self.platform.flow_table.symbolic_branches()
+        order = self.module_order
+        if OPT.enabled:
+            cached = self._demux_cache
+            if (
+                cached is not None
+                and cached[0] is raw
+                and cached[1] == order
+            ):
+                OPT.memo_hits += 1
+                return cached[2]
         branches = []
-        for action, residual in (
-            self.platform.flow_table.symbolic_branches()
-        ):
+        for action, residual in raw:
             if action.kind != ACTION_TO_MODULE:
                 continue
-            if action.target not in self.module_order:
+            if action.target not in order:
                 continue
-            index = self.module_order.index(action.target)
+            index = order.index(action.target)
             branches.append((MODULE_INGRESS_BASE + index, residual))
+        if OPT.enabled:
+            self._demux_cache = (raw, list(order), branches)
         return branches
+
+    def egress_complement(self) -> IntervalSet:
+        """Destinations that leave via the uplink (not a co-located
+        module's address); memoized per module-address set."""
+        modules = self.platform.modules
+        key = tuple(sorted(
+            (name, addr) for name, (addr, _cfg) in modules.items()
+        ))
+        if OPT.enabled:
+            cached = self._egress_cache
+            if cached is not None and cached[0] == key:
+                OPT.memo_hits += 1
+                return cached[1]
+        complement = IntervalSet.from_interval(
+            0, (1 << 32) - 1
+        ).subtract(IntervalSet.from_values(addr for _name, addr in key))
+        if OPT.enabled:
+            self._egress_cache = (key, complement)
+        return complement
 
 
 def _platform_model(ctx, node, port, flow):
@@ -136,11 +214,29 @@ def _platform_model(ctx, node, port, flow):
     branches = state.module_branches()
     remaining = flow
     from_module = port >= MODULE_EGRESS_BASE
+    opt = OPT.enabled
     for ingress_port, residual in branches:
         if from_module and ingress_port == (
             port - MODULE_EGRESS_BASE + MODULE_INGRESS_BASE
         ):
             continue  # no self-hairpin: a module never feeds itself
+        if opt:
+            # Demux branches are always forks, so an infeasible
+            # residual can be pruned before forking (the seed engine
+            # forked, constrained to death, and dropped it here).
+            infeasible = False
+            for field_name, allowed in residual.items():
+                variable = remaining.packet.var(field_name)
+                if variable is None:
+                    break  # fork path raises, exactly like seed
+                if remaining.domain(variable).intersect(
+                    allowed
+                ).is_empty():
+                    infeasible = True
+                    break
+            if infeasible:
+                OPT.prunes += 1
+                continue
         fork = remaining.fork()
         alive = True
         for field_name, allowed in residual.items():
@@ -152,14 +248,8 @@ def _platform_model(ctx, node, port, flow):
     if from_module:
         # Module egress not destined to a co-located module leaves via
         # the uplink; the upstream router takes over.
-        module_addresses = IntervalSet.from_values(
-            addr for addr, _cfg in state.platform.modules.values()
-        )
         if remaining.constrain_field(
-            F.IP_DST,
-            IntervalSet.from_interval(0, (1 << 32) - 1).subtract(
-                module_addresses
-            ),
+            F.IP_DST, state.egress_complement()
         ):
             results.append((state.uplink_port, remaining))
     # Traffic arriving on the uplink that matches no module is dropped
@@ -382,6 +472,10 @@ def merge_explorations(target: Exploration, part: Exploration) -> None:
     target.delivered.extend(part.delivered)
     target.dropped.extend(part.dropped)
     target.steps += part.steps
+    target.forks += part.forks
+    target.pruned += part.pruned
+    target.memo_hits += part.memo_hits
+    target.cow_copies += part.cow_copies
 
 
 class NetworkCompiler:

@@ -383,6 +383,10 @@ class Network:
         platform never changes inter-node routing (the platform owns
         its whole pool prefix), which is exactly the route-recompute
         elision the admission fast path relies on.
+
+        Deliberately *not* memoized on the epoch: callers rely on the
+        signature noticing out-of-band surgery on ``links``/``nodes``
+        that never called :meth:`bump_epoch`.
         """
         link_part = tuple(sorted(
             (l.a, l.a_port, l.b, l.b_port) for l in self.links

@@ -60,6 +60,25 @@ _PROTO_WORDS = {
     "gre": pkt.GRE,
 }
 
+# Clause negation is a pure function of the clause's (immutable)
+# constraint map, so the DNF complement each symbolic classifier model
+# computes per flow can be cached on the clause itself.  The switch
+# exists so the symexec seed-mode baseline (repro.symexec.tuning) can
+# restore compute-per-call behavior for differential comparison.
+_NEGATION_CACHE_ENABLED = True
+_NEGATION_CACHE_HITS = 0
+
+
+def set_negation_cache(enabled: bool) -> None:
+    """Switch per-clause negation memoization on or off."""
+    global _NEGATION_CACHE_ENABLED
+    _NEGATION_CACHE_ENABLED = bool(enabled)
+
+
+def negation_cache_hits() -> int:
+    """How many times a memoized clause negation was reused."""
+    return _NEGATION_CACHE_HITS
+
 
 class Clause:
     """A conjunction of per-field membership constraints.
@@ -67,10 +86,12 @@ class Clause:
     An empty constraint map means "match everything".
     """
 
-    __slots__ = ("_constraints",)
+    __slots__ = ("_constraints", "_negated")
 
     def __init__(self, constraints: Optional[Dict[str, IntervalSet]] = None):
         self._constraints: Dict[str, IntervalSet] = dict(constraints or {})
+        #: Memoized result of :meth:`negated_clauses` (None = not yet).
+        self._negated: Optional[List["Clause"]] = None
 
     @property
     def constraints(self) -> Dict[str, IntervalSet]:
@@ -109,12 +130,22 @@ class Clause:
         return tuple(self._constraints.items())
 
     def negated_clauses(self) -> List["Clause"]:
-        """De Morgan: NOT(a AND b) = (NOT a) OR (NOT b)."""
+        """De Morgan: NOT(a AND b) = (NOT a) OR (NOT b).
+
+        Memoized on the clause (constraints are fixed at construction);
+        callers must treat the returned list as read-only.
+        """
+        global _NEGATION_CACHE_HITS
+        if _NEGATION_CACHE_ENABLED and self._negated is not None:
+            _NEGATION_CACHE_HITS += 1
+            return self._negated
         out = []
         for field, allowed in self._constraints.items():
             universe = FIELD_UNIVERSES[field]
             complement = universe.subtract(allowed)
             out.append(Clause({field: complement}))
+        if _NEGATION_CACHE_ENABLED:
+            self._negated = out
         return out
 
     def __repr__(self) -> str:

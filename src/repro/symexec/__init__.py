@@ -26,6 +26,7 @@ from repro.symexec.engine import (
 )
 from repro.symexec.equivalence import (
     EquivalenceResult,
+    canonical_flow,
     configs_equivalent,
     explorations_equivalent,
     flow_signature,
@@ -37,6 +38,14 @@ from repro.symexec.reachability import (
     ReachResult,
 )
 from repro.symexec.sympacket import SymPacket, SymVar, VarFactory
+from repro.symexec.tuning import (
+    counters,
+    optimizations_enabled,
+    reset_counters,
+    seed_mode,
+    set_optimizations,
+    stats,
+)
 
 __all__ = [
     "SymVar",
@@ -49,6 +58,7 @@ __all__ = [
     "TraceEntry",
     "model_for",
     "EquivalenceResult",
+    "canonical_flow",
     "configs_equivalent",
     "explorations_equivalent",
     "flow_signature",
@@ -56,4 +66,10 @@ __all__ = [
     "ReachabilityChecker",
     "ReachResult",
     "InvariantViolation",
+    "counters",
+    "optimizations_enabled",
+    "reset_counters",
+    "seed_mode",
+    "set_optimizations",
+    "stats",
 ]

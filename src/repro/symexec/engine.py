@@ -18,12 +18,15 @@ flows stays proportional to real forwarding alternatives.
 
 from __future__ import annotations
 
-from typing import Callable, Dict, List, NamedTuple, Optional, Tuple
+from typing import (
+    Callable, Dict, List, NamedTuple, Optional, Tuple,
+)
 
 from repro.common.errors import VerificationError
 from repro.common.intervals import IntervalSet
 from repro.policy.flowspec import Clause, FlowSpec
 from repro.symexec.sympacket import SymPacket, SymVar, VarFactory
+from repro.symexec.tuning import OPT
 
 
 class TraceEntry(NamedTuple):
@@ -47,9 +50,19 @@ class WriteRecord(NamedTuple):
 
 
 class SymFlow:
-    """One symbolic flow: packet bindings + constraints + history."""
+    """One symbolic flow: packet bindings + constraints + history.
 
-    __slots__ = ("packet", "domains", "trace", "writes", "alive")
+    The domains dict and the trace/write logs are plain builtins, but
+    with the fast path on :meth:`fork` shares them between both flows
+    and raises the ``_domains_shared`` / ``_history_shared`` flags;
+    every mutator checks its flag and copies first (copy-on-write).
+    Readers never pay anything -- they see ordinary dicts and lists.
+    """
+
+    __slots__ = (
+        "packet", "domains", "trace", "writes", "alive",
+        "_domains_shared", "_history_shared",
+    )
 
     def __init__(self, packet: SymPacket):
         self.packet = packet
@@ -58,6 +71,8 @@ class SymFlow:
         self.trace: List[TraceEntry] = []
         self.writes: List[WriteRecord] = []
         self.alive = True
+        self._domains_shared = False
+        self._history_shared = False
 
     # -- constraints --------------------------------------------------------
     def domain(self, variable: SymVar) -> IntervalSet:
@@ -73,8 +88,23 @@ class SymFlow:
 
     def constrain(self, variable: SymVar, allowed: IntervalSet) -> bool:
         """Intersect a variable's domain; False when it becomes empty."""
-        narrowed = self.domain(variable).intersect(allowed)
-        self.domains[variable.uid] = narrowed
+        domains = self.domains
+        uid = variable.uid
+        current = domains.get(uid)
+        if current is None:
+            narrowed = variable.universe.intersect(allowed)
+        else:
+            narrowed = current.intersect(allowed)
+        # With interned results, a vacuous narrowing returns the stored
+        # object itself; skipping the store then avoids a pointless
+        # copy-on-write materialization.  (Never skipped in seed mode:
+        # uncached intersect always allocates.)
+        if narrowed is not current:
+            if self._domains_shared:
+                domains = self.domains = dict(domains)
+                self._domains_shared = False
+                OPT.cow_copies += 1
+            domains[uid] = narrowed
         if narrowed.is_empty():
             self.alive = False
             return False
@@ -95,11 +125,26 @@ class SymFlow:
         return True
 
     # -- writes --------------------------------------------------------------
+    def _own_history(self) -> None:
+        """Materialize private trace/write logs (undo COW sharing)."""
+        self.trace = list(self.trace)
+        self.writes = list(self.writes)
+        self._history_shared = False
+        OPT.cow_copies += 1
+
+    def record_write(self, record: "WriteRecord") -> None:
+        """Append to the write log (copy-on-write safe)."""
+        if self._history_shared:
+            self._own_history()
+        self.writes.append(record)
+
     def write_field(
         self, field: str, variable: SymVar, node: Optional[str] = None
     ) -> None:
         """Bind ``field`` to ``variable`` and log the redefinition."""
         old = self.packet.var(field)
+        if self._history_shared:
+            self._own_history()
         self.writes.append(
             WriteRecord(
                 at=len(self.trace) - 1,
@@ -123,12 +168,31 @@ class SymFlow:
 
     # -- lifecycle ---------------------------------------------------------------
     def fork(self) -> "SymFlow":
-        """An independent copy sharing no mutable state."""
-        clone = SymFlow(self.packet.copy())
-        clone.domains = dict(self.domains)
-        clone.trace = list(self.trace)
-        clone.writes = list(self.writes)
+        """An observably independent copy of this flow.
+
+        Seed mode copies everything eagerly.  With the fast path on,
+        the fork is O(1): both flows keep referencing the same domains
+        dict and trace/write lists, and both raise their shared flags,
+        so whichever side mutates a structure first copies it then
+        (the common fork-then-die case never copies anything).  Either
+        way, mutations on one side are never visible on the other.
+        """
+        OPT.forks += 1
+        if not OPT.enabled:
+            clone = SymFlow(self.packet.copy())
+            clone.domains = dict(self.domains)
+            clone.trace = list(self.trace)
+            clone.writes = list(self.writes)
+            clone.alive = self.alive
+            return clone
+        clone = SymFlow.__new__(SymFlow)
+        clone.packet = self.packet.copy()
+        clone.domains = self.domains
+        clone.trace = self.trace
+        clone.writes = self.writes
         clone.alive = self.alive
+        self._domains_shared = clone._domains_shared = True
+        self._history_shared = clone._history_shared = True
         return clone
 
     def matches_spec(self, spec: FlowSpec) -> bool:
@@ -296,6 +360,13 @@ class Exploration:
         self.dropped: List[SymFlow] = []
         #: Total model evaluations (the linear cost the paper measures).
         self.steps = 0
+        #: Fast-path accounting (deltas of the tuning counters over this
+        #: exploration): flow forks, branches pruned before forking,
+        #: element-model memo hits, and copy-on-write materializations.
+        self.forks = 0
+        self.pruned = 0
+        self.memo_hits = 0
+        self.cow_copies = 0
 
     def flows_at(self, node: str, port: Optional[int] = None
                  ) -> List[SymFlow]:
@@ -325,12 +396,39 @@ class SymbolicEngine:
         factory: Optional[VarFactory] = None,
         max_steps: int = 200_000,
         max_hops: int = 4_096,
+        obs=None,
     ):
+        from repro.obs import NULL_OBSERVABILITY
+
         self.graph = graph
         self.factory = factory or VarFactory()
         self.max_steps = max_steps
         self.max_hops = max_hops
         self.context = ModelContext(graph, self.factory)
+        #: Observability bundle; defaults to the shared no-op bundle so
+        #: the hot loop never branches on presence.
+        self.obs = obs if obs is not None else NULL_OBSERVABILITY
+        metrics = self.obs.metrics
+        self._c_explorations = metrics.counter(
+            "symexec_explorations_total", "Symbolic explorations run"
+        )
+        self._c_steps = metrics.counter(
+            "symexec_steps_total", "Symbolic model evaluations"
+        )
+        self._c_forks = metrics.counter(
+            "symexec_forks_total", "Symbolic flow forks"
+        )
+        self._c_prunes = metrics.counter(
+            "symexec_prunes_total",
+            "Infeasible branches pruned before forking",
+        )
+        self._c_memo = metrics.counter(
+            "symexec_memo_hits_total", "Element-model memoization hits"
+        )
+        self._c_cow = metrics.counter(
+            "symexec_cow_copies_total",
+            "Copy-on-write materializations of forked flow state",
+        )
 
     def fresh_packet(self) -> SymPacket:
         """A fully-unconstrained symbolic packet."""
@@ -353,7 +451,7 @@ class SymbolicEngine:
             flow = SymFlow(self.fresh_packet())
         result = Exploration()
         worklist: List[Tuple[str, int, SymFlow]] = [(node, port, flow)]
-        return self._explore(worklist, result)
+        return self._explore_tracked(worklist, result, node)
 
     def inject_departure(
         self, node: str, flow: Optional[SymFlow] = None
@@ -368,6 +466,8 @@ class SymbolicEngine:
             raise VerificationError("inject at unknown node %r" % (node,))
         if flow is None:
             flow = SymFlow(self.fresh_packet())
+        if flow._history_shared:
+            flow._own_history()
         flow.trace.append(TraceEntry(node, -1, flow.packet.snapshot()))
         result = Exploration()
         result.arrivals.setdefault((node, -1), []).append(flow)
@@ -379,50 +479,108 @@ class SymbolicEngine:
             worklist.append((nxt[0], nxt[1], branch))
         if not worklist:
             result.dropped.append(flow)
-        return self._explore(worklist, result)
+        return self._explore_tracked(worklist, result, node)
+
+    def _explore_tracked(
+        self,
+        worklist: List[Tuple[str, int, SymFlow]],
+        result: Exploration,
+        origin: str,
+    ) -> Exploration:
+        """Run :meth:`_explore` under an ``explore`` span, attributing
+        the tuning-counter deltas to this exploration."""
+        forks0 = OPT.forks
+        prunes0 = OPT.prunes
+        memo0 = OPT.memo_hits
+        cow0 = OPT.cow_copies
+        with self.obs.tracer.span("explore", node=origin) as span:
+            self._explore(worklist, result)
+            result.forks += OPT.forks - forks0
+            result.pruned += OPT.prunes - prunes0
+            result.memo_hits += OPT.memo_hits - memo0
+            result.cow_copies += OPT.cow_copies - cow0
+            span.set("steps", result.steps)
+            span.set("forks", result.forks)
+            span.set("pruned", result.pruned)
+            span.set("memo_hits", result.memo_hits)
+            span.set("delivered", len(result.delivered))
+            span.set("dropped", len(result.dropped))
+        self._c_explorations.inc()
+        self._c_steps.inc(result.steps)
+        self._c_forks.inc(result.forks)
+        self._c_prunes.inc(result.pruned)
+        self._c_memo.inc(result.memo_hits)
+        self._c_cow.inc(result.cow_copies)
+        return result
 
     def _explore(
         self,
         worklist: List[Tuple[str, int, SymFlow]],
         result: Exploration,
     ) -> Exploration:
-        while worklist:
-            current_node, in_port, current = worklist.pop()
-            if not current.alive:
-                result.dropped.append(current)
-                continue
-            if len(current.trace) >= self.max_hops:
-                raise VerificationError(
-                    "flow exceeded %d hops (loop in the model graph?)"
-                    % self.max_hops
-                )
-            result.steps += 1
-            if result.steps > self.max_steps:
-                raise VerificationError(
-                    "exploration exceeded %d steps" % self.max_steps
-                )
-            current.trace.append(
-                TraceEntry(current_node, in_port,
-                           current.packet.snapshot())
-            )
-            result.arrivals.setdefault(
-                (current_node, in_port), []
-            ).append(current)
-            if self.graph.sinks[current_node]:
-                result.delivered.append(current)
-                continue
-            model = self.graph.models[current_node]
-            outputs = model(self.context, current_node, in_port, current)
-            if not outputs:
-                result.dropped.append(current)
-                continue
-            for out_port, out_flow in outputs:
-                if not out_flow.alive:
-                    result.dropped.append(out_flow)
+        # The worklist loop runs once per model evaluation in *both*
+        # modes (pruning never changes the step count), so everything
+        # here is hoisted into locals: each lookup saved is saved for
+        # every step of every exploration.
+        graph = self.graph
+        models = graph.models
+        sinks = graph.sinks
+        edges_get = graph.edges.get
+        context = self.context
+        max_hops = self.max_hops
+        max_steps = self.max_steps
+        arrivals_setdefault = result.arrivals.setdefault
+        delivered_append = result.delivered.append
+        dropped_append = result.dropped.append
+        worklist_pop = worklist.pop
+        worklist_append = worklist.append
+        entry_cls = TraceEntry
+        steps = result.steps
+        try:
+            while worklist:
+                current_node, in_port, current = worklist_pop()
+                if not current.alive:
+                    dropped_append(current)
                     continue
-                nxt = self.graph.successor(current_node, out_port)
-                if nxt is None:
-                    result.dropped.append(out_flow)
+                if len(current.trace) >= max_hops:
+                    raise VerificationError(
+                        "flow exceeded %d hops (loop in the model"
+                        " graph?)" % max_hops
+                    )
+                steps += 1
+                if steps > max_steps:
+                    raise VerificationError(
+                        "exploration exceeded %d steps" % max_steps
+                    )
+                if current._history_shared:
+                    current._own_history()
+                packet = current.packet
+                snap = packet._snapshot
+                if snap is None:  # always taken in seed mode
+                    snap = packet.snapshot()
+                current.trace.append(
+                    entry_cls(current_node, in_port, snap)
+                )
+                arrivals_setdefault(
+                    (current_node, in_port), []
+                ).append(current)
+                if sinks[current_node]:
+                    delivered_append(current)
                     continue
-                worklist.append((nxt[0], nxt[1], out_flow))
+                model = models[current_node]
+                outputs = model(context, current_node, in_port, current)
+                if not outputs:
+                    dropped_append(current)
+                    continue
+                for out_port, out_flow in outputs:
+                    if not out_flow.alive:
+                        dropped_append(out_flow)
+                        continue
+                    nxt = edges_get((current_node, out_port))
+                    if nxt is None:
+                        dropped_append(out_flow)
+                        continue
+                    worklist_append((nxt[0], nxt[1], out_flow))
+        finally:
+            result.steps = steps
         return result

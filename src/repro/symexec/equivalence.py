@@ -32,6 +32,49 @@ from repro.symexec.reachability import domain_at
 DEFAULT_FIELDS = F.HEADER_FIELDS
 
 
+def canonical_flow(flow: SymFlow) -> Tuple:
+    """A process-independent, hashable rendering of one flow.
+
+    Variable uids come from a process-global counter, so two runs of
+    the *same* exploration (e.g. seed mode vs. the fast path in a
+    differential test) bind different absolute uids.  This renames
+    every uid in first-seen order -- scanning the trace snapshots hop
+    by hop, then the write log -- which is stable across runs because
+    both modes explore paths in the same order.  Two flows with equal
+    canonical forms have byte-for-byte identical traces, write logs,
+    final domains, and liveness up to uid renaming.
+    """
+    rename: Dict[int, int] = {}
+
+    def canon(uid: Optional[int]) -> Optional[int]:
+        if uid is None:
+            return None
+        if uid not in rename:
+            rename[uid] = len(rename)
+        return rename[uid]
+
+    trace = tuple(
+        (
+            entry.node,
+            entry.port,
+            tuple(
+                (name, canon(uid))
+                for name, uid in entry.snapshot.items()
+            ),
+        )
+        for entry in flow.trace
+    )
+    writes = tuple(
+        (w.at, w.node, w.field, canon(w.old_uid), canon(w.new_uid))
+        for w in flow.writes
+    )
+    domains = tuple(sorted(
+        (canon(uid), value.intervals)
+        for uid, value in flow.domains.items()
+    ))
+    return (trace, writes, domains, flow.alive)
+
+
 def flow_signature(
     flow: SymFlow,
     fields: Tuple[str, ...] = DEFAULT_FIELDS,

@@ -31,6 +31,7 @@ from repro.common.intervals import IntervalSet
 from repro.policy.flowspec import Clause, FlowSpec
 from repro.symexec.engine import ModelContext, SymFlow
 from repro.symexec.sympacket import SymVar
+from repro.symexec.tuning import OPT
 
 Model = Callable[[ModelContext, str, int, SymFlow],
                  List[Tuple[int, SymFlow]]]
@@ -129,10 +130,43 @@ def set_fresh(
     return fresh
 
 
+def clause_infeasible(flow: SymFlow, clause: Clause) -> bool:
+    """Whether ``clause`` provably empties ``flow`` (prune before fork).
+
+    Checks each constrained field against the flow's *current* domain:
+    if any single intersection is empty, constraining a fork would kill
+    it, so the fork can be skipped outright.  Conservative the other
+    way -- aliased fields (two fields bound to one variable) may still
+    die under the full sequential narrowing, which the real
+    ``constrain_clause`` then catches exactly as the seed engine did.
+    Fields the packet does not carry make the check pass so the fork
+    path can raise the same error the seed engine raises.
+    """
+    packet_var = flow.packet.var
+    domain = flow.domain
+    for field, allowed in clause.constraint_items():
+        variable = packet_var(field)
+        if variable is None:
+            return False
+        if domain(variable).intersect(allowed).is_empty():
+            return True
+    return False
+
+
 def flows_matching(flow: SymFlow, spec: FlowSpec) -> List[SymFlow]:
-    """Forks of ``flow`` constrained to each satisfiable clause."""
+    """Forks of ``flow`` constrained to each satisfiable clause.
+
+    With the fast path on, clauses that provably empty the flow are
+    pruned before forking.  A pruned fork is exactly one the seed
+    engine would have created, constrained to death, and discarded
+    inside this function -- it never escapes to the caller either way.
+    """
     out: List[SymFlow] = []
+    opt = OPT.enabled
     for clause in spec.clauses:
+        if opt and clause_infeasible(flow, clause):
+            OPT.prunes += 1
+            continue
         fork = flow.fork()
         if fork.constrain_clause(clause):
             out.append(fork)
@@ -142,10 +176,15 @@ def flows_matching(flow: SymFlow, spec: FlowSpec) -> List[SymFlow]:
 def flows_not_matching(flow: SymFlow, spec: FlowSpec) -> List[SymFlow]:
     """Forks of ``flow`` constrained to the spec's complement (DNF)."""
     remaining = [flow.fork()]
+    opt = OPT.enabled
     for clause in spec.clauses:
+        negations = clause.negated_clauses()
         next_remaining: List[SymFlow] = []
         for candidate in remaining:
-            for negated in clause.negated_clauses():
+            for negated in negations:
+                if opt and clause_infeasible(candidate, negated):
+                    OPT.prunes += 1
+                    continue
                 fork = candidate.fork()
                 if fork.constrain_clause(negated):
                     next_remaining.append(fork)
@@ -232,11 +271,16 @@ def _model_paint(ctx, node, port, flow):
 
 @register_model("PaintSwitch")
 def _model_paintswitch(ctx, node, port, flow):
-    ensure_field(ctx, flow, "paint")
+    variable = ensure_field(ctx, flow, "paint")
+    opt = OPT.enabled
     results = []
     for out_port in ctx.graph.connected_outputs(node) or [0]:
+        allowed = IntervalSet.single(out_port)
+        if opt and flow.domain(variable).intersect(allowed).is_empty():
+            OPT.prunes += 1
+            continue
         fork = flow.fork()
-        if fork.constrain_field("paint", IntervalSet.single(out_port)):
+        if fork.constrain_field("paint", allowed):
             results.append((out_port, fork))
     return results
 
@@ -326,10 +370,18 @@ def _model_settpsrc(ctx, node, port, flow):
 def _model_deciPttl(ctx, node, port, flow):
     results = []
     if ctx.graph.successor(node, 1) is not None:
-        expired = flow.fork()
-        if expired.constrain_field(F.IP_TTL,
-                                   IntervalSet.from_interval(0, 1)):
-            results.append((1, expired))
+        expiry_range = IntervalSet.from_interval(0, 1)
+        ttl_var = flow.packet.var(F.IP_TTL)
+        if (
+            OPT.enabled
+            and ttl_var is not None
+            and flow.domain(ttl_var).intersect(expiry_range).is_empty()
+        ):
+            OPT.prunes += 1
+        else:
+            expired = flow.fork()
+            if expired.constrain_field(F.IP_TTL, expiry_range):
+                results.append((1, expired))
     survivor = flow
     if survivor.constrain_field(F.IP_TTL,
                                 IntervalSet.from_interval(2, 255)):
@@ -427,7 +479,7 @@ def _encap_with_writes(ctx, node, flow, outer_consts):
     flow.packet.encapsulate(outer_vars)
     for field, variable in outer_vars.items():
         previous = old.get(field)
-        flow.writes.append(
+        flow.record_write(
             WriteRecord(
                 at=len(flow.trace) - 1,
                 node=node,
@@ -449,7 +501,7 @@ def _model_ipdecap(ctx, node, port, flow):
         for field, variable in flow.packet.vars.items():
             previous = before.get(field)
             if previous is None or previous.uid != variable.uid:
-                flow.writes.append(
+                flow.record_write(
                     WriteRecord(
                         at=len(flow.trace) - 1,
                         node=node,

@@ -94,7 +94,11 @@ def domain_at(
     flow: SymFlow, snapshot: Dict[str, int], field_name: str
 ) -> Optional[IntervalSet]:
     """Domain of ``field_name``'s variable as bound at a trace entry,
-    under the flow's final path condition.  None if untracked there."""
+    under the flow's final path condition.  None if untracked there.
+
+    ``flow.domains`` may be a copy-on-write mapping (forked flows share
+    storage); only ``get``-style reads are valid here.
+    """
     uid = snapshot.get(field_name)
     if uid is None:
         return None

@@ -20,6 +20,7 @@ from typing import Dict, Iterable, List, Optional
 
 from repro.common import fields as F
 from repro.common.intervals import IntervalSet
+from repro.symexec.tuning import OPT
 
 #: Universe of each canonical field (mirrors the policy language).
 FIELD_UNIVERSES: Dict[str, IntervalSet] = {
@@ -86,13 +87,23 @@ class SymPacket:
     Instances are mutated by element models via :meth:`bind`; flows copy
     them before branching (:meth:`copy` is shallow over variables, which
     are immutable).
+
+    With the fast path on (:data:`repro.symexec.tuning.OPT`), copies
+    share the binding dict copy-on-write -- a fork only pays for the
+    dict when one side later rebinds a field -- and :meth:`snapshot`
+    caches its field->uid dict until the next binding change.
     """
 
-    __slots__ = ("vars", "encap_stack")
+    __slots__ = ("vars", "encap_stack", "_shared", "_snapshot")
 
     def __init__(self, variables: Optional[Dict[str, SymVar]] = None):
         self.vars: Dict[str, SymVar] = dict(variables or {})
         self.encap_stack: List[Dict[str, SymVar]] = []
+        #: True while ``vars`` may be shared with a copy (materialize
+        #: before mutating).
+        self._shared = False
+        #: Cached :meth:`snapshot` dict (None = recompute).
+        self._snapshot: Optional[Dict[str, int]] = None
 
     @classmethod
     def fresh(
@@ -111,14 +122,30 @@ class SymPacket:
 
     def bind(self, field: str, variable: SymVar) -> None:
         """Bind ``field`` to ``variable`` (aliasing when shared)."""
+        if self._shared:
+            self.vars = dict(self.vars)
+            self._shared = False
+            OPT.cow_copies += 1
         self.vars[field] = variable
+        self._snapshot = None
 
     def fields(self) -> List[str]:
         """All fields carried by this packet."""
         return list(self.vars)
 
     def copy(self) -> "SymPacket":
-        clone = SymPacket(self.vars)
+        clone = SymPacket.__new__(SymPacket)
+        if OPT.enabled:
+            # Copy-on-write: share the binding dict (and the cached
+            # snapshot, which only depends on it) until a bind().
+            clone.vars = self.vars
+            clone._shared = True
+            self._shared = True
+            clone._snapshot = self._snapshot
+        else:
+            clone.vars = dict(self.vars)
+            clone._shared = False
+            clone._snapshot = None
         clone.encap_stack = [dict(layer) for layer in self.encap_stack]
         return clone
 
@@ -126,14 +153,23 @@ class SymPacket:
     def encapsulate(self, outer: Dict[str, SymVar]) -> None:
         """Push current bindings, then install the outer header's."""
         self.encap_stack.append(dict(self.vars))
+        if self._shared:
+            self.vars = dict(self.vars)
+            self._shared = False
+            OPT.cow_copies += 1
         for field, variable in outer.items():
             self.vars[field] = variable
+        self._snapshot = None
 
     def decapsulate(self) -> bool:
         """Restore the saved inner header; False when nothing to pop."""
         if not self.encap_stack:
             return False
+        # Popped layers are private copies (pushed and cloned as fresh
+        # dicts), so ownership transfers to this packet.
         self.vars = self.encap_stack.pop()
+        self._shared = False
+        self._snapshot = None
         return True
 
     @property
@@ -142,8 +178,19 @@ class SymPacket:
         return len(self.encap_stack)
 
     def snapshot(self) -> Dict[str, int]:
-        """field -> variable uid, used for invariant checking."""
-        return {field: var.uid for field, var in self.vars.items()}
+        """field -> variable uid, used for invariant checking.
+
+        With the fast path on the dict is cached (and shared between
+        trace entries taken under the same bindings); treat it as
+        read-only.  Seed mode rebuilds it per call, as before.
+        """
+        if not OPT.enabled:
+            return {field: var.uid for field, var in self.vars.items()}
+        snap = self._snapshot
+        if snap is None:
+            snap = {field: var.uid for field, var in self.vars.items()}
+            self._snapshot = snap
+        return snap
 
     def __repr__(self) -> str:
         inner = ", ".join(

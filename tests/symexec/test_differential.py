@@ -1,0 +1,175 @@
+"""Differential tests: the fast path is byte-for-byte the seed engine.
+
+Every optimization behind :data:`repro.symexec.tuning.OPT` --
+copy-on-write forking, interned interval domains, memoized element
+models, infeasible-branch pruning -- claims to change *cost only*.
+These tests hold it to that: each scenario runs twice, once optimized
+and once under :func:`seed_mode`, and the two explorations must agree
+on every delivered and dropped flow's trace, write log, domains and
+liveness (via :func:`canonical_flow`, which renames variable uids in
+first-seen order so process-global uid allocation cannot hide or fake
+a difference), in the same order, with the same step count.
+"""
+
+import pytest
+
+from repro.click import parse_config
+from repro.core import ClientRequest, Controller, ROLE_CLIENT
+from repro.netmodel import NetworkCompiler
+from repro.netmodel.examples import figure3_network, linear_network
+from repro.policy import parse_requirement
+from repro.symexec import SymbolicEngine, SymGraph, canonical_flow
+from repro.symexec.reachability import ReachabilityChecker
+from repro.symexec.tuning import seed_mode
+
+FIGURE4_SOURCE = """
+    FromNetfront() ->
+    IPFilter(allow udp port 1500) ->
+    IPRewriter(pattern - - 172.16.15.133 - 0 0)
+    -> TimedUnqueue(120, 100)
+    -> dst :: ToNetfront();
+"""
+
+
+def canonical_exploration(exploration):
+    """Order-preserving canonical form of a whole exploration."""
+    return (
+        tuple(canonical_flow(f) for f in exploration.delivered),
+        tuple(canonical_flow(f) for f in exploration.dropped),
+        exploration.steps,
+    )
+
+
+def explore_network(net, requirement_text):
+    compiled = NetworkCompiler(net).compile()
+    requirement = parse_requirement(requirement_text)
+    exploration = compiled.explore_from(
+        requirement.origin.node, requirement.origin.flow
+    )
+    verdict = ReachabilityChecker(compiled.resolver).check(
+        requirement, exploration
+    )
+    return canonical_exploration(exploration), (
+        verdict.satisfied, verdict.reason
+    )
+
+
+#: (network factory, requirement) -- one entry per policy shape the
+#: test suite exercises: plain reach, flow-constrained reach, reverse
+#: direction, isolation that holds, isolation that fails with
+#: witnesses, and a vacuously-isolated flow class.
+NETWORK_SCENARIOS = [
+    (figure3_network, "reach from internet -> client"),
+    (figure3_network, "reach from internet udp -> client dst port 1500"),
+    (figure3_network, "reach from client -> internet"),
+    (figure3_network, "isolate from internet -> platform1"),
+    (figure3_network, "isolate from internet -> client"),
+    (figure3_network,
+     "isolate from internet udp dst port 1 -> client dst port 2"),
+    (lambda: linear_network(15), "reach from internet udp -> client"),
+    (lambda: linear_network(15), "reach from client -> internet"),
+]
+
+
+class TestNetworkExplorations:
+    @pytest.mark.parametrize(
+        "factory,requirement", NETWORK_SCENARIOS,
+        ids=[req for _, req in NETWORK_SCENARIOS],
+    )
+    def test_seed_and_optimized_agree(self, factory, requirement):
+        optimized, opt_verdict = explore_network(factory(), requirement)
+        with seed_mode():
+            seed, seed_verdict = explore_network(factory(), requirement)
+        assert optimized == seed
+        assert opt_verdict == seed_verdict
+
+
+#: Click configurations covering every element-model family the engine
+#: ships: filtering, classification fan-out, header rewrites, TTL
+#: decrement, paint-based branching, and encap/decap write records.
+CLICK_SCENARIOS = {
+    "filter-rewrite": """
+        src :: FromNetfront();
+        src -> IPFilter(allow udp, allow tcp dst port 80)
+            -> IPRewriter(pattern - - 172.16.15.133 - 0 0)
+            -> ToNetfront();
+    """,
+    "classifier-fanout": """
+        src :: FromNetfront();
+        c :: IPClassifier(udp, tcp, -);
+        a :: ToNetfront(); b :: ToNetfront(); d :: Discard();
+        src -> c; c[0] -> a; c[1] -> b; c[2] -> d;
+    """,
+    "ttl-and-paint": """
+        src :: FromNetfront();
+        src -> DecIPTTL()
+            -> Paint(2)
+            -> PaintSwitch()
+            -> ToNetfront();
+    """,
+    "encap-decap": """
+        src :: FromNetfront();
+        src -> IPEncap(4, 1.2.3.4, 5.6.7.8)
+            -> IPDecap()
+            -> ToNetfront();
+    """,
+    "echo-swap": """
+        src :: FromNetfront();
+        src -> IPFilter(allow udp)
+            -> EchoResponder()
+            -> ToNetfront();
+    """,
+}
+
+
+def explore_click(source):
+    config = parse_config(source)
+    engine = SymbolicEngine(SymGraph.from_click(config))
+    return canonical_exploration(engine.inject(config.sources()[0]))
+
+
+class TestClickExplorations:
+    @pytest.mark.parametrize("name", sorted(CLICK_SCENARIOS))
+    def test_seed_and_optimized_agree(self, name):
+        source = CLICK_SCENARIOS[name]
+        optimized = explore_click(source)
+        with seed_mode():
+            seed = explore_click(source)
+        assert optimized == seed
+
+
+def admit(requirements):
+    """One cold admission on a fresh Figure 3 controller."""
+    controller = Controller(figure3_network())
+    result = controller.request(ClientRequest(
+        client_id="alice",
+        role=ROLE_CLIENT,
+        config_source=FIGURE4_SOURCE,
+        requirements=requirements,
+        owned_addresses=("172.16.15.133",),
+        module_name="batcher",
+    ), dry_run=True)
+    return result.accepted, result.reason
+
+
+class TestControllerAdmission:
+    def test_accepted_admission_agrees(self):
+        requirements = (
+            "reach from internet udp -> client dst port 1500\n"
+            "reach from client -> internet"
+        )
+        optimized = admit(requirements)
+        with seed_mode():
+            seed = admit(requirements)
+        assert optimized == seed
+        assert optimized[0] is True
+
+    def test_rejected_admission_agrees(self):
+        # The module filters to udp port 1500, so tcp cannot reach it:
+        # both engines must reject, for the same stated reason.
+        requirements = "reach from internet tcp -> client dst port 80"
+        optimized = admit(requirements)
+        with seed_mode():
+            seed = admit(requirements)
+        assert optimized == seed
+        assert optimized[0] is False

@@ -99,3 +99,40 @@ class TestSignatures:
         b = self._explore(SERVER_THEN_FIREWALL)
         assert explorations_equivalent(a, b).equivalent
         assert explorations_equivalent(b, a).equivalent
+
+
+class TestCanonicalFlow:
+    """Process-independence of the canonical rendering."""
+
+    def _delivered(self, source):
+        from repro.click import parse_config
+        from repro.symexec import SymbolicEngine, SymGraph
+
+        config = parse_config(source)
+        engine = SymbolicEngine(SymGraph.from_click(config))
+        return engine.inject(config.sources()[0]).delivered[0]
+
+    def test_uid_allocation_cannot_distinguish_runs(self):
+        from repro.symexec import canonical_flow
+
+        # Two engines mint different global uids for the same program;
+        # the canonical forms must still collide.
+        first = self._delivered(FIREWALL_THEN_SERVER)
+        second = self._delivered(FIREWALL_THEN_SERVER)
+        uids = {e.snapshot["ip_src"] for e in (first.trace[0],
+                                               second.trace[0])}
+        assert len(uids) == 2  # genuinely different raw uids...
+        assert canonical_flow(first) == canonical_flow(second)
+
+    def test_differing_behaviour_detected(self):
+        from repro.symexec import canonical_flow
+
+        honest = self._delivered(FIREWALL_THEN_SERVER)
+        tampered = self._delivered(SERVER_THAT_REWRITES)
+        assert canonical_flow(honest) != canonical_flow(tampered)
+
+    def test_canonical_form_is_hashable(self):
+        from repro.symexec import canonical_flow
+
+        flow = self._delivered(FIREWALL_THEN_SERVER)
+        assert {canonical_flow(flow)}  # goes into a set without error

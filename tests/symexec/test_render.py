@@ -84,3 +84,55 @@ class TestFormatExploration:
         """)
         text = format_exploration(exploration, max_flows=2)
         assert "1 more flows" in text
+
+
+class TestGoldenOutput:
+    """Exact renderings, pinned character for character.
+
+    These lock the whole surface at once -- column layout, variable
+    lettering, constant formatting, protocol names, change markers --
+    so an innocent-looking tweak to the renderer (or to trace
+    recording in the engine) shows up as a readable diff.
+    """
+
+    GOLDEN_FIGURE2 = (
+        "node    IP SRC  IP DST  PROT  DATA\n"
+        "----------------------------------\n"
+        "client  A       B       udp   C   \n"
+        "fw      A       B       udp   C   \n"
+        "server  A       B       udp   C   \n"
+        "back    B <     A <     udp   C   "
+    )
+
+    GOLDEN_REWRITE = (
+        "rewrite\n"
+        "node  IP SRC  IP DST     PROT  DATA\n"
+        "-----------------------------------\n"
+        "src   A       B          C     D   \n"
+        "s     A       B          C     D   \n"
+        "dst   A       5.6.7.8 <  C     D   "
+    )
+
+    def test_figure2_trace_golden(self):
+        flow = explore(FIGURE2).delivered[0]
+        assert format_trace(flow) == self.GOLDEN_FIGURE2
+
+    def test_rewrite_trace_golden(self):
+        flow = explore("""
+            src :: FromNetfront();
+            s :: SetIPAddress(5.6.7.8);
+            dst :: ToNetfront();
+            src -> s -> dst;
+        """).delivered[0]
+        assert format_trace(flow, title="rewrite") == self.GOLDEN_REWRITE
+
+    def test_exploration_wraps_same_golden_trace(self):
+        text = format_exploration(explore(FIGURE2))
+        assert text == "flow 1 of 1:\n" + self.GOLDEN_FIGURE2
+
+    def test_golden_output_mode_independent(self):
+        from repro.symexec.tuning import seed_mode
+
+        with seed_mode():
+            flow = explore(FIGURE2).delivered[0]
+            assert format_trace(flow) == self.GOLDEN_FIGURE2
