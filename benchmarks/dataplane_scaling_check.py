@@ -1,0 +1,167 @@
+"""Sharded-dataplane scaling gate.
+
+Replays the same multi-flow firewall workload (the Figure 12 firewall
+path) through a 1-shard and an N-shard :class:`ShardedRuntime` -- both
+on the multiprocessing executor, both with workers generating their own
+packet trains so nothing per-packet crosses the parent boundary -- and
+fails if the median N-shard speedup is below ``--threshold``.  Run by
+the ``dataplane-scaling`` CI job::
+
+    PYTHONPATH=src python benchmarks/dataplane_scaling_check.py
+
+Methodology matches ``dataplane_speedup_check.py``: interleaved
+1-shard/N-shard pairs with alternating in-pair order, GC paused around
+each timed region, and the reported speedup is the *median* of the
+per-pair ratios.  The flow partition is computed once, outside the
+timed region, exactly as a deployment would program RSS once.
+
+The gate is core-count aware: scaling across worker processes needs
+real cores, so on machines with fewer than ``--min-cores`` usable CPUs
+(or without the ``fork`` start method) the check prints ``SKIP`` and
+exits 0 instead of measuring noise.
+"""
+
+from __future__ import annotations
+
+import argparse
+import gc
+import multiprocessing
+import os
+import statistics
+import sys
+import time
+
+if os.environ.get("PYTHONHASHSEED") is None:
+    # Hash randomization moves dict/set layouts between processes,
+    # which skews the two sides differently run to run; re-exec with a
+    # fixed seed so the measurement is reproducible.
+    os.environ["PYTHONHASHSEED"] = "0"
+    os.execv(sys.executable, [sys.executable] + sys.argv)
+
+from _report import fmt, print_table
+from _traffic import BATCH_SIZE, FIREWALL
+from repro.click import ShardedRuntime, parse_config
+from repro.sim.replay import _generate_flow_packets, shard_flows
+from repro.sim.traces import Flow
+
+
+def usable_cores() -> int:
+    """CPUs this process may actually run on (affinity-aware)."""
+    try:
+        return len(os.sched_getaffinity(0))
+    except AttributeError:  # pragma: no cover - non-Linux
+        return os.cpu_count() or 1
+
+
+def make_flows(count: int) -> list:
+    """``count`` distinct TCP flows toward the firewall's server."""
+    return [
+        Flow(start=0.0, duration=1.0, client=index, server=index % 16,
+             sport=40000 + index % 20000, dport=80)
+        for index in range(count)
+    ]
+
+
+def _replay_seconds(sharded, groups, per_flow, expected) -> float:
+    """Wall-clock to generate, process, and count one full replay."""
+    gc.disable()
+    started = time.perf_counter()
+    sharded.inject_generated(
+        "src", _generate_flow_packets,
+        [(group, per_flow, 64) for group in groups],
+        batch_size=BATCH_SIZE,
+    )
+    count = sharded.collect(full=False).egress_count
+    elapsed = time.perf_counter() - started
+    gc.enable()
+    if count != expected:
+        raise AssertionError(
+            "egress count %d != expected %d" % (count, expected)
+        )
+    return elapsed
+
+
+def measure(flows: int, per_flow: int, trials: int, shards: int):
+    """``(single_seconds, sharded_seconds, median_speedup)``."""
+    config = parse_config(FIREWALL)
+    trace = make_flows(flows)
+    expected = flows * per_flow
+    # Partition once, outside the timed region (RSS is programmed once).
+    sharded_groups = shard_flows(trace, shards)
+    single_groups = [trace]
+    with ShardedRuntime(config, shards=1, executor="process") as single, \
+            ShardedRuntime(config, shards=shards,
+                           executor="process") as fanned:
+        # Warm both sides (fork, imports, compiled segments).
+        _replay_seconds(single, single_groups, per_flow, expected)
+        _replay_seconds(fanned, sharded_groups, per_flow, expected)
+        best_single = best_fanned = float("inf")
+        ratios = []
+        for trial in range(trials):
+            if trial % 2:
+                f = _replay_seconds(fanned, sharded_groups, per_flow,
+                                    expected)
+                s = _replay_seconds(single, single_groups, per_flow,
+                                    expected)
+            else:
+                s = _replay_seconds(single, single_groups, per_flow,
+                                    expected)
+                f = _replay_seconds(fanned, sharded_groups, per_flow,
+                                    expected)
+            best_single = min(best_single, s)
+            best_fanned = min(best_fanned, f)
+            ratios.append(s / f)
+    return best_single, best_fanned, statistics.median(ratios)
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--flows", type=int, default=600,
+                        help="distinct flows per trial")
+    parser.add_argument("--packets-per-flow", type=int, default=16,
+                        help="packets per flow per trial")
+    parser.add_argument("--trials", type=int, default=21,
+                        help="1-shard/N-shard trial pairs")
+    parser.add_argument("--shards", type=int, default=4,
+                        help="worker shards on the fanned-out side")
+    parser.add_argument("--threshold", type=float, default=2.5,
+                        help="minimum required median speedup")
+    parser.add_argument("--min-cores", type=int, default=4,
+                        help="usable cores below which the gate skips")
+    args = parser.parse_args(argv)
+    cores = usable_cores()
+    if cores < args.min_cores:
+        print("SKIP: %d usable core(s) < %d required; sharded scaling "
+              "needs real cores to measure" % (cores, args.min_cores))
+        return 0
+    if "fork" not in multiprocessing.get_all_start_methods():
+        print("SKIP: no fork start method; cannot run process shards")
+        return 0
+    packets = args.flows * args.packets_per_flow
+    single, fanned, speedup = measure(
+        args.flows, args.packets_per_flow, args.trials, args.shards
+    )
+    print_table(
+        "Sharded dataplane scaling (firewall path, %d flows x %d pkts)"
+        % (args.flows, args.packets_per_flow),
+        ("shards", "best ms", "kpkt/s", "speedup"),
+        [
+            [1, fmt(single * 1e3, 1), fmt(packets / single / 1e3, 1),
+             fmt(1.0, 2)],
+            [args.shards, fmt(fanned * 1e3, 1),
+             fmt(packets / fanned / 1e3, 1), fmt(speedup, 2)],
+        ],
+        note="Median of %d interleaved 1-shard/%d-shard pairs on %d "
+             "usable cores; threshold %.1fx."
+             % (args.trials, args.shards, cores, args.threshold),
+    )
+    if speedup < args.threshold:
+        print("FAIL: sharded dataplane speedup %.2fx below threshold "
+              "%.1fx" % (speedup, args.threshold), file=sys.stderr)
+        return 1
+    print("OK")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -11,6 +11,8 @@ The public surface:
   :class:`repro.click.ClickConfig` element graph,
 * :class:`repro.click.Runtime` -- event-driven engine that pushes packets
   through an instantiated graph on a simulated clock,
+* :class:`repro.click.ShardedRuntime` -- RSS-style flow-hash fan-out of a
+  configuration across worker processes (``repro.click.sharding``),
 * :mod:`repro.click.elements` -- the element library (filters, rewriters,
   shapers, stateful firewalls, tunnels, the ``ChangeEnforcer`` sandbox...).
 """
@@ -40,6 +42,7 @@ from repro.click.packet import (
     Packet,
 )
 from repro.click.runtime import Runtime
+from repro.click.sharding import ShardedRuntime, shard_unsafe_reason
 
 # Importing the element package registers every built-in element class.
 import repro.click.elements  # noqa: F401  (import for side effects)
@@ -53,6 +56,8 @@ __all__ = [
     "parse_config",
     "ClickConfig",
     "Runtime",
+    "ShardedRuntime",
+    "shard_unsafe_reason",
     "IP_SRC",
     "IP_DST",
     "IP_PROTO",

@@ -112,6 +112,32 @@ class Element:
     def initialize(self, runtime) -> None:
         """Hook called once the runtime is assembled (timers go here)."""
 
+    # -- sharding --------------------------------------------------------------
+    def shard_unsafe_reason(self) -> Optional[str]:
+        """Why this element cannot run flow-sharded, or ``None`` if it can.
+
+        The sharded dataplane (:mod:`repro.click.sharding`) partitions
+        traffic by flow hash across independent runtimes, one per
+        worker.  That is only transparent when every element's
+        behaviour for a packet depends on nothing but the packet itself
+        and state keyed by its flow (or conversation -- the flow hash
+        is direction-symmetric).  The default derives the answer from
+        the class flags: buffering elements interleave with timers,
+        multiplying elements force the exact-counting obs mode, and
+        stateful elements are assumed to share state across flows.
+        Elements whose state *is* per-flow (``FlowMeter``,
+        ``StatefulFirewall``) override this to return ``None``;
+        elements that are order-dependent despite being stateless by
+        flags (``RoundRobinSwitch``) override it to return a reason.
+        """
+        if self.is_buffering:
+            return "buffers packets for timer-driven release"
+        if self.is_multiplying:
+            return "multiplies packets (exact-counting graph)"
+        if self.stateful:
+            return "keeps state that is not keyed by flow"
+        return None
+
     # -- dataplane -------------------------------------------------------------
     def push(self, port: int, packet) -> PushResult:
         """Process ``packet`` arriving on input ``port``.

@@ -144,6 +144,16 @@ class IPRewriter(Element):
             for p in self.inputs
         )
 
+    def shard_unsafe_reason(self):
+        # A purely static rewrite (the Figure 4 forwarder) maps each
+        # packet independently of arrival order and needs no merge; a
+        # pattern that allocates ports from a range hands out ports in
+        # arrival order across *all* flows, which sharding would
+        # permute.
+        if self.stateful:
+            return "allocates ports/mappings in cross-flow arrival order"
+        return None
+
     def _allocate_port(self, index: int, port_range: Tuple[int, int]) -> int:
         low, high = port_range
         if low == high:

@@ -286,3 +286,8 @@ class RateLimiter(Element):
             return [(0, packet)]
         self.dropped += 1
         return [(1, packet)]
+
+    def shard_unsafe_reason(self):
+        # One token bucket polices the aggregate; per-shard buckets
+        # would multiply the permitted rate by the shard count.
+        return "polices an aggregate token bucket across all flows"

@@ -89,6 +89,14 @@ class StatefulFirewall(Element):
         packet.annotations["firewall_tag"] = True
         return [(self.INBOUND, packet)]
 
+    def shard_unsafe_reason(self):
+        # Stateful, but the connection table is keyed by the outbound
+        # flow key and only ever consulted by that flow's two
+        # directions.  The flow hash is direction-symmetric, so a
+        # sharded dataplane pins both directions of a conversation to
+        # the same shard and per-shard tables stay disjoint.
+        return None
+
     def active_flows(self) -> int:
         """Number of non-expired flow entries."""
         now = self._now()

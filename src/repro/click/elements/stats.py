@@ -78,6 +78,12 @@ class FlowMeter(Element):
         """Number of distinct flows observed."""
         return len(self.flow_packets)
 
+    def shard_unsafe_reason(self):
+        # Stateful, but every table is keyed by the packet's flow key:
+        # flows partitioned across shards never share an entry, so
+        # per-shard tables union to exactly the single-process table.
+        return None
+
 
 @register_element("Tee")
 class Tee(Element):

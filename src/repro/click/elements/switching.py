@@ -82,6 +82,11 @@ class RoundRobinSwitch(Element):
         self._next += 1
         return [(out, packet)]
 
+    def shard_unsafe_reason(self):
+        # The output port depends on how many packets came before,
+        # across all flows -- sharding would change every assignment.
+        return "spreads packets round-robin in cross-flow arrival order"
+
 
 @register_element("Meter")
 class Meter(Element):
@@ -111,6 +116,11 @@ class Meter(Element):
         if self._window_count <= self.rate:
             return [(0, packet)]
         return [(1, packet)]
+
+    def shard_unsafe_reason(self):
+        # The rate window counts packets of *all* flows together; N
+        # shards would each admit a full RATE before marking excess.
+        return "measures an aggregate rate across all flows"
 
 
 @register_element("SetIPTTL")

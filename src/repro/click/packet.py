@@ -47,6 +47,23 @@ from repro.common.fields import (  # noqa: F401
 
 _packet_ids = itertools.count(1)
 
+_MASK64 = (1 << 64) - 1
+
+
+def _mix64(x: int) -> int:
+    """The splitmix64 finalizer: a fixed, well-mixed 64-bit scrambler.
+
+    Used by :meth:`Packet.flow_hash` because Python's builtin ``hash``
+    is identity on small ints (terrible shard spread) and salted for
+    strings (not stable across processes).
+    """
+    x &= _MASK64
+    x ^= x >> 30
+    x = (x * 0xBF58476D1CE4E5B9) & _MASK64
+    x ^= x >> 27
+    x = (x * 0x94D049BB133111EB) & _MASK64
+    return x ^ (x >> 31)
+
 
 class Packet:
     """A concrete network packet.
@@ -175,6 +192,40 @@ class Packet:
         """The 5-tuple identifying this packet's flow."""
         f = self.fields
         return (f[IP_SRC], f[IP_DST], f[IP_PROTO], f[TP_SRC], f[TP_DST])
+
+    def flow_hash(self) -> int:
+        """A stable 64-bit hash of this packet's 5-tuple (RSS-style).
+
+        Properties the sharded dataplane and any future RSS/ECMP logic
+        rely on (see ``docs/dataplane.md``):
+
+        * **Stable and seed-independent.**  The value is a pure
+          function of the header fields -- no process state, no
+          ``PYTHONHASHSEED``.  The same packet hashes identically in
+          every worker process on every run, so a hash computed in one
+          process can steer traffic in another.
+        * **Direction-symmetric.**  The two endpoints are mixed
+          commutatively, so a flow and its reverse flow share a hash
+          -- both directions of a connection land on the same shard,
+          which is what lets per-conversation elements (the stateful
+          firewall) run sharded, like symmetric RSS in hardware.
+        * **Missing-field tolerant.**  Fields that are absent or
+          ``None`` (a half-built packet, a non-TCP/UDP packet without
+          ports) contribute 0, matching a packet that carries explicit
+          zeros.
+        """
+        get = self.fields.get
+        src = get(IP_SRC) or 0
+        dst = get(IP_DST) or 0
+        proto = get(IP_PROTO) or 0
+        sport = get(TP_SRC) or 0
+        dport = get(TP_DST) or 0
+        a = _mix64((src << 16) ^ sport)
+        b = _mix64((dst << 16) ^ dport)
+        # xor and sum are both order-free, so (a, b) and (b, a) mix to
+        # the same value without collapsing structure the way a bare
+        # xor of equal endpoints would.
+        return _mix64(((a + b) & _MASK64) ^ _mix64((a ^ b) + proto))
 
     def reverse_flow_key(self):
         """The 5-tuple of the reverse direction of this packet's flow."""

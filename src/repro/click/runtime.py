@@ -863,6 +863,28 @@ class Runtime:
             self._h_latency.observe_count(0.0, zero)
 
     # -- introspection -----------------------------------------------------
+    def numeric_element_state(self) -> Dict[str, Dict[str, float]]:
+        """Public int/float attributes (plus buffer depths) per element.
+
+        The observable counter state of the dataplane -- what the
+        differential tests compare between execution modes, and what
+        sharded workers (:mod:`repro.click.sharding`) report back so
+        per-shard element counters can be merged.  Private
+        (underscore-prefixed) attributes are excluded.
+        """
+        state: Dict[str, Dict[str, float]] = {}
+        for name, element in self.elements.items():
+            attrs = {
+                key: value for key, value in vars(element).items()
+                if not key.startswith("_")
+                and isinstance(value, (int, float))
+            }
+            buffer = getattr(element, "buffer", None)
+            if buffer is not None:
+                attrs["buffered"] = len(buffer)
+            state[name] = attrs
+        return state
+
     def take_output(self) -> List[EgressRecord]:
         """Return and clear the collected egress records."""
         records = list(self.output)

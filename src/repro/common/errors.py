@@ -33,6 +33,15 @@ class SimulationError(InNetError):
     """The discrete-event simulator was driven into an invalid state."""
 
 
+class ShardingError(InNetError):
+    """The sharded dataplane could not run or merge a configuration.
+
+    Raised when a caller demands sharding (``fallback=False``) for a
+    configuration that cannot be flow-partitioned, or when a shard
+    worker fails mid-run.
+    """
+
+
 class FaultError(InNetError):
     """An infrastructure fault (injected or detected) hit an operation.
 

@@ -284,6 +284,92 @@ class MetricsRegistry:
             return family.labels()
         return family
 
+    # -- merging -----------------------------------------------------------
+    def merge(self, *others: "MetricsRegistry") -> "MetricsRegistry":
+        """Fold other registries' metrics into this one; returns self.
+
+        The merge semantics are what a sharded dataplane needs to
+        combine per-worker registries into one coherent view
+        (:mod:`repro.click.sharding`):
+
+        * **counters** sum,
+        * **histograms** sum bucket-by-bucket (bucket bounds must
+          match, otherwise ``ValueError``), plus ``sum`` and ``count``,
+        * **gauges** take the other registry's value (last write wins,
+          in merge argument order),
+        * **keyed collectors** union (the other registry's collector
+          replaces any of this registry's under the same key), so a
+          merged view keeps sampling live gauges; unkeyed collectors
+          are appended.
+
+        Each other registry's collector pass runs first, so sampled
+        gauges are current as of the merge.  A family whose name is
+        already registered here with a different kind or label set
+        raises ``ValueError`` (same rule as re-registration).
+        Disabled registries merge as empty; merging *into* a disabled
+        registry is a no-op.
+        """
+        if not self.enabled:
+            return self
+        for other in others:
+            if other is self or not other.enabled:
+                continue
+            for family in other.families():
+                buckets = (
+                    family._args[0] if family.kind == "histogram" else None
+                )
+                mine = self._families.get(family.name)
+                if mine is None:
+                    mine = MetricFamily(
+                        family.name, family.kind, help=family.help,
+                        labelnames=family.labelnames, buckets=buckets,
+                    )
+                    self._families[family.name] = mine
+                elif (mine.kind != family.kind
+                        or mine.labelnames != family.labelnames):
+                    raise ValueError(
+                        "cannot merge metric %r: %s%r into %s%r"
+                        % (family.name, family.kind, family.labelnames,
+                           mine.kind, mine.labelnames)
+                    )
+                for label_values, child in family.samples():
+                    target = mine.labels(*label_values)
+                    if family.kind == "counter":
+                        target.value += child.value
+                    elif family.kind == "gauge":
+                        target.value = child.value
+                    else:
+                        if target.bounds != child.bounds:
+                            raise ValueError(
+                                "cannot merge histogram %r: bucket "
+                                "bounds differ" % (family.name,)
+                            )
+                        for index, count in enumerate(child.counts):
+                            target.counts[index] += count
+                        target.sum += child.sum
+                        target.count += child.count
+            self._collectors.extend(other._collectors)
+            self._keyed_collectors.update(other._keyed_collectors)
+        return self
+
+    # -- transport ---------------------------------------------------------
+    def __getstate__(self) -> dict:
+        """Pickle support: ship values, drop collector callbacks.
+
+        Collectors are closures over live objects (runtimes, platforms)
+        and cannot cross a process boundary; running one last collector
+        pass first means sampled gauges are current as of pickling.
+        Worker processes in the sharded dataplane rely on this to send
+        their registries back for merging.
+        """
+        if self.enabled:
+            self.families()
+        return {"enabled": self.enabled, "_families": self._families,
+                "_collectors": [], "_keyed_collectors": {}}
+
+    def __setstate__(self, state: dict) -> None:
+        self.__dict__.update(state)
+
     # -- collection --------------------------------------------------------
     def register_collector(
         self, collector: Callable[[], None], key: object = None,

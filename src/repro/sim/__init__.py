@@ -27,7 +27,14 @@ from repro.sim.tcp import (
     sctp_over_udp_goodput,
     tcp_throughput,
 )
-from repro.sim.replay import ReplayStats, flow_packets, replay_trace, trace_packets
+from repro.sim.replay import (
+    ReplayStats,
+    flow_packets,
+    replay_trace,
+    replay_trace_sharded,
+    shard_flows,
+    trace_packets,
+)
 from repro.sim.traces import TraceConfig, generate_trace, trace_statistics
 
 __all__ = [
@@ -44,5 +51,7 @@ __all__ = [
     "ReplayStats",
     "flow_packets",
     "replay_trace",
+    "replay_trace_sharded",
+    "shard_flows",
     "trace_packets",
 ]

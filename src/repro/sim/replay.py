@@ -19,6 +19,7 @@ from typing import Iterable, List, NamedTuple, Optional, Sequence
 
 from repro.click.packet import TCP, Packet
 from repro.click.runtime import Runtime
+from repro.click.sharding import ShardedRuntime
 from repro.common.errors import SimulationError
 from repro.sim.traces import Flow
 
@@ -122,5 +123,100 @@ def replay_trace(
         packets=len(packets),
         egress=len(runtime.output) - egress_before,
         dropped=runtime.dropped - dropped_before,
+        wall_seconds=wall,
+    )
+
+
+def flow_shard(flow: Flow, shards: int, length: int = 64) -> int:
+    """The shard a trace flow's packets map to.
+
+    Uses the exact key the dataplane sharder uses -- the template
+    packet's :meth:`~repro.click.packet.Packet.flow_hash` modulo the
+    shard count -- so a caller-partitioned replay agrees packet for
+    packet with :meth:`~repro.click.sharding.ShardedRuntime.
+    inject_batch`'s own partitioning.
+    """
+    return flow_packets(flow, 1, length)[0].flow_hash() % shards
+
+
+def shard_flows(
+    flows: Sequence[Flow], shards: int, length: int = 64
+) -> List[List[Flow]]:
+    """Partition a trace's flows across ``shards`` by flow hash.
+
+    The hash is computed once per *flow* (not per packet), which is
+    what keeps the parent-side cost of a sharded replay independent of
+    ``packets_per_flow``.  Within each shard the flows keep their trace
+    order, so per-flow packet order is preserved end to end.
+    """
+    groups: List[List[Flow]] = [[] for _ in range(shards)]
+    for flow in flows:
+        groups[flow_shard(flow, shards, length)].append(flow)
+    return groups
+
+
+def _generate_flow_packets(
+    flows: Sequence[Flow], packets_per_flow: int, length: int
+) -> List[Packet]:
+    """Shard-side packet factory for :func:`replay_trace_sharded`.
+
+    Module-level so the process executor can ship it by reference; it
+    runs *inside* the shard worker, which is the point -- the packet
+    trains never cross the parent/worker boundary.
+    """
+    packets: List[Packet] = []
+    for flow in flows:
+        packets.extend(flow_packets(flow, packets_per_flow, length))
+    return packets
+
+
+def replay_trace_sharded(
+    sharded: ShardedRuntime,
+    flows: Sequence[Flow],
+    entry: Optional[str] = None,
+    packets_per_flow: int = 4,
+    batch_size: int = 256,
+    length: int = 64,
+    full: bool = False,
+) -> ReplayStats:
+    """Replay a trace through a :class:`ShardedRuntime`, and collect.
+
+    The parent partitions *flows* (not packets) by flow hash via
+    :func:`shard_flows`, then each shard worker generates and injects
+    its own packet train (:meth:`~repro.click.sharding.ShardedRuntime.
+    inject_generated`), flow-major within the shard.  Nothing
+    per-packet crosses the process boundary; with ``full=False`` (the
+    default) even the egress records stay worker-side and only counts
+    come back, which is what lets throughput scale with worker cores.
+    Pass ``full=True`` to also retrieve the egress records (they land
+    in ``sharded.output``), e.g. for differential runs.
+
+    The reported wall time spans injection *and* the collect barrier,
+    so ``packets_per_second`` measures completed work, not dispatch.
+    """
+    if entry is None:
+        sources = sharded.config.sources()
+        if not sources:
+            raise SimulationError(
+                "trace replay needs a source element to inject into"
+            )
+        entry = sources[0]
+    groups = shard_flows(flows, sharded.shards, length)
+    total_packets = len(flows) * packets_per_flow
+    start = time.perf_counter()
+    sharded.inject_generated(
+        entry,
+        _generate_flow_packets,
+        [(group, packets_per_flow, length) for group in groups],
+        batch_size=batch_size,
+    )
+    collection = sharded.collect(full=full)
+    wall = time.perf_counter() - start
+    return ReplayStats(
+        mode="sharded",
+        flows=len(flows),
+        packets=total_packets,
+        egress=collection.egress_count,
+        dropped=collection.dropped,
         wall_seconds=wall,
     )

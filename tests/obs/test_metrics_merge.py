@@ -1,0 +1,194 @@
+"""Tests for MetricsRegistry.merge and pickling (sharded obs support)."""
+
+import pickle
+
+import pytest
+
+from repro.obs.export import parse_prometheus, to_prometheus
+from repro.obs.metrics import NULL_METRIC, MetricsRegistry
+
+
+def shard_registry(packets, depth, latencies, element="fw"):
+    """A registry shaped like one dataplane shard's."""
+    reg = MetricsRegistry()
+    reg.counter("packets_total", "Packets", labels=("element",)) \
+        .labels(element).inc(packets)
+    reg.counter("egress_total", "Egress").inc(packets)
+    reg.gauge("queue_depth", "Depth").set(depth)
+    hist = reg.histogram("latency_seconds", "Latency", buckets=(0.1, 1.0))
+    for value in latencies:
+        hist.observe(value)
+    return reg
+
+
+class TestCounterMerge:
+    def test_counters_sum(self):
+        merged = MetricsRegistry().merge(
+            shard_registry(10, 1, []), shard_registry(7, 2, []),
+        )
+        assert merged.counter("egress_total").value == 17
+
+    def test_labelled_children_union_and_sum(self):
+        a = MetricsRegistry()
+        a.counter("packets_total", labels=("element",)).labels("fw").inc(5)
+        b = MetricsRegistry()
+        b.counter("packets_total", labels=("element",)).labels("fw").inc(3)
+        b.counter("packets_total", labels=("element",)).labels("rw").inc(9)
+        merged = MetricsRegistry().merge(a, b)
+        family = merged.get("packets_total")
+        assert family.labels("fw").value == 8
+        assert family.labels("rw").value == 9
+
+    def test_merge_into_populated_registry_adds(self):
+        mine = MetricsRegistry()
+        mine.counter("egress_total").inc(100)
+        mine.merge(shard_registry(10, 1, []))
+        assert mine.counter("egress_total").value == 110
+
+
+class TestGaugeMerge:
+    def test_last_write_wins_in_argument_order(self):
+        merged = MetricsRegistry().merge(
+            shard_registry(0, 11, []), shard_registry(0, 22, []),
+        )
+        assert merged.gauge("queue_depth").value == 22
+
+
+class TestHistogramMerge:
+    def test_buckets_sum_elementwise(self):
+        merged = MetricsRegistry().merge(
+            shard_registry(0, 0, [0.05, 0.5]),
+            shard_registry(0, 0, [0.5, 5.0]),
+        )
+        hist = merged.histogram("latency_seconds", buckets=(0.1, 1.0))
+        assert hist.counts == [1, 2, 1]
+        assert hist.count == 4
+        assert hist.sum == pytest.approx(6.05)
+
+    def test_mismatched_bounds_raise(self):
+        a = MetricsRegistry()
+        a.histogram("h", buckets=(0.1, 1.0)).observe(0.5)
+        b = MetricsRegistry()
+        b.histogram("h", buckets=(0.2, 2.0)).observe(0.5)
+        with pytest.raises(ValueError, match="bucket bounds differ"):
+            MetricsRegistry().merge(a, b)
+
+
+class TestMergeEdgeCases:
+    def test_returns_self(self):
+        reg = MetricsRegistry()
+        assert reg.merge(shard_registry(1, 1, [])) is reg
+
+    def test_kind_conflict_raises(self):
+        a = MetricsRegistry()
+        a.counter("x").inc()
+        b = MetricsRegistry()
+        b.gauge("x").set(1)
+        with pytest.raises(ValueError, match="cannot merge metric 'x'"):
+            a.merge(b)
+
+    def test_labelset_conflict_raises(self):
+        a = MetricsRegistry()
+        a.counter("x", labels=("l",)).labels("v").inc()
+        b = MetricsRegistry()
+        b.counter("x").inc()
+        with pytest.raises(ValueError, match="cannot merge metric 'x'"):
+            a.merge(b)
+
+    def test_merging_self_is_a_noop(self):
+        reg = shard_registry(5, 1, [])
+        reg.merge(reg)
+        assert reg.counter("egress_total").value == 5
+
+    def test_disabled_other_merges_as_empty(self):
+        merged = MetricsRegistry().merge(MetricsRegistry(enabled=False))
+        assert merged.families() == []
+
+    def test_merge_into_disabled_is_a_noop(self):
+        disabled = MetricsRegistry(enabled=False)
+        assert disabled.merge(shard_registry(5, 1, [])) is disabled
+        assert disabled.counter("egress_total") is NULL_METRIC
+
+    def test_collector_sampled_gauges_are_current(self):
+        other = MetricsRegistry()
+        state = {"depth": 0}
+        other.register_collector(
+            lambda: other.gauge("sampled_depth").set(state["depth"]),
+            key="q",
+        )
+        state["depth"] = 7
+        merged = MetricsRegistry().merge(other)
+        assert merged.gauge("sampled_depth").value == 7
+
+    def test_keyed_collectors_union(self):
+        a = MetricsRegistry()
+        a.register_collector(lambda: a.gauge("ga").set(1), key="a")
+        b = MetricsRegistry()
+        b.register_collector(lambda: b.gauge("gb").set(2), key="b")
+        merged = MetricsRegistry().merge(a, b)
+        merged.families()  # runs the unioned collectors
+        assert merged.gauge("ga").value == 1
+        assert merged.gauge("gb").value == 2
+
+
+class TestPrometheusRoundTrip:
+    def test_merged_export_equals_summed_shards(self):
+        shards = [
+            shard_registry(10, 3, [0.05], element="fw"),
+            shard_registry(7, 5, [0.5, 5.0], element="fw"),
+        ]
+        merged = MetricsRegistry().merge(*shards)
+        parsed = parse_prometheus(to_prometheus(merged))
+        assert parsed["egress_total"][""] == 17
+        assert parsed["packets_total"]['{element="fw"}'] == 17
+        assert parsed["queue_depth"][""] == 5  # last shard's write
+        assert parsed["latency_seconds_bucket"]['{le="0.1"}'] == 1
+        assert parsed["latency_seconds_bucket"]['{le="1.0"}'] == 2
+        assert parsed["latency_seconds_bucket"]['{le="+Inf"}'] == 3
+        assert parsed["latency_seconds_count"][""] == 3
+        assert parsed["latency_seconds_sum"][""] == pytest.approx(5.55)
+
+    def test_merge_of_parsed_equal_registries_doubles(self):
+        # Round-trip sanity: exporting a merged registry of two equal
+        # shards shows exactly double the single-shard numbers.
+        single = parse_prometheus(to_prometheus(shard_registry(4, 1, [0.5])))
+        merged = MetricsRegistry().merge(
+            shard_registry(4, 1, [0.5]), shard_registry(4, 1, [0.5]),
+        )
+        doubled = parse_prometheus(to_prometheus(merged))
+        for name, samples in single.items():
+            for labels, value in samples.items():
+                if name == "queue_depth":
+                    continue  # gauge: last write, not a sum
+                assert doubled[name][labels] == 2 * value
+
+
+class TestPickling:
+    def test_values_survive_a_round_trip(self):
+        reg = shard_registry(9, 4, [0.05, 5.0])
+        clone = pickle.loads(pickle.dumps(reg))
+        assert clone.counter("egress_total").value == 9
+        assert clone.gauge("queue_depth").value == 4
+        hist = clone.histogram("latency_seconds", buckets=(0.1, 1.0))
+        assert hist.count == 2
+        assert to_prometheus(clone) == to_prometheus(reg)
+
+    def test_collectors_run_once_then_drop(self):
+        reg = MetricsRegistry()
+        closure_state = {"depth": 0}
+        reg.register_collector(
+            lambda: reg.gauge("sampled").set(closure_state["depth"]),
+            key="q",
+        )
+        closure_state["depth"] = 6
+        clone = pickle.loads(pickle.dumps(reg))
+        # The final collector pass ran at pickle time...
+        assert clone.gauge("sampled").value == 6
+        # ...and the closure itself did not cross the boundary.
+        assert clone._collectors == []
+        assert clone._keyed_collectors == {}
+
+    def test_unpickled_registry_is_mergeable(self):
+        clone = pickle.loads(pickle.dumps(shard_registry(3, 1, [])))
+        merged = MetricsRegistry().merge(clone, shard_registry(5, 2, []))
+        assert merged.counter("egress_total").value == 8

@@ -2,9 +2,16 @@
 
 import pytest
 
-from repro.click import Runtime, parse_config
+from repro.click import Runtime, ShardedRuntime, parse_config
 from repro.common.errors import SimulationError
-from repro.sim import ReplayStats, flow_packets, replay_trace, trace_packets
+from repro.sim import (
+    ReplayStats,
+    flow_packets,
+    replay_trace,
+    replay_trace_sharded,
+    shard_flows,
+    trace_packets,
+)
 from repro.sim.replay import CLIENT_BASE, SERVER_BASE
 from repro.sim.traces import Flow
 
@@ -99,3 +106,79 @@ class TestReplay:
         ))
         with pytest.raises(SimulationError):
             replay_trace(runtime, make_flows(1))
+
+
+class TestShardedReplay:
+    def _flows(self, n=60):
+        return [
+            Flow(start=0.0, duration=1.0, client=i, server=i % 9,
+                 sport=40000 + i, dport=80)
+            for i in range(n)
+        ]
+
+    def test_shard_flows_agrees_with_packet_hashing(self):
+        flows = self._flows()
+        groups = shard_flows(flows, 4)
+        assert sorted(f.sport for g in groups for f in g) == \
+            sorted(f.sport for f in flows)
+        for shard, group in enumerate(groups):
+            for flow in group:
+                (packet,) = flow_packets(flow, 1)
+                assert packet.flow_hash() % 4 == shard
+
+    def test_shard_flows_spreads(self):
+        groups = shard_flows(self._flows(200), 4)
+        assert all(len(g) > 0 for g in groups)
+
+    @pytest.mark.parametrize("executor", ["serial", "process"])
+    def test_totals_match_single_process(self, executor):
+        flows = self._flows()
+        baseline = Runtime(parse_config(FORWARDER))
+        single = replay_trace(baseline, flows, packets_per_flow=3)
+        with ShardedRuntime(
+            parse_config(FORWARDER), shards=4, executor=executor,
+        ) as sharded:
+            stats = replay_trace_sharded(sharded, flows, packets_per_flow=3)
+        assert stats.mode == "sharded"
+        assert stats.flows == single.flows
+        assert stats.packets == single.packets
+        assert stats.egress == single.egress
+        assert stats.dropped == single.dropped
+        assert stats.packets_per_second > 0
+
+    def test_full_collect_retrieves_egress_permutation(self):
+        flows = self._flows(20)
+        baseline = Runtime(parse_config(FORWARDER))
+        replay_trace(baseline, flows, packets_per_flow=2)
+        expected = sorted(
+            (r.packet["ip_src"], r.packet["tp_src"])
+            for r in baseline.take_output()
+        )
+        with ShardedRuntime(parse_config(FORWARDER), shards=4) as sharded:
+            replay_trace_sharded(
+                sharded, flows, packets_per_flow=2, full=True
+            )
+            observed = sorted(
+                (r.packet["ip_src"], r.packet["tp_src"])
+                for r in sharded.take_output()
+            )
+        assert observed == expected
+
+    def test_sourceless_config_raises(self):
+        config = parse_config(
+            "a :: SetIPTTL(32); b :: SetIPTTL(32); a -> b; b -> a;"
+        )
+        with ShardedRuntime(config, shards=2) as sharded:
+            with pytest.raises(SimulationError):
+                replay_trace_sharded(sharded, self._flows(1))
+
+    def test_fallback_config_still_replays(self):
+        config = parse_config(
+            "src :: FromNetfront(); out :: ToNetfront();"
+            " src -> RateLimiter(1e9, 1e9) -> out;"
+        )
+        flows = self._flows(10)
+        with ShardedRuntime(config, shards=4) as sharded:
+            assert sharded.fallback_reason is not None
+            stats = replay_trace_sharded(sharded, flows, packets_per_flow=2)
+        assert stats.egress == 20
