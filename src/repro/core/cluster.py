@@ -22,7 +22,6 @@ onto the same platform that does not have enough capacity."
 
 from __future__ import annotations
 
-import hashlib
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple
 
@@ -70,7 +69,11 @@ class ControllerPool:
         operator_requirements: str = "",
         max_attempts: int = 5,
         fast_path: bool = False,
+        obs=None,
     ):
+        from repro.fedctl.shardmap import ShardMap
+        from repro.obs import NULL_OBSERVABILITY
+
         if n_workers < 1:
             raise ValueError("need at least one worker")
         # The pool's wall-clock model assumes each worker is an
@@ -81,21 +84,69 @@ class ControllerPool:
         # ``fast_path=True`` to measure a shared-cache deployment.
         self.controller = Controller(
             network, operator_requirements, fast_path=fast_path,
+            obs=obs,
         )
         self.n_workers = n_workers
         self.max_attempts = max_attempts
         self.stats = PoolStats()
+        # Client -> worker routing rides the same consistent-hash map
+        # the federated control plane shards tenants with (the paper's
+        # "requests of the same user reach the same controller").
+        self._shard_map = ShardMap(
+            ["worker-%d" % i for i in range(n_workers)], vnodes=32,
+        )
         self._queues: List[List[_Pending]] = [
             [] for _ in range(n_workers)
         ]
         self._tickets = 0
         self.results: Dict[int, DeploymentResult] = {}
+        self._obs = obs if obs is not None else NULL_OBSERVABILITY
+        metrics = self._obs.metrics
+        self._c_rounds = metrics.counter(
+            "pool_rounds_total", "Verify/commit rounds run",
+        )
+        self._c_verifications = metrics.counter(
+            "pool_verifications_total",
+            "Parallel dry-run verifications performed",
+        )
+        self._c_conflicts = metrics.counter(
+            "pool_conflicts_total",
+            "Commit-time capacity conflicts detected",
+        )
+        self._c_requests = metrics.counter(
+            "pool_requests_total",
+            "Pool decisions by outcome", labels=("outcome",),
+        )
+        if self._obs.enabled:
+            metrics.register_collector(
+                self._collect_gauges, key=("pool", id(self)),
+            )
+
+    def _collect_gauges(self) -> None:
+        """PoolStats as gauges, sampled at export time."""
+        metrics = self._obs.metrics
+        gauges = (
+            ("pool_parallel_seconds",
+             "Modeled parallel wall-clock (slowest worker per round)",
+             self.stats.parallel_seconds),
+            ("pool_serial_seconds",
+             "What one controller would have spent",
+             self.stats.serial_seconds),
+            ("pool_speedup", "Serial / parallel verification time",
+             self.stats.speedup),
+            ("pool_pending", "Requests not yet decided",
+             float(self.pending())),
+            ("pool_workers", "Workers in the pool",
+             float(self.n_workers)),
+        )
+        for name, help_text, value in gauges:
+            metrics.gauge(name, help_text).set(value)
 
     # -- submission ---------------------------------------------------------
     def worker_for(self, client_id: str) -> int:
         """Stable client -> worker assignment (per-user ordering)."""
-        digest = hashlib.sha256(client_id.encode()).digest()
-        return digest[0] % self.n_workers
+        shard = self._shard_map.route(client_id)
+        return int(shard.rsplit("-", 1)[1])
 
     def submit(self, request: ClientRequest) -> int:
         """Queue a request; returns a ticket to look the result up."""
@@ -120,6 +171,7 @@ class ControllerPool:
 
     def _round(self) -> None:
         self.stats.rounds += 1
+        self._c_rounds.inc()
         # Phase 1 (parallel): each worker verifies its head-of-queue
         # request against the snapshot as of round start.
         batch: List[Tuple[_Pending, DeploymentResult]] = []
@@ -139,6 +191,7 @@ class ControllerPool:
                 pending.request, dry_run=True
             )
             self.stats.verifications += 1
+            self._c_verifications.inc()
             seconds = verdict.compile_seconds + verdict.check_seconds
             round_worker_seconds.append(seconds)
             self.stats.serial_seconds += seconds
@@ -151,6 +204,7 @@ class ControllerPool:
         for pending, verdict in batch:
             if not verdict.accepted:
                 self.results[pending.ticket] = verdict
+                self._c_requests.labels("rejected").inc()
                 continue
             platform = verdict.platform
             free = free_at_start.get(platform)
@@ -159,6 +213,7 @@ class ControllerPool:
                 # Another worker's simultaneous decision filled the
                 # platform: conflict; retry with a fresh snapshot.
                 self.stats.conflicts += 1
+                self._c_conflicts.inc()
                 pending.attempts += 1
                 if pending.attempts >= self.max_attempts:
                     self.results[pending.ticket] = DeploymentResult(
@@ -166,6 +221,7 @@ class ControllerPool:
                         reason="gave up after %d capacity conflicts"
                                % pending.attempts,
                     )
+                    self._c_requests.labels("gave-up").inc()
                 else:
                     self._queues[pending.worker].append(pending)
                 continue
@@ -175,6 +231,9 @@ class ControllerPool:
             if final.accepted:
                 committed_on[platform] = used + 1
             self.results[pending.ticket] = final
+            self._c_requests.labels(
+                "accepted" if final.accepted else "rejected"
+            ).inc()
 
     # -- queries ------------------------------------------------------------------
     def result(self, ticket: int) -> Optional[DeploymentResult]:

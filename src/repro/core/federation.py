@@ -108,8 +108,11 @@ class Federation:
                            % (info.name, exc),
                 )
             if result.accepted:
-                if request.module_name:
-                    self.placements[request.module_name] = info.name
+                # Track by the controller-assigned id: requests with
+                # no explicit module_name used to leak -- deployed but
+                # absent from placements, so the federation could
+                # never kill or bill-attribute them.
+                self.placements[result.module_id] = info.name
                 return FederatedDeployment(
                     operator=info.name, result=result
                 )
@@ -135,6 +138,25 @@ class Federation:
         if info is None:
             return False
         return info.controller.kill(module_id)
+
+    def prune_placements(self) -> List[str]:
+        """Drop placements whose module is gone at the operator.
+
+        A module killed directly at its controller (an operator-side
+        evacuation, or the tenant talking to the operator out of
+        band) leaves a stale placement behind; pruning reconciles the
+        federation's view.  Returns the module ids dropped.
+        """
+        stale = [
+            module_id
+            for module_id, operator_name in self.placements.items()
+            if operator_name not in self.operators
+            or module_id not in
+            self.operators[operator_name].controller.deployed
+        ]
+        for module_id in stale:
+            del self.placements[module_id]
+        return stale
 
     def deployments(self) -> Dict[str, str]:
         """module id -> operator name, for everything still running."""

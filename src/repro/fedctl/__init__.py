@@ -1,0 +1,50 @@
+"""The federated control plane (``fedctl``).
+
+The paper's single controller, scaled out: N controller shards behind
+one deterministic admission front-end, a gossip-shared security-verdict
+cache, and journal-replay failover when a whole shard dies.  See
+``docs/federation.md`` for the shard-map contract, gossip semantics,
+and the failover protocol.
+"""
+
+from repro.fedctl.gossip import (
+    GossipBus,
+    GossipingVerdictCache,
+    attach_gossip_cache,
+)
+from repro.fedctl.invariants import (
+    check_federation_invariants,
+    collect_federation_violations,
+    federation_digest,
+)
+from repro.fedctl.plane import (
+    ControllerShard,
+    FederatedControlPlane,
+    FederatedDecision,
+    FederationFrontend,
+    FailoverOutcome,
+    ShardSegment,
+    shard_network,
+)
+from repro.fedctl.seeding import seed_residents, tenant_ids_for_shard
+from repro.fedctl.shardmap import AddressRangeIndex, ShardMap
+
+__all__ = [
+    "AddressRangeIndex",
+    "ControllerShard",
+    "FederatedControlPlane",
+    "FederatedDecision",
+    "FederationFrontend",
+    "FailoverOutcome",
+    "GossipBus",
+    "GossipingVerdictCache",
+    "ShardMap",
+    "ShardSegment",
+    "attach_gossip_cache",
+    "check_federation_invariants",
+    "collect_federation_violations",
+    "federation_digest",
+    "seed_residents",
+    "shard_network",
+    "tenant_ids_for_shard",
+]

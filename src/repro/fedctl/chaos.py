@@ -1,0 +1,222 @@
+"""Chaos scenario: a whole controller shard dies mid-deploy.
+
+PR 4's harness killed platforms and controllers under a *single*
+control plane; the federated analogue kills an entire controller shard
+-- journal, trial placements, verdict cache and all -- while the rest
+of the federation keeps serving.  The scenario asserts the full
+failover contract:
+
+* the deterministic heir (ring successor) adopts every one of the
+  victim's tenants by journal replay;
+* an admission orphaned between its intent and commit records is
+  reconciled away (the trial placement is removed, the pending intent
+  survives in the journal for audit);
+* the per-segment state digests are *equal* before the crash and after
+  adoption -- replay reconstructs exactly the committed state;
+* the victim's tenants keep working: their next request routes to the
+  heir (shard-map delegation) and is admitted against their adopted
+  state, and their modules can be killed through the front-end;
+* the heir's recovered verdict cache is re-warmed by anti-entropy, so
+  the victim's configs stay warm hits federation-wide;
+* :mod:`repro.fedctl.invariants` holds across the whole federation
+  after every step.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.fedctl.invariants import (
+    collect_federation_violations,
+    federation_digest,
+)
+from repro.fedctl.plane import FederatedControlPlane
+from repro.resilience.chaos import ChaosReport, _module_request
+from repro.resilience.journal import OP_DEPLOY, PHASE_INTENT
+
+#: Per-shard module floor before the crash: the victim must die with
+#: real tenant state to adopt.
+MODULES_PER_SHARD = 2
+
+SCENARIO = "shard-death"
+
+
+def run_shard_death(
+    seed: int = 0, obs=None, victim: str = "shard-0"
+) -> ChaosReport:
+    """One shard-death failover run; returns a chaos report."""
+    report = ChaosReport(scenario=SCENARIO, seed=seed)
+    # gossip_every=1: a verdict is rumored to every peer before the
+    # next admission, so later shards take warm remote hits during
+    # setup (asserted below).
+    plane = FederatedControlPlane(
+        shard_count=3, gossip_every=1, obs=obs
+    )
+
+    # -- populate every shard with tenant modules ---------------------------
+    per_shard = {shard_id: 0 for shard_id in plane.shards}
+    probe = 0
+    while min(per_shard.values()) < MODULES_PER_SHARD:
+        if probe >= 500:
+            report.failures.append(
+                "could not spread %d modules per shard over the ring"
+                % MODULES_PER_SHARD
+            )
+            return report
+        client = "tenant-%d-%d" % (seed, probe)
+        probe += 1
+        shard_id = plane.shard_map.route(client)
+        if per_shard[shard_id] >= MODULES_PER_SHARD:
+            continue
+        module = "m-%d-%d" % (seed, probe)
+        decision = plane.submit(_module_request(client, module))
+        if not decision:
+            report.failures.append(
+                "setup deploy %s failed: %s"
+                % (module, decision.result.reason)
+            )
+            return report
+        if decision.shard != shard_id:
+            report.failures.append(
+                "front-end routed %s to %s, map says %s"
+                % (client, decision.shard, shard_id)
+            )
+        per_shard[shard_id] += 1
+        report.events.append(
+            "deployed %s for %s on %s" % (module, client, shard_id)
+        )
+    report.failures.extend(collect_federation_violations(plane))
+    # Every tenant ships the same config: only the first shard to see
+    # it may verify it; everyone else must be served by gossip.
+    if plane.stats()["gossip_remote_hits"] == 0:
+        report.failures.append(
+            "no shard took a warm remote verdict hit during setup"
+        )
+
+    victim_shard = plane.shards[victim]
+    victim_segment = victim_shard.segments[victim]
+    victim_tenants = sorted(victim_segment.tenants)
+    victim_modules = sorted(victim_segment.controller.deployed)
+    expected_heir = plane.shard_map.successor(victim)
+    digest_before = federation_digest(plane)
+
+    # -- the shard dies between a deploy's intent and its commit ------------
+    platform_name = sorted(
+        p.name for p in victim_segment.network.platforms()
+    )[0]
+    platform = victim_segment.network.node(platform_name)
+    orphan_request = _module_request("tenant-orphan", "orphan")
+    orphan_config = orphan_request.parse_click_config()
+    orphan_address = platform.allocate_address()
+    victim_segment.journal.append(
+        OP_DEPLOY, PHASE_INTENT,
+        module_id="orphan", client_id="tenant-orphan",
+        platform=platform_name, address=orphan_address,
+        sandboxed=False, proto=17, port=1500,
+        timestamp=plane._clock(), config=orphan_config,
+    )
+    platform.deploy(
+        "orphan", orphan_address, orphan_config, proto=17, port=1500
+    )
+    report.events.append(
+        "%s crashed mid-deploy of 'orphan' on %s"
+        % (victim, platform_name)
+    )
+
+    # -- failover -----------------------------------------------------------
+    outcome = plane.fail_shard(victim, failed_at=plane._clock())
+    report.mttr_s = outcome.mttr_s
+    report.evacuated = victim_modules
+    report.events.append(
+        "heir %s adopted %d modules / %d tenants (mttr %.4fs)"
+        % (outcome.heir, outcome.adopted_modules,
+           outcome.adopted_tenants, outcome.mttr_s)
+    )
+    if outcome.heir != expected_heir:
+        report.failures.append(
+            "heir was %s, ring successor is %s"
+            % (outcome.heir, expected_heir)
+        )
+    digest_after = federation_digest(plane)
+    report.digest_equal = (digest_before == digest_after)
+    if not report.digest_equal:
+        report.failures.append(
+            "journal replay did not reconstruct the pre-crash "
+            "federation state"
+        )
+    if "orphan" in platform.modules:
+        report.failures.append(
+            "orphan trial placement was not reconciled"
+        )
+    pending = [
+        r.module_id for r in victim_segment.journal.pending_intents()
+    ]
+    if pending != ["orphan"]:
+        report.failures.append(
+            "expected one pending intent for 'orphan', got %s"
+            % (pending,)
+        )
+    report.failures.extend(
+        "post-failover: %s" % p
+        for p in collect_federation_violations(plane)
+    )
+
+    # -- the victim's tenants keep working on the heir ----------------------
+    for client in victim_tenants:
+        if plane.shard_map.route(client) != outcome.heir:
+            report.failures.append(
+                "tenant %s no longer routes to the heir" % client
+            )
+    survivor = victim_tenants[0]
+    decision = plane.submit(
+        _module_request(survivor, "post-failover-%d" % seed)
+    )
+    if not decision:
+        report.failures.append(
+            "post-failover admission for %s denied: %s"
+            % (survivor, decision.result.reason)
+        )
+    elif decision.shard != outcome.heir:
+        report.failures.append(
+            "post-failover admission landed on %s, not the heir %s"
+            % (decision.shard, outcome.heir)
+        )
+    elif decision.segment != victim:
+        report.failures.append(
+            "post-failover admission used segment %s, not the "
+            "adopted %s" % (decision.segment, victim)
+        )
+    # The crash wiped the victim's verdict cache; the failover's
+    # anti-entropy round must have re-warmed the recovered copy with
+    # every verdict its live peers hold.
+    heir_shard = plane.shards[outcome.heir]
+    adopted_cache = (
+        heir_shard.segments[victim].controller.analyzer.cache
+    )
+    home_cache = (
+        heir_shard.segments[outcome.heir].controller.analyzer.cache
+    )
+    missing = [
+        key for key in home_cache.entries()
+        if key not in adopted_cache.entries()
+    ]
+    if missing:
+        report.failures.append(
+            "anti-entropy left %d verdicts missing from the "
+            "recovered cache" % len(missing)
+        )
+    if victim_modules and not plane.kill(victim_modules[0]):
+        report.failures.append(
+            "could not kill adopted module %s through the front-end"
+            % victim_modules[0]
+        )
+    report.failures.extend(
+        "post-ops: %s" % p
+        for p in collect_federation_violations(plane)
+    )
+    return report
+
+
+def run_all(seeds=(1, 2, 3), obs=None) -> List[ChaosReport]:
+    """The shard-death scenario across seeds, in a stable order."""
+    return [run_shard_death(seed=seed, obs=obs) for seed in seeds]

@@ -1,0 +1,159 @@
+"""Federation-wide safety invariants.
+
+PR 4's :mod:`repro.resilience.invariants` checks one controller against
+one network.  A federation adds cross-shard ways to be wrong: two
+shards believing they hold the same module, a tenant whose modules live
+on a shard the map no longer routes them to, two platforms claiming
+overlapping address pools.  This module layers those checks on top of
+the per-segment suite:
+
+1. every live segment passes the full single-controller suite;
+2. **placement bijection, federation-wide** -- the front-end's
+   ``placements`` map and the union of segment ``deployed`` maps are
+   the same set, and no module id appears in two segments;
+3. **tenant routing consistency** -- for every deployed module, the
+   shard map routes its owner to the shard actually holding it (so a
+   tenant's next request lands where its state lives);
+4. **address-pool disjointness** -- platform pools across all live
+   segments never overlap, and the front-end's address index agrees
+   about who owns each pool;
+5. dead shards hold nothing.
+
+:func:`federation_digest` extends PR 4's state digest across the
+federation, keyed by *segment* id -- segment identity survives
+failover, so digests taken before a shard death and after its heir's
+journal replay are directly comparable.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Set, Tuple
+
+from repro.common.addr import format_ip, prefix_range
+from repro.resilience.invariants import (
+    InvariantViolation,
+    collect_violations,
+    controller_state_digest,
+)
+
+
+def collect_federation_violations(
+    plane, external_addresses: Optional[Dict[str, Set[int]]] = None
+) -> List[str]:
+    """Every broken federation invariant, as human-readable strings."""
+    problems: List[str] = []
+
+    # 5. Dead shards hold nothing (their segments moved to the heir).
+    for shard_id, shard in plane.shards.items():
+        if not shard.alive and shard.segments:
+            problems.append(
+                "dead shard %s still holds segments %s"
+                % (shard_id, sorted(shard.segments))
+            )
+
+    # 1. Per-segment single-controller suite.
+    for shard in plane.live_shards():
+        for segment_id, segment in shard.segments.items():
+            for problem in collect_violations(
+                segment.controller, external_addresses
+            ):
+                problems.append(
+                    "%s/%s: %s" % (shard.shard_id, segment_id, problem)
+                )
+
+    # 2. Placement bijection across the federation.
+    seen: Dict[str, Tuple[str, str]] = {}
+    for shard in plane.live_shards():
+        for segment_id, segment in shard.segments.items():
+            for module_id in segment.controller.deployed:
+                if module_id in seen:
+                    problems.append(
+                        "module %s deployed on both %s/%s and %s/%s"
+                        % (module_id, *seen[module_id],
+                           shard.shard_id, segment_id)
+                    )
+                    continue
+                seen[module_id] = (shard.shard_id, segment_id)
+    for module_id, placed in sorted(plane.placements.items()):
+        if module_id not in seen:
+            problems.append(
+                "placement %s -> %s/%s has no deployed module"
+                % (module_id, placed[0], placed[1])
+            )
+        elif seen[module_id] != tuple(placed):
+            problems.append(
+                "placement says %s runs on %s/%s but it is deployed "
+                "on %s/%s" % (module_id, placed[0], placed[1],
+                              *seen[module_id])
+            )
+    for module_id, holder in sorted(seen.items()):
+        if module_id not in plane.placements:
+            problems.append(
+                "module %s deployed on %s/%s is missing from the "
+                "front-end placements" % (module_id, *holder)
+            )
+
+    # 3. Tenant routing consistency: state lives where the map routes.
+    for shard in plane.live_shards():
+        for segment_id, segment in shard.segments.items():
+            for module_id, record in segment.controller.deployed.items():
+                routed = plane.shard_map.route(record.client_id)
+                if routed != shard.shard_id:
+                    problems.append(
+                        "tenant %s routes to %s but its module %s "
+                        "lives on %s/%s"
+                        % (record.client_id, routed, module_id,
+                           shard.shard_id, segment_id)
+                    )
+
+    # 4. Address-pool disjointness + index agreement.
+    pools: List[Tuple[int, int, str, str]] = []
+    for shard in plane.live_shards():
+        for segment_id, segment in shard.segments.items():
+            for platform in segment.network.platforms():
+                low, high = prefix_range(
+                    platform.pool_network, platform.pool_plen
+                )
+                pools.append(
+                    (low, high, shard.shard_id, platform.name)
+                )
+    pools.sort()
+    for (low, high, shard_id, name), nxt in zip(pools, pools[1:]):
+        if nxt[0] <= high:
+            problems.append(
+                "platform pools overlap: %s on %s and %s on %s both "
+                "cover %s" % (name, shard_id, nxt[3], nxt[2],
+                              format_ip(nxt[0]))
+            )
+    for low, high, shard_id, name in pools:
+        indexed = plane.address_index.owner_of(low)
+        if indexed != shard_id:
+            problems.append(
+                "address index says %s owns %s's pool (platform %s, "
+                "held by %s)"
+                % (indexed, format_ip(low), name, shard_id)
+            )
+
+    return problems
+
+
+def check_federation_invariants(
+    plane, external_addresses: Optional[Dict[str, Set[int]]] = None
+) -> None:
+    """Raise :class:`InvariantViolation` listing every broken invariant."""
+    problems = collect_federation_violations(plane, external_addresses)
+    if problems:
+        raise InvariantViolation(
+            "federation invariants violated:\n  "
+            + "\n  ".join(problems)
+        )
+
+
+def federation_digest(plane) -> Dict[str, dict]:
+    """Canonical state digest per live segment (pre/post-failover
+    comparable: segments keep their identity across adoption)."""
+    return {
+        segment.segment_id:
+            controller_state_digest(segment.controller)
+        for segment in plane.segments()
+    }

@@ -1,0 +1,605 @@
+"""The federated control plane: sharded controllers behind one front-end.
+
+The paper's controller (Section 4.3) is one machine verifying every
+request; Figure 10 shows its per-request cost growing with resident
+state.  :class:`FederatedControlPlane` is the production shape hinted
+at in "Scaling the controller": N :class:`~repro.core.controller.Controller`
+shards, each owning a slice of the operator's platforms and tenants,
+behind a deterministic admission front-end.
+
+* **Routing** -- a consistent-hash :class:`~repro.fedctl.shardmap.ShardMap`
+  over tenant ids (per-tenant ordering: one tenant always talks to one
+  shard), plus an :class:`~repro.fedctl.shardmap.AddressRangeIndex`
+  over platform pools for cross-domain requests that name an address.
+* **Verdict sharing** -- each shard's
+  :class:`~repro.core.cache.CachingSecurityAnalyzer` gets a
+  :class:`~repro.fedctl.gossip.GossipingVerdictCache`, so a config
+  fingerprint verified anywhere is a warm hit everywhere (bounded
+  staleness: a gossip round runs every ``gossip_every`` admissions).
+* **Failover** -- every shard journals to its own write-ahead
+  :class:`~repro.resilience.journal.DeploymentJournal`; when a shard
+  dies, the deterministic heir (ring successor) replays the journal
+  with :meth:`Controller.recover`, adopts the dead shard's platforms,
+  address ranges, and tenants as a **segment**, and the shard map
+  delegates the dead shard's ring range to the heir.
+* **Federation seam** -- :meth:`frontend` returns a Controller-like
+  facade (``request``/``kill``/``ledger``), so the existing
+  :class:`repro.core.federation.Federation` (and the CDN/DoS usecases
+  on top of it) can treat the whole federation as one operator.
+
+Instrumentation: per-shard admission latency and outcome counters,
+gossip hit/miss accounting, failover MTTR, and a ``fedctl`` span tree
+(``fedctl.submit`` > ``admit`` > ``compile``/``security``/``check``).
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Set, Tuple
+
+from repro.common.addr import prefix_range
+from repro.common.errors import ConfigError, DeploymentError
+from repro.core.controller import Controller, DeploymentResult
+from repro.core.requests import ClientRequest
+from repro.fedctl.gossip import GossipBus, attach_gossip_cache
+from repro.fedctl.shardmap import AddressRangeIndex, ShardMap
+from repro.netmodel.topology import Network
+from repro.resilience.journal import DeploymentJournal
+
+
+def shard_network(
+    index: int,
+    capacity: int = 8,
+    resident_capacity: int = 0,
+) -> Network:
+    """The default per-shard operator view.
+
+    Every shard sees the shared client subnet and the internet, and
+    owns two platforms with federation-wide disjoint pools.  With
+    ``resident_capacity`` set, a third platform with a /14 pool holds
+    pre-seeded resident modules (benchmark rigs); its pool octets are
+    disjoint across shards too.
+
+    ::
+
+        internet -- r1 -- p<i>-a / p<i>-b [/ res<i>]
+                     |
+                    r2 -- clients (172.16/16)
+    """
+    net = Network("shard-%d" % index)
+    net.add_internet()
+    net.add_router("r1")
+    net.add_router("r2")
+    net.add_client_subnet("clients", "172.16.0.0/16")
+    net.add_platform(
+        "p%d-a" % index, "10.%d.0.0/24" % (1 + 2 * index),
+        capacity=capacity,
+    )
+    net.add_platform(
+        "p%d-b" % index, "10.%d.0.0/24" % (2 + 2 * index),
+        capacity=capacity,
+    )
+    net.link("internet", "r1")
+    net.link("r1", "p%d-a" % index)
+    net.link("r1", "p%d-b" % index)
+    if resident_capacity:
+        net.add_platform(
+            "res%d" % index, "10.%d.0.0/14" % (64 + 4 * index),
+            capacity=resident_capacity,
+        )
+        net.link("r1", "res%d" % index)
+    net.link("r1", "r2")
+    net.link("r2", "clients")
+    net.compute_routes()
+    return net
+
+
+@dataclass
+class ShardSegment:
+    """One journaled controller domain: a shard's unit of failover.
+
+    A healthy shard holds exactly its *home* segment.  After adopting a
+    dead peer, the heir additionally holds the victim's segment(s) --
+    same ``segment_id``, same network and journal objects, a freshly
+    recovered controller.  Keeping segments separate (instead of
+    merging state into the heir's own controller) is what makes a
+    later hand-back, and per-segment digest comparison, possible.
+    """
+
+    segment_id: str
+    network: Network
+    journal: DeploymentJournal
+    controller: Controller
+    #: Tenants with state in this segment.
+    tenants: Set[str] = field(default_factory=set)
+
+
+@dataclass
+class ControllerShard:
+    """One member of the federation: a shard id plus its segments."""
+
+    shard_id: str
+    alive: bool = True
+    #: segment id -> segment; the home segment's id == shard_id.
+    segments: Dict[str, ShardSegment] = field(default_factory=dict)
+
+    @property
+    def home(self) -> ShardSegment:
+        return self.segments[self.shard_id]
+
+    def segment_for(self, client_id: str) -> ShardSegment:
+        """The segment holding a tenant (adopted segments first)."""
+        for segment in self.segments.values():
+            if segment.segment_id != self.shard_id and (
+                client_id in segment.tenants
+            ):
+                return segment
+        return self.segments[self.shard_id]
+
+    def deployed_count(self) -> int:
+        return sum(
+            len(s.controller.deployed) for s in self.segments.values()
+        )
+
+
+@dataclass
+class FederatedDecision:
+    """What the front-end returns for one submitted request."""
+
+    shard: str
+    segment: str
+    result: DeploymentResult
+
+    def __bool__(self) -> bool:
+        return bool(self.result)
+
+
+@dataclass
+class FailoverOutcome:
+    """Report of one shard failover."""
+
+    victim: str
+    heir: str
+    adopted_segments: List[str] = field(default_factory=list)
+    adopted_modules: int = 0
+    adopted_tenants: int = 0
+    #: Detection latency + journal replay, the federation's MTTR.
+    mttr_s: float = 0.0
+
+
+class _AggregateInvoice:
+    """Sum of a client's invoices across every segment."""
+
+    __slots__ = ("total", "parts")
+
+    def __init__(self, parts):
+        self.parts = list(parts)
+        self.total = sum(p.total for p in self.parts)
+
+
+class _FederatedLedger:
+    """Ledger facade over every live segment (the Federation seam only
+    needs ``invoice(client_id, now).total``)."""
+
+    def __init__(self, plane: "FederatedControlPlane"):
+        self._plane = plane
+
+    def invoice(self, client_id: str, now: float) -> _AggregateInvoice:
+        return _AggregateInvoice(
+            segment.controller.ledger.invoice(client_id, now)
+            for segment in self._plane.segments()
+        )
+
+
+class FederationFrontend:
+    """Controller-like adapter: the whole federation as one operator.
+
+    Implements the slice of the :class:`Controller` API the
+    :class:`repro.core.federation.Federation` seam uses --
+    ``request``, ``kill``, and ``ledger`` -- so CDN/DoS usecases run
+    unchanged on top of a sharded control plane.
+    """
+
+    def __init__(self, plane: "FederatedControlPlane"):
+        self._plane = plane
+        self.ledger = _FederatedLedger(plane)
+
+    def request(
+        self,
+        request: ClientRequest,
+        pinned_platform: Optional[str] = None,
+        dry_run: bool = False,
+    ) -> DeploymentResult:
+        return self._plane.submit(
+            request, pinned_platform=pinned_platform, dry_run=dry_run
+        ).result
+
+    def kill(self, module_id: str) -> bool:
+        return self._plane.kill(module_id)
+
+    @property
+    def deployed(self) -> Dict[str, object]:
+        """module id -> deployment record, across every live segment
+        (Federation-side placement pruning reads this)."""
+        out: Dict[str, object] = {}
+        for segment in self._plane.segments():
+            out.update(segment.controller.deployed)
+        return out
+
+
+class FederatedControlPlane:
+    """N controller shards, one deterministic admission front-end."""
+
+    def __init__(
+        self,
+        shard_count: int = 4,
+        network_factory: Optional[Callable[[int], Network]] = None,
+        operator_requirements: str = "",
+        obs=None,
+        clock=None,
+        gossip_every: int = 8,
+        verdict_capacity: int = 4096,
+        vnodes: int = 64,
+    ):
+        from repro.obs import NULL_OBSERVABILITY
+
+        if shard_count < 1:
+            raise ValueError("need at least one shard")
+        self.operator_requirements = operator_requirements
+        self.gossip_every = gossip_every
+        self.verdict_capacity = verdict_capacity
+        self._clock = clock if clock is not None else time.time
+        self._obs_arg = obs
+        self._obs = obs if obs is not None else NULL_OBSERVABILITY
+        self._tracer = self._obs.tracer
+        metrics = self._obs.metrics
+        self._h_admission = metrics.histogram(
+            "fedctl_admission_seconds",
+            "Front-end wall-clock seconds per admission",
+            labels=("shard",),
+        )
+        self._c_requests = metrics.counter(
+            "fedctl_requests_total",
+            "Admissions through the front-end by shard and outcome",
+            labels=("shard", "outcome"),
+        )
+        self._c_failovers = metrics.counter(
+            "fedctl_failovers_total",
+            "Shard failovers by outcome", labels=("outcome",),
+        )
+        self._h_failover = metrics.histogram(
+            "fedctl_failover_seconds",
+            "Shard failover MTTR (detection + journal replay)",
+        )
+        network_factory = (
+            network_factory if network_factory is not None
+            else shard_network
+        )
+        shard_ids = ["shard-%d" % i for i in range(shard_count)]
+        self.shard_map = ShardMap(shard_ids, vnodes=vnodes)
+        self.bus = GossipBus(obs=obs)
+        self.address_index = AddressRangeIndex()
+        self.shards: Dict[str, ControllerShard] = {}
+        for index, shard_id in enumerate(shard_ids):
+            network = network_factory(index)
+            segment = self._make_segment(shard_id, network)
+            self.shards[shard_id] = ControllerShard(
+                shard_id=shard_id,
+                segments={shard_id: segment},
+            )
+            for platform in network.platforms():
+                low, high = prefix_range(
+                    platform.pool_network, platform.pool_plen
+                )
+                self.address_index.register(low, high, shard_id)
+        #: module id -> (holding shard id, segment id); federation-wide
+        #: module ids are unique (the front-end enforces it).
+        self.placements: Dict[str, Tuple[str, str]] = {}
+        self.failovers: List[FailoverOutcome] = []
+        self._admissions = 0
+        if self._obs.enabled:
+            metrics.register_collector(
+                self._collect_gauges, key=("fedctl", id(self)),
+            )
+
+    # -- construction helpers -----------------------------------------------
+    def _make_segment(
+        self,
+        segment_id: str,
+        network: Network,
+        journal: Optional[DeploymentJournal] = None,
+        recover: bool = False,
+        cache_member: Optional[str] = None,
+    ) -> ShardSegment:
+        journal = (
+            journal if journal is not None
+            else DeploymentJournal(obs=self._obs_arg)
+        )
+        if recover:
+            controller = Controller.recover(
+                network, journal,
+                operator_requirements=self.operator_requirements,
+                clock=self._clock, obs=self._obs_arg,
+            )
+        else:
+            controller = Controller(
+                network,
+                operator_requirements=self.operator_requirements,
+                clock=self._clock, obs=self._obs_arg, journal=journal,
+            )
+        member = cache_member if cache_member is not None else segment_id
+        attach_gossip_cache(
+            controller.analyzer, self.bus, member,
+            capacity=self.verdict_capacity,
+        )
+        if self._obs.enabled:
+            controller.analyzer.instrument(
+                self._obs.metrics, "verdict:%s" % member
+            )
+        tenants: Set[str] = set()
+        if recover:
+            tenants.update(
+                record.client_id
+                for record in journal.live_state().values()
+            )
+            tenants.update(journal.registered_addresses())
+        return ShardSegment(
+            segment_id=segment_id, network=network,
+            journal=journal, controller=controller, tenants=tenants,
+        )
+
+    # -- admission front-end ------------------------------------------------
+    def submit(
+        self,
+        request: ClientRequest,
+        pinned_platform: Optional[str] = None,
+        dry_run: bool = False,
+    ) -> FederatedDecision:
+        """Route one request to its shard and admit it there.
+
+        Per-tenant ordering holds by construction: a tenant's requests
+        always resolve to the same live shard (via delegation after a
+        failover), and each shard serializes its own admissions.
+        """
+        started = time.perf_counter()
+        with self._tracer.span(
+            "fedctl.submit",
+            client_id=request.client_id, dry_run=dry_run,
+        ) as span:
+            shard_id = self.shard_map.route(request.client_id)
+            span.set("shard", shard_id)
+            shard = self.shards[shard_id]
+            segment = shard.segment_for(request.client_id)
+            span.set("segment", segment.segment_id)
+            result = self._admit_on(
+                segment, request, pinned_platform, dry_run
+            )
+            span.set("accepted", result.accepted)
+        self._h_admission.labels(shard_id).observe(
+            time.perf_counter() - started
+        )
+        self._c_requests.labels(
+            shard_id, "accepted" if result.accepted else "rejected"
+        ).inc()
+        if result.accepted and not dry_run:
+            self.placements[result.module_id] = (
+                shard_id, segment.segment_id
+            )
+            segment.tenants.add(request.client_id)
+        self._admissions += 1
+        if self.gossip_every and (
+            self._admissions % self.gossip_every == 0
+        ):
+            self.gossip_round()
+        return FederatedDecision(
+            shard=shard_id, segment=segment.segment_id, result=result
+        )
+
+    def _admit_on(
+        self,
+        segment: ShardSegment,
+        request: ClientRequest,
+        pinned_platform: Optional[str],
+        dry_run: bool,
+    ) -> DeploymentResult:
+        # Module ids are federation-wide handles (kill/migrate route by
+        # them), so enforce global uniqueness before the shard's local
+        # check.
+        if request.module_name and (
+            request.module_name in self.placements
+        ):
+            holder, _segment = self.placements[request.module_name]
+            return DeploymentResult(
+                accepted=False,
+                reason="module name %r already in use on %s"
+                       % (request.module_name, holder),
+            )
+        return segment.controller.request(
+            request, pinned_platform=pinned_platform, dry_run=dry_run
+        )
+
+    def kill(self, module_id: str) -> bool:
+        """Tear a module down wherever it runs in the federation."""
+        placed = self.placements.get(module_id)
+        if placed is None:
+            return False
+        shard_id, segment_id = placed
+        segment = self.shards[shard_id].segments[segment_id]
+        killed = segment.controller.kill(module_id)
+        if killed:
+            self.placements.pop(module_id, None)
+        return killed
+
+    def resolve_address(self, address: int) -> Optional[str]:
+        """The shard whose platforms own an address (cross-domain
+        requests that name a target address instead of a tenant)."""
+        return self.address_index.owner_of(address)
+
+    # -- gossip -------------------------------------------------------------
+    def gossip_round(self) -> int:
+        """Drain every shard's rumor inbox (bounded-staleness tick)."""
+        with self._tracer.span("fedctl.gossip", kind="round"):
+            return self.bus.drain_all()
+
+    def anti_entropy_round(self) -> int:
+        """Full pairwise verdict sync (reconciles dropped rumors)."""
+        with self._tracer.span("fedctl.gossip", kind="anti-entropy"):
+            return self.bus.anti_entropy()
+
+    # -- failover -----------------------------------------------------------
+    def fail_shard(
+        self,
+        shard_id: str,
+        heir_id: Optional[str] = None,
+        failed_at: Optional[float] = None,
+    ) -> FailoverOutcome:
+        """A whole controller shard died: the heir adopts its tenants.
+
+        For every segment the victim held (its home, plus anything it
+        had itself adopted), the heir replays the segment's write-ahead
+        journal with :meth:`Controller.recover` -- reconciling trial
+        placements orphaned mid-deploy -- and takes over the segment's
+        platforms, address ranges, and tenants.  The shard map then
+        delegates the victim's ring range to the heir, so the victim's
+        tenants keep their per-tenant ordering on a single live shard.
+
+        ``failed_at`` (on the plane's clock) models detection latency;
+        MTTR = detection + replay.
+        """
+        victim = self.shards.get(shard_id)
+        if victim is None:
+            raise ConfigError("unknown shard %r" % (shard_id,))
+        if not victim.alive:
+            raise ConfigError("shard %r is already down" % (shard_id,))
+        detection = 0.0
+        if failed_at is not None:
+            detection = max(0.0, self._clock() - failed_at)
+        victim.alive = False
+        heir_id = (
+            heir_id if heir_id is not None
+            else self.shard_map.successor(shard_id)
+        )
+        heir = self.shards[heir_id]
+        if not heir.alive:
+            raise ConfigError(
+                "heir shard %r is not alive" % (heir_id,)
+            )
+        started = time.perf_counter()
+        outcome = FailoverOutcome(victim=shard_id, heir=heir_id)
+        with self._tracer.span(
+            "fedctl.failover", victim=shard_id, heir=heir_id,
+        ):
+            self.shard_map.delegate(shard_id, heir_id)
+            # The dead shard's caches stop receiving rumors.
+            for segment in victim.segments.values():
+                self.bus.leave(
+                    segment.controller.analyzer.cache.shard_id
+                )
+            # Stale placements (e.g. an intent that never committed)
+            # are rebuilt from the journals below.
+            for module_id in [
+                m for m, (holder, _s) in self.placements.items()
+                if holder == shard_id
+            ]:
+                del self.placements[module_id]
+            for segment_id, segment in sorted(victim.segments.items()):
+                with self._tracer.span(
+                    "fedctl.replay", segment=segment_id,
+                ):
+                    adopted = self._make_segment(
+                        segment_id, segment.network,
+                        journal=segment.journal, recover=True,
+                        cache_member="%s@%s" % (segment_id, heir_id),
+                    )
+                heir.segments[segment_id] = adopted
+                outcome.adopted_segments.append(segment_id)
+                outcome.adopted_modules += len(
+                    adopted.controller.deployed
+                )
+                outcome.adopted_tenants += len(adopted.tenants)
+                for module_id in adopted.controller.deployed:
+                    self.placements[module_id] = (heir_id, segment_id)
+            victim.segments = {}
+            self.address_index.reassign(shard_id, heir_id)
+            # Catch-up: the recovered segments joined the bus with
+            # empty caches; one anti-entropy round re-warms them with
+            # every verdict the federation already holds.
+            self.bus.anti_entropy()
+        outcome.mttr_s = detection + (time.perf_counter() - started)
+        self._c_failovers.labels("adopted").inc()
+        self._h_failover.observe(outcome.mttr_s)
+        self.failovers.append(outcome)
+        return outcome
+
+    # -- views --------------------------------------------------------------
+    def frontend(self) -> FederationFrontend:
+        """The Controller-like facade for the Federation seam."""
+        return FederationFrontend(self)
+
+    def segments(self) -> List[ShardSegment]:
+        """Every live segment, in shard order."""
+        return [
+            segment
+            for shard in self.shards.values() if shard.alive
+            for segment in shard.segments.values()
+        ]
+
+    def live_shards(self) -> List[ControllerShard]:
+        return [s for s in self.shards.values() if s.alive]
+
+    def stats(self) -> dict:
+        """Operator-facing counters (available without observability)."""
+        shards = {}
+        for shard_id, shard in self.shards.items():
+            shards[shard_id] = {
+                "alive": shard.alive,
+                "segments": {
+                    segment_id: {
+                        "deployed": len(segment.controller.deployed),
+                        "tenants": len(segment.tenants),
+                        "journal_records": len(segment.journal),
+                    }
+                    for segment_id, segment in shard.segments.items()
+                },
+            }
+        remote_hits = sum(
+            getattr(s.controller.analyzer.cache, "remote_hits", 0)
+            for s in self.segments()
+        )
+        return {
+            "admissions": self._admissions,
+            "placements": len(self.placements),
+            "failovers": len(self.failovers),
+            "gossip_remote_hits": remote_hits,
+            "shards": shards,
+        }
+
+    def _collect_gauges(self) -> None:
+        metrics = self._obs.metrics
+        g_live = metrics.gauge(
+            "fedctl_live_shards", "Shards currently alive",
+        )
+        g_live.set(len(self.live_shards()))
+        g_modules = metrics.gauge(
+            "fedctl_deployed_modules",
+            "Deployed modules by holding shard", labels=("shard",),
+        )
+        g_tenants = metrics.gauge(
+            "fedctl_tenants",
+            "Tenants with state by holding shard", labels=("shard",),
+        )
+        g_remote = metrics.gauge(
+            "fedctl_gossip_remote_hits",
+            "Verdict-cache hits served from gossiped entries",
+            labels=("shard",),
+        )
+        for shard_id, shard in self.shards.items():
+            g_modules.labels(shard_id).set(shard.deployed_count())
+            g_tenants.labels(shard_id).set(sum(
+                len(s.tenants) for s in shard.segments.values()
+            ))
+            g_remote.labels(shard_id).set(sum(
+                getattr(s.controller.analyzer.cache, "remote_hits", 0)
+                for s in shard.segments.values()
+            ))

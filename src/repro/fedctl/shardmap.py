@@ -1,0 +1,214 @@
+"""Deterministic tenant/address sharding for the federated control plane.
+
+The paper scales one controller (Figure 10); a production operator runs
+many.  Two routing questions then need deterministic, replicable
+answers on every front-end instance:
+
+* **which shard owns a tenant?** -- :class:`ShardMap`, consistent
+  hashing over tenant ids with virtual nodes.  Adding a shard moves
+  only ~1/N of the tenants; every front-end computes the same
+  assignment from the shard list alone, no coordination.
+* **which shard owns an address?** -- :class:`AddressRangeIndex`, an
+  interval map over the platform address pools each shard manages.
+  Cross-domain requests ("filter traffic to 10.66.0.9") resolve to the
+  shard whose platforms own that range.
+
+A dead shard is never removed from the ring -- its tokens stay, and a
+**delegation** (dead shard -> heir) is layered on top.  That keeps the
+map total (every tenant id still resolves) while preserving the
+per-tenant ordering guarantee: *all* of a dead shard's tenants follow
+its journal to the single heir that replayed it, instead of being
+re-scattered over the ring.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from typing import Dict, Iterable, List, Optional, Tuple
+
+from repro.common.errors import ConfigError
+
+
+def _token(text: str) -> int:
+    """A stable 64-bit ring position for a string."""
+    return int.from_bytes(
+        hashlib.sha256(text.encode()).digest()[:8], "big"
+    )
+
+
+class ShardMap:
+    """Consistent-hash ring mapping tenant keys to controller shards."""
+
+    def __init__(self, shard_ids: Iterable[str], vnodes: int = 64):
+        if vnodes < 1:
+            raise ValueError("need at least one virtual node per shard")
+        self.vnodes = vnodes
+        self._shards: Dict[str, bool] = {}   # shard id -> alive
+        #: (token, shard id), token-sorted.  Tokens of dead shards stay.
+        self._ring: List[Tuple[int, str]] = []
+        #: dead shard -> heir that adopted its tenants.
+        self.delegations: Dict[str, str] = {}
+        for shard_id in shard_ids:
+            self.add_shard(shard_id)
+        if not self._shards:
+            raise ValueError("shard map needs at least one shard")
+
+    # -- membership ---------------------------------------------------------
+    def add_shard(self, shard_id: str) -> None:
+        """Add a shard's virtual nodes to the ring."""
+        if shard_id in self._shards:
+            raise ConfigError("shard %r added twice" % (shard_id,))
+        self._shards[shard_id] = True
+        for replica in range(self.vnodes):
+            self._ring.append(
+                (_token("%s/%d" % (shard_id, replica)), shard_id)
+            )
+        self._ring.sort()
+
+    def shard_ids(self) -> List[str]:
+        """Every shard ever added, in insertion order."""
+        return list(self._shards)
+
+    def live_shards(self) -> List[str]:
+        return [s for s, alive in self._shards.items() if alive]
+
+    def is_live(self, shard_id: str) -> bool:
+        return self._shards.get(shard_id, False)
+
+    # -- failover -----------------------------------------------------------
+    def delegate(self, dead: str, heir: str) -> None:
+        """Route a dead shard's tenants to the heir that adopted them.
+
+        The dead shard's ring tokens are kept: every key that hashed to
+        it still does, and the delegation redirects the whole set to
+        one heir -- matching the failover protocol, where exactly one
+        peer replays the dead shard's journal.
+        """
+        if dead not in self._shards:
+            raise ConfigError("unknown shard %r" % (dead,))
+        if heir not in self._shards:
+            raise ConfigError("unknown heir %r" % (heir,))
+        if dead == heir:
+            raise ConfigError("shard %r cannot inherit itself" % (dead,))
+        if not self._shards.get(heir, False):
+            raise ConfigError(
+                "heir %r is not alive; a dead shard cannot adopt "
+                "tenants" % (heir,)
+            )
+        self._shards[dead] = False
+        self.delegations[dead] = heir
+
+    def revive(self, shard_id: str) -> None:
+        """Bring a shard back; it resumes ownership of its ring range."""
+        if shard_id not in self._shards:
+            raise ConfigError("unknown shard %r" % (shard_id,))
+        self._shards[shard_id] = True
+        self.delegations.pop(shard_id, None)
+
+    # -- routing ------------------------------------------------------------
+    def owner(self, key: str) -> str:
+        """The ring owner of a tenant key, dead or alive."""
+        token = _token(key)
+        # First ring entry clockwise of the key's token (binary search
+        # is overkill at vnodes*shards entries, but keeps routing
+        # O(log n) for large federations).
+        lo, hi = 0, len(self._ring)
+        while lo < hi:
+            mid = (lo + hi) // 2
+            if self._ring[mid][0] < token:
+                lo = mid + 1
+            else:
+                hi = mid
+        if lo == len(self._ring):
+            lo = 0
+        return self._ring[lo][1]
+
+    def route(self, key: str) -> str:
+        """The live shard serving a tenant key (delegations applied)."""
+        shard = self.owner(key)
+        seen = {shard}
+        while not self._shards.get(shard, False):
+            heir = self.delegations.get(shard)
+            if heir is None or heir in seen:
+                raise ConfigError(
+                    "no live shard for key %r (owner %r is down with "
+                    "no heir)" % (key, shard)
+                )
+            seen.add(heir)
+            shard = heir
+        return shard
+
+    def successor(self, shard_id: str) -> str:
+        """The deterministic heir for a shard: the next *live* distinct
+        shard clockwise from its first virtual node."""
+        if shard_id not in self._shards:
+            raise ConfigError("unknown shard %r" % (shard_id,))
+        start = _token("%s/0" % (shard_id,))
+        ordered = sorted(self._ring)
+        n = len(ordered)
+        lo = 0
+        while lo < n and ordered[lo][0] <= start:
+            lo += 1
+        for step in range(n):
+            candidate = ordered[(lo + step) % n][1]
+            if candidate != shard_id and self._shards.get(candidate):
+                return candidate
+        raise ConfigError(
+            "no live successor for shard %r" % (shard_id,)
+        )
+
+    def assignments(self, keys: Iterable[str]) -> Dict[str, List[str]]:
+        """shard id -> keys routed there (diagnostics and tests)."""
+        out: Dict[str, List[str]] = {s: [] for s in self._shards}
+        for key in keys:
+            out[self.route(key)].append(key)
+        return out
+
+
+class AddressRangeIndex:
+    """Interval map: address range -> owning shard.
+
+    The front-end registers every platform pool a shard manages;
+    cross-domain requests that name an address instead of a tenant
+    resolve through here.  Ranges must not overlap -- overlapping pools
+    would make "who owns this address" ambiguous, which is exactly the
+    federation invariant (pool disjointness) the chaos harness checks.
+    """
+
+    def __init__(self):
+        #: (low, high, shard id), low-sorted.
+        self._ranges: List[Tuple[int, int, str]] = []
+
+    def register(self, low: int, high: int, shard_id: str) -> None:
+        if low > high:
+            raise ConfigError("empty address range")
+        for rlow, rhigh, owner in self._ranges:
+            if low <= rhigh and rlow <= high:
+                raise ConfigError(
+                    "address range [%d, %d] overlaps shard %r's "
+                    "[%d, %d]" % (low, high, owner, rlow, rhigh)
+                )
+        self._ranges.append((low, high, shard_id))
+        self._ranges.sort()
+
+    def reassign(self, old_shard: str, new_shard: str) -> int:
+        """Move every range of one shard to another (failover adoption);
+        returns how many ranges moved."""
+        moved = 0
+        for index, (low, high, owner) in enumerate(self._ranges):
+            if owner == old_shard:
+                self._ranges[index] = (low, high, new_shard)
+                moved += 1
+        return moved
+
+    def owner_of(self, address: int) -> Optional[str]:
+        """The shard owning an address, or None if unmanaged."""
+        for low, high, shard_id in self._ranges:
+            if low <= address <= high:
+                return shard_id
+            if low > address:
+                break
+        return None
+
+    def ranges(self) -> List[Tuple[int, int, str]]:
+        return list(self._ranges)

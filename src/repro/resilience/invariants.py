@@ -120,11 +120,16 @@ def collect_violations(
             "flow rules inconsistent with deployments "
             "(extra=%s missing=%s)" % (sorted(extra), sorted(missing))
         )
+    # One cookie set per platform: rebuilding it per module turns
+    # this check quadratic on resident-heavy platforms.
+    platform_cookies = {
+        name: {rule.cookie for rule in platform.flow_table.rules}
+        for name, platform in platforms.items()
+    }
     for module_id, record in sorted(deployed.items()):
-        home = platforms.get(record.platform)
-        if home is None:
+        cookies = platform_cookies.get(record.platform)
+        if cookies is None:
             continue
-        cookies = {rule.cookie for rule in home.flow_table.rules}
         if module_id not in cookies:
             problems.append(
                 "platform %r has no steering rule for module %r"

@@ -97,6 +97,34 @@ class TestDeployment:
         with pytest.raises(DeploymentError):
             Federation().deploy_near(proxy_request(), ROME)
 
+    def test_auto_named_module_is_tracked(self):
+        # Regression: deployments without an explicit module_name used
+        # to leak -- accepted at the operator, absent from placements,
+        # unkillable through the federation.
+        federation = build_federation()
+        outcome = federation.deploy_near(proxy_request(name=""), ROME)
+        assert outcome
+        module_id = outcome.result.module_id
+        assert module_id
+        assert federation.deployments() == {module_id: "it"}
+        assert federation.kill(module_id)
+        assert federation.deployments() == {}
+        assert module_id not in (
+            federation.operators["it"].controller.deployed
+        )
+
+    def test_prune_drops_stale_placements(self):
+        federation = build_federation()
+        kept = federation.deploy_near(proxy_request("s-keep"), ROME)
+        gone = federation.deploy_near(proxy_request("s-gone"), BERLIN)
+        assert kept and gone
+        # The module dies operator-side, behind the federation's back.
+        assert federation.operators["de"].controller.kill("s-gone")
+        assert federation.prune_placements() == ["s-gone"]
+        assert federation.deployments() == {"s-keep": "it"}
+        # Pruning is idempotent.
+        assert federation.prune_placements() == []
+
     def test_combined_invoice(self):
         federation = build_federation()
         for info in federation.operators.values():

@@ -1,0 +1,145 @@
+"""Tests for cross-shard failover: journal replay + tenant adoption."""
+
+import pytest
+
+from repro.common.errors import ConfigError
+from repro.fedctl import (
+    FederatedControlPlane,
+    collect_federation_violations,
+    federation_digest,
+)
+from repro.resilience.chaos import _module_request
+
+
+def tenant_on(plane, shard_id, tag="t"):
+    """A client id whose ring owner is ``shard_id`` (owner, not
+    route: the owner stays fixed even after the shard dies)."""
+    probe = 0
+    while True:
+        client = "%s-%d" % (tag, probe)
+        if plane.shard_map.owner(client) == shard_id:
+            return client
+        probe += 1
+
+
+def populated_plane(shard_count=3):
+    plane = FederatedControlPlane(shard_count=shard_count,
+                                  gossip_every=1)
+    for index, shard_id in enumerate(plane.shards):
+        client = tenant_on(plane, shard_id)
+        assert plane.submit(_module_request(client, "m-%d" % index))
+    return plane
+
+
+class TestFailover:
+    def test_heir_adopts_state_exactly(self):
+        plane = populated_plane()
+        before = federation_digest(plane)
+        outcome = plane.fail_shard("shard-1")
+        assert outcome.heir == plane.shard_map.successor("shard-1")
+        assert outcome.adopted_segments == ["shard-1"]
+        assert outcome.adopted_modules == 1
+        assert outcome.mttr_s > 0
+        # Journal replay reconstructs the dead shard's exact state.
+        assert federation_digest(plane) == before
+        assert collect_federation_violations(plane) == []
+        assert not plane.shards["shard-1"].alive
+        assert plane.shards["shard-1"].segments == {}
+
+    def test_tenants_reroute_to_the_heir(self):
+        plane = populated_plane()
+        victim_tenants = sorted(
+            plane.shards["shard-0"].home.tenants
+        )
+        outcome = plane.fail_shard("shard-0")
+        for client in victim_tenants:
+            assert plane.shard_map.route(client) == outcome.heir
+        decision = plane.submit(
+            _module_request(victim_tenants[0], "after")
+        )
+        assert decision, decision.result.reason
+        assert decision.shard == outcome.heir
+        assert decision.segment == "shard-0"
+        assert collect_federation_violations(plane) == []
+
+    def test_adopted_module_killable_through_frontend(self):
+        plane = populated_plane()
+        victim_module = sorted(
+            plane.shards["shard-2"].home.controller.deployed
+        )[0]
+        plane.fail_shard("shard-2")
+        assert plane.kill(victim_module)
+        assert collect_federation_violations(plane) == []
+
+    def test_address_ranges_follow_the_heir(self):
+        from repro.common.addr import parse_ip
+
+        plane = populated_plane()
+        # shard-0's platform pools start at 10.1/24 and 10.2/24.
+        address = parse_ip("10.1.0.5")
+        assert plane.resolve_address(address) == "shard-0"
+        outcome = plane.fail_shard("shard-0")
+        assert plane.resolve_address(address) == outcome.heir
+
+    def test_detection_latency_adds_to_mttr(self):
+        plane = populated_plane()
+        failed_at = plane._clock() - 1.5
+        outcome = plane.fail_shard("shard-0", failed_at=failed_at)
+        assert outcome.mttr_s >= 1.5
+
+    def test_double_failure_chains_to_one_survivor(self):
+        plane = populated_plane()
+        first = plane.fail_shard("shard-0")
+        survivors = [
+            s.shard_id for s in plane.live_shards()
+        ]
+        assert len(survivors) == 2
+        second = plane.fail_shard(first.heir)
+        # The second victim carried its home segment AND the first
+        # victim's adopted segment; both move to the last survivor.
+        assert sorted(second.adopted_segments) == sorted(
+            ["shard-0", first.heir]
+        )
+        last = second.heir
+        assert [s.shard_id for s in plane.live_shards()] == [last]
+        assert collect_federation_violations(plane) == []
+        # Every original tenant still routes somewhere live.
+        for shard_id in ("shard-0", "shard-1", "shard-2"):
+            client = tenant_on(plane, shard_id)
+            assert plane.shard_map.route(client) == last
+
+    def test_failing_a_dead_shard_rejected(self):
+        plane = populated_plane()
+        plane.fail_shard("shard-0")
+        with pytest.raises(ConfigError):
+            plane.fail_shard("shard-0")
+
+    def test_unknown_shard_rejected(self):
+        plane = populated_plane()
+        with pytest.raises(ConfigError):
+            plane.fail_shard("shard-9")
+
+    def test_orphan_intent_reconciled_on_adoption(self):
+        from repro.resilience.journal import OP_DEPLOY, PHASE_INTENT
+
+        plane = populated_plane()
+        segment = plane.shards["shard-0"].home
+        platform = segment.network.node("p0-a")
+        config = _module_request(
+            "tenant-orphan", "orphan"
+        ).parse_click_config()
+        before = federation_digest(plane)
+        address = platform.allocate_address()
+        segment.journal.append(
+            OP_DEPLOY, PHASE_INTENT,
+            module_id="orphan", client_id="tenant-orphan",
+            platform="p0-a", address=address, sandboxed=False,
+            proto=17, port=1500, timestamp=plane._clock(),
+            config=config,
+        )
+        platform.deploy("orphan", address, config, proto=17, port=1500)
+        plane.fail_shard("shard-0")
+        assert "orphan" not in platform.modules
+        assert "orphan" not in plane.placements
+        assert federation_digest(plane) == before
+        assert collect_federation_violations(plane) == []

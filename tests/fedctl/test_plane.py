@@ -1,0 +1,191 @@
+"""Tests for the federated control plane front-end."""
+
+import pytest
+
+from repro.common.errors import ConfigError
+from repro.fedctl import (
+    FederatedControlPlane,
+    check_federation_invariants,
+    collect_federation_violations,
+)
+from repro.resilience.chaos import CLIENT_ADDR, _module_request
+
+
+def tenant_on(plane, shard_id, tag="t"):
+    """A client id the shard map routes to ``shard_id``."""
+    probe = 0
+    while True:
+        client = "%s-%d" % (tag, probe)
+        if plane.shard_map.route(client) == shard_id:
+            return client
+        probe += 1
+
+
+class TestAdmissionRouting:
+    def test_request_lands_on_the_mapped_shard(self):
+        plane = FederatedControlPlane(shard_count=3)
+        for shard_id in plane.shards:
+            client = tenant_on(plane, shard_id)
+            decision = plane.submit(
+                _module_request(client, "m-%s" % shard_id)
+            )
+            assert decision, decision.result.reason
+            assert decision.shard == shard_id
+            holder = plane.shards[shard_id]
+            assert "m-%s" % shard_id in (
+                holder.home.controller.deployed
+            )
+            assert client in holder.home.tenants
+
+    def test_per_tenant_ordering(self):
+        # Same tenant, duplicate module name: the second request must
+        # reach the same shard and see the first one's effect.
+        plane = FederatedControlPlane(shard_count=4)
+        client = tenant_on(plane, "shard-2")
+        first = plane.submit(_module_request(client, "dup"))
+        second = plane.submit(_module_request(client, "dup"))
+        assert first
+        assert not second
+        assert second.shard == first.shard
+        assert "already in use" in second.result.reason
+
+    def test_module_names_unique_federation_wide(self):
+        # Two different tenants on two different shards cannot both
+        # claim one module id: kill/migrate route by it.
+        plane = FederatedControlPlane(shard_count=3)
+        a = tenant_on(plane, "shard-0")
+        b = tenant_on(plane, "shard-1")
+        assert plane.submit(_module_request(a, "shared-name"))
+        decision = plane.submit(_module_request(b, "shared-name"))
+        assert not decision
+        assert "already in use on shard-0" in decision.result.reason
+
+    def test_dry_run_leaves_no_trace(self):
+        plane = FederatedControlPlane(shard_count=2)
+        client = tenant_on(plane, "shard-1")
+        decision = plane.submit(
+            _module_request(client, "ghost"), dry_run=True
+        )
+        assert decision
+        assert plane.placements == {}
+        assert "ghost" not in (
+            plane.shards["shard-1"].home.controller.deployed
+        )
+        # The name stays free for a real admission.
+        assert plane.submit(_module_request(client, "ghost"))
+
+    def test_kill_routes_by_placement(self):
+        plane = FederatedControlPlane(shard_count=3)
+        client = tenant_on(plane, "shard-2")
+        assert plane.submit(_module_request(client, "victim"))
+        assert plane.kill("victim")
+        assert "victim" not in plane.placements
+        assert not plane.kill("victim")
+        assert collect_federation_violations(plane) == []
+
+    def test_resolve_address_finds_the_owning_shard(self):
+        from repro.common.addr import parse_ip
+
+        plane = FederatedControlPlane(shard_count=2)
+        # shard-0 owns 10.1/24 + 10.2/24, shard-1 owns 10.3/24 + 10.4/24.
+        assert plane.resolve_address(parse_ip("10.1.0.9")) == "shard-0"
+        assert plane.resolve_address(parse_ip("10.4.0.9")) == "shard-1"
+        assert plane.resolve_address(parse_ip("192.0.2.1")) is None
+
+    def test_single_shard_plane_works(self):
+        plane = FederatedControlPlane(shard_count=1)
+        client = tenant_on(plane, "shard-0")
+        assert plane.submit(_module_request(client, "solo"))
+        check_federation_invariants(plane)
+
+    def test_rejects_zero_shards(self):
+        with pytest.raises(ValueError):
+            FederatedControlPlane(shard_count=0)
+
+
+class TestInvariants:
+    def test_clean_plane_is_green(self):
+        plane = FederatedControlPlane(shard_count=3)
+        for shard_id in plane.shards:
+            client = tenant_on(plane, shard_id)
+            assert plane.submit(
+                _module_request(client, "m-%s" % shard_id)
+            )
+        check_federation_invariants(plane)
+
+    def test_phantom_placement_detected(self):
+        plane = FederatedControlPlane(shard_count=2)
+        plane.placements["phantom"] = ("shard-0", "shard-0")
+        problems = collect_federation_violations(plane)
+        assert any("phantom" in p for p in problems)
+
+    def test_untracked_deployment_detected(self):
+        plane = FederatedControlPlane(shard_count=2)
+        client = tenant_on(plane, "shard-0")
+        assert plane.submit(_module_request(client, "m1"))
+        del plane.placements["m1"]
+        problems = collect_federation_violations(plane)
+        assert any(
+            "missing from the front-end placements" in p
+            for p in problems
+        )
+
+    def test_stats_shape(self):
+        plane = FederatedControlPlane(shard_count=2)
+        client = tenant_on(plane, "shard-0")
+        assert plane.submit(_module_request(client, "m1"))
+        stats = plane.stats()
+        assert stats["admissions"] == 1
+        assert stats["placements"] == 1
+        assert stats["failovers"] == 0
+        assert stats["shards"]["shard-0"]["alive"]
+        seg = stats["shards"]["shard-0"]["segments"]["shard-0"]
+        assert seg["deployed"] == 1
+        assert seg["tenants"] == 1
+        assert seg["journal_records"] == 2  # intent + commit
+
+
+class TestFederationSeam:
+    """CDN/DoS usecases run unchanged over a sharded operator."""
+
+    def test_frontend_behind_the_federation(self):
+        from repro.core.federation import Federation
+
+        plane = FederatedControlPlane(shard_count=3)
+        federation = Federation()
+        federation.add_operator(
+            "sharded-isp", plane.frontend(), (44.43, 26.10)
+        )
+        client = tenant_on(plane, "shard-1", tag="provider")
+        outcome = federation.deploy_near(
+            _module_request(client, "edge-filter"), (44.0, 26.0)
+        )
+        assert outcome
+        assert outcome.operator == "sharded-isp"
+        assert federation.deployments() == {
+            "edge-filter": "sharded-isp"
+        }
+        # The module really runs on the mapped shard.
+        assert plane.placements["edge-filter"][0] == "shard-1"
+        # Billing aggregates across shards.
+        assert federation.total_invoice(client, now=3600.0) > 0
+        # Kill routes back through the facade to the owning shard.
+        assert federation.kill("edge-filter")
+        assert "edge-filter" not in plane.placements
+        assert collect_federation_violations(plane) == []
+
+    def test_prune_sees_through_the_facade(self):
+        from repro.core.federation import Federation
+
+        plane = FederatedControlPlane(shard_count=2)
+        federation = Federation()
+        federation.add_operator(
+            "sharded-isp", plane.frontend(), (44.43, 26.10)
+        )
+        client = tenant_on(plane, "shard-0", tag="provider")
+        assert federation.deploy_near(
+            _module_request(client, "stale"), (44.0, 26.0)
+        )
+        # Killed behind the federation's back, via the plane.
+        assert plane.kill("stale")
+        assert federation.prune_placements() == ["stale"]

@@ -1,0 +1,25 @@
+"""The shard-death chaos scenario must pass, with and without obs."""
+
+from repro.fedctl.chaos import run_all, run_shard_death
+
+
+class TestShardDeathScenario:
+    def test_passes_across_seeds(self):
+        for report in run_all(seeds=(1, 2)):
+            assert report.passed, report.failures
+            assert report.digest_equal
+            assert report.mttr_s is not None and report.mttr_s > 0
+            assert report.evacuated
+
+    def test_instrumented_run_matches(self):
+        from repro.obs import Observability
+
+        obs = Observability()
+        report = run_shard_death(seed=3, obs=obs)
+        assert report.passed, report.failures
+        parsed = obs.snapshot()["metrics"]
+        assert "fedctl_failovers_total" in parsed
+        spans = obs.snapshot()["spans"]
+        names = {s["name"] for s in spans}
+        assert "fedctl.submit" in names
+        assert "fedctl.failover" in names

@@ -1,0 +1,131 @@
+"""Tests for the consistent-hash shard map and the address index."""
+
+import pytest
+
+from repro.common.errors import ConfigError
+from repro.fedctl.shardmap import AddressRangeIndex, ShardMap
+
+
+def three_shards(vnodes=64):
+    return ShardMap(["s0", "s1", "s2"], vnodes=vnodes)
+
+
+class TestRouting:
+    def test_deterministic_across_instances(self):
+        # Two front-ends with the same shard list agree on every key,
+        # with no coordination.
+        a, b = three_shards(), three_shards()
+        for i in range(200):
+            key = "tenant-%d" % i
+            assert a.route(key) == b.route(key)
+
+    def test_every_shard_gets_tenants(self):
+        sm = three_shards()
+        assigned = sm.assignments("tenant-%d" % i for i in range(300))
+        assert all(assigned[s] for s in ("s0", "s1", "s2"))
+
+    def test_adding_a_shard_moves_a_minority(self):
+        before = three_shards()
+        after = three_shards()
+        after.add_shard("s3")
+        keys = ["tenant-%d" % i for i in range(400)]
+        moved = sum(
+            1 for k in keys if before.route(k) != after.route(k)
+        )
+        # Consistent hashing: ~1/4 of keys move, never a majority.
+        assert 0 < moved < len(keys) // 2
+
+    def test_duplicate_shard_rejected(self):
+        sm = three_shards()
+        with pytest.raises(ConfigError):
+            sm.add_shard("s0")
+
+    def test_empty_map_rejected(self):
+        with pytest.raises(ValueError):
+            ShardMap([])
+
+
+class TestDelegation:
+    def test_dead_shard_routes_to_heir(self):
+        sm = three_shards()
+        keys = ["tenant-%d" % i for i in range(300)]
+        owned = [k for k in keys if sm.route(k) == "s1"]
+        assert owned
+        sm.delegate("s1", "s2")
+        # Every one of the dead shard's tenants follows its journal to
+        # the single heir; everyone else stays put.
+        for key in keys:
+            expected = "s2" if key in owned else ShardMap(
+                ["s0", "s1", "s2"]
+            ).route(key)
+            assert sm.route(key) == expected
+
+    def test_chained_delegation(self):
+        sm = three_shards()
+        key = next(
+            "tenant-%d" % i for i in range(300)
+            if sm.route("tenant-%d" % i) == "s0"
+        )
+        sm.delegate("s0", "s1")
+        sm.delegate("s1", "s2")
+        assert sm.route(key) == "s2"
+
+    def test_no_live_shard_raises(self):
+        sm = ShardMap(["s0", "s1"])
+        sm.delegate("s0", "s1")
+        with pytest.raises(ConfigError):
+            sm.delegate("s1", "s0")  # heir is dead: cycle
+
+    def test_self_delegation_rejected(self):
+        sm = three_shards()
+        with pytest.raises(ConfigError):
+            sm.delegate("s0", "s0")
+
+    def test_revive_restores_ownership(self):
+        sm = three_shards()
+        keys = ["tenant-%d" % i for i in range(200)]
+        before = {k: sm.route(k) for k in keys}
+        sm.delegate("s1", "s0")
+        sm.revive("s1")
+        assert {k: sm.route(k) for k in keys} == before
+
+    def test_successor_is_deterministic_and_live(self):
+        sm = three_shards()
+        heir = sm.successor("s0")
+        assert heir in ("s1", "s2")
+        assert sm.successor("s0") == heir
+        sm.delegate(heir, [s for s in ("s1", "s2") if s != heir][0])
+        assert sm.successor("s0") != heir
+
+
+class TestAddressRangeIndex:
+    def test_lookup_and_miss(self):
+        idx = AddressRangeIndex()
+        idx.register(100, 199, "s0")
+        idx.register(300, 399, "s1")
+        assert idx.owner_of(150) == "s0"
+        assert idx.owner_of(399) == "s1"
+        assert idx.owner_of(250) is None
+        assert idx.owner_of(1000) is None
+
+    def test_overlap_rejected(self):
+        idx = AddressRangeIndex()
+        idx.register(100, 199, "s0")
+        with pytest.raises(ConfigError):
+            idx.register(150, 250, "s1")
+        with pytest.raises(ConfigError):
+            idx.register(50, 100, "s1")
+
+    def test_reassign_moves_every_range(self):
+        idx = AddressRangeIndex()
+        idx.register(100, 199, "s0")
+        idx.register(300, 399, "s0")
+        idx.register(500, 599, "s1")
+        assert idx.reassign("s0", "s2") == 2
+        assert idx.owner_of(150) == "s2"
+        assert idx.owner_of(350) == "s2"
+        assert idx.owner_of(550) == "s1"
+
+    def test_empty_range_rejected(self):
+        with pytest.raises(ConfigError):
+            AddressRangeIndex().register(10, 5, "s0")

@@ -1,0 +1,96 @@
+"""Satellite: a config verified on shard A is a warm hit on shard B.
+
+The security verdict depends only on the config fingerprint, role, and
+white-list -- never on the network -- so gossip can share it across
+shards, and the shared decision must be *byte-for-byte* what shard B
+would have decided cold.
+"""
+
+from repro.fedctl import FederatedControlPlane
+from repro.resilience.chaos import _module_request
+
+
+def tenant_on(plane, shard_id, tag="t"):
+    probe = 0
+    while True:
+        client = "%s-%d" % (tag, probe)
+        if plane.shard_map.owner(client) == shard_id:
+            return client
+        probe += 1
+
+
+class TestCrossShardVerdictSharing:
+    def test_warm_hit_on_the_other_shard(self):
+        plane = FederatedControlPlane(shard_count=2, gossip_every=1)
+        shard_a = tenant_on(plane, "shard-0", tag="alice")
+        shard_b = tenant_on(plane, "shard-1", tag="bob")
+
+        cold = plane.submit(_module_request(shard_a, "mod-a"))
+        assert cold, cold.result.reason
+        assert cold.shard == "shard-0"
+
+        cache_b = (
+            plane.shards["shard-1"].home.controller.analyzer.cache
+        )
+        assert cache_b.remote_hits == 0
+        # gossip_every=1: the rumor was drained into shard-1's cache
+        # right after shard-0's admission.
+        warm = plane.submit(_module_request(shard_b, "mod-b"))
+        assert warm, warm.result.reason
+        assert warm.shard == "shard-1"
+        # Shard B never ran the verifier: its cache served the verdict
+        # gossip delivered, and the hit is counted as remote.
+        assert cache_b.remote_hits >= 1
+        assert cache_b.stats.misses == 0
+
+    def test_shared_decision_identical_to_cold_admission(self):
+        # Two identical federations; in the first, shard-1 decides via
+        # gossip, in the second (no prior traffic) it decides cold.
+        # The admission outcome must be indistinguishable.
+        warm_plane = FederatedControlPlane(
+            shard_count=2, gossip_every=1
+        )
+        cold_plane = FederatedControlPlane(
+            shard_count=2, gossip_every=1
+        )
+        alice = tenant_on(warm_plane, "shard-0", tag="alice")
+        bob = tenant_on(warm_plane, "shard-1", tag="bob")
+
+        assert warm_plane.submit(_module_request(alice, "mod-a"))
+        warm = warm_plane.submit(_module_request(bob, "mod-b"))
+        cold = cold_plane.submit(_module_request(bob, "mod-b"))
+        assert warm and cold
+
+        warm_cache = (
+            warm_plane.shards["shard-1"].home.controller.analyzer.cache
+        )
+        cold_cache = (
+            cold_plane.shards["shard-1"].home.controller.analyzer.cache
+        )
+        assert warm_cache.remote_hits >= 1   # served by gossip
+        assert cold_cache.stats.misses >= 1  # computed locally
+
+        # Byte-for-byte the same decision.
+        assert warm.shard == cold.shard
+        assert warm.segment == cold.segment
+        for attr in ("accepted", "platform", "address", "sandboxed"):
+            assert getattr(warm.result, attr) == \
+                getattr(cold.result, attr), attr
+        assert str(warm.result.security) == str(cold.result.security)
+
+    def test_verdict_object_is_the_origins(self):
+        # The gossiped entry is the origin shard's exact report object
+        # (in-process bus), not a recomputed lookalike.
+        plane = FederatedControlPlane(shard_count=2, gossip_every=1)
+        alice = tenant_on(plane, "shard-0", tag="alice")
+        assert plane.submit(_module_request(alice, "mod-a"))
+        cache_a = (
+            plane.shards["shard-0"].home.controller.analyzer.cache
+        )
+        cache_b = (
+            plane.shards["shard-1"].home.controller.analyzer.cache
+        )
+        shared = set(cache_a.entries()) & set(cache_b.entries())
+        assert shared
+        for key in shared:
+            assert cache_b.entries()[key] is cache_a.entries()[key]

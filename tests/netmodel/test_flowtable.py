@@ -38,6 +38,37 @@ class TestRules:
         table.install(10, {}, Action.output(2))
         assert table.lookup(Packet()) is first
 
+    def test_deferred_sort_preserves_order_semantics(self):
+        # Regression for the batched-sort optimization: bulk installs
+        # defer the priority sort to the next read, which must yield
+        # exactly the order per-insert sorting produced -- including
+        # stable tie-breaking by insertion order.
+        eager, lazy = FlowTable(), FlowTable()
+        priorities = [10, 50, 10, 100, 50, 1, 100, 10]
+        for index, priority in enumerate(priorities):
+            eager.install(priority, {}, Action.output(index))
+            eager.rules  # force a sort after every install
+            lazy.install(priority, {}, Action.output(index))
+        assert lazy.rules == eager.rules
+        assert lazy.lookup(Packet()) == eager.rules[0]
+
+    def test_bulk_install_then_read(self):
+        table = FlowTable()
+        for i in range(500):
+            table.install(
+                100, {F.IP_DST: IntervalSet.single(i)},
+                Action.to_module("m%d" % i), cookie="m%d" % i,
+            )
+        # One low-priority catch-all installed mid-stream must sort
+        # below every steering rule.
+        table.install(1, {}, Action.drop())
+        for i in range(0, 500, 97):
+            rule = table.lookup(Packet(ip_dst=i))
+            assert rule.action.target == "m%d" % i
+        assert table.rules[-1].action.kind == "drop"
+        assert table.remove_by_cookie("m42") == 1
+        assert table.lookup(Packet(ip_dst=42)).action.kind == "drop"
+
     def test_multi_field_match(self):
         table = FlowTable()
         table.install(10, {
