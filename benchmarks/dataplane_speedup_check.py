@@ -89,7 +89,9 @@ def measure(packets: int, trials: int, batch_size: int):
         tp_dst=1500,
     )
     scalar_runtime = Runtime(parse_config(FIREWALL))
-    batch_runtime = Runtime(parse_config(FIREWALL))
+    # This gate measures the list-based segment executor; the columnar
+    # tier has its own gate (columnar_speedup_check.py).
+    batch_runtime = Runtime(parse_config(FIREWALL), use_columns=False)
     # Warm both paths (imports, lazily compiled segments) first.
     _scalar_seconds(scalar_runtime, packet, packets)
     _batch_seconds(batch_runtime, packet, packets, batch_size)

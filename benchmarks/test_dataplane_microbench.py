@@ -10,6 +10,8 @@ import gc
 import statistics
 import time
 
+import pytest
+
 from _report import fmt, print_table
 from _traffic import (
     BATCH_SIZE,
@@ -42,7 +44,7 @@ def test_runtime_batch_packet_rate(benchmark):
     per-packet rate is the round rate times the batch size.
     """
     config = parse_config(FIREWALL)
-    runtime = Runtime(config)
+    runtime = Runtime(config, use_columns=False)
     packet = firewall_packet()
 
     def push_batch():
@@ -50,6 +52,26 @@ def test_runtime_batch_packet_rate(benchmark):
         runtime.output.clear()
 
     benchmark(push_batch)
+
+
+def test_runtime_columnar_packet_rate(benchmark):
+    """Packets/second through the same path via column plans.
+
+    Same shape as the batch benchmark above, but the batches lift into
+    struct-of-arrays ``PacketColumns`` and run the vectorized element
+    kernels instead of the per-packet ``push_batch`` loops.
+    """
+    pytest.importorskip("numpy")
+    config = parse_config(FIREWALL)
+    runtime = Runtime(config, use_columns=True)
+    packet = firewall_packet()
+
+    def push_columns():
+        runtime.inject_batch("src", packet.copy_many(BATCH_SIZE))
+        runtime.output.clear()
+
+    benchmark(push_columns)
+    assert runtime.columnar_batches > 0
 
 
 def _median_pair_ratio(side_a, side_b, trials=9):
@@ -90,7 +112,9 @@ def test_batch_vs_scalar_speedup():
     """
     n_packets = 4000
     scalar_rt = Runtime(parse_config(FIREWALL))
-    batch_rt = Runtime(parse_config(FIREWALL))
+    # use_columns=False: this measures the list-based executor; the
+    # columnar tier is gated separately in columnar_speedup_check.py.
+    batch_rt = Runtime(parse_config(FIREWALL), use_columns=False)
     template = firewall_packet()
 
     def scalar_side():

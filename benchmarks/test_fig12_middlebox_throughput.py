@@ -11,7 +11,7 @@ import time
 
 from _report import fmt, print_table
 from _traffic import drive_batch, drive_scalar, firewall_packet
-from repro.click import Runtime, ShardedRuntime, parse_config
+from repro.click import Runtime, ShardedRuntime, columnar, parse_config
 from repro.core.catalog import catalog_source
 from repro.platform import CHEAP_SERVER_SPEC, ThroughputModel
 from repro.sim.replay import replay_trace_sharded
@@ -78,41 +78,58 @@ def test_fig12_measured_dataplane_rate():
 
     Complements the cost model above with real numbers from this
     implementation's dataplane: every catalog config is driven once
-    packet-by-packet and once through the batched fast path, with the
-    per-middlebox rates emitted as a FIGURE_JSON line.
+    packet-by-packet, once through the list-based batched fast path,
+    and once through the struct-of-arrays column plans, with the
+    per-middlebox rates emitted side by side.
     """
     n_packets = 2000
     template = firewall_packet()
+    columns_on = columnar.available()
     rows = []
     for label, catalog_name in MIDDLEBOXES.items():
         config = parse_config(catalog_source(catalog_name))
         scalar_rt = Runtime(config)
-        batch_rt = Runtime(config)
+        batch_rt = Runtime(config, use_columns=False)
+        col_rt = Runtime(config, use_columns=True)
         drive_scalar(scalar_rt, "src", template.copy_many(200))  # warm
         drive_batch(batch_rt, "src", template.copy_many(200))
+        drive_batch(col_rt, "src", template.copy_many(200))
         started = time.perf_counter()
         drive_scalar(scalar_rt, "src", template.copy_many(n_packets))
         scalar_s = time.perf_counter() - started
         started = time.perf_counter()
         drive_batch(batch_rt, "src", template.copy_many(n_packets))
         batch_s = time.perf_counter() - started
-        # Both paths must agree on what the middlebox does with the
+        started = time.perf_counter()
+        drive_batch(col_rt, "src", template.copy_many(n_packets))
+        col_s = time.perf_counter() - started
+        # All paths must agree on what the middlebox does with the
         # traffic before their rates are comparable.
         assert len(scalar_rt.output) == len(batch_rt.output), label
+        assert len(col_rt.output) == len(batch_rt.output), label
         assert scalar_rt.dropped == batch_rt.dropped, label
+        assert col_rt.dropped == batch_rt.dropped, label
+        if columns_on:
+            # Every catalog config compiles an all-kernel segment, so
+            # the columnar column must measure column plans, not a
+            # silent push_batch fallback.
+            assert col_rt.columnar_batches > 0, label
         rows.append([
             label,
             fmt(n_packets / scalar_s / 1e3, 1),
             fmt(n_packets / batch_s / 1e3, 1),
+            fmt(n_packets / col_s / 1e3, 1),
             fmt(scalar_s / batch_s, 2),
+            fmt(batch_s / col_s, 2),
         ])
     print_table(
         "Figure 12 middleboxes: measured dataplane rate (kpkt/s)",
-        ("middlebox", "scalar", "batch", "speedup"),
+        ("middlebox", "scalar", "batch", "columnar",
+         "batch/scalar", "col/batch"),
         rows,
-        note="This implementation's Python dataplane, scalar vs "
-             "batched execution; the paper's Gb/s numbers come from "
-             "the cost model above.",
+        note="This implementation's Python dataplane: scalar, "
+             "list-batched, and columnar execution; the paper's Gb/s "
+             "numbers come from the cost model above.",
     )
 
 

@@ -17,6 +17,7 @@ The public surface:
   shapers, stateful firewalls, tunnels, the ``ChangeEnforcer`` sandbox...).
 """
 
+from repro.click.columnar import PacketColumns
 from repro.click.config import ClickConfig, parse_config
 from repro.click.element import (
     Element,
@@ -49,6 +50,7 @@ import repro.click.elements  # noqa: F401  (import for side effects)
 
 __all__ = [
     "Packet",
+    "PacketColumns",
     "Element",
     "register_element",
     "create_element",

@@ -22,6 +22,10 @@ PushResult = List[Tuple[int, "object"]]
 #: order the packets would have left that port under scalar ``push()``.
 PushBatchResult = List[Tuple[int, List["object"]]]
 
+#: ``push_columns()`` results: a list of (output port, PacketColumns)
+#: groups, same ordering contract as ``push_batch``.
+PushColumnsResult = List[Tuple[int, "object"]]
+
 _REGISTRY: Dict[str, Type["Element"]] = {}
 
 
@@ -91,6 +95,19 @@ class Element:
     #: which multiplying elements would skew, so their presence selects
     #: the exact per-hop counting path instead.
     is_multiplying = False
+    #: Whether the element implements :meth:`push_columns`.  The segment
+    #: compiler only emits a column plan for a join-free segment when
+    #: *every* element on it (including the sink) sets this; otherwise
+    #: the batch crosses the segment via ``push_batch``.
+    has_column_kernel = False
+    #: Header fields the column kernel reads or writes.  The plan
+    #: compiler unions these over a segment to decide which columns
+    #: :class:`~repro.click.columnar.PacketColumns` must lift.  Elements
+    #: whose field set depends on configuration (the classifiers)
+    #: shadow this class default with an instance attribute.
+    column_fields: Tuple[str, ...] = ()
+    #: Whether the kernel needs the packet-length column (counters).
+    needs_length_column = False
 
     def __init__(self, name: str, args: Optional[Sequence[str]] = None):
         self.name = name
@@ -177,6 +194,30 @@ class Element:
                 except KeyError:
                     groups[out_port] = [out_packet]
         return list(groups.items())
+
+    def push_columns(self, port: int, cols) -> PushColumnsResult:
+        """Process a whole columnar batch arriving on input ``port``.
+
+        Opt-in vectorized tier: only elements with
+        :attr:`has_column_kernel` set implement this, and the runtime
+        only calls it inside a compiled column plan (see
+        ``docs/dataplane.md``).  Contract, on top of the
+        :meth:`push_batch` rules:
+
+        * return ``(output_port, PacketColumns)`` groups; never a
+          group with zero surviving rows (return ``[]`` when the
+          whole batch died),
+        * a kernel may pass a freshly built mask to ``cols.kill`` and
+          must not reuse it afterwards (the batch takes ownership),
+        * writes go through ``set_all``/``set_rows`` or mark the
+          column dirty explicitly -- materialization only writes dirty
+          columns back,
+        * dead rows may hold garbage in written columns; they never
+          materialize.
+        """
+        raise NotImplementedError(
+            "%s declares no column kernel" % (type(self).__name__,)
+        )
 
     # -- helpers ---------------------------------------------------------------
     def emit(self, port: int, packet) -> None:

@@ -9,14 +9,26 @@ from __future__ import annotations
 
 from typing import List, Tuple
 
+from repro.click import columnar
 from repro.click.element import (
     Element,
     PushBatchResult,
+    PushColumnsResult,
     PushResult,
     register_element,
 )
 from repro.common.errors import ConfigError
 from repro.policy.flowspec import FlowSpec, parse_flowspec
+
+
+def _dnf_fields(compiled_specs) -> tuple:
+    """All header fields a sequence of compiled DNFs constrains."""
+    fields = set()
+    for clauses in compiled_specs:
+        for clause in clauses:
+            for field, _allowed in clause:
+                fields.add(field)
+    return tuple(sorted(fields))
 
 
 @register_element("IPFilter")
@@ -31,6 +43,7 @@ class IPFilter(Element):
     n_inputs = 1
     n_outputs = 1
     cycle_cost = 1.2
+    has_column_kernel = True
 
     def configure(self, args: List[str]) -> None:
         if not args:
@@ -50,6 +63,8 @@ class IPFilter(Element):
         self._compiled = tuple(
             (allowed, spec.compiled()) for allowed, spec in self.rules
         )
+        self.column_fields = _dnf_fields(c for _a, c in self._compiled)
+        self._col_rules = None  # compiled lazily on first column batch
         self.dropped = 0
 
     def push(self, port: int, packet) -> PushResult:
@@ -94,6 +109,45 @@ class IPFilter(Element):
             return []
         return [(0, out)]
 
+    def push_columns(self, port: int, cols) -> PushColumnsResult:
+        # First-match-wins over whole columns: each rule's DNF mask is
+        # intersected with the still-undecided rows, allow rules
+        # accumulate into the verdict, and the scan stops as soon as
+        # every row is decided.
+        np = columnar.np
+        rules = self._col_rules
+        if rules is None:
+            rules = self._col_rules = tuple(
+                (allowed, columnar.compile_clause_matchers(clauses))
+                for allowed, clauses in self._compiled
+            )
+        n = cols.n
+        verdict = None
+        undecided = None
+        for allowed, clause_matchers in rules:
+            mask = columnar.match_dnf(cols, clause_matchers, n)
+            if undecided is None:
+                eligible = mask
+                undecided = ~mask
+            else:
+                eligible = mask & undecided
+                undecided &= ~mask
+            if allowed:
+                verdict = eligible if verdict is None \
+                    else verdict | eligible
+            if not undecided.any():
+                break
+        if verdict is None:
+            verdict = np.zeros(n, dtype=bool)
+        before = cols.n_alive
+        cols.kill(verdict)
+        killed = before - cols.n_alive
+        if killed:
+            self.dropped += killed
+        if not cols.n_alive:
+            return []
+        return [(0, cols)]
+
 
 @register_element("IPClassifier")
 class IPClassifier(Element):
@@ -106,6 +160,7 @@ class IPClassifier(Element):
     n_inputs = 1
     n_outputs = None  # one output per pattern
     cycle_cost = 1.2
+    has_column_kernel = True
 
     def configure(self, args: List[str]) -> None:
         if not args:
@@ -118,6 +173,8 @@ class IPClassifier(Element):
             else:
                 self.patterns.append(parse_flowspec(text))
         self._compiled = tuple(spec.compiled() for spec in self.patterns)
+        self.column_fields = _dnf_fields(self._compiled)
+        self._col_patterns = None  # compiled lazily on first column batch
         self.dropped = 0
 
     def push(self, port: int, packet) -> PushResult:
@@ -156,6 +213,41 @@ class IPClassifier(Element):
             self.dropped += dropped
         return list(groups.items())
 
+    def push_columns(self, port: int, cols) -> PushColumnsResult:
+        # First-match dispatch: each pattern claims its matching rows
+        # out of the still-unclaimed alive set.  Groups are emitted in
+        # first-matching-row order -- the same order push_batch's
+        # dict-insertion grouping produces -- and a single full group
+        # skips the split entirely.
+        np = columnar.np
+        patterns = self._col_patterns
+        if patterns is None:
+            patterns = self._col_patterns = tuple(
+                columnar.compile_clause_matchers(clauses)
+                for clauses in self._compiled
+            )
+        n = cols.n
+        unclaimed = cols.alive_mask()
+        groups = []
+        for index, clause_matchers in enumerate(patterns):
+            mask = columnar.match_dnf(cols, clause_matchers, n)
+            mask &= unclaimed
+            if mask.any():
+                groups.append((index, mask))
+                unclaimed &= ~mask
+                if not unclaimed.any():
+                    break
+        leftover = int(unclaimed.sum())
+        if leftover:
+            self.dropped += leftover
+        if not groups:
+            return []
+        if len(groups) == 1 and int(groups[0][1].sum()) == cols.n_alive:
+            # Every alive row matched one pattern: no split needed.
+            return [(groups[0][0], cols)]
+        groups.sort(key=lambda g: int(np.argmax(g[1])))
+        return cols.split(groups)
+
 
 @register_element("IngressFilter")
 class IngressFilter(Element):
@@ -173,6 +265,8 @@ class IngressFilter(Element):
     n_inputs = 2
     n_outputs = 2
     cycle_cost = 1.0
+    has_column_kernel = True
+    column_fields = ("ip_src",)
 
     INBOUND = 0
     OUTBOUND = 1
@@ -193,6 +287,7 @@ class IngressFilter(Element):
                 IntervalSet.from_interval(low, high)
             )
         self.protected = protected
+        self._col_protected = None  # compiled lazily
         self.dropped_spoofed = 0
 
     def push(self, port: int, packet) -> PushResult:
@@ -202,6 +297,23 @@ class IngressFilter(Element):
             self.dropped_spoofed += 1
             return []
         return [(port, packet)]
+
+    def push_columns(self, port: int, cols) -> PushColumnsResult:
+        if port != self.INBOUND:
+            return [(port, cols)]
+        matcher = self._col_protected
+        if matcher is None:
+            matcher = self._col_protected = \
+                columnar.compile_interval_matcher(self.protected)
+        spoofed = matcher(cols.column("ip_src"))
+        before = cols.n_alive
+        cols.kill(~spoofed)
+        killed = before - cols.n_alive
+        if killed:
+            self.dropped_spoofed += killed
+        if not cols.n_alive:
+            return []
+        return [(port, cols)]
 
 
 @register_element("Classifier")

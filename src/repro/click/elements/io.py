@@ -13,6 +13,7 @@ from typing import List
 from repro.click.element import (
     Element,
     PushBatchResult,
+    PushColumnsResult,
     PushResult,
     register_element,
 )
@@ -29,6 +30,7 @@ class FromNetfront(Element):
     n_inputs = 1  # the runtime injects via input port 0
     n_outputs = 1
     cycle_cost = 0.6
+    has_column_kernel = True
 
     def configure(self, args: List[str]) -> None:
         self.require_args(args, 0, 1)
@@ -39,6 +41,9 @@ class FromNetfront(Element):
 
     def push_batch(self, port: int, packets: List) -> PushBatchResult:
         return [(0, packets)]
+
+    def push_columns(self, port: int, cols) -> PushColumnsResult:
+        return [(0, cols)]
 
 
 @register_element("ToNetfront")
@@ -52,6 +57,7 @@ class ToNetfront(Element):
     n_outputs = 0
     is_sink = True
     cycle_cost = 0.6
+    has_column_kernel = True
 
     def configure(self, args: List[str]) -> None:
         self.require_args(args, 0, 1)
@@ -66,6 +72,10 @@ class ToNetfront(Element):
     def push_batch(self, port: int, packets: List) -> PushBatchResult:
         self.count += len(packets)
         return [(0, packets)]
+
+    def push_columns(self, port: int, cols) -> PushColumnsResult:
+        self.count += cols.n_alive
+        return [(0, cols)]
 
 
 @register_element("FromDevice")
@@ -85,6 +95,7 @@ class Discard(Element):
     n_inputs = 1
     n_outputs = 0
     cycle_cost = 0.2
+    has_column_kernel = True
 
     def configure(self, args: List[str]) -> None:
         self.require_args(args, 0, 0)
@@ -98,6 +109,10 @@ class Discard(Element):
         self.count += len(packets)
         return []
 
+    def push_columns(self, port: int, cols) -> PushColumnsResult:
+        self.count += cols.n_alive
+        return []
+
 
 @register_element("Idle")
 class Idle(Element):
@@ -106,6 +121,7 @@ class Idle(Element):
     n_inputs = None
     n_outputs = None
     cycle_cost = 0.0
+    has_column_kernel = True
 
     def configure(self, args: List[str]) -> None:
         self.require_args(args, 0, 0)
@@ -114,4 +130,7 @@ class Idle(Element):
         return []
 
     def push_batch(self, port: int, packets: List) -> PushBatchResult:
+        return []
+
+    def push_columns(self, port: int, cols) -> PushColumnsResult:
         return []

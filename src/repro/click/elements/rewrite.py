@@ -12,14 +12,17 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Tuple
 
+from repro.click import columnar
 from repro.click.element import (
     Element,
     PushBatchResult,
+    PushColumnsResult,
     PushResult,
     parse_int_arg,
     register_element,
 )
-from repro.click.packet import IP_DST, IP_SRC, IP_TTL, TP_DST, TP_SRC
+from repro.click.packet import IP_DST, IP_PROTO, IP_SRC, IP_TTL, TP_DST, \
+    TP_SRC
 from repro.common.addr import parse_ip
 from repro.common.errors import ConfigError
 
@@ -119,6 +122,8 @@ class IPRewriter(Element):
     n_inputs = None
     n_outputs = None
     cycle_cost = 2.0
+    has_column_kernel = True
+    column_fields = (IP_SRC, IP_DST, IP_PROTO, TP_SRC, TP_DST)
 
     def configure(self, args: List[str]) -> None:
         if not args:
@@ -164,6 +169,29 @@ class IPRewriter(Element):
         self._next_alloc_port[index] = cursor + 1
         return cursor
 
+    def _establish(
+        self, port: int, key: tuple, pattern: RewritePattern
+    ) -> Tuple[tuple, RewritePattern]:
+        """Create (and remember) the mapping for a first-packet flow."""
+        rewritten = (
+            pattern.src_addr if pattern.src_addr is not None else key[0],
+            pattern.dst_addr if pattern.dst_addr is not None else key[1],
+            key[2],
+            self._allocate_port(port, pattern.src_port)
+            if pattern.src_port is not None else key[3],
+            self._allocate_port(port, pattern.dst_port)
+            if pattern.dst_port is not None else key[4],
+        )
+        mapping = self.mappings[key] = (rewritten, pattern)
+        src, dst, _, sport, dport = rewritten
+        # Reply key: traffic from the rewritten destination back to
+        # the rewritten source.
+        self.reverse_mappings[(dst, src, key[2], dport, sport)] = (
+            key,
+            pattern,
+        )
+        return mapping
+
     def push(self, port: int, packet) -> PushResult:
         if port >= len(self.inputs):
             raise ConfigError(
@@ -183,27 +211,8 @@ class IPRewriter(Element):
             return []
         mapping = self.mappings.get(key)
         if mapping is None:
-            rewritten = (
-                pattern.src_addr if pattern.src_addr is not None
-                else packet[IP_SRC],
-                pattern.dst_addr if pattern.dst_addr is not None
-                else packet[IP_DST],
-                packet.fields["ip_proto"],
-                self._allocate_port(port, pattern.src_port)
-                if pattern.src_port is not None else packet[TP_SRC],
-                self._allocate_port(port, pattern.dst_port)
-                if pattern.dst_port is not None else packet[TP_DST],
-            )
-            self.mappings[key] = (rewritten, pattern)
-            src, dst, _, sport, dport = rewritten
-            # Reply key: traffic from the rewritten destination back to
-            # the rewritten source.
-            self.reverse_mappings[(dst, src, key[2], dport, sport)] = (
-                key,
-                pattern,
-            )
-        else:
-            rewritten, pattern = mapping
+            mapping = self._establish(port, key, pattern)
+        rewritten, pattern = mapping
         src, dst, _, sport, dport = rewritten
         packet[IP_SRC], packet[IP_DST] = src, dst
         packet[TP_SRC], packet[TP_DST] = sport, dport
@@ -235,6 +244,8 @@ class IPRewriter(Element):
                 dst, src, _, dport, sport = original_key
                 fields[IP_SRC], fields[TP_SRC] = src, sport
                 fields[IP_DST], fields[TP_DST] = dst, dport
+                packet._fkey = None
+                packet._fhash = None
                 out = pattern.rev_output
             else:
                 mapping = fwd_get(key)
@@ -243,6 +254,8 @@ class IPRewriter(Element):
                     src, dst, _, sport, dport = rewritten
                     fields[IP_SRC], fields[IP_DST] = src, dst
                     fields[TP_SRC], fields[TP_DST] = sport, dport
+                    packet._fkey = None
+                    packet._fhash = None
                     out = pattern.fwd_output
                 else:
                     results = scalar_push(port, packet)
@@ -255,12 +268,131 @@ class IPRewriter(Element):
                 groups[out] = [packet]
         return list(groups.items())
 
+    def push_columns(self, port: int, cols) -> PushColumnsResult:
+        """Columnar rewrite: one dict lookup per *run* of equal
+        5-tuples (in the steady state a batch is a handful of flows,
+        often one), then slice-wide column writes.  Mapping
+        establishment reuses the scalar :meth:`_establish` so
+        allocation order stays exactly arrival order.
+        """
+        if port >= len(self.inputs):
+            raise ConfigError(
+                "IPRewriter %r has no input %d" % (self.name, port)
+            )
+        np = columnar.np
+        rev_get = self.reverse_mappings.get
+        fwd_get = self.mappings.get
+        # Compact the key columns to alive rows, find runs of equal
+        # 5-tuples, and look each run up once (a single-flow batch is
+        # simply the one-run case: one lookup, whole-column writes).
+        alive = cols.alive
+        if alive is None:
+            idx = None
+            csrc = cols.column(IP_SRC)
+            cdst = cols.column(IP_DST)
+            cproto = cols.column(IP_PROTO)
+            csp = cols.column(TP_SRC)
+            cdp = cols.column(TP_DST)
+        else:
+            idx = np.flatnonzero(alive)
+            csrc = cols.column(IP_SRC)[idx]
+            cdst = cols.column(IP_DST)[idx]
+            cproto = cols.column(IP_PROTO)[idx]
+            csp = cols.column(TP_SRC)[idx]
+            cdp = cols.column(TP_DST)[idx]
+        m = len(csrc)
+        change = np.ones(m, dtype=bool)
+        if m > 1:
+            np.not_equal(csrc[1:], csrc[:-1], out=change[1:])
+            change[1:] |= cdst[1:] != cdst[:-1]
+            change[1:] |= cproto[1:] != cproto[:-1]
+            change[1:] |= csp[1:] != csp[:-1]
+            change[1:] |= cdp[1:] != cdp[:-1]
+        starts = np.flatnonzero(change).tolist()
+        starts.append(m)
+        port_order: List[int] = []
+        port_runs: Dict[int, List[Tuple[int, int]]] = {}
+        drop_runs: List[Tuple[int, int]] = []
+        w_src = w_dst = w_sp = w_dp = False
+        for r in range(len(starts) - 1):
+            a, b = starts[r], starts[r + 1]
+            key = (
+                int(csrc[a]), int(cdst[a]), int(cproto[a]),
+                int(csp[a]), int(cdp[a]),
+            )
+            hit = rev_get(key)
+            if hit is not None:
+                original_key, pattern = hit
+                dst, src, _, dport, sport = original_key
+                out = pattern.rev_output
+            else:
+                mapping = fwd_get(key)
+                if mapping is None:
+                    pattern = self.inputs[port]
+                    if pattern is None:
+                        drop_runs.append((a, b))
+                        continue
+                    mapping = self._establish(port, key, pattern)
+                rewritten, pattern = mapping
+                src, dst, _, sport, dport = rewritten
+                out = pattern.fwd_output
+            if src != key[0]:
+                csrc[a:b] = src
+                w_src = True
+            if dst != key[1]:
+                cdst[a:b] = dst
+                w_dst = True
+            if sport != key[3]:
+                csp[a:b] = sport
+                w_sp = True
+            if dport != key[4]:
+                cdp[a:b] = dport
+                w_dp = True
+            try:
+                port_runs[out].append((a, b))
+            except KeyError:
+                port_runs[out] = [(a, b)]
+                port_order.append(out)
+        for name, arr, changed in (
+            (IP_SRC, csrc, w_src), (IP_DST, cdst, w_dst),
+            (TP_SRC, csp, w_sp), (TP_DST, cdp, w_dp),
+        ):
+            if changed:
+                if idx is not None:
+                    # The compacted array is a copy; scatter it back.
+                    cols.column(name)[idx] = arr
+                cols.mark_dirty(name)
+        if drop_runs:
+            keep = np.ones(cols.n, dtype=bool)
+            for a, b in drop_runs:
+                if idx is None:
+                    keep[a:b] = False
+                else:
+                    keep[idx[a:b]] = False
+            cols.kill(keep)
+            if not cols.n_alive:
+                return []
+        if len(port_order) == 1:
+            return [(port_order[0], cols)]
+        groups = []
+        for out in port_order:
+            mask = np.zeros(cols.n, dtype=bool)
+            for a, b in port_runs[out]:
+                if idx is None:
+                    mask[a:b] = True
+                else:
+                    mask[idx[a:b]] = True
+            groups.append((out, mask))
+        return cols.split(groups)
+
 
 @register_element("SetIPAddress")
 class SetIPAddress(Element):
     """Sets the destination IP address to a constant."""
 
     cycle_cost = 0.5
+    has_column_kernel = True
+    column_fields = (IP_DST,)
 
     def configure(self, args: List[str]) -> None:
         self.require_args(args, 1)
@@ -269,6 +401,10 @@ class SetIPAddress(Element):
     def push(self, port: int, packet) -> PushResult:
         packet[IP_DST] = self.address
         return [(0, packet)]
+
+    def push_columns(self, port: int, cols) -> PushColumnsResult:
+        cols.set_all(IP_DST, self.address)
+        return [(0, cols)]
 
 
 @register_element("SetIPSrc")
@@ -281,6 +417,8 @@ class SetIPSrc(Element):
     """
 
     cycle_cost = 0.5
+    has_column_kernel = True
+    column_fields = (IP_SRC,)
 
     def configure(self, args: List[str]) -> None:
         self.require_args(args, 1)
@@ -290,12 +428,18 @@ class SetIPSrc(Element):
         packet[IP_SRC] = self.address
         return [(0, packet)]
 
+    def push_columns(self, port: int, cols) -> PushColumnsResult:
+        cols.set_all(IP_SRC, self.address)
+        return [(0, cols)]
+
 
 @register_element("SetTPDst")
 class SetTPDst(Element):
     """Sets the transport destination port to a constant."""
 
     cycle_cost = 0.4
+    has_column_kernel = True
+    column_fields = (TP_DST,)
 
     def configure(self, args: List[str]) -> None:
         self.require_args(args, 1)
@@ -305,12 +449,18 @@ class SetTPDst(Element):
         packet[TP_DST] = self.port_value
         return [(0, packet)]
 
+    def push_columns(self, port: int, cols) -> PushColumnsResult:
+        cols.set_all(TP_DST, self.port_value)
+        return [(0, cols)]
+
 
 @register_element("SetTPSrc")
 class SetTPSrc(Element):
     """Sets the transport source port to a constant."""
 
     cycle_cost = 0.4
+    has_column_kernel = True
+    column_fields = (TP_SRC,)
 
     def configure(self, args: List[str]) -> None:
         self.require_args(args, 1)
@@ -320,6 +470,10 @@ class SetTPSrc(Element):
         packet[TP_SRC] = self.port_value
         return [(0, packet)]
 
+    def push_columns(self, port: int, cols) -> PushColumnsResult:
+        cols.set_all(TP_SRC, self.port_value)
+        return [(0, cols)]
+
 
 @register_element("DecIPTTL")
 class DecIPTTL(Element):
@@ -328,6 +482,8 @@ class DecIPTTL(Element):
 
     n_outputs = None  # port 1 optional
     cycle_cost = 0.4
+    has_column_kernel = True
+    column_fields = (IP_TTL,)
 
     def configure(self, args: List[str]) -> None:
         self.require_args(args, 0, 0)
@@ -341,6 +497,33 @@ class DecIPTTL(Element):
         packet[IP_TTL] = ttl - 1
         return [(0, packet)]
 
+    def push_columns(self, port: int, cols) -> PushColumnsResult:
+        np = columnar.np
+        ttl = cols.column(IP_TTL)
+        expired = ttl <= 1
+        alive = cols.alive
+        if alive is not None:
+            expired &= alive
+        n_expired = int(expired.sum())
+        if not n_expired:
+            if alive is None:
+                ttl -= 1
+            else:
+                ttl[alive] -= 1
+            cols.mark_dirty(IP_TTL)
+            return [(0, cols)]
+        self.expired += n_expired
+        ok = ~expired if alive is None else (~expired & alive)
+        if ok.any():
+            ttl[ok] -= 1
+        cols.mark_dirty(IP_TTL)
+        if n_expired == cols.n_alive:
+            return [(1, cols)]
+        groups = [(0, ok), (1, expired)]
+        # Emit groups in first-emission order, like scalar grouping.
+        groups.sort(key=lambda g: int(np.argmax(g[1])))
+        return cols.split(groups)
+
 
 @register_element("CheckIPHeader")
 class CheckIPHeader(Element):
@@ -351,6 +534,8 @@ class CheckIPHeader(Element):
     """
 
     cycle_cost = 0.8
+    has_column_kernel = True
+    column_fields = (IP_SRC, IP_TTL)
 
     def configure(self, args: List[str]) -> None:
         self.require_args(args, 0, 1)
@@ -381,3 +566,16 @@ class CheckIPHeader(Element):
         if not out:
             return []
         return [(0, out)]
+
+    def push_columns(self, port: int, cols) -> PushColumnsResult:
+        ttl = cols.column(IP_TTL)
+        valid = (ttl > 0) & (ttl <= 255)
+        valid &= cols.column(IP_SRC) != 0xFFFFFFFF
+        before = cols.n_alive
+        cols.kill(valid)
+        killed = before - cols.n_alive
+        if killed:
+            self.dropped += killed
+        if not cols.n_alive:
+            return []
+        return [(0, cols)]

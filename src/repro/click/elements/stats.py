@@ -13,10 +13,12 @@ from typing import Dict, List
 from repro.click.element import (
     Element,
     PushBatchResult,
+    PushColumnsResult,
     PushResult,
     parse_int_arg,
     register_element,
 )
+from repro.click.packet import IP_DST, IP_PROTO, IP_SRC, TP_DST, TP_SRC
 
 
 @register_element("Counter")
@@ -24,6 +26,8 @@ class Counter(Element):
     """Counts packets and bytes; forwards unchanged."""
 
     cycle_cost = 0.3
+    has_column_kernel = True
+    needs_length_column = True
 
     def configure(self, args: List[str]) -> None:
         self.require_args(args, 0, 0)
@@ -40,6 +44,11 @@ class Counter(Element):
         self.bytes += sum(p.length for p in packets)
         return [(0, packets)]
 
+    def push_columns(self, port: int, cols) -> PushColumnsResult:
+        self.packets += cols.n_alive
+        self.bytes += cols.bytes_alive()
+        return [(0, cols)]
+
 
 @register_element("FlowMeter")
 class FlowMeter(Element):
@@ -52,6 +61,9 @@ class FlowMeter(Element):
 
     stateful = True
     cycle_cost = 1.0
+    has_column_kernel = True
+    column_fields = (IP_SRC, IP_DST, IP_PROTO, TP_SRC, TP_DST)
+    needs_length_column = True
 
     def configure(self, args: List[str]) -> None:
         self.require_args(args, 0, 0)
@@ -72,6 +84,28 @@ class FlowMeter(Element):
             flow_packets[key] += 1
             flow_bytes[key] += packet.length
         return [(0, packets)]
+
+    def push_columns(self, port: int, cols) -> PushColumnsResult:
+        # Keys come from the *columns*, not packet.flow_key(): an
+        # upstream kernel may have rewritten 5-tuple columns that are
+        # not materialized back to the packets yet.
+        rows = cols.alive_rows()
+        key_cols = [cols.column(f) for f in self.column_fields]
+        lengths = cols.lengths()
+        if rows is not None:
+            key_cols = [c[rows] for c in key_cols]
+            lengths = lengths[rows]
+        flow_packets = self.flow_packets
+        flow_bytes = self.flow_bytes
+        columns = [c.tolist() for c in key_cols]
+        for src, dst, proto, sport, dport, length in zip(
+            columns[0], columns[1], columns[2], columns[3], columns[4],
+            lengths.tolist(),
+        ):
+            key = (src, dst, proto, sport, dport)
+            flow_packets[key] += 1
+            flow_bytes[key] += length
+        return [(0, cols)]
 
     @property
     def flow_count(self) -> int:
@@ -126,6 +160,7 @@ class Paint(Element):
     """Stamps a color annotation on each packet."""
 
     cycle_cost = 0.3
+    has_column_kernel = True
 
     def configure(self, args: List[str]) -> None:
         self.require_args(args, 1)
@@ -140,6 +175,10 @@ class Paint(Element):
         for packet in packets:
             packet.annotations["paint"] = color
         return [(0, packets)]
+
+    def push_columns(self, port: int, cols) -> PushColumnsResult:
+        cols.annotate("paint", self.color)
+        return [(0, cols)]
 
 
 @register_element("PaintSwitch")

@@ -13,6 +13,7 @@ from typing import List
 from repro.click.element import (
     Element,
     PushBatchResult,
+    PushColumnsResult,
     PushResult,
     parse_float_arg,
     parse_int_arg,
@@ -38,6 +39,7 @@ class Switch(Element):
 
     n_outputs = None
     cycle_cost = 0.2
+    has_column_kernel = True
 
     def configure(self, args: List[str]) -> None:
         self.require_args(args, 1)
@@ -54,6 +56,11 @@ class Switch(Element):
         if self.port < 0:
             return []
         return [(self.port, packets)]
+
+    def push_columns(self, port: int, cols) -> PushColumnsResult:
+        if self.port < 0:
+            return []
+        return [(self.port, cols)]
 
 
 @register_element("RoundRobinSwitch")
@@ -128,6 +135,8 @@ class SetIPTTL(Element):
     """Stamps a constant TTL."""
 
     cycle_cost = 0.3
+    has_column_kernel = True
+    column_fields = (IP_TTL,)
 
     def configure(self, args: List[str]) -> None:
         self.require_args(args, 1)
@@ -145,12 +154,18 @@ class SetIPTTL(Element):
             packet.fields[IP_TTL] = ttl
         return [(0, packets)]
 
+    def push_columns(self, port: int, cols) -> PushColumnsResult:
+        cols.set_all(IP_TTL, self.ttl)
+        return [(0, cols)]
+
 
 @register_element("SetIPTOS")
 class SetIPTOS(Element):
     """Stamps a constant TOS/DSCP byte (traffic prioritization)."""
 
     cycle_cost = 0.3
+    has_column_kernel = True
+    column_fields = (IP_TOS,)
 
     def configure(self, args: List[str]) -> None:
         self.require_args(args, 1)
@@ -167,6 +182,10 @@ class SetIPTOS(Element):
         for packet in packets:
             packet.fields[IP_TOS] = tos
         return [(0, packets)]
+
+    def push_columns(self, port: int, cols) -> PushColumnsResult:
+        cols.set_all(IP_TOS, self.tos)
+        return [(0, cols)]
 
 
 @register_element("ICMPPingResponder")

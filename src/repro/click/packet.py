@@ -78,7 +78,13 @@ class Packet:
     1500
     """
 
-    __slots__ = ("fields", "annotations", "encap_stack", "length", "uid")
+    __slots__ = (
+        "fields", "annotations", "encap_stack", "length", "uid",
+        "_fkey", "_fhash",
+    )
+
+    #: Fields whose mutation invalidates the cached flow key/hash.
+    _FLOW_FIELDS = frozenset((IP_SRC, IP_DST, IP_PROTO, TP_SRC, TP_DST))
 
     def __init__(
         self,
@@ -103,6 +109,8 @@ class Packet:
         self.encap_stack: List[Dict[str, Any]] = []
         self.length = length
         self.uid = next(_packet_ids)
+        self._fkey = None
+        self._fhash = None
 
     # -- mapping-style access ---------------------------------------------
     def __getitem__(self, field: str) -> Any:
@@ -110,6 +118,9 @@ class Packet:
 
     def __setitem__(self, field: str, value: Any) -> None:
         self.fields[field] = value
+        if field in self._FLOW_FIELDS:
+            self._fkey = None
+            self._fhash = None
 
     def __contains__(self, field: str) -> bool:
         return field in self.fields
@@ -127,6 +138,11 @@ class Packet:
         clone.encap_stack = [dict(layer) for layer in self.encap_stack]
         clone.length = self.length
         clone.uid = next(_packet_ids)
+        # Clones share the 5-tuple, so the cached flow key/hash carries
+        # over -- the big win for bulk traffic generation, where one
+        # hashed template fans out to thousands of pre-hashed clones.
+        clone._fkey = self._fkey
+        clone._fhash = self._fhash
         return clone
 
     def copy_many(self, n: int) -> List["Packet"]:
@@ -142,6 +158,8 @@ class Packet:
         annotations = self.annotations
         encap_stack = self.encap_stack
         length = self.length
+        fkey = self._fkey
+        fhash = self._fhash
         new = Packet.__new__
         next_id = _packet_ids.__next__
         clones: List[Packet] = []
@@ -153,6 +171,8 @@ class Packet:
             clone.encap_stack = [dict(layer) for layer in encap_stack]
             clone.length = length
             clone.uid = next_id()
+            clone._fkey = fkey
+            clone._fhash = fhash
             append(clone)
         return clones
 
@@ -166,12 +186,16 @@ class Packet:
         self.encap_stack.append(dict(self.fields))
         for name, value in outer.items():
             self.fields[name] = value
+        self._fkey = None
+        self._fhash = None
 
     def decapsulate(self) -> None:
         """Pop the innermost saved header, restoring pre-encap fields."""
         if not self.encap_stack:
             raise ValueError("decapsulate() on a packet with no encap stack")
         self.fields = self.encap_stack.pop()
+        self._fkey = None
+        self._fhash = None
 
     @property
     def encap_depth(self) -> int:
@@ -189,9 +213,21 @@ class Packet:
         )
 
     def flow_key(self):
-        """The 5-tuple identifying this packet's flow."""
-        f = self.fields
-        return (f[IP_SRC], f[IP_DST], f[IP_PROTO], f[TP_SRC], f[TP_DST])
+        """The 5-tuple identifying this packet's flow.
+
+        Cached per packet; the cache is invalidated by
+        :meth:`__setitem__` on a 5-tuple field and by
+        encapsulation/decapsulation.  Code that writes
+        ``packet.fields`` directly (hot batch loops, columnar
+        materialization) must clear ``_fkey``/``_fhash`` itself.
+        """
+        key = self._fkey
+        if key is None:
+            f = self.fields
+            key = self._fkey = (
+                f[IP_SRC], f[IP_DST], f[IP_PROTO], f[TP_SRC], f[TP_DST],
+            )
+        return key
 
     def flow_hash(self) -> int:
         """A stable 64-bit hash of this packet's 5-tuple (RSS-style).
@@ -213,7 +249,14 @@ class Packet:
           ``None`` (a half-built packet, a non-TCP/UDP packet without
           ports) contribute 0, matching a packet that carries explicit
           zeros.
+
+        The value is cached per packet (invalidated the same way as
+        :meth:`flow_key`), and clones inherit the cache -- so sharding
+        a ``copy_many`` train rehashes nothing.
         """
+        cached = self._fhash
+        if cached is not None:
+            return cached
         get = self.fields.get
         src = get(IP_SRC) or 0
         dst = get(IP_DST) or 0
@@ -225,7 +268,9 @@ class Packet:
         # xor and sum are both order-free, so (a, b) and (b, a) mix to
         # the same value without collapsing structure the way a bare
         # xor of equal endpoints would.
-        return _mix64(((a + b) & _MASK64) ^ _mix64((a ^ b) + proto))
+        value = _mix64(((a + b) & _MASK64) ^ _mix64((a ^ b) + proto))
+        self._fhash = value
+        return value
 
     def reverse_flow_key(self):
         """The 5-tuple of the reverse direction of this packet's flow."""

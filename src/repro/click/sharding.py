@@ -161,15 +161,21 @@ def _collect_reply(
     return (error, payload, runtime.dropped, registry, state)
 
 
-def _make_runtime(config, obs_enabled, start_time):
+def _make_runtime(config, obs_enabled, start_time, use_columns=None):
     registry = MetricsRegistry(enabled=True) if obs_enabled else None
     obs = Observability(metrics=registry) if obs_enabled else None
-    return Runtime(config, start_time=start_time, obs=obs), registry
+    runtime = Runtime(
+        config, start_time=start_time, obs=obs, use_columns=use_columns
+    )
+    return runtime, registry
 
 
-def _process_worker(conn, config, obs_enabled, start_time) -> None:
+def _process_worker(conn, config, obs_enabled, start_time,
+                    use_columns=None) -> None:
     """Entry point of one shard worker process."""
-    runtime, registry = _make_runtime(config, obs_enabled, start_time)
+    runtime, registry = _make_runtime(
+        config, obs_enabled, start_time, use_columns
+    )
     error: Optional[str] = None
     while True:
         try:
@@ -204,9 +210,9 @@ def _process_worker(conn, config, obs_enabled, start_time) -> None:
 class _SerialShard:
     """Shard executed inline in the calling process."""
 
-    def __init__(self, config, obs_enabled, start_time):
+    def __init__(self, config, obs_enabled, start_time, use_columns=None):
         self.runtime, self.registry = _make_runtime(
-            config, obs_enabled, start_time
+            config, obs_enabled, start_time, use_columns
         )
 
     def submit(self, message: tuple) -> None:
@@ -222,9 +228,9 @@ class _SerialShard:
 class _ThreadShard:
     """Shard executed by a dedicated thread (same protocol, no fork)."""
 
-    def __init__(self, config, obs_enabled, start_time):
+    def __init__(self, config, obs_enabled, start_time, use_columns=None):
         self.runtime, self.registry = _make_runtime(
-            config, obs_enabled, start_time
+            config, obs_enabled, start_time, use_columns
         )
         self._inbox: _queue.Queue = _queue.Queue()
         self._replies: _queue.Queue = _queue.Queue()
@@ -264,12 +270,14 @@ class _ThreadShard:
 class _ProcessShard:
     """Shard executed by a persistent multiprocessing worker."""
 
-    def __init__(self, config, obs_enabled, start_time, ctx):
+    def __init__(self, config, obs_enabled, start_time, ctx,
+                 use_columns=None):
         parent_conn, child_conn = ctx.Pipe()
         self._conn = parent_conn
         self._process = ctx.Process(
             target=_process_worker,
-            args=(child_conn, config, obs_enabled, start_time),
+            args=(child_conn, config, obs_enabled, start_time,
+                  use_columns),
             daemon=True,
         )
         self._process.start()
@@ -338,6 +346,7 @@ class ShardedRuntime:
         obs=None,
         fallback: bool = True,
         start_time: float = 0.0,
+        use_columns: Optional[bool] = None,
     ):
         if shards < 1:
             raise ConfigError("ShardedRuntime needs at least one shard")
@@ -378,17 +387,18 @@ class ShardedRuntime:
                 "fork" if "fork" in methods else methods[0]
             )
             self._shards = [
-                _ProcessShard(config, obs_enabled, start_time, ctx)
+                _ProcessShard(config, obs_enabled, start_time, ctx,
+                              use_columns)
                 for _ in range(shards)
             ]
         elif executor == "thread":
             self._shards = [
-                _ThreadShard(config, obs_enabled, start_time)
+                _ThreadShard(config, obs_enabled, start_time, use_columns)
                 for _ in range(shards)
             ]
         else:
             self._shards = [
-                _SerialShard(config, obs_enabled, start_time)
+                _SerialShard(config, obs_enabled, start_time, use_columns)
                 for _ in range(shards)
             ]
         # Parent-side sharding metrics (the per-dataplane counters live

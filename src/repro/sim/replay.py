@@ -64,6 +64,10 @@ def flow_packets(
         tp_src=flow.sport,
         tp_dst=flow.dport,
     )
+    # Prime the flow-key/hash caches once; copy_many propagates them,
+    # so neither the sharder nor a stateful element rehashes per clone.
+    template.flow_key()
+    template.flow_hash()
     return template.copy_many(packets_per_flow)
 
 
