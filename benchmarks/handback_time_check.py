@@ -1,0 +1,150 @@
+"""Hand-back time (MTTR) gate for federation shard revival.
+
+Runs the full shard failure lifecycle -- a controller shard stops
+answering health probes, the :class:`ShardHealthManager` declares it
+dead after ``miss_threshold`` missed probes and fails it over to its
+ring heir, then the repaired shard passes one probe and auto-revival
+hands every adopted segment back -- across several seeds, and gates on
+the *median* hand-back MTTR:
+
+    MTTR = repair detection latency (one probe interval on the
+           simulated clock)
+         + journal replay + segment adoption wall-clock on the
+           revived shard
+
+With the default 0.5 s probe interval the detection term contributes
+exactly 0.5 s and the replay of a CI-sized shard (a handful of
+modules) runs in milliseconds, so a healthy federation hands state
+back well inside the 3 s default gate.  Every run also proves the
+revived federation digest matches the pre-crash baseline and the
+federation invariants hold.  A regression in the revival fast path,
+the journal replay, or the probe cadence trips this check.  Run by
+the ``controller-federation`` CI job::
+
+    PYTHONPATH=src python benchmarks/handback_time_check.py
+"""
+
+from __future__ import annotations
+
+import argparse
+import statistics
+import sys
+
+from _report import fmt, print_table
+
+from repro.fedctl import FederatedControlPlane, ShardHealthManager
+from repro.fedctl.invariants import (
+    collect_federation_violations,
+    federation_digest,
+)
+from repro.resilience.chaos import _module_request
+from repro.sim.events import EventLoop
+
+
+def _tenant_on(plane, shard_id, tag):
+    probe = 0
+    while True:
+        client = "%s-%d" % (tag, probe)
+        if plane.shard_map.owner(client) == shard_id:
+            return client
+        probe += 1
+
+
+def measure(seed):
+    """One lifecycle run: crash -> failover -> repair -> hand-back.
+
+    Returns ``(handback, failures)``; the seed rotates the victim and
+    scales the number of modules the replay must carry back.
+    """
+    loop = EventLoop()
+    plane = FederatedControlPlane(
+        shard_count=3, gossip_every=1, clock=lambda: loop.now,
+    )
+    modules_per_shard = 1 + seed % 3
+    for index, shard_id in enumerate(plane.shards):
+        for extra in range(modules_per_shard):
+            client = _tenant_on(
+                plane, shard_id, "s%d-m%d" % (index, extra),
+            )
+            decision = plane.submit(
+                _module_request(client, "mod-%d-%d" % (index, extra))
+            )
+            assert decision, decision.result.reason
+    victim = sorted(plane.shards)[seed % len(plane.shards)]
+    baseline = federation_digest(plane)
+    manager = ShardHealthManager(plane, loop, auto_revive=True)
+    manager.start()
+
+    failures = []
+    manager.mark_crashed(victim)
+    loop.run_until(loop.now + 5.0)
+    if plane.shards[victim].alive:
+        failures.append("probes never declared %s dead" % victim)
+        manager.stop()
+        return None, failures
+    manager.mark_repaired(victim)
+    loop.run_until(loop.now + 5.0)
+    manager.stop()
+    if not manager.revivals:
+        failures.append("repaired %s was never revived" % victim)
+        return None, failures
+    handback = manager.revivals[-1]
+    if not handback.digest_equal:
+        failures.append("hand-back digests diverged on %s" % victim)
+    if federation_digest(plane) != baseline:
+        failures.append("federation digest drifted from baseline")
+    failures.extend(collect_federation_violations(plane))
+    return handback, failures
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--seeds", type=int, nargs="+",
+                        default=[1, 2, 3, 4, 5], metavar="SEED",
+                        help="lifecycle seeds to run")
+    parser.add_argument("--threshold", type=float, default=3.0,
+                        help="maximum tolerated median hand-back"
+                             " MTTR (s)")
+    args = parser.parse_args(argv)
+    rows = []
+    mttrs = []
+    broken = []
+    for seed in args.seeds:
+        handback, failures = measure(seed)
+        if failures:
+            broken.append((seed, failures))
+        if handback is None:
+            rows.append((seed, "NO", "-", "-", "-"))
+            continue
+        mttrs.append(handback.mttr_s)
+        rows.append((
+            seed,
+            "yes" if not failures else "NO",
+            len(handback.handed_back),
+            handback.modules,
+            fmt(handback.mttr_s, 3),
+        ))
+    median = statistics.median(mttrs) if mttrs else float("inf")
+    print_table(
+        "hand-back time (shard failure lifecycle)",
+        ("seed", "green", "segments", "modules", "mttr_s"),
+        rows,
+        note="median hand-back MTTR %s s (threshold %s s)"
+             % (fmt(median, 3), fmt(args.threshold, 1)),
+    )
+    for seed, failures in broken:
+        for failure in failures:
+            print("FAIL seed=%d: %s" % (seed, failure),
+                  file=sys.stderr)
+    if broken:
+        return 1
+    if median > args.threshold:
+        print("FAIL: median hand-back MTTR %.3f s exceeds threshold"
+              " %.1f s" % (median, args.threshold), file=sys.stderr)
+        return 1
+    print("OK")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

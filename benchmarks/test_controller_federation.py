@@ -18,8 +18,10 @@ busy time and the federation the slowest shard (the
 
 Gate (run via ``python benchmarks/test_controller_federation.py``):
 median admission throughput at 4 shards must be >= 2x the 1-shard
-median, and the shard-death chaos scenario must pass across seeds.
-The pytest entry point is a scaled-down smoke run.
+median, and both federation chaos scenarios -- shard-death and the
+full failure lifecycle (probe-driven failover, revival hand-back,
+live resharding) -- must pass across seeds.  The pytest entry point
+is a scaled-down smoke run.
 """
 
 import argparse
@@ -31,6 +33,7 @@ from _report import fmt, print_table
 from repro.core import ClientRequest, ROLE_CLIENT
 from repro.fedctl import FederatedControlPlane, shard_network
 from repro.fedctl.chaos import run_all as run_chaos
+from repro.fedctl.chaos import run_lifecycle_all
 from repro.fedctl.invariants import check_federation_invariants
 from repro.fedctl.seeding import seed_residents, tenant_ids_for_shard
 
@@ -236,6 +239,13 @@ def main(argv=None):
     if not args.skip_chaos:
         print("\n--- shard-death chaos ---")
         for chaos_report in run_chaos(seeds=args.chaos_seeds):
+            print(chaos_report.summary())
+            for failure in chaos_report.failures:
+                print("  FAIL:", failure)
+            failed = failed or not chaos_report.passed
+
+        print("\n--- failure-lifecycle chaos (revive + reshard) ---")
+        for chaos_report in run_lifecycle_all(seeds=args.chaos_seeds):
             print(chaos_report.summary())
             for failure in chaos_report.failures:
                 print("  FAIL:", failure)

@@ -221,6 +221,9 @@ class _SerialShard:
     def collect(self, full: bool) -> tuple:
         return _collect_reply(self.runtime, self.registry, full, None)
 
+    def is_alive(self) -> bool:
+        return True
+
     def close(self) -> None:
         pass
 
@@ -261,6 +264,9 @@ class _ThreadShard:
     def collect(self, full: bool) -> tuple:
         self._inbox.put(("collect", full))
         return self._replies.get()
+
+    def is_alive(self) -> bool:
+        return self._thread.is_alive()
 
     def close(self) -> None:
         self._inbox.put(("close",))
@@ -304,6 +310,9 @@ class _ProcessShard:
         except (EOFError, ConnectionResetError, BrokenPipeError,
                 OSError) as exc:
             raise ShardingError("shard worker died: %s" % (exc,)) from exc
+
+    def is_alive(self) -> bool:
+        return self._process.is_alive()
 
     def close(self) -> None:
         try:
@@ -380,6 +389,9 @@ class ShardedRuntime:
         self.output: List[EgressRecord] = []
         self.dropped = 0
         self._closed = False
+        #: Per shard: batches handed to the backend since its last
+        #: successful collect -- work a dying worker takes with it.
+        self._unconfirmed = [0] * shards
         obs_enabled = obs is not None and obs.enabled
         if executor == "process":
             methods = multiprocessing.get_all_start_methods()
@@ -429,6 +441,41 @@ class ShardedRuntime:
         else:
             self._m_shard = None
 
+    # -- worker liveness -------------------------------------------------
+    def _death_notice(self, shard: int) -> str:
+        return (
+            "shard %d (%s executor) worker died; %d batch(es) "
+            "accepted but unconfirmed (their results were lost with "
+            "the worker)"
+            % (shard, self.executor, self._unconfirmed[shard])
+        )
+
+    def _check_workers(self) -> None:
+        """Fail eagerly if any worker died since the last call.
+
+        Without this, a dead worker surfaces only at the next
+        :meth:`collect` -- after the caller has poured an arbitrary
+        amount of traffic into a pipe nobody reads.  Every
+        ``inject_*`` sweeps the backends first, so the failure names
+        the dead shard while the caller still knows what it was
+        sending.
+        """
+        for shard, backend in enumerate(self._shards):
+            if not backend.is_alive():
+                raise ShardingError(self._death_notice(shard))
+
+    def _dispatch(self, shard: int, message: tuple) -> None:
+        """Hand one message to a shard, translating transport failures
+        into the same death notice the eager sweep raises."""
+        backend = self._shards[shard]
+        try:
+            backend.submit(message)
+        except ShardingError:
+            if backend.is_alive():
+                raise   # not a death (e.g. an unpicklable payload)
+            raise ShardingError(self._death_notice(shard)) from None
+        self._unconfirmed[shard] += 1
+
     # -- traffic ---------------------------------------------------------
     def inject(self, element: str, packet, port: int = 0) -> None:
         """Hand one packet to its flow's shard (convenience wrapper)."""
@@ -447,6 +494,7 @@ class ShardedRuntime:
             raise ConfigError("inject into unknown element %r" % (element,))
         if self._closed:
             raise ShardingError("inject into a closed ShardedRuntime")
+        self._check_workers()
         packets = list(packets)
         if not packets:
             return
@@ -460,7 +508,7 @@ class ShardedRuntime:
         for shard, group in enumerate(groups):
             if not group:
                 continue
-            self._shards[shard].submit(("batch", element, port, group))
+            self._dispatch(shard, ("batch", element, port, group))
             if self._m_shard is not None:
                 inc_batches, inc_packets = self._m_shard[shard]
                 inc_batches()
@@ -498,10 +546,12 @@ class ShardedRuntime:
                 "inject_generated needs one args tuple per shard "
                 "(%d != %d)" % (len(shard_args), self.shards)
             )
+        self._check_workers()
         for shard, args in enumerate(shard_args):
-            self._shards[shard].submit(
+            self._dispatch(
+                shard,
                 ("generate", factory, tuple(args), element, port,
-                 batch_size)
+                 batch_size),
             )
             if self._m_shard is not None:
                 self._m_shard[shard][0]()
@@ -522,7 +572,18 @@ class ShardedRuntime:
         """
         if self._closed:
             raise ShardingError("collect on a closed ShardedRuntime")
-        replies = [shard.collect(full) for shard in self._shards]
+        replies = []
+        for index, shard in enumerate(self._shards):
+            try:
+                reply = shard.collect(full)
+            except ShardingError:
+                if shard.is_alive():
+                    raise
+                raise ShardingError(self._death_notice(index)) from None
+            # The worker answered: everything submitted so far is
+            # accounted for, even if it answered with an error.
+            self._unconfirmed[index] = 0
+            replies.append(reply)
         records: List[EgressRecord] = []
         count = 0
         dropped = 0

@@ -620,6 +620,167 @@ class Controller:
             )
         self.network.compute_routes()
 
+    def export_module(self, module_id: str) -> "_DeployedModule":
+        """A detached copy of a deployed module's control-plane record.
+
+        The hand-off unit for cross-controller moves (federation
+        hand-back and live resharding): everything another controller
+        needs to re-admit the module on *its* network -- config, owner,
+        sandbox flag, stored requirements, listen steering -- without
+        sharing mutable state with this controller.
+        """
+        record = self.deployed.get(module_id)
+        if record is None:
+            raise DeploymentError("unknown module %r" % (module_id,))
+        return _DeployedModule(
+            module_id=record.module_id,
+            client_id=record.client_id,
+            platform=record.platform,
+            address=record.address,
+            config=record.config,
+            sandboxed=record.sandboxed,
+            requirements=list(record.requirements),
+            proto=record.proto,
+            port=record.port,
+        )
+
+    def adopt_module(
+        self,
+        record: "_DeployedModule",
+        pinned_platform: Optional[str] = None,
+        origin: str = "",
+    ) -> MigrationResult:
+        """Admit a module exported from *another* controller.
+
+        The cross-network half of :meth:`migrate`, with the same
+        trial-place / re-verify / exact-rollback discipline: the module
+        is placed on a platform of **this** network with a fresh
+        address from its pool, the stored client requirements are
+        re-verified against this network's compiled model, and only a
+        fully verified placement commits (journal intent precedes the
+        trial placement, so a crash mid-adoption leaves a pending
+        intent that :meth:`recover` reconciles away).  The caller (the
+        federated reshard path) tears the source copy down only after
+        this returns success -- the module is never in limbo.
+
+        ``origin`` is recorded as journal provenance (audit trail for
+        cross-shard moves).  The module keeps its id, owner, config,
+        sandbox status, and listen steering; only platform and address
+        change, exactly as in an in-network migration.
+        """
+        from repro.resilience.journal import (
+            OP_DEPLOY, PHASE_COMMIT, PHASE_INTENT,
+        )
+
+        if record.module_id in self.deployed:
+            return MigrationResult(
+                migrated=False, module_id=record.module_id,
+                source=record.platform,
+                reason="module name %r already in use here"
+                       % (record.module_id,),
+            )
+        platforms = [
+            p for p in self.network.platforms() if p.has_capacity
+        ]
+        if pinned_platform is not None:
+            platforms = [
+                p for p in platforms if p.name == pinned_platform
+            ]
+        if not platforms:
+            return MigrationResult(
+                migrated=False, module_id=record.module_id,
+                source=record.platform,
+                reason="no platform with capacity for the adopted "
+                       "module",
+            )
+        last_failure = "no platform satisfies the requirements"
+        for target in platforms:
+            try:
+                new_address = target.allocate_address()
+            except Exception as exc:
+                last_failure = "platform %s: %s" % (target.name, exc)
+                continue
+            journal_fields = dict(
+                module_id=record.module_id, client_id=record.client_id,
+                platform=target.name, address=new_address,
+                sandboxed=record.sandboxed,
+                proto=record.proto, port=record.port,
+                timestamp=self._clock(), config=record.config,
+                requirements=tuple(record.requirements),
+                origin=origin,
+            )
+            self.journal.append(
+                OP_DEPLOY, PHASE_INTENT, **journal_fields
+            )
+            target.deploy(
+                record.module_id, new_address, record.config,
+                proto=record.proto, port=record.port,
+            )
+            self.network.compute_routes()
+            try:
+                compiled = self._ensure_compiled()
+                results = self._verify_all(
+                    compiled, record.requirements, record.module_id,
+                    module_config=record.config,
+                )
+            except Exception as exc:
+                target.undeploy(record.module_id)
+                target.release_address(new_address)
+                self.network.compute_routes()
+                return MigrationResult(
+                    migrated=False, module_id=record.module_id,
+                    source=record.platform, target=target.name,
+                    reason="verification failed: %s" % (exc,),
+                )
+            if not all(results):
+                target.undeploy(record.module_id)
+                target.release_address(new_address)
+                self.network.compute_routes()
+                failed = [r for r in results if not r]
+                last_failure = "; ".join(
+                    "%s: %s" % (r.requirement, r.reason)
+                    for r in failed
+                )
+                continue
+            self.deployed[record.module_id] = _DeployedModule(
+                module_id=record.module_id,
+                client_id=record.client_id,
+                platform=target.name,
+                address=new_address,
+                config=record.config,
+                sandboxed=record.sandboxed,
+                requirements=list(record.requirements),
+                proto=record.proto,
+                port=record.port,
+            )
+            self.ledger.record_deployment(
+                record.module_id, record.client_id, record.sandboxed,
+                self._clock(),
+            )
+            self.flow_rules[(target.name, new_address)] = \
+                record.module_id
+            self.client_addresses.setdefault(
+                record.client_id, set()
+            ).add(new_address)
+            self.network.bump_epoch()
+            self.journal.append(
+                OP_DEPLOY, PHASE_COMMIT, **journal_fields
+            )
+            self._c_migrations.labels("migrated").inc()
+            return MigrationResult(
+                migrated=True,
+                module_id=record.module_id,
+                source=record.platform,
+                target=target.name,
+                new_address=format_ip(new_address),
+                downtime_seconds=_migration_downtime(record.config),
+            )
+        self._c_migrations.labels("failed").inc()
+        return MigrationResult(
+            migrated=False, module_id=record.module_id,
+            source=record.platform, reason=last_failure,
+        )
+
     def register_client_address(self, client_id: str, address: str) -> None:
         """Record an address owned by a client (explicit authorization)."""
         parsed = next(iter(addresses_to_whitelist([address])))

@@ -2,9 +2,10 @@
 
 The paper's single controller, scaled out: N controller shards behind
 one deterministic admission front-end, a gossip-shared security-verdict
-cache, and journal-replay failover when a whole shard dies.  See
-``docs/federation.md`` for the shard-map contract, gossip semantics,
-and the failover protocol.
+cache, and journal-replay failover when a whole shard dies -- plus the
+recovery half: revival hand-back, live resharding, and health-driven
+failover.  See ``docs/federation.md`` for the shard-map contract,
+gossip semantics, and the full failure lifecycle.
 """
 
 from repro.fedctl.gossip import (
@@ -12,10 +13,12 @@ from repro.fedctl.gossip import (
     GossipingVerdictCache,
     attach_gossip_cache,
 )
+from repro.fedctl.health import ShardHealthManager
 from repro.fedctl.invariants import (
     check_federation_invariants,
     collect_federation_violations,
     federation_digest,
+    reshard_movement_violations,
 )
 from repro.fedctl.plane import (
     ControllerShard,
@@ -23,6 +26,8 @@ from repro.fedctl.plane import (
     FederatedDecision,
     FederationFrontend,
     FailoverOutcome,
+    HandbackOutcome,
+    ReshardOutcome,
     ShardSegment,
     shard_network,
 )
@@ -38,12 +43,16 @@ __all__ = [
     "FailoverOutcome",
     "GossipBus",
     "GossipingVerdictCache",
+    "HandbackOutcome",
+    "ReshardOutcome",
+    "ShardHealthManager",
     "ShardMap",
     "ShardSegment",
     "attach_gossip_cache",
     "check_federation_invariants",
     "collect_federation_violations",
     "federation_digest",
+    "reshard_movement_violations",
     "seed_residents",
     "shard_network",
     "tenant_ids_for_shard",

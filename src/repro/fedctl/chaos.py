@@ -1,10 +1,22 @@
-"""Chaos scenario: a whole controller shard dies mid-deploy.
+"""Chaos scenarios for the federated control plane.
 
 PR 4's harness killed platforms and controllers under a *single*
-control plane; the federated analogue kills an entire controller shard
+control plane; the federated analogues kill entire controller shards
 -- journal, trial placements, verdict cache and all -- while the rest
-of the federation keeps serving.  The scenario asserts the full
-failover contract:
+of the federation keeps serving.
+
+:func:`run_shard_death` is the adoption half: one shard dies
+mid-deploy and the scenario asserts the full failover contract.
+:func:`run_failure_lifecycle` drives the *whole* lifecycle with no
+manual ``fail_shard``/``revive_shard`` calls at all -- a
+:class:`~repro.fedctl.health.ShardHealthManager` watches the shards,
+the scenario only crashes and repairs simulated processes: crash ->
+probe-driven failover -> repair -> probe-driven revival hand-back
+(byte-for-byte digest equality with a never-failed federation) ->
+live reshard (``add_shard``, movement bound checked) -> crash again.
+Federation invariants are asserted after every event.
+
+The shard-death scenario asserts:
 
 * the deterministic heir (ring successor) adopts every one of the
   victim's tenants by journal replay;
@@ -26,6 +38,7 @@ from __future__ import annotations
 
 from typing import List, Optional
 
+from repro.fedctl.health import ShardHealthManager
 from repro.fedctl.invariants import (
     collect_federation_violations,
     federation_digest,
@@ -33,27 +46,20 @@ from repro.fedctl.invariants import (
 from repro.fedctl.plane import FederatedControlPlane
 from repro.resilience.chaos import ChaosReport, _module_request
 from repro.resilience.journal import OP_DEPLOY, PHASE_INTENT
+from repro.sim.events import EventLoop
 
 #: Per-shard module floor before the crash: the victim must die with
 #: real tenant state to adopt.
 MODULES_PER_SHARD = 2
 
 SCENARIO = "shard-death"
+LIFECYCLE_SCENARIO = "failure-lifecycle"
 
 
-def run_shard_death(
-    seed: int = 0, obs=None, victim: str = "shard-0"
-) -> ChaosReport:
-    """One shard-death failover run; returns a chaos report."""
-    report = ChaosReport(scenario=SCENARIO, seed=seed)
-    # gossip_every=1: a verdict is rumored to every peer before the
-    # next admission, so later shards take warm remote hits during
-    # setup (asserted below).
-    plane = FederatedControlPlane(
-        shard_count=3, gossip_every=1, obs=obs
-    )
-
-    # -- populate every shard with tenant modules ---------------------------
+def _populate(
+    plane: FederatedControlPlane, report: ChaosReport, seed: int
+) -> bool:
+    """Spread ``MODULES_PER_SHARD`` tenant modules onto every shard."""
     per_shard = {shard_id: 0 for shard_id in plane.shards}
     probe = 0
     while min(per_shard.values()) < MODULES_PER_SHARD:
@@ -62,7 +68,7 @@ def run_shard_death(
                 "could not spread %d modules per shard over the ring"
                 % MODULES_PER_SHARD
             )
-            return report
+            return False
         client = "tenant-%d-%d" % (seed, probe)
         probe += 1
         shard_id = plane.shard_map.route(client)
@@ -75,7 +81,7 @@ def run_shard_death(
                 "setup deploy %s failed: %s"
                 % (module, decision.result.reason)
             )
-            return report
+            return False
         if decision.shard != shard_id:
             report.failures.append(
                 "front-end routed %s to %s, map says %s"
@@ -85,22 +91,18 @@ def run_shard_death(
         report.events.append(
             "deployed %s for %s on %s" % (module, client, shard_id)
         )
-    report.failures.extend(collect_federation_violations(plane))
-    # Every tenant ships the same config: only the first shard to see
-    # it may verify it; everyone else must be served by gossip.
-    if plane.stats()["gossip_remote_hits"] == 0:
-        report.failures.append(
-            "no shard took a warm remote verdict hit during setup"
-        )
+    return True
 
-    victim_shard = plane.shards[victim]
-    victim_segment = victim_shard.segments[victim]
-    victim_tenants = sorted(victim_segment.tenants)
-    victim_modules = sorted(victim_segment.controller.deployed)
-    expected_heir = plane.shard_map.successor(victim)
-    digest_before = federation_digest(plane)
 
-    # -- the shard dies between a deploy's intent and its commit ------------
+def _plant_orphan(
+    plane: FederatedControlPlane, victim: str, report: ChaosReport
+):
+    """Leave a deploy stuck between intent and commit on the victim.
+
+    Returns the platform holding the orphan trial placement (recovery
+    must reconcile it away).
+    """
+    victim_segment = plane.shards[victim].segments[victim]
     platform_name = sorted(
         p.name for p in victim_segment.network.platforms()
     )[0]
@@ -122,6 +124,41 @@ def run_shard_death(
         "%s crashed mid-deploy of 'orphan' on %s"
         % (victim, platform_name)
     )
+    return platform
+
+
+def run_shard_death(
+    seed: int = 0, obs=None, victim: str = "shard-0"
+) -> ChaosReport:
+    """One shard-death failover run; returns a chaos report."""
+    report = ChaosReport(scenario=SCENARIO, seed=seed)
+    # gossip_every=1: a verdict is rumored to every peer before the
+    # next admission, so later shards take warm remote hits during
+    # setup (asserted below).
+    plane = FederatedControlPlane(
+        shard_count=3, gossip_every=1, obs=obs
+    )
+
+    # -- populate every shard with tenant modules ---------------------------
+    if not _populate(plane, report, seed):
+        return report
+    report.failures.extend(collect_federation_violations(plane))
+    # Every tenant ships the same config: only the first shard to see
+    # it may verify it; everyone else must be served by gossip.
+    if plane.stats()["gossip_remote_hits"] == 0:
+        report.failures.append(
+            "no shard took a warm remote verdict hit during setup"
+        )
+
+    victim_shard = plane.shards[victim]
+    victim_segment = victim_shard.segments[victim]
+    victim_tenants = sorted(victim_segment.tenants)
+    victim_modules = sorted(victim_segment.controller.deployed)
+    expected_heir = plane.shard_map.successor(victim)
+    digest_before = federation_digest(plane)
+
+    # -- the shard dies between a deploy's intent and its commit ------------
+    platform = _plant_orphan(plane, victim, report)
 
     # -- failover -----------------------------------------------------------
     outcome = plane.fail_shard(victim, failed_at=plane._clock())
@@ -217,6 +254,207 @@ def run_shard_death(
     return report
 
 
+def run_failure_lifecycle(
+    seed: int = 0, obs=None, victim: str = "shard-0"
+) -> ChaosReport:
+    """One full health-driven failure lifecycle; returns a report.
+
+    The scenario never calls ``fail_shard``/``revive_shard`` itself:
+    it only crashes and repairs simulated shard processes and lets the
+    :class:`ShardHealthManager`'s probes drive the plane --
+    crash -> declared failover -> repair -> declared revival
+    (hand-back) -> live ``add_shard`` reshard -> crash again.
+    """
+    report = ChaosReport(scenario=LIFECYCLE_SCENARIO, seed=seed)
+    loop = EventLoop()
+    plane = FederatedControlPlane(
+        shard_count=3, gossip_every=1, obs=obs, clock=lambda: loop.now
+    )
+    manager = ShardHealthManager(
+        plane, loop,
+        check_interval_s=0.5, miss_threshold=2,
+        auto_revive=True, obs=obs,
+    )
+    manager.start()
+    if not _populate(plane, report, seed):
+        return report
+    report.failures.extend(collect_federation_violations(plane))
+    baseline = federation_digest(plane)
+    victim_modules = sorted(
+        plane.shards[victim].segments[victim].controller.deployed
+    )
+
+    # -- crash: the probes, not the scenario, declare the failover ----------
+    platform = _plant_orphan(plane, victim, report)
+    manager.mark_crashed(victim)
+    report.faults_injected += 1
+    loop.run_until(loop.now + 5.0)
+    if not manager.failures:
+        report.failures.append(
+            "health monitor never declared %s dead" % victim
+        )
+        return report
+    outcome = manager.failures[-1]
+    report.evacuated = victim_modules
+    report.events.append(
+        "probes declared %s dead; heir %s adopted %d modules "
+        "(mttr %.4fs)" % (victim, outcome.heir,
+                          outcome.adopted_modules, outcome.mttr_s)
+    )
+    # Detection latency is part of the MTTR: miss_threshold probes at
+    # check_interval_s each must elapse before the declaration.
+    min_detect = (
+        manager.monitor.miss_threshold
+        * manager.monitor.check_interval_s
+    )
+    if outcome.mttr_s < min_detect:
+        report.failures.append(
+            "failover MTTR %.4fs is below the %.1fs probe-detection "
+            "floor" % (outcome.mttr_s, min_detect)
+        )
+    if "orphan" in platform.modules:
+        report.failures.append(
+            "orphan trial placement was not reconciled"
+        )
+    if federation_digest(plane) != baseline:
+        report.failures.append(
+            "journal replay did not reconstruct the pre-crash "
+            "federation state"
+        )
+    report.failures.extend(
+        "post-failover: %s" % p
+        for p in collect_federation_violations(plane)
+    )
+
+    # -- repair: the probes declare the revival, state comes home -----------
+    manager.mark_repaired(victim)
+    loop.run_until(loop.now + 5.0)
+    if not manager.revivals:
+        report.failures.append(
+            "health monitor never revived the repaired %s" % victim
+        )
+        return report
+    handback = manager.revivals[-1]
+    report.mttr_s = handback.mttr_s
+    report.events.append(
+        "probes revived %s; segments %s handed back (mttr %.4fs)"
+        % (victim, sorted(handback.handed_back), handback.mttr_s)
+    )
+    if not handback.digest_equal:
+        report.failures.append(
+            "hand-back replay diverged from the heir's copy"
+        )
+    post_handback = federation_digest(plane)
+    report.digest_equal = (post_handback == baseline)
+    if not report.digest_equal:
+        report.failures.append(
+            "post-hand-back digest differs from the never-failed "
+            "federation"
+        )
+    report.failures.extend(
+        "post-hand-back: %s" % p
+        for p in collect_federation_violations(plane)
+    )
+    # The revived caches must hold every verdict their peers hold
+    # (anti-entropy re-warmed them; nothing is re-verified).
+    revived_cache = (
+        plane.shards[victim].segments[victim].controller.analyzer.cache
+    )
+    heir_cache = (
+        plane.shards[outcome.heir]
+        .segments[outcome.heir].controller.analyzer.cache
+    )
+    missing = [
+        key for key in heir_cache.entries()
+        if key not in revived_cache.entries()
+    ]
+    if missing:
+        report.failures.append(
+            "anti-entropy left %d verdicts missing from the revived "
+            "cache" % len(missing)
+        )
+
+    # -- live reshard: grow the federation under the same tenants -----------
+    reshard = plane.add_shard()
+    manager.watch(reshard.shard)
+    report.events.append(
+        "added %s live: %d tenants / %d modules moved"
+        % (reshard.shard, len(reshard.moved_tenants),
+           reshard.moved_modules)
+    )
+    if reshard.failures:
+        report.failures.extend(
+            "reshard move %s failed: %s" % (module_id, reason)
+            for module_id, reason in reshard.failures
+        )
+    for tenant in reshard.moved_tenants:
+        if plane.shard_map.route(tenant) != reshard.shard:
+            report.failures.append(
+                "moved tenant %s does not route to the new shard"
+                % tenant
+            )
+    report.failures.extend(
+        "post-reshard: %s" % p
+        for p in collect_federation_violations(plane)
+    )
+    # A tenant keyed to the new shard is admitted there.
+    probe = 0
+    newcomer = None
+    while probe < 500:
+        candidate = "lifecycle-%d-%d" % (seed, probe)
+        probe += 1
+        if plane.shard_map.route(candidate) == reshard.shard:
+            newcomer = candidate
+            break
+    if newcomer is None:
+        report.failures.append(
+            "no tenant key routes to the new shard %s" % reshard.shard
+        )
+    else:
+        decision = plane.submit(
+            _module_request(newcomer, "post-reshard-%d" % seed)
+        )
+        if not decision:
+            report.failures.append(
+                "post-reshard admission denied: %s"
+                % decision.result.reason
+            )
+        elif decision.shard != reshard.shard:
+            report.failures.append(
+                "post-reshard admission landed on %s, not %s"
+                % (decision.shard, reshard.shard)
+            )
+
+    # -- crash again: the grown federation still fails over -----------------
+    manager.mark_crashed(reshard.shard)
+    report.faults_injected += 1
+    loop.run_until(loop.now + 5.0)
+    if len(manager.failures) < 2:
+        report.failures.append(
+            "health monitor never declared the new shard %s dead"
+            % reshard.shard
+        )
+    else:
+        again = manager.failures[-1]
+        report.events.append(
+            "probes declared %s dead; heir %s adopted %d modules"
+            % (reshard.shard, again.heir, again.adopted_modules)
+        )
+    report.failures.extend(
+        "post-second-failover: %s" % p
+        for p in collect_federation_violations(plane)
+    )
+    manager.stop()
+    return report
+
+
 def run_all(seeds=(1, 2, 3), obs=None) -> List[ChaosReport]:
     """The shard-death scenario across seeds, in a stable order."""
     return [run_shard_death(seed=seed, obs=obs) for seed in seeds]
+
+
+def run_lifecycle_all(seeds=(1, 2, 3), obs=None) -> List[ChaosReport]:
+    """The failure-lifecycle scenario across seeds, in a stable order."""
+    return [
+        run_failure_lifecycle(seed=seed, obs=obs) for seed in seeds
+    ]

@@ -54,11 +54,27 @@ class GossipBus:
             str, Deque[Tuple[int, str, Hashable, object]]
         ] = {}
         self._seq = itertools.count(1)
+        #: Rumors silently shed per shard by bounded-inbox overflow
+        #: (survives a member leaving: the operator can still see who
+        #: was losing rumors after a failover).
+        self.dropped: Dict[str, int] = {}
+        #: Cumulative rumor accounting (available without obs).
+        self.published_total = 0
+        self.applied_total = 0
+        self.duplicate_total = 0
+        #: Entries the last / all anti-entropy rounds reconciled back.
+        self.last_recovered = 0
+        self.recovered_total = 0
         obs = obs if obs is not None else NULL_OBSERVABILITY
         self._c_rumors = obs.metrics.counter(
             "fedctl_gossip_rumors_total",
             "Verdict rumors by event",
             labels=("event",),
+        )
+        self._c_dropped = obs.metrics.counter(
+            "fedctl_gossip_dropped_total",
+            "Rumors shed by bounded-inbox overflow, per shard",
+            labels=("shard",),
         )
         self._c_rounds = obs.metrics.counter(
             "fedctl_gossip_rounds_total",
@@ -89,6 +105,7 @@ class GossipBus:
     ) -> None:
         """Queue a locally computed verdict to every peer's inbox."""
         seq = next(self._seq)
+        self.published_total += 1
         self._c_rumors.labels("published").inc()
         for shard_id, inbox in self._inboxes.items():
             if shard_id == origin:
@@ -97,9 +114,11 @@ class GossipBus:
             if len(inbox) > self.inbox_limit:
                 # Overflow drops the *oldest* rumor; anti-entropy is
                 # the backstop that reconciles what rumor-mongering
-                # lost.
+                # lost.  The loss is counted per shard, never silent.
                 inbox.popleft()
+                self.dropped[shard_id] = self.dropped.get(shard_id, 0) + 1
                 self._c_rumors.labels("dropped").inc()
+                self._c_dropped.labels(shard_id).inc()
 
     def pending(self, shard_id: str) -> int:
         """Rumors queued for a shard and not yet applied."""
@@ -117,8 +136,10 @@ class GossipBus:
             _seq, _origin, key, value = inbox.popleft()
             if cache.apply_remote(key, value):
                 applied += 1
+                self.applied_total += 1
                 self._c_rumors.labels("applied").inc()
             else:
+                self.duplicate_total += 1
                 self._c_rumors.labels("duplicate").inc()
         return applied
 
@@ -130,7 +151,14 @@ class GossipBus:
     # -- anti-entropy -------------------------------------------------------
     def anti_entropy(self) -> int:
         """Full pairwise sync: every cache learns every entry any peer
-        holds (inboxes are drained first).  Returns entries copied."""
+        holds (inboxes are drained first).
+
+        Returns how many entries reconciliation recovered -- verdicts a
+        member was missing because an overflowing inbox shed them or
+        because the member (re)joined after they were rumored.  The
+        count is also kept on :attr:`last_recovered` /
+        :attr:`recovered_total` and surfaces in :meth:`stats`.
+        """
         self._c_rounds.labels("anti-entropy").inc()
         for shard_id in self._members:
             self.drain(shard_id)
@@ -142,8 +170,32 @@ class GossipBus:
             for key, value in union.items():
                 if cache.apply_remote(key, value):
                     copied += 1
+                    self.applied_total += 1
                     self._c_rumors.labels("applied").inc()
+        self.last_recovered = copied
+        self.recovered_total += copied
         return copied
+
+    # -- accounting ---------------------------------------------------------
+    def stats(self) -> dict:
+        """Operator-facing rumor accounting (works without obs).
+
+        ``dropped`` is per shard and includes shards that have since
+        left the bus; ``pending`` covers current members only.
+        """
+        return {
+            "members": list(self._members),
+            "pending": {
+                shard_id: len(inbox)
+                for shard_id, inbox in self._inboxes.items()
+            },
+            "dropped": dict(self.dropped),
+            "published": self.published_total,
+            "applied": self.applied_total,
+            "duplicates": self.duplicate_total,
+            "anti_entropy_last_recovered": self.last_recovered,
+            "anti_entropy_recovered": self.recovered_total,
+        }
 
 
 class GossipingVerdictCache(LRUCache):

@@ -1,0 +1,137 @@
+"""Health-driven shard failover and revival for the federation.
+
+PR 7's :meth:`FederatedControlPlane.fail_shard
+<repro.fedctl.plane.FederatedControlPlane.fail_shard>` is a verb an
+operator (or a chaos harness) has to *call*; a production federation
+notices deaths itself.  :class:`ShardHealthManager` closes that loop
+by reusing the controller-side
+:class:`~repro.resilience.health.HealthMonitor` machinery at the
+shard level:
+
+* every shard gets a liveness probe checked every
+  ``check_interval_s`` on the event loop (in the simulator the probe
+  reads a crash flag; a real deployment would heartbeat the shard's
+  admission endpoint);
+* ``miss_threshold`` consecutive missed probes declare the shard dead
+  and fire :meth:`~repro.fedctl.plane.FederatedControlPlane.fail_shard`
+  automatically -- the heir adopts, and the failover's MTTR includes
+  the *detection* latency (crash time to declaration, on the plane's
+  clock);
+* a probe that starts succeeding again fires
+  :meth:`~repro.fedctl.plane.FederatedControlPlane.revive_shard` when
+  ``auto_revive`` is set -- the full hand-back, with detection
+  latency folded into the hand-back MTTR the same way.
+
+The manager never *invents* failures: it only reacts to what the
+probes report, so operators keep manual ``fail_shard`` /
+``revive_shard`` for drills and planned maintenance.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from repro.common.errors import ConfigError
+from repro.resilience.health import HealthMonitor
+
+
+class ShardHealthManager:
+    """Wires shard liveness probes to automatic failover/hand-back."""
+
+    def __init__(
+        self,
+        plane,
+        loop,
+        check_interval_s: float = 0.5,
+        miss_threshold: int = 2,
+        auto_revive: bool = False,
+        obs=None,
+    ):
+        self.plane = plane
+        self.loop = loop
+        self.auto_revive = auto_revive
+        self.monitor = HealthMonitor(
+            loop,
+            check_interval_s=check_interval_s,
+            miss_threshold=miss_threshold,
+            obs=obs,
+        )
+        self.monitor.on_failure(self._declare_failed)
+        self.monitor.on_recovery(self._declare_recovered)
+        #: Shards whose simulated process is currently crashed
+        #: (shard id -> crash time on the plane's clock).
+        self._crashed: Dict[str, float] = {}
+        #: shard id -> repair time (detection base for hand-back MTTR).
+        self._repaired_at: Dict[str, float] = {}
+        #: Failovers / revivals this manager triggered.
+        self.failures: List[object] = []
+        self.revivals: List[object] = []
+        #: (shard id, error) for declarations the plane refused
+        #: (e.g. a probe flapped after a manual fail_shard).
+        self.errors: List[tuple] = []
+        for shard_id in plane.shards:
+            self.watch(shard_id)
+
+    # -- probes --------------------------------------------------------------
+    def watch(self, shard_id: str) -> None:
+        """Probe a shard (idempotent; call for shards added later)."""
+        self.monitor.watch(
+            shard_id,
+            lambda shard_id=shard_id: shard_id not in self._crashed,
+        )
+
+    def unwatch(self, shard_id: str) -> None:
+        """Stop probing a shard (graceful decommission)."""
+        self.monitor.unwatch(shard_id)
+        self._crashed.pop(shard_id, None)
+
+    def mark_crashed(self, shard_id: str) -> None:
+        """The shard's process died (simulation hook): probes start
+        missing *now*; declaration follows after ``miss_threshold``
+        missed checks, and that gap is the measured detection latency."""
+        self._crashed.setdefault(shard_id, self.plane._clock())
+
+    def mark_repaired(self, shard_id: str) -> None:
+        """The operator fixed the box: probes start succeeding."""
+        if shard_id in self._crashed:
+            del self._crashed[shard_id]
+            self._repaired_at[shard_id] = self.plane._clock()
+
+    # -- lifecycle -----------------------------------------------------------
+    def start(self) -> None:
+        self.monitor.start()
+
+    def stop(self) -> None:
+        self.monitor.stop()
+
+    def check_now(self) -> None:
+        """One probe sweep outside the periodic schedule."""
+        self.monitor.check_now()
+
+    # -- declarations --------------------------------------------------------
+    def _declare_failed(self, shard_id: str, detected_at: float) -> None:
+        shard = self.plane.shards.get(shard_id)
+        if shard is None or not shard.alive:
+            return
+        try:
+            outcome = self.plane.fail_shard(
+                shard_id, failed_at=self._crashed.get(shard_id),
+            )
+        except ConfigError as exc:
+            self.errors.append((shard_id, str(exc)))
+            return
+        self.failures.append(outcome)
+
+    def _declare_recovered(self, shard_id: str, at: float) -> None:
+        shard = self.plane.shards.get(shard_id)
+        if shard is None or shard.alive or not self.auto_revive:
+            return
+        repaired_at = self._repaired_at.get(shard_id)
+        try:
+            outcome = self.plane.revive_shard(
+                shard_id, repaired_at=repaired_at,
+            )
+        except ConfigError as exc:
+            self.errors.append((shard_id, str(exc)))
+            return
+        self.revivals.append(outcome)

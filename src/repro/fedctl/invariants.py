@@ -17,7 +17,15 @@ the per-segment suite:
 4. **address-pool disjointness** -- platform pools across all live
    segments never overlap, and the front-end's address index agrees
    about who owns each pool;
-5. dead shards hold nothing.
+5. dead shards hold nothing;
+6. **segment custody** -- every live shard holds its own home
+   segment, and every adopted segment belongs to a *dead* shard whose
+   delegation chain resolves to exactly the holder (so a revival
+   knows unambiguously what to reclaim).
+
+:func:`reshard_movement_violations` checks the consistent-hash
+minimal-movement bound across a live reshard: adding a shard may move
+tenants only *onto* it, removing one only *off* it.
 
 :func:`federation_digest` extends PR 4's state digest across the
 federation, keyed by *segment* id -- segment identity survives
@@ -106,6 +114,40 @@ def collect_federation_violations(
                            shard.shard_id, segment_id)
                     )
 
+    # 6. Segment custody: homes held, adoptions resolve to the holder.
+    from repro.common.errors import ConfigError
+
+    for shard in plane.live_shards():
+        if shard.shard_id not in shard.segments:
+            problems.append(
+                "live shard %s does not hold its home segment"
+                % (shard.shard_id,)
+            )
+        for segment_id in shard.segments:
+            if segment_id == shard.shard_id:
+                continue
+            if plane.shard_map.is_live(segment_id):
+                problems.append(
+                    "shard %s holds segment %s although %s is alive"
+                    % (shard.shard_id, segment_id, segment_id)
+                )
+                continue
+            try:
+                holder = plane.shard_map.resolve(segment_id)
+            except ConfigError as exc:
+                problems.append(
+                    "adopted segment %s on %s has no live holder in "
+                    "the shard map: %s"
+                    % (segment_id, shard.shard_id, exc)
+                )
+                continue
+            if holder != shard.shard_id:
+                problems.append(
+                    "segment %s is held by %s but the shard map "
+                    "delegates it to %s"
+                    % (segment_id, shard.shard_id, holder)
+                )
+
     # 4. Address-pool disjointness + index agreement.
     pools: List[Tuple[int, int, str, str]] = []
     for shard in plane.live_shards():
@@ -147,6 +189,54 @@ def check_federation_invariants(
             "federation invariants violated:\n  "
             + "\n  ".join(problems)
         )
+
+
+def reshard_movement_violations(
+    routes_before: Dict[str, str],
+    routes_after: Dict[str, str],
+    added: Optional[str] = None,
+    removed: Optional[str] = None,
+) -> List[str]:
+    """Broken minimal-movement guarantees across one reshard.
+
+    Consistent hashing promises that growing the ring by one shard
+    moves tenants only *onto* the new shard, and shrinking it moves
+    only the removed shard's tenants, each to its new successor --
+    never a third shard's tenants, never a shuffle between survivors.
+    The plane snapshots every stateful tenant's route before and
+    after the ring change and feeds both maps here; any violation is
+    a bug in the ring (or a non-deterministic hash), not an expected
+    outcome.
+    """
+    problems: List[str] = []
+    for tenant in sorted(routes_before):
+        before = routes_before[tenant]
+        after = routes_after.get(tenant)
+        if after is None:
+            problems.append(
+                "tenant %s lost its route entirely" % (tenant,)
+            )
+            continue
+        if before == after:
+            continue
+        if added is not None and after != added:
+            problems.append(
+                "tenant %s moved %s -> %s although only the new "
+                "shard %s may gain tenants"
+                % (tenant, before, after, added)
+            )
+        if removed is not None and before != removed:
+            problems.append(
+                "tenant %s moved %s -> %s although only the removed "
+                "shard %s may lose tenants"
+                % (tenant, before, after, removed)
+            )
+        if added is None and removed is None:
+            problems.append(
+                "tenant %s moved %s -> %s with no ring change"
+                % (tenant, before, after)
+            )
+    return problems
 
 
 def federation_digest(plane) -> Dict[str, dict]:

@@ -45,6 +45,9 @@ from repro.core.requests import ClientRequest
 from repro.fedctl.gossip import GossipBus, attach_gossip_cache
 from repro.fedctl.shardmap import AddressRangeIndex, ShardMap
 from repro.netmodel.topology import Network
+from repro.resilience.invariants import (
+    InvariantViolation, controller_state_digest,
+)
 from repro.resilience.journal import DeploymentJournal
 
 
@@ -168,6 +171,35 @@ class FailoverOutcome:
     mttr_s: float = 0.0
 
 
+@dataclass
+class HandbackOutcome:
+    """Report of one shard revival: segments handed back to it."""
+
+    revived: str
+    #: segment id -> the heir it was reclaimed from.
+    handed_back: Dict[str, str] = field(default_factory=dict)
+    modules: int = 0
+    tenants: int = 0
+    #: Per-segment replay proved byte-for-byte state equality with the
+    #: heir's copy (the hand-back loses nothing).
+    digest_equal: bool = True
+    #: Detection latency + replay + adoption, the hand-back MTTR.
+    mttr_s: float = 0.0
+
+
+@dataclass
+class ReshardOutcome:
+    """Report of one live reshard (shard added or removed)."""
+
+    kind: str                     # "add" | "remove"
+    shard: str
+    moved_tenants: List[str] = field(default_factory=list)
+    moved_modules: int = 0
+    #: (module id, reason) for moves that failed re-verification.
+    failures: List[Tuple[str, str]] = field(default_factory=list)
+    duration_s: float = 0.0
+
+
 class _AggregateInvoice:
     """Sum of a client's invoices across every segment."""
 
@@ -272,10 +304,33 @@ class FederatedControlPlane:
             "fedctl_failover_seconds",
             "Shard failover MTTR (detection + journal replay)",
         )
+        self._c_handbacks = metrics.counter(
+            "fedctl_handbacks_total",
+            "Shard revivals handing segments back, by outcome",
+            labels=("outcome",),
+        )
+        self._h_handback = metrics.histogram(
+            "fedctl_handback_seconds",
+            "Shard revival hand-back MTTR "
+            "(detection + replay + adoption)",
+        )
+        self._c_reshards = metrics.counter(
+            "fedctl_reshards_total",
+            "Live reshard operations by kind", labels=("kind",),
+        )
+        self._c_reshard_moves = metrics.counter(
+            "fedctl_reshard_moves_total",
+            "Cross-shard module moves during resharding, by outcome",
+            labels=("outcome",),
+        )
         network_factory = (
             network_factory if network_factory is not None
             else shard_network
         )
+        self._network_factory = network_factory
+        #: Next network index for shards added at runtime; also keeps
+        #: pool octets disjoint from every shard ever built.
+        self._next_index = shard_count
         shard_ids = ["shard-%d" % i for i in range(shard_count)]
         self.shard_map = ShardMap(shard_ids, vnodes=vnodes)
         self.bus = GossipBus(obs=obs)
@@ -297,6 +352,8 @@ class FederatedControlPlane:
         #: module ids are unique (the front-end enforces it).
         self.placements: Dict[str, Tuple[str, str]] = {}
         self.failovers: List[FailoverOutcome] = []
+        self.handbacks: List[HandbackOutcome] = []
+        self.reshards: List[ReshardOutcome] = []
         self._admissions = 0
         if self._obs.enabled:
             metrics.register_collector(
@@ -532,6 +589,353 @@ class FederatedControlPlane:
         self.failovers.append(outcome)
         return outcome
 
+    # -- revival hand-back ---------------------------------------------------
+    def revive_shard(
+        self,
+        shard_id: str,
+        strict: bool = True,
+        repaired_at: Optional[float] = None,
+    ) -> HandbackOutcome:
+        """A repaired shard rejoins: its heir hands the state back.
+
+        The inverse of :meth:`fail_shard`.  The shard map drops the
+        delegation (the revived shard resumes ownership of its ring
+        range), and every segment whose range the revived shard now
+        serves again -- its own home segment, plus any segment whose
+        delegation *chain* ends at it (reviving B after A->B, B->C
+        reclaims both "A" and "B" from C) -- is replayed from its
+        write-ahead journal into a fresh controller on the revived
+        shard.  The heir's copy and the replayed copy must agree
+        byte-for-byte (``controller_state_digest``); with ``strict``
+        a mismatch raises instead of just being reported.
+
+        The replayed segments join the gossip bus with cold caches;
+        one anti-entropy round re-warms them with every verdict the
+        federation already holds, so nothing is re-verified.
+
+        ``repaired_at`` (on the plane's clock) models how long the
+        health monitor took to notice the repair; hand-back MTTR =
+        detection + replay + adoption.
+        """
+        shard = self.shards.get(shard_id)
+        if shard is None:
+            raise ConfigError("unknown shard %r" % (shard_id,))
+        if shard.alive:
+            raise ConfigError(
+                "shard %r is already alive" % (shard_id,)
+            )
+        detection = 0.0
+        if repaired_at is not None:
+            detection = max(0.0, self._clock() - repaired_at)
+        started = time.perf_counter()
+        self.shard_map.revive(shard_id)
+        shard.alive = True
+        outcome = HandbackOutcome(revived=shard_id)
+        reclaim: List[Tuple[str, ControllerShard]] = []
+        for holder in self.live_shards():
+            if holder.shard_id == shard_id:
+                continue
+            for segment_id in list(holder.segments):
+                if segment_id == holder.shard_id:
+                    continue
+                if self.shard_map.resolve(segment_id) == shard_id:
+                    reclaim.append((segment_id, holder))
+        with self._tracer.span(
+            "fedctl.handback", revived=shard_id,
+        ):
+            for segment_id, holder in sorted(
+                reclaim, key=lambda entry: entry[0]
+            ):
+                segment = holder.segments[segment_id]
+                before = controller_state_digest(segment.controller)
+                self.bus.leave(
+                    segment.controller.analyzer.cache.shard_id
+                )
+                member = (
+                    segment_id if segment_id == shard_id
+                    else "%s@%s" % (segment_id, shard_id)
+                )
+                with self._tracer.span(
+                    "fedctl.replay", segment=segment_id,
+                ):
+                    reclaimed = self._make_segment(
+                        segment_id, segment.network,
+                        journal=segment.journal, recover=True,
+                        cache_member=member,
+                    )
+                after = controller_state_digest(reclaimed.controller)
+                if before != after:
+                    outcome.digest_equal = False
+                    if strict:
+                        self._c_handbacks.labels(
+                            "digest-mismatch"
+                        ).inc()
+                        raise InvariantViolation(
+                            "hand-back of segment %r to %r diverged "
+                            "from the heir %r's copy (journal replay "
+                            "is not exact)"
+                            % (segment_id, shard_id, holder.shard_id)
+                        )
+                del holder.segments[segment_id]
+                shard.segments[segment_id] = reclaimed
+                for module_id in [
+                    m for m, placed in self.placements.items()
+                    if placed == (holder.shard_id, segment_id)
+                ]:
+                    del self.placements[module_id]
+                for module_id in reclaimed.controller.deployed:
+                    self.placements[module_id] = (shard_id, segment_id)
+                for platform in segment.network.platforms():
+                    low, high = prefix_range(
+                        platform.pool_network, platform.pool_plen
+                    )
+                    self.address_index.reassign_exact(
+                        low, high, shard_id
+                    )
+                outcome.handed_back[segment_id] = holder.shard_id
+                outcome.modules += len(reclaimed.controller.deployed)
+                outcome.tenants += len(reclaimed.tenants)
+            # Cold caches re-warm from the federation's verdicts; no
+            # configuration is re-verified because of the revival.
+            self.bus.anti_entropy()
+        outcome.mttr_s = detection + (time.perf_counter() - started)
+        self._c_handbacks.labels(
+            "ok" if outcome.digest_equal else "digest-mismatch"
+        ).inc()
+        self._h_handback.observe(outcome.mttr_s)
+        self.handbacks.append(outcome)
+        return outcome
+
+    # -- live resharding -----------------------------------------------------
+    def add_shard(
+        self,
+        shard_id: Optional[str] = None,
+        network: Optional[Network] = None,
+    ) -> ReshardOutcome:
+        """Grow the federation by one shard, live.
+
+        The new shard's virtual nodes claim ~1/N of the ring; exactly
+        the tenants whose route changed -- and, by the consistent-hash
+        movement bound, *only* tenants that now route to the new shard
+        (checked, violations raise) -- have their modules migrated
+        over through the journaled adopt fast path
+        (:meth:`Controller.adopt_module`): each move writes a deploy
+        intent on the destination before the trial placement, so a
+        crash mid-reshard leaves an orphan the next recovery
+        reconciles away.
+        """
+        from repro.fedctl.invariants import (
+            reshard_movement_violations,
+        )
+
+        index = self._next_index
+        shard_id = (
+            shard_id if shard_id is not None else "shard-%d" % index
+        )
+        if shard_id in self.shards:
+            raise ConfigError(
+                "shard %r already exists" % (shard_id,)
+            )
+        started = time.perf_counter()
+        routes_before = self._tenant_routes()
+        self.shard_map.add_shard(shard_id)
+        self._next_index = index + 1
+        network = (
+            network if network is not None
+            else self._network_factory(index)
+        )
+        segment = self._make_segment(shard_id, network)
+        self.shards[shard_id] = ControllerShard(
+            shard_id=shard_id, segments={shard_id: segment},
+        )
+        for platform in network.platforms():
+            low, high = prefix_range(
+                platform.pool_network, platform.pool_plen
+            )
+            self.address_index.register(low, high, shard_id)
+        routes_after = {
+            tenant: self.shard_map.route(tenant)
+            for tenant in routes_before
+        }
+        problems = reshard_movement_violations(
+            routes_before, routes_after, added=shard_id
+        )
+        if problems:
+            raise InvariantViolation(
+                "adding %r broke the movement bound:\n  %s"
+                % (shard_id, "\n  ".join(problems))
+            )
+        outcome = ReshardOutcome(kind="add", shard=shard_id)
+        moved = sorted(
+            tenant for tenant in routes_before
+            if routes_after[tenant] != routes_before[tenant]
+        )
+        with self._tracer.span(
+            "fedctl.reshard", kind="add", shard=shard_id,
+        ):
+            for tenant in moved:
+                self._move_tenant(
+                    tenant, routes_before[tenant], shard_id, outcome
+                )
+            # Warm the new shard's cold verdict cache.
+            self.bus.anti_entropy()
+        outcome.duration_s = time.perf_counter() - started
+        self._c_reshards.labels("add").inc()
+        self.reshards.append(outcome)
+        return outcome
+
+    def remove_shard(self, shard_id: str) -> ReshardOutcome:
+        """Gracefully decommission a live shard.
+
+        The shard's virtual nodes leave the ring, so exactly its own
+        tenants move -- each to the live shard that now serves its
+        key (checked against the movement bound).  Their modules
+        migrate out through the journaled adopt fast path before the
+        shard's gossip membership, address ranges, and controller are
+        retired.  A shard still holding adopted segments cannot be
+        removed (revive their owners first), and the shard map
+        refuses to remove a delegation heir or the last live shard.
+
+        A module move that fails re-verification aborts the
+        decommission with :class:`InvariantViolation`; the shard is
+        retired from routing but retained (with its remaining
+        modules) for the operator to inspect.
+        """
+        from repro.fedctl.invariants import (
+            reshard_movement_violations,
+        )
+
+        shard = self.shards.get(shard_id)
+        if shard is None:
+            raise ConfigError("unknown shard %r" % (shard_id,))
+        if not shard.alive:
+            raise ConfigError(
+                "shard %r is dead; revive it (hand its state back) "
+                "before removing it" % (shard_id,)
+            )
+        adopted = sorted(
+            s for s in shard.segments if s != shard_id
+        )
+        if adopted:
+            raise ConfigError(
+                "shard %r still holds adopted segment(s) %s; revive "
+                "their owners before removing it"
+                % (shard_id, ", ".join(adopted))
+            )
+        started = time.perf_counter()
+        routes_before = self._tenant_routes()
+        self.shard_map.remove_shard(shard_id)
+        routes_after = {
+            tenant: self.shard_map.route(tenant)
+            for tenant in routes_before
+        }
+        problems = reshard_movement_violations(
+            routes_before, routes_after, removed=shard_id
+        )
+        if problems:
+            raise InvariantViolation(
+                "removing %r broke the movement bound:\n  %s"
+                % (shard_id, "\n  ".join(problems))
+            )
+        outcome = ReshardOutcome(kind="remove", shard=shard_id)
+        moved = sorted(
+            tenant for tenant in routes_before
+            if routes_after[tenant] != routes_before[tenant]
+        )
+        with self._tracer.span(
+            "fedctl.reshard", kind="remove", shard=shard_id,
+        ):
+            for tenant in moved:
+                self._move_tenant(
+                    tenant, shard_id, routes_after[tenant], outcome
+                )
+        if outcome.failures:
+            self.reshards.append(outcome)
+            raise InvariantViolation(
+                "decommission of %r stranded modules:\n  "
+                % (shard_id,)
+                + "\n  ".join(
+                    "%s: %s" % (module_id, reason)
+                    for module_id, reason in outcome.failures
+                )
+            )
+        self.bus.leave(shard.home.controller.analyzer.cache.shard_id)
+        self.address_index.unregister_shard(shard_id)
+        del self.shards[shard_id]
+        outcome.duration_s = time.perf_counter() - started
+        self._c_reshards.labels("remove").inc()
+        self.reshards.append(outcome)
+        return outcome
+
+    def _tenant_routes(self) -> Dict[str, str]:
+        """tenant -> serving live shard, for every tenant with state."""
+        routes: Dict[str, str] = {}
+        for shard in self.live_shards():
+            for segment in shard.segments.values():
+                for tenant in segment.tenants:
+                    routes[tenant] = self.shard_map.route(tenant)
+        return routes
+
+    def _move_tenant(
+        self,
+        tenant: str,
+        src_shard_id: str,
+        dst_shard_id: str,
+        outcome: ReshardOutcome,
+    ) -> None:
+        """Move one tenant's modules (and membership) between shards."""
+        src_segment = self.shards[src_shard_id].segment_for(tenant)
+        dst_segment = self.shards[dst_shard_id].home
+        module_ids = sorted(
+            module_id
+            for module_id, record in
+            src_segment.controller.deployed.items()
+            if record.client_id == tenant
+        )
+        all_moved = True
+        for module_id in module_ids:
+            if not self._migrate_module_across(
+                module_id, src_segment, dst_shard_id, outcome
+            ):
+                all_moved = False
+        if all_moved:
+            src_segment.tenants.discard(tenant)
+            dst_segment.tenants.add(tenant)
+            outcome.moved_tenants.append(tenant)
+        elif module_ids != sorted(
+            module_id
+            for module_id, record in
+            src_segment.controller.deployed.items()
+            if record.client_id == tenant
+        ):
+            # Partial move: the tenant has state on both sides.
+            dst_segment.tenants.add(tenant)
+
+    def _migrate_module_across(
+        self,
+        module_id: str,
+        src_segment: ShardSegment,
+        dst_shard_id: str,
+        outcome: ReshardOutcome,
+    ) -> bool:
+        """One cross-shard module move through the adopt fast path."""
+        dst_segment = self.shards[dst_shard_id].home
+        record = src_segment.controller.export_module(module_id)
+        result = dst_segment.controller.adopt_module(
+            record, origin="reshard:%s" % src_segment.segment_id,
+        )
+        if not result:
+            outcome.failures.append((module_id, result.reason))
+            self._c_reshard_moves.labels("failed").inc()
+            return False
+        src_segment.controller.kill(module_id)
+        self.placements[module_id] = (
+            dst_shard_id, dst_segment.segment_id
+        )
+        outcome.moved_modules += 1
+        self._c_reshard_moves.labels("moved").inc()
+        return True
+
     # -- views --------------------------------------------------------------
     def frontend(self) -> FederationFrontend:
         """The Controller-like facade for the Federation seam."""
@@ -571,7 +975,10 @@ class FederatedControlPlane:
             "admissions": self._admissions,
             "placements": len(self.placements),
             "failovers": len(self.failovers),
+            "handbacks": len(self.handbacks),
+            "reshards": len(self.reshards),
             "gossip_remote_hits": remote_hits,
+            "gossip": self.bus.stats(),
             "shards": shards,
         }
 

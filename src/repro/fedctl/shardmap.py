@@ -65,6 +65,42 @@ class ShardMap:
             )
         self._ring.sort()
 
+    def remove_shard(self, shard_id: str) -> None:
+        """Permanently retire a live shard (graceful decommission).
+
+        Unlike death (which keeps the tokens and delegates), removal
+        erases the shard's virtual nodes: each of its keys moves to the
+        clockwise successor token -- only keys the removed shard owned
+        move, the other direction of the minimal-movement bound.
+
+        A shard still named as an heir by a delegation cannot be
+        removed (the delegation chain would dangle); revive or re-home
+        the dead shard first.  Neither can a dead shard (its tenants
+        live on its heir -- revive it, hand back, then remove) nor the
+        last live shard.
+        """
+        if shard_id not in self._shards:
+            raise ConfigError("unknown shard %r" % (shard_id,))
+        if not self._shards[shard_id]:
+            raise ConfigError(
+                "shard %r is dead; revive it (hand its state back) "
+                "before removing it" % (shard_id,)
+            )
+        for dead, heir in sorted(self.delegations.items()):
+            if heir == shard_id:
+                raise ConfigError(
+                    "shard %r is the heir of dead shard %r and cannot "
+                    "be removed" % (shard_id, dead)
+                )
+        if len(self.live_shards()) == 1:
+            raise ConfigError(
+                "cannot remove the last live shard %r" % (shard_id,)
+            )
+        del self._shards[shard_id]
+        self._ring = [
+            entry for entry in self._ring if entry[1] != shard_id
+        ]
+
     def shard_ids(self) -> List[str]:
         """Every shard ever added, in insertion order."""
         return list(self._shards)
@@ -104,6 +140,30 @@ class ShardMap:
             raise ConfigError("unknown shard %r" % (shard_id,))
         self._shards[shard_id] = True
         self.delegations.pop(shard_id, None)
+
+    def resolve(self, shard_id: str) -> str:
+        """The live shard currently serving a shard's ring range.
+
+        A live shard resolves to itself; a dead shard follows its
+        delegation chain (dead -> heir -> ...) to the live holder of
+        its tenants.  This is the segment-level analogue of
+        :meth:`route`: segment ids are shard ids, so the live holder
+        of segment ``s`` is ``resolve(s)``.
+        """
+        if shard_id not in self._shards:
+            raise ConfigError("unknown shard %r" % (shard_id,))
+        seen = {shard_id}
+        current = shard_id
+        while not self._shards.get(current, False):
+            heir = self.delegations.get(current)
+            if heir is None or heir in seen:
+                raise ConfigError(
+                    "no live holder for shard %r's range (%r is down "
+                    "with no heir)" % (shard_id, current)
+                )
+            seen.add(heir)
+            current = heir
+        return current
 
     # -- routing ------------------------------------------------------------
     def owner(self, key: str) -> str:
@@ -200,6 +260,31 @@ class AddressRangeIndex:
                 self._ranges[index] = (low, high, new_shard)
                 moved += 1
         return moved
+
+    def reassign_exact(
+        self, low: int, high: int, new_shard: str
+    ) -> bool:
+        """Move one exact registered range to another shard.
+
+        The per-segment counterpart of :meth:`reassign`: a hand-back
+        moves only the revived segment's platform pools off the heir,
+        while the heir keeps its own.  Returns whether the range was
+        found.
+        """
+        for index, (rlow, rhigh, _owner) in enumerate(self._ranges):
+            if rlow == low and rhigh == high:
+                self._ranges[index] = (low, high, new_shard)
+                return True
+        return False
+
+    def unregister_shard(self, shard_id: str) -> int:
+        """Drop every range a shard owns (graceful decommission, after
+        its tenants moved away); returns how many ranges were dropped."""
+        before = len(self._ranges)
+        self._ranges = [
+            entry for entry in self._ranges if entry[2] != shard_id
+        ]
+        return before - len(self._ranges)
 
     def owner_of(self, address: int) -> Optional[str]:
         """The shard owning an address, or None if unmanaged."""

@@ -102,9 +102,15 @@ class HealthMonitor:
 
     # -- checks ------------------------------------------------------------
     def check_now(self) -> None:
-        """Probe every watched platform once (also the periodic tick)."""
+        """Probe every watched platform once (also the periodic tick).
+
+        Iterates over a snapshot: a failure/recovery callback may
+        legitimately ``watch``/``unwatch`` targets (e.g. a federation
+        failover retiring the dead shard's probe) without blowing up
+        the sweep that invoked it.
+        """
         now = self.loop.now
-        for state in self.watched.values():
+        for state in list(self.watched.values()):
             try:
                 ok = bool(state.probe())
             except Exception:

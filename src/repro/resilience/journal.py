@@ -67,6 +67,11 @@ class JournalRecord:
     proto: Optional[int] = None
     port: Optional[int] = None
     timestamp: float = 0.0
+    #: Free-text provenance for records written on behalf of another
+    #: control-plane domain (e.g. ``"reshard:shard-0"`` when a live
+    #: reshard adopts a module from a peer shard).  Audit-only: replay
+    #: ignores it.
+    origin: str = ""
     #: In-memory payloads (not serialized to JSONL).
     config: Optional[object] = None
     requirements: Tuple = ()
@@ -89,6 +94,8 @@ class JournalRecord:
         if self.op == OP_MIGRATE:
             out["source"] = self.source
             out["source_address"] = self.source_address
+        if self.origin:
+            out["origin"] = self.origin
         fingerprint = getattr(self.config, "fingerprint", None)
         if callable(fingerprint):
             out["config_fingerprint"] = fingerprint()

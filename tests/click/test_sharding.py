@@ -378,3 +378,75 @@ class TestWorkerErrors:
             # The worker survives a poisoned message and keeps serving.
             sharded.inject_batch("src", [flow_packet(0)])
             assert sharded.collect(full=False).egress_count == 1
+
+
+class TestWorkerDeath:
+    """A killed worker must surface on the next inject, not only at
+    collect, and the error must say which shard, which executor, and
+    how many batches it took down with it."""
+
+    @staticmethod
+    def _kill(sharded, shard):
+        process = sharded._shards[shard]._process
+        process.terminate()
+        process.join(timeout=5.0)
+
+    def test_inject_detects_a_dead_worker_eagerly(self):
+        with ShardedRuntime(
+            parse_config(FORWARDER), shards=2, executor="process",
+        ) as sharded:
+            # One batch per shard is in flight when shard 0 dies.
+            sharded.inject_batch("src", traffic(flows=8, per_flow=1))
+            self._kill(sharded, 0)
+            with pytest.raises(ShardingError) as excinfo:
+                sharded.inject_batch(
+                    "src", traffic(flows=8, per_flow=1)
+                )
+            message = str(excinfo.value)
+            assert "shard 0" in message
+            assert "process executor" in message
+            assert "1 batch(es)" in message
+            assert "unconfirmed" in message
+
+    def test_inject_generated_sweeps_workers_too(self):
+        with ShardedRuntime(
+            parse_config(FORWARDER), shards=2, executor="process",
+        ) as sharded:
+            self._kill(sharded, 1)
+            with pytest.raises(ShardingError, match="shard 1"):
+                sharded.inject_generated(
+                    "src", _module_factory, [(1, 1), (2, 1)],
+                )
+
+    def test_collect_confirms_earlier_batches(self):
+        with ShardedRuntime(
+            parse_config(FORWARDER), shards=2, executor="process",
+        ) as sharded:
+            # A full round trip confirms the first batch ...
+            sharded.inject_batch("src", traffic(flows=8, per_flow=1))
+            sharded.collect(full=False)
+            # ... so only the two batches after it count as lost.
+            for _ in range(2):
+                sharded.inject_batch(
+                    "src", traffic(flows=8, per_flow=1)
+                )
+            self._kill(sharded, 1)
+            with pytest.raises(ShardingError) as excinfo:
+                sharded.inject_batch(
+                    "src", traffic(flows=8, per_flow=1)
+                )
+            message = str(excinfo.value)
+            assert "shard 1" in message
+            assert "2 batch(es)" in message
+
+    def test_collect_names_the_dead_shard(self):
+        with ShardedRuntime(
+            parse_config(FORWARDER), shards=2, executor="process",
+        ) as sharded:
+            sharded.inject_batch("src", traffic(flows=8, per_flow=1))
+            self._kill(sharded, 0)
+            with pytest.raises(ShardingError) as excinfo:
+                sharded.collect()
+            message = str(excinfo.value)
+            assert "shard 0" in message
+            assert "process executor" in message

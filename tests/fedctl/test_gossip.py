@@ -116,3 +116,58 @@ class TestAntiEntropy:
         a.put("k", "v")
         bus.anti_entropy()
         assert bus.anti_entropy() == 0
+
+
+class TestAccounting:
+    def test_overflow_drops_are_counted_per_shard(self):
+        bus, a, b = two_members(inbox_limit=2)
+        GossipingVerdictCache(bus, "c")
+        for i in range(5):
+            a.put("k%d" % i, i)
+        stats = bus.stats()
+        # b and c each shed 3 rumors (5 published into a 2-slot inbox).
+        assert stats["dropped"] == {"b": 3, "c": 3}
+        assert bus.dropped == {"b": 3, "c": 3}
+
+    def test_drop_counts_survive_a_member_leaving(self):
+        bus, a, b = two_members(inbox_limit=1)
+        for i in range(3):
+            a.put("k%d" % i, i)
+        bus.leave("b")
+        stats = bus.stats()
+        assert stats["dropped"] == {"b": 2}
+        assert "b" not in stats["pending"]
+
+    def test_anti_entropy_reports_recovered_entries(self):
+        bus, a, b = two_members(inbox_limit=1)
+        for i in range(4):
+            a.put("k%d" % i, i)
+        bus.drain("b")
+        recovered = bus.anti_entropy()
+        assert recovered == 3
+        stats = bus.stats()
+        assert stats["anti_entropy_last_recovered"] == 3
+        assert stats["anti_entropy_recovered"] == 3
+        assert bus.anti_entropy() == 0
+        assert bus.stats()["anti_entropy_last_recovered"] == 0
+        assert bus.stats()["anti_entropy_recovered"] == 3
+
+    def test_publish_apply_duplicate_totals(self):
+        bus, a, b = two_members()
+        a.put("k", "from-a")
+        b.put("k", "from-b")
+        bus.drain_all()
+        stats = bus.stats()
+        assert stats["published"] == 2
+        # Each peer saw the other's rumor; both already held the key.
+        assert stats["duplicates"] == 2
+        assert stats["applied"] == 0
+        assert stats["members"] == ["a", "b"]
+
+    def test_dropped_counter_without_observability(self):
+        # The per-shard drop counter must be a no-op safe metric when
+        # the bus runs without obs (the default in tests).
+        bus, a, b = two_members(inbox_limit=1)
+        a.put("k0", 0)
+        a.put("k1", 1)
+        assert bus.stats()["dropped"] == {"b": 1}

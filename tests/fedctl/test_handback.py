@@ -1,0 +1,205 @@
+"""Tests for shard revival hand-back: state returns byte-for-byte."""
+
+import pytest
+
+from repro.common.addr import parse_ip
+from repro.common.errors import ConfigError
+from repro.fedctl import (
+    FederatedControlPlane,
+    collect_federation_violations,
+    federation_digest,
+)
+from repro.resilience.chaos import _module_request
+
+
+def tenant_on(plane, shard_id, tag="t"):
+    """A client id whose ring owner is ``shard_id``."""
+    probe = 0
+    while True:
+        client = "%s-%d" % (tag, probe)
+        if plane.shard_map.owner(client) == shard_id:
+            return client
+        probe += 1
+
+
+def populated_plane(shard_count=3):
+    plane = FederatedControlPlane(shard_count=shard_count,
+                                  gossip_every=1)
+    for index, shard_id in enumerate(plane.shards):
+        client = tenant_on(plane, shard_id)
+        assert plane.submit(_module_request(client, "m-%d" % index))
+    return plane
+
+
+class TestRevival:
+    def test_handback_restores_exact_state(self):
+        plane = populated_plane()
+        before = federation_digest(plane)
+        outcome = plane.fail_shard("shard-0")
+        handback = plane.revive_shard("shard-0")
+        assert handback.handed_back == {"shard-0": outcome.heir}
+        assert handback.digest_equal
+        assert handback.modules == outcome.adopted_modules
+        assert handback.mttr_s > 0
+        assert federation_digest(plane) == before
+        assert collect_federation_violations(plane) == []
+        assert plane.shards["shard-0"].alive
+        assert set(plane.shards["shard-0"].segments) == {"shard-0"}
+        heir = plane.shards[outcome.heir]
+        assert set(heir.segments) == {outcome.heir}
+
+    def test_tenants_route_home_after_handback(self):
+        plane = populated_plane()
+        victim_tenants = sorted(plane.shards["shard-0"].home.tenants)
+        plane.fail_shard("shard-0")
+        plane.revive_shard("shard-0")
+        for client in victim_tenants:
+            assert plane.shard_map.route(client) == "shard-0"
+        decision = plane.submit(
+            _module_request(victim_tenants[0], "after-revival")
+        )
+        assert decision, decision.result.reason
+        assert decision.shard == "shard-0"
+        assert decision.segment == "shard-0"
+        assert collect_federation_violations(plane) == []
+
+    def test_address_pools_come_home(self):
+        plane = populated_plane()
+        address = parse_ip("10.1.0.5")   # shard-0's p0-a pool
+        outcome = plane.fail_shard("shard-0")
+        assert plane.resolve_address(address) == outcome.heir
+        plane.revive_shard("shard-0")
+        assert plane.resolve_address(address) == "shard-0"
+
+    def test_revived_cache_rewarmed_without_reverification(self):
+        plane = populated_plane()
+        heir_id = plane.fail_shard("shard-0").heir
+        plane.revive_shard("shard-0")
+        revived = (
+            plane.shards["shard-0"].home.controller.analyzer.cache
+        )
+        peer = plane.shards[heir_id].home.controller.analyzer.cache
+        missing = [
+            key for key in peer.entries()
+            if key not in revived.entries()
+        ]
+        assert missing == []
+
+    def test_reviving_a_live_shard_rejected(self):
+        plane = populated_plane()
+        with pytest.raises(ConfigError):
+            plane.revive_shard("shard-1")
+
+    def test_reviving_unknown_shard_rejected(self):
+        plane = populated_plane()
+        with pytest.raises(ConfigError):
+            plane.revive_shard("shard-9")
+
+    def test_detection_latency_adds_to_handback_mttr(self):
+        plane = populated_plane()
+        plane.fail_shard("shard-0")
+        repaired_at = plane._clock() - 2.0
+        handback = plane.revive_shard(
+            "shard-0", repaired_at=repaired_at
+        )
+        assert handback.mttr_s >= 2.0
+
+    def test_handback_counted_in_stats(self):
+        plane = populated_plane()
+        plane.fail_shard("shard-0")
+        plane.revive_shard("shard-0")
+        stats = plane.stats()
+        assert stats["handbacks"] == 1
+        assert stats["failovers"] == 1
+
+
+class TestFailoverChains:
+    """Kill A (heir B), kill B (heir C), revive in both orders."""
+
+    def chained(self):
+        plane = populated_plane()
+        baseline = federation_digest(plane)
+        first = plane.fail_shard("shard-0")
+        second = plane.fail_shard(first.heir)
+        return plane, baseline, first, second
+
+    def test_chain_revive_middle_first(self):
+        plane, baseline, first, second = self.chained()
+        # Reviving the middle of the chain (A's heir) reclaims BOTH
+        # its own segment and A's -- A's delegation chain now ends at
+        # it.
+        handback = plane.revive_shard(first.heir)
+        assert sorted(handback.handed_back) == sorted(
+            ["shard-0", first.heir]
+        )
+        assert all(
+            heir == second.heir
+            for heir in handback.handed_back.values()
+        )
+        assert handback.digest_equal
+        assert collect_federation_violations(plane) == []
+        # shard-0 is still dead; its segment sits on the revived
+        # middle shard and its tenants route there.
+        client = tenant_on(plane, "shard-0")
+        assert plane.shard_map.route(client) == first.heir
+        # Now revive A: its segment moves once more, home this time.
+        final = plane.revive_shard("shard-0")
+        assert sorted(final.handed_back) == ["shard-0"]
+        assert final.handed_back["shard-0"] == first.heir
+        assert final.digest_equal
+        assert federation_digest(plane) == baseline
+        assert collect_federation_violations(plane) == []
+        for shard in plane.shards.values():
+            assert shard.alive
+            assert set(shard.segments) == {shard.shard_id}
+
+    def test_chain_revive_origin_first(self):
+        plane, baseline, first, second = self.chained()
+        # Reviving A first: only A's segment comes back (the middle
+        # shard is still dead, its segment stays on the survivor).
+        handback = plane.revive_shard("shard-0")
+        assert sorted(handback.handed_back) == ["shard-0"]
+        assert handback.handed_back["shard-0"] == second.heir
+        assert handback.digest_equal
+        assert collect_federation_violations(plane) == []
+        assert not plane.shards[first.heir].alive
+        middle_client = tenant_on(plane, first.heir)
+        assert plane.shard_map.route(middle_client) == second.heir
+        final = plane.revive_shard(first.heir)
+        assert sorted(final.handed_back) == [first.heir]
+        assert final.digest_equal
+        assert federation_digest(plane) == baseline
+        assert collect_federation_violations(plane) == []
+
+    def test_chain_address_pool_balance_each_step(self):
+        plane, baseline, first, second = self.chained()
+        ranges = plane.address_index.ranges()
+        # All pools sit on the lone survivor.
+        assert {owner for _l, _h, owner in ranges} == {second.heir}
+        plane.revive_shard(first.heir)
+        owners = {
+            owner for _l, _h, owner in plane.address_index.ranges()
+        }
+        assert owners == {first.heir, second.heir}
+        plane.revive_shard("shard-0")
+        by_owner = {}
+        for low, high, owner in plane.address_index.ranges():
+            by_owner.setdefault(owner, 0)
+            by_owner[owner] += 1
+        # Every shard owns exactly its own two platform pools again.
+        assert by_owner == {
+            "shard-0": 2, "shard-1": 2, "shard-2": 2,
+        }
+
+    def test_post_chain_admissions_work_everywhere(self):
+        plane, baseline, first, second = self.chained()
+        plane.revive_shard("shard-0")
+        plane.revive_shard(first.heir)
+        for index, shard_id in enumerate(sorted(plane.shards)):
+            client = tenant_on(plane, shard_id, tag="post-%d" % index)
+            decision = plane.submit(
+                _module_request(client, "post-chain-%d" % index)
+            )
+            assert decision, decision.result.reason
+            assert decision.shard == shard_id
+        assert collect_federation_violations(plane) == []

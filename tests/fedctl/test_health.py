@@ -1,0 +1,129 @@
+"""Tests for health-driven shard failover and auto-revival."""
+
+from repro.fedctl import (
+    FederatedControlPlane,
+    ShardHealthManager,
+    collect_federation_violations,
+    federation_digest,
+)
+from repro.resilience.chaos import _module_request
+from repro.sim.events import EventLoop
+
+
+def tenant_on(plane, shard_id, tag="t"):
+    probe = 0
+    while True:
+        client = "%s-%d" % (tag, probe)
+        if plane.shard_map.owner(client) == shard_id:
+            return client
+        probe += 1
+
+
+def managed_plane(auto_revive=False, check_interval_s=0.5,
+                  miss_threshold=2):
+    loop = EventLoop()
+    plane = FederatedControlPlane(
+        shard_count=3, gossip_every=1, clock=lambda: loop.now
+    )
+    for index, shard_id in enumerate(plane.shards):
+        client = tenant_on(plane, shard_id)
+        assert plane.submit(_module_request(client, "m-%d" % index))
+    manager = ShardHealthManager(
+        plane, loop,
+        check_interval_s=check_interval_s,
+        miss_threshold=miss_threshold,
+        auto_revive=auto_revive,
+    )
+    manager.start()
+    return loop, plane, manager
+
+
+class TestHealthDrivenFailover:
+    def test_missed_probes_declare_the_shard_dead(self):
+        loop, plane, manager = managed_plane()
+        manager.mark_crashed("shard-0")
+        # One missed probe is not enough at miss_threshold=2 ...
+        loop.run_until(0.5)
+        assert plane.shards["shard-0"].alive
+        assert manager.failures == []
+        # ... the second miss declares it.
+        loop.run_until(1.0)
+        assert not plane.shards["shard-0"].alive
+        assert len(manager.failures) == 1
+        assert manager.failures[0].victim == "shard-0"
+        assert collect_federation_violations(plane) == []
+
+    def test_mttr_includes_detection_latency(self):
+        loop, plane, manager = managed_plane()
+        manager.mark_crashed("shard-1")
+        loop.run_until(10.0)
+        outcome = manager.failures[0]
+        # Crash at t=0, declared at the second probe (t=1.0): the
+        # detection window rides on the plane's simulated clock.
+        assert outcome.mttr_s >= 1.0
+        assert outcome.mttr_s < 2.0
+
+    def test_healthy_shards_are_left_alone(self):
+        loop, plane, manager = managed_plane()
+        loop.run_until(20.0)
+        assert manager.failures == []
+        assert all(s.alive for s in plane.shards.values())
+
+    def test_auto_revive_hands_state_back(self):
+        loop, plane, manager = managed_plane(auto_revive=True)
+        baseline = federation_digest(plane)
+        manager.mark_crashed("shard-0")
+        loop.run_until(5.0)
+        assert not plane.shards["shard-0"].alive
+        manager.mark_repaired("shard-0")
+        loop.run_until(10.0)
+        assert plane.shards["shard-0"].alive
+        assert len(manager.revivals) == 1
+        handback = manager.revivals[0]
+        assert handback.digest_equal
+        # Repair detection (one successful probe) is in the MTTR.
+        assert handback.mttr_s >= 0.5
+        assert federation_digest(plane) == baseline
+        assert collect_federation_violations(plane) == []
+
+    def test_without_auto_revive_recovery_waits_for_operator(self):
+        loop, plane, manager = managed_plane(auto_revive=False)
+        manager.mark_crashed("shard-0")
+        loop.run_until(5.0)
+        manager.mark_repaired("shard-0")
+        loop.run_until(10.0)
+        assert manager.revivals == []
+        assert not plane.shards["shard-0"].alive
+        # The operator revives manually; probes keep agreeing.
+        plane.revive_shard("shard-0")
+        loop.run_until(15.0)
+        assert manager.errors == []
+        assert collect_federation_violations(plane) == []
+
+    def test_manual_failover_does_not_confuse_the_probes(self):
+        loop, plane, manager = managed_plane()
+        # An operator drill: fail_shard without any crashed process.
+        plane.fail_shard("shard-2")
+        loop.run_until(10.0)
+        # The probe still succeeds, so no recovery/failure churn.
+        assert manager.failures == []
+        assert manager.errors == []
+
+    def test_watch_covers_shards_added_later(self):
+        loop, plane, manager = managed_plane()
+        outcome = plane.add_shard()
+        manager.watch(outcome.shard)
+        manager.mark_crashed(outcome.shard)
+        loop.run_until(loop.now + 5.0)
+        assert any(
+            f.victim == outcome.shard for f in manager.failures
+        )
+        assert collect_federation_violations(plane) == []
+
+    def test_unwatch_stops_probing(self):
+        loop, plane, manager = managed_plane()
+        manager.unwatch("shard-0")
+        manager.mark_crashed("shard-0")
+        loop.run_until(10.0)
+        assert manager.failures == []
+        assert plane.shards["shard-0"].alive

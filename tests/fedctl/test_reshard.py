@@ -1,0 +1,313 @@
+"""Tests for live resharding: add/remove shards under running tenants."""
+
+import pytest
+
+from repro.common.errors import ConfigError, DeploymentError
+from repro.fedctl import (
+    FederatedControlPlane,
+    ShardMap,
+    collect_federation_violations,
+    federation_digest,
+    reshard_movement_violations,
+)
+from repro.resilience.chaos import _module_request
+from repro.resilience.journal import OP_DEPLOY, PHASE_INTENT
+
+
+def tenant_on(plane, shard_id, tag="t"):
+    probe = 0
+    while True:
+        client = "%s-%d" % (tag, probe)
+        if plane.shard_map.owner(client) == shard_id:
+            return client
+        probe += 1
+
+
+def populated_plane(shard_count=3):
+    plane = FederatedControlPlane(shard_count=shard_count,
+                                  gossip_every=1)
+    for index, shard_id in enumerate(plane.shards):
+        client = tenant_on(plane, shard_id)
+        assert plane.submit(_module_request(client, "m-%d" % index))
+    return plane
+
+
+def moving_tenant(plane, new_shard="shard-3", tag="mover"):
+    """A client id that will re-route to ``new_shard`` once added."""
+    grown = ShardMap(list(plane.shards) + [new_shard])
+    probe = 0
+    while True:
+        client = "%s-%d" % (tag, probe)
+        if grown.route(client) == new_shard:
+            return client
+        probe += 1
+
+
+class TestAddShard:
+    def test_add_moves_exactly_the_rerouted_tenants(self):
+        plane = populated_plane()
+        mover = moving_tenant(plane)
+        assert plane.submit(_module_request(mover, "mover-mod"))
+        src = plane.shard_map.route(mover)
+        outcome = plane.add_shard()
+        assert outcome.kind == "add"
+        assert outcome.shard == "shard-3"
+        assert outcome.failures == []
+        assert mover in outcome.moved_tenants
+        # Movement bound: every moved tenant now routes to the new
+        # shard (checked internally too -- a violation would raise).
+        for tenant in outcome.moved_tenants:
+            assert plane.shard_map.route(tenant) == "shard-3"
+        assert plane.shard_map.route(mover) == "shard-3"
+        assert src != "shard-3"
+        assert collect_federation_violations(plane) == []
+
+    def test_moved_module_lives_on_the_new_shard(self):
+        plane = populated_plane()
+        mover = moving_tenant(plane)
+        assert plane.submit(_module_request(mover, "mover-mod"))
+        plane.add_shard()
+        assert plane.placements["mover-mod"] == ("shard-3", "shard-3")
+        record = (
+            plane.shards["shard-3"].home.controller
+            .deployed["mover-mod"]
+        )
+        assert record.client_id == mover
+        # The new address comes from the new shard's own pools.
+        assert plane.resolve_address(
+            plane.shards["shard-3"].home.network
+            .node(record.platform).pool_network
+        ) == "shard-3"
+        assert mover in plane.shards["shard-3"].home.tenants
+
+    def test_move_is_journaled_with_reshard_provenance(self):
+        plane = populated_plane()
+        mover = moving_tenant(plane)
+        assert plane.submit(_module_request(mover, "mover-mod"))
+        src = plane.shard_map.route(mover)
+        plane.add_shard()
+        dst_journal = plane.shards["shard-3"].home.journal
+        origins = {
+            record.origin for record in dst_journal.records
+            if record.module_id == "mover-mod"
+        }
+        assert origins == {"reshard:%s" % src}
+        # Intent precedes commit, and nothing is left pending.
+        assert dst_journal.pending_intents() == []
+        # The source journals the departure as a kill.
+        src_journal = plane.shards[src].home.journal
+        assert any(
+            record.op == "kill" and record.module_id == "mover-mod"
+            for record in src_journal.committed()
+        )
+
+    def test_moved_module_killable_and_tenant_admitted_there(self):
+        plane = populated_plane()
+        mover = moving_tenant(plane)
+        assert plane.submit(_module_request(mover, "mover-mod"))
+        plane.add_shard()
+        decision = plane.submit(_module_request(mover, "second-mod"))
+        assert decision, decision.result.reason
+        assert decision.shard == "shard-3"
+        assert plane.kill("mover-mod")
+        assert collect_federation_violations(plane) == []
+
+    def test_add_warms_the_new_cache_by_anti_entropy(self):
+        plane = populated_plane()
+        plane.add_shard()
+        new_cache = (
+            plane.shards["shard-3"].home.controller.analyzer.cache
+        )
+        peer_cache = (
+            plane.shards["shard-0"].home.controller.analyzer.cache
+        )
+        missing = [
+            key for key in peer_cache.entries()
+            if key not in new_cache.entries()
+        ]
+        assert missing == []
+
+    def test_added_shard_pools_are_disjoint_and_indexed(self):
+        plane = populated_plane()
+        plane.add_shard()
+        assert collect_federation_violations(plane) == []
+        stats = plane.stats()
+        assert stats["reshards"] == 1
+        assert "shard-3" in stats["shards"]
+
+    def test_duplicate_shard_id_rejected(self):
+        plane = populated_plane()
+        with pytest.raises(ConfigError):
+            plane.add_shard("shard-1")
+
+    def test_added_shard_participates_in_failover(self):
+        plane = populated_plane()
+        mover = moving_tenant(plane)
+        assert plane.submit(_module_request(mover, "mover-mod"))
+        plane.add_shard()
+        before = federation_digest(plane)
+        outcome = plane.fail_shard("shard-3")
+        assert "shard-3" in outcome.adopted_segments
+        assert federation_digest(plane) == before
+        assert collect_federation_violations(plane) == []
+
+
+class TestRemoveShard:
+    def test_add_then_remove_round_trips(self):
+        plane = populated_plane()
+        mover = moving_tenant(plane)
+        assert plane.submit(_module_request(mover, "mover-mod"))
+        src = plane.shard_map.route(mover)
+        plane.add_shard()
+        outcome = plane.remove_shard("shard-3")
+        assert outcome.kind == "remove"
+        assert mover in outcome.moved_tenants
+        # The tenant lands back on the shard the ring now serves it
+        # from (its original home: the ring is restored exactly).
+        assert plane.shard_map.route(mover) == src
+        assert plane.placements["mover-mod"] == (src, src)
+        assert "shard-3" not in plane.shards
+        assert "shard-3" not in plane.shard_map.shard_ids()
+        assert "shard-3" not in plane.bus.members()
+        assert all(
+            owner != "shard-3"
+            for _low, _high, owner in plane.address_index.ranges()
+        )
+        assert collect_federation_violations(plane) == []
+
+    def test_remove_unknown_shard_rejected(self):
+        plane = populated_plane()
+        with pytest.raises(ConfigError):
+            plane.remove_shard("shard-9")
+
+    def test_remove_dead_shard_rejected(self):
+        plane = populated_plane()
+        plane.fail_shard("shard-0")
+        with pytest.raises(ConfigError, match="revive"):
+            plane.remove_shard("shard-0")
+
+    def test_remove_heir_rejected(self):
+        plane = populated_plane()
+        outcome = plane.fail_shard("shard-0")
+        with pytest.raises(ConfigError, match="heir"):
+            plane.remove_shard(outcome.heir)
+
+    def test_remove_last_live_shard_rejected(self):
+        plane = populated_plane()
+        first = plane.fail_shard("shard-0")
+        second = plane.fail_shard(first.heir)
+        with pytest.raises(ConfigError):
+            plane.remove_shard(second.heir)
+
+
+class TestCrashMidReshard:
+    def test_interrupted_move_reconciles_on_recovery(self):
+        """A reshard move that dies between its destination intent and
+        commit behaves exactly like any orphaned deploy: the next
+        journal replay reconciles the trial placement away and the
+        intent stays pending for audit."""
+        plane = populated_plane()
+        plane.add_shard()
+        dst = plane.shards["shard-3"].home
+        platform = sorted(
+            dst.network.platforms(), key=lambda p: p.name
+        )[0]
+        config = _module_request(
+            "tenant-limbo", "limbo"
+        ).parse_click_config()
+        before = federation_digest(plane)
+        address = platform.allocate_address()
+        dst.journal.append(
+            OP_DEPLOY, PHASE_INTENT,
+            module_id="limbo", client_id="tenant-limbo",
+            platform=platform.name, address=address, sandboxed=False,
+            proto=17, port=1500, timestamp=plane._clock(),
+            config=config, origin="reshard:shard-0",
+        )
+        platform.deploy("limbo", address, config, proto=17, port=1500)
+        outcome = plane.fail_shard("shard-3")
+        assert "limbo" not in platform.modules
+        assert "limbo" not in plane.placements
+        assert federation_digest(plane) == before
+        pending = [
+            r.module_id for r in dst.journal.pending_intents()
+        ]
+        assert pending == ["limbo"]
+        assert collect_federation_violations(plane) == []
+        # The origin survives in the journal's audit projection.
+        audit = [
+            r for r in dst.journal.records if r.module_id == "limbo"
+        ]
+        assert audit[0].to_dict()["origin"] == "reshard:shard-0"
+        # And the revived shard comes back clean.
+        plane.revive_shard("shard-3")
+        assert federation_digest(plane) == before
+        assert collect_federation_violations(plane) == []
+
+
+class TestAdoptModule:
+    def test_export_unknown_module_rejected(self):
+        plane = populated_plane()
+        controller = plane.shards["shard-0"].home.controller
+        with pytest.raises(DeploymentError):
+            controller.export_module("no-such-module")
+
+    def test_adopt_refuses_duplicate_module_id(self):
+        plane = populated_plane()
+        src = plane.shards["shard-0"].home.controller
+        module_id = sorted(src.deployed)[0]
+        record = src.export_module(module_id)
+        result = src.adopt_module(record)
+        assert not result
+        assert "already in use" in result.reason
+
+    def test_adopt_places_verifies_and_commits(self):
+        plane = populated_plane()
+        src = plane.shards["shard-0"].home.controller
+        dst = plane.shards["shard-1"].home.controller
+        module_id = sorted(src.deployed)[0]
+        record = src.export_module(module_id)
+        result = dst.adopt_module(record, origin="reshard:shard-0")
+        assert result, result.reason
+        assert result.source == record.platform
+        assert module_id in dst.deployed
+        adopted = dst.deployed[module_id]
+        assert adopted.client_id == record.client_id
+        assert adopted.platform != record.platform
+        # Exported records are detached copies: mutating the adopted
+        # requirements does not leak back to the source.
+        assert adopted.requirements is not record.requirements
+
+
+class TestMovementBoundHelper:
+    def test_clean_add_and_remove_pass(self):
+        before = {"a": "s0", "b": "s1", "c": "s0"}
+        assert reshard_movement_violations(
+            before, {"a": "s2", "b": "s1", "c": "s0"}, added="s2"
+        ) == []
+        assert reshard_movement_violations(
+            before, {"a": "s1", "b": "s1", "c": "s1"}, removed="s0"
+        ) == []
+
+    def test_lateral_moves_flagged(self):
+        before = {"a": "s0", "b": "s1"}
+        problems = reshard_movement_violations(
+            before, {"a": "s1", "b": "s1"}, added="s2"
+        )
+        assert len(problems) == 1
+        assert "only the new shard" in problems[0]
+        problems = reshard_movement_violations(
+            before, {"a": "s0", "b": "s2"}, removed="s0"
+        )
+        assert len(problems) == 1
+        assert "only the removed shard" in problems[0]
+
+    def test_lost_and_spurious_moves_flagged(self):
+        problems = reshard_movement_violations(
+            {"a": "s0"}, {}, added="s1"
+        )
+        assert "lost its route" in problems[0]
+        problems = reshard_movement_violations(
+            {"a": "s0"}, {"a": "s1"}
+        )
+        assert "no ring change" in problems[0]

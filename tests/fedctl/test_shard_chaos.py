@@ -1,6 +1,12 @@
-"""The shard-death chaos scenario must pass, with and without obs."""
+"""The federation chaos scenarios must pass, with and without obs."""
 
-from repro.fedctl.chaos import run_all, run_shard_death
+from repro.fedctl.chaos import (
+    LIFECYCLE_SCENARIO,
+    run_all,
+    run_failure_lifecycle,
+    run_lifecycle_all,
+    run_shard_death,
+)
 
 
 class TestShardDeathScenario:
@@ -23,3 +29,27 @@ class TestShardDeathScenario:
         names = {s["name"] for s in spans}
         assert "fedctl.submit" in names
         assert "fedctl.failover" in names
+
+
+class TestFailureLifecycleScenario:
+    def test_passes_across_seeds(self):
+        for report in run_lifecycle_all(seeds=(1, 2)):
+            assert report.scenario == LIFECYCLE_SCENARIO
+            assert report.passed, report.failures
+            assert report.digest_equal
+            assert report.mttr_s is not None and report.mttr_s > 0
+            assert report.faults_injected >= 2
+
+    def test_instrumented_run_matches(self):
+        from repro.obs import Observability
+
+        obs = Observability()
+        report = run_failure_lifecycle(seed=3, obs=obs)
+        assert report.passed, report.failures
+        parsed = obs.snapshot()["metrics"]
+        assert "fedctl_handbacks_total" in parsed
+        assert "fedctl_reshards_total" in parsed
+        spans = obs.snapshot()["spans"]
+        names = {s["name"] for s in spans}
+        assert "fedctl.handback" in names
+        assert "fedctl.reshard" in names

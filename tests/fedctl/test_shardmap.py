@@ -98,6 +98,73 @@ class TestDelegation:
         assert sm.successor("s0") != heir
 
 
+class TestResolve:
+    def test_live_shard_resolves_to_itself(self):
+        sm = three_shards()
+        assert sm.resolve("s1") == "s1"
+
+    def test_dead_shard_resolves_through_the_chain(self):
+        sm = three_shards()
+        sm.delegate("s0", "s1")
+        assert sm.resolve("s0") == "s1"
+        sm.delegate("s1", "s2")
+        assert sm.resolve("s0") == "s2"
+        assert sm.resolve("s1") == "s2"
+        # Reviving the middle shard shortens the chain.
+        sm.revive("s1")
+        assert sm.resolve("s0") == "s1"
+        assert sm.resolve("s1") == "s1"
+
+    def test_unknown_shard_rejected(self):
+        with pytest.raises(ConfigError):
+            three_shards().resolve("s9")
+
+
+class TestRemoveShard:
+    def test_removal_moves_only_the_removed_shards_keys(self):
+        before = three_shards()
+        after = three_shards()
+        after.remove_shard("s1")
+        keys = ["tenant-%d" % i for i in range(400)]
+        for key in keys:
+            if before.route(key) != "s1":
+                assert after.route(key) == before.route(key)
+            else:
+                assert after.route(key) != "s1"
+
+    def test_add_then_remove_restores_the_ring_exactly(self):
+        sm = three_shards()
+        keys = ["tenant-%d" % i for i in range(300)]
+        before = {k: sm.route(k) for k in keys}
+        sm.add_shard("s3")
+        sm.remove_shard("s3")
+        assert {k: sm.route(k) for k in keys} == before
+
+    def test_remove_unknown_rejected(self):
+        with pytest.raises(ConfigError):
+            three_shards().remove_shard("s9")
+
+    def test_remove_dead_shard_rejected(self):
+        sm = three_shards()
+        sm.delegate("s0", "s1")
+        with pytest.raises(ConfigError, match="revive"):
+            sm.remove_shard("s0")
+
+    def test_remove_heir_rejected(self):
+        sm = three_shards()
+        sm.delegate("s0", "s1")
+        with pytest.raises(ConfigError, match="heir"):
+            sm.remove_shard("s1")
+
+    def test_remove_last_live_shard_rejected(self):
+        sm = ShardMap(["s0", "s1"])
+        sm.delegate("s0", "s1")
+        sm.revive("s0")
+        sm.remove_shard("s1")
+        with pytest.raises(ConfigError):
+            sm.remove_shard("s0")
+
+
 class TestAddressRangeIndex:
     def test_lookup_and_miss(self):
         idx = AddressRangeIndex()
@@ -129,3 +196,24 @@ class TestAddressRangeIndex:
     def test_empty_range_rejected(self):
         with pytest.raises(ConfigError):
             AddressRangeIndex().register(10, 5, "s0")
+
+    def test_reassign_exact_moves_one_range(self):
+        idx = AddressRangeIndex()
+        idx.register(100, 199, "s0")
+        idx.register(300, 399, "s0")
+        assert idx.reassign_exact(100, 199, "s2")
+        assert idx.owner_of(150) == "s2"
+        assert idx.owner_of(350) == "s0"
+        # Only exact boundaries match.
+        assert not idx.reassign_exact(100, 198, "s1")
+        assert not idx.reassign_exact(500, 599, "s1")
+
+    def test_unregister_shard_drops_its_ranges(self):
+        idx = AddressRangeIndex()
+        idx.register(100, 199, "s0")
+        idx.register(300, 399, "s0")
+        idx.register(500, 599, "s1")
+        assert idx.unregister_shard("s0") == 2
+        assert idx.owner_of(150) is None
+        assert idx.owner_of(550) == "s1"
+        assert idx.unregister_shard("s0") == 0
