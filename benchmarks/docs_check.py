@@ -28,7 +28,10 @@ REPO = Path(__file__).resolve().parent.parent
 PAGES = [REPO / "README.md"] + sorted((REPO / "docs").glob("*.md"))
 
 #: Pages whose ``>>>`` blocks are executed.
-DOCTEST_PAGES = [REPO / "docs" / "symexec.md"]
+DOCTEST_PAGES = [
+    REPO / "docs" / "symexec.md",
+    REPO / "docs" / "symexec-summaries.md",
+]
 
 _LINK = re.compile(r"\[[^\]]*\]\(([^)\s]+)\)")
 _HEADING = re.compile(r"^#{1,6}\s+(.*)$", re.MULTILINE)
@@ -77,6 +80,35 @@ def check_links(page: Path) -> list:
     return problems
 
 
+def orphaned_docs() -> list:
+    """``docs/*.md`` pages not reachable from README's docs index.
+
+    Every documentation page must be linked (directly or transitively)
+    from ``README.md``; an orphan is invisible to readers and rots.
+    """
+    reachable = set()
+    frontier = [REPO / "README.md"]
+    while frontier:
+        page = frontier.pop()
+        if page in reachable or not page.exists():
+            continue
+        reachable.add(page)
+        source = _CODE_FENCE.sub("", page.read_text())
+        for match in _LINK.finditer(source):
+            target = match.group(1)
+            if target.startswith(("http://", "https://", "mailto:")):
+                continue
+            path_part = target.partition("#")[0]
+            if path_part and path_part.endswith(".md"):
+                frontier.append((page.parent / path_part).resolve())
+    return [
+        "%s: orphaned (not reachable from README.md)"
+        % page.relative_to(REPO)
+        for page in sorted((REPO / "docs").glob("*.md"))
+        if page.resolve() not in reachable
+    ]
+
+
 def run_doctests(page: Path) -> tuple:
     """``(attempted, failed)`` over a page's ``>>>`` python blocks."""
     runner = doctest.DocTestRunner(
@@ -103,6 +135,7 @@ def main() -> int:
     problems = []
     for page in PAGES:
         problems.extend(check_links(page))
+    problems.extend(orphaned_docs())
     for line in problems:
         print("FAIL:", line, file=sys.stderr)
     total_examples = 0

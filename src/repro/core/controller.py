@@ -45,6 +45,13 @@ from repro.netmodel.symgraph import CompiledNetwork, NetworkCompiler
 from repro.netmodel.topology import Network, Platform
 from repro.policy.grammar import ReachRequirement, parse_requirements
 from repro.symexec.reachability import ReachabilityChecker, ReachResult
+from repro.symexec.summaries import (
+    UNCHANGED_SCOPE,
+    ChangedScope,
+    SummaryCache,
+    VerificationCache,
+)
+from repro.symexec.tuning import optimizations_enabled
 
 
 @dataclass
@@ -160,11 +167,20 @@ class Controller:
         self._obs = obs if obs is not None else NULL_OBSERVABILITY
         self._tracer = self._obs.tracer
         metrics = self._obs.metrics
+        #: Transfer-function summary cache (per-element programs +
+        #: composed segment chains), shared by every engine this
+        #: controller creates; None without the fast path.
+        self._summaries = SummaryCache() if fast_path else None
+        #: Footprint-keyed requirement verdict cache: the incremental
+        #: re-verification tier (always constructed; only consulted
+        #: when the fast path and the tuning switch are on).
+        self._verification = VerificationCache()
         if self._fast_path and self._obs.enabled:
             # Satellite of the obs subsystem: the verdict cache's
             # accounting lives in the shared registry, not in private
             # counters (see repro.core.cache.RegistryCacheStats).
             self.analyzer.instrument(metrics, "verdict")
+            self._summaries.instrument(metrics)
         self._h_admission = metrics.histogram(
             "controller_admission_seconds",
             "Wall-clock seconds per admission request",
@@ -179,6 +195,14 @@ class Controller:
         )
         self._c_kills = metrics.counter(
             "controller_kills_total", "Modules killed",
+        )
+        self._c_verdicts_reused = metrics.counter(
+            "controller_verdicts_reused_total",
+            "Requirement verdicts answered from the verification cache",
+        )
+        self._c_verdicts_reverified = metrics.counter(
+            "controller_verdicts_reverified_total",
+            "Requirement verdicts re-explored symbolically",
         )
         self._request_outcomes = {"accepted": 0, "rejected": 0}
 
@@ -335,6 +359,13 @@ class Controller:
             # A trial placement never alters inter-node links, so the
             # epoch-aware compute_routes() elides the recompute.
             self.network.compute_routes()
+            # What this trial changes: exactly one platform segment and
+            # one address.  Verdicts with disjoint footprints stay
+            # valid (and reusable); verdicts touching the trial are
+            # re-explored and never stored.
+            trial_scope = ChangedScope(
+                frozenset((platform.name,)), frozenset((address,))
+            )
             try:
                 if compiled_base is not None:
                     started = time.perf_counter()
@@ -354,6 +385,7 @@ class Controller:
                             results = self._verify_all(
                                 compiled, requirements, module_id,
                                 module_config=deploy_config,
+                                changed=trial_scope,
                             )
                         check_seconds += time.perf_counter() - started
                     finally:
@@ -373,6 +405,7 @@ class Controller:
                         results = self._verify_all(
                             compiled, requirements, module_id,
                             module_config=deploy_config,
+                            changed=trial_scope,
                         )
                     check_seconds += time.perf_counter() - started
             except VerificationError as exc:
@@ -883,6 +916,23 @@ class Controller:
         network.compute_routes()
         return controller
 
+    def set_operator_requirements(self, text: str) -> None:
+        """Replace the operator policy (a policy edit).
+
+        Cached verdicts for requirements still present in the new
+        policy are kept -- the next :meth:`verify_snapshot` re-explores
+        only requirements that are new or whose footprint segments
+        changed.  Entries for dropped operator rules are pruned (their
+        module-owned ``$module`` instantiations expire lazily through
+        token validation).
+        """
+        self.operator_requirements = (
+            parse_requirements(text) if text else []
+        )
+        self._verification.prune_operator(frozenset(
+            str(req) for req in self.operator_requirements
+        ))
+
     def verify_snapshot(self) -> List[ReachResult]:
         """Re-check the whole snapshot after a network change.
 
@@ -893,11 +943,17 @@ class Controller:
         the failed results to find what a topology change broke.
         """
         compiled = self._ensure_compiled()
-        results = self._verify_all(compiled, [], None)
+        # Nothing is being mutated, so every footprint-valid cached
+        # verdict is reusable and every fresh verdict is storable: a
+        # verify_snapshot after a policy edit re-explores only the new
+        # requirements (plus any whose segment tokens were bumped).
+        results = self._verify_all(
+            compiled, [], None, changed=UNCHANGED_SCOPE
+        )
         for record in self.deployed.values():
             results.extend(self._verify_all(
                 compiled, record.requirements, record.module_id,
-                module_config=record.config,
+                module_config=record.config, changed=UNCHANGED_SCOPE,
             ))
         return results
 
@@ -965,6 +1021,9 @@ class Controller:
         from repro.symexec import tuning as symexec_tuning
 
         out["symexec"] = symexec_tuning.stats()
+        if self._summaries is not None:
+            out["symexec_summaries"] = self._summaries.stats()
+        out["verification_cache"] = self._verification.stats()
         return out
 
     # -- internals ----------------------------------------------------------------
@@ -988,9 +1047,13 @@ class Controller:
         return self._compiled
 
     def invalidate_model_cache(self) -> None:
-        """Drop the cached compiled model (explicit invalidation API)."""
+        """Drop the cached compiled model (explicit invalidation API),
+        plus every derived cache: summary tables and verdicts."""
         self._compiled = None
         self._compiled_signature = None
+        self._verification.flush()
+        if self._summaries is not None:
+            self._summaries.invalidate()
 
     def _whitelist_for(self, request: ClientRequest) -> FrozenSet[int]:
         owned = addresses_to_whitelist(request.owned_addresses)
@@ -1003,26 +1066,87 @@ class Controller:
         client_requirements: List[ReachRequirement],
         module_id: Optional[str],
         module_config: Optional[ClickConfig] = None,
+        changed: Optional[ChangedScope] = None,
     ) -> List[ReachResult]:
+        """Check every requirement, reusing footprint-valid verdicts.
+
+        ``changed`` describes what the caller is mutating (the trial
+        platform and address during admission, nothing during a
+        snapshot re-verification).  When given -- and the fast path and
+        tuning switch are on -- each requirement first consults the
+        verification cache: a verdict whose reachability footprint
+        avoided every changed segment, and whose per-segment version
+        tokens still validate, is returned without re-exploring.
+        ``changed=None`` (migration/adoption trial paths) disables the
+        cache entirely for this call.
+        """
         checker = ReachabilityChecker(compiled.resolver)
         results: List[ReachResult] = []
         # The engine inherits the controller's observability bundle, so
         # its explore spans nest under the admission span tree and the
         # symexec_* counters land in the shared registry.
-        engine = compiled.engine(obs=self._obs)
-        for requirement in itertools.chain(
-            self.operator_requirements, client_requirements
-        ):
-            requirement = _instantiate_rule(
-                requirement, module_id, module_config
-            )
-            if requirement is None:
-                continue  # $module rule with no module in flight
-            origin = requirement.origin
-            exploration = compiled.explore_from(
-                origin.node, origin.flow, engine=engine
-            )
-            results.append(checker.check(requirement, exploration))
+        engine = compiled.engine(obs=self._obs, summaries=self._summaries)
+        use_cache = (
+            self._fast_path
+            and changed is not None
+            and optimizations_enabled()
+        )
+        topo_signature = (
+            self.network.topology_signature() if use_cache else None
+        )
+        cache = self._verification
+        reused = 0
+        explored = 0
+        # Requirement ownership keys the verdict cache: operator rules
+        # are owner "" (shared across admissions), client rules and
+        # $module-instantiated operator rules belong to the module
+        # (their verdicts depend on where it sits).  Trial modules --
+        # not yet in ``deployed`` -- are never cached: their placement
+        # is rolled back when the candidate loop moves on.
+        pending = [(req, "") for req in self.operator_requirements]
+        pending.extend(
+            (req, module_id or "") for req in client_requirements
+        )
+        with self._tracer.span(
+            "verify", incremental=use_cache
+        ) as span:
+            for requirement, owner in pending:
+                instantiated = _instantiate_rule(
+                    requirement, module_id, module_config
+                )
+                if instantiated is None:
+                    continue  # $module rule with no module in flight
+                if instantiated is not requirement:
+                    owner = module_id or ""
+                cacheable = use_cache and (
+                    owner == "" or owner in self.deployed
+                )
+                key = (owner, str(instantiated))
+                if cacheable:
+                    cached = cache.lookup(
+                        key, self.network, topo_signature
+                    )
+                    if cached is not None:
+                        results.append(cached)
+                        reused += 1
+                        continue
+                origin = instantiated.origin
+                exploration = compiled.explore_from(
+                    origin.node, origin.flow, engine=engine
+                )
+                result = checker.check(instantiated, exploration)
+                results.append(result)
+                explored += 1
+                if cacheable:
+                    cache.store(
+                        key, result, exploration, compiled,
+                        self.network, instantiated, changed,
+                        topo_signature,
+                    )
+            span.set("reused", reused)
+            span.set("explored", explored)
+        self._c_verdicts_reused.inc(reused)
+        self._c_verdicts_reverified.inc(explored)
         return results
 
     def _commit(

@@ -134,6 +134,9 @@ def _middlebox_model_factory(element) -> Callable:
             results.append((iface, out_flow))
         return results
 
+    # Marks the wrapper for the summary compiler, which rebuilds the
+    # same iface mapping around the element's transfer function.
+    middlebox_model.summary_kind = "middlebox"
     return middlebox_model
 
 
@@ -320,6 +323,7 @@ class CompiledNetwork:
             self.modules.pop(module_id, None)
             for key in added_edges:
                 self.graph.edges.pop(key, None)
+            self.graph.version += 1  # direct edge surgery above
             for name in added_nodes:
                 self.graph.remove_node(name)
             state.module_order.remove(module_id)

@@ -14,7 +14,10 @@ analysis that idea requires:
   splitting on branches and recording constraint/modification history,
 * :mod:`repro.symexec.reachability` -- evaluation of the paper's
   ``reach`` requirements (including ``const`` invariants) against the
-  exploration output.
+  exploration output,
+* :mod:`repro.symexec.summaries` -- SymNet-style compositional
+  summaries: per-element transfer functions, composed segment chains,
+  and footprint-keyed verdict reuse for incremental re-verification.
 """
 
 from repro.symexec.engine import (
@@ -31,11 +34,23 @@ from repro.symexec.equivalence import (
     explorations_equivalent,
     flow_signature,
 )
-from repro.symexec.models import model_for, models_registry
+from repro.symexec.models import (
+    model_for,
+    models_registry,
+    summarizer_for,
+    summarizers_registry,
+)
 from repro.symexec.reachability import (
     InvariantViolation,
     ReachabilityChecker,
     ReachResult,
+)
+from repro.symexec.summaries import (
+    UNCHANGED_SCOPE,
+    ChangedScope,
+    SegmentSummary,
+    SummaryCache,
+    VerificationCache,
 )
 from repro.symexec.sympacket import SymPacket, SymVar, VarFactory
 from repro.symexec.tuning import (
@@ -63,6 +78,13 @@ __all__ = [
     "explorations_equivalent",
     "flow_signature",
     "models_registry",
+    "summarizer_for",
+    "summarizers_registry",
+    "SummaryCache",
+    "SegmentSummary",
+    "VerificationCache",
+    "ChangedScope",
+    "UNCHANGED_SCOPE",
     "ReachabilityChecker",
     "ReachResult",
     "InvariantViolation",

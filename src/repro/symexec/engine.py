@@ -255,6 +255,9 @@ class SymGraph:
         #: Opaque per-node payloads models may consult (element instance,
         #: routing table, ...).
         self.payloads: Dict[str, object] = {}
+        #: Structural version: bumped by every node/edge mutation so
+        #: derived tables (segment summaries) can validate in O(1).
+        self.version = 0
 
     def add_node(
         self,
@@ -269,6 +272,7 @@ class SymGraph:
         self.models[name] = model
         self.payloads[name] = payload
         self.sinks[name] = is_sink
+        self.version += 1
 
     def connect(
         self, src: str, src_port: int, dst: str, dst_port: int
@@ -278,6 +282,7 @@ class SymGraph:
             if name not in self.models:
                 raise VerificationError("edge references unknown %r" % name)
         self.edges[(src, src_port)] = (dst, dst_port)
+        self.version += 1
 
     def remove_node(self, name: str) -> None:
         """Unregister a node and every edge touching it.
@@ -295,6 +300,7 @@ class SymGraph:
         ]
         for key in stale:
             del self.edges[key]
+        self.version += 1
 
     def successor(
         self, node: str, port: int
@@ -397,6 +403,7 @@ class SymbolicEngine:
         max_steps: int = 200_000,
         max_hops: int = 4_096,
         obs=None,
+        summaries=None,
     ):
         from repro.obs import NULL_OBSERVABILITY
 
@@ -405,6 +412,11 @@ class SymbolicEngine:
         self.max_steps = max_steps
         self.max_hops = max_hops
         self.context = ModelContext(graph, self.factory)
+        #: Optional :class:`repro.symexec.summaries.SummaryCache`.  When
+        #: set (and the fast path is on), exploration dispatches through
+        #: compiled transfer functions and replays composed segment
+        #: summaries instead of interpreting each element model.
+        self.summaries = summaries
         #: Observability bundle; defaults to the shared no-op bundle so
         #: the hot loop never branches on presence.
         self.obs = obs if obs is not None else NULL_OBSERVABILITY
@@ -536,12 +548,93 @@ class SymbolicEngine:
         worklist_append = worklist.append
         entry_cls = TraceEntry
         steps = result.steps
+        # Summary dispatch tables.  Compiled transfer functions replace
+        # model lookups one for one, and composed segment chains are
+        # replayed inline below -- both are byte-for-byte equivalent to
+        # the generic path, so gating on OPT keeps seed mode exact.
+        summaries = self.summaries
+        if summaries is not None and OPT.enabled:
+            tables = summaries.tables_for(graph)
+            segment_get = tables.segments.get
+            program_get = tables.programs.get
+        else:
+            segment_get = None
+            program_get = None
         try:
             while worklist:
                 current_node, in_port, current = worklist_pop()
                 if not current.alive:
                     dropped_append(current)
                     continue
+                if segment_get is not None:
+                    hops = segment_get((current_node, in_port))
+                    if hops is not None:
+                        # Replay the composed segment for this one flow.
+                        # Per hop this runs the exact per-step protocol
+                        # of the generic loop; forks on the chain's one
+                        # wired output spill back to the worklist (all
+                        # but the last, which the seed's LIFO pop would
+                        # process next and which we carry instead), and
+                        # outputs on any other port dangle and drop.
+                        index = 0
+                        n_hops = len(hops)
+                        while index < n_hops:
+                            hop = hops[index]
+                            if len(current.trace) >= max_hops:
+                                raise VerificationError(
+                                    "flow exceeded %d hops (loop in the"
+                                    " model graph?)" % max_hops
+                                )
+                            steps += 1
+                            if steps > max_steps:
+                                raise VerificationError(
+                                    "exploration exceeded %d steps"
+                                    % max_steps
+                                )
+                            if current._history_shared:
+                                current._own_history()
+                            packet = current.packet
+                            snap = packet._snapshot
+                            if snap is None:
+                                snap = packet.snapshot()
+                            current.trace.append(
+                                entry_cls(hop.node, hop.port, snap)
+                            )
+                            arrivals_setdefault(
+                                (hop.node, hop.port), []
+                            ).append(current)
+                            if hop.is_sink:
+                                delivered_append(current)
+                                break
+                            outputs = hop.program(
+                                context, hop.node, hop.port, current
+                            )
+                            if not outputs:
+                                dropped_append(current)
+                                break
+                            wired = hop.wired_port
+                            carry = None
+                            for out_port, out_flow in outputs:
+                                if not out_flow.alive \
+                                        or out_port != wired:
+                                    dropped_append(out_flow)
+                                    continue
+                                if carry is not None:
+                                    worklist_append((
+                                        hop.succ_node, hop.succ_port,
+                                        carry,
+                                    ))
+                                carry = out_flow
+                            if carry is None:
+                                break
+                            current = carry
+                            index += 1
+                            if index == n_hops:
+                                worklist_append((
+                                    hop.succ_node, hop.succ_port,
+                                    current,
+                                ))
+                        continue
                 if len(current.trace) >= max_hops:
                     raise VerificationError(
                         "flow exceeded %d hops (loop in the model"
@@ -567,7 +660,12 @@ class SymbolicEngine:
                 if sinks[current_node]:
                     delivered_append(current)
                     continue
-                model = models[current_node]
+                if program_get is not None:
+                    model = program_get(current_node)
+                    if model is None:
+                        model = models[current_node]
+                else:
+                    model = models[current_node]
                 outputs = model(context, current_node, in_port, current)
                 if not outputs:
                     dropped_append(current)

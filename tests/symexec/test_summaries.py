@@ -1,0 +1,226 @@
+"""Unit tests for the summary tier (repro.symexec.summaries).
+
+Covers the three caches the tier is made of: per-element transfer
+functions (keyed on class + args, shared across graphs), the per-graph
+program/segment tables (validated in O(1) against
+:attr:`SymGraph.version`), and the composition rules that decide which
+chains may be replayed.
+"""
+
+import pytest
+
+from repro.click import parse_config
+from repro.click.element import create_element
+from repro.netmodel.examples import figure3_network
+from repro.netmodel.symgraph import (
+    NetworkCompiler,
+    _middlebox_model_factory,
+)
+from repro.symexec import (
+    SummaryCache,
+    SymbolicEngine,
+    SymGraph,
+    model_for,
+    models_registry,
+    summarizer_for,
+    summarizers_registry,
+)
+from repro.symexec.tuning import seed_mode
+
+PIPELINE = """
+    src :: FromNetfront();
+    src -> IPFilter(allow udp port 53)
+        -> SetIPAddress(10.0.0.9)
+        -> Counter()
+        -> ToNetfront();
+"""
+
+
+def pipeline_graph():
+    return SymGraph.from_click(parse_config(PIPELINE))
+
+
+class TestRegistry:
+    def test_every_model_has_a_summarizer(self):
+        # Summaries must keep up with the element registry: a new model
+        # without a summarizer silently falls off the fast path.
+        assert set(summarizers_registry()) == set(models_registry())
+
+    def test_passthrough_summarizer_returns_the_model(self):
+        element = create_element("Counter", "c", [])
+        assert summarizer_for("Counter")(element) is model_for("Counter")
+
+    def test_specialized_summarizer_is_config_bound(self):
+        element = create_element("Paint", "p", ["2"])
+        program = summarizer_for("Paint")(element)
+        assert program is not model_for("Paint")
+        assert callable(program)
+
+    def test_middlebox_factory_is_tagged(self):
+        element = create_element("Counter", "c", [])
+        model = _middlebox_model_factory(element)
+        assert model.summary_kind == "middlebox"
+
+
+class TestElementProgramCache:
+    def test_same_config_shares_one_program(self):
+        cache = SummaryCache()
+        a = create_element("IPFilter", "a", ["allow udp port 53"])
+        b = create_element("IPFilter", "b", ["allow udp port 53"])
+        first = cache._element_program(a)
+        second = cache._element_program(b)
+        assert first is second
+        assert cache.element_hits == 1
+        assert cache.element_misses == 1
+
+    def test_different_config_compiles_separately(self):
+        cache = SummaryCache()
+        a = create_element("IPFilter", "a", ["allow udp port 53"])
+        b = create_element("IPFilter", "b", ["allow tcp port 80"])
+        assert cache._element_program(a) is not cache._element_program(b)
+        assert cache.element_misses == 2
+
+    def test_cache_survives_across_graphs(self):
+        cache = SummaryCache()
+        cache.tables_for(pipeline_graph())
+        misses_after_first = cache.element_misses
+        cache.tables_for(pipeline_graph())
+        # Second graph: new tables, but every program re-used.
+        assert cache.element_misses == misses_after_first
+        assert cache.element_hits > 0
+
+
+class TestGraphTables:
+    def test_tables_revalidate_in_o1(self):
+        cache = SummaryCache()
+        graph = pipeline_graph()
+        tables = cache.tables_for(graph)
+        assert cache.tables_for(graph) is tables
+        assert cache.stats()["hits"] == 1
+        assert cache.stats()["misses"] == 1
+
+    def test_graph_mutation_invalidates(self):
+        cache = SummaryCache()
+        graph = pipeline_graph()
+        tables = cache.tables_for(graph)
+        graph.add_node("extra", model_for("Discard"),
+                       payload=create_element("Discard", "extra", []))
+        rebuilt = cache.tables_for(graph)
+        assert rebuilt is not tables
+        assert cache.stats()["invalidations"] == 1
+
+    def test_version_bumps_on_every_structural_mutation(self):
+        graph = pipeline_graph()
+        v0 = graph.version
+        graph.add_node("x", model_for("Discard"),
+                       payload=create_element("Discard", "x", []))
+        v1 = graph.version
+        graph.connect("src", 5, "x", 0)
+        v2 = graph.version
+        graph.remove_node("x")
+        assert v0 < v1 < v2 < graph.version
+
+    def test_trial_graft_invalidates_and_restores(self):
+        net = figure3_network()
+        compiled = NetworkCompiler(net).compile()
+        cache = SummaryCache()
+        tables = cache.tables_for(compiled.graph)
+        platform = net.platforms()[0]
+        config = parse_config(PIPELINE)
+        address = platform.allocate_address()
+        platform.deploy("trial", address, config)
+        try:
+            with compiled.with_trial_module(
+                platform.name, "trial", address, config
+            ):
+                grafted = cache.tables_for(compiled.graph)
+                assert grafted is not tables
+                assert any(
+                    node.startswith("trial/")
+                    for node in grafted.programs
+                )
+        finally:
+            platform.undeploy("trial")
+            platform.release_address(address)
+        ungrafted = cache.tables_for(compiled.graph)
+        assert not any(
+            node.startswith("trial/") for node in ungrafted.programs
+        )
+
+
+class TestSegmentComposition:
+    def test_pipeline_composes_into_a_chain(self):
+        cache = SummaryCache()
+        graph = pipeline_graph()
+        tables = cache.tables_for(graph)
+        # The edge out of src enters a 4-hop chain ending at the sink.
+        entry = graph.edges[("src", 0)]
+        hops = tables.segments[entry]
+        assert len(hops) == 4
+        assert [hop.node for hop in hops[:-1]] == [
+            entry[0], hops[1].node, hops[2].node
+        ]
+        assert hops[-1].is_sink
+
+    def test_interior_positions_are_entries_too(self):
+        # A flow spilled back onto the worklist mid-chain must re-enter
+        # the chain suffix, so every edge destination gets an entry.
+        cache = SummaryCache()
+        graph = pipeline_graph()
+        tables = cache.tables_for(graph)
+        assert len(tables.segments) == len(set(graph.edges.values()))
+
+    def test_fanout_node_ends_the_chain(self):
+        config = parse_config("""
+            src :: FromNetfront();
+            c :: IPClassifier(udp, -);
+            a :: ToNetfront(); b :: Discard();
+            src -> c; c[0] -> a; c[1] -> b;
+        """)
+        cache = SummaryCache()
+        graph = SymGraph.from_click(config)
+        tables = cache.tables_for(graph)
+        entry = graph.edges[("src", 0)]
+        # The classifier has two wired outputs: not chainable past it.
+        assert entry not in tables.segments or \
+            len(tables.segments[entry]) == 1
+
+    def test_summary_engine_matches_plain_engine(self):
+        from repro.symexec import canonical_flow
+
+        config = parse_config(PIPELINE)
+        graph = SymGraph.from_click(config)
+        plain = SymbolicEngine(SymGraph.from_click(config))
+        summarized = SymbolicEngine(graph, summaries=SummaryCache())
+        canon = lambda e: (  # noqa: E731
+            tuple(canonical_flow(f) for f in e.delivered),
+            tuple(canonical_flow(f) for f in e.dropped),
+            e.steps,
+        )
+        assert canon(summarized.inject("src")) == \
+            canon(plain.inject("src"))
+
+    def test_seed_mode_bypasses_summaries(self):
+        cache = SummaryCache()
+        engine = SymbolicEngine(pipeline_graph(), summaries=cache)
+        with seed_mode():
+            engine.inject("src")
+        # The tables were never consulted, let alone built.
+        assert cache.stats()["misses"] == 0
+        assert cache.stats()["hits"] == 0
+        engine.inject("src")
+        assert cache.stats()["misses"] == 1
+
+
+class TestInstrumentation:
+    def test_counters_land_in_a_registry(self):
+        from repro.obs import MetricsRegistry
+
+        registry = MetricsRegistry()
+        cache = SummaryCache()
+        cache.instrument(registry)
+        cache.tables_for(pipeline_graph())
+        assert registry.counter("symexec_summary_misses_total").value == 1
+        assert registry.counter(
+            "symexec_summary_composes_total"
+        ).value >= 1

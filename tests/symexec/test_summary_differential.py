@@ -1,0 +1,173 @@
+"""Differential tests: summary-composed exploration is byte-for-byte
+the seed engine.
+
+Mirror of ``test_differential.py`` for the summary tier (PR 10's
+compositional transfer functions + segment replay): every scenario runs
+three ways -- through an engine carrying a :class:`SummaryCache`, with
+the plain fast path, and under :func:`seed_mode` -- and all three must
+agree on every delivered and dropped flow's canonical form, in the same
+order, with the same step count, and on the final verdict.
+"""
+
+import pytest
+
+from repro.click import parse_config
+from repro.core import ClientRequest, Controller, ROLE_CLIENT
+from repro.netmodel import NetworkCompiler
+from repro.netmodel.examples import (
+    figure3_network,
+    linear_network,
+    star_network,
+)
+from repro.policy import parse_requirement
+from repro.symexec import (
+    SummaryCache,
+    SymbolicEngine,
+    SymGraph,
+    canonical_flow,
+)
+from repro.symexec.reachability import ReachabilityChecker
+from repro.symexec.tuning import seed_mode
+from tests.symexec.test_differential import (
+    CLICK_SCENARIOS,
+    FIGURE4_SOURCE,
+    NETWORK_SCENARIOS,
+    canonical_exploration,
+)
+
+#: One shared cache across all scenarios: cross-scenario reuse of
+#: element programs must not leak state between explorations.
+SHARED_CACHE = SummaryCache()
+
+
+def explore_network_summarized(net, requirement_text, cache):
+    compiled = NetworkCompiler(net).compile()
+    requirement = parse_requirement(requirement_text)
+    engine = compiled.engine(summaries=cache)
+    exploration = compiled.explore_from(
+        requirement.origin.node, requirement.origin.flow, engine=engine
+    )
+    verdict = ReachabilityChecker(compiled.resolver).check(
+        requirement, exploration
+    )
+    return canonical_exploration(exploration), (
+        verdict.satisfied, verdict.reason
+    )
+
+
+class TestNetworkExplorations:
+    @pytest.mark.parametrize(
+        "factory,requirement", NETWORK_SCENARIOS,
+        ids=[req for _, req in NETWORK_SCENARIOS],
+    )
+    def test_summarized_matches_seed(self, factory, requirement):
+        summarized = explore_network_summarized(
+            factory(), requirement, SHARED_CACHE
+        )
+        plain = explore_network_summarized(factory(), requirement, None)
+        with seed_mode():
+            seed = explore_network_summarized(
+                factory(), requirement, None
+            )
+        assert summarized == plain
+        assert summarized == seed
+
+
+class TestClickExplorations:
+    @pytest.mark.parametrize("name", sorted(CLICK_SCENARIOS))
+    def test_summarized_matches_seed(self, name):
+        source = CLICK_SCENARIOS[name]
+
+        def run(cache):
+            config = parse_config(source)
+            engine = SymbolicEngine(
+                SymGraph.from_click(config), summaries=cache
+            )
+            return canonical_exploration(
+                engine.inject(config.sources()[0])
+            )
+
+        summarized = run(SHARED_CACHE)
+        plain = run(None)
+        with seed_mode():
+            seed = run(None)
+        assert summarized == plain
+        assert summarized == seed
+
+
+def admit(requirements, fast_path):
+    """One cold dry-run admission on a fresh Figure 3 controller.
+
+    ``fast_path=True`` controllers carry the summary + verification
+    caches; the admission verdict must not depend on any of it.
+    """
+    controller = Controller(figure3_network(), fast_path=fast_path)
+    result = controller.request(ClientRequest(
+        client_id="alice",
+        role=ROLE_CLIENT,
+        config_source=FIGURE4_SOURCE,
+        requirements=requirements,
+        owned_addresses=("172.16.15.133",),
+        module_name="batcher",
+    ), dry_run=True)
+    return result.accepted, result.reason
+
+
+class TestControllerAdmission:
+    @pytest.mark.parametrize("requirements,expected", [
+        ("reach from internet udp -> client dst port 1500\n"
+         "reach from client -> internet", True),
+        ("reach from internet tcp -> client dst port 80", False),
+    ], ids=["accepted", "rejected"])
+    def test_summarized_admission_agrees(self, requirements, expected):
+        summarized = admit(requirements, fast_path=True)
+        plain = admit(requirements, fast_path=False)
+        with seed_mode():
+            seed = admit(requirements, fast_path=True)
+        assert summarized == plain == seed
+        assert summarized[0] is expected
+
+    def test_repeat_admissions_are_cache_stable(self):
+        # The second identical dry run hits the verdict cache for the
+        # operator policy; its outcome must match the first exactly,
+        # and a cache-free controller must agree.
+        policy = (
+            "reach from internet udp dst net 192.0.1.0/24 -> platform0\n"
+            "reach from internet udp dst net 192.0.3.0/24 -> platform2"
+        )
+        controller = Controller(star_network(4), policy)
+        request = ClientRequest(
+            client_id="alice",
+            role=ROLE_CLIENT,
+            config_source=FIGURE4_SOURCE,
+            requirements="reach from client -> internet",
+            owned_addresses=("172.16.15.133",),
+            module_name="batcher",
+        )
+        first = controller.request(request, dry_run=True)
+        second = controller.request(request, dry_run=True)
+        assert (first.accepted, first.reason) == \
+            (second.accepted, second.reason)
+        cold = Controller(star_network(4), policy, fast_path=False)
+        third = cold.request(request, dry_run=True)
+        assert (first.accepted, first.reason) == \
+            (third.accepted, third.reason)
+
+    def test_snapshot_verdicts_survive_cache_warmup(self):
+        policy = "\n".join(
+            "reach from internet udp dst net 192.0.%d.0/24 -> platform%d"
+            % (index + 1, index)
+            for index in range(6)
+        )
+        controller = Controller(star_network(6), policy)
+        cold = [
+            (bool(r), str(r.requirement), r.reason)
+            for r in controller.verify_snapshot()
+        ]
+        warm = [
+            (bool(r), str(r.requirement), r.reason)
+            for r in controller.verify_snapshot()
+        ]
+        assert cold == warm
+        stats = controller.stats()["verification_cache"]
+        assert stats["hits"] >= 6  # the warm pass reused every verdict
